@@ -1,0 +1,673 @@
+//! Cloning scenarios (paper §4.3, Figure 6 and Table 1).
+//!
+//! A "golden" image (320 MB RAM / 1.6 GB disk) lives on the WAN image
+//! server, pre-processed by middleware (zero map + compressed file
+//! channel for the `.vmss`). Clonings are timed end-to-end: copy config,
+//! copy memory state, symlink the virtual disk, configure, resume.
+//!
+//! * **WAN-S1** — one image cloned eight times sequentially to the same
+//!   compute server (temporal locality: later clones hit the proxy's
+//!   caches).
+//! * **WAN-S2** — eight different images cloned once each (no locality).
+//! * **WAN-S3** — eight different images, new to this compute server but
+//!   pre-cached on a LAN second-level proxy by earlier clonings for
+//!   other machines in the same LAN.
+//! * **WAN-P** — eight clonings in parallel from one image server
+//!   (Table 1): the WAN uplink is shared, so the speedup is ~7×, not 8×.
+//! * Baselines: full-image SCP copy, and cloning over pure NFS (no GVFS:
+//!   8 KB blocks, no pipelining, no caches).
+
+use std::sync::Arc;
+
+use gvfs::{
+    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, FileChannelSpec,
+    Middleware, Proxy, ProxyConfig, WritePolicy,
+};
+use nfs3::{KernelClient, KernelConfig, Nfs3Client};
+use oncrpc::{OpaqueAuth, RpcChannel, RpcClient, WireSpec};
+use parking_lot::Mutex;
+use simnet::{Env, Link, SimDuration, SimHandle, Simulation};
+use vfs::{Disk, DiskModel, LocalIo, LocalIoConfig, MountTable};
+use vmm::{clone_vm, install_image, CloneConfig, CloneTimes, VmConfig, VmImageSpec};
+use workloads::scp::ScpModel;
+
+use crate::scenarios::{build_client, build_server, ClientProxyOptions, NetParams};
+
+/// Sequential cloning scenarios of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloneScenario {
+    /// Images on the compute server's local disk.
+    Local,
+    /// One golden image, eight sequential clones (temporal locality).
+    WanS1,
+    /// Eight different images, sequential (no locality).
+    WanS2,
+    /// Eight different images pre-cached on a LAN second-level proxy.
+    WanS3,
+}
+
+impl CloneScenario {
+    /// Paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CloneScenario::Local => "Local",
+            CloneScenario::WanS1 => "WAN-S1",
+            CloneScenario::WanS2 => "WAN-S2",
+            CloneScenario::WanS3 => "WAN-S3",
+        }
+    }
+
+    /// All four, in the figure's order.
+    pub fn all() -> [CloneScenario; 4] {
+        [
+            CloneScenario::Local,
+            CloneScenario::WanS1,
+            CloneScenario::WanS2,
+            CloneScenario::WanS3,
+        ]
+    }
+}
+
+/// Harness parameters for cloning runs.
+#[derive(Debug, Clone, Copy)]
+pub struct CloneParams {
+    /// Network calibration.
+    pub net: NetParams,
+    /// Number of clonings per scenario (paper: 8).
+    pub clones: usize,
+    /// Kernel client buffer (kept small: the copy streams through it).
+    pub kernel_cache_bytes: u64,
+    /// Proxy cache capacity.
+    pub proxy_cache_bytes: u64,
+    /// Use a reduced image for quick runs (tests); `None` = paper size.
+    pub image_scale: Option<u64>,
+}
+
+impl Default for CloneParams {
+    fn default() -> Self {
+        CloneParams {
+            net: NetParams::default(),
+            clones: 8,
+            kernel_cache_bytes: 32 << 20,
+            proxy_cache_bytes: 8 << 30,
+            image_scale: None,
+        }
+    }
+}
+
+impl CloneParams {
+    fn image_spec(&self, name: &str) -> VmImageSpec {
+        let mut spec = VmImageSpec::clone_benchmark(name);
+        if let Some(scale) = self.image_scale {
+            spec.memory_bytes /= scale;
+            spec.disk_bytes /= scale;
+        }
+        spec
+    }
+
+    fn vm_config(&self) -> VmConfig {
+        VmConfig {
+            guest_cache_fraction: 0.12,
+            // Restoring a 320 MB VM's devices on a 2004 hosted VMM is
+            // slow (several seconds of VMware work beyond the file I/O).
+            device_cpu: simnet::SimDuration::from_secs(6),
+            ..VmConfig::default()
+        }
+    }
+}
+
+/// Install `n` golden images (+ their middleware meta-data) under
+/// `/exports` of the image-server fs. Returns their specs.
+fn install_goldens(
+    fs: &Arc<Mutex<Fs>>,
+    params: &CloneParams,
+    n: usize,
+) -> Vec<VmImageSpec> {
+    use vfs::Fs;
+    fn inner(fs: &mut Fs, params: &CloneParams, n: usize) -> Vec<VmImageSpec> {
+        let root = fs.root();
+        let dir = fs.mkdir(root, "exports", 0o755, 0).unwrap();
+        (0..n)
+            .map(|i| {
+                let mut spec = params.image_spec(&format!("vm{i}"));
+                spec.seed = spec.seed.wrapping_add(i as u64 * 0x9E37);
+                install_image(fs, dir, &spec).unwrap();
+                // Middleware pre-processing: zero map + compressed file
+                // channel on the memory state.
+                Middleware::generate_meta(
+                    fs,
+                    "exports",
+                    &spec.vmss_name(),
+                    32 * 1024,
+                    true,
+                    Some(FileChannelSpec {
+                        compress: true,
+                        writeback: false,
+                    }),
+                )
+                .unwrap();
+                spec
+            })
+            .collect()
+    }
+    let mut guard = fs.lock();
+    inner(&mut guard, params, n)
+}
+
+use vfs::Fs;
+
+/// One compute host: local disk, client-side caching proxy, kernel mount.
+struct ComputeHost {
+    local: Arc<LocalIo>,
+    table: MountTable,
+    proxy: Option<Arc<Proxy>>,
+}
+
+fn build_compute_host(
+    h: &SimHandle,
+    upstream: RpcChannel,
+    cred: OpaqueAuth,
+    params: &CloneParams,
+    with_caches: bool,
+    kernel_cfg: KernelConfig,
+    env: &Env,
+) -> ComputeHost {
+    let client = build_client(
+        h,
+        upstream,
+        cred.clone(),
+        if with_caches {
+            Some(ClientProxyOptions {
+                block_cache: true,
+                file_channel: true,
+                write_policy: WritePolicy::WriteBack,
+                cache_bytes: params.proxy_cache_bytes,
+            })
+        } else {
+            None
+        },
+    );
+    let nfs = Nfs3Client::new(RpcClient::new(client.channel.clone(), cred));
+    let kc = KernelClient::mount(env, nfs, "/exports", kernel_cfg).unwrap();
+    let local = LocalIo::new(client.cache_disk.clone(), LocalIoConfig::default(), 0);
+    let table = MountTable::new()
+        .mount("/", local.clone())
+        .mount("/mnt/gvfs", kc);
+    ComputeHost {
+        local,
+        table,
+        proxy: client.proxy,
+    }
+}
+
+/// Result of a sequential cloning scenario: per-clone step times.
+#[derive(Debug, Clone)]
+pub struct CloneResult {
+    /// Scenario label.
+    pub scenario: String,
+    /// One entry per cloning, in order.
+    pub times: Vec<CloneTimes>,
+}
+
+impl CloneResult {
+    /// Total seconds across all clonings.
+    pub fn total_secs(&self) -> f64 {
+        self.times.iter().map(|t| t.total.as_secs_f64()).sum()
+    }
+}
+
+/// Run a sequential cloning scenario.
+pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let out: Arc<Mutex<Vec<CloneTimes>>> = Arc::new(Mutex::new(Vec::new()));
+    let n = params.clones;
+    let kcfg = KernelConfig {
+        cache_bytes: params.kernel_cache_bytes,
+        ..KernelConfig::default()
+    };
+
+    match scenario {
+        CloneScenario::Local => {
+            let local = LocalIo::new(
+                Disk::new(&h, DiskModel::scsi_2004()),
+                LocalIoConfig::default(),
+                0,
+            );
+            let specs: Vec<VmImageSpec> = {
+                let mut got = Vec::new();
+                local.with_fs(|fs| {
+                    let root = fs.root();
+                    let dir = fs.mkdir(root, "exports", 0o755, 0).unwrap();
+                    for i in 0..n {
+                        let mut spec = params.image_spec(&format!("vm{i}"));
+                        spec.seed = spec.seed.wrapping_add(i as u64 * 0x9E37);
+                        install_image(fs, dir, &spec).unwrap();
+                        got.push(spec);
+                    }
+                });
+                got
+            };
+            let table = MountTable::new().mount("/", local);
+            let out2 = out.clone();
+            let cfg = CloneConfig {
+                vm: params.vm_config(),
+                ..CloneConfig::default()
+            };
+            sim.spawn("cloner", move |env: Env| {
+                for (i, spec) in specs.iter().enumerate() {
+                    let (times, vm) =
+                        clone_vm(&env, &table, "/exports", spec, &format!("/clone{i}"), cfg)
+                            .unwrap();
+                    vm.shutdown(&env).unwrap();
+                    out2.lock().push(times);
+                }
+            });
+        }
+        CloneScenario::WanS1 | CloneScenario::WanS2 => {
+            let up = Link::from_mbps(&h, "wan-up", params.net.wan_up_mbps, params.net.wan_oneway);
+            let down = Link::from_mbps(
+                &h,
+                "wan-down",
+                params.net.wan_down_mbps,
+                params.net.wan_oneway,
+            );
+            let server = build_server(&h, up, down, 768 << 20, true);
+            let distinct = if scenario == CloneScenario::WanS1 { 1 } else { n };
+            let specs = install_goldens(&server.fs, params, distinct);
+            let mw = Middleware::new();
+            let (_sid, cred) = mw.establish_session(&server.mapper, "clone-user", 0, u64::MAX / 2);
+            let params2 = *params;
+            let out2 = out.clone();
+            let h2 = h.clone();
+            sim.spawn("cloner", move |env: Env| {
+                let host = build_compute_host(
+                    &h2,
+                    server.channel.clone(),
+                    cred.clone(),
+                    &params2,
+                    true,
+                    kcfg,
+                    &env,
+                );
+                let cfg = CloneConfig {
+                    vm: params2.vm_config(),
+                    ..CloneConfig::default()
+                };
+                for i in 0..n {
+                    let spec = &specs[i % specs.len()];
+                    let (times, vm) = clone_vm(
+                        &env,
+                        &host.table,
+                        "/mnt/gvfs",
+                        spec,
+                        &format!("/clone{i}"),
+                        cfg,
+                    )
+                    .unwrap();
+                    vm.shutdown(&env).unwrap();
+                    out2.lock().push(times);
+                }
+                let _ = &host.local;
+                let _ = &host.proxy;
+            });
+        }
+        CloneScenario::WanS3 => {
+            let up = Link::from_mbps(&h, "wan-up", params.net.wan_up_mbps, params.net.wan_oneway);
+            let down = Link::from_mbps(
+                &h,
+                "wan-down",
+                params.net.wan_down_mbps,
+                params.net.wan_oneway,
+            );
+            let server = build_server(&h, up, down, 768 << 20, true);
+            let specs = install_goldens(&server.fs, params, n);
+            let mw = Middleware::new();
+            let (_sid, cred) = mw.establish_session(&server.mapper, "clone-user", 0, u64::MAX / 2);
+
+            // The LAN second-level proxy: block + file caches, reachable
+            // from compute servers over the LAN, forwarding over the WAN.
+            let lan_proxy_disk = Disk::new(&h, DiskModel::server_array());
+            let upstream_client = RpcClient::new(server.channel.clone(), cred.clone());
+            let lan_proxy = Proxy::new(
+                ProxyConfig {
+                    name: "lan-cache-proxy".into(),
+                    write_policy: WritePolicy::WriteThrough,
+                    meta_handling: true,
+                    per_op_cpu: SimDuration::from_micros(40),
+                    read_only_share: true,
+                },
+                upstream_client.clone(),
+            )
+            .with_block_cache(Arc::new(BlockCache::new(
+                lan_proxy_disk.clone(),
+                BlockCacheConfig::with_capacity(params.proxy_cache_bytes, 512, 16, 32 * 1024),
+            )))
+            .with_file_channel(
+                Arc::new(FileCache::new(lan_proxy_disk, params.proxy_cache_bytes)),
+                ChannelClient::new(upstream_client, CodecModel::default()),
+            )
+            .into_handler();
+            let lan_up = Link::from_mbps(&h, "lan-up", params.net.lan_mbps, params.net.lan_oneway);
+            let lan_down =
+                Link::from_mbps(&h, "lan-down", params.net.lan_mbps, params.net.lan_oneway);
+            let lan_ep = oncrpc::endpoint(&h, lan_up, lan_down, WireSpec::ssh_tunnel(50e6));
+            lan_ep.listener.serve("lan-cache-proxy", lan_proxy, 16);
+
+            let params2 = *params;
+            let out2 = out.clone();
+            let h2 = h.clone();
+            let lan_channel = lan_ep.channel;
+            sim.spawn("cloner", move |env: Env| {
+                let cfg = CloneConfig {
+                    vm: params2.vm_config(),
+                    ..CloneConfig::default()
+                };
+                // Warm-up: another compute server on the same LAN clones
+                // each image first (not timed).
+                let warm_host = build_compute_host(
+                    &h2,
+                    lan_channel.clone(),
+                    cred.clone(),
+                    &params2,
+                    true,
+                    kcfg,
+                    &env,
+                );
+                for (i, spec) in specs.iter().enumerate() {
+                    let (_, vm) = clone_vm(
+                        &env,
+                        &warm_host.table,
+                        "/mnt/gvfs",
+                        spec,
+                        &format!("/warm{i}"),
+                        cfg,
+                    )
+                    .unwrap();
+                    vm.shutdown(&env).unwrap();
+                }
+                // Timed: a fresh compute server (cold local caches) whose
+                // misses hit the warm LAN proxy.
+                let host = build_compute_host(
+                    &h2,
+                    lan_channel.clone(),
+                    cred.clone(),
+                    &params2,
+                    true,
+                    kcfg,
+                    &env,
+                );
+                for (i, spec) in specs.iter().enumerate() {
+                    let (times, vm) = clone_vm(
+                        &env,
+                        &host.table,
+                        "/mnt/gvfs",
+                        spec,
+                        &format!("/clone{i}"),
+                        cfg,
+                    )
+                    .unwrap();
+                    vm.shutdown(&env).unwrap();
+                    out2.lock().push(times);
+                }
+            });
+        }
+    }
+
+    sim.run();
+    let times = Arc::try_unwrap(out)
+        .map(|m| m.into_inner())
+        .unwrap_or_default();
+    CloneResult {
+        scenario: scenario.label().to_string(),
+        times,
+    }
+}
+
+/// Parallel-cloning result (Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelResult {
+    /// Wall time for the 8 parallel clonings, cold caches.
+    pub cold_secs: f64,
+    /// Wall time repeated with warm caches.
+    pub warm_secs: f64,
+}
+
+/// Table 1's WAN-P: `clones` compute servers clone in parallel from one
+/// image server, sharing its WAN connection; then repeat warm.
+pub fn run_parallel_cloning(params: &CloneParams) -> ParallelResult {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let n = params.clones;
+    let up = Link::from_mbps(&h, "wan-up", params.net.wan_up_mbps, params.net.wan_oneway);
+    let down = Link::from_mbps(
+        &h,
+        "wan-down",
+        params.net.wan_down_mbps,
+        params.net.wan_oneway,
+    );
+    let server = build_server(&h, up, down, 768 << 20, true);
+    let specs = install_goldens(&server.fs, params, n);
+    let mw = Middleware::new();
+    let kcfg = KernelConfig {
+        cache_bytes: params.kernel_cache_bytes,
+        ..KernelConfig::default()
+    };
+    let cold = Arc::new(Mutex::new(0.0f64));
+    let warm = Arc::new(Mutex::new(0.0f64));
+    let params2 = *params;
+    let h2 = h.clone();
+    let cold2 = cold.clone();
+    let warm2 = warm.clone();
+    let mapper = server.mapper.clone();
+    let channel = server.channel.clone();
+    sim.spawn("coordinator", move |env: Env| {
+        let cfg = CloneConfig {
+            vm: params2.vm_config(),
+            ..CloneConfig::default()
+        };
+        // Build the 8 compute hosts (each its own session + caches).
+        let hosts: Vec<(ComputeHost, VmImageSpec)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let (_sid, cred) =
+                    mw.establish_session(&mapper, &format!("user{i}"), 0, u64::MAX / 2);
+                (
+                    build_compute_host(
+                        &h2,
+                        channel.clone(),
+                        cred,
+                        &params2,
+                        true,
+                        kcfg,
+                        &env,
+                    ),
+                    spec.clone(),
+                )
+            })
+            .collect();
+        let hosts = Arc::new(hosts);
+        for (pass, sink) in [(0usize, cold2.clone()), (1usize, warm2.clone())] {
+            let t0 = env.now();
+            let mut joins = Vec::new();
+            for i in 0..hosts.len() {
+                let hosts = hosts.clone();
+                joins.push(env.spawn(format!("clone-p{pass}-{i}"), move |env| {
+                    let (host, spec) = &hosts[i];
+                    let (_, vm) = clone_vm(
+                        &env,
+                        &host.table,
+                        "/mnt/gvfs",
+                        spec,
+                        &format!("/p{pass}clone{i}"),
+                        cfg,
+                    )
+                    .unwrap();
+                    vm.shutdown(&env).unwrap();
+                }));
+            }
+            for j in joins {
+                j.join(&env);
+            }
+            *sink.lock() = (env.now() - t0).as_secs_f64();
+        }
+    });
+    sim.run();
+    let result = ParallelResult {
+        cold_secs: *cold.lock(),
+        warm_secs: *warm.lock(),
+    };
+    result
+}
+
+/// Sequential total for Table 1's first row: same 8 images, same
+/// configuration, but cloned one after another on one compute server
+/// (cold pass), then all over again (warm pass).
+pub fn run_sequential_for_table1(params: &CloneParams) -> ParallelResult {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let n = params.clones;
+    let up = Link::from_mbps(&h, "wan-up", params.net.wan_up_mbps, params.net.wan_oneway);
+    let down = Link::from_mbps(
+        &h,
+        "wan-down",
+        params.net.wan_down_mbps,
+        params.net.wan_oneway,
+    );
+    let server = build_server(&h, up, down, 768 << 20, true);
+    let specs = install_goldens(&server.fs, params, n);
+    let mw = Middleware::new();
+    let (_sid, cred) = mw.establish_session(&server.mapper, "seq-user", 0, u64::MAX / 2);
+    let kcfg = KernelConfig {
+        cache_bytes: params.kernel_cache_bytes,
+        ..KernelConfig::default()
+    };
+    let cold = Arc::new(Mutex::new(0.0f64));
+    let warm = Arc::new(Mutex::new(0.0f64));
+    let params2 = *params;
+    let h2 = h.clone();
+    let cold2 = cold.clone();
+    let warm2 = warm.clone();
+    let channel = server.channel.clone();
+    sim.spawn("cloner", move |env: Env| {
+        let host = build_compute_host(&h2, channel, cred, &params2, true, kcfg, &env);
+        let cfg = CloneConfig {
+            vm: params2.vm_config(),
+            ..CloneConfig::default()
+        };
+        for (pass, sink) in [(0usize, cold2.clone()), (1usize, warm2.clone())] {
+            let t0 = env.now();
+            for (i, spec) in specs.iter().enumerate() {
+                let (_, vm) = clone_vm(
+                    &env,
+                    &host.table,
+                    "/mnt/gvfs",
+                    spec,
+                    &format!("/s{pass}clone{i}"),
+                    cfg,
+                )
+                .unwrap();
+                vm.shutdown(&env).unwrap();
+            }
+            *sink.lock() = (env.now() - t0).as_secs_f64();
+        }
+    });
+    sim.run();
+    let cold_secs = *cold.lock();
+    let warm_secs = *warm.lock();
+    ParallelResult {
+        cold_secs,
+        warm_secs,
+    }
+}
+
+/// Baseline: transfer the entire image (config + memory + disk) with SCP.
+pub fn scp_baseline_secs(params: &CloneParams) -> f64 {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let down = Link::from_mbps(
+        &h,
+        "wan-down",
+        params.net.wan_down_mbps,
+        params.net.wan_oneway,
+    );
+    let spec = params.image_spec("vm0");
+    let total = spec.memory_bytes + spec.disk_bytes + 4096;
+    let model = ScpModel::default();
+    let est = model.idle_copy_time(&down, total).as_secs_f64();
+    drop(sim);
+    est
+}
+
+/// Baseline: clone over pure NFS — no GVFS proxies, 2004 defaults
+/// (rsize 8 KB, no read pipelining), memory state pulled block by block.
+pub fn pure_nfs_clone_secs(params: &CloneParams) -> f64 {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let up = Link::from_mbps(&h, "wan-up", params.net.wan_up_mbps, params.net.wan_oneway);
+    let down = Link::from_mbps(
+        &h,
+        "wan-down",
+        params.net.wan_down_mbps,
+        params.net.wan_oneway,
+    );
+    let server = build_server(&h, up, down, 768 << 20, false);
+    let spec = {
+        let mut fs = server.fs.lock();
+        let root = fs.root();
+        let dir = fs.mkdir(root, "exports", 0o755, 0).unwrap();
+        let spec = params.image_spec("vm0");
+        install_image(&mut fs, dir, &spec).unwrap();
+        spec
+    };
+    let out = Arc::new(Mutex::new(0.0f64));
+    let out2 = out.clone();
+    let params2 = *params;
+    sim.spawn("cloner", move |env: Env| {
+        let cred = OpaqueAuth::sys(&AuthSysLocal::new());
+        let nfs = Nfs3Client::new(RpcClient::new(server.channel.clone(), cred));
+        let kc = KernelClient::mount(
+            &env,
+            nfs,
+            "/exports",
+            KernelConfig {
+                rsize: 8 * 1024,
+                wsize: 8 * 1024,
+                max_inflight: 1,
+                cache_bytes: params2.kernel_cache_bytes,
+                ..KernelConfig::default()
+            },
+        )
+        .unwrap();
+        let local = LocalIo::new(
+            Disk::new(env.handle(), DiskModel::scsi_2004()),
+            LocalIoConfig::default(),
+            0,
+        );
+        let table = MountTable::new()
+            .mount("/", local)
+            .mount("/mnt/nfs", kc);
+        let cfg = CloneConfig {
+            vm: params2.vm_config(),
+            // Pure NFS moves the memory copy in protocol-sized chunks.
+            copy_chunk: 8 * 1024,
+            ..CloneConfig::default()
+        };
+        let t0 = env.now();
+        let (_, vm) = clone_vm(&env, &table, "/mnt/nfs", &spec, "/clone0", cfg).unwrap();
+        vm.shutdown(&env).unwrap();
+        *out2.lock() = (env.now() - t0).as_secs_f64();
+    });
+    sim.run();
+    let secs = *out.lock();
+    secs
+}
+
+// Small helper to avoid importing AuthSys at top with an alias clash.
+struct AuthSysLocal;
+impl AuthSysLocal {
+    fn new() -> oncrpc::AuthSys {
+        oncrpc::AuthSys::new("compute", 500, 500)
+    }
+}

@@ -1,0 +1,100 @@
+//! Plain-text table rendering for the figure/table binaries, plus the
+//! paper's reference numbers for side-by-side comparison.
+
+/// Format seconds as `m:ss.s` like the paper's minutes:seconds axes.
+pub fn mmss(secs: f64) -> String {
+    let m = (secs / 60.0).floor() as u64;
+    let s = secs - m as f64 * 60.0;
+    format!("{m}:{s:04.1}")
+}
+
+/// Format seconds as `h:mm` like Figure 5's hours:minutes axis.
+pub fn hmm(secs: f64) -> String {
+    let hours = (secs / 3600.0).floor() as u64;
+    let m = ((secs - hours as f64 * 3600.0) / 60.0).round() as u64;
+    format!("{hours}:{m:02}")
+}
+
+/// Render an aligned table: `header` row then `rows`; every row must have
+/// the same arity as the header.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            if i == 0 {
+                line.push_str(&format!("{:<w$}", cell, w = widths[i]));
+            } else {
+                line.push_str(&format!("{:>w$}", cell, w = widths[i]));
+            }
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// A paper-vs-measured comparison line for EXPERIMENTS.md-style output.
+pub fn compare_line(what: &str, paper: &str, measured: &str) -> String {
+    format!("  {what:<46} paper: {paper:>10}   measured: {measured:>10}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmss_formats_like_the_paper() {
+        assert_eq!(mmss(90.0), "1:30.0");
+        assert_eq!(mmss(5.25), "0:05.2");
+        assert_eq!(mmss(600.0), "10:00.0");
+    }
+
+    #[test]
+    fn hmm_formats_hours() {
+        assert_eq!(hmm(3600.0), "1:00");
+        assert_eq!(hmm(5400.0), "1:30");
+        assert_eq!(hmm(1200.0), "0:20");
+    }
+
+    #[test]
+    fn tables_align() {
+        let t = render_table(
+            &["Scenario", "Phase 1", "Total"],
+            &[
+                vec!["Local".into(), "1:00.0".into(), "12:00.0".into()],
+                vec!["WAN+C".into(), "2:06.5".into(), "11:24.0".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Scenario"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+}

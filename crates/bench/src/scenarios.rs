@@ -1,0 +1,460 @@
+//! Scenario topologies for the paper's evaluation (§4.1).
+//!
+//! Calibrated substitutes for the paper's testbed:
+//!
+//! * **LAN**: 100 Mb/s Ethernet at the University of Florida,
+//!   ~0.2 ms one-way.
+//! * **WAN**: Abilene between Northwestern and Florida; per-stream
+//!   effective throughput calibrated against the paper's own transfer
+//!   numbers (SCP of a 1.9 GB image ≈ 1127 s ⇒ ~14 Mb/s down;
+//!   full-state upload 4633 s for 2.5 GB ⇒ ~4.6 Mb/s up), one-way
+//!   ~17 ms.
+//! * Compute servers: 2004-era SCSI disks (~6 ms seek, 40 MB/s);
+//!   image servers: RAID arrays (~4 ms, 60 MB/s).
+//!
+//! Four application scenarios, exactly as §4.2.1 defines them:
+//! `Local`, `LAN`, `WAN` (GVFS proxies + SSH tunnels, no disk cache),
+//! `WAN+C` (client-side proxy disk caching enabled).
+
+use std::sync::Arc;
+
+use gvfs::{
+    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, FileChannelServer,
+    IdentityMapper, Middleware, Proxy, ProxyConfig, WritePolicy,
+};
+use nfs3::{KernelClient, KernelConfig, MountServer, Nfs3Client, Nfs3Server, ServerConfig};
+use oncrpc::{Dispatcher, OpaqueAuth, RpcChannel, RpcClient, WireSpec};
+use parking_lot::Mutex;
+use simnet::{Env, Link, SimDuration, SimHandle, Simulation};
+use vfs::{Disk, DiskModel, FileIo, Fs, LocalIo, LocalIoConfig, MountTable};
+use vmm::{install_image, VmConfig, VmImageSpec, VmMonitor};
+use workloads::Workload;
+
+/// Network calibration.
+#[derive(Debug, Clone, Copy)]
+pub struct NetParams {
+    /// WAN server→client bandwidth (Mb/s).
+    pub wan_down_mbps: f64,
+    /// WAN client→server bandwidth (Mb/s).
+    pub wan_up_mbps: f64,
+    /// WAN one-way latency.
+    pub wan_oneway: SimDuration,
+    /// LAN bandwidth (Mb/s).
+    pub lan_mbps: f64,
+    /// LAN one-way latency.
+    pub lan_oneway: SimDuration,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            wan_down_mbps: 14.0,
+            wan_up_mbps: 6.0,
+            wan_oneway: SimDuration::from_millis(17),
+            lan_mbps: 100.0,
+            lan_oneway: SimDuration::from_micros(200),
+        }
+    }
+}
+
+/// The four application-execution scenarios of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppScenario {
+    /// VM state on the compute server's local disk.
+    Local,
+    /// NFS mount from the LAN image server through GVFS proxies/tunnels.
+    Lan,
+    /// Same over the WAN.
+    Wan,
+    /// WAN plus client-side proxy disk caching.
+    WanC,
+}
+
+impl AppScenario {
+    /// Paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppScenario::Local => "Local",
+            AppScenario::Lan => "LAN",
+            AppScenario::Wan => "WAN",
+            AppScenario::WanC => "WAN+C",
+        }
+    }
+
+    /// All four, in the paper's order.
+    pub fn all() -> [AppScenario; 4] {
+        [
+            AppScenario::Local,
+            AppScenario::Lan,
+            AppScenario::Wan,
+            AppScenario::WanC,
+        ]
+    }
+}
+
+/// Harness tuning (things the paper fixes in §4.1).
+#[derive(Debug, Clone, Copy)]
+pub struct AppParams {
+    /// Network calibration.
+    pub net: NetParams,
+    /// Kernel NFS client buffer cache (limited memory capacity is the
+    /// motivation for proxy *disk* caches).
+    pub kernel_cache_bytes: u64,
+    /// Proxy disk cache capacity (paper: 8 GB, 512 banks, 16-way).
+    pub proxy_cache_bytes: u64,
+    /// Server memory cache.
+    pub server_cache_bytes: u64,
+}
+
+impl Default for AppParams {
+    fn default() -> Self {
+        AppParams {
+            net: NetParams::default(),
+            kernel_cache_bytes: 96 << 20,
+            proxy_cache_bytes: 8 << 30,
+            server_cache_bytes: 768 << 20,
+        }
+    }
+}
+
+/// Server machine: kernel NFS server + MOUNT + file-channel program on a
+/// loopback endpoint, fronted by a server-side GVFS proxy (identity
+/// mapping) listening on the external link pair.
+pub struct ServerSide {
+    /// Image-server filesystem (pre-populate via this).
+    pub fs: Arc<Mutex<Fs>>,
+    /// Kernel NFS server.
+    pub server: Arc<Nfs3Server>,
+    /// Identity registry of the server-side proxy.
+    pub mapper: Arc<IdentityMapper>,
+    /// Channel into the machine from the external network.
+    pub channel: RpcChannel,
+    /// Request-direction external link.
+    pub up: Link,
+    /// Reply-direction external link.
+    pub down: Link,
+}
+
+/// Build a server machine reachable over `(up, down)` with SSH tunnelled
+/// wire costs. When `proxied` is false, the external endpoint serves the
+/// kernel server directly (pure-NFS baseline, AUTH_SYS) — no GVFS at all.
+pub fn build_server(
+    h: &SimHandle,
+    up: Link,
+    down: Link,
+    server_cache_bytes: u64,
+    proxied: bool,
+) -> ServerSide {
+    let disk = Disk::new(h, DiskModel::server_array());
+    let (fs, server) = Nfs3Server::with_new_fs(
+        h,
+        disk.clone(),
+        ServerConfig {
+            memory_cache_bytes: server_cache_bytes,
+            ..ServerConfig::default()
+        },
+    );
+    let mount = MountServer::new(fs.clone(), vec!["/".to_string(), "/exports".to_string()]);
+    // The paper's image servers are dual-processor nodes: two gzip
+    // streams at a time.
+    let cpu = simnet::Resource::new(h, 2);
+    let chan = FileChannelServer::with_cpu(fs.clone(), disk, CodecModel::default(), true, cpu);
+    let dispatcher = Dispatcher::new()
+        .register(server.clone())
+        .register(mount)
+        .register(chan)
+        .into_handler();
+    let mapper = Arc::new(IdentityMapper::new());
+    let wire = if proxied {
+        WireSpec::ssh_tunnel(50e6)
+    } else {
+        WireSpec::plain()
+    };
+    let channel = if proxied {
+        // Loopback endpoint for the kernel server.
+        let lo_up = Link::new(h, "srv-lo-up", 1e9, SimDuration::from_micros(20));
+        let lo_down = Link::new(h, "srv-lo-down", 1e9, SimDuration::from_micros(20));
+        let lo = oncrpc::endpoint(h, lo_up, lo_down, WireSpec::plain());
+        lo.listener.serve("nfsd", dispatcher, 8);
+        let srv_proxy = Proxy::new(
+            ProxyConfig {
+                name: "server-proxy".into(),
+                write_policy: WritePolicy::WriteThrough,
+                meta_handling: false,
+                per_op_cpu: SimDuration::from_micros(40),
+                read_only_share: false,
+            },
+            RpcClient::new(lo.channel, OpaqueAuth::none()),
+        )
+        .with_identity(mapper.clone())
+        .into_handler();
+        let ext = oncrpc::endpoint(h, up.clone(), down.clone(), wire);
+        ext.listener.serve("server-proxy", srv_proxy, 16);
+        ext.channel
+    } else {
+        let ext = oncrpc::endpoint(h, up.clone(), down.clone(), wire);
+        ext.listener.serve("nfsd", dispatcher, 8);
+        ext.channel
+    };
+    ServerSide {
+        fs,
+        server,
+        mapper,
+        channel,
+        up,
+        down,
+    }
+}
+
+/// Client-side proxy options.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientProxyOptions {
+    /// Attach the block-based disk cache.
+    pub block_cache: bool,
+    /// Attach the file cache + channel client (meta-data handling).
+    pub file_channel: bool,
+    /// Write policy when caching.
+    pub write_policy: WritePolicy,
+    /// Block cache capacity.
+    pub cache_bytes: u64,
+}
+
+/// Client machine half: optional client-side proxy between the kernel
+/// client and `upstream`.
+pub struct ClientSide {
+    /// The proxy, when one was configured.
+    pub proxy: Option<Arc<Proxy>>,
+    /// Channel the kernel client mounts through.
+    pub channel: RpcChannel,
+    /// The local cache disk (shared with the compute host's local I/O in
+    /// the cloning scenarios).
+    pub cache_disk: Disk,
+}
+
+/// Build the client half on a compute server: a loopback endpoint served
+/// by a client-side proxy that forwards to `upstream` with `cred`.
+/// `options: None` means no proxy at all — the kernel client mounts the
+/// upstream channel directly.
+pub fn build_client(
+    h: &SimHandle,
+    upstream: RpcChannel,
+    cred: OpaqueAuth,
+    options: Option<ClientProxyOptions>,
+) -> ClientSide {
+    let cache_disk = Disk::new(h, DiskModel::scsi_2004());
+    let opts = match options {
+        Some(o) => o,
+        None => {
+            return ClientSide {
+                proxy: None,
+                channel: upstream,
+                cache_disk,
+            }
+        }
+    };
+    let upstream_client = RpcClient::new(upstream, cred);
+    let mut proxy = Proxy::new(
+        ProxyConfig {
+            name: "client-proxy".into(),
+            write_policy: opts.write_policy,
+            meta_handling: opts.file_channel,
+            per_op_cpu: SimDuration::from_micros(40),
+            read_only_share: false,
+        },
+        upstream_client.clone(),
+    );
+    if opts.block_cache {
+        proxy = proxy.with_block_cache(Arc::new(BlockCache::new(
+            cache_disk.clone(),
+            BlockCacheConfig::with_capacity(opts.cache_bytes, 512, 16, 32 * 1024),
+        )));
+    }
+    if opts.file_channel {
+        proxy = proxy.with_file_channel(
+            Arc::new(FileCache::new(cache_disk.clone(), opts.cache_bytes)),
+            ChannelClient::new(upstream_client, CodecModel::default()),
+        );
+    }
+    let proxy = proxy.into_handler();
+    let lo_up = Link::new(h, "cl-lo-up", 1e9, SimDuration::from_micros(20));
+    let lo_down = Link::new(h, "cl-lo-down", 1e9, SimDuration::from_micros(20));
+    let ep = oncrpc::endpoint(h, lo_up, lo_down, WireSpec::plain());
+    ep.listener.serve("client-proxy", proxy.clone(), 8);
+    ClientSide {
+        proxy: Some(proxy),
+        channel: ep.channel,
+        cache_disk,
+    }
+}
+
+/// Per-phase timing of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// (phase name, seconds).
+    pub phases: Vec<(String, f64)>,
+    /// Sum of phases.
+    pub total: f64,
+}
+
+/// Result of an application scenario.
+#[derive(Debug, Clone)]
+pub struct AppResult {
+    /// Scenario label.
+    pub scenario: String,
+    /// One entry per consecutive run (run 0 cold, later runs warm).
+    pub runs: Vec<AppRun>,
+    /// Time to flush write-back contents after the last run, when a
+    /// caching proxy was present.
+    pub flush_secs: Option<f64>,
+}
+
+/// Execute `workload` `runs` consecutive times under `kind`, returning
+/// per-phase times. Cold caches on run 0 (fresh everything); later runs
+/// keep every cache warm, like the paper's consecutive kernel-compile
+/// runs.
+pub fn run_app_scenario(
+    kind: AppScenario,
+    workload: &Workload,
+    params: &AppParams,
+    runs: usize,
+) -> AppResult {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let image = VmImageSpec::app_benchmark("appvm");
+    let results: Arc<Mutex<AppResult>> = Arc::new(Mutex::new(AppResult {
+        scenario: kind.label().to_string(),
+        runs: Vec::new(),
+        flush_secs: None,
+    }));
+
+    let kcfg = KernelConfig {
+        cache_bytes: params.kernel_cache_bytes,
+        ..KernelConfig::default()
+    };
+
+    match kind {
+        AppScenario::Local => {
+            let local = LocalIo::new(
+                Disk::new(&h, DiskModel::scsi_2004()),
+                LocalIoConfig {
+                    cache_bytes: params.kernel_cache_bytes,
+                    ..LocalIoConfig::default()
+                },
+                0,
+            );
+            local.with_fs(|fs| {
+                let root = fs.root();
+                let dir = fs.mkdir(root, "vm", 0o755, 0).unwrap();
+                install_image(fs, dir, &image).unwrap();
+            });
+            let table = MountTable::new().mount("/", local);
+            let wl = workload.clone();
+            let out = results.clone();
+            sim.spawn("driver", move |env: Env| {
+                let vm = VmMonitor::attach(&env, &table, "/vm", image, VmConfig::default(), None)
+                    .unwrap();
+                drive_runs(&env, &vm, &wl, runs, &out, || {}, None);
+            });
+        }
+        AppScenario::Lan | AppScenario::Wan | AppScenario::WanC => {
+            let (up, down) = match kind {
+                AppScenario::Lan => (
+                    Link::from_mbps(&h, "lan-up", params.net.lan_mbps, params.net.lan_oneway),
+                    Link::from_mbps(&h, "lan-down", params.net.lan_mbps, params.net.lan_oneway),
+                ),
+                _ => (
+                    Link::from_mbps(&h, "wan-up", params.net.wan_up_mbps, params.net.wan_oneway),
+                    Link::from_mbps(
+                        &h,
+                        "wan-down",
+                        params.net.wan_down_mbps,
+                        params.net.wan_oneway,
+                    ),
+                ),
+            };
+            let server = build_server(&h, up, down, params.server_cache_bytes, true);
+            {
+                let mut fs = server.fs.lock();
+                let root = fs.root();
+                let dir = fs.mkdir(root, "exports", 0o755, 0).unwrap();
+                install_image(&mut fs, dir, &image).unwrap();
+            }
+            let mw = Middleware::new();
+            let (_sid, cred) = mw.establish_session(&server.mapper, "griduser", 0, u64::MAX / 2);
+            let opts = if kind == AppScenario::WanC {
+                Some(ClientProxyOptions {
+                    block_cache: true,
+                    file_channel: true,
+                    write_policy: WritePolicy::WriteBack,
+                    cache_bytes: params.proxy_cache_bytes,
+                })
+            } else {
+                // LAN/WAN: proxies forward through tunnels but no disk
+                // cache (paper's plain GVFS data path).
+                None
+            };
+            let client = build_client(&h, server.channel.clone(), cred.clone(), opts);
+            let proxy = client.proxy.clone();
+            let wl = workload.clone();
+            let out = results.clone();
+            sim.spawn("driver", move |env: Env| {
+                let nfs = Nfs3Client::new(RpcClient::new(client.channel.clone(), cred.clone()));
+                let kc = KernelClient::mount(&env, nfs, "/exports", kcfg).unwrap();
+                let table = MountTable::new().mount("/mnt/gvfs", kc.clone());
+                let vm = VmMonitor::attach(
+                    &env,
+                    &table,
+                    "/mnt/gvfs",
+                    image,
+                    VmConfig::default(),
+                    None,
+                )
+                .unwrap();
+                let flush: Option<(Arc<Proxy>, OpaqueAuth)> =
+                    proxy.map(|p| (p, cred.clone()));
+                drive_runs(&env, &vm, &wl, runs, &out, move || {}, flush);
+            });
+        }
+    }
+
+    sim.run();
+    Arc::try_unwrap(results)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone())
+}
+
+/// Shared run loop: cold run 0, warm runs after; flush timing at the end.
+fn drive_runs(
+    env: &Env,
+    vm: &VmMonitor,
+    wl: &Workload,
+    runs: usize,
+    out: &Arc<Mutex<AppResult>>,
+    _between: impl Fn(),
+    flush: Option<(Arc<Proxy>, OpaqueAuth)>,
+) {
+    for _run in 0..runs {
+        let mut phases = Vec::with_capacity(wl.phases.len());
+        let run_start = env.now();
+        for phase in &wl.phases {
+            let t0 = env.now();
+            vm.run(env, &phase.ops).unwrap();
+            // Guest periodic sync: write costs belong to their phase.
+            vm.sync_disk(env).unwrap();
+            phases.push((phase.name.clone(), (env.now() - t0).as_secs_f64()));
+        }
+        let total = (env.now() - run_start).as_secs_f64();
+        out.lock().runs.push(AppRun { phases, total });
+    }
+    vm.shutdown(env).unwrap();
+    if let Some((proxy, cred)) = flush {
+        let t0 = env.now();
+        proxy.flush(env, &cred);
+        out.lock().flush_secs = Some((env.now() - t0).as_secs_f64());
+    }
+}
+
+#[allow(unused)]
+fn assert_impls() {
+    fn takes_fileio(_: &dyn FileIo) {}
+}

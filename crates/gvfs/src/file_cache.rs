@@ -1,0 +1,322 @@
+//! The proxy's whole-file disk cache (the "file cache" of Figure 2).
+//!
+//! Files arrive here through the meta-data-driven file channel
+//! (compress → remote copy → uncompress → read locally); once a file is
+//! resident, every request against it is satisfied from the local disk.
+//! Together with the block cache this forms the paper's *heterogeneous
+//! disk caching* scheme. The file cache also supports write-back: dirty
+//! files are re-compressed and uploaded on flush.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use simnet::Env;
+use vfs::{Disk, SparseBytes};
+
+/// Identity of a cached file (fileid + generation from the NFS handle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileKey {
+    /// Inode number.
+    pub fileid: u64,
+    /// Handle generation.
+    pub generation: u64,
+}
+
+struct CachedFile {
+    data: SparseBytes,
+    size: u64,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// Counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FileCacheStats {
+    /// Read requests satisfied from the file cache.
+    pub read_hits: u64,
+    /// Files installed via the file channel.
+    pub installs: u64,
+    /// Files evicted for capacity.
+    pub evictions: u64,
+}
+
+struct Inner {
+    files: HashMap<FileKey, CachedFile>,
+    bytes: u64,
+    stamp: u64,
+    stats: FileCacheStats,
+}
+
+/// Whole-file cache on the proxy's local disk.
+pub struct FileCache {
+    disk: Disk,
+    capacity_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+impl FileCache {
+    /// Create a file cache with the given capacity on `disk`.
+    pub fn new(disk: Disk, capacity_bytes: u64) -> Self {
+        FileCache {
+            disk,
+            capacity_bytes,
+            inner: Mutex::new(Inner {
+                files: HashMap::new(),
+                bytes: 0,
+                stamp: 0,
+                stats: FileCacheStats::default(),
+            }),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> FileCacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Whether a file is resident.
+    pub fn contains(&self, key: FileKey) -> bool {
+        self.inner.lock().files.contains_key(&key)
+    }
+
+    /// Bytes resident.
+    pub fn bytes_stored(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    /// Install a file's full contents (paying the local-disk write).
+    /// Evicts least-recently-used clean files if over capacity.
+    pub fn install(&self, env: &Env, key: FileKey, contents: &[u8]) {
+        {
+            let mut inner = self.inner.lock();
+            inner.stamp += 1;
+            let stamp = inner.stamp;
+            let mut data = SparseBytes::new();
+            data.write_at(0, contents);
+            let size = contents.len() as u64;
+            if let Some(old) = inner.files.insert(
+                key,
+                CachedFile {
+                    data,
+                    size,
+                    dirty: false,
+                    last_use: stamp,
+                },
+            ) {
+                inner.bytes = inner.bytes.saturating_sub(old.size);
+            }
+            inner.bytes += size;
+            inner.stats.installs += 1;
+            // Capacity: evict LRU clean files (dirty files must be
+            // uploaded first; they are pinned until flushed).
+            while inner.bytes > self.capacity_bytes {
+                let victim = inner
+                    .files
+                    .iter()
+                    .filter(|(k, f)| !f.dirty && **k != key)
+                    .min_by_key(|(_, f)| f.last_use)
+                    .map(|(k, _)| *k);
+                match victim {
+                    Some(k) => {
+                        let f = inner.files.remove(&k).expect("victim exists");
+                        inner.bytes = inner.bytes.saturating_sub(f.size);
+                        inner.stats.evictions += 1;
+                    }
+                    None => break, // everything is dirty or it's just us
+                }
+            }
+        }
+        self.disk.sequential_io(env, contents.len() as u64);
+    }
+
+    /// Read a range from a resident file, paying local-disk time.
+    /// Returns `None` if the file is not resident.
+    pub fn read(&self, env: &Env, key: FileKey, offset: u64, len: u32) -> Option<(Vec<u8>, bool)> {
+        let out = {
+            let mut inner = self.inner.lock();
+            inner.stamp += 1;
+            let stamp = inner.stamp;
+            let f = inner.files.get_mut(&key)?;
+            f.last_use = stamp;
+            let data = f.data.read_range(offset, len as usize);
+            let eof = offset + data.len() as u64 >= f.size;
+            inner.stats.read_hits += 1;
+            Some((data, eof))
+        };
+        if let Some((data, _)) = &out {
+            // Streaming from the local file: positioning amortized across
+            // the whole-file access pattern these reads come from.
+            self.disk.stream_io(env, data.len().max(1) as u64);
+        }
+        out
+    }
+
+    /// Write a range into a resident file, marking it dirty. Returns
+    /// false if the file is not resident.
+    pub fn write(&self, env: &Env, key: FileKey, offset: u64, bytes: &[u8]) -> bool {
+        let ok = {
+            let mut inner = self.inner.lock();
+            inner.stamp += 1;
+            let stamp = inner.stamp;
+            match inner.files.get_mut(&key) {
+                Some(f) => {
+                    f.data.write_at(offset, bytes);
+                    let grew = f.data.len().saturating_sub(f.size);
+                    f.size = f.data.len();
+                    f.dirty = true;
+                    f.last_use = stamp;
+                    if grew > 0 {
+                        inner.bytes += grew;
+                    }
+                    true
+                }
+                None => false,
+            }
+        };
+        if ok {
+            self.disk.stream_io(env, bytes.len().max(1) as u64);
+        }
+        ok
+    }
+
+    /// Full contents of a resident file (for upload), paying the disk
+    /// read; clears the dirty bit.
+    pub fn take_dirty_contents(&self, env: &Env, key: FileKey) -> Option<Vec<u8>> {
+        let data = {
+            let mut inner = self.inner.lock();
+            let f = inner.files.get_mut(&key)?;
+            if !f.dirty {
+                return None;
+            }
+            f.dirty = false;
+            f.data.read_range(0, f.size as usize)
+        };
+        self.disk.sequential_io(env, data.len() as u64);
+        Some(data)
+    }
+
+    /// Keys of dirty files.
+    pub fn dirty_files(&self) -> Vec<FileKey> {
+        let inner = self.inner.lock();
+        let mut v: Vec<FileKey> = inner
+            .files
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(k, _)| *k)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The size of a resident file.
+    pub fn size_of(&self, key: FileKey) -> Option<u64> {
+        self.inner.lock().files.get(&key).map(|f| f.size)
+    }
+
+    /// Drop everything (dirty data must have been flushed).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.files.clear();
+        inner.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{SimDuration, SimHandle, Simulation};
+    use std::sync::Arc;
+    use vfs::DiskModel;
+
+    fn cache(h: &SimHandle, cap: u64) -> Arc<FileCache> {
+        Arc::new(FileCache::new(
+            Disk::new(
+                h,
+                DiskModel {
+                    seek: SimDuration::from_micros(100),
+                    bytes_per_sec: 1e9,
+                },
+            ),
+            cap,
+        ))
+    }
+
+    fn key(n: u64) -> FileKey {
+        FileKey {
+            fileid: n,
+            generation: 1,
+        }
+    }
+
+    #[test]
+    fn install_read_round_trip_with_eof() {
+        let sim = Simulation::new();
+        let c = cache(&sim.handle(), 1 << 20);
+        let cc = c.clone();
+        sim.spawn("t", move |env| {
+            assert!(cc.read(&env, key(1), 0, 10).is_none());
+            cc.install(&env, key(1), b"memory state contents");
+            let (data, eof) = cc.read(&env, key(1), 0, 1024).unwrap();
+            assert_eq!(data, b"memory state contents");
+            assert!(eof);
+            let (mid, eof2) = cc.read(&env, key(1), 7, 5).unwrap();
+            assert_eq!(mid, b"state");
+            assert!(!eof2);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn writes_mark_dirty_and_grow() {
+        let sim = Simulation::new();
+        let c = cache(&sim.handle(), 1 << 20);
+        let cc = c.clone();
+        sim.spawn("t", move |env| {
+            cc.install(&env, key(1), b"0123456789");
+            assert!(cc.write(&env, key(1), 8, b"XYZ"));
+            assert_eq!(cc.size_of(key(1)), Some(11));
+            assert_eq!(cc.dirty_files(), vec![key(1)]);
+            let contents = cc.take_dirty_contents(&env, key(1)).unwrap();
+            assert_eq!(contents, b"01234567XYZ");
+            assert!(cc.dirty_files().is_empty());
+            assert!(cc.take_dirty_contents(&env, key(1)).is_none());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn capacity_evicts_lru_clean_files() {
+        let sim = Simulation::new();
+        let c = cache(&sim.handle(), 2500);
+        let cc = c.clone();
+        sim.spawn("t", move |env| {
+            cc.install(&env, key(1), &[1u8; 1000]);
+            cc.install(&env, key(2), &[2u8; 1000]);
+            // Touch 1 so 2 becomes LRU.
+            cc.read(&env, key(1), 0, 1).unwrap();
+            cc.install(&env, key(3), &[3u8; 1000]);
+            assert!(cc.contains(key(1)));
+            assert!(!cc.contains(key(2)));
+            assert!(cc.contains(key(3)));
+            assert_eq!(cc.stats().evictions, 1);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn dirty_files_are_pinned_against_eviction() {
+        let sim = Simulation::new();
+        let c = cache(&sim.handle(), 2500);
+        let cc = c.clone();
+        sim.spawn("t", move |env| {
+            cc.install(&env, key(1), &[1u8; 1000]);
+            cc.write(&env, key(1), 0, b"dirty");
+            cc.install(&env, key(2), &[2u8; 1000]);
+            cc.install(&env, key(3), &[3u8; 1000]);
+            // Key 2 (clean LRU) went, key 1 stayed despite being older.
+            assert!(cc.contains(key(1)));
+            assert!(!cc.contains(key(2)));
+        });
+        sim.run();
+    }
+}

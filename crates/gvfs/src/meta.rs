@@ -1,0 +1,318 @@
+//! Meta-data handling (paper §3.2.2).
+//!
+//! Grid middleware generates per-file meta-data from application-tailored
+//! knowledge; a GVFS proxy interprets it when the file is accessed:
+//!
+//! * a **zero map** marks which blocks of a (memory state) file are
+//!   all-zero, so the client-side proxy services those reads locally and
+//!   only non-zero blocks cross the WAN;
+//! * **file-channel actions** — `compress`, `remote copy`, `uncompress`,
+//!   `read locally` — switch the transfer of a file that will certainly
+//!   be read in full (e.g. `.vmss` on resume) from block-by-block NFS to
+//!   one compressed stream into the proxy's file cache.
+//!
+//! The meta-data file lives in the same directory as its subject, under
+//! the special name [`meta_name_for`], exactly as the paper describes.
+
+/// Special file-name prefix for meta-data files.
+pub const META_PREFIX: &str = ".gvfs_meta.";
+
+/// The meta-data file name for a subject file name.
+pub fn meta_name_for(name: &str) -> String {
+    format!("{META_PREFIX}{name}")
+}
+
+/// Whether a name denotes a meta-data file.
+pub fn is_meta_name(name: &str) -> bool {
+    name.starts_with(META_PREFIX)
+}
+
+/// A bitmap of all-zero blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZeroMap {
+    /// Block granularity the map was computed at.
+    pub block_size: u32,
+    /// Number of blocks in the file.
+    pub nblocks: u64,
+    bits: Vec<u64>,
+}
+
+impl ZeroMap {
+    /// Create an all-nonzero map for `nblocks` blocks.
+    pub fn new(block_size: u32, nblocks: u64) -> Self {
+        assert!(block_size > 0);
+        ZeroMap {
+            block_size,
+            nblocks,
+            bits: vec![0; nblocks.div_ceil(64) as usize],
+        }
+    }
+
+    /// Mark a block as all-zero.
+    pub fn set_zero(&mut self, block: u64) {
+        assert!(block < self.nblocks);
+        self.bits[(block / 64) as usize] |= 1 << (block % 64);
+    }
+
+    /// Whether a block is known all-zero. Out-of-range blocks are "zero"
+    /// (reads past EOF return nothing).
+    pub fn is_zero(&self, block: u64) -> bool {
+        if block >= self.nblocks {
+            return true;
+        }
+        self.bits[(block / 64) as usize] & (1 << (block % 64)) != 0
+    }
+
+    /// Whether an entire byte range is known zero.
+    pub fn range_is_zero(&self, offset: u64, len: u32) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let bs = self.block_size as u64;
+        let first = offset / bs;
+        let last = (offset + len as u64 - 1) / bs;
+        (first..=last).all(|b| self.is_zero(b))
+    }
+
+    /// Number of blocks marked zero.
+    pub fn zero_count(&self) -> u64 {
+        let full = self.bits.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+        full
+    }
+}
+
+/// File-channel action list. The order is fixed by the paper: compress on
+/// the server, remote-copy, uncompress into the file cache, then read
+/// locally; we keep a flag for the compress step so the benchmarks can
+/// ablate it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileChannelSpec {
+    /// Compress before the copy (GZIP in the paper, [`crate::codec`] here).
+    pub compress: bool,
+    /// Write-back uploads through the channel too.
+    pub writeback: bool,
+}
+
+/// Parsed meta-data for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaFile {
+    /// Subject file size when the meta-data was generated.
+    pub file_size: u64,
+    /// Zero-block map, if generated.
+    pub zero_map: Option<ZeroMap>,
+    /// File-channel actions, if specified.
+    pub channel: Option<FileChannelSpec>,
+}
+
+impl MetaFile {
+    /// Serialize to the on-disk representation.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"GVFSMETA1\n");
+        out.extend_from_slice(&self.file_size.to_be_bytes());
+        match &self.channel {
+            Some(c) => {
+                out.push(1);
+                out.push(c.compress as u8);
+                out.push(c.writeback as u8);
+            }
+            None => out.push(0),
+        }
+        match &self.zero_map {
+            Some(zm) => {
+                out.push(1);
+                out.extend_from_slice(&zm.block_size.to_be_bytes());
+                out.extend_from_slice(&zm.nblocks.to_be_bytes());
+                for w in &zm.bits {
+                    out.extend_from_slice(&w.to_be_bytes());
+                }
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Parse the on-disk representation.
+    pub fn from_bytes(data: &[u8]) -> Option<MetaFile> {
+        let mut p = 0usize;
+        let take = |p: &mut usize, n: usize| -> Option<&[u8]> {
+            if data.len() < *p + n {
+                return None;
+            }
+            let s = &data[*p..*p + n];
+            *p += n;
+            Some(s)
+        };
+        if take(&mut p, 10)? != b"GVFSMETA1\n" {
+            return None;
+        }
+        let file_size = u64::from_be_bytes(take(&mut p, 8)?.try_into().ok()?);
+        let channel = match take(&mut p, 1)?[0] {
+            0 => None,
+            1 => {
+                let flags = take(&mut p, 2)?;
+                Some(FileChannelSpec {
+                    compress: flags[0] != 0,
+                    writeback: flags[1] != 0,
+                })
+            }
+            _ => return None,
+        };
+        let zero_map = match take(&mut p, 1)?[0] {
+            0 => None,
+            1 => {
+                let block_size = u32::from_be_bytes(take(&mut p, 4)?.try_into().ok()?);
+                let nblocks = u64::from_be_bytes(take(&mut p, 8)?.try_into().ok()?);
+                if block_size == 0 || nblocks > (1 << 40) {
+                    return None;
+                }
+                let nwords = nblocks.div_ceil(64) as usize;
+                let mut bits = Vec::with_capacity(nwords);
+                for _ in 0..nwords {
+                    bits.push(u64::from_be_bytes(take(&mut p, 8)?.try_into().ok()?));
+                }
+                Some(ZeroMap {
+                    block_size,
+                    nblocks,
+                    bits,
+                })
+            }
+            _ => return None,
+        };
+        if p != data.len() {
+            return None;
+        }
+        Some(MetaFile {
+            file_size,
+            zero_map,
+            channel,
+        })
+    }
+}
+
+/// Middleware-side generator: scan a file in `fs` and produce a zero map
+/// at `block_size` granularity. This is the paper's pre-processing of the
+/// memory state file on the image server.
+pub fn generate_zero_map(fs: &vfs::Fs, h: vfs::Handle, block_size: u32) -> vfs::FsResult<ZeroMap> {
+    let size = fs.size(h)?;
+    let nblocks = size.div_ceil(block_size as u64);
+    let mut zm = ZeroMap::new(block_size, nblocks);
+    for b in 0..nblocks {
+        let off = b * block_size as u64;
+        let len = ((size - off).min(block_size as u64)) as usize;
+        if fs.is_zero_range(h, off, len)? {
+            zm.set_zero(b);
+        }
+    }
+    Ok(zm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::Fs;
+
+    #[test]
+    fn meta_names() {
+        assert_eq!(meta_name_for("vm.vmss"), ".gvfs_meta.vm.vmss");
+        assert!(is_meta_name(".gvfs_meta.vm.vmss"));
+        assert!(!is_meta_name("vm.vmss"));
+    }
+
+    #[test]
+    fn zero_map_bit_operations() {
+        let mut zm = ZeroMap::new(4096, 200);
+        assert!(!zm.is_zero(0));
+        zm.set_zero(0);
+        zm.set_zero(64);
+        zm.set_zero(199);
+        assert!(zm.is_zero(0));
+        assert!(zm.is_zero(64));
+        assert!(zm.is_zero(199));
+        assert!(!zm.is_zero(1));
+        assert!(zm.is_zero(1000)); // out of range = past EOF = zero
+        assert_eq!(zm.zero_count(), 3);
+    }
+
+    #[test]
+    fn range_is_zero_spans_blocks() {
+        let mut zm = ZeroMap::new(100, 10);
+        for b in 2..=5 {
+            zm.set_zero(b);
+        }
+        assert!(zm.range_is_zero(200, 400)); // blocks 2..=5
+        assert!(!zm.range_is_zero(150, 100)); // touches block 1
+        assert!(zm.range_is_zero(500, 0));
+    }
+
+    #[test]
+    fn meta_file_round_trips_all_combinations() {
+        let mut zm = ZeroMap::new(32768, 100);
+        zm.set_zero(7);
+        zm.set_zero(99);
+        for meta in [
+            MetaFile {
+                file_size: 335_544_320,
+                zero_map: Some(zm.clone()),
+                channel: Some(FileChannelSpec {
+                    compress: true,
+                    writeback: false,
+                }),
+            },
+            MetaFile {
+                file_size: 0,
+                zero_map: None,
+                channel: None,
+            },
+            MetaFile {
+                file_size: 5,
+                zero_map: None,
+                channel: Some(FileChannelSpec {
+                    compress: false,
+                    writeback: true,
+                }),
+            },
+            MetaFile {
+                file_size: 1 << 31,
+                zero_map: Some(zm.clone()),
+                channel: None,
+            },
+        ] {
+            let bytes = meta.to_bytes();
+            assert_eq!(MetaFile::from_bytes(&bytes), Some(meta));
+        }
+    }
+
+    #[test]
+    fn malformed_meta_is_rejected() {
+        assert_eq!(MetaFile::from_bytes(b""), None);
+        assert_eq!(MetaFile::from_bytes(b"GVFSMETA1\n"), None);
+        let good = MetaFile {
+            file_size: 10,
+            zero_map: None,
+            channel: None,
+        }
+        .to_bytes();
+        assert_eq!(MetaFile::from_bytes(&good[..good.len() - 1]), None);
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(MetaFile::from_bytes(&trailing), None);
+    }
+
+    #[test]
+    fn generate_zero_map_matches_file_contents() {
+        let mut fs = Fs::new(0);
+        let root = fs.root();
+        let f = fs.create(root, "mem.vmss", 0o644, 0).unwrap();
+        // 10 blocks of 4 KB; blocks 3 and 7 have data.
+        fs.setattr(f, Some(40_960), None, 0).unwrap();
+        fs.write(f, 3 * 4096 + 17, &[9u8; 100], 0).unwrap();
+        fs.write(f, 7 * 4096, &[1u8; 4096], 0).unwrap();
+        let zm = generate_zero_map(&fs, f, 4096).unwrap();
+        assert_eq!(zm.nblocks, 10);
+        for b in 0..10u64 {
+            assert_eq!(zm.is_zero(b), b != 3 && b != 7, "block {b}");
+        }
+        assert_eq!(zm.zero_count(), 8);
+    }
+}

@@ -1,0 +1,931 @@
+//! The GVFS user-level file system proxy.
+//!
+//! A proxy "behaves both as a server (receiving RPC calls) and a client
+//! (issuing RPC calls)" (paper §3.2.1): it accepts NFS RPC traffic from
+//! the kernel client below it and forwards misses to the next hop above
+//! it — another proxy or the kernel NFS server. Because hops compose,
+//! arbitrary chains form: kernel client → client-side proxy (disk caches,
+//! meta-data) → LAN second-level cache proxy → server-side proxy
+//! (identity mapping) → kernel server.
+//!
+//! Per-session proxies are dynamically created and configured
+//! *per user / per application*: cache size, write policy and meta-data
+//! handling are all [`ProxyConfig`] fields, which is the paper's central
+//! argument for user-level (rather than kernel) extensions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use oncrpc::msg::{AcceptStat, CallHeader, RejectStat, ReplyBody, RpcMessage};
+use oncrpc::transport::RpcHandler;
+use oncrpc::{ProgramError, RpcClient, RpcError};
+use parking_lot::Mutex;
+use simnet::{Env, SimDuration};
+use vfs::Handle;
+use xdr::{Decode, Decoder, Encode, Encoder};
+
+use nfs3::args::{ReadArgs, WriteArgs};
+use nfs3::proto::{
+    proc3, DirOpArgs3, Fattr3, Fh3, PostOpAttr, StableHow, Status, WccData, NFS_PROGRAM, NFS_V3,
+};
+
+use crate::block_cache::{BlockCache, Tag, WritePolicy};
+use crate::channel::{chanproc, ChannelClient, CHANNEL_PROGRAM, CHANNEL_V1};
+use crate::file_cache::{FileCache, FileKey};
+use crate::identity::IdentityMapper;
+use crate::meta::{is_meta_name, meta_name_for, MetaFile};
+
+/// Proxy configuration — middleware sets these per user / per application.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Display name for simulation process labels.
+    pub name: String,
+    /// Write policy for the block cache.
+    pub write_policy: WritePolicy,
+    /// Interpret meta-data files (zero maps, file channel).
+    pub meta_handling: bool,
+    /// CPU cost per proxied call.
+    pub per_op_cpu: SimDuration,
+    /// When true the block cache is treated as shared read-only: absorbed
+    /// writes are disabled regardless of policy (paper: "different
+    /// proxies [may] share disk caches for read-only data").
+    pub read_only_share: bool,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            name: "gvfs-proxy".into(),
+            write_policy: WritePolicy::WriteBack,
+            meta_handling: true,
+            per_op_cpu: SimDuration::from_micros(40),
+            read_only_share: false,
+        }
+    }
+}
+
+/// Proxy activity counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ProxyStats {
+    /// Calls handled.
+    pub calls: u64,
+    /// NFS READs seen.
+    pub reads: u64,
+    /// NFS WRITEs seen.
+    pub writes: u64,
+    /// Calls forwarded upstream.
+    pub forwarded: u64,
+    /// READs satisfied from the zero map without any upstream traffic.
+    pub zero_filtered: u64,
+    /// READs served from the file cache.
+    pub file_cache_reads: u64,
+    /// Whole files fetched through the file channel.
+    pub channel_fetches: u64,
+    /// Compressed bytes the channel moved (download direction).
+    pub channel_wire_bytes: u64,
+    /// WRITEs absorbed by write-back caching.
+    pub writes_absorbed: u64,
+    /// Blocks pushed upstream by flush or dirty eviction.
+    pub blocks_written_back: u64,
+}
+
+/// Report from a middleware-driven flush.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Dirty blocks written upstream.
+    pub blocks: u64,
+    /// Bytes written upstream (block path).
+    pub block_bytes: u64,
+    /// Dirty whole files uploaded through the channel.
+    pub files: u64,
+    /// Bytes uploaded on the wire (channel path, post-compression).
+    pub file_wire_bytes: u64,
+}
+
+struct ProxyState {
+    meta: HashMap<FileKey, Option<Arc<MetaFile>>>,
+    sizes: HashMap<FileKey, u64>,
+    /// Single-flight guard: file-channel fetches in progress. Concurrent
+    /// READ misses on the same file (the kernel client's parallel read
+    /// workers) must trigger ONE whole-file transfer, with the rest
+    /// blocking until the file cache is populated.
+    inflight_fetch: HashMap<FileKey, simnet::Signal>,
+    /// Cached file-channel FETCH replies (results bytes), for second-level
+    /// proxies serving repeated clonings on a LAN.
+    chan_replies: HashMap<FileKey, Vec<u8>>,
+    stats: ProxyStats,
+}
+
+/// A GVFS proxy instance. Implements [`RpcHandler`], so it plugs directly
+/// into an [`oncrpc::Listener`].
+pub struct Proxy {
+    cfg: ProxyConfig,
+    upstream: RpcClient,
+    chan: Option<ChannelClient>,
+    block_cache: Option<Arc<BlockCache>>,
+    file_cache: Option<Arc<FileCache>>,
+    identity: Option<Arc<IdentityMapper>>,
+    state: Mutex<ProxyState>,
+}
+
+fn key_of(h: Handle) -> FileKey {
+    FileKey {
+        fileid: h.fileid,
+        generation: h.generation,
+    }
+}
+
+impl Proxy {
+    /// Build a proxy forwarding to `upstream`.
+    pub fn new(cfg: ProxyConfig, upstream: RpcClient) -> Self {
+        Proxy {
+            cfg,
+            upstream,
+            chan: None,
+            block_cache: None,
+            file_cache: None,
+            identity: None,
+            state: Mutex::new(ProxyState {
+                meta: HashMap::new(),
+                sizes: HashMap::new(),
+                inflight_fetch: HashMap::new(),
+                chan_replies: HashMap::new(),
+                stats: ProxyStats::default(),
+            }),
+        }
+    }
+
+    /// Attach a block-based disk cache.
+    pub fn with_block_cache(mut self, cache: Arc<BlockCache>) -> Self {
+        self.block_cache = Some(cache);
+        self
+    }
+
+    /// Attach a file cache and the channel client used to fill it.
+    pub fn with_file_channel(mut self, cache: Arc<FileCache>, chan: ChannelClient) -> Self {
+        self.file_cache = Some(cache);
+        self.chan = Some(chan);
+        self
+    }
+
+    /// Attach identity mapping (server-side proxies).
+    pub fn with_identity(mut self, mapper: Arc<IdentityMapper>) -> Self {
+        self.identity = Some(mapper);
+        self
+    }
+
+    /// Finalize into a handler for an RPC listener.
+    pub fn into_handler(self) -> Arc<Proxy> {
+        Arc::new(self)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ProxyStats {
+        self.state.lock().stats
+    }
+
+    /// Reset counters.
+    pub fn reset_stats(&self) {
+        self.state.lock().stats = ProxyStats::default();
+    }
+
+    /// The attached block cache, if any.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.block_cache.as_ref()
+    }
+
+    /// The attached file cache, if any.
+    pub fn file_cache(&self) -> Option<&Arc<FileCache>> {
+        self.file_cache.as_ref()
+    }
+
+    // -- forwarding ---------------------------------------------------------
+
+    /// Forward a call upstream and wrap the outcome for the downstream xid.
+    fn forward(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &oncrpc::OpaqueAuth,
+        prog: u32,
+        vers: u32,
+        proc: u32,
+        args: Vec<u8>,
+    ) -> RpcMessage {
+        self.state.lock().stats.forwarded += 1;
+        let client = self.upstream.with_cred(cred.clone());
+        match client.call(env, prog, vers, proc, args) {
+            Ok(results) => RpcMessage::success(xid, results),
+            Err(e) => Self::error_reply(xid, e),
+        }
+    }
+
+    fn error_reply(xid: u32, e: RpcError) -> RpcMessage {
+        match e {
+            RpcError::Accept(stat) => RpcMessage::accept_error(xid, stat),
+            RpcError::Denied(stat) => RpcMessage::denied(xid, stat),
+            _ => RpcMessage::accept_error(xid, AcceptStat::SystemErr),
+        }
+    }
+
+    // -- meta-data ----------------------------------------------------------
+
+    /// On a successful LOOKUP of `name`, discover and load the associated
+    /// meta-data file (paper: "the meta-data file is stored in the same
+    /// directory ... and has a special filename so that it can be easily
+    /// looked up").
+    fn discover_meta(
+        &self,
+        env: &Env,
+        cred: &oncrpc::OpaqueAuth,
+        dir: Handle,
+        name: &str,
+        subject: Handle,
+    ) {
+        if !self.cfg.meta_handling || is_meta_name(name) {
+            return;
+        }
+        let key = key_of(subject);
+        if self.state.lock().meta.contains_key(&key) {
+            return;
+        }
+        let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
+        #[cfg(feature = "debug-trace")]
+        eprintln!("[gvfs] meta discovery for {name}");
+        let meta = (|| -> Option<Arc<MetaFile>> {
+            let (meta_fh, attr) = nfs.lookup(env, dir, &meta_name_for(name)).ok()?;
+            let size = attr.map(|a| a.size).unwrap_or(0);
+            let mut contents = Vec::with_capacity(size as usize);
+            let mut off = 0u64;
+            loop {
+                let r = nfs.read(env, meta_fh, off, nfs3::MAX_BLOCK).ok()?;
+                off += r.data.len() as u64;
+                let done = r.eof || r.data.is_empty();
+                contents.extend_from_slice(&r.data);
+                if done {
+                    break;
+                }
+            }
+            MetaFile::from_bytes(&contents).map(Arc::new)
+        })();
+        #[cfg(feature = "debug-trace")]
+        eprintln!("[gvfs] meta for {name}: {}", meta.is_some());
+        self.state.lock().meta.insert(key, meta);
+    }
+
+    fn meta_for(&self, key: FileKey) -> Option<Arc<MetaFile>> {
+        self.state.lock().meta.get(&key).cloned().flatten()
+    }
+
+    /// Best known size of a file: local override (absorbed writes), then
+    /// meta-data, then unknown.
+    fn known_size(&self, key: FileKey) -> Option<u64> {
+        let st = self.state.lock();
+        if let Some(s) = st.sizes.get(&key) {
+            return Some(*s);
+        }
+        if let Some(Some(m)) = st.meta.get(&key) {
+            return Some(m.file_size);
+        }
+        drop(st);
+        self.file_cache
+            .as_ref()
+            .and_then(|fc| fc.size_of(key))
+    }
+
+    fn bump_size(&self, key: FileKey, end: u64) {
+        let mut st = self.state.lock();
+        let e = st.sizes.entry(key).or_insert(0);
+        *e = (*e).max(end);
+    }
+
+    // -- READ ---------------------------------------------------------------
+
+    fn read_reply(xid: u32, data: Vec<u8>, eof: bool) -> RpcMessage {
+        let mut enc = Encoder::new();
+        enc.put_u32(Status::Ok.as_u32());
+        PostOpAttr(None).encode(&mut enc);
+        enc.put_u32(data.len() as u32);
+        enc.put_bool(eof);
+        enc.put_opaque_var(&data);
+        RpcMessage::success(xid, enc.into_bytes())
+    }
+
+    fn handle_read(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &oncrpc::OpaqueAuth,
+        args: Vec<u8>,
+    ) -> RpcMessage {
+        let parsed: Result<ReadArgs, _> = xdr::from_bytes(&args);
+        let a = match parsed {
+            Ok(a) => a,
+            Err(_) => return self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::READ, args),
+        };
+        self.state.lock().stats.reads += 1;
+        let key = key_of(a.file.0);
+
+        // 1. File cache ("read locally" of an installed file).
+        if let Some(fc) = &self.file_cache {
+            if let Some((data, eof)) = fc.read(env, key, a.offset, a.count) {
+                self.state.lock().stats.file_cache_reads += 1;
+                return Self::read_reply(xid, data, eof);
+            }
+        }
+
+        let meta = if self.cfg.meta_handling {
+            self.meta_for(key)
+        } else {
+            None
+        };
+
+        // 2. File channel: fetch the whole file on first access, with
+        // single-flight de-duplication across concurrent readers.
+        if let (Some(m), Some(fc), Some(chan)) = (&meta, &self.file_cache, &self.chan) {
+            if m.channel.is_some() {
+                loop {
+                    if let Some((data, eof)) = fc.read(env, key, a.offset, a.count) {
+                        self.state.lock().stats.file_cache_reads += 1;
+                        return Self::read_reply(xid, data, eof);
+                    }
+                    // Join an in-progress fetch, or claim the fetch.
+                    let waiter = {
+                        let mut st = self.state.lock();
+                        match st.inflight_fetch.get(&key) {
+                            Some(sig) => Some(sig.clone()),
+                            None => {
+                                st.inflight_fetch
+                                    .insert(key, simnet::Signal::new(env.handle()));
+                                None
+                            }
+                        }
+                    };
+                    match waiter {
+                        Some(sig) => {
+                            sig.wait(env);
+                            // Re-check the file cache (fetch may have
+                            // failed; then we claim the retry slot).
+                            continue;
+                        }
+                        None => {
+                            let fetched = chan.fetch(env, a.file.0);
+                            let result = match fetched {
+                                Ok((contents, wire)) => {
+                                    #[cfg(feature = "debug-trace")]
+                                    eprintln!(
+                                        "[gvfs] channel fetch ok: {} bytes, {} wire",
+                                        contents.len(),
+                                        wire
+                                    );
+                                    fc.install(env, key, &contents);
+                                    let mut st = self.state.lock();
+                                    st.stats.channel_fetches += 1;
+                                    st.stats.channel_wire_bytes += wire;
+                                    true
+                                }
+                                Err(_e) => {
+                                    #[cfg(feature = "debug-trace")]
+                                    eprintln!("[gvfs] channel fetch failed: {_e:?}");
+                                    false
+                                }
+                            };
+                            let sig = { self.state.lock().inflight_fetch.remove(&key) };
+                            if let Some(sig) = sig {
+                                sig.set();
+                            }
+                            if result {
+                                if let Some((data, eof)) = fc.read(env, key, a.offset, a.count) {
+                                    self.state.lock().stats.file_cache_reads += 1;
+                                    return Self::read_reply(xid, data, eof);
+                                }
+                            }
+                            break; // channel unusable: block path below
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Zero map: serve all-zero ranges locally.
+        if let Some(m) = &meta {
+            if let Some(zm) = &m.zero_map {
+                let size = self.known_size(key).unwrap_or(m.file_size);
+                if zm.range_is_zero(a.offset, a.count) {
+                    self.state.lock().stats.zero_filtered += 1;
+                    if a.offset >= size {
+                        return Self::read_reply(xid, Vec::new(), true);
+                    }
+                    let len = (a.count as u64).min(size - a.offset) as usize;
+                    let eof = a.offset + len as u64 >= size;
+                    return Self::read_reply(xid, vec![0u8; len], eof);
+                }
+            }
+        }
+
+        // 4. Block cache.
+        if let Some(bc) = &self.block_cache {
+            let bs = bc.config().block_size as u64;
+            if a.offset % bs == 0 && a.count as u64 <= bs {
+                let tag = Tag {
+                    fileid: key.fileid,
+                    generation: key.generation,
+                    block: a.offset / bs,
+                };
+                if let Some(data) = bc.lookup(env, tag) {
+                    let take = (a.count as usize).min(data.len());
+                    let eof = data.len() < bs as usize
+                        || self
+                            .known_size(key)
+                            .map(|s| a.offset + take as u64 >= s)
+                            .unwrap_or(false);
+                    return Self::read_reply(xid, data[..take].to_vec(), eof);
+                }
+                // Miss: forward, then install the returned block.
+                let reply = self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::READ, args);
+                if let RpcMessage::Reply {
+                    body:
+                        ReplyBody::Accepted {
+                            stat: AcceptStat::Success,
+                            results,
+                            ..
+                        },
+                    ..
+                } = &reply
+                {
+                    if let Some((data, eof)) = parse_read_results(results) {
+                        if eof {
+                            // Server-confirmed size: lets warm hits report
+                            // EOF without re-asking upstream.
+                            self.bump_size(key, a.offset + data.len() as u64);
+                        }
+                        if !data.is_empty() {
+                            self.install_clean(env, tag, data, cred);
+                        }
+                    }
+                }
+                return reply;
+            }
+        }
+
+        // 5. Plain forwarding (unaligned or cacheless).
+        self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::READ, args)
+    }
+
+    fn install_clean(&self, env: &Env, tag: Tag, data: Vec<u8>, cred: &oncrpc::OpaqueAuth) {
+        if let Some(bc) = &self.block_cache {
+            if let Some((etag, edata)) = bc.insert(env, tag, data, false) {
+                // A dirty block fell out: write it upstream now.
+                self.writeback_block(env, cred, etag, edata);
+            }
+        }
+    }
+
+    fn writeback_block(&self, env: &Env, cred: &oncrpc::OpaqueAuth, tag: Tag, data: Vec<u8>) {
+        let bs = self
+            .block_cache
+            .as_ref()
+            .map(|b| b.config().block_size as u64)
+            .unwrap_or(32 * 1024);
+        let key = FileKey {
+            fileid: tag.fileid,
+            generation: tag.generation,
+        };
+        let off = tag.block * bs;
+        let mut payload = data;
+        if let Some(size) = self.known_size(key) {
+            if off >= size {
+                return;
+            }
+            payload.truncate(((size - off).min(bs)) as usize);
+        }
+        let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
+        let h = Handle {
+            fileid: tag.fileid,
+            generation: tag.generation,
+        };
+        let _ = nfs.write(env, h, off, payload, StableHow::Unstable);
+        self.state.lock().stats.blocks_written_back += 1;
+    }
+
+    // -- WRITE --------------------------------------------------------------
+
+    fn write_reply(xid: u32, count: u32, committed: StableHow) -> RpcMessage {
+        let mut enc = Encoder::new();
+        enc.put_u32(Status::Ok.as_u32());
+        WccData(None).encode(&mut enc);
+        enc.put_u32(count);
+        enc.put_u32(committed.as_u32());
+        enc.put_u64(nfs3::server::WRITE_VERF);
+        RpcMessage::success(xid, enc.into_bytes())
+    }
+
+    fn handle_write(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &oncrpc::OpaqueAuth,
+        args: Vec<u8>,
+    ) -> RpcMessage {
+        let parsed: Result<WriteArgs, _> = xdr::from_bytes(&args);
+        let a = match parsed {
+            Ok(a) => a,
+            Err(_) => return self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::WRITE, args),
+        };
+        self.state.lock().stats.writes += 1;
+        let key = key_of(a.file.0);
+
+        // File-cache resident files absorb writes there (dirty upload on
+        // flush).
+        if let Some(fc) = &self.file_cache {
+            if fc.contains(key) && !self.cfg.read_only_share {
+                fc.write(env, key, a.offset, &a.data);
+                self.bump_size(key, a.offset + a.data.len() as u64);
+                self.state.lock().stats.writes_absorbed += 1;
+                return Self::write_reply(xid, a.data.len() as u32, StableHow::FileSync);
+            }
+        }
+
+        let write_back = self.cfg.write_policy == WritePolicy::WriteBack
+            && !self.cfg.read_only_share
+            && self.block_cache.is_some();
+
+        if write_back {
+            let bc = self.block_cache.as_ref().expect("checked above");
+            let bs = bc.config().block_size as u64;
+            let end = a.offset + a.data.len() as u64;
+            let mut pos = a.offset;
+            while pos < end {
+                let block = pos / bs;
+                let bstart = block * bs;
+                let boff = (pos - bstart) as usize;
+                let take = ((bstart + bs).min(end) - pos) as usize;
+                let chunk = &a.data[(pos - a.offset) as usize..(pos - a.offset) as usize + take];
+                let tag = Tag {
+                    fileid: key.fileid,
+                    generation: key.generation,
+                    block,
+                };
+                if !bc.update(env, tag, boff, chunk, true) {
+                    // Absent frame. Full-block writes insert directly;
+                    // partial writes within the current file need
+                    // read-modify-write from upstream first.
+                    let full = boff == 0 && take as u64 == bs;
+                    let existing_size = self.known_size(key).unwrap_or(0);
+                    if full || bstart >= existing_size {
+                        let mut data = vec![0u8; boff + take];
+                        data[boff..].copy_from_slice(chunk);
+                        if let Some((etag, edata)) = bc.insert(env, tag, data, true) {
+                            self.writeback_block(env, cred, etag, edata);
+                        }
+                    } else {
+                        let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
+                        let mut base = nfs
+                            .read(env, a.file.0, bstart, bs as u32)
+                            .map(|r| r.data)
+                            .unwrap_or_default();
+                        if base.len() < boff + take {
+                            base.resize(boff + take, 0);
+                        }
+                        base[boff..boff + take].copy_from_slice(chunk);
+                        if let Some((etag, edata)) = bc.insert(env, tag, base, true) {
+                            self.writeback_block(env, cred, etag, edata);
+                        }
+                    }
+                }
+                pos += take as u64;
+            }
+            self.bump_size(key, end);
+            self.state.lock().stats.writes_absorbed += 1;
+            return Self::write_reply(xid, a.data.len() as u32, StableHow::FileSync);
+        }
+
+        // Write-through: keep the cache coherent, then forward.
+        if let Some(bc) = &self.block_cache {
+            let bs = bc.config().block_size as u64;
+            if a.offset % bs == 0 && a.data.len() as u64 <= bs {
+                let tag = Tag {
+                    fileid: key.fileid,
+                    generation: key.generation,
+                    block: a.offset / bs,
+                };
+                if !bc.update(env, tag, 0, &a.data, false) && a.data.len() as u64 == bs {
+                    if let Some((etag, edata)) = bc.insert(env, tag, a.data.clone(), false) {
+                        self.writeback_block(env, cred, etag, edata);
+                    }
+                }
+            }
+            self.bump_size(key, a.offset + a.data.len() as u64);
+        }
+        self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::WRITE, args)
+    }
+
+    // -- GETATTR / COMMIT / LOOKUP -----------------------------------------
+
+    /// Patch the size in a GETATTR reply if we hold absorbed writes that
+    /// grew the file beyond what the server knows.
+    fn handle_getattr(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &oncrpc::OpaqueAuth,
+        args: Vec<u8>,
+    ) -> RpcMessage {
+        let fh: Result<Fh3, _> = xdr::from_bytes(&args);
+        let reply = self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::GETATTR, args);
+        let fh = match fh {
+            Ok(f) => f,
+            Err(_) => return reply,
+        };
+        let key = key_of(fh.0);
+        let override_size = {
+            let st = self.state.lock();
+            st.sizes.get(&key).copied()
+        };
+        let fc_size = self.file_cache.as_ref().and_then(|fc| fc.size_of(key));
+        let local = match (override_size, fc_size) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let local = match local {
+            Some(s) => s,
+            None => return reply,
+        };
+        if let RpcMessage::Reply {
+            xid,
+            body:
+                ReplyBody::Accepted {
+                    stat: AcceptStat::Success,
+                    results,
+                    verf,
+                },
+        } = reply
+        {
+            let mut dec = Decoder::new(&results);
+            let patched = (|| -> Option<Vec<u8>> {
+                let status = dec.get_u32().ok()?;
+                if status != Status::Ok.as_u32() {
+                    return None;
+                }
+                let mut attr = Fattr3::decode(&mut dec).ok()?.0;
+                if attr.size >= local {
+                    return None;
+                }
+                attr.size = local;
+                let mut enc = Encoder::new();
+                enc.put_u32(Status::Ok.as_u32());
+                Fattr3(attr).encode(&mut enc);
+                Some(enc.into_bytes())
+            })();
+            let results = patched.unwrap_or(results);
+            RpcMessage::Reply {
+                xid,
+                body: ReplyBody::Accepted {
+                    stat: AcceptStat::Success,
+                    results,
+                    verf,
+                },
+            }
+        } else {
+            reply
+        }
+    }
+
+    fn handle_commit(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &oncrpc::OpaqueAuth,
+        args: Vec<u8>,
+    ) -> RpcMessage {
+        if self.cfg.write_policy == WritePolicy::WriteBack && self.block_cache.is_some() {
+            // Data is stable on the proxy's local cache disk; the real
+            // upstream flush happens on a middleware signal.
+            let mut enc = Encoder::new();
+            enc.put_u32(Status::Ok.as_u32());
+            WccData(None).encode(&mut enc);
+            enc.put_u64(nfs3::server::WRITE_VERF);
+            return RpcMessage::success(xid, enc.into_bytes());
+        }
+        self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::COMMIT, args)
+    }
+
+    fn handle_lookup(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &oncrpc::OpaqueAuth,
+        args: Vec<u8>,
+    ) -> RpcMessage {
+        let parsed: Result<DirOpArgs3, _> = xdr::from_bytes(&args);
+        let reply = self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::LOOKUP, args);
+        if let (
+            Ok(dirop),
+            RpcMessage::Reply {
+                body:
+                    ReplyBody::Accepted {
+                        stat: AcceptStat::Success,
+                        results,
+                        ..
+                    },
+                ..
+            },
+        ) = (parsed, &reply)
+        {
+            let mut dec = Decoder::new(results);
+            if dec.get_u32() == Ok(Status::Ok.as_u32()) {
+                if let Ok(fh) = Fh3::decode(&mut dec) {
+                    self.discover_meta(env, cred, dirop.dir.0, &dirop.name, fh.0);
+                }
+            }
+        }
+        reply
+    }
+
+    // -- flush (middleware signal) -------------------------------------------
+
+    /// Middleware-driven write-back: push every dirty block and dirty
+    /// cached file upstream. The paper implements this as an O/S signal
+    /// to the proxy process; here the scenario driver calls it directly
+    /// (session-based consistency, §3.2.1).
+    pub fn flush(&self, env: &Env, cred: &oncrpc::OpaqueAuth) -> FlushReport {
+        let mut report = FlushReport::default();
+        if let Some(bc) = &self.block_cache {
+            let dirty = bc.take_dirty(env);
+            let bs = bc.config().block_size as u64;
+            let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
+            let mut by_file: HashMap<(u64, u64), Vec<(u64, Vec<u8>)>> = HashMap::new();
+            for (tag, data) in dirty {
+                by_file
+                    .entry((tag.fileid, tag.generation))
+                    .or_default()
+                    .push((tag.block, data));
+            }
+            let mut files: Vec<_> = by_file.into_iter().collect();
+            files.sort_unstable_by_key(|(k, _)| *k);
+            for ((fileid, generation), blocks) in files {
+                let h = Handle {
+                    fileid,
+                    generation,
+                };
+                let key = FileKey {
+                    fileid,
+                    generation,
+                };
+                let size = self.known_size(key);
+                for (block, mut data) in blocks {
+                    let off = block * bs;
+                    if let Some(s) = size {
+                        if off >= s {
+                            continue;
+                        }
+                        data.truncate(((s - off).min(bs)) as usize);
+                    }
+                    report.block_bytes += data.len() as u64;
+                    report.blocks += 1;
+                    let _ = nfs.write(env, h, off, data, StableHow::Unstable);
+                }
+                let _ = nfs.commit(env, h);
+            }
+            self.state.lock().stats.blocks_written_back += report.blocks;
+        }
+        if let (Some(fc), Some(chan)) = (&self.file_cache, &self.chan) {
+            for key in fc.dirty_files() {
+                if let Some(contents) = fc.take_dirty_contents(env, key) {
+                    let h = Handle {
+                        fileid: key.fileid,
+                        generation: key.generation,
+                    };
+                    if let Ok(wire) = chan.upload(env, h, &contents, true) {
+                        report.files += 1;
+                        report.file_wire_bytes += wire;
+                    }
+                }
+            }
+        }
+        self.state.lock().sizes.clear();
+        report
+    }
+
+    // -- file channel passthrough with caching --------------------------------
+
+    fn handle_channel(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &oncrpc::OpaqueAuth,
+        proc: u32,
+        args: Vec<u8>,
+    ) -> RpcMessage {
+        if proc != chanproc::FETCH {
+            return self.forward(env, xid, cred, CHANNEL_PROGRAM, CHANNEL_V1, proc, args);
+        }
+        let fh: Result<Fh3, _> = xdr::from_bytes(&args);
+        let key = match &fh {
+            Ok(f) => Some(key_of(f.0)),
+            Err(_) => None,
+        };
+        // Second-level cache: replay a previously fetched compressed
+        // stream from the local disk instead of re-crossing the WAN.
+        if let Some(k) = key {
+            let cached = { self.state.lock().chan_replies.get(&k).cloned() };
+            if let Some(results) = cached {
+                if let Some(fc) = &self.file_cache {
+                    // Charge the local-disk read of the stored stream.
+                    let _ = fc;
+                }
+                env.sleep(self.cfg.per_op_cpu);
+                return RpcMessage::success(xid, results);
+            }
+        }
+        let reply = self.forward(env, xid, cred, CHANNEL_PROGRAM, CHANNEL_V1, proc, args);
+        if let (
+            Some(k),
+            RpcMessage::Reply {
+                body:
+                    ReplyBody::Accepted {
+                        stat: AcceptStat::Success,
+                        results,
+                        ..
+                    },
+                ..
+            },
+        ) = (key, &reply)
+        {
+            self.state.lock().chan_replies.insert(k, results.clone());
+        }
+        reply
+    }
+}
+
+/// Parse READ3 success results into (data, eof).
+fn parse_read_results(results: &[u8]) -> Option<(Vec<u8>, bool)> {
+    let mut dec = Decoder::new(results);
+    if dec.get_u32().ok()? != Status::Ok.as_u32() {
+        return None;
+    }
+    let _attr = PostOpAttr::decode(&mut dec).ok()?;
+    let _count = dec.get_u32().ok()?;
+    let eof = dec.get_bool().ok()?;
+    let data = dec.get_opaque_var().ok()?;
+    Some((data, eof))
+}
+
+impl RpcHandler for Proxy {
+    fn handle(&self, env: &Env, request: &[u8]) -> Vec<u8> {
+        let msg: RpcMessage = match xdr::from_bytes(request) {
+            Ok(m) => m,
+            Err(_) => {
+                return xdr::to_bytes(&RpcMessage::accept_error(0, AcceptStat::GarbageArgs))
+            }
+        };
+        let (header, args) = match msg {
+            RpcMessage::Call { header, args } => (header, args),
+            RpcMessage::Reply { xid, .. } => {
+                return xdr::to_bytes(&RpcMessage::accept_error(xid, AcceptStat::GarbageArgs))
+            }
+        };
+        let CallHeader {
+            xid,
+            prog,
+            vers,
+            proc,
+            cred,
+            ..
+        } = header;
+        self.state.lock().stats.calls += 1;
+        env.sleep(self.cfg.per_op_cpu);
+
+        // Server-side proxies authenticate middleware sessions and map
+        // them onto local shadow accounts.
+        let cred = match &self.identity {
+            Some(mapper) => match mapper.map(&cred, env.now().as_nanos()) {
+                Ok(mapped) => mapped,
+                Err(ProgramError::AuthError(code)) => {
+                    return xdr::to_bytes(&RpcMessage::denied(xid, RejectStat::AuthError(code)))
+                }
+                Err(_) => {
+                    return xdr::to_bytes(&RpcMessage::accept_error(xid, AcceptStat::SystemErr))
+                }
+            },
+            None => cred,
+        };
+
+        let reply = if prog == CHANNEL_PROGRAM {
+            self.handle_channel(env, xid, &cred, proc, args)
+        } else if prog != NFS_PROGRAM || vers != NFS_V3 {
+            // MOUNT and anything else passes straight through.
+            self.forward(env, xid, &cred, prog, vers, proc, args)
+        } else {
+            match proc {
+                proc3::READ => self.handle_read(env, xid, &cred, args),
+                proc3::WRITE => self.handle_write(env, xid, &cred, args),
+                proc3::GETATTR => self.handle_getattr(env, xid, &cred, args),
+                proc3::COMMIT => self.handle_commit(env, xid, &cred, args),
+                proc3::LOOKUP => self.handle_lookup(env, xid, &cred, args),
+                _ => self.forward(env, xid, &cred, prog, vers, proc, args),
+            }
+        };
+        xdr::to_bytes(&reply)
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based invariants for the GVFS data structures.
+
+use gvfs::{codec, meta::MetaFile, meta::ZeroMap, FileChannelSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// The codec is lossless on arbitrary byte strings.
+    #[test]
+    fn codec_round_trips_arbitrary_data(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let c = codec::compress(&data);
+        prop_assert_eq!(codec::decompress(&c).unwrap(), data);
+    }
+
+    /// The codec is lossless on run-heavy data (the adversarial case for
+    /// run-length encoders: runs crossing record boundaries).
+    #[test]
+    fn codec_round_trips_runny_data(runs in proptest::collection::vec((any::<u8>(), 1usize..2000), 1..40)) {
+        let mut data = Vec::new();
+        for (b, n) in runs {
+            data.extend(std::iter::repeat(b).take(n));
+        }
+        let c = codec::compress(&data);
+        prop_assert_eq!(codec::decompress(&c).unwrap(), data);
+    }
+
+    /// Compressing mostly-zero data always shrinks it substantially.
+    #[test]
+    fn codec_shrinks_zero_dominated_data(
+        len in 10_000usize..100_000,
+        sites in proptest::collection::vec((0usize..10_000, any::<u8>()), 0..50),
+    ) {
+        let mut data = vec![0u8; len];
+        for (pos, b) in sites {
+            data[pos % len] = b;
+        }
+        let c = codec::compress(&data);
+        prop_assert!(c.len() < len / 4 + 1024, "{} -> {}", len, c.len());
+    }
+
+    /// Truncating a compressed stream never panics and never yields
+    /// wrong-length output claimed as success.
+    #[test]
+    fn codec_rejects_truncations(data in proptest::collection::vec(any::<u8>(), 1..5_000), cut in 0.0f64..1.0) {
+        let c = codec::compress(&data);
+        let keep = ((c.len() as f64) * cut) as usize;
+        if keep < c.len() {
+            if let Ok(out) = codec::decompress(&c[..keep]) {
+                // Only acceptable if the truncation kept everything needed.
+                prop_assert_eq!(out, data);
+            }
+        }
+    }
+
+    /// MetaFile serialization round-trips for arbitrary zero maps.
+    #[test]
+    fn meta_file_round_trips(
+        file_size in 0u64..1 << 40,
+        nblocks in 0u64..5_000,
+        zeros in proptest::collection::vec(any::<u64>(), 0..200),
+        compress in any::<bool>(),
+        writeback in any::<bool>(),
+        with_channel in any::<bool>(),
+        with_map in any::<bool>(),
+    ) {
+        let zero_map = if with_map {
+            let mut zm = ZeroMap::new(32 * 1024, nblocks);
+            for z in &zeros {
+                if nblocks > 0 {
+                    zm.set_zero(z % nblocks);
+                }
+            }
+            Some(zm)
+        } else {
+            None
+        };
+        let m = MetaFile {
+            file_size,
+            zero_map,
+            channel: with_channel.then_some(FileChannelSpec { compress, writeback }),
+        };
+        prop_assert_eq!(MetaFile::from_bytes(&m.to_bytes()), Some(m));
+    }
+
+    /// Arbitrary bytes never panic the meta parser.
+    #[test]
+    fn meta_parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = MetaFile::from_bytes(&data);
+    }
+
+    /// A zero map's range query agrees with per-block queries.
+    #[test]
+    fn zero_map_range_agrees_with_blocks(
+        nblocks in 1u64..400,
+        zeros in proptest::collection::vec(any::<u64>(), 0..100),
+        start in 0u64..500,
+        len in 0u32..20_000,
+    ) {
+        let bs = 128u32;
+        let mut zm = ZeroMap::new(bs, nblocks);
+        for z in &zeros {
+            zm.set_zero(z % nblocks);
+        }
+        let offset = start * 7;
+        let range = zm.range_is_zero(offset, len);
+        let blockwise = if len == 0 {
+            true
+        } else {
+            let first = offset / bs as u64;
+            let last = (offset + len as u64 - 1) / bs as u64;
+            (first..=last).all(|b| zm.is_zero(b))
+        };
+        prop_assert_eq!(range, blockwise);
+    }
+}

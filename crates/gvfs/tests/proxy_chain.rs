@@ -1,0 +1,432 @@
+//! Integration tests: full GVFS proxy chains over simulated WAN links.
+//!
+//! Topology under test (Figure 2 of the paper):
+//!
+//! ```text
+//! kernel NFS client → client-side proxy (block/file caches, meta-data)
+//!   → [optional LAN second-level proxy] → server-side proxy (identity)
+//!   → kernel NFS server
+//! ```
+
+use std::sync::Arc;
+
+use gvfs::{
+    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, FileChannelServer,
+    FileChannelSpec, GvfsSession, IdentityMapper, Middleware, Proxy, ProxyConfig, WritePolicy,
+};
+use nfs3::{KernelClient, KernelConfig, MountServer, Nfs3Client, Nfs3Server, ServerConfig};
+use oncrpc::{Dispatcher, OpaqueAuth, RpcClient, WireSpec};
+use parking_lot::Mutex;
+use simnet::{Env, Link, SimDuration, SimHandle, Simulation};
+use vfs::{Disk, DiskModel, FileIo, Fs};
+
+/// Everything a test needs from a wired GVFS deployment.
+struct Rig {
+    fs: Arc<Mutex<Fs>>,
+    server: Arc<Nfs3Server>,
+    proxy: Arc<Proxy>,
+    session_cred: OpaqueAuth,
+    client_rpc: RpcClient,
+    wan_up: Link,
+    wan_down: Link,
+}
+
+/// Build: server endpoint on a WAN link; server-side proxy with identity
+/// mapping; client-side proxy with block + file caches on a local
+/// endpoint; a kernel-facing RPC client authenticated with a middleware
+/// credential.
+fn build_rig(sim: &Simulation, write_policy: WritePolicy, meta_handling: bool) -> Rig {
+    let h: SimHandle = sim.handle();
+
+    // --- image server machine -------------------------------------------
+    let server_disk = Disk::new(&h, DiskModel::server_array());
+    let (fs, server) = Nfs3Server::with_new_fs(&h, server_disk.clone(), ServerConfig::default());
+    let mount = MountServer::new(fs.clone(), vec!["/".to_string()]);
+    let chan_server = FileChannelServer::new(fs.clone(), server_disk, CodecModel::default(), true);
+
+    // Loopback on the server machine: kernel server listens here.
+    let lo_up = Link::new(&h, "srv-lo-up", 1e9, SimDuration::from_micros(20));
+    let lo_down = Link::new(&h, "srv-lo-down", 1e9, SimDuration::from_micros(20));
+    let srv_ep = oncrpc::endpoint(&h, lo_up, lo_down, WireSpec::plain());
+    srv_ep.listener.serve(
+        "nfsd",
+        Dispatcher::new()
+            .register(server.clone())
+            .register(mount)
+            .register(chan_server)
+            .into_handler(),
+        8,
+    );
+
+    // Server-side proxy: accepts WAN traffic, maps identities, forwards
+    // to the kernel server via loopback.
+    let mapper = Arc::new(IdentityMapper::new());
+    let srv_proxy = Proxy::new(
+        ProxyConfig {
+            name: "server-proxy".into(),
+            write_policy: WritePolicy::WriteThrough,
+            meta_handling: false,
+            per_op_cpu: SimDuration::from_micros(40),
+            read_only_share: false,
+        },
+        RpcClient::new(srv_ep.channel, OpaqueAuth::none()),
+    )
+    .with_identity(mapper.clone())
+    .into_handler();
+
+    let wan_up = Link::from_mbps(&h, "wan-up", 25.0, SimDuration::from_millis(17));
+    let wan_down = Link::from_mbps(&h, "wan-down", 25.0, SimDuration::from_millis(17));
+    let wan_ep = oncrpc::endpoint(
+        &h,
+        wan_up.clone(),
+        wan_down.clone(),
+        WireSpec::ssh_tunnel(50e6),
+    );
+    wan_ep.listener.serve("server-proxy", srv_proxy, 8);
+
+    // --- compute server machine -----------------------------------------
+    let mw = Middleware::new();
+    let (session_id, cred) = mw.establish_session(&mapper, "alice", 0, u64::MAX / 2);
+
+    let cache_disk = Disk::new(&h, DiskModel::scsi_2004());
+    let block_cache = Arc::new(BlockCache::new(
+        cache_disk.clone(),
+        BlockCacheConfig::with_capacity(2 << 30, 64, 16, 32 * 1024),
+    ));
+    let file_cache = Arc::new(FileCache::new(cache_disk, 4 << 30));
+    let upstream = RpcClient::new(wan_ep.channel, cred.clone());
+    let chan_client = ChannelClient::new(upstream.clone(), CodecModel::default());
+    let client_proxy = Proxy::new(
+        ProxyConfig {
+            name: "client-proxy".into(),
+            write_policy,
+            meta_handling,
+            per_op_cpu: SimDuration::from_micros(40),
+            read_only_share: false,
+        },
+        upstream,
+    )
+    .with_block_cache(block_cache)
+    .with_file_channel(file_cache, chan_client)
+    .into_handler();
+    let proxy = client_proxy.clone();
+
+    // Kernel client talks to the local proxy over loopback.
+    let cl_up = Link::new(&h, "cl-lo-up", 1e9, SimDuration::from_micros(20));
+    let cl_down = Link::new(&h, "cl-lo-down", 1e9, SimDuration::from_micros(20));
+    let proxy_ep = oncrpc::endpoint(&h, cl_up, cl_down, WireSpec::plain());
+    proxy_ep.listener.serve("client-proxy", client_proxy, 8);
+
+    let client_rpc = RpcClient::new(proxy_ep.channel, cred.clone());
+    let _session = GvfsSession::new(session_id, cred.clone(), proxy.clone(), Some(mapper));
+
+    Rig {
+        fs,
+        server,
+        proxy,
+        session_cred: cred,
+        client_rpc,
+        wan_up,
+        wan_down,
+    }
+}
+
+/// Pre-populate a file on the image server without simulation cost.
+fn seed_file(fs: &Arc<Mutex<Fs>>, path: &str, contents: &[u8], size: Option<u64>) -> vfs::Handle {
+    let mut f = fs.lock();
+    let (dir_path, name) = match path.rfind('/') {
+        Some(i) => (&path[..i], &path[i + 1..]),
+        None => ("", path),
+    };
+    let dir = f.resolve(dir_path).unwrap();
+    let h = f.create(dir, name, 0o644, 0).unwrap();
+    if let Some(s) = size {
+        f.setattr(h, Some(s), None, 0).unwrap();
+    }
+    f.write(h, 0, contents, 0).unwrap();
+    h
+}
+
+#[test]
+fn end_to_end_identity_mapping_and_read_through_chain() {
+    let sim = Simulation::new();
+    let rig = build_rig(&sim, WritePolicy::WriteBack, true);
+    let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 241) as u8).collect();
+    seed_file(&rig.fs, "data.bin", &payload, None);
+    let nfs = Nfs3Client::new(rig.client_rpc.clone());
+    sim.spawn("client", move |env: Env| {
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh, _) = nfs.lookup(&env, root, "data.bin").unwrap();
+        let mut got = Vec::new();
+        let mut off = 0;
+        loop {
+            let r = nfs.read(&env, fh, off, 32 * 1024).unwrap();
+            off += r.data.len() as u64;
+            got.extend_from_slice(&r.data);
+            if r.eof {
+                break;
+            }
+        }
+        assert_eq!(got, payload);
+    });
+    sim.run();
+}
+
+#[test]
+fn bad_session_is_rejected_at_server_proxy() {
+    let sim = Simulation::new();
+    let rig = build_rig(&sim, WritePolicy::WriteBack, true);
+    let bogus = OpaqueAuth::gvfs(&oncrpc::AuthGvfs {
+        session_id: 999_999,
+        grid_user: "mallory".into(),
+        expires_at: u64::MAX,
+    });
+    let nfs = Nfs3Client::new(rig.client_rpc.with_cred(bogus));
+    sim.spawn("client", move |env: Env| {
+        match nfs.mount(&env, "/") {
+            Err(nfs3::NfsError::Rpc(oncrpc::RpcError::Denied(_))) => {}
+            other => panic!("expected denial, got {other:?}"),
+        }
+    });
+    sim.run();
+}
+
+#[test]
+fn second_read_hits_proxy_disk_cache_and_skips_wan() {
+    let sim = Simulation::new();
+    let rig = build_rig(&sim, WritePolicy::WriteBack, true);
+    let payload = vec![0x5Au8; 1 << 20];
+    seed_file(&rig.fs, "vm.vmdk", &payload, None);
+    let nfs = Nfs3Client::new(rig.client_rpc.clone());
+    let proxy = rig.proxy.clone();
+    let wan_up = rig.wan_up.clone();
+    sim.spawn("client", move |env: Env| {
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh, _) = nfs.lookup(&env, root, "vm.vmdk").unwrap();
+        let read_all = |env: &Env| {
+            let mut off = 0;
+            loop {
+                let r = nfs.read(env, fh, off, 32 * 1024).unwrap();
+                off += r.data.len() as u64;
+                if r.eof {
+                    break;
+                }
+            }
+        };
+        let t0 = env.now();
+        read_all(&env);
+        let cold = env.now() - t0;
+        let wan_msgs_after_cold = wan_up.total_messages();
+
+        let t1 = env.now();
+        read_all(&env);
+        let warm = env.now() - t1;
+        // No new WAN traffic for the warm pass.
+        assert_eq!(wan_up.total_messages(), wan_msgs_after_cold);
+        assert!(
+            warm.as_secs_f64() < cold.as_secs_f64() / 5.0,
+            "warm {warm} vs cold {cold}"
+        );
+        let st = proxy.stats();
+        assert_eq!(st.reads, 64);
+        let bc = proxy.block_cache().unwrap().stats();
+        assert_eq!(bc.hits, 32);
+        assert_eq!(bc.misses, 32);
+    });
+    sim.run();
+}
+
+#[test]
+fn zero_map_filters_wan_reads_for_memory_state() {
+    let sim = Simulation::new();
+    let rig = build_rig(&sim, WritePolicy::WriteBack, true);
+    // 8 MB memory state, only the first 64 KB non-zero (post-boot-like).
+    let data = vec![0xEEu8; 64 * 1024];
+    seed_file(&rig.fs, "vm.vmss", &data, Some(8 << 20));
+    // Middleware pre-processing: zero map only (no file channel) to
+    // exercise the block path with filtering.
+    {
+        let mut fs = rig.fs.lock();
+        Middleware::generate_meta(&mut fs, "", "vm.vmss", 32 * 1024, true, None).unwrap();
+    }
+    let nfs = Nfs3Client::new(rig.client_rpc.clone());
+    let proxy = rig.proxy.clone();
+    let server = rig.server.clone();
+    sim.spawn("client", move |env: Env| {
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh, attr) = nfs.lookup(&env, root, "vm.vmss").unwrap();
+        assert_eq!(attr.unwrap().size, 8 << 20);
+        server.reset_stats();
+        let mut got = Vec::new();
+        let mut off = 0;
+        loop {
+            let r = nfs.read(&env, fh, off, 32 * 1024).unwrap();
+            off += r.data.len() as u64;
+            got.extend_from_slice(&r.data);
+            if r.eof {
+                break;
+            }
+        }
+        assert_eq!(got.len(), 8 << 20);
+        assert_eq!(&got[..64 * 1024], &data[..]);
+        assert!(got[64 * 1024..].iter().all(|&b| b == 0));
+        // 256 total client reads; only the 2 non-zero blocks reach the server.
+        let st = proxy.stats();
+        assert_eq!(st.reads, 256);
+        assert_eq!(st.zero_filtered, 254);
+        assert_eq!(server.stats().reads, 2);
+    });
+    sim.run();
+}
+
+#[test]
+fn file_channel_installs_whole_file_and_serves_locally() {
+    let sim = Simulation::new();
+    let rig = build_rig(&sim, WritePolicy::WriteBack, true);
+    // 4 MB memory state with sparse nonzero content.
+    let mut content = vec![0u8; 4 << 20];
+    for i in 0..64 {
+        content[i * 65536] = (i + 1) as u8;
+    }
+    seed_file(&rig.fs, "golden.vmss", &content, None);
+    {
+        let mut fs = rig.fs.lock();
+        Middleware::generate_meta(
+            &mut fs,
+            "",
+            "golden.vmss",
+            32 * 1024,
+            true,
+            Some(FileChannelSpec {
+                compress: true,
+                writeback: false,
+            }),
+        )
+        .unwrap();
+    }
+    let nfs = Nfs3Client::new(rig.client_rpc.clone());
+    let proxy = rig.proxy.clone();
+    let wan_down = rig.wan_down.clone();
+    sim.spawn("client", move |env: Env| {
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh, _) = nfs.lookup(&env, root, "golden.vmss").unwrap();
+        let mut got = Vec::new();
+        let mut off = 0;
+        loop {
+            let r = nfs.read(&env, fh, off, 32 * 1024).unwrap();
+            off += r.data.len() as u64;
+            got.extend_from_slice(&r.data);
+            if r.eof {
+                break;
+            }
+        }
+        assert_eq!(got, content);
+        let st = proxy.stats();
+        assert_eq!(st.channel_fetches, 1);
+        assert_eq!(st.file_cache_reads, 128);
+        // WAN carried ~compressed bytes, far below the 4 MB original.
+        assert!(
+            wan_down.total_bytes() < 1 << 20,
+            "wan carried {}",
+            wan_down.total_bytes()
+        );
+        assert!(st.channel_wire_bytes < 1 << 20);
+    });
+    sim.run();
+}
+
+#[test]
+fn write_back_absorbs_writes_and_flushes_on_signal() {
+    let sim = Simulation::new();
+    let rig = build_rig(&sim, WritePolicy::WriteBack, true);
+    seed_file(&rig.fs, "redo.log", b"", None);
+    let nfs = Nfs3Client::new(rig.client_rpc.clone());
+    let proxy = rig.proxy.clone();
+    let fs = rig.fs.clone();
+    let server = rig.server.clone();
+    let cred = rig.session_cred.clone();
+    let wan_up = rig.wan_up.clone();
+    sim.spawn("client", move |env: Env| {
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh, _) = nfs.lookup(&env, root, "redo.log").unwrap();
+        server.reset_stats();
+        let wan_before = wan_up.total_bytes();
+        // 1 MB of redo-log writes through the proxy.
+        let chunk = vec![0x7Bu8; 32 * 1024];
+        for i in 0..32u64 {
+            nfs.write(
+                &env,
+                fh,
+                i * 32 * 1024,
+                chunk.clone(),
+                nfs3::proto::StableHow::Unstable,
+            )
+            .unwrap();
+        }
+        nfs.commit(&env, fh).unwrap();
+        // Nothing reached the server; barely any WAN bytes moved.
+        assert_eq!(server.stats().writes, 0);
+        assert!(wan_up.total_bytes() - wan_before < 64 * 1024);
+        // GETATTR through the proxy reflects the absorbed size.
+        let attr = nfs.getattr(&env, fh).unwrap();
+        assert_eq!(attr.size, 1 << 20);
+        // Middleware signals write-back.
+        let report = proxy.flush(&env, &cred);
+        assert_eq!(report.blocks, 32);
+        assert_eq!(report.block_bytes, 1 << 20);
+        // Server now has the data, byte-exact.
+        let mut f = fs.lock();
+        let (data, _) = f.read(fh, 0, 1 << 20, 0).unwrap();
+        assert_eq!(data.len(), 1 << 20);
+        assert!(data.iter().all(|&b| b == 0x7B));
+    });
+    sim.run();
+}
+
+#[test]
+fn write_through_policy_forwards_writes_immediately() {
+    let sim = Simulation::new();
+    let rig = build_rig(&sim, WritePolicy::WriteThrough, true);
+    seed_file(&rig.fs, "out.dat", b"", None);
+    let nfs = Nfs3Client::new(rig.client_rpc.clone());
+    let server = rig.server.clone();
+    sim.spawn("client", move |env: Env| {
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh, _) = nfs.lookup(&env, root, "out.dat").unwrap();
+        server.reset_stats();
+        nfs.write(
+            &env,
+            fh,
+            0,
+            vec![1u8; 32 * 1024],
+            nfs3::proto::StableHow::Unstable,
+        )
+        .unwrap();
+        assert_eq!(server.stats().writes, 1);
+    });
+    sim.run();
+}
+
+#[test]
+fn kernel_client_end_to_end_through_proxy_chain() {
+    // The full stack: KernelClient (FileIo) over the proxy chain.
+    let sim = Simulation::new();
+    let rig = build_rig(&sim, WritePolicy::WriteBack, true);
+    {
+        let mut f = rig.fs.lock();
+        let root = f.root();
+        f.mkdir(root, "vm", 0o755, 0).unwrap();
+    }
+    let nfs = Nfs3Client::new(rig.client_rpc.clone());
+    sim.spawn("client", move |env: Env| {
+        let kc = KernelClient::mount(&env, nfs, "/", KernelConfig::default()).unwrap();
+        let h = kc.create_path(&env, "vm/scratch.dat").unwrap();
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 199) as u8).collect();
+        kc.write(&env, h, 0, &data).unwrap();
+        kc.close(&env, h).unwrap();
+        kc.invalidate_caches();
+        let back = kc.read(&env, h, 0, 200_000).unwrap();
+        assert_eq!(back, data);
+    });
+    sim.run();
+}

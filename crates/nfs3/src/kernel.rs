@@ -1,0 +1,735 @@
+//! Kernel NFS client model.
+//!
+//! Models the compute server's in-kernel NFS client, the layer the paper
+//! deliberately leaves unmodified:
+//!
+//! * a bounded **memory buffer cache** (the "memory file system buffer" of
+//!   Figure 2, step 1) holding real data blocks — capacity misses on
+//!   multi-GB VM state are exactly the behaviour that motivates GVFS's
+//!   proxy *disk* caches;
+//! * an **attribute cache** and a **dentry cache** with timeouts, giving
+//!   close-to-open consistency semantics;
+//! * **write staging**: writes dirty cache blocks and are pushed with
+//!   UNSTABLE WRITE RPCs (bounded in-flight parallelism, like `nfsd`
+//!   request slots), with a dirty-limit back-pressure and a flush +
+//!   COMMIT on close — "staging writes for a limited time in kernel
+//!   memory buffers" (paper §3.2.1);
+//! * **read gathering**: a large application read issues its missing
+//!   blocks as parallel READ RPCs, modelling kernel readahead pipelining.
+//!
+//! It implements [`vfs::FileIo`], so the VM monitor and the workloads are
+//! oblivious to whether they run on a local disk or an NFS mount that may
+//! have a chain of GVFS proxies behind it.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simnet::{Env, SimDuration};
+use vfs::{Attr, FileIo, FileType, Handle, IoError, IoResult, LruMap};
+
+use crate::client::{Nfs3Client, NfsError};
+use crate::proto::{StableHow, Status};
+
+/// Kernel client tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelConfig {
+    /// READ transfer size (bytes per READ RPC).
+    pub rsize: u32,
+    /// WRITE transfer size.
+    pub wsize: u32,
+    /// Buffer cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Dirty bytes allowed before writers block on writeback.
+    pub dirty_limit_bytes: u64,
+    /// Maximum concurrent RPCs for read gathering / write flushing.
+    pub max_inflight: usize,
+    /// CPU cost of serving one block from the buffer cache.
+    pub hit_cost: SimDuration,
+    /// Attribute/dentry cache lifetime.
+    pub attr_timeout: SimDuration,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            rsize: 32 * 1024,
+            wsize: 32 * 1024,
+            cache_bytes: 256 * 1024 * 1024,
+            dirty_limit_bytes: 16 * 1024 * 1024,
+            max_inflight: 8,
+            hit_cost: SimDuration::from_micros(25),
+            attr_timeout: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// RPC/cache counters for reports and tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KernelStats {
+    /// READ RPCs issued.
+    pub read_rpcs: u64,
+    /// WRITE RPCs issued.
+    pub write_rpcs: u64,
+    /// Metadata RPCs (lookup/getattr/readdir/...).
+    pub meta_rpcs: u64,
+    /// Buffer cache block hits.
+    pub cache_hits: u64,
+    /// Buffer cache block misses.
+    pub cache_misses: u64,
+    /// Payload bytes fetched by READ RPCs.
+    pub bytes_read: u64,
+    /// Payload bytes pushed by WRITE RPCs.
+    pub bytes_written: u64,
+}
+
+struct Block {
+    data: Vec<u8>,
+    dirty: bool,
+}
+
+struct KcState {
+    cache: LruMap<(u64, u64), Block>,
+    dirty_bytes: u64,
+    dcache: HashMap<String, (Handle, u64)>, // path -> (handle, expires_ns)
+    acache: HashMap<Handle, (Attr, u64)>,
+    local_size: HashMap<u64, u64>, // fileid -> size as seen through our writes
+    stats: KernelStats,
+}
+
+/// The kernel NFS client for one mount.
+pub struct KernelClient {
+    nfs: Nfs3Client,
+    root: Handle,
+    cfg: KernelConfig,
+    state: Mutex<KcState>,
+}
+
+impl KernelClient {
+    /// Mount `export` through `nfs` and return the client.
+    pub fn mount(env: &Env, nfs: Nfs3Client, export: &str, cfg: KernelConfig) -> IoResult<Arc<Self>> {
+        let root = nfs.mount(env, export).map_err(map_err)?;
+        Ok(Arc::new(KernelClient {
+            nfs,
+            root,
+            cfg,
+            state: Mutex::new(KcState {
+                cache: LruMap::new(((cfg.cache_bytes / cfg.rsize as u64) as usize).max(1)),
+                dirty_bytes: 0,
+                dcache: HashMap::new(),
+                acache: HashMap::new(),
+                local_size: HashMap::new(),
+                stats: KernelStats::default(),
+            }),
+        }))
+    }
+
+    /// The mount's root handle.
+    pub fn root(&self) -> Handle {
+        self.root
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> KernelStats {
+        self.state.lock().stats
+    }
+
+    /// Reset counters.
+    pub fn reset_stats(&self) {
+        self.state.lock().stats = KernelStats::default();
+    }
+
+    /// Drop all cached data and metadata, as a umount/mount cycle does.
+    /// Benchmarks call this to start a phase with cold kernel caches
+    /// (the paper: "initially setup with cold caches by un-mounting and
+    /// mounting the virtual file system").
+    pub fn invalidate_caches(&self) {
+        let mut st = self.state.lock();
+        assert_eq!(st.dirty_bytes, 0, "invalidate with dirty data pending");
+        st.cache.clear();
+        st.dcache.clear();
+        st.acache.clear();
+        st.local_size.clear();
+    }
+
+    fn bs(&self) -> u64 {
+        self.cfg.rsize as u64
+    }
+
+    fn cached_attr(&self, env: &Env, h: Handle) -> IoResult<Attr> {
+        let now = env.now().as_nanos();
+        {
+            let st = self.state.lock();
+            if let Some((attr, exp)) = st.acache.get(&h) {
+                if *exp > now {
+                    let mut a = attr.clone();
+                    // Our dirty writes may have grown the file past the
+                    // server-reported size.
+                    if let Some(sz) = st.local_size.get(&h.fileid) {
+                        a.size = a.size.max(*sz);
+                    }
+                    return Ok(a);
+                }
+            }
+        }
+        let attr = self.nfs.getattr(env, h).map_err(map_err)?;
+        let mut st = self.state.lock();
+        st.stats.meta_rpcs += 1;
+        let exp = now + self.cfg.attr_timeout.as_nanos();
+        st.acache.insert(h, (attr.clone(), exp));
+        let mut a = attr;
+        if let Some(sz) = st.local_size.get(&h.fileid) {
+            a.size = a.size.max(*sz);
+        }
+        Ok(a)
+    }
+
+    /// Fetch the given blocks with bounded parallelism; returns (block,
+    /// data) pairs. Data is padded to the block size.
+    fn fetch_blocks(&self, env: &Env, h: Handle, blocks: Vec<u64>) -> IoResult<Vec<(u64, Vec<u8>)>> {
+        if blocks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let bs = self.bs();
+        let n = blocks.len();
+        let results: Arc<Mutex<Vec<(u64, Vec<u8>)>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
+        let queue: Arc<Mutex<VecDeque<u64>>> = Arc::new(Mutex::new(blocks.into_iter().collect()));
+        let workers = self.cfg.max_inflight.min(n).max(1);
+        if workers == 1 {
+            // Fast path: no helper processes.
+            while let Some(b) = { let q = queue.lock().pop_front(); q } {
+                let res = self.nfs.read(env, h, b * bs, bs as u32).map_err(map_err)?;
+                let mut data = res.data;
+                data.resize(bs as usize, 0);
+                results.lock().push((b, data));
+            }
+        } else {
+            let mut joins = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let queue = queue.clone();
+                let results = results.clone();
+                let nfs = self.nfs.clone();
+                let bs_w = bs;
+                joins.push(env.spawn(format!("nfs-read-{w}"), move |env| loop {
+                    let b = match queue.lock().pop_front() {
+                        Some(b) => b,
+                        None => return,
+                    };
+                    match nfs.read(&env, h, b * bs_w, bs_w as u32) {
+                        Ok(res) => {
+                            let mut data = res.data;
+                            data.resize(bs_w as usize, 0);
+                            results.lock().push((b, data));
+                        }
+                        Err(_) => return, // surfaces as a short result below
+                    }
+                }));
+            }
+            for j in joins {
+                j.join(env);
+            }
+        }
+        let mut out = Arc::try_unwrap(results)
+            .map_err(|_| IoError::Io("read worker leak".into()))?
+            .into_inner();
+        if out.len() != n {
+            return Err(IoError::Io("read RPC failed".into()));
+        }
+        {
+            let mut st = self.state.lock();
+            st.stats.read_rpcs += n as u64;
+            st.stats.bytes_read += n as u64 * bs;
+        }
+        out.sort_unstable_by_key(|(b, _)| *b);
+        Ok(out)
+    }
+
+    /// Push dirty blocks with bounded parallelism and COMMIT.
+    fn write_blocks(&self, env: &Env, h: Handle, blocks: Vec<(u64, Vec<u8>)>) -> IoResult<()> {
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        let bs = self.bs();
+        let n = blocks.len();
+        // Do not write past the file's logical size: the tail block may
+        // extend beyond EOF.
+        let size = {
+            let st = self.state.lock();
+            st.local_size.get(&h.fileid).copied()
+        };
+        let queue: Arc<Mutex<VecDeque<(u64, Vec<u8>)>>> =
+            Arc::new(Mutex::new(blocks.into_iter().collect()));
+        let failures = Arc::new(Mutex::new(0usize));
+        let workers = self.cfg.max_inflight.min(n).max(1);
+        if workers == 1 {
+            while let Some((b, data)) = { let q = queue.lock().pop_front(); q } {
+                let (off, data) = clip_to_size(b, data, bs, size);
+                if data.is_empty() {
+                    continue;
+                }
+                self.nfs
+                    .write(env, h, off, data, StableHow::Unstable)
+                    .map_err(map_err)?;
+            }
+        } else {
+            let mut joins = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let queue = queue.clone();
+                let failures = failures.clone();
+                let nfs = self.nfs.clone();
+                joins.push(env.spawn(format!("nfs-write-{w}"), move |env| loop {
+                    let (b, data) = match queue.lock().pop_front() {
+                        Some(t) => t,
+                        None => return,
+                    };
+                    let (off, data) = clip_to_size(b, data, bs, size);
+                    if data.is_empty() {
+                        continue;
+                    }
+                    if nfs.write(&env, h, off, data, StableHow::Unstable).is_err() {
+                        *failures.lock() += 1;
+                        return;
+                    }
+                }));
+            }
+            for j in joins {
+                j.join(env);
+            }
+        }
+        if *failures.lock() > 0 {
+            return Err(IoError::Io("write RPC failed".into()));
+        }
+        self.nfs.commit(env, h).map_err(map_err)?;
+        {
+            let mut st = self.state.lock();
+            st.stats.write_rpcs += n as u64;
+            st.stats.bytes_written += n as u64 * bs;
+            st.stats.meta_rpcs += 1; // the COMMIT
+        }
+        Ok(())
+    }
+
+    /// Take dirty blocks (for `only_file` if given) out of the cache's
+    /// dirty set, returning them for writeback. Blocks stay cached clean.
+    fn collect_dirty(&self, only_file: Option<u64>) -> Vec<(Handle, u64, Vec<u8>)> {
+        let mut st = self.state.lock();
+        let keys: Vec<(u64, u64)> = st
+            .cache
+            .iter_mru()
+            .filter(|((f, _), blk)| blk.dirty && only_file.map_or(true, |of| *f == of))
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            if let Some(blk) = st.cache.get_mut(&k) {
+                blk.dirty = false;
+                let data = blk.data.clone();
+                out.push((
+                    Handle {
+                        fileid: k.0,
+                        generation: 0, // filled by caller per-file
+                    },
+                    k.1,
+                    data,
+                ));
+            }
+        }
+        st.dirty_bytes = st
+            .dirty_bytes
+            .saturating_sub(out.len() as u64 * self.bs());
+        out.sort_unstable_by_key(|(_, b, _)| *b);
+        out
+    }
+
+    fn flush_file(&self, env: &Env, h: Handle) -> IoResult<()> {
+        let dirty = self.collect_dirty(Some(h.fileid));
+        let blocks: Vec<(u64, Vec<u8>)> = dirty.into_iter().map(|(_, b, d)| (b, d)).collect();
+        self.write_blocks(env, h, blocks)
+    }
+
+    /// Handle eviction results: a dirty block falling out of the LRU
+    /// triggers a batched write-back of the file's dirty set (the kernel
+    /// coalesces write-back rather than dribbling single pages).
+    fn writeback_evicted(&self, env: &Env, evicted: Vec<((u64, u64), Block)>, h: Handle) -> IoResult<()> {
+        let bs = self.bs();
+        let mut flush_needed = false;
+        let mut stragglers = Vec::new();
+        for ((fileid, b), blk) in evicted {
+            if blk.dirty {
+                {
+                    let mut st = self.state.lock();
+                    st.dirty_bytes = st.dirty_bytes.saturating_sub(bs);
+                }
+                if fileid == h.fileid {
+                    stragglers.push((b, blk.data));
+                    flush_needed = true;
+                }
+                // Dirty data for another file evicted here would need its
+                // handle; our workloads only hold one hot written file at
+                // a time, and flush_file on close covers the rest.
+            }
+        }
+        if flush_needed {
+            // The evicted blocks themselves plus everything else dirty in
+            // the file, in one pipelined batch.
+            let mut batch: Vec<(u64, Vec<u8>)> = self
+                .collect_dirty(Some(h.fileid))
+                .into_iter()
+                .map(|(_, b, d)| (b, d))
+                .collect();
+            batch.extend(stragglers);
+            batch.sort_unstable_by_key(|(b, _)| *b);
+            batch.dedup_by_key(|(b, _)| *b);
+            self.write_blocks(env, h, batch)?;
+        }
+        Ok(())
+    }
+}
+
+fn clip_to_size(b: u64, mut data: Vec<u8>, bs: u64, size: Option<u64>) -> (u64, Vec<u8>) {
+    let off = b * bs;
+    if let Some(sz) = size {
+        if off >= sz {
+            return (off, Vec::new());
+        }
+        let max = (sz - off).min(bs) as usize;
+        data.truncate(max);
+    }
+    (off, data)
+}
+
+fn map_err(e: NfsError) -> IoError {
+    match e {
+        NfsError::Status(Status::NoEnt) => IoError::NotFound,
+        NfsError::Status(Status::Exist) => IoError::Exists,
+        NfsError::Status(Status::NotDir) => IoError::NotDir,
+        NfsError::Status(Status::IsDir) => IoError::IsDir,
+        NfsError::Status(Status::NotEmpty) => IoError::NotEmpty,
+        NfsError::Status(Status::Stale) => IoError::Stale,
+        NfsError::Status(Status::Inval) => IoError::InvalidName,
+        other => IoError::Io(other.to_string()),
+    }
+}
+
+impl FileIo for KernelClient {
+    fn lookup_path(&self, env: &Env, path: &str) -> IoResult<Handle> {
+        let now = env.now().as_nanos();
+        let key = path.trim_matches('/').to_string();
+        {
+            let st = self.state.lock();
+            if let Some((h, exp)) = st.dcache.get(&key) {
+                if *exp > now {
+                    return Ok(*h);
+                }
+            }
+        }
+        // Walk components, one LOOKUP RPC each (dentry-cache miss path).
+        let mut h = self.root;
+        let mut rpcs = 0u64;
+        for comp in key.split('/').filter(|c| !c.is_empty()) {
+            let (next, _) = self.nfs.lookup(env, h, comp).map_err(map_err)?;
+            rpcs += 1;
+            h = next;
+        }
+        let mut st = self.state.lock();
+        st.stats.meta_rpcs += rpcs;
+        let exp = now + self.cfg.attr_timeout.as_nanos();
+        st.dcache.insert(key, (h, exp));
+        Ok(h)
+    }
+
+    fn getattr(&self, env: &Env, h: Handle) -> IoResult<Attr> {
+        self.cached_attr(env, h)
+    }
+
+    fn read(&self, env: &Env, h: Handle, offset: u64, len: u32) -> IoResult<Vec<u8>> {
+        let attr = self.cached_attr(env, h)?;
+        if attr.ftype != FileType::Regular {
+            return Err(IoError::BadType);
+        }
+        if offset >= attr.size {
+            return Ok(Vec::new());
+        }
+        let len = (len as u64).min(attr.size - offset) as usize;
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let bs = self.bs();
+        let first = offset / bs;
+        let last = (offset + len as u64 - 1) / bs;
+
+        // Scan the cache: copy hits, collect misses.
+        let mut assembled: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut misses = Vec::new();
+        {
+            let mut st = self.state.lock();
+            for b in first..=last {
+                if let Some(blk) = st.cache.get(&(h.fileid, b)) {
+                    assembled.insert(b, blk.data.clone());
+                    st.stats.cache_hits += 1;
+                } else {
+                    misses.push(b);
+                    st.stats.cache_misses += 1;
+                }
+            }
+        }
+        for _ in first..=last {
+            env.sleep(self.cfg.hit_cost);
+        }
+        if !misses.is_empty() {
+            let fetched = self.fetch_blocks(env, h, misses)?;
+            let mut evicted_all = Vec::new();
+            {
+                let mut st = self.state.lock();
+                for (b, data) in &fetched {
+                    if let Some(ev) = st.cache.insert(
+                        (h.fileid, *b),
+                        Block {
+                            data: data.clone(),
+                            dirty: false,
+                        },
+                    ) {
+                        evicted_all.push(ev);
+                    }
+                }
+            }
+            self.writeback_evicted(env, evicted_all, h)?;
+            for (b, data) in fetched {
+                assembled.insert(b, data);
+            }
+        }
+        // Assemble the byte range from block copies.
+        let mut out = vec![0u8; len];
+        for (b, data) in assembled {
+            let block_start = b * bs;
+            let copy_from = offset.max(block_start);
+            let copy_to = (offset + len as u64).min(block_start + bs);
+            if copy_from >= copy_to {
+                continue;
+            }
+            let src = &data[(copy_from - block_start) as usize..(copy_to - block_start) as usize];
+            out[(copy_from - offset) as usize..(copy_to - offset) as usize].copy_from_slice(src);
+        }
+        Ok(out)
+    }
+
+    fn write(&self, env: &Env, h: Handle, offset: u64, data: &[u8]) -> IoResult<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let bs = self.bs();
+        let first = offset / bs;
+        let last = (offset + data.len() as u64 - 1) / bs;
+        let size_now = self.cached_attr(env, h)?.size;
+
+        // Read-modify-write: partially-overwritten blocks that exist on
+        // the server and are not cached must be fetched first.
+        let mut rmw = Vec::new();
+        {
+            let st = self.state.lock();
+            for b in [first, last] {
+                let bstart = b * bs;
+                let bend = bstart + bs;
+                let fully_covered = offset <= bstart && (offset + data.len() as u64) >= bend;
+                let exists = bstart < size_now;
+                if !fully_covered && exists && !st.cache.contains(&(h.fileid, b)) && !rmw.contains(&b) {
+                    rmw.push(b);
+                }
+            }
+        }
+        if !rmw.is_empty() {
+            let fetched = self.fetch_blocks(env, h, rmw)?;
+            let mut st = self.state.lock();
+            for (b, d) in fetched {
+                st.cache.insert(
+                    (h.fileid, b),
+                    Block {
+                        data: d,
+                        dirty: false,
+                    },
+                );
+            }
+        }
+
+        // Apply the write into cache blocks, marking dirty.
+        let mut evicted_all = Vec::new();
+        {
+            let mut st = self.state.lock();
+            for b in first..=last {
+                let bstart = b * bs;
+                let from = offset.max(bstart);
+                let to = (offset + data.len() as u64).min(bstart + bs);
+                let src = &data[(from - offset) as usize..(to - offset) as usize];
+                let was_dirty = match st.cache.get_mut(&(h.fileid, b)) {
+                    Some(blk) => {
+                        let was = blk.dirty;
+                        blk.data[(from - bstart) as usize..(to - bstart) as usize]
+                            .copy_from_slice(src);
+                        blk.dirty = true;
+                        Some(was)
+                    }
+                    None => None,
+                };
+                match was_dirty {
+                    Some(true) => {}
+                    Some(false) => st.dirty_bytes += bs,
+                    None => {
+                        let mut block = vec![0u8; bs as usize];
+                        block[(from - bstart) as usize..(to - bstart) as usize]
+                            .copy_from_slice(src);
+                        if let Some(ev) = st.cache.insert(
+                            (h.fileid, b),
+                            Block {
+                                data: block,
+                                dirty: true,
+                            },
+                        ) {
+                            evicted_all.push(ev);
+                        }
+                        st.dirty_bytes += bs;
+                    }
+                }
+            }
+            let end = offset + data.len() as u64;
+            let e = st.local_size.entry(h.fileid).or_insert(size_now);
+            *e = (*e).max(end);
+            // Keep the attribute cache's size fresh for subsequent reads.
+            if let Some((attr, _)) = st.acache.get_mut(&h) {
+                attr.size = attr.size.max(end);
+            }
+        }
+        for _ in first..=last {
+            env.sleep(self.cfg.hit_cost);
+        }
+        self.writeback_evicted(env, evicted_all, h)?;
+
+        // Back-pressure: too much dirty data forces a synchronous flush,
+        // like the kernel's dirty-ratio writeback.
+        let over_limit = { self.state.lock().dirty_bytes > self.cfg.dirty_limit_bytes };
+        if over_limit {
+            self.flush_file(env, h)?;
+        }
+        Ok(())
+    }
+
+    fn create_path(&self, env: &Env, path: &str) -> IoResult<Handle> {
+        let (parent, name) = vfs::io::split_path(path)?;
+        let dir = self.lookup_path(env, parent)?;
+        let h = self.nfs.create(env, dir, name).map_err(map_err)?;
+        let now = env.now().as_nanos();
+        let mut st = self.state.lock();
+        st.stats.meta_rpcs += 1;
+        st.dcache.insert(
+            path.trim_matches('/').to_string(),
+            (h, now + self.cfg.attr_timeout.as_nanos()),
+        );
+        st.local_size.insert(h.fileid, 0);
+        Ok(h)
+    }
+
+    fn mkdir_path(&self, env: &Env, path: &str) -> IoResult<Handle> {
+        let (parent, name) = vfs::io::split_path(path)?;
+        let dir = self.lookup_path(env, parent)?;
+        let h = self.nfs.mkdir(env, dir, name).map_err(map_err)?;
+        self.state.lock().stats.meta_rpcs += 1;
+        Ok(h)
+    }
+
+    fn symlink_path(&self, env: &Env, path: &str, target: &str) -> IoResult<()> {
+        let (parent, name) = vfs::io::split_path(path)?;
+        let dir = self.lookup_path(env, parent)?;
+        self.nfs.symlink(env, dir, name, target).map_err(map_err)?;
+        self.state.lock().stats.meta_rpcs += 1;
+        Ok(())
+    }
+
+    fn readlink(&self, env: &Env, h: Handle) -> IoResult<String> {
+        let t = self.nfs.readlink(env, h).map_err(map_err)?;
+        self.state.lock().stats.meta_rpcs += 1;
+        Ok(t)
+    }
+
+    fn readdir_path(&self, env: &Env, path: &str) -> IoResult<Vec<String>> {
+        let dir = self.lookup_path(env, path)?;
+        let entries = self.nfs.readdir(env, dir).map_err(map_err)?;
+        self.state.lock().stats.meta_rpcs += 1;
+        Ok(entries.into_iter().map(|e| e.name).collect())
+    }
+
+    fn remove_path(&self, env: &Env, path: &str) -> IoResult<()> {
+        let (parent, name) = vfs::io::split_path(path)?;
+        let dir = self.lookup_path(env, parent)?;
+        let res = match self.nfs.remove(env, dir, name) {
+            Ok(()) => Ok(()),
+            Err(NfsError::Status(Status::IsDir)) => self.nfs.rmdir(env, dir, name),
+            Err(e) => Err(e),
+        };
+        res.map_err(map_err)?;
+        let mut st = self.state.lock();
+        st.stats.meta_rpcs += 1;
+        st.dcache.remove(path.trim_matches('/'));
+        Ok(())
+    }
+
+    fn set_size(&self, env: &Env, h: Handle, size: u64) -> IoResult<()> {
+        self.nfs
+            .setattr(env, h, Some(size), None)
+            .map_err(map_err)?;
+        let mut st = self.state.lock();
+        st.stats.meta_rpcs += 1;
+        st.local_size.insert(h.fileid, size);
+        if let Some((attr, _)) = st.acache.get_mut(&h) {
+            attr.size = size;
+        }
+        Ok(())
+    }
+
+    fn close(&self, env: &Env, h: Handle) -> IoResult<()> {
+        // Close-to-open consistency: flush dirty data and drop the
+        // attribute cache entry so the next open revalidates.
+        self.flush_file(env, h)?;
+        self.state.lock().acache.remove(&h);
+        Ok(())
+    }
+
+    fn sync(&self, env: &Env) -> IoResult<()> {
+        // Flush every file with dirty blocks.
+        loop {
+            let next_file = {
+                let st = self.state.lock();
+                let nf = st
+                    .cache
+                    .iter_mru()
+                    .find(|(_, blk)| blk.dirty)
+                    .map(|((f, _), _)| *f);
+                nf
+            };
+            let fileid = match next_file {
+                Some(f) => f,
+                None => break,
+            };
+            // Recover a usable handle for the file: generation is not
+            // tracked per block, so find it in the dcache/acache.
+            let h = {
+                let st = self.state.lock();
+                let found = st
+                    .acache
+                    .keys()
+                    .chain(st.dcache.values().map(|(h, _)| h))
+                    .find(|h| h.fileid == fileid)
+                    .copied();
+                found
+            };
+            match h {
+                Some(h) => self.flush_file(env, h)?,
+                None => {
+                    // No handle — drop the dirty bits (cannot happen in
+                    // practice: writes require a handle, which populates
+                    // the attribute cache).
+                    let _ = self.collect_dirty(Some(fileid));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,134 @@
+//! RPC client stub.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use simnet::Env;
+
+use crate::auth::OpaqueAuth;
+use crate::msg::{AcceptStat, CallHeader, RejectStat, ReplyBody, RpcMessage};
+use crate::transport::RpcChannel;
+
+/// Errors surfaced by [`RpcClient::call`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpcError {
+    /// The transport is gone (listener dropped / connection reset).
+    Transport,
+    /// The reply could not be parsed.
+    Decode(xdr::Error),
+    /// Reply xid did not match the call.
+    XidMismatch {
+        /// xid we sent.
+        expected: u32,
+        /// xid we got back.
+        got: u32,
+    },
+    /// The server accepted the call but reported a failure.
+    Accept(AcceptStat),
+    /// The server denied the call.
+    Denied(RejectStat),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Transport => write!(f, "RPC transport failure"),
+            RpcError::Decode(e) => write!(f, "RPC reply decode error: {e}"),
+            RpcError::XidMismatch { expected, got } => {
+                write!(f, "RPC xid mismatch: expected {expected}, got {got}")
+            }
+            RpcError::Accept(s) => write!(f, "RPC accepted-call failure: {s:?}"),
+            RpcError::Denied(s) => write!(f, "RPC call denied: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// A client stub bound to one transport channel and one credential.
+/// Cloneable and shareable across simulated processes; xids are allocated
+/// from a shared atomic counter so concurrent callers never collide.
+#[derive(Clone)]
+pub struct RpcClient {
+    chan: RpcChannel,
+    cred: OpaqueAuth,
+    next_xid: Arc<AtomicU32>,
+}
+
+impl RpcClient {
+    /// Create a client over `chan` using `cred` for every call.
+    pub fn new(chan: RpcChannel, cred: OpaqueAuth) -> Self {
+        RpcClient {
+            chan,
+            cred,
+            next_xid: Arc::new(AtomicU32::new(1)),
+        }
+    }
+
+    /// Replace the credential (e.g. after middleware refreshes a
+    /// short-lived GVFS identity).
+    pub fn with_cred(&self, cred: OpaqueAuth) -> Self {
+        RpcClient {
+            chan: self.chan.clone(),
+            cred,
+            next_xid: self.next_xid.clone(),
+        }
+    }
+
+    /// The credential attached to calls from this stub.
+    pub fn cred(&self) -> &OpaqueAuth {
+        &self.cred
+    }
+
+    /// Underlying channel (proxies use it to forward raw messages).
+    pub fn channel(&self) -> &RpcChannel {
+        &self.chan
+    }
+
+    /// Call `(prog, vers, proc)` with pre-encoded `args`, returning the
+    /// result bytes of a successful reply.
+    pub fn call(
+        &self,
+        env: &Env,
+        prog: u32,
+        vers: u32,
+        proc: u32,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, RpcError> {
+        let xid = self.next_xid.fetch_add(1, Ordering::Relaxed);
+        let msg = RpcMessage::Call {
+            header: CallHeader {
+                xid,
+                prog,
+                vers,
+                proc,
+                cred: self.cred.clone(),
+                verf: OpaqueAuth::none(),
+            },
+            args,
+        };
+        let request = xdr::to_bytes(&msg);
+        let reply_bytes = self.chan.call_raw(env, request).ok_or(RpcError::Transport)?;
+        let reply: RpcMessage = xdr::from_bytes(&reply_bytes).map_err(RpcError::Decode)?;
+        match reply {
+            RpcMessage::Reply { xid: rxid, body } => {
+                if rxid != xid {
+                    return Err(RpcError::XidMismatch {
+                        expected: xid,
+                        got: rxid,
+                    });
+                }
+                match body {
+                    ReplyBody::Accepted {
+                        stat: AcceptStat::Success,
+                        results,
+                        ..
+                    } => Ok(results),
+                    ReplyBody::Accepted { stat, .. } => Err(RpcError::Accept(stat)),
+                    ReplyBody::Denied(stat) => Err(RpcError::Denied(stat)),
+                }
+            }
+            RpcMessage::Call { .. } => Err(RpcError::Decode(xdr::Error::InvalidDiscriminant(0))),
+        }
+    }
+}

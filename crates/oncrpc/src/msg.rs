@@ -1,0 +1,380 @@
+//! RPC message wire format (RFC 5531 §9).
+
+use crate::auth::OpaqueAuth;
+use xdr::{Decode, Decoder, Encode, Encoder, Error, Result};
+
+/// The RPC protocol version this implementation speaks.
+pub const RPC_VERSION: u32 = 2;
+
+const MSG_CALL: u32 = 0;
+const MSG_REPLY: u32 = 1;
+
+const REPLY_ACCEPTED: u32 = 0;
+const REPLY_DENIED: u32 = 1;
+
+/// `accept_stat`: outcome of an accepted call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptStat {
+    /// RPC executed successfully; results follow.
+    Success,
+    /// Program not exported on this server.
+    ProgUnavail,
+    /// Program version out of the supported range.
+    ProgMismatch {
+        /// Lowest supported version.
+        low: u32,
+        /// Highest supported version.
+        high: u32,
+    },
+    /// Unsupported procedure number.
+    ProcUnavail,
+    /// Arguments could not be decoded.
+    GarbageArgs,
+    /// Server-side internal error.
+    SystemErr,
+}
+
+/// `reject_stat`: why a call was denied outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectStat {
+    /// RPC version mismatch.
+    RpcMismatch {
+        /// Lowest supported RPC version.
+        low: u32,
+        /// Highest supported RPC version.
+        high: u32,
+    },
+    /// Authentication failure, with the `auth_stat` code.
+    AuthError(u32),
+}
+
+/// Authentication status codes used with [`RejectStat::AuthError`].
+pub mod auth_stat {
+    /// Bad credential (seal broken or unparsable).
+    pub const BADCRED: u32 = 1;
+    /// Credential expired — GVFS short-lived identities time out.
+    pub const REJECTEDCRED: u32 = 2;
+    /// Unsupported flavor.
+    pub const TOOWEAK: u32 = 5;
+}
+
+/// Body of a call message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallHeader {
+    /// Transaction id, echoed in the reply.
+    pub xid: u32,
+    /// Program number (e.g. 100003 for NFS, 100005 for MOUNT).
+    pub prog: u32,
+    /// Program version.
+    pub vers: u32,
+    /// Procedure number.
+    pub proc: u32,
+    /// Caller credential.
+    pub cred: OpaqueAuth,
+    /// Caller verifier.
+    pub verf: OpaqueAuth,
+}
+
+/// Body of a reply message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyBody {
+    /// The call was accepted; `stat` describes the outcome and, on
+    /// success, `results` holds procedure-specific XDR data.
+    Accepted {
+        /// Server verifier.
+        verf: OpaqueAuth,
+        /// Acceptance status.
+        stat: AcceptStat,
+        /// Procedure results (only meaningful for [`AcceptStat::Success`]).
+        results: Vec<u8>,
+    },
+    /// The call was rejected before execution.
+    Denied(RejectStat),
+}
+
+/// A complete RPC message: either a call (with procedure arguments) or a
+/// reply keyed to a call's xid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcMessage {
+    /// Call message with argument bytes.
+    Call {
+        /// Call header.
+        header: CallHeader,
+        /// Procedure arguments, XDR-encoded.
+        args: Vec<u8>,
+    },
+    /// Reply message.
+    Reply {
+        /// Transaction id of the call being answered.
+        xid: u32,
+        /// Reply body.
+        body: ReplyBody,
+    },
+}
+
+impl RpcMessage {
+    /// Build a successful reply carrying `results`.
+    pub fn success(xid: u32, results: Vec<u8>) -> Self {
+        RpcMessage::Reply {
+            xid,
+            body: ReplyBody::Accepted {
+                verf: OpaqueAuth::none(),
+                stat: AcceptStat::Success,
+                results,
+            },
+        }
+    }
+
+    /// Build an accepted-but-failed reply.
+    pub fn accept_error(xid: u32, stat: AcceptStat) -> Self {
+        debug_assert!(stat != AcceptStat::Success);
+        RpcMessage::Reply {
+            xid,
+            body: ReplyBody::Accepted {
+                verf: OpaqueAuth::none(),
+                stat,
+                results: Vec::new(),
+            },
+        }
+    }
+
+    /// Build a denial reply.
+    pub fn denied(xid: u32, stat: RejectStat) -> Self {
+        RpcMessage::Reply {
+            xid,
+            body: ReplyBody::Denied(stat),
+        }
+    }
+
+    /// The message's transaction id.
+    pub fn xid(&self) -> u32 {
+        match self {
+            RpcMessage::Call { header, .. } => header.xid,
+            RpcMessage::Reply { xid, .. } => *xid,
+        }
+    }
+}
+
+impl Encode for RpcMessage {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            RpcMessage::Call { header, args } => {
+                enc.put_u32(header.xid);
+                enc.put_u32(MSG_CALL);
+                enc.put_u32(RPC_VERSION);
+                enc.put_u32(header.prog);
+                enc.put_u32(header.vers);
+                enc.put_u32(header.proc);
+                header.cred.encode(enc);
+                header.verf.encode(enc);
+                // Args are raw XDR already; append without a length prefix,
+                // exactly as on the wire.
+                enc.put_opaque_fixed_unpadded(args);
+            }
+            RpcMessage::Reply { xid, body } => {
+                enc.put_u32(*xid);
+                enc.put_u32(MSG_REPLY);
+                match body {
+                    ReplyBody::Accepted {
+                        verf,
+                        stat,
+                        results,
+                    } => {
+                        enc.put_u32(REPLY_ACCEPTED);
+                        verf.encode(enc);
+                        match stat {
+                            AcceptStat::Success => {
+                                enc.put_u32(0);
+                                enc.put_opaque_fixed_unpadded(results);
+                            }
+                            AcceptStat::ProgUnavail => enc.put_u32(1),
+                            AcceptStat::ProgMismatch { low, high } => {
+                                enc.put_u32(2);
+                                enc.put_u32(*low);
+                                enc.put_u32(*high);
+                            }
+                            AcceptStat::ProcUnavail => enc.put_u32(3),
+                            AcceptStat::GarbageArgs => enc.put_u32(4),
+                            AcceptStat::SystemErr => enc.put_u32(5),
+                        }
+                    }
+                    ReplyBody::Denied(stat) => {
+                        enc.put_u32(REPLY_DENIED);
+                        match stat {
+                            RejectStat::RpcMismatch { low, high } => {
+                                enc.put_u32(0);
+                                enc.put_u32(*low);
+                                enc.put_u32(*high);
+                            }
+                            RejectStat::AuthError(code) => {
+                                enc.put_u32(1);
+                                enc.put_u32(*code);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Raw-append helper: RPC args/results are a tail of pre-encoded XDR; they
+/// are appended verbatim (already word-aligned by construction).
+trait PutRaw {
+    fn put_opaque_fixed_unpadded(&mut self, data: &[u8]);
+}
+
+impl PutRaw for Encoder {
+    fn put_opaque_fixed_unpadded(&mut self, data: &[u8]) {
+        debug_assert_eq!(data.len() % 4, 0, "RPC payload must be word-aligned");
+        // Fixed opaque of word-aligned length adds no padding.
+        self.put_opaque_fixed(data);
+    }
+}
+
+impl Decode for RpcMessage {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let xid = dec.get_u32()?;
+        match dec.get_u32()? {
+            MSG_CALL => {
+                let rpcvers = dec.get_u32()?;
+                if rpcvers != RPC_VERSION {
+                    return Err(Error::InvalidDiscriminant(rpcvers));
+                }
+                let prog = dec.get_u32()?;
+                let vers = dec.get_u32()?;
+                let proc = dec.get_u32()?;
+                let cred = OpaqueAuth::decode(dec)?;
+                let verf = OpaqueAuth::decode(dec)?;
+                let args = dec.get_opaque_fixed(dec.remaining())?.to_vec();
+                Ok(RpcMessage::Call {
+                    header: CallHeader {
+                        xid,
+                        prog,
+                        vers,
+                        proc,
+                        cred,
+                        verf,
+                    },
+                    args,
+                })
+            }
+            MSG_REPLY => {
+                let body = match dec.get_u32()? {
+                    REPLY_ACCEPTED => {
+                        let verf = OpaqueAuth::decode(dec)?;
+                        let stat = match dec.get_u32()? {
+                            0 => AcceptStat::Success,
+                            1 => AcceptStat::ProgUnavail,
+                            2 => AcceptStat::ProgMismatch {
+                                low: dec.get_u32()?,
+                                high: dec.get_u32()?,
+                            },
+                            3 => AcceptStat::ProcUnavail,
+                            4 => AcceptStat::GarbageArgs,
+                            5 => AcceptStat::SystemErr,
+                            other => return Err(Error::InvalidDiscriminant(other)),
+                        };
+                        let results = if stat == AcceptStat::Success {
+                            dec.get_opaque_fixed(dec.remaining())?.to_vec()
+                        } else {
+                            Vec::new()
+                        };
+                        ReplyBody::Accepted {
+                            verf,
+                            stat,
+                            results,
+                        }
+                    }
+                    REPLY_DENIED => {
+                        let stat = match dec.get_u32()? {
+                            0 => RejectStat::RpcMismatch {
+                                low: dec.get_u32()?,
+                                high: dec.get_u32()?,
+                            },
+                            1 => RejectStat::AuthError(dec.get_u32()?),
+                            other => return Err(Error::InvalidDiscriminant(other)),
+                        };
+                        ReplyBody::Denied(stat)
+                    }
+                    other => return Err(Error::InvalidDiscriminant(other)),
+                };
+                Ok(RpcMessage::Reply { xid, body })
+            }
+            other => Err(Error::InvalidDiscriminant(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::{AuthSys, OpaqueAuth};
+
+    fn sample_call() -> RpcMessage {
+        RpcMessage::Call {
+            header: CallHeader {
+                xid: 99,
+                prog: 100_003,
+                vers: 3,
+                proc: 6, // READ
+                cred: OpaqueAuth::sys(&AuthSys::new("client", 500, 500)),
+                verf: OpaqueAuth::none(),
+            },
+            args: xdr::to_bytes(&42u32),
+        }
+    }
+
+    #[test]
+    fn call_round_trips() {
+        let m = sample_call();
+        let bytes = xdr::to_bytes(&m);
+        let back: RpcMessage = xdr::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn success_reply_round_trips_with_results() {
+        let m = RpcMessage::success(99, xdr::to_bytes(&7u64));
+        let bytes = xdr::to_bytes(&m);
+        let back: RpcMessage = xdr::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.xid(), 99);
+    }
+
+    #[test]
+    fn all_accept_errors_round_trip() {
+        for stat in [
+            AcceptStat::ProgUnavail,
+            AcceptStat::ProgMismatch { low: 2, high: 3 },
+            AcceptStat::ProcUnavail,
+            AcceptStat::GarbageArgs,
+            AcceptStat::SystemErr,
+        ] {
+            let m = RpcMessage::accept_error(5, stat);
+            let back: RpcMessage = xdr::from_bytes(&xdr::to_bytes(&m)).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn denials_round_trip() {
+        for stat in [
+            RejectStat::RpcMismatch { low: 2, high: 2 },
+            RejectStat::AuthError(auth_stat::REJECTEDCRED),
+        ] {
+            let m = RpcMessage::denied(1, stat);
+            let back: RpcMessage = xdr::from_bytes(&xdr::to_bytes(&m)).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn wrong_rpc_version_is_rejected() {
+        let m = sample_call();
+        let mut bytes = xdr::to_bytes(&m);
+        // Word 2 (offset 8..12) is the RPC version; corrupt it.
+        bytes[8..12].copy_from_slice(&9u32.to_be_bytes());
+        assert!(xdr::from_bytes::<RpcMessage>(&bytes).is_err());
+    }
+}

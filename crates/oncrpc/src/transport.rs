@@ -1,0 +1,336 @@
+//! Simulated RPC transport over [`simnet`] links.
+//!
+//! An [`Endpoint`] pairs a client-side [`RpcChannel`] with a server-side
+//! [`Listener`]. Requests pay the uplink's latency + shared-bandwidth
+//! serialization, optionally plus an SSH-tunnel-style cost ([`WireSpec`]):
+//! per-message byte overhead and a cipher-throughput time cost, modelling
+//! the paper's SSH-tunnelled private data channels. Replies pay the same
+//! on the downlink, charged to the server worker that produced them.
+//!
+//! A GVFS proxy is an RPC *handler* that owns an `RpcChannel` to the next
+//! hop, so arbitrary proxy chains (client proxy → LAN cache proxy →
+//! server proxy → kernel server) compose from these endpoints.
+
+use std::sync::Arc;
+
+use simnet::{channel, Env, Link, Receiver, Sender, SimDuration, SimHandle};
+
+use crate::record;
+
+/// Cost model for one hop's wire encapsulation.
+#[derive(Debug, Clone, Copy)]
+pub struct WireSpec {
+    /// Extra bytes added to every message (framing, tunnel headers, MACs).
+    pub per_message_overhead: u64,
+    /// Multiplicative byte overhead (1.0 = none); SSH adds a few percent.
+    pub byte_overhead_factor: f64,
+    /// Cipher throughput in bytes/second; `None` for an unencrypted hop.
+    /// The sending side pays `bytes / throughput` of CPU time, which
+    /// covers both ends' cipher work in one charge.
+    pub cipher_bytes_per_sec: Option<f64>,
+}
+
+impl WireSpec {
+    /// A plain TCP hop: only record-marking framing.
+    pub fn plain() -> Self {
+        WireSpec {
+            per_message_overhead: record::HEADER_LEN as u64,
+            byte_overhead_factor: 1.0,
+            cipher_bytes_per_sec: None,
+        }
+    }
+
+    /// An SSH-tunnelled hop as used by GVFS private data channels:
+    /// per-packet MAC/padding overhead and a cipher-throughput charge.
+    pub fn ssh_tunnel(cipher_bytes_per_sec: f64) -> Self {
+        WireSpec {
+            per_message_overhead: record::HEADER_LEN as u64 + 48,
+            byte_overhead_factor: 1.02,
+            cipher_bytes_per_sec: Some(cipher_bytes_per_sec),
+        }
+    }
+
+    /// Wire bytes for a `payload_len`-byte message under this spec.
+    pub fn wire_bytes(&self, payload_len: usize) -> u64 {
+        (payload_len as f64 * self.byte_overhead_factor) as u64 + self.per_message_overhead
+    }
+
+    /// CPU time charged for ciphering a `payload_len`-byte message.
+    pub fn cipher_time(&self, payload_len: usize) -> SimDuration {
+        match self.cipher_bytes_per_sec {
+            Some(tp) => SimDuration::from_secs_f64(payload_len as f64 / tp),
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+struct Envelope {
+    bytes: Vec<u8>,
+    reply_tx: Sender<Vec<u8>>,
+}
+
+/// Client-side handle: sends a request message and blocks (in virtual
+/// time) for the matching reply. Cloneable; concurrent callers interleave
+/// on the shared links.
+#[derive(Clone)]
+pub struct RpcChannel {
+    handle: SimHandle,
+    up: Link,
+    down: Link,
+    wire: WireSpec,
+    tx: Sender<Envelope>,
+}
+
+impl RpcChannel {
+    /// Send `request` and wait for the reply bytes.
+    ///
+    /// Returns `None` if the listener was dropped (connection refused /
+    /// reset), which callers surface as an RPC transport error.
+    pub fn call_raw(&self, env: &Env, request: Vec<u8>) -> Option<Vec<u8>> {
+        env.sleep(self.wire.cipher_time(request.len()));
+        self.up.transfer(env, self.wire.wire_bytes(request.len()));
+        let (reply_tx, reply_rx) = channel::<Vec<u8>>(&self.handle);
+        self.tx.send(Envelope {
+            bytes: request,
+            reply_tx,
+        });
+        reply_rx.recv(env).ok()
+    }
+
+    /// The wire spec for this hop (used by servers replying).
+    pub fn wire(&self) -> WireSpec {
+        self.wire
+    }
+
+    /// The downlink (reply direction) of this hop.
+    pub fn down_link(&self) -> &Link {
+        &self.down
+    }
+}
+
+/// Server-side handle: holds the request queue plus the reply path. Call
+/// [`Listener::serve`] to start worker processes.
+pub struct Listener {
+    handle: SimHandle,
+    rx: Arc<Receiver<Envelope>>,
+    down: Link,
+    wire: WireSpec,
+}
+
+/// Something that services raw RPC request bytes. Handlers run inside a
+/// simulated worker process and may block in virtual time (disk access,
+/// upstream RPC calls, cache operations).
+pub trait RpcHandler: Send + Sync + 'static {
+    /// Service one request, returning the reply message bytes.
+    fn handle(&self, env: &Env, request: &[u8]) -> Vec<u8>;
+}
+
+impl<F> RpcHandler for F
+where
+    F: Fn(&Env, &[u8]) -> Vec<u8> + Send + Sync + 'static,
+{
+    fn handle(&self, env: &Env, request: &[u8]) -> Vec<u8> {
+        self(env, request)
+    }
+}
+
+impl Listener {
+    /// Spawn `workers` service processes, each looping: receive a request,
+    /// run the handler, pay the reply's cipher + downlink cost, respond.
+    /// Worker count bounds server-side concurrency the way `nfsd` thread
+    /// count does on a real server.
+    pub fn serve(self, name: &str, handler: Arc<dyn RpcHandler>, workers: usize) {
+        assert!(workers > 0);
+        for w in 0..workers {
+            let rx = self.rx.clone();
+            let down = self.down.clone();
+            let wire = self.wire;
+            let handler = handler.clone();
+            self.handle
+                .spawn(format!("{name}-worker{w}"), move |env| loop {
+                    let envelope = match rx.recv(&env) {
+                        Ok(e) => e,
+                        Err(_) => return, // all clients gone
+                    };
+                    let reply = handler.handle(&env, &envelope.bytes);
+                    env.sleep(wire.cipher_time(reply.len()));
+                    down.transfer(&env, wire.wire_bytes(reply.len()));
+                    envelope.reply_tx.send(reply);
+                });
+        }
+    }
+}
+
+/// A connected client/server endpoint pair over a pair of links.
+pub struct Endpoint {
+    /// Client half.
+    pub channel: RpcChannel,
+    /// Server half.
+    pub listener: Listener,
+}
+
+/// Create a transport endpoint: requests traverse `up`, replies traverse
+/// `down`, both under `wire` encapsulation.
+pub fn endpoint(handle: &SimHandle, up: Link, down: Link, wire: WireSpec) -> Endpoint {
+    let (tx, rx) = channel::<Envelope>(handle);
+    Endpoint {
+        channel: RpcChannel {
+            handle: handle.clone(),
+            up,
+            down: down.clone(),
+            wire,
+            tx,
+        },
+        listener: Listener {
+            handle: handle.clone(),
+            rx: Arc::new(rx),
+            down,
+            wire,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{SimTime, Simulation};
+    use std::sync::atomic::{AtomicU64, Ordering as AO};
+
+    fn fast_link(h: &SimHandle, name: &str) -> Link {
+        Link::new(h, name, 1e9, SimDuration::from_millis(1))
+    }
+
+    #[test]
+    fn echo_server_round_trips_bytes() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let ep = endpoint(
+            &h,
+            fast_link(&h, "up"),
+            fast_link(&h, "down"),
+            WireSpec::plain(),
+        );
+        ep.listener.serve(
+            "echo",
+            Arc::new(|_env: &Env, req: &[u8]| req.to_vec()),
+            1,
+        );
+        let chan = ep.channel;
+        sim.spawn("client", move |env| {
+            let reply = chan.call_raw(&env, b"ping".to_vec()).unwrap();
+            assert_eq!(reply, b"ping");
+            // Two 1 ms latencies round trip.
+            assert!(env.now() >= SimTime::ZERO + SimDuration::from_millis(2));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn call_costs_reflect_latency_both_ways() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let up = Link::new(&h, "up", 1e12, SimDuration::from_millis(17));
+        let down = Link::new(&h, "down", 1e12, SimDuration::from_millis(17));
+        let ep = endpoint(&h, up, down, WireSpec::plain());
+        ep.listener
+            .serve("null", Arc::new(|_: &Env, _: &[u8]| vec![0u8; 4]), 1);
+        let chan = ep.channel;
+        let rtt_ns = Arc::new(AtomicU64::new(0));
+        let r2 = rtt_ns.clone();
+        sim.spawn("client", move |env| {
+            let t0 = env.now();
+            chan.call_raw(&env, vec![0u8; 4]).unwrap();
+            r2.store((env.now() - t0).as_nanos(), AO::SeqCst);
+        });
+        sim.run();
+        let rtt_ms = rtt_ns.load(AO::SeqCst) as f64 / 1e6;
+        assert!(
+            (rtt_ms - 34.0).abs() < 0.1,
+            "expected ~34 ms RTT, got {rtt_ms} ms"
+        );
+    }
+
+    #[test]
+    fn ssh_tunnel_costs_more_than_plain() {
+        let run = |wire: WireSpec| -> u64 {
+            let sim = Simulation::new();
+            let h = sim.handle();
+            let up = Link::from_mbps(&h, "up", 100.0, SimDuration::from_micros(100));
+            let down = Link::from_mbps(&h, "down", 100.0, SimDuration::from_micros(100));
+            let ep = endpoint(&h, up, down, wire);
+            ep.listener
+                .serve("srv", Arc::new(|_: &Env, _: &[u8]| vec![0u8; 32768]), 1);
+            let chan = ep.channel;
+            let done = Arc::new(AtomicU64::new(0));
+            let d2 = done.clone();
+            sim.spawn("client", move |env| {
+                for _ in 0..10 {
+                    chan.call_raw(&env, vec![0u8; 128]).unwrap();
+                }
+                d2.store(env.now().as_nanos(), AO::SeqCst);
+            });
+            sim.run();
+            done.load(AO::SeqCst)
+        };
+        let plain = run(WireSpec::plain());
+        let tunneled = run(WireSpec::ssh_tunnel(50e6));
+        assert!(
+            tunneled > plain,
+            "tunnel {tunneled} should exceed plain {plain}"
+        );
+    }
+
+    #[test]
+    fn multiple_workers_overlap_service_time() {
+        // Two requests whose handler sleeps 1 s each: with one worker they
+        // serialize (~2 s); with two workers they overlap (~1 s).
+        let run = |workers: usize| -> f64 {
+            let sim = Simulation::new();
+            let h = sim.handle();
+            let ep = endpoint(
+                &h,
+                fast_link(&h, "up"),
+                fast_link(&h, "down"),
+                WireSpec::plain(),
+            );
+            ep.listener.serve(
+                "slow",
+                Arc::new(|env: &Env, _: &[u8]| {
+                    env.sleep(SimDuration::from_secs(1));
+                    vec![0u8; 4]
+                }),
+                workers,
+            );
+            let chan = ep.channel;
+            for i in 0..2 {
+                let c = chan.clone();
+                sim.spawn(format!("c{i}"), move |env| {
+                    c.call_raw(&env, vec![0u8; 4]).unwrap();
+                });
+            }
+            sim.run().as_secs_f64()
+        };
+        let serial = run(1);
+        let parallel = run(2);
+        assert!(serial > 1.9, "serial took {serial}");
+        assert!(parallel < 1.1, "parallel took {parallel}");
+    }
+
+    #[test]
+    fn dropped_listener_yields_none() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let ep = endpoint(
+            &h,
+            fast_link(&h, "up"),
+            fast_link(&h, "down"),
+            WireSpec::plain(),
+        );
+        drop(ep.listener); // server never starts
+        let chan = ep.channel;
+        sim.spawn("client", move |env| {
+            assert!(chan.call_raw(&env, b"hi".to_vec()).is_none());
+        });
+        sim.run();
+    }
+}

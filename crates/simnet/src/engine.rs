@@ -1,0 +1,547 @@
+//! The discrete-event simulation kernel.
+//!
+//! Simulated actors ("processes") are ordinary closures that run on real OS
+//! threads, but **exactly one process executes at any instant**: the
+//! scheduler hands control to a process and blocks until that process either
+//! suspends on a simulation primitive (sleep, channel, resource, link
+//! transfer) or finishes. Events with equal timestamps fire in FIFO order
+//! (monotonic sequence numbers), so a given program produces the same
+//! timeline on every run.
+//!
+//! This is the classic "SimPy with threads" construction: it buys natural,
+//! blocking, sequential code for workloads (a VM monitor model is literally
+//! a loop of `read`/`write`/`compute` calls) at the cost of one parked OS
+//! thread per live process — trivially cheap at the scale of these
+//! experiments (tens of processes).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a simulated process.
+pub(crate) type Pid = usize;
+
+/// Sentinel panic payload used to unwind a process thread when the
+/// simulation shuts down while the process is still blocked.
+struct SimAbort;
+
+/// Install (once) a panic hook that silences [`SimAbort`] unwinds — they
+/// are the normal shutdown path for blocked processes, not errors — and
+/// defers everything else to the previous hook.
+fn install_quiet_abort_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimAbort>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+enum EventKind {
+    /// Resume the given process.
+    Wake(Pid),
+    /// Run an arbitrary callback on the scheduler thread (used by the
+    /// fluid-flow link model to complete transfers).
+    Call(Box<dyn FnOnce() + Send>),
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ProcState {
+    /// Not yet started or blocked on a primitive.
+    Waiting,
+    /// Currently executing (the scheduler is parked).
+    Running,
+    /// Finished (normally or by panic).
+    Done,
+}
+
+pub(crate) struct ProcCtl {
+    name: String,
+    state: Mutex<ProcState>,
+    cv: Condvar,
+    abort: Mutex<bool>,
+}
+
+impl ProcCtl {
+    fn new(name: String) -> Self {
+        ProcCtl {
+            name,
+            state: Mutex::new(ProcState::Waiting),
+            cv: Condvar::new(),
+            abort: Mutex::new(false),
+        }
+    }
+}
+
+struct KernelInner {
+    heap: BinaryHeap<Event>,
+    now: SimTime,
+    seq: u64,
+    procs: Vec<Arc<ProcCtl>>,
+    failures: Vec<String>,
+    shutting_down: bool,
+    events_processed: u64,
+}
+
+/// Shared, cloneable handle to the simulation kernel. Synchronization
+/// primitives ([`crate::sync`], [`crate::link`]) hold one of these to
+/// schedule wake-ups and callbacks.
+#[derive(Clone)]
+pub struct SimHandle {
+    inner: Arc<Mutex<KernelInner>>,
+}
+
+impl SimHandle {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.inner.lock().now
+    }
+
+    /// Number of events the scheduler has processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.inner.lock().events_processed
+    }
+
+    /// Spawn a process; it becomes runnable at the current instant. This is
+    /// the same operation as [`Simulation::spawn`] / [`Env::spawn`], exposed
+    /// on the handle so library code (e.g. RPC servers) can start workers.
+    pub fn spawn(
+        &self,
+        name: impl Into<String>,
+        f: impl FnOnce(Env) + Send + 'static,
+    ) -> ProcessHandle {
+        spawn_with_handle(self, name.into(), f)
+    }
+
+    pub(crate) fn schedule_wake(&self, time: SimTime, pid: Pid) {
+        let mut k = self.inner.lock();
+        let seq = k.seq;
+        k.seq += 1;
+        k.heap.push(Event {
+            time,
+            seq,
+            kind: EventKind::Wake(pid),
+        });
+    }
+
+    /// Schedule an arbitrary callback to run on the scheduler thread at
+    /// `time`. The callback must not block; it may schedule further events
+    /// and wake processes.
+    pub fn schedule_call(&self, time: SimTime, f: impl FnOnce() + Send + 'static) {
+        let mut k = self.inner.lock();
+        let seq = k.seq;
+        k.seq += 1;
+        k.heap.push(Event {
+            time,
+            seq,
+            kind: EventKind::Call(Box::new(f)),
+        });
+    }
+
+    fn spawn_inner(
+        &self,
+        name: String,
+        f: impl FnOnce(Env) + Send + 'static,
+    ) -> (Pid, Arc<ProcCtl>) {
+        let ctl = Arc::new(ProcCtl::new(name));
+        let pid;
+        {
+            let mut k = self.inner.lock();
+            assert!(
+                !k.shutting_down,
+                "cannot spawn a process while the simulation is shutting down"
+            );
+            pid = k.procs.len();
+            k.procs.push(ctl.clone());
+        }
+        let env = Env {
+            handle: self.clone(),
+            pid,
+            ctl: ctl.clone(),
+        };
+        let thread_ctl = ctl.clone();
+        let handle = self.clone();
+        // Detached, small-stack threads: a long simulation spawns many
+        // short-lived worker processes (parallel RPC fan-out), and keeping
+        // JoinHandles would retain every exited thread's stack until the
+        // end of the run. Process code is shallow (no deep recursion), so
+        // 512 KB is ample.
+        std::thread::Builder::new()
+            .name(format!("sim-{}", ctl.name))
+            .stack_size(512 * 1024)
+            .spawn(move || {
+                // Wait for the first wake before running the body.
+                {
+                    let mut st = thread_ctl.state.lock();
+                    while *st != ProcState::Running {
+                        thread_ctl.cv.wait(&mut st);
+                    }
+                }
+                let aborted_at_start = *thread_ctl.abort.lock();
+                if !aborted_at_start {
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| f(env)));
+                    if let Err(payload) = result {
+                        if payload.downcast_ref::<SimAbort>().is_none() {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "<non-string panic>".to_string());
+                            handle
+                                .inner
+                                .lock()
+                                .failures
+                                .push(format!("process '{}' panicked: {msg}", thread_ctl.name));
+                        }
+                    }
+                }
+                let mut st = thread_ctl.state.lock();
+                *st = ProcState::Done;
+                thread_ctl.cv.notify_all();
+            })
+            .expect("failed to spawn simulation process thread");
+        // Make the new process runnable "now".
+        let now = self.now();
+        self.schedule_wake(now, pid);
+        (pid, ctl)
+    }
+
+    /// Hand control to `pid` and block until it suspends or finishes.
+    fn run_proc(&self, pid: Pid) {
+        let ctl = self.inner.lock().procs[pid].clone();
+        let mut st = ctl.state.lock();
+        if *st == ProcState::Done {
+            return;
+        }
+        debug_assert_eq!(*st, ProcState::Waiting, "woke a process that is running");
+        *st = ProcState::Running;
+        ctl.cv.notify_all();
+        while *st == ProcState::Running {
+            ctl.cv.wait(&mut st);
+        }
+    }
+}
+
+/// The per-process capability handle, passed to every process body. All
+/// blocking simulation primitives go through an `Env`.
+#[derive(Clone)]
+pub struct Env {
+    handle: SimHandle,
+    pid: Pid,
+    ctl: Arc<ProcCtl>,
+}
+
+impl Env {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.handle.now()
+    }
+
+    /// Access the kernel handle (for constructing sync objects).
+    pub fn handle(&self) -> &SimHandle {
+        &self.handle
+    }
+
+    /// Name of this process.
+    pub fn name(&self) -> &str {
+        &self.ctl.name
+    }
+
+    /// Advance simulated time by `d` for this process.
+    pub fn sleep(&self, d: SimDuration) {
+        let t = self.now() + d;
+        self.handle.schedule_wake(t, self.pid);
+        self.suspend();
+    }
+
+    /// Let every other event scheduled at the current instant run first.
+    pub fn yield_now(&self) {
+        self.sleep(SimDuration::ZERO);
+    }
+
+    /// Spawn a child process; it becomes runnable at the current instant.
+    pub fn spawn(&self, name: impl Into<String>, f: impl FnOnce(Env) + Send + 'static) -> ProcessHandle {
+        spawn_with_handle(&self.handle, name.into(), f)
+    }
+
+    pub(crate) fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Block until some primitive wakes this process. Used internally by
+    /// channels, resources, signals and links: the caller registers itself
+    /// with the primitive under the primitive's lock, releases the lock,
+    /// then suspends. Because only one process runs at a time, no wake can
+    /// be lost in between.
+    pub(crate) fn suspend(&self) {
+        let mut st = self.ctl.state.lock();
+        debug_assert_eq!(*st, ProcState::Running);
+        *st = ProcState::Waiting;
+        self.ctl.cv.notify_all();
+        while *st != ProcState::Running {
+            self.ctl.cv.wait(&mut st);
+        }
+        let aborted = *self.ctl.abort.lock();
+        drop(st);
+        if aborted {
+            install_quiet_abort_hook();
+            panic::panic_any(SimAbort);
+        }
+    }
+}
+
+/// Handle to a spawned process; lets another process wait for completion.
+pub struct ProcessHandle {
+    done: crate::sync::Signal,
+}
+
+impl ProcessHandle {
+    /// Block the calling process until the spawned process finishes.
+    pub fn join(&self, env: &Env) {
+        self.done.wait(env);
+    }
+
+    /// Whether the process has already finished.
+    pub fn is_done(&self) -> bool {
+        self.done.is_set()
+    }
+}
+
+fn spawn_with_handle(
+    handle: &SimHandle,
+    name: String,
+    f: impl FnOnce(Env) + Send + 'static,
+) -> ProcessHandle {
+    let done = crate::sync::Signal::new(handle);
+    let done2 = done.clone();
+    handle.spawn_inner(name, move |env| {
+        f(env.clone());
+        done2.set();
+    });
+    ProcessHandle { done }
+}
+
+/// A discrete-event simulation: owns the event queue and the scheduler.
+pub struct Simulation {
+    handle: SimHandle,
+}
+
+impl Simulation {
+    /// Create an empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            handle: SimHandle {
+                inner: Arc::new(Mutex::new(KernelInner {
+                    heap: BinaryHeap::new(),
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    procs: Vec::new(),
+                    failures: Vec::new(),
+                    shutting_down: false,
+                    events_processed: 0,
+                })),
+            },
+        }
+    }
+
+    /// Cloneable handle for constructing primitives before the run starts.
+    pub fn handle(&self) -> SimHandle {
+        self.handle.clone()
+    }
+
+    /// Spawn a root process; it becomes runnable at time zero (or the
+    /// current time, if spawned mid-run from outside — not typical).
+    pub fn spawn(&self, name: impl Into<String>, f: impl FnOnce(Env) + Send + 'static) -> ProcessHandle {
+        spawn_with_handle(&self.handle, name.into(), f)
+    }
+
+    /// Run the simulation to quiescence (empty event queue) and return the
+    /// final simulated time.
+    ///
+    /// Processes still blocked at quiescence (e.g. a server loop waiting on
+    /// a request channel that will never receive again) are aborted
+    /// cleanly. Panics raised *inside* processes are collected and re-raised
+    /// here so test failures point at the real error.
+    pub fn run(self) -> SimTime {
+        let handle = self.handle;
+        loop {
+            let ev = {
+                let mut k = handle.inner.lock();
+                match k.heap.pop() {
+                    Some(ev) => {
+                        k.now = ev.time;
+                        k.events_processed += 1;
+                        ev
+                    }
+                    None => break,
+                }
+            };
+            match ev.kind {
+                EventKind::Wake(pid) => handle.run_proc(pid),
+                EventKind::Call(f) => f(),
+            }
+        }
+
+        // Quiescent: abort any process still blocked so its thread exits.
+        let (final_time, procs) = {
+            let mut k = handle.inner.lock();
+            k.shutting_down = true;
+            (k.now, k.procs.clone())
+        };
+        for (pid, ctl) in procs.iter().enumerate() {
+            let is_done = { *ctl.state.lock() == ProcState::Done };
+            if !is_done {
+                *ctl.abort.lock() = true;
+                handle.run_proc(pid);
+            }
+        }
+        let failures = {
+            let mut k = handle.inner.lock();
+            std::mem::take(&mut k.failures)
+        };
+        if !failures.is_empty() {
+            panic!("simulation process failures:\n  {}", failures.join("\n  "));
+        }
+        final_time
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering as AO};
+
+    #[test]
+    fn empty_simulation_finishes_at_zero() {
+        let sim = Simulation::new();
+        assert_eq!(sim.run(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Simulation::new();
+        let observed = Arc::new(AtomicU64::new(0));
+        let obs = observed.clone();
+        sim.spawn("sleeper", move |env| {
+            env.sleep(SimDuration::from_millis(250));
+            obs.store(env.now().as_nanos(), AO::SeqCst);
+        });
+        let end = sim.run();
+        assert_eq!(observed.load(AO::SeqCst), 250_000_000);
+        assert_eq!(end.as_nanos(), 250_000_000);
+    }
+
+    #[test]
+    fn equal_time_events_fire_in_spawn_order() {
+        let sim = Simulation::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let order = order.clone();
+            sim.spawn(format!("p{i}"), move |env| {
+                env.sleep(SimDuration::from_secs(1));
+                order.lock().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_and_join() {
+        let sim = Simulation::new();
+        let total = Arc::new(AtomicU64::new(0));
+        let t2 = total.clone();
+        sim.spawn("parent", move |env| {
+            let mut children = Vec::new();
+            for i in 1..=4u64 {
+                let t = t2.clone();
+                children.push(env.spawn(format!("child{i}"), move |env| {
+                    env.sleep(SimDuration::from_secs(i));
+                    t.fetch_add(i, AO::SeqCst);
+                }));
+            }
+            for c in &children {
+                c.join(&env);
+            }
+            // All children joined; longest slept 4s.
+            assert_eq!(env.now(), SimTime::ZERO + SimDuration::from_secs(4));
+        });
+        let end = sim.run();
+        assert_eq!(total.load(AO::SeqCst), 10);
+        assert_eq!(end.as_nanos(), SimDuration::from_secs(4).as_nanos());
+    }
+
+    #[test]
+    fn blocked_process_is_aborted_cleanly_at_quiescence() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let (_tx, rx) = crate::sync::channel::<u32>(&h);
+        sim.spawn("server", move |env| {
+            // This recv never completes; the simulation must still shut
+            // down and not report the abort as a failure.
+            let _ = rx.recv(&env);
+            unreachable!("recv should have been aborted");
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn process_panics_propagate_to_run() {
+        let sim = Simulation::new();
+        sim.spawn("bad", |_env| panic!("boom"));
+        sim.run();
+    }
+
+    #[test]
+    fn scheduler_callback_runs_at_requested_time() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f2 = fired.clone();
+        let h2 = h.clone();
+        h.schedule_call(SimTime::from_nanos(42), move || {
+            f2.store(h2.now().as_nanos(), AO::SeqCst);
+        });
+        sim.run();
+        assert_eq!(fired.load(AO::SeqCst), 42);
+    }
+}

@@ -1,0 +1,339 @@
+//! Fluid-flow network link model.
+//!
+//! A [`Link`] has a propagation latency and a bandwidth. Concurrent
+//! transfers share the bandwidth equally (processor sharing): when a flow
+//! starts or finishes, every active flow's completion time is recomputed.
+//! This first-order model is what produces the paper's Table 1 behaviour —
+//! eight parallel VM clonings contending for a single image-server uplink
+//! complete in ~1/7th of the sequential time, not 1/8th, because the warm-up
+//! and per-RPC latency parts do not parallelize while the bulk transfer
+//! parts share the pipe.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::{Env, Pid, SimHandle};
+use crate::time::{SimDuration, SimTime};
+
+/// A flow is considered complete when fewer than this many bytes remain;
+/// guards against floating-point residue.
+const COMPLETE_EPS: f64 = 1e-3;
+
+struct Flow {
+    remaining: f64,
+    pid: Pid,
+}
+
+struct LinkState {
+    bytes_per_sec: f64,
+    latency: SimDuration,
+    flows: HashMap<u64, Flow>,
+    next_flow_id: u64,
+    last_update: SimTime,
+    /// Generation counter: bumping it invalidates the outstanding
+    /// completion callback.
+    timer_gen: u64,
+    total_bytes: u64,
+    total_messages: u64,
+}
+
+/// A unidirectional network link with latency and shared bandwidth.
+///
+/// Cheap to clone (shared state). For a bidirectional path, construct one
+/// `Link` per direction, or reuse a single `Link` when modelling a
+/// half-duplex bottleneck.
+#[derive(Clone)]
+pub struct Link {
+    handle: SimHandle,
+    name: Arc<str>,
+    state: Arc<Mutex<LinkState>>,
+}
+
+impl Link {
+    /// Create a link. `bytes_per_sec` is the bottleneck bandwidth;
+    /// `latency` is the one-way propagation delay applied to each
+    /// [`Link::transfer`].
+    pub fn new(
+        handle: &SimHandle,
+        name: impl Into<String>,
+        bytes_per_sec: f64,
+        latency: SimDuration,
+    ) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "link bandwidth must be positive"
+        );
+        Link {
+            handle: handle.clone(),
+            name: name.into().into(),
+            state: Arc::new(Mutex::new(LinkState {
+                bytes_per_sec,
+                latency,
+                flows: HashMap::new(),
+                next_flow_id: 0,
+                last_update: SimTime::ZERO,
+                timer_gen: 0,
+                total_bytes: 0,
+                total_messages: 0,
+            })),
+        }
+    }
+
+    /// Convenience constructor from megabits per second.
+    pub fn from_mbps(
+        handle: &SimHandle,
+        name: impl Into<String>,
+        mbps: f64,
+        latency: SimDuration,
+    ) -> Self {
+        Self::new(handle, name, mbps * 1_000_000.0 / 8.0, latency)
+    }
+
+    /// The link name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One-way propagation latency.
+    pub fn latency(&self) -> SimDuration {
+        self.state.lock().latency
+    }
+
+    /// Nominal bandwidth in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.state.lock().bytes_per_sec
+    }
+
+    /// Total payload bytes carried so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.state.lock().total_bytes
+    }
+
+    /// Total `transfer` calls completed or in flight.
+    pub fn total_messages(&self) -> u64 {
+        self.state.lock().total_messages
+    }
+
+    /// Transfer `bytes` across the link: one propagation latency plus the
+    /// serialization time under fair bandwidth sharing with every other
+    /// in-flight transfer. Blocks the calling process in virtual time.
+    pub fn transfer(&self, env: &Env, bytes: u64) {
+        // Propagation first; bandwidth sharing applies to serialization.
+        let latency = self.latency();
+        env.sleep(latency);
+        if bytes == 0 {
+            return;
+        }
+        {
+            let mut st = self.state.lock();
+            st.total_bytes += bytes;
+            st.total_messages += 1;
+            let now = self.handle.now();
+            Self::progress(&mut st, now);
+            let id = st.next_flow_id;
+            st.next_flow_id += 1;
+            st.flows.insert(
+                id,
+                Flow {
+                    remaining: bytes as f64,
+                    pid: env.pid(),
+                },
+            );
+            self.reschedule(&mut st, now);
+        }
+        env.suspend();
+    }
+
+    /// Time a transfer of `bytes` would take on an otherwise idle link
+    /// (latency + serialization), without performing it. Used by analytic
+    /// baselines like the SCP full-copy model.
+    pub fn idle_transfer_time(&self, bytes: u64) -> SimDuration {
+        let st = self.state.lock();
+        st.latency + SimDuration::from_secs_f64(bytes as f64 / st.bytes_per_sec)
+    }
+
+    /// Advance every active flow to `now` at the current fair-share rate.
+    fn progress(st: &mut LinkState, now: SimTime) {
+        let elapsed = now.saturating_since(st.last_update).as_secs_f64();
+        st.last_update = now;
+        let n = st.flows.len();
+        if n == 0 || elapsed <= 0.0 {
+            return;
+        }
+        let rate = st.bytes_per_sec / n as f64;
+        for flow in st.flows.values_mut() {
+            flow.remaining = (flow.remaining - rate * elapsed).max(0.0);
+        }
+    }
+
+    /// Schedule (or re-schedule) the completion callback for the earliest
+    /// finishing flow.
+    fn reschedule(&self, st: &mut LinkState, now: SimTime) {
+        st.timer_gen += 1;
+        let gen = st.timer_gen;
+        if st.flows.is_empty() {
+            return;
+        }
+        let min_remaining = st
+            .flows
+            .values()
+            .map(|f| f.remaining)
+            .fold(f64::INFINITY, f64::min);
+        let rate = st.bytes_per_sec / st.flows.len() as f64;
+        // Round UP to the next nanosecond: a sub-nanosecond residual must
+        // still advance the clock, or the timer would re-fire at the same
+        // instant forever (livelock) while `progress` subtracts nothing.
+        let dt = SimDuration::from_nanos(((min_remaining / rate).max(0.0) * 1e9).ceil() as u64);
+        let this = self.clone();
+        self.handle.schedule_call(now + dt, move || {
+            this.on_timer(gen);
+        });
+    }
+
+    fn on_timer(&self, gen: u64) {
+        let mut st = self.state.lock();
+        if st.timer_gen != gen {
+            return; // superseded by a newer flow arrival/departure
+        }
+        let now = self.handle.now();
+        Self::progress(&mut st, now);
+        let done: Vec<u64> = st
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= COMPLETE_EPS)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut done = done;
+        done.sort_unstable(); // deterministic wake order
+        for id in done {
+            if let Some(flow) = st.flows.remove(&id) {
+                self.handle.schedule_wake(now, flow.pid);
+            }
+        }
+        self.reschedule(&mut st, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+    use std::sync::atomic::{AtomicU64, Ordering as AO};
+
+    fn secs(t: SimTime) -> f64 {
+        t.as_secs_f64()
+    }
+
+    #[test]
+    fn single_transfer_takes_latency_plus_serialization() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        // 1 MB/s, 100 ms latency; 2 MB transfer => 0.1 + 2.0 = 2.1 s.
+        let link = Link::new(&h, "wan", 1_000_000.0, SimDuration::from_millis(100));
+        let l2 = link.clone();
+        sim.spawn("xfer", move |env| {
+            l2.transfer(&env, 2_000_000);
+            assert!((env.now().as_secs_f64() - 2.1).abs() < 1e-6);
+        });
+        let end = sim.run();
+        assert!((secs(end) - 2.1).abs() < 1e-6);
+        assert_eq!(link.total_bytes(), 2_000_000);
+    }
+
+    #[test]
+    fn two_equal_flows_share_bandwidth_fairly() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let link = Link::new(&h, "l", 1_000_000.0, SimDuration::ZERO);
+        for i in 0..2 {
+            let l = link.clone();
+            sim.spawn(format!("f{i}"), move |env| {
+                l.transfer(&env, 1_000_000);
+                // Two 1 MB flows at 1 MB/s shared => both finish at 2 s.
+                assert!((env.now().as_secs_f64() - 2.0).abs() < 1e-6);
+            });
+        }
+        let end = sim.run();
+        assert!((secs(end) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn late_arrival_slows_earlier_flow() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let link = Link::new(&h, "l", 1_000_000.0, SimDuration::ZERO);
+        let l1 = link.clone();
+        let l2 = link.clone();
+        let t1 = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::new(AtomicU64::new(0));
+        let t1c = t1.clone();
+        let t2c = t2.clone();
+        sim.spawn("early", move |env| {
+            l1.transfer(&env, 2_000_000);
+            t1c.store(env.now().as_nanos(), AO::SeqCst);
+        });
+        sim.spawn("late", move |env| {
+            env.sleep(SimDuration::from_secs(1));
+            l2.transfer(&env, 500_000);
+            t2c.store(env.now().as_nanos(), AO::SeqCst);
+        });
+        sim.run();
+        // Early: 1 MB in the first second alone, then shares.
+        // Late: 0.5 MB at 0.5 MB/s => finishes at t=2.0.
+        // Early then has 0.5 MB left at full rate => t=2.5.
+        assert!((t2.load(AO::SeqCst) as f64 / 1e9 - 2.0).abs() < 1e-6);
+        assert!((t1.load(AO::SeqCst) as f64 / 1e9 - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn n_parallel_flows_scale_like_processor_sharing() {
+        // 8 flows of B bytes each on one link take the same total time as
+        // 8 sequential flows (bandwidth is conserved), but each individual
+        // flow sees 1/8th rate.
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let link = Link::new(&h, "l", 8_000_000.0, SimDuration::ZERO);
+        for i in 0..8 {
+            let l = link.clone();
+            sim.spawn(format!("f{i}"), move |env| {
+                l.transfer(&env, 8_000_000);
+                assert!((env.now().as_secs_f64() - 8.0).abs() < 1e-6);
+            });
+        }
+        let end = sim.run();
+        assert!((secs(end) - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_transfer_costs_only_latency() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let link = Link::new(&h, "l", 1e9, SimDuration::from_millis(35));
+        let l = link.clone();
+        sim.spawn("ping", move |env| {
+            l.transfer(&env, 0);
+            assert_eq!(env.now().as_nanos(), 35_000_000);
+        });
+        sim.run();
+        assert_eq!(link.total_messages(), 0);
+    }
+
+    #[test]
+    fn idle_transfer_time_matches_actual_idle_transfer() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let link = Link::from_mbps(&h, "wan", 25.0, SimDuration::from_millis(17));
+        let est = link.idle_transfer_time(10_000_000);
+        let l = link.clone();
+        sim.spawn("xfer", move |env| {
+            let t0 = env.now();
+            l.transfer(&env, 10_000_000);
+            let actual = env.now() - t0;
+            let diff = actual.as_secs_f64() - est.as_secs_f64();
+            assert!(diff.abs() < 1e-6, "estimate {est:?} vs actual {actual:?}");
+        });
+        sim.run();
+    }
+}

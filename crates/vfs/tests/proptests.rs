@@ -1,0 +1,141 @@
+//! Property-based invariants for the filesystem substrate.
+
+use proptest::prelude::*;
+use vfs::{Fs, LruMap, SparseBytes};
+
+proptest! {
+    /// SparseBytes matches a dense reference model under arbitrary
+    /// write/truncate/read sequences.
+    #[test]
+    fn sparse_bytes_matches_dense_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                // (offset, data) write
+                (0u64..300_000, proptest::collection::vec(any::<u8>(), 0..5_000)).prop_map(|(o, d)| (0u8, o, d)),
+                // truncate
+                (0u64..300_000).prop_map(|n| (1u8, n, Vec::new())),
+            ],
+            1..25
+        )
+    ) {
+        let mut sparse = SparseBytes::new();
+        let mut dense: Vec<u8> = Vec::new();
+        for (kind, off, data) in ops {
+            match kind {
+                0 => {
+                    sparse.write_at(off, &data);
+                    let end = off as usize + data.len();
+                    if dense.len() < end {
+                        dense.resize(end, 0);
+                    }
+                    dense[off as usize..end].copy_from_slice(&data);
+                }
+                _ => {
+                    sparse.truncate(off);
+                    dense.resize(off as usize, 0);
+                }
+            }
+            prop_assert_eq!(sparse.len(), dense.len() as u64);
+        }
+        // Full-content equality.
+        prop_assert_eq!(sparse.read_range(0, dense.len()), dense.clone());
+        // Random window equality.
+        if !dense.is_empty() {
+            let mid = dense.len() / 2;
+            prop_assert_eq!(sparse.read_range(mid as u64, 1000),
+                dense[mid..(mid + 1000).min(dense.len())].to_vec());
+        }
+        // is_zero_range agrees with the dense model.
+        let probe = dense.len() / 3;
+        let window = 700.min(dense.len().saturating_sub(probe));
+        let dense_zero = dense[probe..probe + window].iter().all(|&b| b == 0);
+        prop_assert_eq!(sparse.is_zero_range(probe as u64, window), dense_zero);
+    }
+
+    /// The LRU map never exceeds capacity, and membership matches a
+    /// naive model.
+    #[test]
+    fn lru_matches_naive_model(
+        cap in 1usize..20,
+        ops in proptest::collection::vec((0u32..40, any::<bool>()), 1..200)
+    ) {
+        let mut lru = LruMap::new(cap);
+        let mut model: Vec<u32> = Vec::new(); // MRU-first
+        for (key, is_insert) in ops {
+            if is_insert {
+                lru.insert(key, ());
+                model.retain(|&k| k != key);
+                model.insert(0, key);
+                model.truncate(cap);
+            } else {
+                let hit = lru.get(&key).is_some();
+                let model_hit = model.contains(&key);
+                prop_assert_eq!(hit, model_hit);
+                if model_hit {
+                    model.retain(|&k| k != key);
+                    model.insert(0, key);
+                }
+            }
+            prop_assert!(lru.len() <= cap);
+            prop_assert_eq!(lru.len(), model.len());
+        }
+        let order: Vec<u32> = lru.iter_mru().map(|(k, _)| *k).collect();
+        prop_assert_eq!(order, model);
+    }
+
+    /// Filesystem namespace operations keep lookup/readdir consistent.
+    #[test]
+    fn fs_namespace_stays_consistent(names in proptest::collection::vec("[a-z]{1,8}", 1..20)) {
+        let mut fs = Fs::new(0);
+        let root = fs.root();
+        let mut expect: Vec<String> = Vec::new();
+        for n in &names {
+            match fs.create(root, n, 0o644, 0) {
+                Ok(_) => expect.push(n.clone()),
+                Err(vfs::FsError::Exists) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("{e:?}"))),
+            }
+        }
+        expect.sort();
+        expect.dedup();
+        let listed: Vec<String> = fs.readdir(root).unwrap().into_iter().map(|(n, _)| n).collect();
+        prop_assert_eq!(&listed, &expect);
+        for n in &expect {
+            prop_assert!(fs.lookup(root, n).is_ok());
+        }
+        // Remove half, verify again.
+        let (gone, kept) = expect.split_at(expect.len() / 2);
+        for n in gone {
+            fs.remove(root, n, 1).unwrap();
+        }
+        for n in gone {
+            prop_assert!(fs.lookup(root, n).is_err());
+        }
+        for n in kept {
+            prop_assert!(fs.lookup(root, n).is_ok());
+        }
+    }
+
+    /// File writes through Fs read back exactly (offset reads included).
+    #[test]
+    fn fs_file_io_round_trips(
+        writes in proptest::collection::vec((0u64..100_000, proptest::collection::vec(any::<u8>(), 1..2_000)), 1..10)
+    ) {
+        let mut fs = Fs::new(0);
+        let root = fs.root();
+        let f = fs.create(root, "f", 0o644, 0).unwrap();
+        let mut dense: Vec<u8> = Vec::new();
+        for (off, data) in &writes {
+            fs.write(f, *off, data, 0).unwrap();
+            let end = *off as usize + data.len();
+            if dense.len() < end {
+                dense.resize(end, 0);
+            }
+            dense[*off as usize..end].copy_from_slice(data);
+        }
+        let (back, eof) = fs.read(f, 0, dense.len() + 10, 0).unwrap();
+        prop_assert_eq!(back, dense.clone());
+        prop_assert!(eof);
+        prop_assert_eq!(fs.size(f).unwrap(), dense.len() as u64);
+    }
+}

@@ -1,0 +1,32 @@
+//! # vmm — hosted virtual machine monitor model
+//!
+//! The VM substrate of the GVFS reproduction. Models a VMware-GSX-style
+//! hosted VMM whose entire interaction with the world is **file I/O on
+//! its state files** (`.vmx` config, `.vmss` memory state, `.vmdk`
+//! plain-mode virtual disk):
+//!
+//! * [`image`] — deterministic generators for realistic VM images
+//!   (mostly-zero post-boot memory, sparsely-used virtual disks),
+//! * [`VmMonitor`] — resume (full sequential memory-state read), guest
+//!   trace execution through a guest page cache, suspend, shutdown,
+//! * [`RedoLog`] — non-persistent disk mode: guest writes land in a redo
+//!   log file, reads overlay it on the golden disk,
+//! * [`clone`] — the paper's cloning workflow: copy config, copy memory
+//!   state, symlink virtual disks, configure, resume.
+//!
+//! Because all I/O goes through [`vfs::FileIo`] and a [`vfs::MountTable`],
+//! the same monitor runs against a local disk, a plain NFS mount, or a
+//! GVFS proxy chain — without knowing which (the paper's transparency
+//! claim).
+
+#![warn(missing_docs)]
+
+pub mod clone;
+pub mod image;
+pub mod monitor;
+pub mod redo;
+
+pub use clone::{clone_vm, CloneConfig, CloneTimes};
+pub use image::{install_image, InstalledImage, Prng, VmImageSpec, PAGE};
+pub use monitor::{GuestOp, VmConfig, VmMonitor, VmStats};
+pub use redo::RedoLog;

@@ -1,0 +1,174 @@
+//! Linux 2.4.18 kernel compilation, paper Figure 5.
+//!
+//! "Represents file system usage in a software development environment,
+//! similar to the Andrew benchmark ... four major steps, `make dep`,
+//! `make bzImage`, `make modules` and `make modules_install`, which
+//! involve substantial reads and writes on a large number of files."
+//!
+//! The source tree plus toolchain working set exceeds the kernel memory
+//! buffer, so a **second run** still misses in memory but hits the proxy
+//! disk cache — the paper's cold/warm pair of runs.
+
+use simnet::SimDuration;
+use vmm::GuestOp;
+
+use crate::{scattered_reads, sequential_writes, Phase, Prng, Workload};
+
+/// Virtual-disk layout.
+pub mod layout {
+    /// Kernel source tree + toolchain + headers.
+    pub const SRC: u64 = 64 << 20;
+    /// Size of the source/toolchain region.
+    pub const SRC_LEN: u64 = 600 << 20;
+    /// Object/output region.
+    pub const OBJ: u64 = 700 << 20;
+}
+
+/// Per-phase shape: scattered reads, object writes, compute.
+#[derive(Debug, Clone, Copy)]
+pub struct MakePhase {
+    /// Phase label.
+    pub name: &'static str,
+    /// Scattered source/header read requests.
+    pub read_blocks: u64,
+    /// Object blocks written.
+    pub write_blocks: u64,
+    /// Compiler CPU seconds.
+    pub compute_secs: f64,
+}
+
+/// Tunable parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelParams {
+    /// The four make steps.
+    pub steps: [MakePhase; 4],
+    /// Guest block size.
+    pub block: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KernelParams {
+    fn default() -> Self {
+        KernelParams {
+            steps: [
+                MakePhase {
+                    name: "make dep",
+                    read_blocks: 8200,
+                    write_blocks: 500,
+                    compute_secs: 60.0,
+                },
+                MakePhase {
+                    name: "make bzImage",
+                    read_blocks: 12000,
+                    write_blocks: 900,
+                    compute_secs: 340.0,
+                },
+                MakePhase {
+                    name: "make modules",
+                    read_blocks: 12000,
+                    write_blocks: 1800,
+                    compute_secs: 680.0,
+                },
+                MakePhase {
+                    name: "make modules_install",
+                    read_blocks: 2300,
+                    write_blocks: 1200,
+                    compute_secs: 35.0,
+                },
+            ],
+            block: 32 * 1024,
+            seed: 0x2418_2418,
+        }
+    }
+}
+
+/// Generate one compilation run.
+pub fn generate(p: &KernelParams) -> Workload {
+    let mut rng = Prng::new(p.seed);
+    let mut phases = Vec::with_capacity(4);
+    let mut obj_cursor = layout::OBJ;
+    for step in &p.steps {
+        let mut ops = Vec::new();
+        // Interleave reads / compute / writes the way make does: per-file
+        // granularity batches of ~40 reads, a compute slice, ~15 writes.
+        let batches = (step.read_blocks / 40).max(1);
+        let compute_per_batch = step.compute_secs / batches as f64;
+        let writes_per_batch = step.write_blocks / batches;
+        for _ in 0..batches {
+            scattered_reads(
+                &mut ops,
+                &mut rng,
+                layout::SRC,
+                layout::SRC_LEN,
+                40,
+                p.block,
+            );
+            ops.push(GuestOp::Compute(SimDuration::from_secs_f64(
+                compute_per_batch,
+            )));
+            sequential_writes(&mut ops, obj_cursor, writes_per_batch, p.block, 4);
+            obj_cursor += writes_per_batch * p.block as u64;
+        }
+        phases.push(Phase {
+            name: step.name.to_string(),
+            ops,
+        });
+    }
+    Workload {
+        name: "kernel-compile".into(),
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_four_make_steps() {
+        let wl = generate(&KernelParams::default());
+        let names: Vec<&str> = wl.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["make dep", "make bzImage", "make modules", "make modules_install"]
+        );
+    }
+
+    #[test]
+    fn modules_is_the_biggest_step() {
+        let wl = generate(&KernelParams::default());
+        let cost = |i: usize| -> f64 {
+            wl.phases[i]
+                .ops
+                .iter()
+                .map(|o| match o {
+                    GuestOp::Compute(d) => d.as_secs_f64(),
+                    _ => 0.001,
+                })
+                .sum()
+        };
+        assert!(cost(2) > cost(0));
+        assert!(cost(2) > cost(1));
+        assert!(cost(2) > cost(3));
+    }
+
+    #[test]
+    fn reads_and_writes_are_substantial() {
+        let wl = generate(&KernelParams::default());
+        assert!(wl.bytes_read() > 200 << 20);
+        assert!(wl.bytes_written() > 100 << 20);
+    }
+
+    #[test]
+    fn object_writes_do_not_overlap_sources() {
+        let wl = generate(&KernelParams::default());
+        for phase in &wl.phases {
+            for op in &phase.ops {
+                if let GuestOp::DiskWrite { offset, .. } = op {
+                    assert!(*offset >= layout::OBJ);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! SPECseis96 trace (SPEC high-performance group), paper Figure 3.
+//!
+//! "It consists of four phases, where the first phase generates a large
+//! trace file on disk, and the last phase involves intensive seismic
+//! processing computations. ... It models a scientific application that
+//! is both I/O intensive and compute intensive."
+//!
+//! Phase 1 is the write-heavy part (the benefit of write-back caching is
+//! evident there); phase 4 is compute-bound and nearly scenario-
+//! independent.
+
+use simnet::SimDuration;
+use vmm::GuestOp;
+
+use crate::{sequential_reads, sequential_writes, Phase, Workload};
+
+/// Virtual-disk layout offsets for the benchmark's files.
+pub mod layout {
+    /// Input dataset region.
+    pub const INPUT: u64 = 400 << 20;
+    /// Generated trace file region.
+    pub const TRACE: u64 = 800 << 20;
+    /// Results region.
+    pub const RESULTS: u64 = 1_400 << 20;
+}
+
+/// Tunable parameters (defaults model the "small dataset, sequential
+/// mode" configuration the paper uses).
+#[derive(Debug, Clone, Copy)]
+pub struct SpecseisParams {
+    /// Input dataset size (bytes).
+    pub input_bytes: u64,
+    /// Trace file written by phase 1 (bytes).
+    pub trace_bytes: u64,
+    /// Guest I/O block size.
+    pub block: u32,
+    /// Blocks per guest request (pipelining opportunity).
+    pub span: u64,
+    /// Compute seconds for phases 1..4.
+    pub compute_secs: [f64; 4],
+}
+
+impl Default for SpecseisParams {
+    fn default() -> Self {
+        SpecseisParams {
+            input_bytes: 48 << 20,
+            trace_bytes: 100 << 20,
+            block: 32 * 1024,
+            span: 8,
+            compute_secs: [55.0, 60.0, 95.0, 330.0],
+        }
+    }
+}
+
+/// Generate the four-phase workload.
+pub fn generate(p: &SpecseisParams) -> Workload {
+    let bs = p.block as u64;
+    let input_blocks = p.input_bytes / bs;
+    let trace_blocks = p.trace_bytes / bs;
+
+    // Phase 1: read the input, then computation interleaved with the
+    // trace-file generation (write-dominated): eight compute slices, each
+    // followed by an eighth of the trace.
+    let mut p1 = Vec::new();
+    sequential_reads(&mut p1, layout::INPUT, input_blocks, p.block, p.span);
+    let slices = 8;
+    let per_slice = trace_blocks / slices;
+    for i in 0..slices {
+        p1.push(GuestOp::Compute(SimDuration::from_secs_f64(
+            p.compute_secs[0] / slices as f64,
+        )));
+        sequential_writes(
+            &mut p1,
+            layout::TRACE + i * per_slice * bs,
+            per_slice,
+            p.block,
+            p.span,
+        );
+    }
+
+    // Phase 2: first processing pass over the front of the trace.
+    let mut p2 = Vec::new();
+    sequential_reads(&mut p2, layout::TRACE, trace_blocks / 3, p.block, p.span);
+    p2.push(GuestOp::Compute(SimDuration::from_secs_f64(
+        p.compute_secs[1],
+    )));
+    sequential_writes(&mut p2, layout::RESULTS, 40 << 20 >> 15, p.block, p.span);
+
+    // Phase 3: second pass over the remainder.
+    let mut p3 = Vec::new();
+    sequential_reads(
+        &mut p3,
+        layout::TRACE + (p.trace_bytes / 3),
+        trace_blocks / 3,
+        p.block,
+        p.span,
+    );
+    p3.push(GuestOp::Compute(SimDuration::from_secs_f64(
+        p.compute_secs[2],
+    )));
+    sequential_writes(
+        &mut p3,
+        layout::RESULTS + (64 << 20),
+        20 << 20 >> 15,
+        p.block,
+        p.span,
+    );
+
+    // Phase 4: seismic computation — re-reads recently-touched trace data
+    // (buffer-cache friendly), dominated by CPU.
+    let mut p4 = Vec::new();
+    sequential_reads(&mut p4, layout::TRACE, trace_blocks / 16, p.block, p.span);
+    p4.push(GuestOp::Compute(SimDuration::from_secs_f64(
+        p.compute_secs[3],
+    )));
+    sequential_writes(
+        &mut p4,
+        layout::RESULTS + (128 << 20),
+        8 << 20 >> 15,
+        p.block,
+        p.span,
+    );
+
+    Workload {
+        name: "SPECseis96".into(),
+        phases: vec![
+            Phase {
+                name: "Phase 1".into(),
+                ops: p1,
+            },
+            Phase {
+                name: "Phase 2".into(),
+                ops: p2,
+            },
+            Phase {
+                name: "Phase 3".into(),
+                ops: p3,
+            },
+            Phase {
+                name: "Phase 4".into(),
+                ops: p4,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase1_is_write_dominated() {
+        let wl = generate(&SpecseisParams::default());
+        assert_eq!(wl.phases.len(), 4);
+        let p1 = &wl.phases[0];
+        let w: u64 = p1
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                vmm::GuestOp::DiskWrite { len, .. } => Some(*len as u64),
+                _ => None,
+            })
+            .sum();
+        let r: u64 = p1
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                vmm::GuestOp::DiskRead { len, .. } => Some(*len as u64),
+                _ => None,
+            })
+            .sum();
+        assert!(w > 2 * r, "phase 1 writes {w} vs reads {r}");
+    }
+
+    #[test]
+    fn phase4_is_compute_dominated() {
+        let p = SpecseisParams::default();
+        let wl = generate(&p);
+        let p4_compute: f64 = wl.phases[3]
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                vmm::GuestOp::Compute(d) => Some(d.as_secs_f64()),
+                _ => None,
+            })
+            .sum();
+        assert!(p4_compute >= 300.0);
+    }
+
+    #[test]
+    fn total_io_matches_parameters() {
+        let p = SpecseisParams::default();
+        let wl = generate(&p);
+        // Trace written once in phase 1.
+        assert!(wl.bytes_written() >= p.trace_bytes);
+        assert!(wl.bytes_read() >= p.input_bytes + p.trace_bytes / 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&SpecseisParams::default());
+        let b = generate(&SpecseisParams::default());
+        assert_eq!(a.phases[0].ops, b.phases[0].ops);
+        assert_eq!(a.phases[3].ops, b.phases[3].ops);
+    }
+}

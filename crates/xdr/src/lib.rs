@@ -1,0 +1,201 @@
+//! # xdr — RFC 4506 External Data Representation
+//!
+//! A small, allocation-conscious XDR codec used by the [ONC-RPC] and
+//! [NFSv3] substrates of the GVFS reproduction. XDR is the wire format of
+//! Sun RPC and NFS: big-endian 32-bit words, with opaque data padded to a
+//! four-byte boundary.
+//!
+//! [ONC-RPC]: https://datatracker.ietf.org/doc/html/rfc5531
+//! [NFSv3]: https://datatracker.ietf.org/doc/html/rfc1813
+//!
+//! ```
+//! use xdr::{Encoder, Decoder};
+//!
+//! let mut enc = Encoder::new();
+//! enc.put_u32(7);
+//! enc.put_string("hello");
+//! enc.put_opaque_var(&[1, 2, 3]);
+//!
+//! let buf = enc.into_bytes();
+//! let mut dec = Decoder::new(&buf);
+//! assert_eq!(dec.get_u32().unwrap(), 7);
+//! assert_eq!(dec.get_string().unwrap(), "hello");
+//! assert_eq!(dec.get_opaque_var().unwrap(), vec![1, 2, 3]);
+//! dec.finish().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod decode;
+mod encode;
+mod error;
+
+pub use decode::Decoder;
+pub use encode::Encoder;
+pub use error::{Error, Result};
+
+/// Default cap on variable-length opaque/string/array lengths, protecting
+/// decoders from hostile or corrupted length words. NFSv3 payloads in this
+/// repository never exceed the 32 KB protocol block size plus headers, but
+/// whole-file reads through the file channel can be larger, so the default
+/// is generous.
+pub const DEFAULT_MAX_LEN: u32 = 64 * 1024 * 1024;
+
+/// Pad `len` up to the next multiple of four, per RFC 4506 §3.
+#[inline]
+pub const fn padded(len: usize) -> usize {
+    (len + 3) & !3
+}
+
+/// Types that serialize to XDR.
+pub trait Encode {
+    /// Append this value's XDR representation to the encoder.
+    fn encode(&self, enc: &mut Encoder);
+}
+
+/// Types that deserialize from XDR.
+pub trait Decode: Sized {
+    /// Parse a value of this type from the decoder.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self>;
+}
+
+impl Encode for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+}
+impl Decode for u32 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_u32()
+    }
+}
+impl Encode for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+}
+impl Decode for u64 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_u64()
+    }
+}
+impl Encode for i32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_i32(*self);
+    }
+}
+impl Decode for i32 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_i32()
+    }
+}
+impl Encode for i64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_i64(*self);
+    }
+}
+impl Decode for i64 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_i64()
+    }
+}
+impl Encode for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+}
+impl Decode for bool {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_bool()
+    }
+}
+impl Encode for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_string(self);
+    }
+}
+impl Decode for String {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_string()
+    }
+}
+impl Encode for Vec<u8> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_opaque_var(self);
+    }
+}
+impl Decode for Vec<u8> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        dec.get_opaque_var()
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    // XDR "optional-data": bool discriminant then the value if present.
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Some(v) => {
+                enc.put_bool(true);
+                v.encode(enc);
+            }
+            None => enc.put_bool(false),
+        }
+    }
+}
+impl<T: Decode> Decode for Option<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        if dec.get_bool()? {
+            Ok(Some(T::decode(dec)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Encode a value to a fresh byte vector.
+pub fn to_bytes<T: Encode>(value: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// Decode a value from a byte slice, requiring the slice to be fully
+/// consumed.
+pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T> {
+    let mut dec = Decoder::new(bytes);
+    let v = T::decode(&mut dec)?;
+    dec.finish()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_rounds_up_to_four() {
+        assert_eq!(padded(0), 0);
+        assert_eq!(padded(1), 4);
+        assert_eq!(padded(3), 4);
+        assert_eq!(padded(4), 4);
+        assert_eq!(padded(5), 8);
+    }
+
+    #[test]
+    fn optional_round_trips() {
+        let some: Option<u32> = Some(9);
+        let none: Option<u32> = None;
+        assert_eq!(from_bytes::<Option<u32>>(&to_bytes(&some)).unwrap(), some);
+        assert_eq!(from_bytes::<Option<u32>>(&to_bytes(&none)).unwrap(), none);
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing_garbage() {
+        let mut b = to_bytes(&5u32);
+        b.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(
+            from_bytes::<u32>(&b),
+            Err(Error::TrailingBytes { .. })
+        ));
+    }
+}

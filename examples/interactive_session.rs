@@ -1,0 +1,40 @@
+//! An interactive "virtual workspace" session (paper §2, In-VIGO): a
+//! user edits and rebuilds a document inside a VM whose state sits on a
+//! wide-area GVFS mount. Compares response times with and without the
+//! client-side proxy disk cache.
+//!
+//! Run with: `cargo run --release --example interactive_session`
+
+use gvfs_bench::{run_app_scenario, AppParams, AppScenario};
+use workloads::latex::{generate, LatexParams};
+
+fn main() {
+    let params = AppParams::default();
+    let wl = generate(&LatexParams {
+        iterations: 6,
+        ..LatexParams::default()
+    });
+
+    println!("six edit/rebuild iterations of a 190-page LaTeX document,");
+    println!("VM state on a WAN mount (~34 ms RTT):\n");
+
+    for scn in [AppScenario::Wan, AppScenario::WanC] {
+        let res = run_app_scenario(scn, &wl, &params, 1);
+        let run = &res.runs[0];
+        print!("{:>6}:", scn.label());
+        for (_, secs) in &run.phases {
+            print!(" {secs:6.1}s");
+        }
+        println!("   (total {:.0}s)", run.total);
+        if let Some(f) = res.flush_secs {
+            println!(
+                "        ... then the middleware flushes write-back data in {f:.0}s, off the user's critical path"
+            );
+        }
+    }
+    println!(
+        "\nThe first iteration cold-reads the tool working set either way; with the\n\
+         proxy disk cache (WAN+C) every later iteration responds at near-local speed\n\
+         because re-referenced blocks hit the 8 GB cache instead of re-crossing the WAN."
+    );
+}
