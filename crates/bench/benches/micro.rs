@@ -100,6 +100,7 @@ fn bench_block_cache(c: &mut Criterion) {
             let sim = Simulation::new();
             let h = sim.handle();
             let cache = Arc::new(BlockCache::new(
+                &h,
                 Disk::new(&h, DiskModel::scsi_2004()),
                 BlockCacheConfig::with_capacity(64 << 20, 16, 8, 32 * 1024),
             ));
@@ -137,7 +138,8 @@ fn bench_rpc_roundtrip(c: &mut Criterion) {
             let up = Link::new(&h, "up", 1e9, SimDuration::from_micros(50));
             let down = Link::new(&h, "down", 1e9, SimDuration::from_micros(50));
             let ep = oncrpc::endpoint(&h, up, down, WireSpec::plain());
-            ep.listener.serve("echo", Dispatcher::new().into_handler(), 1);
+            ep.listener
+                .serve("echo", Dispatcher::new().into_handler(), 1);
             let rpc = RpcClient::new(ep.channel, OpaqueAuth::sys(&AuthSys::new("b", 1, 1)));
             sim.spawn("client", move |env: Env| {
                 for _ in 0..100 {

@@ -8,6 +8,7 @@
 //!    post-boot image at 8 KB granularity (paper: 60,452 / 65,750).
 
 use gvfs::{Middleware, WritePolicy};
+use gvfs_bench::report::{scenario_report, write_report, BenchCli};
 use gvfs_bench::{
     build_client, build_server, run_app_scenario, run_cloning, AppParams, AppScenario,
     ClientProxyOptions, CloneParams, CloneScenario, NetParams,
@@ -27,10 +28,18 @@ fn wan(h: &simnet::SimHandle) -> (Link, Link) {
     )
 }
 
-/// Resume-style full read of a memory image; returns (reads, filtered).
-fn zero_filter_counts(memory_mb: u64, with_meta: bool) -> (u64, u64) {
+/// Resume-style full read of a memory image; returns (reads, filtered,
+/// total virtual seconds, telemetry snapshot).
+fn zero_filter_counts(
+    memory_mb: u64,
+    with_meta: bool,
+    trace: bool,
+) -> (u64, u64, f64, simnet::Snapshot) {
     let sim = Simulation::new();
     let h = sim.handle();
+    if trace {
+        h.telemetry().set_trace(true);
+    }
     let (up, down) = wan(&h);
     let server = build_server(&h, up, down, 768 << 20, true);
     let spec = VmImageSpec {
@@ -90,19 +99,34 @@ fn zero_filter_counts(memory_mb: u64, with_meta: bool) -> (u64, u64) {
         let st = proxy.stats();
         *out2.lock() = (st.reads, st.zero_filtered);
     });
-    sim.run();
-    let r = *out.lock();
-    r
+    let end = sim.run();
+    let (reads, filtered) = *out.lock();
+    (reads, filtered, end.as_secs_f64(), h.telemetry().snapshot())
 }
 
 fn main() {
+    let cli = BenchCli::parse("ablations");
+    let mut scenarios = Vec::new();
     println!("== Ablation 1: write-back vs write-through (SPECseis phase 1, WAN+C) ==");
     // WAN+C is write-back by construction; WAN (no cache) forwards every
     // write — the paper's two ends of the spectrum.
     let wl = generate(&SpecseisParams::default());
-    let params = AppParams::default();
+    let params = AppParams {
+        trace: cli.trace,
+        ..AppParams::default()
+    };
     let wb = run_app_scenario(AppScenario::WanC, &wl, &params, 1);
     let wt = run_app_scenario(AppScenario::Wan, &wl, &params, 1);
+    scenarios.push(scenario_report(
+        "ablation1 write-back (WAN+C)",
+        wb.total_virtual_secs,
+        &wb.snapshot,
+    ));
+    scenarios.push(scenario_report(
+        "ablation1 write-through (WAN)",
+        wt.total_virtual_secs,
+        &wt.snapshot,
+    ));
     println!(
         "  phase 1: write-back {:.0}s   write-through/forwarding {:.0}s   ({:.1}x)\n",
         wb.runs[0].phases[0].1,
@@ -111,8 +135,14 @@ fn main() {
     );
 
     println!("== Ablation 2: zero-map meta-data (64 MB post-boot memory read, 8 KB blocks) ==");
-    let (reads_off, filt_off) = zero_filter_counts(64, false);
-    let (reads_on, filt_on) = zero_filter_counts(64, true);
+    let (reads_off, filt_off, secs_off, snap_off) = zero_filter_counts(64, false, cli.trace);
+    let (reads_on, filt_on, secs_on, snap_on) = zero_filter_counts(64, true, cli.trace);
+    scenarios.push(scenario_report(
+        "ablation2 zero-map off",
+        secs_off,
+        &snap_off,
+    ));
+    scenarios.push(scenario_report("ablation2 zero-map on", secs_on, &snap_on));
     println!("  without meta: {reads_off} reads, {filt_off} filtered locally");
     println!("  with meta:    {reads_on} reads, {filt_on} filtered locally\n");
 
@@ -120,21 +150,37 @@ fn main() {
     let quick = CloneParams {
         clones: 1,
         image_scale: Some(4),
+        trace: cli.trace,
         ..CloneParams::default()
     };
-    let with_channel = run_cloning(CloneScenario::WanS1, &quick).times[0]
-        .total
-        .as_secs_f64();
+    let channel_res = run_cloning(CloneScenario::WanS1, &quick);
+    scenarios.push(scenario_report(
+        "ablation3 compressed channel (WAN-S1 x1)",
+        channel_res.total_virtual_secs,
+        &channel_res.snapshot,
+    ));
+    let with_channel = channel_res.times[0].total.as_secs_f64();
     // Channel off: strip the meta-data before cloning is not directly
     // exposed; the pure-NFS baseline is the closest no-GVFS bound.
     let no_gvfs = gvfs_bench::pure_nfs_clone_secs(&quick);
-    println!("  with compressed channel: {with_channel:.0}s   pure NFS: {no_gvfs:.0}s   ({:.1}x)\n", no_gvfs / with_channel);
+    println!(
+        "  with compressed channel: {with_channel:.0}s   pure NFS: {no_gvfs:.0}s   ({:.1}x)\n",
+        no_gvfs / with_channel
+    );
 
     println!("== In-text claim: 512 MB post-boot resume, 8 KB reads ==");
-    let (reads, filtered) = zero_filter_counts(512, true);
+    let (reads, filtered, claim_secs, claim_snap) = zero_filter_counts(512, true, cli.trace);
+    scenarios.push(scenario_report(
+        "in-text claim 512MB resume",
+        claim_secs,
+        &claim_snap,
+    ));
     println!("  paper:    65,750 reads, 60,452 filtered (92.0%)");
     println!(
         "  measured: {reads} reads, {filtered} filtered ({:.1}%)",
         filtered as f64 / reads as f64 * 100.0
     );
+    if let Some(path) = &cli.json_path {
+        write_report(path, "ablations", scenarios);
+    }
 }

@@ -4,19 +4,29 @@
 //! Paper's shape to match: phase 4 within ~10% across scenarios; phase 1
 //! WAN ≈ 2.1× WAN+C; WAN+C total ≈ 33% below WAN.
 
-use gvfs_bench::report::{mmss, render_table};
+use gvfs_bench::report::{mmss, render_table, scenario_report, write_report, BenchCli};
 use gvfs_bench::{run_app_scenario, AppParams, AppScenario};
 use workloads::specseis::{generate, SpecseisParams};
 
 fn main() {
-    let params = AppParams::default();
+    let cli = BenchCli::parse("fig3_specseis");
+    let params = AppParams {
+        trace: cli.trace,
+        ..AppParams::default()
+    };
     let wl = generate(&SpecseisParams::default());
     println!("Figure 3: SPECseis96 execution times (m:ss per phase)\n");
 
     let mut rows = Vec::new();
     let mut per_scn = Vec::new();
+    let mut scenarios = Vec::new();
     for scn in AppScenario::all() {
         let res = run_app_scenario(scn, &wl, &params, 1);
+        scenarios.push(scenario_report(
+            scn.label(),
+            res.total_virtual_secs,
+            &res.snapshot,
+        ));
         let run = &res.runs[0];
         let mut row = vec![scn.label().to_string()];
         for (_, secs) in &run.phases {
@@ -25,6 +35,9 @@ fn main() {
         row.push(mmss(run.total));
         rows.push(row);
         per_scn.push((scn, run.clone()));
+    }
+    if let Some(path) = &cli.json_path {
+        write_report(path, "fig3_specseis", scenarios);
     }
     println!(
         "{}",

@@ -3,22 +3,32 @@
 //! Local / LAN / WAN / WAN+C; plus the full-download/upload and
 //! write-back flush reference numbers quoted in §4.2.2.
 
-use gvfs_bench::report::render_table;
+use gvfs_bench::report::{render_table, scenario_report, write_report, BenchCli};
 use gvfs_bench::{run_app_scenario, AppParams, AppScenario};
 use simnet::SimDuration;
 use workloads::latex::{generate, LatexParams};
 use workloads::scp::ScpModel;
 
 fn main() {
-    let params = AppParams::default();
+    let cli = BenchCli::parse("fig4_latex");
+    let params = AppParams {
+        trace: cli.trace,
+        ..AppParams::default()
+    };
     let wl = generate(&LatexParams::default());
     println!("Figure 4: LaTeX benchmark execution times (seconds)\n");
 
     let mut rows = Vec::new();
     let mut flush = None;
     let mut keyed = Vec::new();
+    let mut scenarios = Vec::new();
     for scn in AppScenario::all() {
         let res = run_app_scenario(scn, &wl, &params, 1);
+        scenarios.push(scenario_report(
+            scn.label(),
+            res.total_virtual_secs,
+            &res.snapshot,
+        ));
         let run = &res.runs[0];
         let first = run.phases[0].1;
         let rest: Vec<f64> = run.phases[1..].iter().map(|(_, s)| *s).collect();
@@ -33,6 +43,9 @@ fn main() {
         if scn == AppScenario::WanC {
             flush = res.flush_secs;
         }
+    }
+    if let Some(path) = &cli.json_path {
+        write_report(path, "fig4_latex", scenarios);
     }
     println!(
         "{}",

@@ -4,12 +4,16 @@
 //! Paper's shape: run 1 WAN+C ≈ +84% vs Local; run 2 WAN+C ≈ +9% vs
 //! Local, <4% slower than LAN, >30% faster than WAN.
 
-use gvfs_bench::report::{hmm, render_table};
+use gvfs_bench::report::{hmm, render_table, scenario_report, write_report, BenchCli};
 use gvfs_bench::{run_app_scenario, AppParams, AppScenario};
 use workloads::kernel::{generate, KernelParams};
 
 fn main() {
-    let params = AppParams::default();
+    let cli = BenchCli::parse("fig5_kernel");
+    let params = AppParams {
+        trace: cli.trace,
+        ..AppParams::default()
+    };
     let wl = generate(&KernelParams::default());
     println!("Figure 5: kernel compilation times (h:mm per step), two consecutive runs\n");
 
@@ -18,11 +22,22 @@ fn main() {
         let res = run_app_scenario(scn, &wl, &params, 2);
         results.push((scn, res));
     }
+    if let Some(path) = &cli.json_path {
+        let scenarios = results
+            .iter()
+            .map(|(scn, res)| scenario_report(scn.label(), res.total_virtual_secs, &res.snapshot))
+            .collect();
+        write_report(path, "fig5_kernel", scenarios);
+    }
 
     for run_idx in 0..2 {
         println!(
             "{} run:",
-            if run_idx == 0 { "First (cold)" } else { "Second (warm)" }
+            if run_idx == 0 {
+                "First (cold)"
+            } else {
+                "Second (warm)"
+            }
         );
         let mut rows = Vec::new();
         for (scn, res) in &results {

@@ -6,11 +6,15 @@
 //! Paper's shape: SCP ≈ 1127 s; pure NFS ≈ 2060 s; first enhanced-GVFS
 //! clone < 160 s; subsequent clones ≈ 25 s warm-local / ≈ 80 s warm-LAN.
 
-use gvfs_bench::report::render_table;
+use gvfs_bench::report::{render_table, scenario_report, write_report, BenchCli};
 use gvfs_bench::{pure_nfs_clone_secs, run_cloning, scp_baseline_secs, CloneParams, CloneScenario};
 
 fn main() {
-    let params = CloneParams::default();
+    let cli = BenchCli::parse("fig6_cloning");
+    let params = CloneParams {
+        trace: cli.trace,
+        ..CloneParams::default()
+    };
     println!(
         "Figure 6: VM cloning times (seconds), {} sequential clonings\n",
         params.clones
@@ -38,6 +42,13 @@ fn main() {
     }
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     println!("{}", render_table(&header_refs, &rows));
+    if let Some(path) = &cli.json_path {
+        let scenarios = keyed
+            .iter()
+            .map(|res| scenario_report(&res.scenario, res.total_virtual_secs, &res.snapshot))
+            .collect();
+        write_report(path, "fig6_cloning", scenarios);
+    }
 
     let s1 = keyed.iter().find(|r| r.scenario == "WAN-S1").unwrap();
     let s3 = keyed.iter().find(|r| r.scenario == "WAN-S3").unwrap();
@@ -62,7 +73,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["copy config", "copy memory", "links", "configure", "resume", "total"],
+            &[
+                "copy config",
+                "copy memory",
+                "links",
+                "configure",
+                "resume",
+                "total"
+            ],
             &[vec![
                 format!("{:.2}", t.copy_config.as_secs_f64()),
                 format!("{:.2}", t.copy_memory.as_secs_f64()),

@@ -8,17 +8,31 @@
 //! image server's WAN connection (fluid bandwidth sharing), while warm
 //! clonings are limited by per-clone constant work.
 
-use gvfs_bench::report::render_table;
+use gvfs_bench::report::{render_table, scenario_report, write_report, BenchCli};
 use gvfs_bench::{run_parallel_cloning, run_sequential_for_table1, CloneParams};
 
 fn main() {
-    let params = CloneParams::default();
+    let cli = BenchCli::parse("table1_parallel");
+    let params = CloneParams {
+        trace: cli.trace,
+        ..CloneParams::default()
+    };
     println!(
         "Table 1: total time of cloning {} VM images (seconds)\n",
         params.clones
     );
     let seq = run_sequential_for_table1(&params);
     let par = run_parallel_cloning(&params);
+    if let Some(path) = &cli.json_path {
+        write_report(
+            path,
+            "table1_parallel",
+            vec![
+                scenario_report("sequential (WAN-S1)", seq.total_virtual_secs, &seq.snapshot),
+                scenario_report("parallel (WAN-P)", par.total_virtual_secs, &par.snapshot),
+            ],
+        );
+    }
 
     println!(
         "{}",

@@ -26,7 +26,7 @@ use gvfs::{
 use nfs3::{KernelClient, KernelConfig, Nfs3Client};
 use oncrpc::{OpaqueAuth, RpcChannel, RpcClient, WireSpec};
 use parking_lot::Mutex;
-use simnet::{Env, Link, SimDuration, SimHandle, Simulation};
+use simnet::{Env, Link, SimDuration, SimHandle, Simulation, Snapshot};
 use vfs::{Disk, DiskModel, LocalIo, LocalIoConfig, MountTable};
 use vmm::{clone_vm, install_image, CloneConfig, CloneTimes, VmConfig, VmImageSpec};
 use workloads::scp::ScpModel;
@@ -81,6 +81,8 @@ pub struct CloneParams {
     pub proxy_cache_bytes: u64,
     /// Use a reduced image for quick runs (tests); `None` = paper size.
     pub image_scale: Option<u64>,
+    /// Collect trace events (carried into the scenario's [`Snapshot`]).
+    pub trace: bool,
 }
 
 impl Default for CloneParams {
@@ -91,6 +93,7 @@ impl Default for CloneParams {
             kernel_cache_bytes: 32 << 20,
             proxy_cache_bytes: 8 << 30,
             image_scale: None,
+            trace: false,
         }
     }
 }
@@ -118,11 +121,7 @@ impl CloneParams {
 
 /// Install `n` golden images (+ their middleware meta-data) under
 /// `/exports` of the image-server fs. Returns their specs.
-fn install_goldens(
-    fs: &Arc<Mutex<Fs>>,
-    params: &CloneParams,
-    n: usize,
-) -> Vec<VmImageSpec> {
+fn install_goldens(fs: &Arc<Mutex<Fs>>, params: &CloneParams, n: usize) -> Vec<VmImageSpec> {
     use vfs::Fs;
     fn inner(fs: &mut Fs, params: &CloneParams, n: usize) -> Vec<VmImageSpec> {
         let root = fs.root();
@@ -207,6 +206,10 @@ pub struct CloneResult {
     pub scenario: String,
     /// One entry per cloning, in order.
     pub times: Vec<CloneTimes>,
+    /// Final virtual time of the whole scenario simulation.
+    pub total_virtual_secs: f64,
+    /// Telemetry registry snapshot taken after the simulation drained.
+    pub snapshot: Snapshot,
 }
 
 impl CloneResult {
@@ -220,6 +223,9 @@ impl CloneResult {
 pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult {
     let sim = Simulation::new();
     let h = sim.handle();
+    if params.trace {
+        h.telemetry().set_trace(true);
+    }
     let out: Arc<Mutex<Vec<CloneTimes>>> = Arc::new(Mutex::new(Vec::new()));
     let n = params.clones;
     let kcfg = KernelConfig {
@@ -273,7 +279,11 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
                 params.net.wan_oneway,
             );
             let server = build_server(&h, up, down, 768 << 20, true);
-            let distinct = if scenario == CloneScenario::WanS1 { 1 } else { n };
+            let distinct = if scenario == CloneScenario::WanS1 {
+                1
+            } else {
+                n
+            };
             let specs = install_goldens(&server.fs, params, distinct);
             let mw = Middleware::new();
             let (_sid, cred) = mw.establish_session(&server.mapper, "clone-user", 0, u64::MAX / 2);
@@ -340,6 +350,7 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
                 upstream_client.clone(),
             )
             .with_block_cache(Arc::new(BlockCache::new(
+                &h,
                 lan_proxy_disk.clone(),
                 BlockCacheConfig::with_capacity(params.proxy_cache_bytes, 512, 16, 32 * 1024),
             )))
@@ -414,23 +425,29 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
         }
     }
 
-    sim.run();
+    let end = sim.run();
     let times = Arc::try_unwrap(out)
         .map(|m| m.into_inner())
         .unwrap_or_default();
     CloneResult {
         scenario: scenario.label().to_string(),
         times,
+        total_virtual_secs: end.as_secs_f64(),
+        snapshot: h.telemetry().snapshot(),
     }
 }
 
 /// Parallel-cloning result (Table 1).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ParallelResult {
     /// Wall time for the 8 parallel clonings, cold caches.
     pub cold_secs: f64,
     /// Wall time repeated with warm caches.
     pub warm_secs: f64,
+    /// Final virtual time of the whole scenario simulation.
+    pub total_virtual_secs: f64,
+    /// Telemetry registry snapshot taken after the simulation drained.
+    pub snapshot: Snapshot,
 }
 
 /// Table 1's WAN-P: `clones` compute servers clone in parallel from one
@@ -438,6 +455,9 @@ pub struct ParallelResult {
 pub fn run_parallel_cloning(params: &CloneParams) -> ParallelResult {
     let sim = Simulation::new();
     let h = sim.handle();
+    if params.trace {
+        h.telemetry().set_trace(true);
+    }
     let n = params.clones;
     let up = Link::from_mbps(&h, "wan-up", params.net.wan_up_mbps, params.net.wan_oneway);
     let down = Link::from_mbps(
@@ -474,15 +494,7 @@ pub fn run_parallel_cloning(params: &CloneParams) -> ParallelResult {
                 let (_sid, cred) =
                     mw.establish_session(&mapper, &format!("user{i}"), 0, u64::MAX / 2);
                 (
-                    build_compute_host(
-                        &h2,
-                        channel.clone(),
-                        cred,
-                        &params2,
-                        true,
-                        kcfg,
-                        &env,
-                    ),
+                    build_compute_host(&h2, channel.clone(), cred, &params2, true, kcfg, &env),
                     spec.clone(),
                 )
             })
@@ -513,12 +525,15 @@ pub fn run_parallel_cloning(params: &CloneParams) -> ParallelResult {
             *sink.lock() = (env.now() - t0).as_secs_f64();
         }
     });
-    sim.run();
-    let result = ParallelResult {
-        cold_secs: *cold.lock(),
-        warm_secs: *warm.lock(),
-    };
-    result
+    let end = sim.run();
+    let cold_secs = *cold.lock();
+    let warm_secs = *warm.lock();
+    ParallelResult {
+        cold_secs,
+        warm_secs,
+        total_virtual_secs: end.as_secs_f64(),
+        snapshot: h.telemetry().snapshot(),
+    }
 }
 
 /// Sequential total for Table 1's first row: same 8 images, same
@@ -527,6 +542,9 @@ pub fn run_parallel_cloning(params: &CloneParams) -> ParallelResult {
 pub fn run_sequential_for_table1(params: &CloneParams) -> ParallelResult {
     let sim = Simulation::new();
     let h = sim.handle();
+    if params.trace {
+        h.telemetry().set_trace(true);
+    }
     let n = params.clones;
     let up = Link::from_mbps(&h, "wan-up", params.net.wan_up_mbps, params.net.wan_oneway);
     let down = Link::from_mbps(
@@ -573,12 +591,14 @@ pub fn run_sequential_for_table1(params: &CloneParams) -> ParallelResult {
             *sink.lock() = (env.now() - t0).as_secs_f64();
         }
     });
-    sim.run();
+    let end = sim.run();
     let cold_secs = *cold.lock();
     let warm_secs = *warm.lock();
     ParallelResult {
         cold_secs,
         warm_secs,
+        total_virtual_secs: end.as_secs_f64(),
+        snapshot: h.telemetry().snapshot(),
     }
 }
 
@@ -625,7 +645,7 @@ pub fn pure_nfs_clone_secs(params: &CloneParams) -> f64 {
     let out2 = out.clone();
     let params2 = *params;
     sim.spawn("cloner", move |env: Env| {
-        let cred = OpaqueAuth::sys(&AuthSysLocal::new());
+        let cred = OpaqueAuth::sys(&local_auth_sys());
         let nfs = Nfs3Client::new(RpcClient::new(server.channel.clone(), cred));
         let kc = KernelClient::mount(
             &env,
@@ -645,9 +665,7 @@ pub fn pure_nfs_clone_secs(params: &CloneParams) -> f64 {
             LocalIoConfig::default(),
             0,
         );
-        let table = MountTable::new()
-            .mount("/", local)
-            .mount("/mnt/nfs", kc);
+        let table = MountTable::new().mount("/", local).mount("/mnt/nfs", kc);
         let cfg = CloneConfig {
             vm: params2.vm_config(),
             // Pure NFS moves the memory copy in protocol-sized chunks.
@@ -665,9 +683,6 @@ pub fn pure_nfs_clone_secs(params: &CloneParams) -> f64 {
 }
 
 // Small helper to avoid importing AuthSys at top with an alias clash.
-struct AuthSysLocal;
-impl AuthSysLocal {
-    fn new() -> oncrpc::AuthSys {
-        oncrpc::AuthSys::new("compute", 500, 500)
-    }
+fn local_auth_sys() -> oncrpc::AuthSys {
+    oncrpc::AuthSys::new("compute", 500, 500)
 }

@@ -1,5 +1,11 @@
 //! Plain-text table rendering for the figure/table binaries, plus the
-//! paper's reference numbers for side-by-side comparison.
+//! paper's reference numbers for side-by-side comparison — and the JSON
+//! report emitted by every binary from the telemetry registry.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use simnet::{JsonValue, Snapshot};
 
 /// Format seconds as `m:ss.s` like the paper's minutes:seconds axes.
 pub fn mmss(secs: f64) -> String {
@@ -57,6 +63,117 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
 /// A paper-vs-measured comparison line for EXPERIMENTS.md-style output.
 pub fn compare_line(what: &str, paper: &str, measured: &str) -> String {
     format!("  {what:<46} paper: {paper:>10}   measured: {measured:>10}")
+}
+
+// ---------------------------------------------------------------------------
+// JSON reports
+
+/// Command-line options shared by every bench binary:
+/// `--json <path>` overrides the report location (default
+/// `reports/<name>.json`), `--trace` turns on trace-event collection so
+/// the report carries the structured event log, `--no-json` suppresses
+/// the report file.
+#[derive(Debug, Clone)]
+pub struct BenchCli {
+    /// Where to write the JSON report; `None` with `--no-json`.
+    pub json_path: Option<PathBuf>,
+    /// Collect and dump the virtual-time-stamped trace event log.
+    pub trace: bool,
+}
+
+impl BenchCli {
+    /// Parse `std::env::args()` for the binary named `name`.
+    pub fn parse(name: &str) -> BenchCli {
+        let mut cli = BenchCli {
+            json_path: Some(PathBuf::from(format!("reports/{name}.json"))),
+            trace: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace" => cli.trace = true,
+                "--no-json" => cli.json_path = None,
+                "--json" => {
+                    let p = args.next().unwrap_or_else(|| {
+                        eprintln!("--json requires a path argument");
+                        std::process::exit(2);
+                    });
+                    cli.json_path = Some(PathBuf::from(p));
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: {name} [--json PATH] [--no-json] [--trace]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+}
+
+/// Build one scenario's slice of a report from its telemetry snapshot:
+/// total virtual time, RPC counts by procedure, block-cache and
+/// zero-filter counters, per-link bytes — plus the full metric dump (and
+/// the event log, when tracing was on).
+pub fn scenario_report(label: &str, total_virtual_secs: f64, snap: &Snapshot) -> JsonValue {
+    let procs: Vec<(String, JsonValue)> = snap
+        .counters
+        .iter()
+        .filter(|c| c.name.contains(".proc."))
+        .map(|c| (format!("{}.{}", c.layer, c.name), JsonValue::Uint(c.value)))
+        .collect();
+    let links: Vec<(String, JsonValue)> = snap
+        .counters
+        .iter()
+        .filter(|c| c.layer == "link" && c.name.ends_with(".bytes"))
+        .map(|c| (c.name.clone(), JsonValue::Uint(c.value)))
+        .collect();
+    JsonValue::object([
+        ("scenario", JsonValue::Str(label.to_string())),
+        ("total_virtual_secs", JsonValue::Float(total_virtual_secs)),
+        ("rpc_calls_by_procedure", JsonValue::Object(procs)),
+        (
+            "block_cache",
+            JsonValue::object([
+                ("hits", JsonValue::Uint(snap.counter_sum("gvfs", ".hits"))),
+                (
+                    "misses",
+                    JsonValue::Uint(snap.counter_sum("gvfs", ".misses")),
+                ),
+                (
+                    "evictions",
+                    JsonValue::Uint(snap.counter_sum("gvfs", ".evictions")),
+                ),
+            ]),
+        ),
+        (
+            "zero_filtered_reads",
+            JsonValue::Uint(snap.counter_sum("gvfs", ".zero_filtered")),
+        ),
+        ("link_bytes", JsonValue::Object(links)),
+        ("metrics", snap.to_json()),
+    ])
+}
+
+/// Write `{benchmark, scenarios}` to `path` (creating parent
+/// directories), and say where it went on stderr.
+pub fn write_report(path: &Path, benchmark: &str, scenarios: Vec<JsonValue>) {
+    let doc = JsonValue::object([
+        ("benchmark", JsonValue::Str(benchmark.to_string())),
+        ("scenarios", JsonValue::Array(scenarios)),
+    ]);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::File::create(path).and_then(|mut f| writeln!(f, "{doc}")) {
+        Ok(()) => eprintln!("report: wrote {}", path.display()),
+        Err(e) => eprintln!("report: FAILED to write {}: {e}", path.display()),
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@ use gvfs::{
 use nfs3::{KernelClient, KernelConfig, MountServer, Nfs3Client, Nfs3Server, ServerConfig};
 use oncrpc::{Dispatcher, OpaqueAuth, RpcChannel, RpcClient, WireSpec};
 use parking_lot::Mutex;
-use simnet::{Env, Link, SimDuration, SimHandle, Simulation};
+use simnet::{Env, Link, SimDuration, SimHandle, Simulation, Snapshot};
 use vfs::{Disk, DiskModel, FileIo, Fs, LocalIo, LocalIoConfig, MountTable};
 use vmm::{install_image, VmConfig, VmImageSpec, VmMonitor};
 use workloads::Workload;
@@ -104,6 +104,8 @@ pub struct AppParams {
     pub proxy_cache_bytes: u64,
     /// Server memory cache.
     pub server_cache_bytes: u64,
+    /// Collect trace events (carried into the scenario's [`Snapshot`]).
+    pub trace: bool,
 }
 
 impl Default for AppParams {
@@ -113,6 +115,7 @@ impl Default for AppParams {
             kernel_cache_bytes: 96 << 20,
             proxy_cache_bytes: 8 << 30,
             server_cache_bytes: 768 << 20,
+            trace: false,
         }
     }
 }
@@ -265,6 +268,7 @@ pub fn build_client(
     );
     if opts.block_cache {
         proxy = proxy.with_block_cache(Arc::new(BlockCache::new(
+            h,
             cache_disk.clone(),
             BlockCacheConfig::with_capacity(opts.cache_bytes, 512, 16, 32 * 1024),
         )));
@@ -306,6 +310,10 @@ pub struct AppResult {
     /// Time to flush write-back contents after the last run, when a
     /// caching proxy was present.
     pub flush_secs: Option<f64>,
+    /// Final virtual time of the whole scenario simulation.
+    pub total_virtual_secs: f64,
+    /// Telemetry registry snapshot taken after the simulation drained.
+    pub snapshot: Snapshot,
 }
 
 /// Execute `workload` `runs` consecutive times under `kind`, returning
@@ -320,11 +328,16 @@ pub fn run_app_scenario(
 ) -> AppResult {
     let sim = Simulation::new();
     let h = sim.handle();
+    if params.trace {
+        h.telemetry().set_trace(true);
+    }
     let image = VmImageSpec::app_benchmark("appvm");
     let results: Arc<Mutex<AppResult>> = Arc::new(Mutex::new(AppResult {
         scenario: kind.label().to_string(),
         runs: Vec::new(),
         flush_secs: None,
+        total_virtual_secs: 0.0,
+        snapshot: Snapshot::default(),
     }));
 
     let kcfg = KernelConfig {
@@ -401,26 +414,22 @@ pub fn run_app_scenario(
                 let nfs = Nfs3Client::new(RpcClient::new(client.channel.clone(), cred.clone()));
                 let kc = KernelClient::mount(&env, nfs, "/exports", kcfg).unwrap();
                 let table = MountTable::new().mount("/mnt/gvfs", kc.clone());
-                let vm = VmMonitor::attach(
-                    &env,
-                    &table,
-                    "/mnt/gvfs",
-                    image,
-                    VmConfig::default(),
-                    None,
-                )
-                .unwrap();
-                let flush: Option<(Arc<Proxy>, OpaqueAuth)> =
-                    proxy.map(|p| (p, cred.clone()));
+                let vm =
+                    VmMonitor::attach(&env, &table, "/mnt/gvfs", image, VmConfig::default(), None)
+                        .unwrap();
+                let flush: Option<(Arc<Proxy>, OpaqueAuth)> = proxy.map(|p| (p, cred.clone()));
                 drive_runs(&env, &vm, &wl, runs, &out, move || {}, flush);
             });
         }
     }
 
-    sim.run();
-    Arc::try_unwrap(results)
+    let end = sim.run();
+    let mut res = Arc::try_unwrap(results)
         .map(|m| m.into_inner())
-        .unwrap_or_else(|arc| arc.lock().clone())
+        .unwrap_or_else(|arc| arc.lock().clone());
+    res.total_virtual_secs = end.as_secs_f64();
+    res.snapshot = h.telemetry().snapshot();
+    res
 }
 
 /// Shared run loop: cold run 0, warm runs after; flush timing at the end.

@@ -18,7 +18,8 @@
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
-use simnet::Env;
+use simnet::telemetry::Counter;
+use simnet::{Env, SimHandle};
 use vfs::Disk;
 
 /// Write policy for cached writes.
@@ -86,7 +87,8 @@ impl BlockCacheConfig {
     }
 }
 
-/// Cache activity counters.
+/// Cache activity counters (a point-in-time view of the telemetry
+/// registry's `gvfs/block-cache*` counters).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct BlockCacheStats {
     /// Lookup hits.
@@ -103,6 +105,32 @@ pub struct BlockCacheStats {
     pub dirty_writes: u64,
 }
 
+/// Telemetry-backed counters; `BlockCacheStats` is read out of these.
+struct BcTel {
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
+    dirty_evictions: Counter,
+    dirty_writes: Counter,
+}
+
+impl BcTel {
+    fn register(handle: &SimHandle) -> Self {
+        let tel = handle.telemetry();
+        let inst = tel.instance_name("block-cache");
+        let c = |suffix: &str| tel.counter("gvfs", format!("{inst}.{suffix}"));
+        BcTel {
+            hits: c("hits"),
+            misses: c("misses"),
+            insertions: c("insertions"),
+            evictions: c("evictions"),
+            dirty_evictions: c("dirty_evictions"),
+            dirty_writes: c("dirty_writes"),
+        }
+    }
+}
+
 struct Frame {
     tag: Tag,
     data: Vec<u8>,
@@ -116,14 +144,38 @@ struct Inner {
     banks_created: Vec<bool>,
     stamp: u64,
     next_seq: HashMap<(u64, u64), u64>, // (fileid, gen) -> expected next block
-    stats: BlockCacheStats,
     bytes_stored: u64,
+}
+
+impl Inner {
+    /// Exact sum of resident frame payloads — the ground truth that
+    /// `bytes_stored` must track incrementally.
+    fn recount_bytes(&self) -> u64 {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|f| f.data.len() as u64)
+            .sum()
+    }
+
+    /// Subtract `n` bytes with an underflow check: accounting drift is a
+    /// bug, not something to mask with saturation.
+    fn debit_bytes(&mut self, n: u64) {
+        debug_assert!(
+            self.bytes_stored >= n,
+            "block-cache byte accounting underflow: stored {} < debit {}",
+            self.bytes_stored,
+            n
+        );
+        self.bytes_stored = self.bytes_stored.saturating_sub(n);
+    }
 }
 
 /// The proxy disk cache.
 pub struct BlockCache {
     cfg: BlockCacheConfig,
     disk: Disk,
+    tel: BcTel,
     inner: Mutex<Inner>,
 }
 
@@ -139,17 +191,18 @@ fn mix(fileid: u64, generation: u64) -> u64 {
 }
 
 impl BlockCache {
-    /// Create a cache over the given local cache disk.
-    pub fn new(disk: Disk, cfg: BlockCacheConfig) -> Self {
+    /// Create a cache over the given local cache disk. Counters register
+    /// in `handle`'s telemetry registry under `gvfs/block-cache*`.
+    pub fn new(handle: &SimHandle, disk: Disk, cfg: BlockCacheConfig) -> Self {
         BlockCache {
             cfg,
             disk,
+            tel: BcTel::register(handle),
             inner: Mutex::new(Inner {
                 sets: (0..cfg.total_sets()).map(|_| Vec::new()).collect(),
                 banks_created: vec![false; cfg.banks],
                 stamp: 0,
                 next_seq: HashMap::new(),
-                stats: BlockCacheStats::default(),
                 bytes_stored: 0,
             }),
         }
@@ -160,19 +213,44 @@ impl BlockCache {
         self.cfg
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (reads the shared telemetry counters).
     pub fn stats(&self) -> BlockCacheStats {
-        self.inner.lock().stats
+        BlockCacheStats {
+            hits: self.tel.hits.get(),
+            misses: self.tel.misses.get(),
+            insertions: self.tel.insertions.get(),
+            evictions: self.tel.evictions.get(),
+            dirty_evictions: self.tel.dirty_evictions.get(),
+            dirty_writes: self.tel.dirty_writes.get(),
+        }
     }
 
     /// Reset counters (between benchmark phases).
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = BlockCacheStats::default();
+        self.tel.hits.reset();
+        self.tel.misses.reset();
+        self.tel.insertions.reset();
+        self.tel.evictions.reset();
+        self.tel.dirty_evictions.reset();
+        self.tel.dirty_writes.reset();
     }
 
     /// Bytes currently stored.
     pub fn bytes_stored(&self) -> u64 {
         self.inner.lock().bytes_stored
+    }
+
+    /// Assert that the incremental `bytes_stored` counter matches a full
+    /// recount of resident frame payloads. Cheap enough for tests; call
+    /// after any sequence of inserts/updates/evictions to catch drift.
+    pub fn validate_accounting(&self) {
+        let inner = self.inner.lock();
+        let actual = inner.recount_bytes();
+        assert_eq!(
+            inner.bytes_stored, actual,
+            "block-cache byte accounting drift: tracked {} vs recounted {}",
+            inner.bytes_stored, actual
+        );
     }
 
     /// Number of dirty frames.
@@ -227,12 +305,12 @@ impl BlockCache {
         };
         match found {
             Some(data) => {
-                self.inner.lock().stats.hits += 1;
+                self.tel.hits.inc();
                 self.charge_io(env, &tag);
                 Some(data)
             }
             None => {
-                self.inner.lock().stats.misses += 1;
+                self.tel.misses.inc();
                 None
             }
         }
@@ -247,7 +325,13 @@ impl BlockCache {
 
     /// Insert (or overwrite) a block, paying local-disk time. Returns an
     /// evicted dirty block, if any, which the caller must write upstream.
-    pub fn insert(&self, env: &Env, tag: Tag, data: Vec<u8>, dirty: bool) -> Option<(Tag, Vec<u8>)> {
+    pub fn insert(
+        &self,
+        env: &Env,
+        tag: Tag,
+        data: Vec<u8>,
+        dirty: bool,
+    ) -> Option<(Tag, Vec<u8>)> {
         debug_assert!(data.len() <= self.cfg.block_size as usize);
         let mut evicted = None;
         {
@@ -256,10 +340,14 @@ impl BlockCache {
             inner.stamp += 1;
             let stamp = inner.stamp;
             let assoc = self.cfg.assoc;
-            let block_size = self.cfg.block_size as u64;
             let existing = inner.sets[set].iter().position(|f| f.tag == tag);
             match existing {
                 Some(i) => {
+                    // Overwrite in place: account the payload-size delta
+                    // (short tail blocks may grow or shrink).
+                    let old_len = inner.sets[set][i].data.len() as u64;
+                    inner.debit_bytes(old_len);
+                    inner.bytes_stored += data.len() as u64;
                     let f = &mut inner.sets[set][i];
                     f.data = data;
                     f.dirty = f.dirty || dirty;
@@ -276,28 +364,31 @@ impl BlockCache {
                             .map(|(i, _)| i)
                             .expect("non-empty set");
                         let victim = inner.sets[set].swap_remove(victim_idx);
-                        inner.stats.evictions += 1;
-                        inner.bytes_stored = inner.bytes_stored.saturating_sub(block_size);
+                        self.tel.evictions.inc();
+                        // Debit what the victim actually held, not the
+                        // nominal block size — tail blocks are shorter.
+                        let victim_len = victim.data.len() as u64;
+                        inner.debit_bytes(victim_len);
                         if victim.dirty {
-                            inner.stats.dirty_evictions += 1;
+                            self.tel.dirty_evictions.inc();
                             evicted = Some((victim.tag, victim.data));
                         }
                     }
+                    inner.bytes_stored += data.len() as u64;
                     inner.sets[set].push(Frame {
                         tag,
                         data,
                         dirty,
                         stamp,
                     });
-                    inner.stats.insertions += 1;
-                    inner.bytes_stored += block_size;
+                    self.tel.insertions.inc();
                     // Bank creation on demand (bookkeeping only).
                     let bank = set / self.cfg.sets_per_bank;
                     inner.banks_created[bank] = true;
                 }
             }
             if dirty {
-                inner.stats.dirty_writes += 1;
+                self.tel.dirty_writes.inc();
             }
         }
         self.charge_io(env, &tag);
@@ -320,18 +411,28 @@ impl BlockCache {
             inner.stamp += 1;
             let stamp = inner.stamp;
             let bs = self.cfg.block_size as usize;
-            match inner.sets[set].iter_mut().find(|f| f.tag == tag) {
+            let merged = match inner.sets[set].iter_mut().find(|f| f.tag == tag) {
                 Some(f) => {
                     let end = offset_in_block + bytes.len();
                     debug_assert!(end <= bs);
+                    let grown = end.saturating_sub(f.data.len()) as u64;
                     if f.data.len() < end {
                         f.data.resize(end, 0);
                     }
                     f.data[offset_in_block..end].copy_from_slice(bytes);
                     f.dirty = f.dirty || mark_dirty;
                     f.stamp = stamp;
+                    Some(grown)
+                }
+                None => None,
+            };
+            match merged {
+                Some(grown) => {
+                    // resize() may have extended the frame payload; keep
+                    // the byte accounting in step.
+                    inner.bytes_stored += grown;
                     if mark_dirty {
-                        inner.stats.dirty_writes += 1;
+                        self.tel.dirty_writes.inc();
                     }
                     true
                 }
@@ -397,6 +498,7 @@ mod tests {
         );
         // 2 banks × 2 sets × assoc frames of 1 KB
         BlockCache::new(
+            h,
             disk,
             BlockCacheConfig {
                 banks: 2,
@@ -465,8 +567,8 @@ mod tests {
             let t8 = tag(1, 8);
             c.insert(&env, t0, vec![0; 1024], true); // dirty
             c.insert(&env, t4, vec![4; 1024], false); // clean
-            // Set full (assoc 2); inserting t8 must evict the CLEAN t4
-            // even though t0 is older.
+                                                      // Set full (assoc 2); inserting t8 must evict the CLEAN t4
+                                                      // even though t0 is older.
             let evicted = c.insert(&env, t8, vec![8; 1024], false);
             assert!(evicted.is_none(), "clean eviction returns nothing");
             assert!(c.contains(t0), "dirty block must survive");
@@ -531,6 +633,7 @@ mod tests {
             },
         );
         let cache = std::sync::Arc::new(BlockCache::new(
+            &h,
             disk,
             BlockCacheConfig::with_capacity(64 << 20, 8, 4, 32 * 1024),
         ));
@@ -554,6 +657,60 @@ mod tests {
                 rand_time.as_secs_f64() > seq_time.as_secs_f64() * 3.0,
                 "rand {rand_time} vs seq {seq_time}"
             );
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn byte_accounting_is_exact_for_tail_blocks() {
+        let sim = Simulation::new();
+        let cache = std::sync::Arc::new(small_cache(&sim.handle(), 2));
+        let c = cache.clone();
+        sim.spawn("t", move |env| {
+            // A short "tail" block must be accounted at its real length,
+            // not the nominal block size.
+            c.insert(&env, tag(1, 0), vec![1; 300], false);
+            assert_eq!(c.bytes_stored(), 300);
+            // Overwrite with a longer payload: delta accounted.
+            c.insert(&env, tag(1, 0), vec![1; 700], false);
+            assert_eq!(c.bytes_stored(), 700);
+            // Overwrite with a shorter payload: shrink accounted too.
+            c.insert(&env, tag(1, 0), vec![1; 200], false);
+            assert_eq!(c.bytes_stored(), 200);
+            // update() growing past the current payload end.
+            assert!(c.update(&env, tag(1, 0), 150, &[9u8; 100], true));
+            assert_eq!(c.bytes_stored(), 250);
+            // update() within the payload: no growth.
+            assert!(c.update(&env, tag(1, 0), 0, &[9u8; 10], false));
+            assert_eq!(c.bytes_stored(), 250);
+            c.validate_accounting();
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn eviction_debits_victim_length_not_block_size() {
+        let sim = Simulation::new();
+        let cache = std::sync::Arc::new(small_cache(&sim.handle(), 2));
+        let c = cache.clone();
+        sim.spawn("t", move |env| {
+            // Same set (stride = total_sets = 4), short payloads. With the
+            // old block_size-based accounting each eviction debited 1024
+            // for a 100-byte frame, driving bytes_stored to zero via
+            // saturating_sub and masking the drift.
+            c.insert(&env, tag(1, 0), vec![0; 100], false);
+            c.insert(&env, tag(1, 4), vec![0; 200], false);
+            assert_eq!(c.bytes_stored(), 300);
+            c.insert(&env, tag(1, 8), vec![0; 400], false); // evicts one
+            assert_eq!(c.stats().evictions, 1);
+            c.validate_accounting();
+            // Fill more sets and keep evicting; accounting must stay exact.
+            for b in 0..32u64 {
+                c.insert(&env, tag(2, b), vec![0; 64 + b as usize], (b % 3) == 0);
+            }
+            c.validate_accounting();
+            let _ = c.take_dirty(&env);
+            c.validate_accounting();
         });
         sim.run();
     }

@@ -282,7 +282,13 @@ impl ChannelClient {
     }
 
     /// Compress and upload a whole file (write-back path).
-    pub fn upload(&self, env: &Env, h: Handle, contents: &[u8], compress: bool) -> Result<u64, ChannelError> {
+    pub fn upload(
+        &self,
+        env: &Env,
+        h: Handle,
+        contents: &[u8],
+        compress: bool,
+    ) -> Result<u64, ChannelError> {
         let payload = if compress {
             env.sleep(self.codec.compress_time(contents.len() as u64));
             codec::compress(contents)
@@ -332,11 +338,8 @@ mod tests {
         let up = Link::from_mbps(&h, "up", mbps, SimDuration::from_millis(17));
         let down = Link::from_mbps(&h, "down", mbps, SimDuration::from_millis(17));
         let ep = oncrpc::endpoint(&h, up, down.clone(), WireSpec::ssh_tunnel(50e6));
-        ep.listener.serve(
-            "chan",
-            Dispatcher::new().register(server).into_handler(),
-            2,
-        );
+        ep.listener
+            .serve("chan", Dispatcher::new().register(server).into_handler(), 2);
         let rpc = RpcClient::new(ep.channel, OpaqueAuth::sys(&AuthSys::new("c", 1, 1)));
         (fs, ChannelClient::new(rpc, CodecModel::default()), down)
     }
@@ -420,11 +423,8 @@ mod tests {
             let up = Link::from_mbps(&h, "up", 25.0, SimDuration::from_millis(17));
             let down = Link::from_mbps(&h, "down", 25.0, SimDuration::from_millis(17));
             let ep = oncrpc::endpoint(&h, up, down, WireSpec::ssh_tunnel(50e6));
-            ep.listener.serve(
-                "chan",
-                Dispatcher::new().register(server).into_handler(),
-                1,
-            );
+            ep.listener
+                .serve("chan", Dispatcher::new().register(server).into_handler(), 1);
             let rpc = RpcClient::new(ep.channel, OpaqueAuth::sys(&AuthSys::new("c", 1, 1)));
             let chan = ChannelClient::new(rpc, CodecModel::default());
             let fh = {

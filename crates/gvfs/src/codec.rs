@@ -95,6 +95,13 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
         }
         let len = u32::from_be_bytes(stream[i..i + 4].try_into().unwrap()) as usize;
         i += 4;
+        // A record claiming to expand past the declared original length
+        // can only come from a corrupt stream; bail before allocating —
+        // run-length records otherwise let a few bytes of header demand
+        // gigabytes of output.
+        if out.len() + len > orig_len {
+            return Err(CodecError::LengthMismatch);
+        }
         match tag {
             0 => out.resize(out.len() + len, 0),
             1 => {
@@ -223,6 +230,29 @@ mod tests {
         let last = c2.len() - 1;
         c2[last] ^= 0xFF; // corrupt literal byte: still decodes, lengths ok
         let _ = decompress(&c2); // must not panic
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_without_allocating() {
+        // Hand-built stream: declared original length 8, but a single
+        // zero-run record claims 1 GiB. Must fail fast (LengthMismatch)
+        // instead of materialising the run and failing at the final
+        // length check.
+        let mut s = Vec::new();
+        s.extend_from_slice(MAGIC);
+        s.extend_from_slice(&8u64.to_be_bytes());
+        s.push(0); // zero-run tag
+        s.extend_from_slice(&(1u32 << 30).to_be_bytes());
+        assert_eq!(decompress(&s), Err(CodecError::LengthMismatch));
+
+        // Same for a byte-run record.
+        let mut s = Vec::new();
+        s.extend_from_slice(MAGIC);
+        s.extend_from_slice(&8u64.to_be_bytes());
+        s.push(1); // byte-run tag
+        s.extend_from_slice(&(1u32 << 30).to_be_bytes());
+        s.push(0xAB);
+        assert_eq!(decompress(&s), Err(CodecError::LengthMismatch));
     }
 
     #[test]

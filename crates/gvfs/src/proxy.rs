@@ -20,9 +20,14 @@ use oncrpc::msg::{AcceptStat, CallHeader, RejectStat, ReplyBody, RpcMessage};
 use oncrpc::transport::RpcHandler;
 use oncrpc::{ProgramError, RpcClient, RpcError};
 use parking_lot::Mutex;
+use simnet::telemetry::{Counter, Telemetry, TraceEvent};
 use simnet::{Env, SimDuration};
 use vfs::Handle;
 use xdr::{Decode, Decoder, Encode, Encoder};
+
+/// Dirty blocks grouped by `(fileid, generation)`: `(offset, data)` runs
+/// awaiting write-back.
+type DirtyByFile = HashMap<(u64, u64), Vec<(u64, Vec<u8>)>>;
 
 use nfs3::args::{ReadArgs, WriteArgs};
 use nfs3::proto::{
@@ -64,7 +69,8 @@ impl Default for ProxyConfig {
     }
 }
 
-/// Proxy activity counters.
+/// Proxy activity counters (a point-in-time view of the telemetry
+/// registry's `gvfs/<proxy-name>.*` counters).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct ProxyStats {
     /// Calls handled.
@@ -102,6 +108,45 @@ pub struct FlushReport {
     pub file_wire_bytes: u64,
 }
 
+/// Telemetry-backed counters; `ProxyStats` is read out of these. The
+/// instance name is derived from `ProxyConfig::name` (deduplicated with
+/// `#2`, `#3`, ... when several proxies share a name in one simulation).
+struct PxTel {
+    registry: Telemetry,
+    inst: String,
+    calls: Counter,
+    reads: Counter,
+    writes: Counter,
+    forwarded: Counter,
+    zero_filtered: Counter,
+    file_cache_reads: Counter,
+    channel_fetches: Counter,
+    channel_wire_bytes: Counter,
+    writes_absorbed: Counter,
+    blocks_written_back: Counter,
+}
+
+impl PxTel {
+    fn register(registry: Telemetry, base: &str) -> Self {
+        let inst = registry.instance_name(base);
+        let c = |suffix: &str| registry.counter("gvfs", format!("{inst}.{suffix}"));
+        PxTel {
+            calls: c("calls"),
+            reads: c("reads"),
+            writes: c("writes"),
+            forwarded: c("forwarded"),
+            zero_filtered: c("zero_filtered"),
+            file_cache_reads: c("file_cache_reads"),
+            channel_fetches: c("channel_fetches"),
+            channel_wire_bytes: c("channel_wire_bytes"),
+            writes_absorbed: c("writes_absorbed"),
+            blocks_written_back: c("blocks_written_back"),
+            inst,
+            registry,
+        }
+    }
+}
+
 struct ProxyState {
     meta: HashMap<FileKey, Option<Arc<MetaFile>>>,
     sizes: HashMap<FileKey, u64>,
@@ -113,7 +158,6 @@ struct ProxyState {
     /// Cached file-channel FETCH replies (results bytes), for second-level
     /// proxies serving repeated clonings on a LAN.
     chan_replies: HashMap<FileKey, Vec<u8>>,
-    stats: ProxyStats,
 }
 
 /// A GVFS proxy instance. Implements [`RpcHandler`], so it plugs directly
@@ -125,6 +169,7 @@ pub struct Proxy {
     block_cache: Option<Arc<BlockCache>>,
     file_cache: Option<Arc<FileCache>>,
     identity: Option<Arc<IdentityMapper>>,
+    tel: PxTel,
     state: Mutex<ProxyState>,
 }
 
@@ -136,8 +181,11 @@ fn key_of(h: Handle) -> FileKey {
 }
 
 impl Proxy {
-    /// Build a proxy forwarding to `upstream`.
+    /// Build a proxy forwarding to `upstream`. Counters register in the
+    /// telemetry registry of the simulation the upstream channel belongs
+    /// to, under `gvfs/<cfg.name>.*`.
     pub fn new(cfg: ProxyConfig, upstream: RpcClient) -> Self {
+        let tel = PxTel::register(upstream.channel().handle().telemetry().clone(), &cfg.name);
         Proxy {
             cfg,
             upstream,
@@ -145,12 +193,12 @@ impl Proxy {
             block_cache: None,
             file_cache: None,
             identity: None,
+            tel,
             state: Mutex::new(ProxyState {
                 meta: HashMap::new(),
                 sizes: HashMap::new(),
                 inflight_fetch: HashMap::new(),
                 chan_replies: HashMap::new(),
-                stats: ProxyStats::default(),
             }),
         }
     }
@@ -179,14 +227,34 @@ impl Proxy {
         Arc::new(self)
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (reads the shared telemetry counters).
     pub fn stats(&self) -> ProxyStats {
-        self.state.lock().stats
+        ProxyStats {
+            calls: self.tel.calls.get(),
+            reads: self.tel.reads.get(),
+            writes: self.tel.writes.get(),
+            forwarded: self.tel.forwarded.get(),
+            zero_filtered: self.tel.zero_filtered.get(),
+            file_cache_reads: self.tel.file_cache_reads.get(),
+            channel_fetches: self.tel.channel_fetches.get(),
+            channel_wire_bytes: self.tel.channel_wire_bytes.get(),
+            writes_absorbed: self.tel.writes_absorbed.get(),
+            blocks_written_back: self.tel.blocks_written_back.get(),
+        }
     }
 
     /// Reset counters.
     pub fn reset_stats(&self) {
-        self.state.lock().stats = ProxyStats::default();
+        self.tel.calls.reset();
+        self.tel.reads.reset();
+        self.tel.writes.reset();
+        self.tel.forwarded.reset();
+        self.tel.zero_filtered.reset();
+        self.tel.file_cache_reads.reset();
+        self.tel.channel_fetches.reset();
+        self.tel.channel_wire_bytes.reset();
+        self.tel.writes_absorbed.reset();
+        self.tel.blocks_written_back.reset();
     }
 
     /// The attached block cache, if any.
@@ -202,6 +270,7 @@ impl Proxy {
     // -- forwarding ---------------------------------------------------------
 
     /// Forward a call upstream and wrap the outcome for the downstream xid.
+    #[allow(clippy::too_many_arguments)]
     fn forward(
         &self,
         env: &Env,
@@ -212,7 +281,7 @@ impl Proxy {
         proc: u32,
         args: Vec<u8>,
     ) -> RpcMessage {
-        self.state.lock().stats.forwarded += 1;
+        self.tel.forwarded.inc();
         let client = self.upstream.with_cred(cred.clone());
         match client.call(env, prog, vers, proc, args) {
             Ok(results) => RpcMessage::success(xid, results),
@@ -288,9 +357,7 @@ impl Proxy {
             return Some(m.file_size);
         }
         drop(st);
-        self.file_cache
-            .as_ref()
-            .and_then(|fc| fc.size_of(key))
+        self.file_cache.as_ref().and_then(|fc| fc.size_of(key))
     }
 
     fn bump_size(&self, key: FileKey, end: u64) {
@@ -323,13 +390,13 @@ impl Proxy {
             Ok(a) => a,
             Err(_) => return self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::READ, args),
         };
-        self.state.lock().stats.reads += 1;
+        self.tel.reads.inc();
         let key = key_of(a.file.0);
 
         // 1. File cache ("read locally" of an installed file).
         if let Some(fc) = &self.file_cache {
             if let Some((data, eof)) = fc.read(env, key, a.offset, a.count) {
-                self.state.lock().stats.file_cache_reads += 1;
+                self.tel.file_cache_reads.inc();
                 return Self::read_reply(xid, data, eof);
             }
         }
@@ -346,7 +413,7 @@ impl Proxy {
             if m.channel.is_some() {
                 loop {
                     if let Some((data, eof)) = fc.read(env, key, a.offset, a.count) {
-                        self.state.lock().stats.file_cache_reads += 1;
+                        self.tel.file_cache_reads.inc();
                         return Self::read_reply(xid, data, eof);
                     }
                     // Join an in-progress fetch, or claim the fetch.
@@ -379,9 +446,16 @@ impl Proxy {
                                         wire
                                     );
                                     fc.install(env, key, &contents);
-                                    let mut st = self.state.lock();
-                                    st.stats.channel_fetches += 1;
-                                    st.stats.channel_wire_bytes += wire;
+                                    self.tel.channel_fetches.inc();
+                                    self.tel.channel_wire_bytes.add(wire);
+                                    let tr = &self.tel.registry;
+                                    if tr.trace_enabled() {
+                                        tr.trace(
+                                            TraceEvent::new(env.now(), "gvfs", "channel_fetch")
+                                                .bytes(wire)
+                                                .label("proxy", self.tel.inst.clone()),
+                                        );
+                                    }
                                     true
                                 }
                                 Err(_e) => {
@@ -396,7 +470,7 @@ impl Proxy {
                             }
                             if result {
                                 if let Some((data, eof)) = fc.read(env, key, a.offset, a.count) {
-                                    self.state.lock().stats.file_cache_reads += 1;
+                                    self.tel.file_cache_reads.inc();
                                     return Self::read_reply(xid, data, eof);
                                 }
                             }
@@ -412,7 +486,7 @@ impl Proxy {
             if let Some(zm) = &m.zero_map {
                 let size = self.known_size(key).unwrap_or(m.file_size);
                 if zm.range_is_zero(a.offset, a.count) {
-                    self.state.lock().stats.zero_filtered += 1;
+                    self.tel.zero_filtered.inc();
                     if a.offset >= size {
                         return Self::read_reply(xid, Vec::new(), true);
                     }
@@ -505,7 +579,7 @@ impl Proxy {
             generation: tag.generation,
         };
         let _ = nfs.write(env, h, off, payload, StableHow::Unstable);
-        self.state.lock().stats.blocks_written_back += 1;
+        self.tel.blocks_written_back.inc();
     }
 
     // -- WRITE --------------------------------------------------------------
@@ -532,7 +606,7 @@ impl Proxy {
             Ok(a) => a,
             Err(_) => return self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::WRITE, args),
         };
-        self.state.lock().stats.writes += 1;
+        self.tel.writes.inc();
         let key = key_of(a.file.0);
 
         // File-cache resident files absorb writes there (dirty upload on
@@ -541,7 +615,7 @@ impl Proxy {
             if fc.contains(key) && !self.cfg.read_only_share {
                 fc.write(env, key, a.offset, &a.data);
                 self.bump_size(key, a.offset + a.data.len() as u64);
-                self.state.lock().stats.writes_absorbed += 1;
+                self.tel.writes_absorbed.inc();
                 return Self::write_reply(xid, a.data.len() as u32, StableHow::FileSync);
             }
         }
@@ -596,7 +670,7 @@ impl Proxy {
                 pos += take as u64;
             }
             self.bump_size(key, end);
-            self.state.lock().stats.writes_absorbed += 1;
+            self.tel.writes_absorbed.inc();
             return Self::write_reply(xid, a.data.len() as u32, StableHow::FileSync);
         }
 
@@ -754,7 +828,7 @@ impl Proxy {
             let dirty = bc.take_dirty(env);
             let bs = bc.config().block_size as u64;
             let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
-            let mut by_file: HashMap<(u64, u64), Vec<(u64, Vec<u8>)>> = HashMap::new();
+            let mut by_file: DirtyByFile = HashMap::new();
             for (tag, data) in dirty {
                 by_file
                     .entry((tag.fileid, tag.generation))
@@ -764,14 +838,8 @@ impl Proxy {
             let mut files: Vec<_> = by_file.into_iter().collect();
             files.sort_unstable_by_key(|(k, _)| *k);
             for ((fileid, generation), blocks) in files {
-                let h = Handle {
-                    fileid,
-                    generation,
-                };
-                let key = FileKey {
-                    fileid,
-                    generation,
-                };
+                let h = Handle { fileid, generation };
+                let key = FileKey { fileid, generation };
                 let size = self.known_size(key);
                 for (block, mut data) in blocks {
                     let off = block * bs;
@@ -787,7 +855,7 @@ impl Proxy {
                 }
                 let _ = nfs.commit(env, h);
             }
-            self.state.lock().stats.blocks_written_back += report.blocks;
+            self.tel.blocks_written_back.add(report.blocks);
         }
         if let (Some(fc), Some(chan)) = (&self.file_cache, &self.chan) {
             for key in fc.dirty_files() {
@@ -803,7 +871,11 @@ impl Proxy {
                 }
             }
         }
-        self.state.lock().sizes.clear();
+        // Size overrides deliberately survive the flush: `known_size` is
+        // consulted by later write-backs and GETATTR patching, and the
+        // meta-data fallback still reports the pre-session file size.
+        // Clearing here made a post-flush eviction truncate its payload
+        // to the stale meta size, silently dropping appended bytes.
         report
     }
 
@@ -875,9 +947,7 @@ impl RpcHandler for Proxy {
     fn handle(&self, env: &Env, request: &[u8]) -> Vec<u8> {
         let msg: RpcMessage = match xdr::from_bytes(request) {
             Ok(m) => m,
-            Err(_) => {
-                return xdr::to_bytes(&RpcMessage::accept_error(0, AcceptStat::GarbageArgs))
-            }
+            Err(_) => return xdr::to_bytes(&RpcMessage::accept_error(0, AcceptStat::GarbageArgs)),
         };
         let (header, args) = match msg {
             RpcMessage::Call { header, args } => (header, args),
@@ -893,7 +963,16 @@ impl RpcHandler for Proxy {
             cred,
             ..
         } = header;
-        self.state.lock().stats.calls += 1;
+        self.tel.calls.inc();
+        if prog == NFS_PROGRAM {
+            self.tel
+                .registry
+                .counter(
+                    "gvfs",
+                    format!("{}.proc.{}", self.tel.inst, nfs3::proto::proc3_name(proc)),
+                )
+                .inc();
+        }
         env.sleep(self.cfg.per_op_cpu);
 
         // Server-side proxies authenticate middleware sessions and map

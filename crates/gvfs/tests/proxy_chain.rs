@@ -90,6 +90,7 @@ fn build_rig(sim: &Simulation, write_policy: WritePolicy, meta_handling: bool) -
 
     let cache_disk = Disk::new(&h, DiskModel::scsi_2004());
     let block_cache = Arc::new(BlockCache::new(
+        &h,
         cache_disk.clone(),
         BlockCacheConfig::with_capacity(2 << 30, 64, 16, 32 * 1024),
     ));
@@ -182,11 +183,9 @@ fn bad_session_is_rejected_at_server_proxy() {
         expires_at: u64::MAX,
     });
     let nfs = Nfs3Client::new(rig.client_rpc.with_cred(bogus));
-    sim.spawn("client", move |env: Env| {
-        match nfs.mount(&env, "/") {
-            Err(nfs3::NfsError::Rpc(oncrpc::RpcError::Denied(_))) => {}
-            other => panic!("expected denial, got {other:?}"),
-        }
+    sim.spawn("client", move |env: Env| match nfs.mount(&env, "/") {
+        Err(nfs3::NfsError::Rpc(oncrpc::RpcError::Denied(_))) => {}
+        other => panic!("expected denial, got {other:?}"),
     });
     sim.run();
 }
@@ -405,6 +404,120 @@ fn write_through_policy_forwards_writes_immediately() {
         assert_eq!(server.stats().writes, 1);
     });
     sim.run();
+}
+
+#[test]
+fn telemetry_registry_reconciles_with_stats_views_and_bytes_moved() {
+    let sim = Simulation::new();
+    let tel = sim.handle().telemetry().clone();
+    tel.set_trace(true);
+    let rig = build_rig(&sim, WritePolicy::WriteBack, true);
+    let payload: Vec<u8> = (0..512 * 1024u32).map(|i| (i % 251) as u8).collect();
+    seed_file(&rig.fs, "disk.img", &payload, None);
+    let nfs = Nfs3Client::new(rig.client_rpc.clone());
+    let proxy = rig.proxy.clone();
+    let wan_down = rig.wan_down.clone();
+    let expected_len = payload.len();
+    sim.spawn("client", move |env: Env| {
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh, _) = nfs.lookup(&env, root, "disk.img").unwrap();
+        let read_all = |env: &Env| {
+            let mut total = 0usize;
+            let mut off = 0;
+            loop {
+                let r = nfs.read(env, fh, off, 32 * 1024).unwrap();
+                off += r.data.len() as u64;
+                total += r.data.len();
+                if r.eof {
+                    break;
+                }
+            }
+            total
+        };
+        assert_eq!(read_all(&env), expected_len); // cold: fills block cache
+        assert_eq!(read_all(&env), expected_len); // warm: hits block cache
+        nfs.write(
+            &env,
+            fh,
+            0,
+            vec![9u8; 32 * 1024],
+            nfs3::proto::StableHow::Unstable,
+        )
+        .unwrap();
+    });
+    sim.run();
+
+    let snap = tel.snapshot();
+
+    // The ProxyStats view and the registry are the same cells: every
+    // field must agree exactly.
+    let st = proxy.stats();
+    for (suffix, view) in [
+        ("calls", st.calls),
+        ("reads", st.reads),
+        ("writes", st.writes),
+        ("forwarded", st.forwarded),
+        ("zero_filtered", st.zero_filtered),
+        ("file_cache_reads", st.file_cache_reads),
+        ("channel_fetches", st.channel_fetches),
+        ("channel_wire_bytes", st.channel_wire_bytes),
+        ("writes_absorbed", st.writes_absorbed),
+        ("blocks_written_back", st.blocks_written_back),
+    ] {
+        assert_eq!(
+            snap.counter("gvfs", &format!("client-proxy.{suffix}")),
+            view,
+            "client-proxy.{suffix} disagrees with ProxyStats"
+        );
+    }
+    assert!(st.reads >= 32, "expected two full passes of reads");
+
+    // Same for the block cache.
+    let bc = proxy.block_cache().unwrap().stats();
+    assert_eq!(snap.counter("gvfs", "block-cache.hits"), bc.hits);
+    assert_eq!(snap.counter("gvfs", "block-cache.misses"), bc.misses);
+    assert_eq!(
+        snap.counter("gvfs", "block-cache.insertions"),
+        bc.insertions
+    );
+    assert_eq!(snap.counter("gvfs", "block-cache.evictions"), bc.evictions);
+    assert!(bc.hits >= 16, "warm pass must hit the cache");
+
+    // And the NFS server.
+    let sv = rig.server.stats();
+    assert_eq!(snap.counter("nfs3", "nfs3-server.reads"), sv.reads);
+    assert_eq!(snap.counter("nfs3", "nfs3-server.writes"), sv.writes);
+    assert_eq!(
+        snap.counter("nfs3", "nfs3-server.proc.READ"),
+        sv.reads,
+        "per-procedure counter must match the server stats view"
+    );
+
+    // Per-link byte counters reconcile with the Link views and with the
+    // data that actually moved: the cold pass pulled the whole file over
+    // the WAN downlink (plus reply framing overhead).
+    assert_eq!(
+        snap.counter("link", "wan-down.bytes"),
+        wan_down.total_bytes()
+    );
+    assert!(
+        wan_down.total_bytes() >= expected_len as u64,
+        "cold read must move at least the file over the WAN: {} < {}",
+        wan_down.total_bytes(),
+        expected_len
+    );
+
+    // RPC layer: the proxy forwarded exactly its `forwarded` count of
+    // client-side calls upstream over the nfs3 program.
+    assert!(snap.counter("rpc", "client.nfs3.calls") > 0);
+    assert!(snap.counter("rpc", "served.calls") > 0);
+
+    // Tracing was on: the ring holds link transfer events.
+    assert!(
+        snap.events.iter().any(|e| e.layer == "link"),
+        "expected link transfer trace events, got {} events",
+        snap.events.len()
+    );
 }
 
 #[test]

@@ -83,7 +83,9 @@ impl Nfs3Client {
         let mut dec = Decoder::new(&res);
         let status = dec.get_u32()?;
         if status != 0 {
-            return Err(NfsError::Status(Status::from_u32(status).unwrap_or(Status::Io)));
+            return Err(NfsError::Status(
+                Status::from_u32(status).unwrap_or(Status::Io),
+            ));
         }
         let fh = Fh3::decode(&mut dec)?;
         Ok(fh.0)
@@ -106,7 +108,13 @@ impl Nfs3Client {
     }
 
     /// SETATTR (size/mode subset).
-    pub fn setattr(&self, env: &Env, h: Handle, size: Option<u64>, mode: Option<u32>) -> NfsResult<()> {
+    pub fn setattr(
+        &self,
+        env: &Env,
+        h: Handle,
+        size: Option<u64>,
+        mode: Option<u32>,
+    ) -> NfsResult<()> {
         let args = SetattrArgs {
             file: Fh3(h),
             attrs: Sattr3 { mode, size },
@@ -324,7 +332,11 @@ impl Nfs3Client {
             let args = ReaddirArgs {
                 dir: Fh3(dir),
                 cookie,
-                cookieverf: if cookie == 0 { 0 } else { crate::server::READDIR_VERF },
+                cookieverf: if cookie == 0 {
+                    0
+                } else {
+                    crate::server::READDIR_VERF
+                },
                 count: 8192,
             };
             let res = self.call(env, proc3::READDIR, xdr::to_bytes(&args))?;

@@ -25,11 +25,17 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use simnet::telemetry::Counter;
 use simnet::{Env, SimDuration};
 use vfs::{Attr, FileIo, FileType, Handle, IoError, IoResult, LruMap};
 
 use crate::client::{Nfs3Client, NfsError};
 use crate::proto::{StableHow, Status};
+
+/// `(block, data)` results shared between read-gathering workers.
+type SharedBlockList = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
+/// Pending `(block, data)` writes shared between write-staging workers.
+type SharedBlockQueue = Arc<Mutex<VecDeque<(u64, Vec<u8>)>>>;
 
 /// Kernel client tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +71,10 @@ impl Default for KernelConfig {
 }
 
 /// RPC/cache counters for reports and tests.
+///
+/// A point-in-time view over the telemetry registry: the client updates
+/// the shared `nfs3/<instance>.*` counters, and [`KernelClient::stats`]
+/// reads them back into this struct.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct KernelStats {
     /// READ RPCs issued.
@@ -94,7 +104,34 @@ struct KcState {
     dcache: HashMap<String, (Handle, u64)>, // path -> (handle, expires_ns)
     acache: HashMap<Handle, (Attr, u64)>,
     local_size: HashMap<u64, u64>, // fileid -> size as seen through our writes
-    stats: KernelStats,
+}
+
+/// Telemetry counters backing [`KernelStats`]; registered once at mount.
+struct KcTel {
+    read_rpcs: Counter,
+    write_rpcs: Counter,
+    meta_rpcs: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+}
+
+impl KcTel {
+    fn register(env: &Env) -> Self {
+        let tel = env.telemetry();
+        let inst = tel.instance_name("kernel-client");
+        let c = |name: &str| tel.counter("nfs3", format!("{inst}.{name}"));
+        KcTel {
+            read_rpcs: c("read_rpcs"),
+            write_rpcs: c("write_rpcs"),
+            meta_rpcs: c("meta_rpcs"),
+            cache_hits: c("buffer_cache.hits"),
+            cache_misses: c("buffer_cache.misses"),
+            bytes_read: c("bytes_read"),
+            bytes_written: c("bytes_written"),
+        }
+    }
 }
 
 /// The kernel NFS client for one mount.
@@ -103,11 +140,17 @@ pub struct KernelClient {
     root: Handle,
     cfg: KernelConfig,
     state: Mutex<KcState>,
+    tel: KcTel,
 }
 
 impl KernelClient {
     /// Mount `export` through `nfs` and return the client.
-    pub fn mount(env: &Env, nfs: Nfs3Client, export: &str, cfg: KernelConfig) -> IoResult<Arc<Self>> {
+    pub fn mount(
+        env: &Env,
+        nfs: Nfs3Client,
+        export: &str,
+        cfg: KernelConfig,
+    ) -> IoResult<Arc<Self>> {
         let root = nfs.mount(env, export).map_err(map_err)?;
         Ok(Arc::new(KernelClient {
             nfs,
@@ -119,8 +162,8 @@ impl KernelClient {
                 dcache: HashMap::new(),
                 acache: HashMap::new(),
                 local_size: HashMap::new(),
-                stats: KernelStats::default(),
             }),
+            tel: KcTel::register(env),
         }))
     }
 
@@ -129,14 +172,28 @@ impl KernelClient {
         self.root
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (a view over the telemetry registry).
     pub fn stats(&self) -> KernelStats {
-        self.state.lock().stats
+        KernelStats {
+            read_rpcs: self.tel.read_rpcs.get(),
+            write_rpcs: self.tel.write_rpcs.get(),
+            meta_rpcs: self.tel.meta_rpcs.get(),
+            cache_hits: self.tel.cache_hits.get(),
+            cache_misses: self.tel.cache_misses.get(),
+            bytes_read: self.tel.bytes_read.get(),
+            bytes_written: self.tel.bytes_written.get(),
+        }
     }
 
     /// Reset counters.
     pub fn reset_stats(&self) {
-        self.state.lock().stats = KernelStats::default();
+        self.tel.read_rpcs.reset();
+        self.tel.write_rpcs.reset();
+        self.tel.meta_rpcs.reset();
+        self.tel.cache_hits.reset();
+        self.tel.cache_misses.reset();
+        self.tel.bytes_read.reset();
+        self.tel.bytes_written.reset();
     }
 
     /// Drop all cached data and metadata, as a umount/mount cycle does.
@@ -173,8 +230,8 @@ impl KernelClient {
             }
         }
         let attr = self.nfs.getattr(env, h).map_err(map_err)?;
+        self.tel.meta_rpcs.inc();
         let mut st = self.state.lock();
-        st.stats.meta_rpcs += 1;
         let exp = now + self.cfg.attr_timeout.as_nanos();
         st.acache.insert(h, (attr.clone(), exp));
         let mut a = attr;
@@ -186,18 +243,26 @@ impl KernelClient {
 
     /// Fetch the given blocks with bounded parallelism; returns (block,
     /// data) pairs. Data is padded to the block size.
-    fn fetch_blocks(&self, env: &Env, h: Handle, blocks: Vec<u64>) -> IoResult<Vec<(u64, Vec<u8>)>> {
+    fn fetch_blocks(
+        &self,
+        env: &Env,
+        h: Handle,
+        blocks: Vec<u64>,
+    ) -> IoResult<Vec<(u64, Vec<u8>)>> {
         if blocks.is_empty() {
             return Ok(Vec::new());
         }
         let bs = self.bs();
         let n = blocks.len();
-        let results: Arc<Mutex<Vec<(u64, Vec<u8>)>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
+        let results: SharedBlockList = Arc::new(Mutex::new(Vec::with_capacity(n)));
         let queue: Arc<Mutex<VecDeque<u64>>> = Arc::new(Mutex::new(blocks.into_iter().collect()));
         let workers = self.cfg.max_inflight.min(n).max(1);
         if workers == 1 {
             // Fast path: no helper processes.
-            while let Some(b) = { let q = queue.lock().pop_front(); q } {
+            while let Some(b) = {
+                let q = queue.lock().pop_front();
+                q
+            } {
                 let res = self.nfs.read(env, h, b * bs, bs as u32).map_err(map_err)?;
                 let mut data = res.data;
                 data.resize(bs as usize, 0);
@@ -235,11 +300,8 @@ impl KernelClient {
         if out.len() != n {
             return Err(IoError::Io("read RPC failed".into()));
         }
-        {
-            let mut st = self.state.lock();
-            st.stats.read_rpcs += n as u64;
-            st.stats.bytes_read += n as u64 * bs;
-        }
+        self.tel.read_rpcs.add(n as u64);
+        self.tel.bytes_read.add(n as u64 * bs);
         out.sort_unstable_by_key(|(b, _)| *b);
         Ok(out)
     }
@@ -257,12 +319,14 @@ impl KernelClient {
             let st = self.state.lock();
             st.local_size.get(&h.fileid).copied()
         };
-        let queue: Arc<Mutex<VecDeque<(u64, Vec<u8>)>>> =
-            Arc::new(Mutex::new(blocks.into_iter().collect()));
+        let queue: SharedBlockQueue = Arc::new(Mutex::new(blocks.into_iter().collect()));
         let failures = Arc::new(Mutex::new(0usize));
         let workers = self.cfg.max_inflight.min(n).max(1);
         if workers == 1 {
-            while let Some((b, data)) = { let q = queue.lock().pop_front(); q } {
+            while let Some((b, data)) = {
+                let q = queue.lock().pop_front();
+                q
+            } {
                 let (off, data) = clip_to_size(b, data, bs, size);
                 if data.is_empty() {
                     continue;
@@ -300,12 +364,9 @@ impl KernelClient {
             return Err(IoError::Io("write RPC failed".into()));
         }
         self.nfs.commit(env, h).map_err(map_err)?;
-        {
-            let mut st = self.state.lock();
-            st.stats.write_rpcs += n as u64;
-            st.stats.bytes_written += n as u64 * bs;
-            st.stats.meta_rpcs += 1; // the COMMIT
-        }
+        self.tel.write_rpcs.add(n as u64);
+        self.tel.bytes_written.add(n as u64 * bs);
+        self.tel.meta_rpcs.inc(); // the COMMIT
         Ok(())
     }
 
@@ -316,7 +377,7 @@ impl KernelClient {
         let keys: Vec<(u64, u64)> = st
             .cache
             .iter_mru()
-            .filter(|((f, _), blk)| blk.dirty && only_file.map_or(true, |of| *f == of))
+            .filter(|((f, _), blk)| blk.dirty && only_file.is_none_or(|of| *f == of))
             .map(|(k, _)| *k)
             .collect();
         let mut out = Vec::with_capacity(keys.len());
@@ -334,9 +395,7 @@ impl KernelClient {
                 ));
             }
         }
-        st.dirty_bytes = st
-            .dirty_bytes
-            .saturating_sub(out.len() as u64 * self.bs());
+        st.dirty_bytes = st.dirty_bytes.saturating_sub(out.len() as u64 * self.bs());
         out.sort_unstable_by_key(|(_, b, _)| *b);
         out
     }
@@ -350,7 +409,12 @@ impl KernelClient {
     /// Handle eviction results: a dirty block falling out of the LRU
     /// triggers a batched write-back of the file's dirty set (the kernel
     /// coalesces write-back rather than dribbling single pages).
-    fn writeback_evicted(&self, env: &Env, evicted: Vec<((u64, u64), Block)>, h: Handle) -> IoResult<()> {
+    fn writeback_evicted(
+        &self,
+        env: &Env,
+        evicted: Vec<((u64, u64), Block)>,
+        h: Handle,
+    ) -> IoResult<()> {
         let bs = self.bs();
         let mut flush_needed = false;
         let mut stragglers = Vec::new();
@@ -431,8 +495,8 @@ impl FileIo for KernelClient {
             rpcs += 1;
             h = next;
         }
+        self.tel.meta_rpcs.add(rpcs);
         let mut st = self.state.lock();
-        st.stats.meta_rpcs += rpcs;
         let exp = now + self.cfg.attr_timeout.as_nanos();
         st.dcache.insert(key, (h, exp));
         Ok(h)
@@ -466,10 +530,10 @@ impl FileIo for KernelClient {
             for b in first..=last {
                 if let Some(blk) = st.cache.get(&(h.fileid, b)) {
                     assembled.insert(b, blk.data.clone());
-                    st.stats.cache_hits += 1;
+                    self.tel.cache_hits.inc();
                 } else {
                     misses.push(b);
-                    st.stats.cache_misses += 1;
+                    self.tel.cache_misses.inc();
                 }
             }
         }
@@ -532,7 +596,11 @@ impl FileIo for KernelClient {
                 let bend = bstart + bs;
                 let fully_covered = offset <= bstart && (offset + data.len() as u64) >= bend;
                 let exists = bstart < size_now;
-                if !fully_covered && exists && !st.cache.contains(&(h.fileid, b)) && !rmw.contains(&b) {
+                if !fully_covered
+                    && exists
+                    && !st.cache.contains(&(h.fileid, b))
+                    && !rmw.contains(&b)
+                {
                     rmw.push(b);
                 }
             }
@@ -616,9 +684,9 @@ impl FileIo for KernelClient {
         let (parent, name) = vfs::io::split_path(path)?;
         let dir = self.lookup_path(env, parent)?;
         let h = self.nfs.create(env, dir, name).map_err(map_err)?;
+        self.tel.meta_rpcs.inc();
         let now = env.now().as_nanos();
         let mut st = self.state.lock();
-        st.stats.meta_rpcs += 1;
         st.dcache.insert(
             path.trim_matches('/').to_string(),
             (h, now + self.cfg.attr_timeout.as_nanos()),
@@ -631,7 +699,7 @@ impl FileIo for KernelClient {
         let (parent, name) = vfs::io::split_path(path)?;
         let dir = self.lookup_path(env, parent)?;
         let h = self.nfs.mkdir(env, dir, name).map_err(map_err)?;
-        self.state.lock().stats.meta_rpcs += 1;
+        self.tel.meta_rpcs.inc();
         Ok(h)
     }
 
@@ -639,20 +707,20 @@ impl FileIo for KernelClient {
         let (parent, name) = vfs::io::split_path(path)?;
         let dir = self.lookup_path(env, parent)?;
         self.nfs.symlink(env, dir, name, target).map_err(map_err)?;
-        self.state.lock().stats.meta_rpcs += 1;
+        self.tel.meta_rpcs.inc();
         Ok(())
     }
 
     fn readlink(&self, env: &Env, h: Handle) -> IoResult<String> {
         let t = self.nfs.readlink(env, h).map_err(map_err)?;
-        self.state.lock().stats.meta_rpcs += 1;
+        self.tel.meta_rpcs.inc();
         Ok(t)
     }
 
     fn readdir_path(&self, env: &Env, path: &str) -> IoResult<Vec<String>> {
         let dir = self.lookup_path(env, path)?;
         let entries = self.nfs.readdir(env, dir).map_err(map_err)?;
-        self.state.lock().stats.meta_rpcs += 1;
+        self.tel.meta_rpcs.inc();
         Ok(entries.into_iter().map(|e| e.name).collect())
     }
 
@@ -665,8 +733,8 @@ impl FileIo for KernelClient {
             Err(e) => Err(e),
         };
         res.map_err(map_err)?;
+        self.tel.meta_rpcs.inc();
         let mut st = self.state.lock();
-        st.stats.meta_rpcs += 1;
         st.dcache.remove(path.trim_matches('/'));
         Ok(())
     }
@@ -675,8 +743,8 @@ impl FileIo for KernelClient {
         self.nfs
             .setattr(env, h, Some(size), None)
             .map_err(map_err)?;
+        self.tel.meta_rpcs.inc();
         let mut st = self.state.lock();
-        st.stats.meta_rpcs += 1;
         st.local_size.insert(h.fileid, size);
         if let Some((attr, _)) = st.acache.get_mut(&h) {
             attr.size = size;

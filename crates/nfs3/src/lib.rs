@@ -24,5 +24,5 @@ pub mod server;
 
 pub use client::{Nfs3Client, NfsError, NfsResult};
 pub use kernel::{KernelClient, KernelConfig, KernelStats};
-pub use proto::{Fh3, Status, MAX_BLOCK, MOUNT_PROGRAM, MOUNT_V3, NFS_PROGRAM, NFS_V3};
+pub use proto::{proc3_name, Fh3, Status, MAX_BLOCK, MOUNT_PROGRAM, MOUNT_V3, NFS_PROGRAM, NFS_V3};
 pub use server::{MountServer, Nfs3Server, ServerConfig, ServerStats};

@@ -72,6 +72,36 @@ pub mod proc3 {
     pub const COMMIT: u32 = 21;
 }
 
+/// Human-readable name of an NFSv3 procedure number, for metric names
+/// and reports ("RPC count by procedure").
+pub fn proc3_name(proc: u32) -> &'static str {
+    match proc {
+        proc3::NULL => "NULL",
+        proc3::GETATTR => "GETATTR",
+        proc3::SETATTR => "SETATTR",
+        proc3::LOOKUP => "LOOKUP",
+        proc3::ACCESS => "ACCESS",
+        proc3::READLINK => "READLINK",
+        proc3::READ => "READ",
+        proc3::WRITE => "WRITE",
+        proc3::CREATE => "CREATE",
+        proc3::MKDIR => "MKDIR",
+        proc3::SYMLINK => "SYMLINK",
+        proc3::MKNOD => "MKNOD",
+        proc3::REMOVE => "REMOVE",
+        proc3::RMDIR => "RMDIR",
+        proc3::RENAME => "RENAME",
+        proc3::LINK => "LINK",
+        proc3::READDIR => "READDIR",
+        proc3::READDIRPLUS => "READDIRPLUS",
+        proc3::FSSTAT => "FSSTAT",
+        proc3::FSINFO => "FSINFO",
+        proc3::PATHCONF => "PATHCONF",
+        proc3::COMMIT => "COMMIT",
+        _ => "UNKNOWN",
+    }
+}
+
 /// MOUNT procedure numbers.
 pub mod mountproc {
     /// Ping.
@@ -570,7 +600,11 @@ mod tests {
 
     #[test]
     fn stable_how_round_trips() {
-        for s in [StableHow::Unstable, StableHow::DataSync, StableHow::FileSync] {
+        for s in [
+            StableHow::Unstable,
+            StableHow::DataSync,
+            StableHow::FileSync,
+        ] {
             assert_eq!(StableHow::from_u32(s.as_u32()).unwrap(), s);
         }
     }

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use oncrpc::{OpaqueAuth, ProgramError, RpcProgram};
 use parking_lot::Mutex;
+use simnet::telemetry::{Counter, Telemetry};
 use simnet::{Env, SimDuration, SimHandle};
 use vfs::{Disk, Fs, FsResult, Handle, LruMap};
 use xdr::{Decode, Encode, Encoder};
@@ -49,6 +50,9 @@ impl Default for ServerConfig {
 
 /// Operation counters, used by tests and by the benchmark reports (e.g.
 /// the paper's "65,750 NFS reads, 60,452 filtered" claim).
+///
+/// A view over the telemetry registry: the server updates the shared
+/// `nfs3/<instance>.*` counters and [`Nfs3Server::stats`] reads them back.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct ServerStats {
     /// READ calls served.
@@ -71,7 +75,37 @@ struct SrvState {
     cache: LruMap<(u64, u64), ()>,
     next_seq_offset: HashMap<u64, u64>,
     unstable_bytes: HashMap<u64, u64>,
-    stats: ServerStats,
+}
+
+/// Telemetry counters backing [`ServerStats`]; registered at construction.
+struct SrvTel {
+    registry: Telemetry,
+    inst: String,
+    reads: Counter,
+    writes: Counter,
+    read_bytes: Counter,
+    write_bytes: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    calls: Counter,
+}
+
+impl SrvTel {
+    fn register(registry: &Telemetry) -> Self {
+        let inst = registry.instance_name("nfs3-server");
+        let c = |name: &str| registry.counter("nfs3", format!("{inst}.{name}"));
+        SrvTel {
+            reads: c("reads"),
+            writes: c("writes"),
+            read_bytes: c("read_bytes"),
+            write_bytes: c("write_bytes"),
+            cache_hits: c("buffer_cache.hits"),
+            cache_misses: c("buffer_cache.misses"),
+            calls: c("calls"),
+            registry: registry.clone(),
+            inst,
+        }
+    }
 }
 
 /// The NFSv3 server program.
@@ -80,11 +114,12 @@ pub struct Nfs3Server {
     disk: Disk,
     state: Mutex<SrvState>,
     cfg: ServerConfig,
+    tel: SrvTel,
 }
 
 impl Nfs3Server {
     /// Create a server exporting `fs`, storing data on `disk`.
-    pub fn new(fs: Arc<Mutex<Fs>>, disk: Disk, cfg: ServerConfig) -> Arc<Self> {
+    pub fn new(handle: &SimHandle, fs: Arc<Mutex<Fs>>, disk: Disk, cfg: ServerConfig) -> Arc<Self> {
         let cache_blocks = ((cfg.memory_cache_bytes / cfg.block_size as u64) as usize).max(1);
         Arc::new(Nfs3Server {
             fs,
@@ -93,27 +128,45 @@ impl Nfs3Server {
                 cache: LruMap::new(cache_blocks),
                 next_seq_offset: HashMap::new(),
                 unstable_bytes: HashMap::new(),
-                stats: ServerStats::default(),
             }),
             cfg,
+            tel: SrvTel::register(handle.telemetry()),
         })
     }
 
     /// Convenience: build a fresh filesystem + server.
-    pub fn with_new_fs(handle: &SimHandle, disk: Disk, cfg: ServerConfig) -> (Arc<Mutex<Fs>>, Arc<Self>) {
+    pub fn with_new_fs(
+        handle: &SimHandle,
+        disk: Disk,
+        cfg: ServerConfig,
+    ) -> (Arc<Mutex<Fs>>, Arc<Self>) {
         let fs = Arc::new(Mutex::new(Fs::new(handle.now().as_nanos())));
-        let srv = Self::new(fs.clone(), disk, cfg);
+        let srv = Self::new(handle, fs.clone(), disk, cfg);
         (fs, srv)
     }
 
-    /// Snapshot of the operation counters.
+    /// Snapshot of the operation counters (a telemetry view).
     pub fn stats(&self) -> ServerStats {
-        self.state.lock().stats
+        ServerStats {
+            reads: self.tel.reads.get(),
+            writes: self.tel.writes.get(),
+            read_bytes: self.tel.read_bytes.get(),
+            write_bytes: self.tel.write_bytes.get(),
+            cache_hits: self.tel.cache_hits.get(),
+            cache_misses: self.tel.cache_misses.get(),
+            calls: self.tel.calls.get(),
+        }
     }
 
     /// Reset counters (between benchmark phases).
     pub fn reset_stats(&self) {
-        self.state.lock().stats = ServerStats::default();
+        self.tel.reads.reset();
+        self.tel.writes.reset();
+        self.tel.read_bytes.reset();
+        self.tel.write_bytes.reset();
+        self.tel.cache_hits.reset();
+        self.tel.cache_misses.reset();
+        self.tel.calls.reset();
     }
 
     /// Shared filesystem (scenario setup pre-populates images through it).
@@ -136,9 +189,9 @@ impl Nfs3Server {
                 let sequential = st.next_seq_offset.get(&fileid) == Some(&b);
                 st.next_seq_offset.insert(fileid, b + 1);
                 if hit {
-                    st.stats.cache_hits += 1;
+                    self.tel.cache_hits.inc();
                 } else {
-                    st.stats.cache_misses += 1;
+                    self.tel.cache_misses.inc();
                     st.cache.insert((fileid, b), ());
                 }
                 (hit, sequential)
@@ -278,11 +331,8 @@ impl Nfs3Server {
             Ok((data, eof)) => {
                 self.charge_read(env, a.file.0.fileid, a.offset, data.len().max(1));
                 let attr = self.getattr_of(a.file.0).ok();
-                {
-                    let mut st = self.state.lock();
-                    st.stats.reads += 1;
-                    st.stats.read_bytes += data.len() as u64;
-                }
+                self.tel.reads.inc();
+                self.tel.read_bytes.add(data.len() as u64);
                 let mut enc = Self::ok_header(Status::Ok);
                 PostOpAttr(attr).encode(&mut enc);
                 enc.put_u32(data.len() as u32);
@@ -301,10 +351,10 @@ impl Nfs3Server {
         match res {
             Ok(_newlen) => {
                 let bytes = a.data.len() as u64;
+                self.tel.writes.inc();
+                self.tel.write_bytes.add(bytes);
                 {
                     let mut st = self.state.lock();
-                    st.stats.writes += 1;
-                    st.stats.write_bytes += bytes;
                     // Written blocks land in the memory cache.
                     let bs = self.cfg.block_size as u64;
                     if bytes > 0 {
@@ -534,7 +584,14 @@ impl RpcProgram for Nfs3Server {
         args: &[u8],
     ) -> Result<Vec<u8>, ProgramError> {
         self.check_auth(cred, proc)?;
-        self.state.lock().stats.calls += 1;
+        self.tel.calls.inc();
+        self.tel
+            .registry
+            .counter(
+                "nfs3",
+                format!("{}.proc.{}", self.tel.inst, proc3_name(proc)),
+            )
+            .inc();
         env.sleep(self.cfg.op_cpu);
         match proc {
             proc3::NULL => Ok(Vec::new()),

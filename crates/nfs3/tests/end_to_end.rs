@@ -2,20 +2,14 @@
 
 use std::sync::Arc;
 
-use nfs3::{
-    KernelClient, KernelConfig, MountServer, Nfs3Client, Nfs3Server, ServerConfig,
-};
+use nfs3::{KernelClient, KernelConfig, MountServer, Nfs3Client, Nfs3Server, ServerConfig};
 use oncrpc::{AuthSys, Dispatcher, OpaqueAuth, RpcClient, WireSpec};
 use simnet::{Env, Link, SimDuration, SimHandle, Simulation};
 use vfs::{Disk, DiskModel, FileIo, FileType};
 
 /// Wire up a server exporting a fresh Fs and return a connected kernel
 /// client factory plus the server handle.
-fn rig(
-    sim: &Simulation,
-    latency: SimDuration,
-    mbps: f64,
-) -> (Arc<Nfs3Server>, Nfs3Client) {
+fn rig(sim: &Simulation, latency: SimDuration, mbps: f64) -> (Arc<Nfs3Server>, Nfs3Client) {
     let h: SimHandle = sim.handle();
     let disk = Disk::new(&h, DiskModel::server_array());
     let (fs, server) = Nfs3Server::with_new_fs(&h, disk, ServerConfig::default());
@@ -28,7 +22,10 @@ fn rig(
         .register(mount)
         .into_handler();
     ep.listener.serve("nfsd", handler, 8);
-    let rpc = RpcClient::new(ep.channel, OpaqueAuth::sys(&AuthSys::new("client", 500, 500)));
+    let rpc = RpcClient::new(
+        ep.channel,
+        OpaqueAuth::sys(&AuthSys::new("client", 500, 500)),
+    );
     (server, Nfs3Client::new(rpc))
 }
 
@@ -246,7 +243,10 @@ fn wan_latency_dominates_small_reads() {
             let kc = KernelClient::mount(&env, nfs, "/", KernelConfig::default()).unwrap();
             let t0 = env.now();
             kc.read(&env, f, 0, 100).unwrap();
-            out2.store((env.now() - t0).as_nanos(), std::sync::atomic::Ordering::SeqCst);
+            out2.store(
+                (env.now() - t0).as_nanos(),
+                std::sync::atomic::Ordering::SeqCst,
+            );
         });
         sim.run();
         out.load(std::sync::atomic::Ordering::SeqCst) as f64 / 1e6

@@ -87,7 +87,33 @@ impl RpcClient {
 
     /// Call `(prog, vers, proc)` with pre-encoded `args`, returning the
     /// result bytes of a successful reply.
+    ///
+    /// Every call records into the telemetry registry: a per-procedure
+    /// virtual-time histogram `rpc/client.<prog>.proc<N>` plus call and
+    /// error counters — this is the single choke point through which all
+    /// client-side RPC traffic flows (kernel client, proxies, channel).
     pub fn call(
+        &self,
+        env: &Env,
+        prog: u32,
+        vers: u32,
+        proc: u32,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, RpcError> {
+        let t0 = env.now();
+        let result = self.call_inner(env, prog, vers, proc, args);
+        let tel = env.telemetry();
+        let label = prog_label(prog);
+        tel.histogram("rpc", format!("client.{label}.proc{proc}"))
+            .record(env.now() - t0);
+        tel.counter("rpc", format!("client.{label}.calls")).inc();
+        if result.is_err() {
+            tel.counter("rpc", format!("client.{label}.errors")).inc();
+        }
+        result
+    }
+
+    fn call_inner(
         &self,
         env: &Env,
         prog: u32,
@@ -108,7 +134,10 @@ impl RpcClient {
             args,
         };
         let request = xdr::to_bytes(&msg);
-        let reply_bytes = self.chan.call_raw(env, request).ok_or(RpcError::Transport)?;
+        let reply_bytes = self
+            .chan
+            .call_raw(env, request)
+            .ok_or(RpcError::Transport)?;
         let reply: RpcMessage = xdr::from_bytes(&reply_bytes).map_err(RpcError::Decode)?;
         match reply {
             RpcMessage::Reply { xid: rxid, body } => {
@@ -130,5 +159,16 @@ impl RpcClient {
             }
             RpcMessage::Call { .. } => Err(RpcError::Decode(xdr::Error::InvalidDiscriminant(0))),
         }
+    }
+}
+
+/// Human-readable label for well-known program numbers (used in metric
+/// names; unknown programs render as `prog<N>`).
+pub fn prog_label(prog: u32) -> String {
+    match prog {
+        100_003 => "nfs3".to_string(),
+        100_005 => "mount".to_string(),
+        400_100 => "channel".to_string(),
+        other => format!("prog{other}"),
     }
 }

@@ -81,8 +81,14 @@ impl RpcHandler for Dispatcher {
             // Unparsable request: RFC behaviour is to drop it, but the
             // simulated transport expects a reply; answer GARBAGE_ARGS
             // with xid 0 so the caller fails fast instead of hanging.
-            Err(_) => return xdr::to_bytes(&RpcMessage::accept_error(0, AcceptStat::GarbageArgs)),
+            Err(_) => {
+                env.telemetry()
+                    .counter("rpc", "served.garbage_requests")
+                    .inc();
+                return xdr::to_bytes(&RpcMessage::accept_error(0, AcceptStat::GarbageArgs));
+            }
         };
+        env.telemetry().counter("rpc", "served.calls").inc();
         let (header, args) = match msg {
             RpcMessage::Call { header, args } => (header, args),
             RpcMessage::Reply { xid, .. } => {
@@ -124,6 +130,7 @@ mod tests {
     use super::*;
     use crate::auth::AuthSys;
     use crate::client::{RpcClient, RpcError};
+    use crate::msg::ReplyBody;
     use crate::transport::{endpoint, WireSpec};
     use simnet::{Link, SimDuration, Simulation};
 
@@ -235,6 +242,43 @@ mod tests {
             assert_eq!(err, RpcError::Accept(AcceptStat::GarbageArgs));
         });
         sim.run();
+    }
+
+    #[test]
+    fn unparsable_request_bytes_get_garbage_args_reply() {
+        // A blob that is not an RPC message at all must come back as a
+        // decodable GARBAGE_ARGS error (xid 0), never hang or panic the
+        // server worker — and must be counted as a garbage request.
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let up = Link::new(&h, "up", 1e9, SimDuration::from_micros(50));
+        let down = Link::new(&h, "down", 1e9, SimDuration::from_micros(50));
+        let ep = endpoint(&h, up, down, WireSpec::plain());
+        let handler = Dispatcher::new().register(Arc::new(Doubler)).into_handler();
+        ep.listener.serve("doubler", handler, 1);
+        let tel = h.telemetry().clone();
+        sim.spawn("c", move |env| {
+            let reply = ep
+                .channel
+                .call_raw(&env, b"definitely not XDR".to_vec())
+                .expect("transport alive");
+            let msg: RpcMessage = xdr::from_bytes(&reply).unwrap();
+            match msg {
+                RpcMessage::Reply { xid, body } => {
+                    assert_eq!(xid, 0);
+                    assert!(matches!(
+                        body,
+                        ReplyBody::Accepted {
+                            stat: AcceptStat::GarbageArgs,
+                            ..
+                        }
+                    ));
+                }
+                _ => panic!("expected a reply"),
+            }
+        });
+        sim.run();
+        assert_eq!(tel.counter("rpc", "served.garbage_requests").get(), 1);
     }
 
     #[test]

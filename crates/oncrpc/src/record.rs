@@ -18,7 +18,10 @@ pub const HEADER_LEN: usize = 4;
 
 /// Frame a message as a single-fragment record.
 pub fn frame(message: &[u8]) -> Vec<u8> {
-    assert!(message.len() <= MAX_FRAGMENT, "message too large for one fragment");
+    assert!(
+        message.len() <= MAX_FRAGMENT,
+        "message too large for one fragment"
+    );
     let mut out = Vec::with_capacity(message.len() + HEADER_LEN);
     out.extend_from_slice(&(LAST_FRAGMENT | message.len() as u32).to_be_bytes());
     out.extend_from_slice(message);

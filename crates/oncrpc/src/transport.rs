@@ -102,6 +102,12 @@ impl RpcChannel {
         self.wire
     }
 
+    /// The simulation handle this channel was built on (lets components
+    /// layered over a channel reach the telemetry registry).
+    pub fn handle(&self) -> &SimHandle {
+        &self.handle
+    }
+
     /// The downlink (reply direction) of this hop.
     pub fn down_link(&self) -> &Link {
         &self.down
@@ -210,11 +216,8 @@ mod tests {
             fast_link(&h, "down"),
             WireSpec::plain(),
         );
-        ep.listener.serve(
-            "echo",
-            Arc::new(|_env: &Env, req: &[u8]| req.to_vec()),
-            1,
-        );
+        ep.listener
+            .serve("echo", Arc::new(|_env: &Env, req: &[u8]| req.to_vec()), 1);
         let chan = ep.channel;
         sim.spawn("client", move |env| {
             let reply = chan.call_raw(&env, b"ping".to_vec()).unwrap();

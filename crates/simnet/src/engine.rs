@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::telemetry::Telemetry;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a simulated process.
@@ -121,12 +122,18 @@ struct KernelInner {
 #[derive(Clone)]
 pub struct SimHandle {
     inner: Arc<Mutex<KernelInner>>,
+    telemetry: Telemetry,
 }
 
 impl SimHandle {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.inner.lock().now
+    }
+
+    /// The simulation-wide metric registry and trace sink.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Number of events the scheduler has processed so far.
@@ -274,6 +281,11 @@ impl Env {
         &self.handle
     }
 
+    /// The simulation-wide metric registry and trace sink.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.handle.telemetry()
+    }
+
     /// Name of this process.
     pub fn name(&self) -> &str {
         &self.ctl.name
@@ -292,7 +304,11 @@ impl Env {
     }
 
     /// Spawn a child process; it becomes runnable at the current instant.
-    pub fn spawn(&self, name: impl Into<String>, f: impl FnOnce(Env) + Send + 'static) -> ProcessHandle {
+    pub fn spawn(
+        &self,
+        name: impl Into<String>,
+        f: impl FnOnce(Env) + Send + 'static,
+    ) -> ProcessHandle {
         spawn_with_handle(&self.handle, name.into(), f)
     }
 
@@ -372,6 +388,7 @@ impl Simulation {
                     shutting_down: false,
                     events_processed: 0,
                 })),
+                telemetry: Telemetry::new(),
             },
         }
     }
@@ -383,7 +400,11 @@ impl Simulation {
 
     /// Spawn a root process; it becomes runnable at time zero (or the
     /// current time, if spawned mid-run from outside — not typical).
-    pub fn spawn(&self, name: impl Into<String>, f: impl FnOnce(Env) + Send + 'static) -> ProcessHandle {
+    pub fn spawn(
+        &self,
+        name: impl Into<String>,
+        f: impl FnOnce(Env) + Send + 'static,
+    ) -> ProcessHandle {
         spawn_with_handle(&self.handle, name.into(), f)
     }
 

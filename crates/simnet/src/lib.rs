@@ -33,9 +33,11 @@
 mod engine;
 mod link;
 pub mod sync;
+pub mod telemetry;
 mod time;
 
 pub use engine::{Env, ProcessHandle, SimHandle, Simulation};
 pub use link::Link;
 pub use sync::{channel, Disconnected, Receiver, Resource, ResourceGuard, Sender, Signal};
+pub use telemetry::{Counter, Histogram, JsonValue, Snapshot, Telemetry, TraceEvent};
 pub use time::{SimDuration, SimTime};

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::engine::{Env, Pid, SimHandle};
+use crate::telemetry::{Counter, Histogram, TraceEvent};
 use crate::time::{SimDuration, SimTime};
 
 /// A flow is considered complete when fewer than this many bytes remain;
@@ -35,8 +36,6 @@ struct LinkState {
     /// Generation counter: bumping it invalidates the outstanding
     /// completion callback.
     timer_gen: u64,
-    total_bytes: u64,
-    total_messages: u64,
 }
 
 /// A unidirectional network link with latency and shared bandwidth.
@@ -49,6 +48,14 @@ pub struct Link {
     handle: SimHandle,
     name: Arc<str>,
     state: Arc<Mutex<LinkState>>,
+    /// Telemetry-backed byte/message counters. Registered by name, so two
+    /// `Link`s created with the same name on one simulation share them —
+    /// the counters then report the aggregate over both (used by the
+    /// parallel-cloning scenario, where eight per-host loopback links
+    /// reuse one name on purpose).
+    bytes: Counter,
+    messages: Counter,
+    transfer_times: Histogram,
 }
 
 impl Link {
@@ -65,9 +72,14 @@ impl Link {
             bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
             "link bandwidth must be positive"
         );
+        let name: Arc<str> = name.into().into();
+        let tel = handle.telemetry();
         Link {
             handle: handle.clone(),
-            name: name.into().into(),
+            bytes: tel.counter("link", format!("{name}.bytes")),
+            messages: tel.counter("link", format!("{name}.messages")),
+            transfer_times: tel.histogram("link", format!("{name}.transfer")),
+            name,
             state: Arc::new(Mutex::new(LinkState {
                 bytes_per_sec,
                 latency,
@@ -75,8 +87,6 @@ impl Link {
                 next_flow_id: 0,
                 last_update: SimTime::ZERO,
                 timer_gen: 0,
-                total_bytes: 0,
-                total_messages: 0,
             })),
         }
     }
@@ -106,44 +116,57 @@ impl Link {
         self.state.lock().bytes_per_sec
     }
 
-    /// Total payload bytes carried so far.
+    /// Total payload bytes carried so far. A view over the telemetry
+    /// counter `link/<name>.bytes` (shared across same-named links).
     pub fn total_bytes(&self) -> u64 {
-        self.state.lock().total_bytes
+        self.bytes.get()
     }
 
-    /// Total `transfer` calls completed or in flight.
+    /// Total non-empty `transfer` calls completed or in flight. A view
+    /// over the telemetry counter `link/<name>.messages`.
     pub fn total_messages(&self) -> u64 {
-        self.state.lock().total_messages
+        self.messages.get()
     }
 
     /// Transfer `bytes` across the link: one propagation latency plus the
     /// serialization time under fair bandwidth sharing with every other
     /// in-flight transfer. Blocks the calling process in virtual time.
     pub fn transfer(&self, env: &Env, bytes: u64) {
+        let t0 = env.now();
         // Propagation first; bandwidth sharing applies to serialization.
         let latency = self.latency();
         env.sleep(latency);
-        if bytes == 0 {
-            return;
+        if bytes > 0 {
+            self.bytes.add(bytes);
+            self.messages.inc();
+            {
+                let mut st = self.state.lock();
+                let now = self.handle.now();
+                Self::progress(&mut st, now);
+                let id = st.next_flow_id;
+                st.next_flow_id += 1;
+                st.flows.insert(
+                    id,
+                    Flow {
+                        remaining: bytes as f64,
+                        pid: env.pid(),
+                    },
+                );
+                self.reschedule(&mut st, now);
+            }
+            env.suspend();
         }
-        {
-            let mut st = self.state.lock();
-            st.total_bytes += bytes;
-            st.total_messages += 1;
-            let now = self.handle.now();
-            Self::progress(&mut st, now);
-            let id = st.next_flow_id;
-            st.next_flow_id += 1;
-            st.flows.insert(
-                id,
-                Flow {
-                    remaining: bytes as f64,
-                    pid: env.pid(),
-                },
+        let elapsed = env.now() - t0;
+        self.transfer_times.record(elapsed);
+        let tel = self.handle.telemetry();
+        if tel.trace_enabled() {
+            tel.trace(
+                TraceEvent::new(env.now(), "link", "transfer")
+                    .bytes(bytes)
+                    .duration(elapsed)
+                    .label("link", self.name.to_string()),
             );
-            self.reschedule(&mut st, now);
         }
-        env.suspend();
     }
 
     /// Time a transfer of `bytes` would take on an otherwise idle link

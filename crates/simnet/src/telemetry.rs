@@ -1,0 +1,842 @@
+//! Uniform instrumentation for the simulation: counters, virtual-time
+//! histograms, and a structured trace-event ring.
+//!
+//! Every [`crate::Simulation`] owns one [`Telemetry`] registry, reachable
+//! from any process via [`crate::Env::handle`]`().telemetry()`. Layers
+//! (links, RPC endpoints, caches, proxies) register named metrics once and
+//! then update them through lock-free atomics — a metric update on a hot
+//! path is one `fetch_add`, never a registry lock. The registry lock is
+//! only taken at registration and snapshot time.
+//!
+//! Naming convention: every metric lives under a `layer` (e.g. `"link"`,
+//! `"rpc"`, `"nfs3"`, `"gvfs"`) and a dotted `name` whose first segment is
+//! the component instance (e.g. `"client-proxy.read.calls"`). Components
+//! that may be instantiated several times under one simulation (parallel
+//! cloning spawns eight identical client proxies) disambiguate through
+//! [`Telemetry::instance_name`], which yields `base`, `base#2`, `base#3`…
+//! Two components that register the *same* fully-qualified metric share
+//! the underlying atomic — for same-named links this is deliberate and
+//! gives aggregate semantics.
+//!
+//! Histograms record [`SimDuration`] samples into 64 logarithmic (power of
+//! two nanoseconds) buckets, so quantile estimates are within 2× of the
+//! true value — plenty for "where did the virtual time go" questions.
+//!
+//! The trace ring is off by default; [`Telemetry::set_trace`] turns it on
+//! (the bench binaries map `--trace` to it). When enabled, processes
+//! append [`TraceEvent`]s (virtual-time-stamped, structured) to a bounded
+//! ring; overflow drops the oldest events and counts the drops.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Default capacity of the trace-event ring.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Number of logarithmic histogram buckets (bucket `i` holds samples with
+/// `floor(log2(ns)) == i-1`; bucket 0 holds zero-duration samples).
+pub const HIST_BUCKETS: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Counter
+
+/// A monotonically increasing event/byte counter. Cloning is cheap and
+/// clones share the same underlying cell, which is how the legacy stats
+/// structs (`ProxyStats` etc.) stay in sync with the registry: both sides
+/// hold the same `Counter`.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh, unregistered counter (mostly for tests).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (benchmarks reset between phases).
+    pub fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+struct HistogramInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// A histogram of virtual-time durations with logarithmic buckets.
+/// Cloning shares the underlying cells (same contract as [`Counter`]).
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+                count: AtomicU64::new(0),
+                sum_ns: AtomicU64::new(0),
+                max_ns: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+fn bucket_index(ns: u64) -> usize {
+    // 0 → bucket 0; otherwise floor(log2(ns)) + 1, capped at the last bucket.
+    if ns == 0 {
+        0
+    } else {
+        ((64 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram (mostly for tests).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one duration sample.
+    #[inline]
+    pub fn record(&self, d: SimDuration) {
+        let ns = d.as_nanos();
+        let h = &*self.inner;
+        h.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        h.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.inner.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.inner.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample duration.
+    pub fn mean(&self) -> SimDuration {
+        match self.sum_ns().checked_div(self.count()) {
+            Some(ns) => SimDuration::from_nanos(ns),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0.0–1.0).
+    /// Accurate to within the 2× bucket width.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper edge of bucket i: 2^i - 1 ns (bucket 0 is exactly 0).
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).saturating_sub(1)
+                };
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Reset all cells to zero.
+    pub fn reset(&self) {
+        let h = &*self.inner;
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum_ns.store(0, Ordering::Relaxed);
+        h.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Histogram(count={}, sum={}ns, max={}ns)",
+            self.count(),
+            self.sum_ns(),
+            self.max_ns()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace events
+
+/// One structured, virtual-time-stamped trace event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Virtual time at which the event completed.
+    pub sim_time: SimTime,
+    /// Layer that emitted it (`"link"`, `"rpc"`, `"gvfs"`, …).
+    pub layer: &'static str,
+    /// Event kind within the layer (`"transfer"`, `"channel-fetch"`, …).
+    pub kind: &'static str,
+    /// Bytes moved, if the event moves bytes.
+    pub bytes: u64,
+    /// Virtual time the operation took.
+    pub duration: SimDuration,
+    /// Free-form key/value context (instance names, procedures, files).
+    pub labels: Vec<(&'static str, String)>,
+}
+
+impl TraceEvent {
+    /// Start building an event stamped `at` the given virtual time.
+    pub fn new(at: SimTime, layer: &'static str, kind: &'static str) -> Self {
+        TraceEvent {
+            sim_time: at,
+            layer,
+            kind,
+            bytes: 0,
+            duration: SimDuration::ZERO,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Attach a byte count.
+    pub fn bytes(mut self, n: u64) -> Self {
+        self.bytes = n;
+        self
+    }
+
+    /// Attach the operation's virtual duration.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Attach a key/value label.
+    pub fn label(mut self, key: &'static str, value: impl Into<String>) -> Self {
+        self.labels.push((key, value.into()));
+        self
+    }
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct TelemetryInner {
+    counters: Mutex<BTreeMap<(&'static str, String), Counter>>,
+    histograms: Mutex<BTreeMap<(&'static str, String), Histogram>>,
+    instances: Mutex<BTreeMap<String, u64>>,
+    ring: Mutex<Ring>,
+    trace_enabled: AtomicBool,
+}
+
+/// The per-simulation metric registry and trace sink. Cheap to clone;
+/// all clones share state.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// An empty registry with tracing disabled.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Arc::new(TelemetryInner {
+                counters: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                instances: Mutex::new(BTreeMap::new()),
+                ring: Mutex::new(Ring {
+                    events: VecDeque::new(),
+                    capacity: DEFAULT_TRACE_CAPACITY,
+                    dropped: 0,
+                }),
+                trace_enabled: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Get or register the counter `layer`/`name`. Registering the same
+    /// pair twice returns clones of one shared cell.
+    pub fn counter(&self, layer: &'static str, name: impl Into<String>) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .entry((layer, name.into()))
+            .or_default()
+            .clone()
+    }
+
+    /// Get or register the histogram `layer`/`name`.
+    pub fn histogram(&self, layer: &'static str, name: impl Into<String>) -> Histogram {
+        self.inner
+            .histograms
+            .lock()
+            .entry((layer, name.into()))
+            .or_default()
+            .clone()
+    }
+
+    /// Reserve a unique instance name derived from `base`: the first
+    /// caller gets `base`, the second `base#2`, and so on. Components
+    /// use the result as the first segment of their metric names so
+    /// eight parallel `client-proxy` instances stay distinguishable.
+    pub fn instance_name(&self, base: &str) -> String {
+        let mut instances = self.inner.instances.lock();
+        let n = instances.entry(base.to_string()).or_insert(0);
+        *n += 1;
+        if *n == 1 {
+            base.to_string()
+        } else {
+            format!("{base}#{n}")
+        }
+    }
+
+    /// Enable or disable trace-event collection.
+    pub fn set_trace(&self, enabled: bool) {
+        self.inner.trace_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether trace-event collection is on. Callers building expensive
+    /// labels should check this first; [`Telemetry::trace`] also checks.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.trace_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Append an event to the ring (no-op while tracing is disabled).
+    pub fn trace(&self, event: TraceEvent) {
+        if !self.trace_enabled() {
+            return;
+        }
+        let mut ring = self.inner.ring.lock();
+        if ring.events.len() >= ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event);
+    }
+
+    /// Change the ring capacity (drops oldest events if shrinking).
+    pub fn set_trace_capacity(&self, capacity: usize) {
+        let mut ring = self.inner.ring.lock();
+        ring.capacity = capacity.max(1);
+        while ring.events.len() > ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+    }
+
+    /// Copy out the current metric values and trace events.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .iter()
+            .map(|((layer, name), c)| CounterSample {
+                layer,
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .iter()
+            .map(|((layer, name), h)| HistogramSample {
+                layer,
+                name: name.clone(),
+                count: h.count(),
+                sum_ns: h.sum_ns(),
+                max_ns: h.max_ns(),
+                p50_ns: h.quantile_ns(0.50),
+                p99_ns: h.quantile_ns(0.99),
+            })
+            .collect();
+        let ring = self.inner.ring.lock();
+        Snapshot {
+            counters,
+            histograms,
+            events: ring.events.iter().cloned().collect(),
+            events_dropped: ring.dropped,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots and JSON
+
+/// One counter's value at snapshot time.
+#[derive(Debug, Clone)]
+pub struct CounterSample {
+    /// Layer the counter was registered under.
+    pub layer: &'static str,
+    /// Dotted metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram's summary at snapshot time.
+#[derive(Debug, Clone)]
+pub struct HistogramSample {
+    /// Layer the histogram was registered under.
+    pub layer: &'static str,
+    /// Dotted metric name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (ns).
+    pub sum_ns: u64,
+    /// Largest sample (ns).
+    pub max_ns: u64,
+    /// Median estimate (bucket upper bound, ns).
+    pub p50_ns: u64,
+    /// 99th-percentile estimate (bucket upper bound, ns).
+    pub p99_ns: u64,
+}
+
+/// A point-in-time copy of every registered metric plus the trace ring.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All counters, sorted by (layer, name).
+    pub counters: Vec<CounterSample>,
+    /// All histograms, sorted by (layer, name).
+    pub histograms: Vec<HistogramSample>,
+    /// Trace events, oldest first (empty unless tracing was enabled).
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the ring due to capacity.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Value of counter `layer`/`name`, or 0 if absent (test helper).
+    pub fn counter(&self, layer: &str, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.layer == layer && c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Sum of all counters under `layer` whose dotted name ends with
+    /// `suffix` (e.g. every instance's `read.calls`).
+    pub fn counter_sum(&self, layer: &str, suffix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.layer == layer && (c.name == suffix || c.name.ends_with(suffix)))
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Render the metrics (and events, if any) as a JSON value.
+    pub fn to_json(&self) -> JsonValue {
+        let mut counters = Vec::new();
+        for c in &self.counters {
+            counters.push((format!("{}.{}", c.layer, c.name), JsonValue::Uint(c.value)));
+        }
+        let mut histograms = Vec::new();
+        for h in &self.histograms {
+            histograms.push((
+                format!("{}.{}", h.layer, h.name),
+                JsonValue::object([
+                    ("count", JsonValue::Uint(h.count)),
+                    ("sum_ns", JsonValue::Uint(h.sum_ns)),
+                    ("max_ns", JsonValue::Uint(h.max_ns)),
+                    ("p50_ns", JsonValue::Uint(h.p50_ns)),
+                    ("p99_ns", JsonValue::Uint(h.p99_ns)),
+                ]),
+            ));
+        }
+        let mut fields = vec![
+            ("counters".to_string(), JsonValue::Object(counters)),
+            ("histograms".to_string(), JsonValue::Object(histograms)),
+        ];
+        if !self.events.is_empty() || self.events_dropped > 0 {
+            fields.push((
+                "events_dropped".to_string(),
+                JsonValue::Uint(self.events_dropped),
+            ));
+            let events = self
+                .events
+                .iter()
+                .map(|e| {
+                    let mut ev = vec![
+                        ("t_ns".to_string(), JsonValue::Uint(e.sim_time.as_nanos())),
+                        ("layer".to_string(), JsonValue::from(e.layer)),
+                        ("kind".to_string(), JsonValue::from(e.kind)),
+                        ("bytes".to_string(), JsonValue::Uint(e.bytes)),
+                        ("dur_ns".to_string(), JsonValue::Uint(e.duration.as_nanos())),
+                    ];
+                    if !e.labels.is_empty() {
+                        ev.push((
+                            "labels".to_string(),
+                            JsonValue::Object(
+                                e.labels
+                                    .iter()
+                                    .map(|(k, v)| (k.to_string(), JsonValue::from(v.as_str())))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    JsonValue::Object(ev)
+                })
+                .collect();
+            fields.push(("events".to_string(), JsonValue::Array(events)));
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+/// A minimal JSON document model (the workspace builds fully offline, so
+/// there is no serde; this is the one JSON producer everything shares).
+/// Rendering via [`std::fmt::Display`] produces pretty-printed,
+/// deterministic output: object keys keep insertion order.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (exact).
+    Uint(u64),
+    /// A float, rendered with enough precision for timings.
+    Float(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An ordered key→value map.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Uint(n)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Float(x)
+    }
+}
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl JsonValue {
+    /// Build an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Append a field (no-op target unless this is an object).
+    pub fn push_field(&mut self, key: impl Into<String>, value: JsonValue) {
+        if let JsonValue::Object(fields) = self {
+            fields.push((key.into(), value));
+        } else {
+            debug_assert!(false, "push_field on a non-object JsonValue");
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        const PAD: &str = "  ";
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Uint(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    // Round-trippable but compact: up to 6 significant
+                    // decimals is plenty for second-scale timings.
+                    let _ = write!(out, "{x:.6}");
+                    while out.ends_with('0') {
+                        out.pop();
+                    }
+                    if out.ends_with('.') {
+                        out.push('0');
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&json_escape(s));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&PAD.repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent));
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&PAD.repeat(indent + 1));
+                    out.push('"');
+                    out.push_str(&json_escape(k));
+                    out.push_str("\": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        f.write_str(&out)
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let t = Telemetry::new();
+        let a = t.counter("link", "wan.bytes");
+        let b = t.counter("link", "wan.bytes");
+        a.add(5);
+        b.add(7);
+        assert_eq!(a.get(), 12);
+        assert_eq!(t.snapshot().counter("link", "wan.bytes"), 12);
+    }
+
+    #[test]
+    fn counter_sum_matches_suffix_across_instances() {
+        let t = Telemetry::new();
+        t.counter("nfs3", "client-proxy.read.calls").add(3);
+        t.counter("nfs3", "client-proxy#2.read.calls").add(4);
+        t.counter("nfs3", "client-proxy.write.calls").add(9);
+        assert_eq!(t.snapshot().counter_sum("nfs3", ".read.calls"), 7);
+    }
+
+    #[test]
+    fn instance_names_disambiguate() {
+        let t = Telemetry::new();
+        assert_eq!(t.instance_name("client-proxy"), "client-proxy");
+        assert_eq!(t.instance_name("client-proxy"), "client-proxy#2");
+        assert_eq!(t.instance_name("client-proxy"), "client-proxy#3");
+        assert_eq!(t.instance_name("server-proxy"), "server-proxy");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        for us in [1u64, 2, 4, 100, 100, 100, 10_000] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max_ns(), 10_000_000);
+        // Median sample is 100µs; the bucket upper bound holding it must
+        // be within [100µs, 200µs).
+        let p50 = h.quantile_ns(0.5);
+        assert!((100_000..200_000).contains(&p50), "p50={p50}");
+        assert!(h.quantile_ns(1.0) >= 8_000_000);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_ns(), 0);
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic() {
+        let mut last = 0;
+        for ns in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            let b = bucket_index(ns);
+            assert!(b >= last);
+            last = b;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn trace_ring_bounds_and_drops() {
+        let t = Telemetry::new();
+        // Disabled: nothing recorded.
+        t.trace(TraceEvent::new(SimTime::ZERO, "link", "transfer"));
+        assert!(t.snapshot().events.is_empty());
+
+        t.set_trace(true);
+        t.set_trace_capacity(4);
+        for i in 0..6u64 {
+            t.trace(
+                TraceEvent::new(SimTime::from_nanos(i), "link", "transfer")
+                    .bytes(i)
+                    .duration(SimDuration::from_nanos(i)),
+            );
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.events_dropped, 2);
+        assert_eq!(snap.events[0].sim_time.as_nanos(), 2);
+        assert_eq!(snap.events[3].bytes, 5);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let t = Telemetry::new();
+        t.counter("rpc", "client.nfs3.READ").add(2);
+        t.histogram("rpc", "client.nfs3.READ")
+            .record(SimDuration::from_millis(3));
+        t.set_trace(true);
+        t.trace(
+            TraceEvent::new(SimTime::from_nanos(7), "rpc", "call")
+                .bytes(42)
+                .label("proc", "READ"),
+        );
+        let json = t.snapshot().to_json().to_string();
+        assert!(json.contains("\"rpc.client.nfs3.READ\": 2"));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"proc\": \"READ\""));
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping_and_floats() {
+        let v = JsonValue::object([
+            ("s", JsonValue::from("a\"b\\c\nd")),
+            ("f", JsonValue::Float(1.5)),
+            ("g", JsonValue::Float(f64::NAN)),
+            ("n", JsonValue::Uint(7)),
+            ("empty", JsonValue::Array(vec![])),
+        ]);
+        let s = v.to_string();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""));
+        assert!(s.contains("\"f\": 1.5"));
+        assert!(s.contains("\"g\": null"));
+        assert!(s.contains("\"empty\": []"));
+    }
+}

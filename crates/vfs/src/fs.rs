@@ -256,7 +256,9 @@ impl Fs {
             _ => return Err(FsError::NotDir),
         };
         let &fileid = entries.get(name).ok_or(FsError::NotFound)?;
-        let target = self.inodes[fileid as usize].as_ref().ok_or(FsError::Stale)?;
+        let target = self.inodes[fileid as usize]
+            .as_ref()
+            .ok_or(FsError::Stale)?;
         Ok(Handle {
             fileid,
             generation: target.generation,
@@ -519,7 +521,13 @@ impl Fs {
 
     /// Read up to `len` bytes at `offset`; short only at EOF. Returns the
     /// data and an EOF flag.
-    pub fn read(&mut self, h: Handle, offset: u64, len: usize, now_ns: u64) -> FsResult<(Vec<u8>, bool)> {
+    pub fn read(
+        &mut self,
+        h: Handle,
+        offset: u64,
+        len: usize,
+        now_ns: u64,
+    ) -> FsResult<(Vec<u8>, bool)> {
         let i = self.check_mut(h)?;
         let s = match &i.data {
             NodeData::File(s) => s,
@@ -617,7 +625,9 @@ mod tests {
     fn symlink_round_trips() {
         let mut f = fs();
         let root = f.root();
-        let l = f.symlink(root, "link", "/images/golden/vm.vmdk", 0).unwrap();
+        let l = f
+            .symlink(root, "link", "/images/golden/vm.vmdk", 0)
+            .unwrap();
         assert_eq!(f.readlink(l).unwrap(), "/images/golden/vm.vmdk");
         assert_eq!(f.getattr(l).unwrap().ftype, FileType::Symlink);
     }
@@ -693,7 +703,12 @@ mod tests {
         for name in ["zeta", "alpha", "mid"] {
             f.create(root, name, 0o644, 0).unwrap();
         }
-        let names: Vec<String> = f.readdir(root).unwrap().into_iter().map(|(n, _)| n).collect();
+        let names: Vec<String> = f
+            .readdir(root)
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         assert_eq!(names, vec!["alpha", "mid", "zeta"]);
     }
 

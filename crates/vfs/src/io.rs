@@ -184,7 +184,11 @@ impl LocalIo {
     fn block_range(&self, offset: u64, len: usize) -> (u64, u64) {
         let bs = self.cfg.block_size as u64;
         let first = offset / bs;
-        let last = if len == 0 { first } else { (offset + len as u64 - 1) / bs };
+        let last = if len == 0 {
+            first
+        } else {
+            (offset + len as u64 - 1) / bs
+        };
         (first, last)
     }
 
@@ -261,7 +265,7 @@ impl LocalIo {
             let keys: Vec<(u64, u64)> = st
                 .cache
                 .iter_mru()
-                .filter(|((f, _), dirty)| **dirty && only_file.map_or(true, |of| *f == of))
+                .filter(|((f, _), dirty)| **dirty && only_file.is_none_or(|of| *f == of))
                 .map(|(k, _)| *k)
                 .collect();
             for k in &keys {
@@ -415,10 +419,14 @@ impl MountTable {
             p.insert(0, '/');
         }
         let trimmed = p.trim_end_matches('/');
-        let key = if trimmed.is_empty() { "/".to_string() } else { trimmed.to_string() };
+        let key = if trimmed.is_empty() {
+            "/".to_string()
+        } else {
+            trimmed.to_string()
+        };
         self.mounts.push((key, io));
         // Longest prefix first.
-        self.mounts.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        self.mounts.sort_by_key(|m| std::cmp::Reverse(m.0.len()));
         self
     }
 

@@ -93,11 +93,11 @@ impl SparseBytes {
     }
 
     /// Write `data` at `offset`, extending the logical length if needed.
-    /// Writing all-zero data into a hole does not allocate a chunk.
+    /// Writing all-zero data into a hole does not allocate a chunk. A
+    /// zero-length write still extends the file to `offset` (it behaves
+    /// like the degenerate end of a write ending at `offset`), matching
+    /// the dense reference model the property tests check against.
     pub fn write_at(&mut self, offset: u64, data: &[u8]) {
-        if data.is_empty() {
-            return;
-        }
         let end = offset + data.len() as u64;
         let mut pos = 0usize;
         while pos < data.len() {

@@ -55,13 +55,7 @@ pub struct CloneTimes {
     pub total: SimDuration,
 }
 
-fn copy_file(
-    env: &Env,
-    mounts: &MountTable,
-    src: &str,
-    dst: &str,
-    chunk: u32,
-) -> IoResult<u64> {
+fn copy_file(env: &Env, mounts: &MountTable, src: &str, dst: &str, chunk: u32) -> IoResult<u64> {
     let from = mounts.open(env, src)?;
     let (dst_io, dst_rel) = mounts.route(dst)?;
     let to = dst_io.create_path(env, &dst_rel)?;
@@ -139,7 +133,10 @@ pub fn clone_vm(
     let t = env.now();
     let vmx_path = format!("{clone_rel}/{}", spec.vmx_name());
     let vmx = local_io.lookup_path(env, &vmx_path)?;
-    let patch = format!("displayName = \"{}-clone\"\nuuid.action = \"create\"\n", spec.name);
+    let patch = format!(
+        "displayName = \"{}-clone\"\nuuid.action = \"create\"\n",
+        spec.name
+    );
     let size = local_io.getattr(env, vmx)?.size;
     local_io.write(env, vmx, size, patch.as_bytes())?;
     local_io.close(env, vmx)?;
@@ -150,7 +147,14 @@ pub fn clone_vm(
     //    symlink to the mount, with guest writes in a local redo log.
     let t = env.now();
     let redo_path = format!("{clone_dir}/{}.REDO", spec.name);
-    let vm = VmMonitor::attach(env, mounts, clone_dir, spec.clone(), cfg.vm, Some(&redo_path))?;
+    let vm = VmMonitor::attach(
+        env,
+        mounts,
+        clone_dir,
+        spec.clone(),
+        cfg.vm,
+        Some(&redo_path),
+    )?;
     vm.resume(env)?;
     times.resume = env.now() - t;
 
@@ -225,12 +229,7 @@ mod tests {
             names.sort();
             assert_eq!(
                 names,
-                vec![
-                    "golden.REDO",
-                    "golden.vmdk",
-                    "golden.vmss",
-                    "golden.vmx"
-                ]
+                vec!["golden.REDO", "golden.vmdk", "golden.vmss", "golden.vmx"]
             );
             // The vmdk is a symlink into the mount.
             let lh = local.lookup_path(&env, "clone1/golden.vmdk").unwrap();
@@ -243,9 +242,18 @@ mod tests {
             vm.run(
                 &env,
                 &[
-                    GuestOp::DiskRead { offset: 0, len: 8192 },
-                    GuestOp::DiskWrite { offset: 4096, len: 4096 },
-                    GuestOp::DiskRead { offset: 4096, len: 4096 },
+                    GuestOp::DiskRead {
+                        offset: 0,
+                        len: 8192,
+                    },
+                    GuestOp::DiskWrite {
+                        offset: 4096,
+                        len: 4096,
+                    },
+                    GuestOp::DiskRead {
+                        offset: 4096,
+                        len: 4096,
+                    },
                 ],
             )
             .unwrap();

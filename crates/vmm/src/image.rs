@@ -124,7 +124,7 @@ fn page_payload(rng: &mut Prng, len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
     while out.len() < len {
         let r = rng.next_u64();
-        if r % 4 == 0 {
+        if r.is_multiple_of(4) {
             let run = 32 + (r >> 8) % 224;
             let b = (r >> 32) as u8;
             for _ in 0..run.min((len - out.len()) as u64) {
@@ -134,7 +134,9 @@ fn page_payload(rng: &mut Prng, len: usize) -> Vec<u8> {
             let n = (16 + (r >> 8) % 48).min((len - out.len()) as u64);
             let mut x = r;
             for _ in 0..n {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 out.push((x >> 56) as u8);
             }
         }
@@ -201,7 +203,12 @@ pub fn install_image(fs: &mut Fs, dir: Handle, spec: &VmImageSpec) -> FsResult<I
         let chunk = page_payload(&mut rng, 64 * 1024);
         // One 64 KB representative chunk per extent start: keeps setup
         // fast while making the extent non-zero for cache/codec purposes.
-        fs.write(vmdk, pos.min(spec.disk_bytes - chunk.len() as u64), &chunk, 0)?;
+        fs.write(
+            vmdk,
+            pos.min(spec.disk_bytes - chunk.len() as u64),
+            &chunk,
+            0,
+        )?;
         written += extent;
     }
 
@@ -253,7 +260,10 @@ mod tests {
         let nblocks = total / block;
         // ~10% nonzero pages clustered: most 32K blocks outside the
         // cluster stay zero.
-        assert!(zero_blocks > nblocks / 2, "only {zero_blocks}/{nblocks} zero");
+        assert!(
+            zero_blocks > nblocks / 2,
+            "only {zero_blocks}/{nblocks} zero"
+        );
         assert!(zero_blocks < nblocks, "image must not be all zero");
     }
 

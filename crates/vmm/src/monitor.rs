@@ -172,10 +172,10 @@ impl VmMonitor {
     pub fn resume(&self, env: &Env) -> IoResult<u64> {
         // Config: one small read.
         let vmx_size = self.vmx.io.getattr(env, self.vmx.handle)?.size;
-        let _cfg_bytes = self
-            .vmx
-            .io
-            .read(env, self.vmx.handle, 0, vmx_size.min(64 * 1024) as u32)?;
+        let _cfg_bytes =
+            self.vmx
+                .io
+                .read(env, self.vmx.handle, 0, vmx_size.min(64 * 1024) as u32)?;
         // Memory state: sequential full-file read, like VMware resuming a
         // suspended VM.
         let mem_size = self.vmss.io.getattr(env, self.vmss.handle)?.size;
@@ -255,7 +255,14 @@ impl VmMonitor {
             let result = match &redo_opt {
                 Some(redo) => {
                     let redo_io = self.redo_io.as_ref().expect("redo io present");
-                    redo.read(env, &*redo_io.io, &*self.vmdk.io, self.vmdk.handle, off, want)
+                    redo.read(
+                        env,
+                        &*redo_io.io,
+                        &*self.vmdk.io,
+                        self.vmdk.handle,
+                        off,
+                        want,
+                    )
                 }
                 None => self.vmdk.io.read(env, self.vmdk.handle, off, want),
             };
@@ -281,7 +288,9 @@ impl VmMonitor {
             }
         }
         // Deterministic page-ish payload so caches/codecs see real bytes.
-        let data: Vec<u8> = (0..len).map(|i| ((offset + i as u64) % 251) as u8).collect();
+        let data: Vec<u8> = (0..len)
+            .map(|i| ((offset + i as u64) % 251) as u8)
+            .collect();
         let redo_opt = { self.state.lock().redo.take() };
         match redo_opt {
             Some(mut redo) => {
@@ -314,7 +323,7 @@ impl VmMonitor {
             let mut data = vec![0u8; n as usize];
             let mut p = 0u64;
             while p < n {
-                if (off + p) / 4096 % nonzero_every == 0 {
+                if ((off + p) / 4096).is_multiple_of(nonzero_every) {
                     let end = (p + 4096).min(n);
                     for (i, byte) in data[p as usize..end as usize].iter_mut().enumerate() {
                         *byte = ((off + p) as usize + i) as u8 | 1;
@@ -398,8 +407,8 @@ mod tests {
         let sim = Simulation::new();
         let (_local, table) = host(&sim);
         sim.spawn("t", move |env| {
-            let vm = VmMonitor::attach(&env, &table, "/vm", spec(), VmConfig::default(), None)
-                .unwrap();
+            let vm =
+                VmMonitor::attach(&env, &table, "/vm", spec(), VmConfig::default(), None).unwrap();
             let read = vm.resume(&env).unwrap();
             assert_eq!(read, 4 << 20);
             assert!(vm.is_resumed());
@@ -414,11 +423,17 @@ mod tests {
         let sim = Simulation::new();
         let (_local, table) = host(&sim);
         sim.spawn("t", move |env| {
-            let vm = VmMonitor::attach(&env, &table, "/vm", spec(), VmConfig::default(), None)
-                .unwrap();
+            let vm =
+                VmMonitor::attach(&env, &table, "/vm", spec(), VmConfig::default(), None).unwrap();
             let ops = vec![
-                GuestOp::DiskRead { offset: 0, len: 64 * 1024 },
-                GuestOp::DiskRead { offset: 0, len: 64 * 1024 },
+                GuestOp::DiskRead {
+                    offset: 0,
+                    len: 64 * 1024,
+                },
+                GuestOp::DiskRead {
+                    offset: 0,
+                    len: 64 * 1024,
+                },
             ];
             vm.run(&env, &ops).unwrap();
             let st = vm.stats();
@@ -481,8 +496,8 @@ mod tests {
         let sim = Simulation::new();
         let (local, table) = host(&sim);
         sim.spawn("t", move |env| {
-            let vm = VmMonitor::attach(&env, &table, "/vm", spec(), VmConfig::default(), None)
-                .unwrap();
+            let vm =
+                VmMonitor::attach(&env, &table, "/vm", spec(), VmConfig::default(), None).unwrap();
             vm.resume(&env).unwrap();
             let written = vm.suspend(&env).unwrap();
             assert_eq!(written, 4 << 20);

@@ -131,7 +131,12 @@ mod tests {
         let names: Vec<&str> = wl.phases.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["make dep", "make bzImage", "make modules", "make modules_install"]
+            vec![
+                "make dep",
+                "make bzImage",
+                "make modules",
+                "make modules_install"
+            ]
         );
     }
 

@@ -159,7 +159,10 @@ mod tests {
             phases: vec![Phase {
                 name: "p".into(),
                 ops: vec![
-                    GuestOp::DiskRead { offset: 0, len: 100 },
+                    GuestOp::DiskRead {
+                        offset: 0,
+                        len: 100,
+                    },
                     GuestOp::DiskWrite { offset: 0, len: 50 },
                     GuestOp::Compute(SimDuration::from_secs(2)),
                     GuestOp::Compute(SimDuration::from_secs(3)),

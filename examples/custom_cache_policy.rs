@@ -10,9 +10,9 @@
 
 use std::sync::Arc;
 
+use gvfs::Middleware;
 use gvfs::{BlockCache, BlockCacheConfig, Proxy, ProxyConfig, WritePolicy};
 use gvfs_bench::build_server;
-use gvfs::Middleware;
 use nfs3::proto::StableHow;
 use nfs3::Nfs3Client;
 use oncrpc::{RpcClient, WireSpec};
@@ -46,6 +46,7 @@ fn run_with_policy(policy: WritePolicy) -> (f64, f64) {
         RpcClient::new(server.channel.clone(), cred.clone()),
     )
     .with_block_cache(Arc::new(BlockCache::new(
+        &h,
         cache_disk,
         BlockCacheConfig::with_capacity(2 << 30, 64, 16, 32 * 1024),
     )))

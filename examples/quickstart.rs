@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use gvfs::{
-    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, IdentityMapper,
-    Middleware, Proxy, ProxyConfig, WritePolicy,
+    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, IdentityMapper, Middleware,
+    Proxy, ProxyConfig, WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, Nfs3Client};
 use oncrpc::{RpcClient, WireSpec};
@@ -55,6 +55,7 @@ fn main() {
         upstream.clone(),
     )
     .with_block_cache(Arc::new(BlockCache::new(
+        &h,
         cache_disk.clone(),
         BlockCacheConfig::paper_default(),
     )))

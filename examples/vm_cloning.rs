@@ -18,8 +18,10 @@ fn main() {
         image_scale: Some(4),
         ..CloneParams::default()
     };
-    println!("cloning a {} MB-RAM VM three times over the WAN...\n",
-        (320 / 4));
+    println!(
+        "cloning a {} MB-RAM VM three times over the WAN...\n",
+        (320 / 4)
+    );
     let res = run_cloning(CloneScenario::WanS1, &params);
     for (i, t) in res.times.iter().enumerate() {
         println!(

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use gvfs::{Middleware, WritePolicy};
 use gvfs_bench::{
-    build_client, build_server, run_cloning, CloneParams, CloneScenario, ClientProxyOptions,
+    build_client, build_server, run_cloning, ClientProxyOptions, CloneParams, CloneScenario,
     NetParams,
 };
 use nfs3::{KernelClient, KernelConfig, Nfs3Client};
@@ -196,7 +196,8 @@ fn concurrent_sessions_are_isolated_by_identity() {
     let mw = Middleware::new();
     let uids = Arc::new(Mutex::new(Vec::new()));
     for i in 0..3 {
-        let (_sid, cred) = mw.establish_session(&server.mapper, &format!("user{i}"), 0, u64::MAX / 2);
+        let (_sid, cred) =
+            mw.establish_session(&server.mapper, &format!("user{i}"), 0, u64::MAX / 2);
         let channel = server.channel.clone();
         let uids = uids.clone();
         sim.spawn(format!("user{i}"), move |env| {
