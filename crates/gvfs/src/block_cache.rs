@@ -167,7 +167,9 @@ impl Inner {
             self.bytes_stored,
             n
         );
-        self.bytes_stored = self.bytes_stored.saturating_sub(n);
+        // Exact subtraction: an underflow here must show up as loud drift
+        // in validate_accounting(), never be clamped to zero.
+        self.bytes_stored -= n;
     }
 }
 
@@ -183,8 +185,10 @@ fn mix(fileid: u64, generation: u64) -> u64 {
     // 64-bit finalizer (splitmix64-style) over the handle identity.
     let mut x = fileid ^ generation.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
     x ^= x >> 30;
+    // lint:allow(exact-accounting): deliberate wraparound in the set-index hash, not byte accounting
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 27;
+    // lint:allow(exact-accounting): deliberate wraparound in the set-index hash, not byte accounting
     x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^= x >> 31;
     x
@@ -266,6 +270,7 @@ impl BlockCache {
     /// The set index for a tag: hash of the file handle plus the block
     /// index, so consecutive blocks land in consecutive sets.
     fn set_index(&self, tag: &Tag) -> usize {
+        // lint:allow(exact-accounting): deliberate wraparound mixing the block into the hash
         ((mix(tag.fileid, tag.generation).wrapping_add(tag.block)) % self.cfg.total_sets() as u64)
             as usize
     }
@@ -362,7 +367,7 @@ impl BlockCache {
                             .enumerate()
                             .min_by_key(|(_, f)| (f.dirty, f.stamp))
                             .map(|(i, _)| i)
-                            .expect("non-empty set");
+                            .unwrap_or(0); // set is non-empty: len >= assoc >= 1
                         let victim = inner.sets[set].swap_remove(victim_idx);
                         self.tel.evictions.inc();
                         // Debit what the victim actually held, not the
@@ -415,8 +420,9 @@ impl BlockCache {
                 Some(f) => {
                     let end = offset_in_block + bytes.len();
                     debug_assert!(end <= bs);
-                    let grown = end.saturating_sub(f.data.len()) as u64;
-                    if f.data.len() < end {
+                    let old_len = f.data.len();
+                    let grown = if end > old_len { (end - old_len) as u64 } else { 0 };
+                    if old_len < end {
                         f.data.resize(end, 0);
                     }
                     f.data[offset_in_block..end].copy_from_slice(bytes);

@@ -26,6 +26,7 @@ const MIN_RUN: usize = 16;
 
 /// Compress `data`.
 pub fn compress(data: &[u8]) -> Vec<u8> {
+    // lint:allow(bounded-decode): capacity derives from local input size, not wire bytes
     let mut out = Vec::with_capacity(64 + data.len() / 8);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&(data.len() as u64).to_be_bytes());
@@ -77,6 +78,28 @@ pub enum CodecError {
     Truncated,
     /// Output did not match the declared original length.
     LengthMismatch,
+    /// Declared original length exceeds [`MAX_DECOMPRESS_LEN`].
+    TooLarge,
+}
+
+/// Hard cap on the original length a stream may declare. The header's
+/// `u64 original_len` bounds every later growth check, so an honest cap
+/// here bounds total decoder memory; 1 GiB comfortably exceeds any VM
+/// memory image the simulated 2004-era hosts ship around.
+pub const MAX_DECOMPRESS_LEN: usize = 1 << 30;
+
+fn be_u32(bytes: &[u8]) -> Result<u32, CodecError> {
+    match <[u8; 4]>::try_from(bytes) {
+        Ok(a) => Ok(u32::from_be_bytes(a)),
+        Err(_) => Err(CodecError::Truncated),
+    }
+}
+
+fn be_u64(bytes: &[u8]) -> Result<u64, CodecError> {
+    match <[u8; 8]>::try_from(bytes) {
+        Ok(a) => Ok(u64::from_be_bytes(a)),
+        Err(_) => Err(CodecError::Truncated),
+    }
 }
 
 /// Decompress a stream produced by [`compress`].
@@ -84,8 +107,14 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
     if stream.len() < 12 || &stream[..4] != MAGIC {
         return Err(CodecError::BadMagic);
     }
-    let orig_len = u64::from_be_bytes(stream[4..12].try_into().unwrap()) as usize;
-    let mut out = Vec::with_capacity(orig_len);
+    let orig_len = be_u64(&stream[4..12])? as usize;
+    if orig_len > MAX_DECOMPRESS_LEN {
+        return Err(CodecError::TooLarge);
+    }
+    // Blessed sink for the wire-declared length: caps the speculative
+    // reservation, while the check above bounds all later growth.
+    let mut out: Vec<u8> =
+        xdr::bounded_alloc(orig_len, MAX_DECOMPRESS_LEN).map_err(|_| CodecError::TooLarge)?;
     let mut i = 12;
     while i < stream.len() {
         let tag = stream[i];
@@ -93,7 +122,7 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
         if stream.len() < i + 4 {
             return Err(CodecError::Truncated);
         }
-        let len = u32::from_be_bytes(stream[i..i + 4].try_into().unwrap()) as usize;
+        let len = be_u32(&stream[i..i + 4])? as usize;
         i += 4;
         // A record claiming to expand past the declared original length
         // can only come from a corrupt stream; bail before allocating —
@@ -103,6 +132,7 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
             return Err(CodecError::LengthMismatch);
         }
         match tag {
+            // lint:allow(bounded-decode): growth bounded by orig_len <= MAX_DECOMPRESS_LEN above
             0 => out.resize(out.len() + len, 0),
             1 => {
                 if stream.len() < i + 1 {
@@ -110,6 +140,7 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
                 }
                 let b = stream[i];
                 i += 1;
+                // lint:allow(bounded-decode): growth bounded by orig_len <= MAX_DECOMPRESS_LEN above
                 out.resize(out.len() + len, b);
             }
             2 => {
@@ -253,6 +284,16 @@ mod tests {
         s.extend_from_slice(&(1u32 << 30).to_be_bytes());
         s.push(0xAB);
         assert_eq!(decompress(&s), Err(CodecError::LengthMismatch));
+    }
+
+    #[test]
+    fn huge_declared_length_is_rejected_before_allocating() {
+        // A 12-byte header alone must not be able to demand gigabytes of
+        // reservation: the declared original length is capped up front.
+        let mut s = Vec::new();
+        s.extend_from_slice(MAGIC);
+        s.extend_from_slice(&(MAX_DECOMPRESS_LEN as u64 + 1).to_be_bytes());
+        assert_eq!(decompress(&s), Err(CodecError::TooLarge));
     }
 
     #[test]

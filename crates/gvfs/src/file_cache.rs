@@ -7,7 +7,7 @@
 //! disk caching* scheme. The file cache also supports write-back: dirty
 //! files are re-compressed and uploaded on flush.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 use simnet::Env;
@@ -41,7 +41,9 @@ pub struct FileCacheStats {
 }
 
 struct Inner {
-    files: HashMap<FileKey, CachedFile>,
+    // BTreeMap: victim selection and dirty_files() iterate this map, so
+    // its order must be deterministic (lint: determinism).
+    files: BTreeMap<FileKey, CachedFile>,
     bytes: u64,
     stamp: u64,
     stats: FileCacheStats,
@@ -61,7 +63,7 @@ impl FileCache {
             disk,
             capacity_bytes,
             inner: Mutex::new(Inner {
-                files: HashMap::new(),
+                files: BTreeMap::new(),
                 bytes: 0,
                 stamp: 0,
                 stats: FileCacheStats::default(),
@@ -103,7 +105,8 @@ impl FileCache {
                     last_use: stamp,
                 },
             ) {
-                inner.bytes = inner.bytes.saturating_sub(old.size);
+                debug_assert!(inner.bytes >= old.size, "file-cache byte accounting underflow");
+                inner.bytes -= old.size;
             }
             inner.bytes += size;
             inner.stats.installs += 1;
@@ -116,10 +119,10 @@ impl FileCache {
                     .filter(|(k, f)| !f.dirty && **k != key)
                     .min_by_key(|(_, f)| f.last_use)
                     .map(|(k, _)| *k);
-                match victim {
-                    Some(k) => {
-                        let f = inner.files.remove(&k).expect("victim exists");
-                        inner.bytes = inner.bytes.saturating_sub(f.size);
+                match victim.and_then(|k| inner.files.remove(&k)) {
+                    Some(f) => {
+                        debug_assert!(inner.bytes >= f.size, "file-cache byte accounting underflow");
+                        inner.bytes -= f.size;
                         inner.stats.evictions += 1;
                     }
                     None => break, // everything is dirty or it's just us
@@ -161,8 +164,12 @@ impl FileCache {
             match inner.files.get_mut(&key) {
                 Some(f) => {
                     f.data.write_at(offset, bytes);
-                    let grew = f.data.len().saturating_sub(f.size);
-                    f.size = f.data.len();
+                    let new_len = f.data.len();
+                    // clippy suggests saturating_sub here, but that is exactly
+                    // what the exact-accounting invariant bans in this file.
+                    #[allow(clippy::implicit_saturating_sub)]
+                    let grew = if new_len > f.size { new_len - f.size } else { 0 };
+                    f.size = new_len;
                     f.dirty = true;
                     f.last_use = stamp;
                     if grew > 0 {

@@ -13,7 +13,7 @@
 //! handling are all [`ProxyConfig`] fields, which is the paper's central
 //! argument for user-level (rather than kernel) extensions.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use oncrpc::msg::{AcceptStat, CallHeader, RejectStat, ReplyBody, RpcMessage};
@@ -26,8 +26,9 @@ use vfs::Handle;
 use xdr::{Decode, Decoder, Encode, Encoder};
 
 /// Dirty blocks grouped by `(fileid, generation)`: `(offset, data)` runs
-/// awaiting write-back.
-type DirtyByFile = HashMap<(u64, u64), Vec<(u64, Vec<u8>)>>;
+/// awaiting write-back. BTreeMap: flush() iterates it, and write-back
+/// order must be deterministic (lint: determinism).
+type DirtyByFile = BTreeMap<(u64, u64), Vec<(u64, Vec<u8>)>>;
 
 use nfs3::args::{ReadArgs, WriteArgs};
 use nfs3::proto::{
@@ -124,6 +125,9 @@ struct PxTel {
     channel_wire_bytes: Counter,
     writes_absorbed: Counter,
     blocks_written_back: Counter,
+    /// Dispatch-path failures converted into clean degraded handling
+    /// instead of a panic (lint: panic-free-dispatch).
+    recovered_errors: Counter,
 }
 
 impl PxTel {
@@ -141,6 +145,7 @@ impl PxTel {
             channel_wire_bytes: c("channel_wire_bytes"),
             writes_absorbed: c("writes_absorbed"),
             blocks_written_back: c("blocks_written_back"),
+            recovered_errors: c("recovered_errors"),
             inst,
             registry,
         }
@@ -620,12 +625,21 @@ impl Proxy {
             }
         }
 
-        let write_back = self.cfg.write_policy == WritePolicy::WriteBack
-            && !self.cfg.read_only_share
-            && self.block_cache.is_some();
+        let write_back =
+            self.cfg.write_policy == WritePolicy::WriteBack && !self.cfg.read_only_share;
 
-        if write_back {
-            let bc = self.block_cache.as_ref().expect("checked above");
+        // Write-back: absorb the write into the block cache. The labeled
+        // block replaces the old `expect("checked above")` landmine: a
+        // write-back policy without a cache attached now recovers by
+        // falling through to the write-through path below.
+        'write_back: {
+            if !write_back {
+                break 'write_back;
+            }
+            let Some(bc) = self.block_cache.as_ref() else {
+                self.tel.recovered_errors.inc();
+                break 'write_back;
+            };
             let bs = bc.config().block_size as u64;
             let end = a.offset + a.data.len() as u64;
             let mut pos = a.offset;
@@ -654,10 +668,18 @@ impl Proxy {
                         }
                     } else {
                         let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
-                        let mut base = nfs
-                            .read(env, a.file.0, bstart, bs as u32)
-                            .map(|r| r.data)
-                            .unwrap_or_default();
+                        let mut base = match nfs.read(env, a.file.0, bstart, bs as u32) {
+                            Ok(r) => r.data,
+                            Err(_) => {
+                                // Base fetch for read-modify-write failed:
+                                // don't fabricate a zero base — hand the
+                                // original WRITE upstream untouched.
+                                self.tel.recovered_errors.inc();
+                                return self.forward(
+                                    env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::WRITE, args,
+                                );
+                            }
+                        };
                         if base.len() < boff + take {
                             base.resize(boff + take, 0);
                         }
@@ -828,7 +850,7 @@ impl Proxy {
             let dirty = bc.take_dirty(env);
             let bs = bc.config().block_size as u64;
             let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
-            let mut by_file: DirtyByFile = HashMap::new();
+            let mut by_file: DirtyByFile = BTreeMap::new();
             for (tag, data) in dirty {
                 by_file
                     .entry((tag.fileid, tag.generation))

@@ -8,6 +8,10 @@
 //!   → kernel NFS server
 //! ```
 
+// Test-harness code: clippy's allow-unwrap-in-tests only covers
+// #[test]-marked fns, not integration-test helpers like seed_file.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use gvfs::{

@@ -21,7 +21,7 @@
 //! oblivious to whether they run on a local disk or an NFS mount that may
 //! have a chain of GVFS proxies behind it.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -101,8 +101,10 @@ struct Block {
 struct KcState {
     cache: LruMap<(u64, u64), Block>,
     dirty_bytes: u64,
-    dcache: HashMap<String, (Handle, u64)>, // path -> (handle, expires_ns)
-    acache: HashMap<Handle, (Attr, u64)>,
+    // BTreeMap: sync() scans these to recover handles, so iteration order
+    // must be deterministic (lint: determinism).
+    dcache: BTreeMap<String, (Handle, u64)>, // path -> (handle, expires_ns)
+    acache: BTreeMap<Handle, (Attr, u64)>,
     local_size: HashMap<u64, u64>, // fileid -> size as seen through our writes
 }
 
@@ -159,8 +161,8 @@ impl KernelClient {
             state: Mutex::new(KcState {
                 cache: LruMap::new(((cfg.cache_bytes / cfg.rsize as u64) as usize).max(1)),
                 dirty_bytes: 0,
-                dcache: HashMap::new(),
-                acache: HashMap::new(),
+                dcache: BTreeMap::new(),
+                acache: BTreeMap::new(),
                 local_size: HashMap::new(),
             }),
             tel: KcTel::register(env),
@@ -523,7 +525,8 @@ impl FileIo for KernelClient {
         let last = (offset + len as u64 - 1) / bs;
 
         // Scan the cache: copy hits, collect misses.
-        let mut assembled: HashMap<u64, Vec<u8>> = HashMap::new();
+        // BTreeMap: the copy-out loop below iterates it (lint: determinism).
+        let mut assembled: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         let mut misses = Vec::new();
         {
             let mut st = self.state.lock();

@@ -9,7 +9,7 @@
 //! and per-RPC latency parts do not parallelize while the bulk transfer
 //! parts share the pipe.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -30,7 +30,7 @@ struct Flow {
 struct LinkState {
     bytes_per_sec: f64,
     latency: SimDuration,
-    flows: HashMap<u64, Flow>,
+    flows: BTreeMap<u64, Flow>,
     next_flow_id: u64,
     last_update: SimTime,
     /// Generation counter: bumping it invalidates the outstanding
@@ -83,7 +83,7 @@ impl Link {
             state: Arc::new(Mutex::new(LinkState {
                 bytes_per_sec,
                 latency,
-                flows: HashMap::new(),
+                flows: BTreeMap::new(),
                 next_flow_id: 0,
                 last_update: SimTime::ZERO,
                 timer_gen: 0,

@@ -182,12 +182,9 @@ impl Histogram {
         for (i, b) in self.inner.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                // Upper edge of bucket i: 2^i - 1 ns (bucket 0 is exactly 0).
-                return if i == 0 {
-                    0
-                } else {
-                    (1u64 << i).saturating_sub(1)
-                };
+                // Upper edge of bucket i: 2^i - 1 ns (bucket 0 is exactly 0;
+                // the i > 0 branch makes the subtraction exact, never clamped).
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
             }
         }
         self.max_ns()

@@ -139,15 +139,10 @@ impl<'a> Decoder<'a> {
         mut f: F,
     ) -> Result<Vec<T>> {
         let n = self.get_u32()?;
-        if n > self.max_len {
-            return Err(Error::LengthOverLimit {
-                declared: n,
-                limit: self.max_len,
-            });
-        }
-        // Cap the pre-allocation: a hostile count must not OOM us before
+        // The blessed sink rejects counts over the decoder cap and bounds
+        // the pre-allocation: a hostile count must not OOM us before
         // element decoding fails naturally on EOF.
-        let mut out = Vec::with_capacity((n as usize).min(1024));
+        let mut out = crate::bounded_alloc(n as usize, self.max_len as usize)?;
         for _ in 0..n {
             out.push(f(self)?);
         }

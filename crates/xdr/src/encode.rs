@@ -20,6 +20,7 @@ impl Encoder {
     /// Create an encoder with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
         Encoder {
+            // lint:allow(bounded-decode): encoder capacity is caller-chosen, never wire-derived
             buf: Vec::with_capacity(cap),
         }
     }

@@ -47,6 +47,31 @@ pub const fn padded(len: usize) -> usize {
     (len + 3) & !3
 }
 
+/// Cap on the speculative reservation made by [`bounded_alloc`]: even an
+/// in-limit declared length only pre-reserves this many elements; larger
+/// results grow geometrically as real data arrives and the decode fails
+/// naturally on EOF long before a hostile length is materialized.
+pub const MAX_PREALLOC: usize = 64 * 1024;
+
+/// Allocate a `Vec` sized from a **wire-decoded** length without trusting
+/// it. This is the single blessed sink for the `bounded-decode` lint rule
+/// (see DESIGN.md §5.2): every `Vec::with_capacity`/`vec![_; n]`/`resize`
+/// in a decode path whose size derives from wire bytes must flow through
+/// here.
+///
+/// A declared `len` above `limit` is rejected with
+/// [`Error::LengthOverLimit`]; an accepted one pre-reserves at most
+/// [`MAX_PREALLOC`] elements.
+pub fn bounded_alloc<T>(len: usize, limit: usize) -> Result<Vec<T>> {
+    if len > limit {
+        return Err(Error::LengthOverLimit {
+            declared: u32::try_from(len).unwrap_or(u32::MAX),
+            limit: u32::try_from(limit).unwrap_or(u32::MAX),
+        });
+    }
+    Ok(Vec::with_capacity(len.min(MAX_PREALLOC)))
+}
+
 /// Types that serialize to XDR.
 pub trait Encode {
     /// Append this value's XDR representation to the encoder.
@@ -179,6 +204,19 @@ mod tests {
         assert_eq!(padded(3), 4);
         assert_eq!(padded(4), 4);
         assert_eq!(padded(5), 8);
+    }
+
+    #[test]
+    fn bounded_alloc_rejects_over_limit_and_caps_reservation() {
+        assert!(matches!(
+            bounded_alloc::<u8>(10, 9),
+            Err(Error::LengthOverLimit { declared: 10, limit: 9 })
+        ));
+        let v: Vec<u8> = bounded_alloc(16, 1 << 20).unwrap();
+        assert_eq!(v.capacity(), 16);
+        // A huge but in-limit length must not reserve huge memory.
+        let v: Vec<u8> = bounded_alloc(1 << 28, 1 << 30).unwrap();
+        assert!(v.capacity() <= 2 * MAX_PREALLOC);
     }
 
     #[test]

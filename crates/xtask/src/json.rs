@@ -1,0 +1,118 @@
+//! Tiny JSON value + pretty printer.
+//!
+//! Mirrors `simnet::telemetry::JsonValue` (insertion-ordered objects,
+//! 2-space indentation) so `reports/lint.json` reads like the telemetry
+//! reports, without xtask depending on simnet.
+
+pub enum Json {
+    Bool(bool),
+    Uint(u64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Uint(n) => out.push_str(&n.to_string()),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_telemetry_style() {
+        let v = Json::Object(vec![
+            ("schema".into(), Json::Str("gvfs.lint.v1".into())),
+            ("count".into(), Json::Uint(2)),
+            ("items".into(), Json::Array(vec![Json::Bool(true)])),
+            ("empty".into(), Json::Object(vec![])),
+        ]);
+        let s = v.pretty();
+        assert!(s.starts_with("{\n  \"schema\": \"gvfs.lint.v1\",\n"));
+        assert!(s.contains("  \"items\": [\n    true\n  ],\n"));
+        assert!(s.ends_with("  \"empty\": {}\n}\n"));
+    }
+
+    #[test]
+    fn escapes_control_chars() {
+        let v = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+}

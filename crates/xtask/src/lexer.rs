@@ -1,0 +1,371 @@
+//! A minimal Rust token scanner with line/column tracking.
+//!
+//! This is not a full parser: the lint rules only need a faithful token
+//! stream (identifiers, literals, punctuation) with comments and string
+//! contents kept out of the way, so banned identifiers inside a string or
+//! a doc comment never count as code. Raw strings, byte strings, nested
+//! block comments, and the char-literal/lifetime ambiguity are handled;
+//! everything else is "one `char` of punctuation at a time", which is
+//! enough for the pattern windows the rules match against.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Number,
+    Str,
+    Char,
+    Lifetime,
+    Punct,
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    pub fn is(&self, kind: TokKind, text: &str) -> bool {
+        self.kind == kind && self.text == text
+    }
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.is(TokKind::Ident, text)
+    }
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.is(TokKind::Punct, text)
+    }
+}
+
+/// A comment, kept separately from the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    /// True when nothing but whitespace precedes the comment on its line.
+    pub own_line: bool,
+}
+
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Never fails: malformed input degrades to punctuation
+/// tokens, which is fine for a linter (rustc rejects it long before us).
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut line_has_code = false;
+    let mut cur_line = 1u32;
+
+    while let Some(b) = c.peek() {
+        if c.line != cur_line {
+            cur_line = c.line;
+            line_has_code = false;
+        }
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                let start = c.pos;
+                while c.peek().is_some_and(|b| b != b'\n') {
+                    c.bump();
+                }
+                comments.push(Comment {
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                    own_line: !line_has_code,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                comments.push(Comment {
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                    own_line: !line_has_code,
+                });
+            }
+            b'r' | b'b' if raw_string_lookahead(&c) => {
+                line_has_code = true;
+                lex_raw_string(&mut c);
+                toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+            }
+            b'b' if c.peek_at(1) == Some(b'"') => {
+                line_has_code = true;
+                c.bump();
+                lex_quoted(&mut c, b'"');
+                toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+            }
+            b'b' if c.peek_at(1) == Some(b'\'') => {
+                line_has_code = true;
+                c.bump();
+                lex_quoted(&mut c, b'\'');
+                toks.push(Tok { kind: TokKind::Char, text: String::new(), line, col });
+            }
+            b'"' => {
+                line_has_code = true;
+                lex_quoted(&mut c, b'"');
+                toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+            }
+            b'\'' => {
+                line_has_code = true;
+                let kind = lex_char_or_lifetime(&mut c, &mut toks, line, col);
+                if let Some(k) = kind {
+                    toks.push(Tok { kind: k, text: String::new(), line, col });
+                }
+            }
+            _ if is_ident_start(b) => {
+                line_has_code = true;
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                line_has_code = true;
+                let start = c.pos;
+                // Consume digits plus type/exponent suffix characters.
+                // `.` is deliberately excluded so `0..n` and `1.5` split
+                // into separate tokens; rules never care about floats.
+                while c.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                    c.bump();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                line_has_code = true;
+                c.bump();
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+
+    Lexed { toks, comments }
+}
+
+/// True when the cursor sits on `r"`, `r#`, `br"`, or `br#` — i.e. a raw
+/// (byte) string, as opposed to an identifier starting with r/b.
+fn raw_string_lookahead(c: &Cursor<'_>) -> bool {
+    let mut off = 0usize;
+    if c.peek() == Some(b'b') {
+        off = 1;
+        if c.peek_at(off) != Some(b'r') {
+            return false;
+        }
+    }
+    if c.peek_at(off) != Some(b'r') {
+        return false;
+    }
+    off += 1;
+    matches!(c.peek_at(off), Some(b'"') | Some(b'#'))
+}
+
+fn lex_raw_string(c: &mut Cursor<'_>) {
+    if c.peek() == Some(b'b') {
+        c.bump();
+    }
+    c.bump(); // r
+    let mut hashes = 0usize;
+    while c.peek() == Some(b'#') {
+        c.bump();
+        hashes += 1;
+    }
+    if c.peek() != Some(b'"') {
+        return; // not actually a raw string; give up gracefully
+    }
+    c.bump();
+    loop {
+        match c.bump() {
+            None => return,
+            Some(b'"') => {
+                let mut seen = 0usize;
+                while seen < hashes && c.peek() == Some(b'#') {
+                    c.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn lex_quoted(c: &mut Cursor<'_>, quote: u8) {
+    c.bump(); // opening quote
+    loop {
+        match c.bump() {
+            None => return,
+            Some(b'\\') => {
+                c.bump();
+            }
+            Some(b) if b == quote => return,
+            Some(_) => {}
+        }
+    }
+}
+
+/// Disambiguate `'a'` (char literal) from `'a` (lifetime). Returns the
+/// token kind to push, or None when it already pushed (never happens now,
+/// kept for symmetry).
+fn lex_char_or_lifetime(
+    c: &mut Cursor<'_>,
+    _toks: &mut [Tok],
+    _line: u32,
+    _col: u32,
+) -> Option<TokKind> {
+    // c sits on the opening quote.
+    let next = c.peek_at(1);
+    let after = c.peek_at(2);
+    match next {
+        Some(b'\\') => {
+            lex_quoted(c, b'\'');
+            Some(TokKind::Char)
+        }
+        Some(n) if is_ident_start(n) && after != Some(b'\'') => {
+            // lifetime: consume quote + ident chars
+            c.bump();
+            while c.peek().is_some_and(is_ident_continue) {
+                c.bump();
+            }
+            Some(TokKind::Lifetime)
+        }
+        _ => {
+            lex_quoted(c, b'\'');
+            Some(TokKind::Char)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // unwrap inside a comment
+            let s = "unwrap() in a string";
+            let r = r#"unwrap in raw "quoted" string"#;
+            /* block /* nested */ unwrap */
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; g(c, nl) }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> =
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        let chars: Vec<_> = lexed.toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let src = "a\n  bb\n";
+        let lexed = lex(src);
+        assert_eq!((lexed.toks[0].line, lexed.toks[0].col), (1, 1));
+        assert_eq!((lexed.toks[1].line, lexed.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn comment_own_line_flag() {
+        let src = "let x = 1; // trailing\n// own line\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+    }
+}

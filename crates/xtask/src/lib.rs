@@ -1,0 +1,12 @@
+//! Workspace maintenance tasks for the GVFS reproduction.
+//!
+//! The only task so far is `lint`: an invariant-lint engine enforcing the
+//! project rules that PR 1 fixed by hand (determinism, bounded decode,
+//! exact accounting, panic-free dispatch, lock discipline). See
+//! DESIGN.md §5.2 for the catalog and `lint-baseline.txt` for the
+//! grandfathering workflow.
+
+pub mod json;
+pub mod lexer;
+pub mod lint;
+pub mod rules;

@@ -1,0 +1,24 @@
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => xtask::lint::run(&args[1..]),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--json <path>] [--baseline <path>] \
+         [--write-baseline] [--root <dir>]"
+    );
+}

@@ -1,0 +1,22 @@
+//! The committed baseline must match a fresh run: no non-baselined
+//! violations in the tree (exit 0) and no stale baseline entries. This is
+//! the same invocation CI gates merges on.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn committed_baseline_matches_fresh_run() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("run xtask lint");
+    assert!(
+        out.status.success(),
+        "lint found non-baselined violations or stale baseline entries:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

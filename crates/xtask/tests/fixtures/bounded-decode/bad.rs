@@ -1,0 +1,10 @@
+//! Bad: allocations sized straight from wire-decoded lengths — a few
+//! header bytes can demand gigabytes before any data is checked.
+pub fn decode_blob(buf: &[u8]) -> Vec<u8> {
+    let n = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let mut out = Vec::with_capacity(n);
+    out.resize(n, 0);
+    let scratch = vec![0u8; n];
+    out.extend_from_slice(&scratch);
+    out
+}

@@ -1,0 +1,21 @@
+//! Good: wire lengths flow through a `bounded_*` blessed sink; other
+//! allocations are sized by compile-time constants.
+const HEADER: usize = 12;
+
+fn bounded_alloc(len: usize, limit: usize) -> Result<Vec<u8>, ()> {
+    if len > limit {
+        return Err(());
+    }
+    Ok(Vec::with_capacity(len.min(4096)))
+}
+
+pub fn decode_blob(buf: &[u8], n: usize) -> Result<Vec<u8>, ()> {
+    let mut out = bounded_alloc(n, 1 << 16)?;
+    let zeros = vec![0u8; HEADER];
+    out.extend_from_slice(&zeros);
+    out.extend_from_slice(&buf[..HEADER.min(buf.len())]);
+    let mut scratch: Vec<u8> = Vec::with_capacity(64);
+    scratch.resize(HEADER, 0);
+    drop(scratch);
+    Ok(out)
+}

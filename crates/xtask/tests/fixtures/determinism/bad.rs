@@ -1,0 +1,21 @@
+//! Bad: wall-clock time, std::thread, and HashMap iteration order all
+//! leak nondeterminism into a simulation that must replay bit-identically.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Stats {
+    counts: HashMap<String, u64>,
+}
+
+impl Stats {
+    pub fn dump(&self) -> Vec<String> {
+        let started = Instant::now();
+        std::thread::yield_now();
+        let mut out = Vec::new();
+        for (k, v) in self.counts.iter() {
+            out.push(format!("{k}={v}"));
+        }
+        let _ = started;
+        out
+    }
+}

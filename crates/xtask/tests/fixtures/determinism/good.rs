@@ -1,0 +1,22 @@
+//! Good: BTreeMap iteration is ordered; virtual time comes from the
+//! simulation environment, and HashMap is fine when never iterated.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Stats {
+    counts: BTreeMap<String, u64>,
+    lookup_only: HashMap<u64, u64>,
+}
+
+impl Stats {
+    pub fn dump(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (k, v) in self.counts.iter() {
+            out.push(format!("{k}={v}"));
+        }
+        out
+    }
+
+    pub fn probe(&self, key: u64) -> Option<u64> {
+        self.lookup_only.get(&key).copied()
+    }
+}

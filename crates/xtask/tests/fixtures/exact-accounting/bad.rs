@@ -1,0 +1,15 @@
+//! Bad: saturating/wrapping arithmetic in byte accounting clamps the
+//! moment the books go wrong, hiding the drift instead of surfacing it.
+pub struct Ledger {
+    bytes: u64,
+}
+
+impl Ledger {
+    pub fn debit(&mut self, n: u64) {
+        self.bytes = self.bytes.saturating_sub(n);
+    }
+
+    pub fn credit(&mut self, n: u64) {
+        self.bytes = self.bytes.wrapping_add(n);
+    }
+}

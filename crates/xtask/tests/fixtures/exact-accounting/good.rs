@@ -1,0 +1,15 @@
+//! Good: exact arithmetic with the invariant asserted — drift fails loud.
+pub struct Ledger {
+    bytes: u64,
+}
+
+impl Ledger {
+    pub fn debit(&mut self, n: u64) {
+        debug_assert!(self.bytes >= n, "byte accounting underflow");
+        self.bytes -= n;
+    }
+
+    pub fn credit(&mut self, n: u64) {
+        self.bytes += n;
+    }
+}

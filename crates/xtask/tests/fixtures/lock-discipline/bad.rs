@@ -1,0 +1,15 @@
+//! Bad: lock guards held across suspending calls. In the cooperative
+//! simnet scheduler another process must run to release the condition,
+//! so parking with the guard live deadlocks the whole simulation.
+pub fn drain(env: &Env, state: &State) {
+    let mut st = state.inner.lock();
+    st.pending += 1;
+    env.sleep(Duration::from_millis(1));
+    st.pending -= 1;
+}
+
+pub fn wait_for(env: &Env, state: &State, sig: &Signal) {
+    let st = state.inner.lock();
+    let _n = st.pending;
+    sig.wait(env);
+}

@@ -1,0 +1,20 @@
+//! Good: guards are block-scoped or dropped before anything suspends.
+pub fn drain(env: &Env, state: &State) {
+    {
+        let mut st = state.inner.lock();
+        st.pending += 1;
+    }
+    env.sleep(Duration::from_millis(1));
+    let n = {
+        let st = state.inner.lock();
+        st.pending
+    };
+    let _ = n;
+}
+
+pub fn drop_early(env: &Env, state: &State) {
+    let st = state.inner.lock();
+    let n = st.pending;
+    drop(st);
+    env.sleep(Duration::from_micros(n));
+}

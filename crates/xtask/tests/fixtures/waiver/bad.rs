@@ -1,0 +1,7 @@
+//! Bad: a waiver without a reason, and a waiver that suppresses nothing.
+pub fn noop(x: u64) -> u64 {
+    // lint:allow(determinism)
+    let y = x + 1;
+    // lint:allow(exact-accounting): nothing on the next line violates that rule
+    y + 1
+}

@@ -1,0 +1,11 @@
+//! Good: a well-formed waiver, with a reason, covering a real violation.
+pub struct Hasher {
+    state: u64,
+}
+
+impl Hasher {
+    pub fn mix(&mut self, n: u64) {
+        // lint:allow(exact-accounting): deliberate wraparound in a hash, not byte accounting
+        self.state = self.state.wrapping_mul(n | 1);
+    }
+}
