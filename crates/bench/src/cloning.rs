@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use gvfs::{
     BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, FileChannelSpec,
-    Middleware, Proxy, ProxyConfig, WritePolicy,
+    Middleware, Proxy, ProxyConfig, TransferTuning, WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, Nfs3Client};
 use oncrpc::{OpaqueAuth, RpcChannel, RpcClient, WireSpec};
@@ -346,6 +346,7 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
                     meta_handling: true,
                     per_op_cpu: SimDuration::from_micros(40),
                     read_only_share: true,
+                    transfer: TransferTuning::default(),
                 },
                 upstream_client.clone(),
             )

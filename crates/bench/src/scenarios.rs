@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use gvfs::{
     BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, FileChannelServer,
-    IdentityMapper, Middleware, Proxy, ProxyConfig, WritePolicy,
+    IdentityMapper, Middleware, Proxy, ProxyConfig, TransferTuning, WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, MountServer, Nfs3Client, Nfs3Server, ServerConfig};
 use oncrpc::{Dispatcher, OpaqueAuth, RpcChannel, RpcClient, WireSpec};
@@ -186,6 +186,7 @@ pub fn build_server(
                 meta_handling: false,
                 per_op_cpu: SimDuration::from_micros(40),
                 read_only_share: false,
+                transfer: TransferTuning::default(),
             },
             RpcClient::new(lo.channel, OpaqueAuth::none()),
         )
@@ -263,6 +264,7 @@ pub fn build_client(
             meta_handling: opts.file_channel,
             per_op_cpu: SimDuration::from_micros(40),
             read_only_share: false,
+            transfer: TransferTuning::default(),
         },
         upstream_client.clone(),
     );

@@ -21,6 +21,9 @@
 //!   server-side proxies.
 //! * [`session`] — middleware session management: establish per-user
 //!   proxy chains, signal write-back flushes (session-based consistency).
+//! * [`transfer`] — bounded-window pipelined RPC fan-out shared by the
+//!   chunked file channel, parallel write-back flush and proxy
+//!   read-ahead.
 
 #![warn(missing_docs)]
 
@@ -32,6 +35,7 @@ pub mod identity;
 pub mod meta;
 pub mod proxy;
 pub mod session;
+pub mod transfer;
 
 pub use block_cache::{BlockCache, BlockCacheConfig, BlockCacheStats, Tag, WritePolicy};
 pub use channel::{ChannelClient, FileChannelServer, CHANNEL_PROGRAM, CHANNEL_V1};
@@ -41,3 +45,4 @@ pub use identity::{IdentityMapper, MappedAccount};
 pub use meta::{generate_zero_map, meta_name_for, FileChannelSpec, MetaFile, ZeroMap};
 pub use proxy::{FlushReport, Proxy, ProxyConfig, ProxyStats};
 pub use session::{GvfsSession, Middleware};
+pub use transfer::{run_windowed, TransferTel, TransferTuning};

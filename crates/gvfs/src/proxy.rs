@@ -13,7 +13,7 @@
 //! handling are all [`ProxyConfig`] fields, which is the paper's central
 //! argument for user-level (rather than kernel) extensions.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use oncrpc::msg::{AcceptStat, CallHeader, RejectStat, ReplyBody, RpcMessage};
@@ -40,6 +40,7 @@ use crate::channel::{chanproc, ChannelClient, CHANNEL_PROGRAM, CHANNEL_V1};
 use crate::file_cache::{FileCache, FileKey};
 use crate::identity::IdentityMapper;
 use crate::meta::{is_meta_name, meta_name_for, MetaFile};
+use crate::transfer::{run_windowed, TransferTel, TransferTuning};
 
 /// Proxy configuration — middleware sets these per user / per application.
 #[derive(Debug, Clone)]
@@ -56,6 +57,9 @@ pub struct ProxyConfig {
     /// writes are disabled regardless of policy (paper: "different
     /// proxies [may] share disk caches for read-only data").
     pub read_only_share: bool,
+    /// Overlapped-WAN-transfer knobs: file-channel chunking, flush
+    /// write-back window, sequential read-ahead depth.
+    pub transfer: TransferTuning,
 }
 
 impl Default for ProxyConfig {
@@ -66,6 +70,7 @@ impl Default for ProxyConfig {
             meta_handling: true,
             per_op_cpu: SimDuration::from_micros(40),
             read_only_share: false,
+            transfer: TransferTuning::default(),
         }
     }
 }
@@ -94,9 +99,15 @@ pub struct ProxyStats {
     pub writes_absorbed: u64,
     /// Blocks pushed upstream by flush or dirty eviction.
     pub blocks_written_back: u64,
+    /// Read-ahead blocks requested upstream.
+    pub prefetch_issued: u64,
+    /// Demand reads served by a block that was prefetched.
+    pub prefetch_hits: u64,
 }
 
-/// Report from a middleware-driven flush.
+/// Report from a middleware-driven flush. Failed counts record upstream
+/// WRITE/COMMIT/UPLOAD errors: those blocks/files were *not* durably
+/// written back (previously they were silently counted as successes).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct FlushReport {
     /// Dirty blocks written upstream.
@@ -107,6 +118,13 @@ pub struct FlushReport {
     pub files: u64,
     /// Bytes uploaded on the wire (channel path, post-compression).
     pub file_wire_bytes: u64,
+    /// Dirty blocks whose WRITE failed, or whose file's COMMIT failed.
+    pub failed_blocks: u64,
+    /// Bytes belonging to `failed_blocks`.
+    pub failed_block_bytes: u64,
+    /// Dirty files whose channel upload failed (they stay dirty data
+    /// lost from the upstream's point of view; surfaced, not hidden).
+    pub failed_files: u64,
 }
 
 /// Telemetry-backed counters; `ProxyStats` is read out of these. The
@@ -128,6 +146,12 @@ struct PxTel {
     /// Dispatch-path failures converted into clean degraded handling
     /// instead of a panic (lint: panic-free-dispatch).
     recovered_errors: Counter,
+    /// Blocks the read-ahead engine asked upstream for.
+    prefetch_issued: Counter,
+    /// Demand reads served by a block that was prefetched.
+    prefetch_hits: Counter,
+    /// Prefetched blocks evicted before any demand read touched them.
+    prefetch_wasted: Counter,
 }
 
 impl PxTel {
@@ -146,6 +170,9 @@ impl PxTel {
             writes_absorbed: c("writes_absorbed"),
             blocks_written_back: c("blocks_written_back"),
             recovered_errors: c("recovered_errors"),
+            prefetch_issued: c("prefetch_issued"),
+            prefetch_hits: c("prefetch_hits"),
+            prefetch_wasted: c("prefetch_wasted"),
             inst,
             registry,
         }
@@ -163,6 +190,26 @@ struct ProxyState {
     /// Cached file-channel FETCH replies (results bytes), for second-level
     /// proxies serving repeated clonings on a LAN.
     chan_replies: HashMap<FileKey, Vec<u8>>,
+    /// Cached FETCH_CHUNK replies keyed by (file, offset, count) — the
+    /// chunked analogue of `chan_replies`.
+    chan_chunk_replies: HashMap<(FileKey, u64, u32), Vec<u8>>,
+    /// Per-file sequential-miss detector: (last missed block, run length).
+    streaks: HashMap<FileKey, (u64, u32)>,
+    /// Blocks a prefetch worker is currently fetching, with a signal set
+    /// once the fetch lands. Suppresses duplicate prefetches; a racing
+    /// demand miss waits on the signal instead of duplicating the
+    /// upstream READ.
+    inflight_prefetch: BTreeMap<Tag, simnet::Signal>,
+    /// Blocks installed by read-ahead and not yet touched by a demand
+    /// read. Removal on demand hit counts `prefetch_hits`; found evicted
+    /// counts `prefetch_wasted`.
+    prefetched: BTreeSet<Tag>,
+    /// Blocks a demand miss is currently fetching upstream. The kernel
+    /// client pipelines its own readahead as parallel READs, so the
+    /// demand READ for block b+1 is often already in flight when block
+    /// b's hit triggers read-ahead — without this set the prefetcher
+    /// would fetch b+1 a second time over the WAN.
+    inflight_demand: BTreeSet<Tag>,
 }
 
 /// A GVFS proxy instance. Implements [`RpcHandler`], so it plugs directly
@@ -175,7 +222,10 @@ pub struct Proxy {
     file_cache: Option<Arc<FileCache>>,
     identity: Option<Arc<IdentityMapper>>,
     tel: PxTel,
-    state: Mutex<ProxyState>,
+    ttel: TransferTel,
+    // Arc: detached prefetch workers share the state (and the Mutex
+    // inside keeps critical sections short — no suspends under it).
+    state: Arc<Mutex<ProxyState>>,
 }
 
 fn key_of(h: Handle) -> FileKey {
@@ -185,12 +235,86 @@ fn key_of(h: Handle) -> FileKey {
     }
 }
 
+/// Best known size of a file: local override (absorbed writes), then
+/// meta-data, then the file cache. A free function so detached prefetch
+/// workers share it with [`Proxy::known_size`].
+fn known_size_in(
+    state: &Mutex<ProxyState>,
+    file_cache: &Option<Arc<FileCache>>,
+    key: FileKey,
+) -> Option<u64> {
+    {
+        let st = state.lock();
+        if let Some(s) = st.sizes.get(&key) {
+            return Some(*s);
+        }
+        if let Some(Some(m)) = st.meta.get(&key) {
+            return Some(m.file_size);
+        }
+    }
+    file_cache.as_ref().and_then(|fc| fc.size_of(key))
+}
+
+/// Push an evicted dirty block upstream, truncated to the best-known
+/// file size. Success counts into `written_back`; a failed WRITE counts
+/// into `recovered_errors` instead of being silently treated as written.
+#[allow(clippy::too_many_arguments)]
+fn writeback_evicted_block(
+    env: &Env,
+    upstream: &RpcClient,
+    state: &Mutex<ProxyState>,
+    file_cache: &Option<Arc<FileCache>>,
+    bs: u64,
+    written_back: &Counter,
+    recovered_errors: &Counter,
+    tag: Tag,
+    data: Vec<u8>,
+) {
+    let key = FileKey {
+        fileid: tag.fileid,
+        generation: tag.generation,
+    };
+    let off = tag.block * bs;
+    let mut payload = data;
+    if let Some(size) = known_size_in(state, file_cache, key) {
+        if off >= size {
+            return;
+        }
+        payload.truncate(((size - off).min(bs)) as usize);
+    }
+    let nfs = nfs3::Nfs3Client::new(upstream.clone());
+    let h = Handle {
+        fileid: tag.fileid,
+        generation: tag.generation,
+    };
+    if nfs.write(env, h, off, payload, StableHow::Unstable).is_ok() {
+        written_back.inc();
+    } else {
+        recovered_errors.inc();
+    }
+}
+
+/// Everything a detached read-ahead worker needs, detached from `&Proxy`
+/// (the proxy sits behind an `Arc` owned by the listener; workers only
+/// hold the pieces they touch).
+#[derive(Clone)]
+struct PrefetchCtx {
+    upstream: RpcClient,
+    bc: Arc<BlockCache>,
+    state: Arc<Mutex<ProxyState>>,
+    file_cache: Option<Arc<FileCache>>,
+    written_back: Counter,
+    recovered_errors: Counter,
+}
+
 impl Proxy {
     /// Build a proxy forwarding to `upstream`. Counters register in the
     /// telemetry registry of the simulation the upstream channel belongs
     /// to, under `gvfs/<cfg.name>.*`.
     pub fn new(cfg: ProxyConfig, upstream: RpcClient) -> Self {
-        let tel = PxTel::register(upstream.channel().handle().telemetry().clone(), &cfg.name);
+        let registry = upstream.channel().handle().telemetry().clone();
+        let tel = PxTel::register(registry, &cfg.name);
+        let ttel = TransferTel::register(&tel.registry, &tel.inst);
         Proxy {
             cfg,
             upstream,
@@ -199,12 +323,18 @@ impl Proxy {
             file_cache: None,
             identity: None,
             tel,
-            state: Mutex::new(ProxyState {
+            ttel,
+            state: Arc::new(Mutex::new(ProxyState {
                 meta: HashMap::new(),
                 sizes: HashMap::new(),
                 inflight_fetch: HashMap::new(),
                 chan_replies: HashMap::new(),
-            }),
+                chan_chunk_replies: HashMap::new(),
+                streaks: HashMap::new(),
+                inflight_prefetch: BTreeMap::new(),
+                prefetched: BTreeSet::new(),
+                inflight_demand: BTreeSet::new(),
+            })),
         }
     }
 
@@ -245,6 +375,8 @@ impl Proxy {
             channel_wire_bytes: self.tel.channel_wire_bytes.get(),
             writes_absorbed: self.tel.writes_absorbed.get(),
             blocks_written_back: self.tel.blocks_written_back.get(),
+            prefetch_issued: self.tel.prefetch_issued.get(),
+            prefetch_hits: self.tel.prefetch_hits.get(),
         }
     }
 
@@ -354,15 +486,7 @@ impl Proxy {
     /// Best known size of a file: local override (absorbed writes), then
     /// meta-data, then unknown.
     fn known_size(&self, key: FileKey) -> Option<u64> {
-        let st = self.state.lock();
-        if let Some(s) = st.sizes.get(&key) {
-            return Some(*s);
-        }
-        if let Some(Some(m)) = st.meta.get(&key) {
-            return Some(m.file_size);
-        }
-        drop(st);
-        self.file_cache.as_ref().and_then(|fc| fc.size_of(key))
+        known_size_in(&self.state, &self.file_cache, key)
     }
 
     fn bump_size(&self, key: FileKey, end: u64) {
@@ -380,6 +504,15 @@ impl Proxy {
         enc.put_u32(data.len() as u32);
         enc.put_bool(eof);
         enc.put_opaque_var(&data);
+        RpcMessage::success(xid, enc.into_bytes())
+    }
+
+    /// An NFS READ failure reply (status + no attributes), matching the
+    /// server's resfail encoding.
+    fn read_error_reply(xid: u32, status: Status) -> RpcMessage {
+        let mut enc = Encoder::new();
+        enc.put_u32(status.as_u32());
+        PostOpAttr(None).encode(&mut enc);
         RpcMessage::success(xid, enc.into_bytes())
     }
 
@@ -416,10 +549,20 @@ impl Proxy {
         // single-flight de-duplication across concurrent readers.
         if let (Some(m), Some(fc), Some(chan)) = (&meta, &self.file_cache, &self.chan) {
             if m.channel.is_some() {
+                // Bounded single-flight: a request re-enters the loop when
+                // a fetch it waited on failed (the old unbounded loop let
+                // woken waiters stampede the retry slot forever).
+                const MAX_FETCH_ATTEMPTS: u32 = 3;
+                let mut attempts = 0u32;
                 loop {
                     if let Some((data, eof)) = fc.read(env, key, a.offset, a.count) {
                         self.tel.file_cache_reads.inc();
                         return Self::read_reply(xid, data, eof);
+                    }
+                    attempts += 1;
+                    if attempts > MAX_FETCH_ATTEMPTS {
+                        self.tel.recovered_errors.inc();
+                        return Self::read_error_reply(xid, Status::Io);
                     }
                     // Join an in-progress fetch, or claim the fetch.
                     let waiter = {
@@ -441,7 +584,14 @@ impl Proxy {
                             continue;
                         }
                         None => {
-                            let fetched = chan.fetch(env, a.file.0);
+                            let t = &self.cfg.transfer;
+                            let fetched = chan.fetch_chunked(
+                                env,
+                                a.file.0,
+                                t.chunk_bytes,
+                                t.channel_window,
+                                Some(&self.ttel),
+                            );
                             let result = match fetched {
                                 Ok((contents, wire)) => {
                                     #[cfg(feature = "debug-trace")]
@@ -502,26 +652,84 @@ impl Proxy {
             }
         }
 
-        // 4. Block cache.
+        // 4. Block cache: serve any read that falls inside a single
+        // cache block. Sub-block serving matters because kernel reads
+        // (rsize, typically 8 KB) are smaller than cache blocks (32 KB):
+        // without it only the 1-in-4 block-aligned read ever hits, and a
+        // prefetched block pays for 32 KB of WAN transfer but saves only
+        // 8 KB of forwards.
         if let Some(bc) = &self.block_cache {
             let bs = bc.config().block_size as u64;
-            if a.offset % bs == 0 && a.count as u64 <= bs {
+            let in_block = a.offset % bs;
+            if in_block + a.count as u64 <= bs {
                 let tag = Tag {
                     fileid: key.fileid,
                     generation: key.generation,
                     block: a.offset / bs,
                 };
+                let zm = meta.as_ref().and_then(|m| m.zero_map.as_ref());
+                let size_hint = meta.as_ref().map(|m| m.file_size);
+                // Atomically either join an in-flight prefetch of this
+                // block (wait for it to land rather than duplicating the
+                // WAN READ), or claim the block as an in-flight demand
+                // read so the read-ahead engine skips it as a candidate.
+                let waiter = {
+                    let mut st = self.state.lock();
+                    match st.inflight_prefetch.get(&tag) {
+                        Some(sig) => Some(sig.clone()),
+                        None => {
+                            st.inflight_demand.insert(tag);
+                            None
+                        }
+                    }
+                };
+                let claimed = waiter.is_none();
+                if let Some(sig) = waiter {
+                    sig.wait(env);
+                }
                 if let Some(data) = bc.lookup(env, tag) {
-                    let take = (a.count as usize).min(data.len());
+                    if claimed {
+                        let mut st = self.state.lock();
+                        st.inflight_demand.remove(&tag);
+                    }
+                    let was_prefetched = { self.state.lock().prefetched.remove(&tag) };
+                    if was_prefetched {
+                        self.tel.prefetch_hits.inc();
+                        // Keep the pipeline rolling: hitting a prefetched
+                        // block means the sequential stream is live.
+                        self.maybe_prefetch(env, cred, key, tag, bs, a.count, zm, size_hint);
+                    }
+                    let start = in_block as usize;
+                    let take = if start >= data.len() {
+                        // Reading past the end of a short (EOF tail)
+                        // block: nothing there.
+                        0
+                    } else {
+                        (a.count as usize).min(data.len() - start)
+                    };
                     let eof = data.len() < bs as usize
                         || self
                             .known_size(key)
                             .map(|s| a.offset + take as u64 >= s)
                             .unwrap_or(false);
-                    return Self::read_reply(xid, data[..take].to_vec(), eof);
+                    return Self::read_reply(xid, data[start..start + take].to_vec(), eof);
                 }
-                // Miss: forward, then install the returned block.
+                if !claimed {
+                    // Waited on a prefetch that failed to land: claim the
+                    // block ourselves before forwarding.
+                    let mut st = self.state.lock();
+                    st.inflight_demand.insert(tag);
+                }
+                // Miss: start read-ahead for a detected sequential
+                // stream, then forward. The prefetch workers run
+                // detached; their upstream READs queue behind this
+                // demand miss on the WAN, overlapping its latency.
+                self.maybe_prefetch(env, cred, key, tag, bs, a.count, zm, size_hint);
                 let reply = self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::READ, args);
+                {
+                    let mut st = self.state.lock();
+                    st.inflight_demand.remove(&tag);
+                }
                 if let RpcMessage::Reply {
                     body:
                         ReplyBody::Accepted {
@@ -538,7 +746,9 @@ impl Proxy {
                             // EOF without re-asking upstream.
                             self.bump_size(key, a.offset + data.len() as u64);
                         }
-                        if !data.is_empty() {
+                        // Only a block-aligned reply covers the block from
+                        // its first byte, so only that can be installed.
+                        if !data.is_empty() && in_block == 0 {
                             self.install_clean(env, tag, data, cred);
                         }
                     }
@@ -566,25 +776,214 @@ impl Proxy {
             .as_ref()
             .map(|b| b.config().block_size as u64)
             .unwrap_or(32 * 1024);
-        let key = FileKey {
-            fileid: tag.fileid,
-            generation: tag.generation,
-        };
-        let off = tag.block * bs;
-        let mut payload = data;
-        if let Some(size) = self.known_size(key) {
-            if off >= size {
-                return;
-            }
-            payload.truncate(((size - off).min(bs)) as usize);
+        writeback_evicted_block(
+            env,
+            &self.upstream.with_cred(cred.clone()),
+            &self.state,
+            &self.file_cache,
+            bs,
+            &self.tel.blocks_written_back,
+            &self.tel.recovered_errors,
+            tag,
+            data,
+        );
+    }
+
+    /// Sequential read-ahead: track per-file block streaks; once two
+    /// consecutive blocks have been requested, fetch the next
+    /// `transfer.read_ahead` blocks upstream into the block cache from a
+    /// detached worker. The workers' READs queue behind the triggering
+    /// demand miss on the WAN, so the stream's next blocks arrive while
+    /// the application consumes the current one. A racing demand miss on
+    /// a block being prefetched waits on the block's signal in
+    /// `inflight_prefetch` rather than duplicating the upstream READ.
+    ///
+    /// `lead` is the triggering read's byte count: a candidate block whose
+    /// leading `lead` bytes the zero map proves zero is skipped, because
+    /// the demand stream's aligned read there will be zero-filtered
+    /// locally and never consult the block cache — prefetching it would
+    /// burn WAN bandwidth on a block nobody looks up. `size_hint` (the
+    /// meta file size, when the proxy handles meta-data) clips candidates
+    /// at EOF before the first upstream reply has taught `known_size` —
+    /// without it every short file costs a full window of empty
+    /// beyond-EOF READs.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_prefetch(
+        &self,
+        env: &Env,
+        cred: &oncrpc::OpaqueAuth,
+        key: FileKey,
+        tag: Tag,
+        bs: u64,
+        lead: u32,
+        zero_map: Option<&crate::meta::ZeroMap>,
+        size_hint: Option<u64>,
+    ) {
+        let depth = self.cfg.transfer.read_ahead;
+        if depth == 0 {
+            return;
         }
-        let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
-        let h = Handle {
-            fileid: tag.fileid,
-            generation: tag.generation,
+        let Some(bc) = self.block_cache.clone() else {
+            return;
         };
-        let _ = nfs.write(env, h, off, payload, StableHow::Unstable);
-        self.tel.blocks_written_back.inc();
+        // `known_size` (server-confirmed) beats the meta hint; the hint
+        // still clips beyond-EOF speculation before the first EOF reply.
+        let size = self.known_size(key).or(size_hint);
+        let (candidates, wasted) = {
+            let mut st = self.state.lock();
+            let run = match st.streaks.get(&key).copied() {
+                Some((last, r)) if tag.block == last + 1 => r + 1,
+                Some((last, r)) if tag.block == last => r,
+                _ => 1,
+            };
+            st.streaks.insert(key, (tag.block, run));
+            // Window sizing by streak evidence. On a fluid-shared WAN
+            // link a prefetch batch slows every concurrent demand miss
+            // (the flows split the bandwidth), so speculation must pay
+            // for itself:
+            // * run 1 (fresh position): speculate exactly one block.
+            //   Small files span a couple of cache blocks, so reading
+            //   block b predicts b+1; fetching it concurrently with b
+            //   hides the second block's WAN round trip — the dominant
+            //   cost of a scattered small-file sweep.
+            // * run 2–3: the pair hypothesis already paid off; issuing
+            //   more here is junk whenever the file ends at two blocks
+            //   (the common case). Wait for real streak evidence.
+            // * run ≥ 4 (128 KB of consecutive reads): a genuine
+            //   sequential stream — open the full window.
+            let depth = match run {
+                1 => 1,
+                2 | 3 => return,
+                _ => depth as u64,
+            };
+            // Reclaim: prefetched blocks that fell out of the cache
+            // without ever serving a demand read were wasted effort.
+            let gone: Vec<Tag> = st
+                .prefetched
+                .iter()
+                .filter(|t| !bc.contains(**t))
+                .copied()
+                .collect();
+            for t in &gone {
+                st.prefetched.remove(t);
+            }
+            let mut cands: Vec<Tag> = Vec::new();
+            for b in (tag.block + 1)..=(tag.block + depth) {
+                if let Some(s) = size {
+                    if b * bs >= s {
+                        break;
+                    }
+                }
+                if let Some(zm) = zero_map {
+                    if zm.range_is_zero(b * bs, lead) {
+                        continue;
+                    }
+                }
+                let t = Tag {
+                    fileid: key.fileid,
+                    generation: key.generation,
+                    block: b,
+                };
+                if st.inflight_prefetch.contains_key(&t)
+                    || st.inflight_demand.contains(&t)
+                    || st.prefetched.contains(&t)
+                    || bc.contains(t)
+                {
+                    continue;
+                }
+                st.inflight_prefetch
+                    .insert(t, simnet::Signal::new(env.handle()));
+                cands.push(t);
+            }
+            (cands, gone.len() as u64)
+        };
+        if wasted > 0 {
+            self.tel.prefetch_wasted.add(wasted);
+        }
+        if candidates.is_empty() {
+            return;
+        }
+        self.tel.prefetch_issued.add(candidates.len() as u64);
+        let ctx = PrefetchCtx {
+            upstream: self.upstream.with_cred(cred.clone()),
+            bc,
+            state: self.state.clone(),
+            file_cache: self.file_cache.clone(),
+            written_back: self.tel.blocks_written_back.clone(),
+            recovered_errors: self.tel.recovered_errors.clone(),
+        };
+        let ttel = self.ttel.clone();
+        let window = depth.max(1);
+        env.spawn(format!("{}-prefetch", self.tel.inst), move |env| {
+            run_windowed(
+                &env,
+                "prefetch",
+                window,
+                candidates,
+                Some(&ttel),
+                move |env, t| {
+                    let nfs = nfs3::Nfs3Client::new(ctx.upstream.clone());
+                    let h = Handle {
+                        fileid: t.fileid,
+                        generation: t.generation,
+                    };
+                    let sig = match nfs.read(env, h, t.block * bs, bs as u32) {
+                        Ok(r) if !r.data.is_empty() => {
+                            if let Some((etag, edata)) = ctx.bc.insert(env, t, r.data, false) {
+                                writeback_evicted_block(
+                                    env,
+                                    &ctx.upstream,
+                                    &ctx.state,
+                                    &ctx.file_cache,
+                                    bs,
+                                    &ctx.written_back,
+                                    &ctx.recovered_errors,
+                                    etag,
+                                    edata,
+                                );
+                            }
+                            {
+                                let mut st = ctx.state.lock();
+                                st.prefetched.insert(t);
+                                st.inflight_prefetch.remove(&t)
+                            }
+                        }
+                        _ => ctx.state.lock().inflight_prefetch.remove(&t),
+                    };
+                    // Wake any demand miss parked on this block — outside
+                    // the state lock.
+                    if let Some(s) = sig {
+                        s.set();
+                    }
+                    Some(())
+                },
+            );
+        });
+    }
+
+    /// Count prefetched blocks that fell out of the cache without ever
+    /// serving a demand read. Runs on every flush so the wasted counter
+    /// converges even when no further misses re-trigger `maybe_prefetch`.
+    fn reclaim_wasted_prefetches(&self) {
+        let Some(bc) = &self.block_cache else {
+            return;
+        };
+        let wasted = {
+            let mut st = self.state.lock();
+            let gone: Vec<Tag> = st
+                .prefetched
+                .iter()
+                .filter(|t| !bc.contains(**t))
+                .copied()
+                .collect();
+            for t in &gone {
+                st.prefetched.remove(t);
+            }
+            gone.len() as u64
+        };
+        if wasted > 0 {
+            self.tel.prefetch_wasted.add(wasted);
+        }
     }
 
     // -- WRITE --------------------------------------------------------------
@@ -846,10 +1245,69 @@ impl Proxy {
     /// (session-based consistency, §3.2.1).
     pub fn flush(&self, env: &Env, cred: &oncrpc::OpaqueAuth) -> FlushReport {
         let mut report = FlushReport::default();
+        let fw = self.cfg.transfer.flush_window.max(1);
+
+        // Dirty file-cache uploads overlap the block write-back: one
+        // helper process drives the channel uploads while this process
+        // drives the block path. With a serial window the uploads run
+        // inline after the blocks, preserving the old RPC order.
+        let mut file_helper = None;
+        let mut serial_uploads: Option<Box<dyn FnOnce(&Env)>> = None;
+        let file_totals: Arc<Mutex<(u64, u64, u64)>> = Arc::new(Mutex::new((0, 0, 0)));
+        if let (Some(fc), Some(chan)) = (&self.file_cache, &self.chan) {
+            let dirty_files = fc.dirty_files();
+            if !dirty_files.is_empty() {
+                let fc = fc.clone();
+                let chan = chan.clone();
+                let tuning = self.cfg.transfer;
+                let ttel = self.ttel.clone();
+                let recovered = self.tel.recovered_errors.clone();
+                let totals = file_totals.clone();
+                let upload_files = move |env: &Env| {
+                    for key in dirty_files {
+                        if let Some(contents) = fc.take_dirty_contents(env, key) {
+                            let h = Handle {
+                                fileid: key.fileid,
+                                generation: key.generation,
+                            };
+                            match chan.upload_chunked(
+                                env,
+                                h,
+                                &contents,
+                                true,
+                                tuning.chunk_bytes,
+                                tuning.channel_window,
+                                Some(&ttel),
+                            ) {
+                                Ok(wire) => {
+                                    let mut t = totals.lock();
+                                    t.0 += 1;
+                                    t.1 += wire;
+                                }
+                                Err(_) => {
+                                    recovered.inc();
+                                    totals.lock().2 += 1;
+                                }
+                            }
+                        }
+                    }
+                };
+                if fw > 1 {
+                    file_helper =
+                        Some(env.spawn(format!("{}-flush-files", self.tel.inst), move |env| {
+                            upload_files(&env)
+                        }));
+                } else {
+                    // Serial mode: run inline after the block path, in
+                    // the same order as the pre-engine code.
+                    serial_uploads = Some(Box::new(upload_files));
+                }
+            }
+        }
+
         if let Some(bc) = &self.block_cache {
             let dirty = bc.take_dirty(env);
             let bs = bc.config().block_size as u64;
-            let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
             let mut by_file: DirtyByFile = BTreeMap::new();
             for (tag, data) in dirty {
                 by_file
@@ -863,6 +1321,8 @@ impl Proxy {
                 let h = Handle { fileid, generation };
                 let key = FileKey { fileid, generation };
                 let size = self.known_size(key);
+                // Clip each block to the file's logical size up front.
+                let mut jobs: Vec<(u64, Vec<u8>)> = Vec::new();
                 for (block, mut data) in blocks {
                     let off = block * bs;
                     if let Some(s) = size {
@@ -871,28 +1331,92 @@ impl Proxy {
                         }
                         data.truncate(((s - off).min(bs)) as usize);
                     }
-                    report.block_bytes += data.len() as u64;
-                    report.blocks += 1;
-                    let _ = nfs.write(env, h, off, data, StableHow::Unstable);
+                    jobs.push((off, data));
                 }
-                let _ = nfs.commit(env, h);
+                if jobs.is_empty() {
+                    continue;
+                }
+                let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
+                let mut ok_blocks = 0u64;
+                let mut ok_bytes = 0u64;
+                let mut failed_blocks = 0u64;
+                let mut failed_bytes = 0u64;
+                if fw == 1 {
+                    for (off, data) in jobs {
+                        let len = data.len() as u64;
+                        if nfs.write(env, h, off, data, StableHow::Unstable).is_ok() {
+                            ok_blocks += 1;
+                            ok_bytes += len;
+                        } else {
+                            failed_blocks += 1;
+                            failed_bytes += len;
+                            self.tel.recovered_errors.inc();
+                        }
+                    }
+                } else {
+                    // Bounded in-flight UNSTABLE WRITEs per file; the
+                    // COMMIT below only runs once all of them returned,
+                    // so ordering toward the server stays deterministic.
+                    let w = nfs.clone();
+                    let slots = run_windowed(
+                        env,
+                        "flush-wb",
+                        fw,
+                        jobs,
+                        Some(&self.ttel),
+                        move |env, (off, data)| {
+                            let len = data.len() as u64;
+                            Some((len, w.write(env, h, off, data, StableHow::Unstable).is_ok()))
+                        },
+                    );
+                    for slot in slots {
+                        match slot {
+                            Some((len, true)) => {
+                                ok_blocks += 1;
+                                ok_bytes += len;
+                            }
+                            Some((len, false)) => {
+                                failed_blocks += 1;
+                                failed_bytes += len;
+                                self.tel.recovered_errors.inc();
+                            }
+                            None => {
+                                failed_blocks += 1;
+                                self.tel.recovered_errors.inc();
+                            }
+                        }
+                    }
+                }
+                // A failed COMMIT means none of this file's UNSTABLE
+                // writes are durable: count them all as failed.
+                if nfs.commit(env, h).is_ok() {
+                    report.blocks += ok_blocks;
+                    report.block_bytes += ok_bytes;
+                } else {
+                    self.tel.recovered_errors.inc();
+                    failed_blocks += ok_blocks;
+                    failed_bytes += ok_bytes;
+                }
+                report.failed_blocks += failed_blocks;
+                report.failed_block_bytes += failed_bytes;
             }
             self.tel.blocks_written_back.add(report.blocks);
         }
-        if let (Some(fc), Some(chan)) = (&self.file_cache, &self.chan) {
-            for key in fc.dirty_files() {
-                if let Some(contents) = fc.take_dirty_contents(env, key) {
-                    let h = Handle {
-                        fileid: key.fileid,
-                        generation: key.generation,
-                    };
-                    if let Ok(wire) = chan.upload(env, h, &contents, true) {
-                        report.files += 1;
-                        report.file_wire_bytes += wire;
-                    }
-                }
-            }
+
+        if let Some(upload) = serial_uploads {
+            upload(env);
         }
+        if let Some(j) = file_helper {
+            j.join(env);
+        }
+        {
+            let t = file_totals.lock();
+            report.files = t.0;
+            report.file_wire_bytes = t.1;
+            report.failed_files = t.2;
+        }
+        // Wasted-prefetch reconciliation piggybacks on the flush signal.
+        self.reclaim_wasted_prefetches();
         // Size overrides deliberately survive the flush: `known_size` is
         // consulted by later write-backs and GETATTR patching, and the
         // meta-data fallback still reports the pre-session file size.
@@ -911,6 +1435,9 @@ impl Proxy {
         proc: u32,
         args: Vec<u8>,
     ) -> RpcMessage {
+        if proc == chanproc::FETCH_CHUNK {
+            return self.handle_channel_chunk(env, xid, cred, args);
+        }
         if proc != chanproc::FETCH {
             return self.forward(env, xid, cred, CHANNEL_PROGRAM, CHANNEL_V1, proc, args);
         }
@@ -947,6 +1474,65 @@ impl Proxy {
         ) = (key, &reply)
         {
             self.state.lock().chan_replies.insert(k, results.clone());
+        }
+        reply
+    }
+
+    /// Second-level caching for the chunked channel: each compressed
+    /// chunk reply is replayed from local state keyed by
+    /// `(file, offset, count)`, so an intermediate proxy serves repeat
+    /// chunked fetches without re-crossing the WAN.
+    fn handle_channel_chunk(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &oncrpc::OpaqueAuth,
+        args: Vec<u8>,
+    ) -> RpcMessage {
+        let key = {
+            let mut dec = Decoder::new(&args);
+            match (
+                Fh3::decode(&mut dec),
+                dec.get_u64(),
+                dec.get_u32(),
+            ) {
+                (Ok(fh), Ok(off), Ok(count)) => Some((key_of(fh.0), off, count)),
+                _ => None,
+            }
+        };
+        if let Some(k) = key {
+            let cached = { self.state.lock().chan_chunk_replies.get(&k).cloned() };
+            if let Some(results) = cached {
+                env.sleep(self.cfg.per_op_cpu);
+                return RpcMessage::success(xid, results);
+            }
+        }
+        let reply = self.forward(
+            env,
+            xid,
+            cred,
+            CHANNEL_PROGRAM,
+            CHANNEL_V1,
+            chanproc::FETCH_CHUNK,
+            args,
+        );
+        if let (
+            Some(k),
+            RpcMessage::Reply {
+                body:
+                    ReplyBody::Accepted {
+                        stat: AcceptStat::Success,
+                        results,
+                        ..
+                    },
+                ..
+            },
+        ) = (key, &reply)
+        {
+            self.state
+                .lock()
+                .chan_chunk_replies
+                .insert(k, results.clone());
         }
         reply
     }

@@ -16,7 +16,8 @@ use std::sync::Arc;
 
 use gvfs::{
     BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, FileChannelServer,
-    FileChannelSpec, GvfsSession, IdentityMapper, Middleware, Proxy, ProxyConfig, WritePolicy,
+    FileChannelSpec, GvfsSession, IdentityMapper, Middleware, Proxy, ProxyConfig, TransferTuning,
+    WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, MountServer, Nfs3Client, Nfs3Server, ServerConfig};
 use oncrpc::{Dispatcher, OpaqueAuth, RpcClient, WireSpec};
@@ -72,6 +73,7 @@ fn build_rig(sim: &Simulation, write_policy: WritePolicy, meta_handling: bool) -
             meta_handling: false,
             per_op_cpu: SimDuration::from_micros(40),
             read_only_share: false,
+            transfer: TransferTuning::default(),
         },
         RpcClient::new(srv_ep.channel, OpaqueAuth::none()),
     )
@@ -108,6 +110,13 @@ fn build_rig(sim: &Simulation, write_policy: WritePolicy, meta_handling: bool) -
             meta_handling,
             per_op_cpu: SimDuration::from_micros(40),
             read_only_share: false,
+            // These tests pin exact hit/miss and wire-byte counts, so
+            // keep read-ahead off; chunking stays on (1 MiB files are a
+            // single chunk, preserving the channel-fetch assertions).
+            transfer: TransferTuning {
+                read_ahead: 0,
+                ..TransferTuning::default()
+            },
         },
         upstream,
     )

@@ -101,9 +101,12 @@ impl RpcClient {
         args: Vec<u8>,
     ) -> Result<Vec<u8>, RpcError> {
         let t0 = env.now();
-        let result = self.call_inner(env, prog, vers, proc, args);
         let tel = env.telemetry();
         let label = prog_label(prog);
+        let outstanding = tel.gauge("rpc", format!("client.{label}.outstanding"));
+        outstanding.inc();
+        let result = self.call_inner(env, prog, vers, proc, args);
+        outstanding.dec();
         tel.histogram("rpc", format!("client.{label}.proc{proc}"))
             .record(env.now() - t0);
         tel.counter("rpc", format!("client.{label}.calls")).inc();

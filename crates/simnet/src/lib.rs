@@ -39,5 +39,5 @@ mod time;
 pub use engine::{Env, ProcessHandle, SimHandle, Simulation};
 pub use link::Link;
 pub use sync::{channel, Disconnected, Receiver, Resource, ResourceGuard, Sender, Signal};
-pub use telemetry::{Counter, Histogram, JsonValue, Snapshot, Telemetry, TraceEvent};
+pub use telemetry::{Counter, Gauge, Histogram, JsonValue, Snapshot, Telemetry, TraceEvent};
 pub use time::{SimDuration, SimTime};

@@ -92,6 +92,94 @@ impl std::fmt::Debug for Counter {
 }
 
 // ---------------------------------------------------------------------------
+// Gauge
+
+struct GaugeInner {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+/// An up/down occupancy gauge with a high-water mark (e.g. in-flight RPCs
+/// in a transfer window). Cloning shares the underlying cells (same
+/// contract as [`Counter`]).
+#[derive(Clone)]
+pub struct Gauge {
+    inner: Arc<GaugeInner>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            inner: Arc::new(GaugeInner {
+                value: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge (mostly for tests).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Raise the gauge by `n`, updating the high-water mark. Returns the
+    /// new value.
+    #[inline]
+    pub fn add(&self, n: u64) -> u64 {
+        let now = self.inner.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.inner.max.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Raise by one.
+    #[inline]
+    pub fn inc(&self) -> u64 {
+        self.add(1)
+    }
+
+    /// Lower the gauge by `n`. Going below zero is an accounting bug
+    /// (exact-accounting invariant): asserted in debug builds, never
+    /// silently clamped.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let prev = self.inner.value.fetch_sub(n, Ordering::Relaxed);
+        debug_assert!(prev >= n, "gauge underflow: {prev} - {n}");
+    }
+
+    /// Lower by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.inner.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever reached.
+    #[inline]
+    pub fn high_water(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// Reset value and high-water mark to zero.
+    pub fn reset(&self) {
+        self.inner.value.store(0, Ordering::Relaxed);
+        self.inner.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({}, max={})", self.get(), self.high_water())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Histogram
 
 struct HistogramInner {
@@ -277,6 +365,7 @@ struct Ring {
 
 struct TelemetryInner {
     counters: Mutex<BTreeMap<(&'static str, String), Counter>>,
+    gauges: Mutex<BTreeMap<(&'static str, String), Gauge>>,
     histograms: Mutex<BTreeMap<(&'static str, String), Histogram>>,
     instances: Mutex<BTreeMap<String, u64>>,
     ring: Mutex<Ring>,
@@ -302,6 +391,7 @@ impl Telemetry {
         Telemetry {
             inner: Arc::new(TelemetryInner {
                 counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 instances: Mutex::new(BTreeMap::new()),
                 ring: Mutex::new(Ring {
@@ -319,6 +409,16 @@ impl Telemetry {
     pub fn counter(&self, layer: &'static str, name: impl Into<String>) -> Counter {
         self.inner
             .counters
+            .lock()
+            .entry((layer, name.into()))
+            .or_default()
+            .clone()
+    }
+
+    /// Get or register the gauge `layer`/`name`.
+    pub fn gauge(&self, layer: &'static str, name: impl Into<String>) -> Gauge {
+        self.inner
+            .gauges
             .lock()
             .entry((layer, name.into()))
             .or_default()
@@ -398,6 +498,18 @@ impl Telemetry {
                 value: c.get(),
             })
             .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .iter()
+            .map(|((layer, name), g)| GaugeSample {
+                layer,
+                name: name.clone(),
+                value: g.get(),
+                high_water: g.high_water(),
+            })
+            .collect();
         let histograms = self
             .inner
             .histograms
@@ -416,6 +528,7 @@ impl Telemetry {
         let ring = self.inner.ring.lock();
         Snapshot {
             counters,
+            gauges,
             histograms,
             events: ring.events.iter().cloned().collect(),
             events_dropped: ring.dropped,
@@ -435,6 +548,19 @@ pub struct CounterSample {
     pub name: String,
     /// Value at snapshot time.
     pub value: u64,
+}
+
+/// One gauge's value and high-water mark at snapshot time.
+#[derive(Debug, Clone)]
+pub struct GaugeSample {
+    /// Layer the gauge was registered under.
+    pub layer: &'static str,
+    /// Dotted metric name.
+    pub name: String,
+    /// Value at snapshot time (usually 0 once all work has drained).
+    pub value: u64,
+    /// Highest value ever reached.
+    pub high_water: u64,
 }
 
 /// One histogram's summary at snapshot time.
@@ -461,6 +587,8 @@ pub struct HistogramSample {
 pub struct Snapshot {
     /// All counters, sorted by (layer, name).
     pub counters: Vec<CounterSample>,
+    /// All gauges, sorted by (layer, name).
+    pub gauges: Vec<GaugeSample>,
     /// All histograms, sorted by (layer, name).
     pub histograms: Vec<HistogramSample>,
     /// Trace events, oldest first (empty unless tracing was enabled).
@@ -488,6 +616,15 @@ impl Snapshot {
             .sum()
     }
 
+    /// High-water mark of gauge `layer`/`name`, or 0 if absent (test
+    /// helper).
+    pub fn gauge_high_water(&self, layer: &str, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|g| g.layer == layer && g.name == name)
+            .map_or(0, |g| g.high_water)
+    }
+
     /// Render the metrics (and events, if any) as a JSON value.
     pub fn to_json(&self) -> JsonValue {
         let mut counters = Vec::new();
@@ -507,8 +644,19 @@ impl Snapshot {
                 ]),
             ));
         }
+        let mut gauges = Vec::new();
+        for g in &self.gauges {
+            gauges.push((
+                format!("{}.{}", g.layer, g.name),
+                JsonValue::object([
+                    ("value", JsonValue::Uint(g.value)),
+                    ("high_water", JsonValue::Uint(g.high_water)),
+                ]),
+            ));
+        }
         let mut fields = vec![
             ("counters".to_string(), JsonValue::Object(counters)),
+            ("gauges".to_string(), JsonValue::Object(gauges)),
             ("histograms".to_string(), JsonValue::Object(histograms)),
         ];
         if !self.events.is_empty() || self.events_dropped > 0 {
@@ -721,6 +869,28 @@ mod tests {
         b.add(7);
         assert_eq!(a.get(), 12);
         assert_eq!(t.snapshot().counter("link", "wan.bytes"), 12);
+    }
+
+    #[test]
+    fn gauges_track_occupancy_and_high_water() {
+        let t = Telemetry::new();
+        let g = t.gauge("gvfs", "proxy.transfer.window_inflight");
+        assert_eq!(g.inc(), 1);
+        assert_eq!(g.add(3), 4);
+        g.sub(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 4);
+        g.dec();
+        g.dec();
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.gauge_high_water("gvfs", "proxy.transfer.window_inflight"),
+            4
+        );
+        let json = snap.to_json().to_string();
+        assert!(json.contains("\"high_water\": 4"));
+        g.reset();
+        assert_eq!(g.high_water(), 0);
     }
 
     #[test]

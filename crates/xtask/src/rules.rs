@@ -15,6 +15,7 @@ pub const RULE_BOUNDED_DECODE: &str = "bounded-decode";
 pub const RULE_EXACT_ACCOUNTING: &str = "exact-accounting";
 pub const RULE_PANIC_FREE: &str = "panic-free-dispatch";
 pub const RULE_LOCK_DISCIPLINE: &str = "lock-discipline";
+pub const RULE_BOUNDED_FANOUT: &str = "bounded-fanout";
 /// Meta-rule: malformed or unused waiver comments.
 pub const RULE_WAIVER: &str = "waiver";
 
@@ -24,6 +25,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_EXACT_ACCOUNTING,
     RULE_PANIC_FREE,
     RULE_LOCK_DISCIPLINE,
+    RULE_BOUNDED_FANOUT,
     RULE_WAIVER,
 ];
 
@@ -58,6 +60,15 @@ fn exact_accounting_scope(path: &str) -> bool {
         || path == "crates/simnet/src/telemetry.rs"
 }
 
+/// Scope of the bounded-fanout rule: gvfs modules that fan RPCs out over
+/// simnet. Per-item process spawns in a loop put unbounded load on the
+/// WAN; the transfer engine (`gvfs::transfer::run_windowed`) is the one
+/// place allowed to spawn workers from a loop, because its worker count
+/// is `min(window, jobs)` by construction.
+fn bounded_fanout_scope(path: &str) -> bool {
+    path.starts_with("crates/gvfs/src/") && path != "crates/gvfs/src/transfer.rs"
+}
+
 /// Scope of the panic-free-dispatch rule: the four modules on the
 /// untrusted request path (proxy → RPC dispatch → NFS server/kernel).
 fn panic_free_scope(path: &str) -> bool {
@@ -87,6 +98,9 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
     }
     if !THREAD_WHITELIST.contains(&path) {
         rule_lock_discipline(path, toks, &mask, &mut out);
+    }
+    if bounded_fanout_scope(path) {
+        rule_bounded_fanout(path, toks, &mask, &mut out);
     }
 
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
@@ -713,6 +727,63 @@ fn rule_lock_discipline(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<V
                      scope the guard in a block or drop() it before suspending",
                     g.name, g.line
                 ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: bounded-fanout
+// ---------------------------------------------------------------------------
+
+fn rule_bounded_fanout(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
+    let mut depth = 0i32;
+    // Brace depths of currently-open loop bodies.
+    let mut loop_bodies: Vec<i32> = Vec::new();
+    // A loop keyword was seen; the next body-opening `{` belongs to it.
+    let mut pending_loop = false;
+    let mut paren = 0i32;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "{" => {
+                    depth += 1;
+                    if pending_loop && paren == 0 {
+                        loop_bodies.push(depth);
+                        pending_loop = false;
+                    }
+                }
+                "}" => {
+                    depth -= 1;
+                    loop_bodies.retain(|d| *d <= depth);
+                }
+                _ => {}
+            }
+        }
+        if mask[i] {
+            continue;
+        }
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "for" | "while" | "loop") {
+            pending_loop = true;
+        }
+        // `.spawn(` inside a loop body: per-item process fan-out.
+        if !loop_bodies.is_empty()
+            && t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("spawn"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("("))
+        {
+            let m = &toks[i + 1];
+            out.push(Violation {
+                rule: RULE_BOUNDED_FANOUT,
+                file: path.to_string(),
+                line: m.line,
+                col: m.col,
+                message: "process spawn inside a loop is unbounded RPC fan-out; route the \
+                          jobs through `gvfs::transfer::run_windowed` (bounded window)"
+                    .to_string(),
             });
         }
     }

@@ -1,0 +1,23 @@
+//! Bad: one process per job spawned from a loop — in-flight RPC count
+//! scales with the job list, flooding the simulated WAN instead of
+//! pipelining behind a bounded window.
+pub fn fetch_all(env: &Env, blocks: Vec<u64>) {
+    let mut joins = Vec::new();
+    for b in blocks {
+        joins.push(env.spawn("fetch", move |env| {
+            fetch_one(&env, b);
+        }));
+    }
+    for j in joins {
+        j.join(env);
+    }
+}
+
+pub fn flush_all(env: &Env, files: Vec<u64>) {
+    let mut i = 0;
+    while i < files.len() {
+        let f = files[i];
+        env.spawn("flush", move |env| upload(&env, f));
+        i += 1;
+    }
+}

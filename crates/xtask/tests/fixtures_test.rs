@@ -40,6 +40,12 @@ fn cases() -> Vec<(&'static str, &'static str, &'static str, &'static str)> {
             include_str!("fixtures/lock-discipline/good.rs"),
         ),
         (
+            "bounded-fanout",
+            "crates/gvfs/src/fixture.rs",
+            include_str!("fixtures/bounded-fanout/bad.rs"),
+            include_str!("fixtures/bounded-fanout/good.rs"),
+        ),
+        (
             "waiver",
             "crates/gvfs/src/file_cache.rs",
             include_str!("fixtures/waiver/bad.rs"),

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use gvfs::Middleware;
-use gvfs::{BlockCache, BlockCacheConfig, Proxy, ProxyConfig, WritePolicy};
+use gvfs::{BlockCache, BlockCacheConfig, Proxy, ProxyConfig, TransferTuning, WritePolicy};
 use gvfs_bench::build_server;
 use nfs3::proto::StableHow;
 use nfs3::Nfs3Client;
@@ -42,6 +42,7 @@ fn run_with_policy(policy: WritePolicy) -> (f64, f64) {
             meta_handling: false,
             per_op_cpu: SimDuration::from_micros(40),
             read_only_share: false,
+            transfer: TransferTuning::default(),
         },
         RpcClient::new(server.channel.clone(), cred.clone()),
     )

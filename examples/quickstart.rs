@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use gvfs::{
     BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, IdentityMapper, Middleware,
-    Proxy, ProxyConfig, WritePolicy,
+    Proxy, ProxyConfig, TransferTuning, WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, Nfs3Client};
 use oncrpc::{RpcClient, WireSpec};
@@ -51,6 +51,7 @@ fn main() {
             meta_handling: true,
             per_op_cpu: SimDuration::from_micros(40),
             read_only_share: false,
+            transfer: TransferTuning::default(),
         },
         upstream.clone(),
     )
