@@ -72,6 +72,7 @@ fn zero_filter_counts(
             write_policy: WritePolicy::WriteBack,
             cache_bytes: 8 << 30,
         }),
+        None,
     );
     let proxy = client.proxy.clone().unwrap();
     let out = std::sync::Arc::new(parking_lot::Mutex::new((0u64, 0u64)));

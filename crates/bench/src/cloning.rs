@@ -185,6 +185,7 @@ fn build_compute_host(
         } else {
             None
         },
+        None,
     );
     let nfs = Nfs3Client::new(RpcClient::new(client.channel.clone(), cred));
     let kc = KernelClient::mount(env, nfs, "/exports", kernel_cfg).unwrap();

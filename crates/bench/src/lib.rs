@@ -11,6 +11,7 @@
 //! | `fig6_cloning` | Figure 6 — 8 sequential clonings, 4 scenarios + baselines |
 //! | `table1_parallel` | Table 1 — sequential vs parallel cloning, cold/warm |
 //! | `ablations` | extra: write policy / zero map / channel / associativity |
+//! | `fault_recovery` | extra: LaTeX under WAN loss/outage/server restart |
 //!
 //! The library half holds the scenario builders ([`scenarios`],
 //! [`cloning`]) and report formatting ([`report`]).
@@ -26,6 +27,6 @@ pub use cloning::{
     scp_baseline_secs, CloneParams, CloneResult, CloneScenario, ParallelResult,
 };
 pub use scenarios::{
-    build_client, build_server, run_app_scenario, AppParams, AppResult, AppRun, AppScenario,
-    ClientProxyOptions, NetParams, ServerSide,
+    build_client, build_server, fs_digest, run_app_scenario, AppParams, AppResult, AppRun,
+    AppScenario, ClientProxyOptions, FaultSpec, NetParams, ServerSide,
 };

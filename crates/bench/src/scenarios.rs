@@ -23,10 +23,10 @@ use gvfs::{
     IdentityMapper, Middleware, Proxy, ProxyConfig, TransferTuning, WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, MountServer, Nfs3Client, Nfs3Server, ServerConfig};
-use oncrpc::{Dispatcher, OpaqueAuth, RpcChannel, RpcClient, WireSpec};
+use oncrpc::{Dispatcher, OpaqueAuth, RetryPolicy, RpcChannel, RpcClient, WireSpec};
 use parking_lot::Mutex;
-use simnet::{Env, Link, SimDuration, SimHandle, Simulation, Snapshot};
-use vfs::{Disk, DiskModel, FileIo, Fs, LocalIo, LocalIoConfig, MountTable};
+use simnet::{Env, Link, LinkFaultPlan, SimDuration, SimHandle, SimTime, Simulation, Snapshot};
+use vfs::{Disk, DiskModel, FileIo, FileType, Fs, LocalIo, LocalIoConfig, MountTable};
 use vmm::{install_image, VmConfig, VmImageSpec, VmMonitor};
 use workloads::Workload;
 
@@ -54,6 +54,40 @@ impl Default for NetParams {
             lan_mbps: 100.0,
             lan_oneway: SimDuration::from_micros(200),
         }
+    }
+}
+
+/// Fault-injection schedule for the failure-domain benchmark. With
+/// [`AppParams::fault`] set to `None` (the default) the topology is
+/// identical to the fault-free harness: no fault plans are installed and
+/// no retransmission policy is attached, so baseline timings do not move.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Seed for the deterministic per-message drop RNG. The WAN uplink
+    /// uses `seed`, the downlink `seed + 1`.
+    pub seed: u64,
+    /// Per-message drop probability applied to each WAN direction for the
+    /// whole run. Loss is silence: the client sees only its own timeout.
+    pub drop_prob: f64,
+    /// Start of the WAN outage window, in virtual seconds.
+    pub outage_start_secs: f64,
+    /// Outage length in virtual seconds; `0.0` disables the outage.
+    pub outage_secs: f64,
+    /// Restart the image server at this virtual time, discarding its
+    /// unstable writes and rotating its write verifier (RFC 1813 §3.3.7).
+    pub restart_at_secs: Option<f64>,
+}
+
+impl FaultSpec {
+    fn plan(&self, seed: u64) -> LinkFaultPlan {
+        let mut plan = LinkFaultPlan::new(seed).drop_prob(self.drop_prob);
+        if self.outage_secs > 0.0 {
+            let start = SimTime::from_nanos((self.outage_start_secs * 1e9) as u64);
+            let end =
+                SimTime::from_nanos(((self.outage_start_secs + self.outage_secs) * 1e9) as u64);
+            plan = plan.outage(start, end);
+        }
+        plan
     }
 }
 
@@ -106,6 +140,9 @@ pub struct AppParams {
     pub server_cache_bytes: u64,
     /// Collect trace events (carried into the scenario's [`Snapshot`]).
     pub trace: bool,
+    /// Fault-injection schedule for the network scenarios; `None` (the
+    /// default) runs fault-free.
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for AppParams {
@@ -116,6 +153,7 @@ impl Default for AppParams {
             proxy_cache_bytes: 8 << 30,
             server_cache_bytes: 768 << 20,
             trace: false,
+            fault: None,
         }
     }
 }
@@ -238,12 +276,15 @@ pub struct ClientSide {
 /// Build the client half on a compute server: a loopback endpoint served
 /// by a client-side proxy that forwards to `upstream` with `cred`.
 /// `options: None` means no proxy at all — the kernel client mounts the
-/// upstream channel directly.
+/// upstream channel directly. `policy` attaches a retransmission policy
+/// to the proxy's upstream stub (fault-injection runs); `None` keeps the
+/// fault-free single-shot behaviour.
 pub fn build_client(
     h: &SimHandle,
     upstream: RpcChannel,
     cred: OpaqueAuth,
     options: Option<ClientProxyOptions>,
+    policy: Option<RetryPolicy>,
 ) -> ClientSide {
     let cache_disk = Disk::new(h, DiskModel::scsi_2004());
     let opts = match options {
@@ -256,7 +297,10 @@ pub fn build_client(
             }
         }
     };
-    let upstream_client = RpcClient::new(upstream, cred);
+    let mut upstream_client = RpcClient::new(upstream, cred);
+    if let Some(p) = policy {
+        upstream_client = upstream_client.with_policy(p);
+    }
     let mut proxy = Proxy::new(
         ProxyConfig {
             name: "client-proxy".into(),
@@ -316,6 +360,66 @@ pub struct AppResult {
     pub total_virtual_secs: f64,
     /// Telemetry registry snapshot taken after the simulation drained.
     pub snapshot: Snapshot,
+    /// Content digest of the image server's filesystem after the
+    /// simulation drained (network scenarios only). Fault runs compare
+    /// this against the fault-free run to prove zero lost bytes.
+    pub server_fs_digest: Option<u64>,
+}
+
+/// FNV-1a digest over a deterministic recursive walk of a filesystem:
+/// path, type, size, and full contents of every regular file (symlink
+/// targets included). Timestamps are deliberately excluded so runs whose
+/// virtual clocks diverged (fault injection) still compare equal when the
+/// bytes do.
+pub fn fs_digest(fs: &Arc<Mutex<Fs>>) -> u64 {
+    fn mix(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    let mut f = fs.lock();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut stack = vec![(String::new(), f.root())];
+    while let Some((path, dir)) = stack.pop() {
+        let Ok(mut entries) = f.readdir(dir) else {
+            continue;
+        };
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        // The stack pops in reverse push order; push reversed so the walk
+        // visits entries in sorted order.
+        for (name, handle) in entries.into_iter().rev() {
+            let p = format!("{path}/{name}");
+            let Ok(attr) = f.getattr(handle) else {
+                continue;
+            };
+            mix(&mut h, p.as_bytes());
+            mix(&mut h, &attr.size.to_le_bytes());
+            match attr.ftype {
+                FileType::Directory => stack.push((p, handle)),
+                FileType::Regular => {
+                    let mut off = 0u64;
+                    while off < attr.size {
+                        let len = (attr.size - off).min(1 << 20) as usize;
+                        let Ok((data, _)) = f.read(handle, off, len, 0) else {
+                            break;
+                        };
+                        if data.is_empty() {
+                            break;
+                        }
+                        mix(&mut h, &data);
+                        off += data.len() as u64;
+                    }
+                }
+                FileType::Symlink => {
+                    if let Ok(target) = f.readlink(handle) {
+                        mix(&mut h, target.as_bytes());
+                    }
+                }
+            }
+        }
+    }
+    h
 }
 
 /// Execute `workload` `runs` consecutive times under `kind`, returning
@@ -340,7 +444,9 @@ pub fn run_app_scenario(
         flush_secs: None,
         total_virtual_secs: 0.0,
         snapshot: Snapshot::default(),
+        server_fs_digest: None,
     }));
+    let mut server_fs: Option<Arc<Mutex<Fs>>> = None;
 
     let kcfg = KernelConfig {
         cache_bytes: params.kernel_cache_bytes,
@@ -388,11 +494,28 @@ pub fn run_app_scenario(
                 ),
             };
             let server = build_server(&h, up, down, params.server_cache_bytes, true);
+            server_fs = Some(server.fs.clone());
             {
                 let mut fs = server.fs.lock();
                 let root = fs.root();
                 let dir = fs.mkdir(root, "exports", 0o755, 0).unwrap();
                 install_image(&mut fs, dir, &image).unwrap();
+            }
+            if let Some(fault) = params.fault {
+                // Faults live on the external links only; loopback hops
+                // (kernel client → proxy, server proxy → kernel server)
+                // stay reliable, as a local socket would.
+                server.up.install_faults(fault.plan(fault.seed));
+                server
+                    .down
+                    .install_faults(fault.plan(fault.seed.wrapping_add(1)));
+                if let Some(at) = fault.restart_at_secs {
+                    let srv = server.server.clone();
+                    sim.spawn("chaos-restart", move |env: Env| {
+                        env.sleep(SimDuration::from_secs_f64(at));
+                        srv.restart(env.now().as_nanos());
+                    });
+                }
             }
             let mw = Middleware::new();
             let (_sid, cred) = mw.establish_session(&server.mapper, "griduser", 0, u64::MAX / 2);
@@ -408,12 +531,21 @@ pub fn run_app_scenario(
                 // cache (paper's plain GVFS data path).
                 None
             };
-            let client = build_client(&h, server.channel.clone(), cred.clone(), opts);
+            let policy = params.fault.map(|_| RetryPolicy::wan());
+            let client = build_client(&h, server.channel.clone(), cred.clone(), opts, policy);
             let proxy = client.proxy.clone();
             let wl = workload.clone();
             let out = results.clone();
             sim.spawn("driver", move |env: Env| {
-                let nfs = Nfs3Client::new(RpcClient::new(client.channel.clone(), cred.clone()));
+                let mut stub = RpcClient::new(client.channel.clone(), cred.clone());
+                if client.proxy.is_none() {
+                    // No proxy in the path: the kernel client itself sits
+                    // on the (possibly faulted) external channel.
+                    if let Some(p) = policy {
+                        stub = stub.with_policy(p);
+                    }
+                }
+                let nfs = Nfs3Client::new(stub);
                 let kc = KernelClient::mount(&env, nfs, "/exports", kcfg).unwrap();
                 let table = MountTable::new().mount("/mnt/gvfs", kc.clone());
                 let vm =
@@ -431,6 +563,7 @@ pub fn run_app_scenario(
         .unwrap_or_else(|arc| arc.lock().clone());
     res.total_virtual_secs = end.as_secs_f64();
     res.snapshot = h.telemetry().snapshot();
+    res.server_fs_digest = server_fs.as_ref().map(fs_digest);
     res
 }
 

@@ -421,7 +421,11 @@ impl BlockCache {
                     let end = offset_in_block + bytes.len();
                     debug_assert!(end <= bs);
                     let old_len = f.data.len();
-                    let grown = if end > old_len { (end - old_len) as u64 } else { 0 };
+                    let grown = if end > old_len {
+                        (end - old_len) as u64
+                    } else {
+                        0
+                    };
                     if old_len < end {
                         f.data.resize(end, 0);
                     }

@@ -359,7 +359,7 @@ impl ChannelClient {
         let args = xdr::to_bytes(&nfs3::Fh3(h));
         let res = self
             .rpc
-            .call(env, CHANNEL_PROGRAM, CHANNEL_V1, chanproc::FETCH, args)
+            .call_dl(env, CHANNEL_PROGRAM, CHANNEL_V1, chanproc::FETCH, args)
             .map_err(ChannelError::Rpc)?;
         let mut dec = Decoder::new(&res);
         let status = ChanStatus::from_u32(dec.get_u32().map_err(|_| ChannelError::Decode)?)
@@ -399,7 +399,7 @@ impl ChannelClient {
         enc.put_u32(count);
         let res = self
             .rpc
-            .call(
+            .call_dl(
                 env,
                 CHANNEL_PROGRAM,
                 CHANNEL_V1,
@@ -507,7 +507,7 @@ impl ChannelClient {
         enc.put_opaque_var(&payload);
         let res = self
             .rpc
-            .call(
+            .call_dl(
                 env,
                 CHANNEL_PROGRAM,
                 CHANNEL_V1,
@@ -529,6 +529,7 @@ impl ChannelClient {
     /// chunk `k+1` overlaps the WAN transfer of chunk `k`. Falls back to
     /// the monolithic [`ChannelClient::upload`] for a single chunk,
     /// `chunk_bytes == 0`, or `window <= 1`.
+    #[allow(clippy::too_many_arguments)]
     pub fn upload_chunked(
         &self,
         env: &Env,
@@ -589,7 +590,7 @@ impl ChannelClient {
         enc.put_opaque_var(&payload);
         let res = self
             .rpc
-            .call(
+            .call_dl(
                 env,
                 CHANNEL_PROGRAM,
                 CHANNEL_V1,

@@ -105,7 +105,10 @@ impl FileCache {
                     last_use: stamp,
                 },
             ) {
-                debug_assert!(inner.bytes >= old.size, "file-cache byte accounting underflow");
+                debug_assert!(
+                    inner.bytes >= old.size,
+                    "file-cache byte accounting underflow"
+                );
                 inner.bytes -= old.size;
             }
             inner.bytes += size;
@@ -121,7 +124,10 @@ impl FileCache {
                     .map(|(k, _)| *k);
                 match victim.and_then(|k| inner.files.remove(&k)) {
                     Some(f) => {
-                        debug_assert!(inner.bytes >= f.size, "file-cache byte accounting underflow");
+                        debug_assert!(
+                            inner.bytes >= f.size,
+                            "file-cache byte accounting underflow"
+                        );
                         inner.bytes -= f.size;
                         inner.stats.evictions += 1;
                     }
@@ -168,7 +174,11 @@ impl FileCache {
                     // clippy suggests saturating_sub here, but that is exactly
                     // what the exact-accounting invariant bans in this file.
                     #[allow(clippy::implicit_saturating_sub)]
-                    let grew = if new_len > f.size { new_len - f.size } else { 0 };
+                    let grew = if new_len > f.size {
+                        new_len - f.size
+                    } else {
+                        0
+                    };
                     f.size = new_len;
                     f.dirty = true;
                     f.last_use = stamp;
@@ -200,6 +210,16 @@ impl FileCache {
         };
         self.disk.sequential_io(env, data.len() as u64);
         Some(data)
+    }
+
+    /// Re-mark a resident file dirty. A failed write-back upload calls
+    /// this so the contents (still resident) stay queued for the next
+    /// flush instead of being silently dropped. No-op when absent.
+    pub fn mark_dirty(&self, key: FileKey) {
+        let mut inner = self.inner.lock();
+        if let Some(f) = inner.files.get_mut(&key) {
+            f.dirty = true;
+        }
     }
 
     /// Keys of dirty files.

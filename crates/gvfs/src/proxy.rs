@@ -30,6 +30,15 @@ use xdr::{Decode, Decoder, Encode, Encoder};
 /// order must be deterministic (lint: determinism).
 type DirtyByFile = BTreeMap<(u64, u64), Vec<(u64, Vec<u8>)>>;
 
+/// One write-back slot: `(block, payload, write verifier if the WRITE
+/// succeeded)`. The payload stays in the slot so a failed or
+/// verifier-mismatched write can requeue its bytes.
+type WriteBackSlot = Option<(u64, Vec<u8>, Option<u64>)>;
+
+/// Channel uploads that failed upstream, kept with their contents for
+/// the bounded flush retry rounds.
+type FailedUploads = Arc<Mutex<Vec<(FileKey, Vec<u8>)>>>;
+
 use nfs3::args::{ReadArgs, WriteArgs};
 use nfs3::proto::{
     proc3, DirOpArgs3, Fattr3, Fh3, PostOpAttr, StableHow, Status, WccData, NFS_PROGRAM, NFS_V3,
@@ -103,14 +112,25 @@ pub struct ProxyStats {
     pub prefetch_issued: u64,
     /// Demand reads served by a block that was prefetched.
     pub prefetch_hits: u64,
+    /// Failed write-backs parked on the retry queue (degraded mode).
+    pub wb_queued: u64,
+    /// Queued write-backs given another attempt by a flush.
+    pub wb_drained: u64,
+    /// COMMITs whose verifier disagreed with the WRITEs' (the server
+    /// restarted mid-flush and discarded the unstable data).
+    pub verf_mismatches: u64,
+    /// Retry rounds flushes have run to drain failed write-backs.
+    pub flush_retry_rounds: u64,
 }
 
-/// Report from a middleware-driven flush. Failed counts record upstream
-/// WRITE/COMMIT/UPLOAD errors: those blocks/files were *not* durably
-/// written back (previously they were silently counted as successes).
+/// Report from a middleware-driven flush. Failed counts record what the
+/// bounded retry rounds could *not* drain: those blocks sit on the
+/// write-back retry queue and those files are re-marked dirty, so the
+/// next flush signal tries again — nothing is silently dropped.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct FlushReport {
-    /// Dirty blocks written upstream.
+    /// Dirty blocks written upstream (durable: WRITE and COMMIT agreed
+    /// on the server's write verifier).
     pub blocks: u64,
     /// Bytes written upstream (block path).
     pub block_bytes: u64,
@@ -118,12 +138,12 @@ pub struct FlushReport {
     pub files: u64,
     /// Bytes uploaded on the wire (channel path, post-compression).
     pub file_wire_bytes: u64,
-    /// Dirty blocks whose WRITE failed, or whose file's COMMIT failed.
+    /// Dirty blocks still on the retry queue after the retry rounds.
     pub failed_blocks: u64,
     /// Bytes belonging to `failed_blocks`.
     pub failed_block_bytes: u64,
-    /// Dirty files whose channel upload failed (they stay dirty data
-    /// lost from the upstream's point of view; surfaced, not hidden).
+    /// Dirty files whose channel upload kept failing; re-marked dirty in
+    /// the file cache so a later flush retries the upload.
     pub failed_files: u64,
 }
 
@@ -152,6 +172,14 @@ struct PxTel {
     prefetch_hits: Counter,
     /// Prefetched blocks evicted before any demand read touched them.
     prefetch_wasted: Counter,
+    /// Failed write-backs parked on the retry queue (degraded mode).
+    wb_queued: Counter,
+    /// Queued write-backs given another attempt by a flush.
+    wb_drained: Counter,
+    /// COMMIT/WRITE verifier disagreements (server restart mid-flush).
+    verf_mismatches: Counter,
+    /// Retry rounds run by flushes to drain failed write-backs.
+    flush_retry_rounds: Counter,
 }
 
 impl PxTel {
@@ -173,6 +201,10 @@ impl PxTel {
             prefetch_issued: c("prefetch_issued"),
             prefetch_hits: c("prefetch_hits"),
             prefetch_wasted: c("prefetch_wasted"),
+            wb_queued: c("wb_queued"),
+            wb_drained: c("wb_drained"),
+            verf_mismatches: c("verf_mismatches"),
+            flush_retry_rounds: c("flush_retry_rounds"),
             inst,
             registry,
         }
@@ -210,6 +242,12 @@ struct ProxyState {
     /// b's hit triggers read-ahead — without this set the prefetcher
     /// would fetch b+1 a second time over the WAN.
     inflight_demand: BTreeSet<Tag>,
+    /// Degraded-mode write-back retry queue: dirty blocks whose upstream
+    /// WRITE (or the covering COMMIT) failed. Flush drains it with
+    /// bounded-backoff retry rounds; until then the bytes live here
+    /// instead of being dropped. BTreeMap: drained in deterministic
+    /// order (lint: determinism).
+    wb_queue: BTreeMap<Tag, Vec<u8>>,
 }
 
 /// A GVFS proxy instance. Implements [`RpcHandler`], so it plugs directly
@@ -223,6 +261,10 @@ pub struct Proxy {
     identity: Option<Arc<IdentityMapper>>,
     tel: PxTel,
     ttel: TransferTel,
+    /// Per-instance write verifier returned in absorbed WRITE/COMMIT
+    /// replies (write-back mode answers both locally, so it speaks for
+    /// the stability of its own cache disk).
+    write_verf: u64,
     // Arc: detached prefetch workers share the state (and the Mutex
     // inside keeps critical sections short — no suspends under it).
     state: Arc<Mutex<ProxyState>>,
@@ -233,6 +275,18 @@ fn key_of(h: Handle) -> FileKey {
         fileid: h.fileid,
         generation: h.generation,
     }
+}
+
+/// FNV-1a over the proxy instance name: the per-instance seed for this
+/// proxy's write verifier (RFC 1813 requires the verifier to change when
+/// the *server* instance changes; two proxies must never share one).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Best known size of a file: local override (absorbed writes), then
@@ -256,8 +310,9 @@ fn known_size_in(
 }
 
 /// Push an evicted dirty block upstream, truncated to the best-known
-/// file size. Success counts into `written_back`; a failed WRITE counts
-/// into `recovered_errors` instead of being silently treated as written.
+/// file size. Success counts into `written_back`; a failed WRITE parks
+/// the block on the write-back retry queue (degraded mode) for the next
+/// flush to drain, instead of dropping the bytes.
 #[allow(clippy::too_many_arguments)]
 fn writeback_evicted_block(
     env: &Env,
@@ -267,6 +322,7 @@ fn writeback_evicted_block(
     bs: u64,
     written_back: &Counter,
     recovered_errors: &Counter,
+    wb_queued: &Counter,
     tag: Tag,
     data: Vec<u8>,
 ) {
@@ -287,10 +343,15 @@ fn writeback_evicted_block(
         fileid: tag.fileid,
         generation: tag.generation,
     };
-    if nfs.write(env, h, off, payload, StableHow::Unstable).is_ok() {
+    if nfs
+        .write(env, h, off, payload.clone(), StableHow::Unstable)
+        .is_ok()
+    {
         written_back.inc();
     } else {
         recovered_errors.inc();
+        wb_queued.inc();
+        state.lock().wb_queue.insert(tag, payload);
     }
 }
 
@@ -305,6 +366,7 @@ struct PrefetchCtx {
     file_cache: Option<Arc<FileCache>>,
     written_back: Counter,
     recovered_errors: Counter,
+    wb_queued: Counter,
 }
 
 impl Proxy {
@@ -315,6 +377,7 @@ impl Proxy {
         let registry = upstream.channel().handle().telemetry().clone();
         let tel = PxTel::register(registry, &cfg.name);
         let ttel = TransferTel::register(&tel.registry, &tel.inst);
+        let write_verf = simnet::splitmix64(fnv1a(tel.inst.as_bytes()));
         Proxy {
             cfg,
             upstream,
@@ -324,6 +387,7 @@ impl Proxy {
             identity: None,
             tel,
             ttel,
+            write_verf,
             state: Arc::new(Mutex::new(ProxyState {
                 meta: HashMap::new(),
                 sizes: HashMap::new(),
@@ -334,6 +398,7 @@ impl Proxy {
                 inflight_prefetch: BTreeMap::new(),
                 prefetched: BTreeSet::new(),
                 inflight_demand: BTreeSet::new(),
+                wb_queue: BTreeMap::new(),
             })),
         }
     }
@@ -377,7 +442,22 @@ impl Proxy {
             blocks_written_back: self.tel.blocks_written_back.get(),
             prefetch_issued: self.tel.prefetch_issued.get(),
             prefetch_hits: self.tel.prefetch_hits.get(),
+            wb_queued: self.tel.wb_queued.get(),
+            wb_drained: self.tel.wb_drained.get(),
+            verf_mismatches: self.tel.verf_mismatches.get(),
+            flush_retry_rounds: self.tel.flush_retry_rounds.get(),
         }
+    }
+
+    /// This proxy's write verifier (what absorbed WRITE/COMMIT replies
+    /// carry).
+    pub fn write_verf(&self) -> u64 {
+        self.write_verf
+    }
+
+    /// Dirty blocks currently parked on the write-back retry queue.
+    pub fn wb_queue_len(&self) -> usize {
+        self.state.lock().wb_queue.len()
     }
 
     /// Reset counters.
@@ -420,7 +500,7 @@ impl Proxy {
     ) -> RpcMessage {
         self.tel.forwarded.inc();
         let client = self.upstream.with_cred(cred.clone());
-        match client.call(env, prog, vers, proc, args) {
+        match client.call_dl(env, prog, vers, proc, args) {
             Ok(results) => RpcMessage::success(xid, results),
             Err(e) => Self::error_reply(xid, e),
         }
@@ -784,6 +864,7 @@ impl Proxy {
             bs,
             &self.tel.blocks_written_back,
             &self.tel.recovered_errors,
+            &self.tel.wb_queued,
             tag,
             data,
         );
@@ -911,6 +992,7 @@ impl Proxy {
             file_cache: self.file_cache.clone(),
             written_back: self.tel.blocks_written_back.clone(),
             recovered_errors: self.tel.recovered_errors.clone(),
+            wb_queued: self.tel.wb_queued.clone(),
         };
         let ttel = self.ttel.clone();
         let window = depth.max(1);
@@ -938,6 +1020,7 @@ impl Proxy {
                                     bs,
                                     &ctx.written_back,
                                     &ctx.recovered_errors,
+                                    &ctx.wb_queued,
                                     etag,
                                     edata,
                                 );
@@ -988,13 +1071,16 @@ impl Proxy {
 
     // -- WRITE --------------------------------------------------------------
 
-    fn write_reply(xid: u32, count: u32, committed: StableHow) -> RpcMessage {
+    /// An absorbed WRITE's reply, carrying this proxy's own write
+    /// verifier: the proxy answers for its local cache disk, not for the
+    /// origin server, so it must not forge the server's verifier.
+    fn write_reply(&self, xid: u32, count: u32, committed: StableHow) -> RpcMessage {
         let mut enc = Encoder::new();
         enc.put_u32(Status::Ok.as_u32());
         WccData(None).encode(&mut enc);
         enc.put_u32(count);
         enc.put_u32(committed.as_u32());
-        enc.put_u64(nfs3::server::WRITE_VERF);
+        enc.put_u64(self.write_verf);
         RpcMessage::success(xid, enc.into_bytes())
     }
 
@@ -1020,7 +1106,7 @@ impl Proxy {
                 fc.write(env, key, a.offset, &a.data);
                 self.bump_size(key, a.offset + a.data.len() as u64);
                 self.tel.writes_absorbed.inc();
-                return Self::write_reply(xid, a.data.len() as u32, StableHow::FileSync);
+                return self.write_reply(xid, a.data.len() as u32, StableHow::FileSync);
             }
         }
 
@@ -1075,7 +1161,13 @@ impl Proxy {
                                 // original WRITE upstream untouched.
                                 self.tel.recovered_errors.inc();
                                 return self.forward(
-                                    env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::WRITE, args,
+                                    env,
+                                    xid,
+                                    cred,
+                                    NFS_PROGRAM,
+                                    NFS_V3,
+                                    proc3::WRITE,
+                                    args,
                                 );
                             }
                         };
@@ -1092,7 +1184,7 @@ impl Proxy {
             }
             self.bump_size(key, end);
             self.tel.writes_absorbed.inc();
-            return Self::write_reply(xid, a.data.len() as u32, StableHow::FileSync);
+            return self.write_reply(xid, a.data.len() as u32, StableHow::FileSync);
         }
 
         // Write-through: keep the cache coherent, then forward.
@@ -1199,7 +1291,7 @@ impl Proxy {
             let mut enc = Encoder::new();
             enc.put_u32(Status::Ok.as_u32());
             WccData(None).encode(&mut enc);
-            enc.put_u64(nfs3::server::WRITE_VERF);
+            enc.put_u64(self.write_verf);
             return RpcMessage::success(xid, enc.into_bytes());
         }
         self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::COMMIT, args)
@@ -1239,10 +1331,127 @@ impl Proxy {
 
     // -- flush (middleware signal) -------------------------------------------
 
+    /// One bounded-window write-back pass over per-file dirty block
+    /// runs: UNSTABLE WRITEs stream through the flush window, then one
+    /// COMMIT per file. A block is durable only when its WRITE's
+    /// verifier matches the COMMIT's (RFC 1813 §3.3.7): a disagreement
+    /// means the server restarted in between and discarded the unstable
+    /// data, so the block — though both RPCs "succeeded" — must be
+    /// resent. Everything not durable comes back for the next round.
+    fn write_back_pass(
+        &self,
+        env: &Env,
+        cred: &oncrpc::OpaqueAuth,
+        pending: DirtyByFile,
+        report: &mut FlushReport,
+    ) -> DirtyByFile {
+        let Some(bc) = &self.block_cache else {
+            return BTreeMap::new();
+        };
+        let fw = self.cfg.transfer.flush_window.max(1);
+        let bs = bc.config().block_size as u64;
+        let mut requeue: DirtyByFile = BTreeMap::new();
+        for ((fileid, generation), blocks) in pending {
+            let h = Handle { fileid, generation };
+            let key = FileKey { fileid, generation };
+            let size = self.known_size(key);
+            // Clip each block to the file's logical size up front.
+            let mut jobs: Vec<(u64, Vec<u8>)> = Vec::new();
+            for (block, mut data) in blocks {
+                let off = block * bs;
+                if let Some(s) = size {
+                    if off >= s {
+                        continue;
+                    }
+                    data.truncate(((s - off).min(bs)) as usize);
+                }
+                jobs.push((block, data));
+            }
+            if jobs.is_empty() {
+                continue;
+            }
+            let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
+            // Each slot keeps its payload so a failure can requeue the
+            // bytes instead of dropping them.
+            let slots: Vec<WriteBackSlot> = if fw == 1 {
+                jobs.into_iter()
+                    .map(|(block, data)| {
+                        let verf = nfs
+                            .write(env, h, block * bs, data.clone(), StableHow::Unstable)
+                            .ok()
+                            .map(|r| r.verf);
+                        Some((block, data, verf))
+                    })
+                    .collect()
+            } else {
+                // Bounded in-flight UNSTABLE WRITEs per file; the COMMIT
+                // below only runs once all of them returned, so ordering
+                // toward the server stays deterministic.
+                let w = nfs.clone();
+                run_windowed(
+                    env,
+                    "flush-wb",
+                    fw,
+                    jobs,
+                    Some(&self.ttel),
+                    move |env, (block, data)| {
+                        let verf = w
+                            .write(env, h, block * bs, data.clone(), StableHow::Unstable)
+                            .ok()
+                            .map(|r| r.verf);
+                        Some((block, data, verf))
+                    },
+                )
+            };
+            let commit_verf = nfs.commit(env, h).ok();
+            if commit_verf.is_none() {
+                self.tel.recovered_errors.inc();
+            }
+            let mut mismatch = false;
+            for slot in slots {
+                match slot {
+                    Some((_, data, Some(verf))) if Some(verf) == commit_verf => {
+                        report.blocks += 1;
+                        report.block_bytes += data.len() as u64;
+                    }
+                    Some((block, data, wrote)) => {
+                        if wrote.is_some() && commit_verf.is_some() {
+                            mismatch = true;
+                        } else {
+                            self.tel.recovered_errors.inc();
+                        }
+                        requeue
+                            .entry((fileid, generation))
+                            .or_default()
+                            .push((block, data));
+                    }
+                    None => {
+                        // A write worker died with the payload: nothing
+                        // left to requeue — surface it as failed.
+                        report.failed_blocks += 1;
+                        self.tel.recovered_errors.inc();
+                    }
+                }
+            }
+            if mismatch {
+                self.tel.verf_mismatches.inc();
+            }
+        }
+        requeue
+    }
+
     /// Middleware-driven write-back: push every dirty block and dirty
     /// cached file upstream. The paper implements this as an O/S signal
     /// to the proxy process; here the scenario driver calls it directly
     /// (session-based consistency, §3.2.1).
+    ///
+    /// Degraded mode: write-backs that fail upstream (WAN outage, server
+    /// restart) are retried in up to `transfer.flush_retry_rounds`
+    /// rounds with doubling backoff; whatever survives the rounds parks
+    /// on the retry queue (blocks) or stays dirty in the file cache
+    /// (files) and is reported in `FlushReport::failed_*` — the next
+    /// flush signal picks it all up again. No acknowledged byte is ever
+    /// dropped.
     pub fn flush(&self, env: &Env, cred: &oncrpc::OpaqueAuth) -> FlushReport {
         let mut report = FlushReport::default();
         let fw = self.cfg.transfer.flush_window.max(1);
@@ -1252,8 +1461,10 @@ impl Proxy {
         // drives the block path. With a serial window the uploads run
         // inline after the blocks, preserving the old RPC order.
         let mut file_helper = None;
-        let mut serial_uploads: Option<Box<dyn FnOnce(&Env)>> = None;
-        let file_totals: Arc<Mutex<(u64, u64, u64)>> = Arc::new(Mutex::new((0, 0, 0)));
+        type SerialUploads = Option<Box<dyn FnOnce(&Env)>>;
+        let mut serial_uploads: SerialUploads = None;
+        let file_totals: Arc<Mutex<(u64, u64)>> = Arc::new(Mutex::new((0, 0)));
+        let failed_uploads: FailedUploads = Arc::new(Mutex::new(Vec::new()));
         if let (Some(fc), Some(chan)) = (&self.file_cache, &self.chan) {
             let dirty_files = fc.dirty_files();
             if !dirty_files.is_empty() {
@@ -1263,6 +1474,7 @@ impl Proxy {
                 let ttel = self.ttel.clone();
                 let recovered = self.tel.recovered_errors.clone();
                 let totals = file_totals.clone();
+                let failed = failed_uploads.clone();
                 let upload_files = move |env: &Env| {
                     for key in dirty_files {
                         if let Some(contents) = fc.take_dirty_contents(env, key) {
@@ -1286,17 +1498,18 @@ impl Proxy {
                                 }
                                 Err(_) => {
                                     recovered.inc();
-                                    totals.lock().2 += 1;
+                                    failed.lock().push((key, contents));
                                 }
                             }
                         }
                     }
                 };
                 if fw > 1 {
-                    file_helper =
-                        Some(env.spawn(format!("{}-flush-files", self.tel.inst), move |env| {
+                    file_helper = Some(
+                        env.spawn(format!("{}-flush-files", self.tel.inst), move |env| {
                             upload_files(&env)
-                        }));
+                        }),
+                    );
                 } else {
                     // Serial mode: run inline after the block path, in
                     // the same order as the pre-engine code.
@@ -1305,103 +1518,36 @@ impl Proxy {
             }
         }
 
+        // Block write-back: dirty blocks from the cache, plus everything
+        // still parked on the retry queue from earlier failed evictions
+        // or a previous degraded flush.
+        let mut pending: DirtyByFile = BTreeMap::new();
         if let Some(bc) = &self.block_cache {
-            let dirty = bc.take_dirty(env);
-            let bs = bc.config().block_size as u64;
-            let mut by_file: DirtyByFile = BTreeMap::new();
-            for (tag, data) in dirty {
-                by_file
+            let mut have: BTreeSet<Tag> = BTreeSet::new();
+            for (tag, data) in bc.take_dirty(env) {
+                have.insert(tag);
+                pending
                     .entry((tag.fileid, tag.generation))
                     .or_default()
                     .push((tag.block, data));
             }
-            let mut files: Vec<_> = by_file.into_iter().collect();
-            files.sort_unstable_by_key(|(k, _)| *k);
-            for ((fileid, generation), blocks) in files {
-                let h = Handle { fileid, generation };
-                let key = FileKey { fileid, generation };
-                let size = self.known_size(key);
-                // Clip each block to the file's logical size up front.
-                let mut jobs: Vec<(u64, Vec<u8>)> = Vec::new();
-                for (block, mut data) in blocks {
-                    let off = block * bs;
-                    if let Some(s) = size {
-                        if off >= s {
-                            continue;
-                        }
-                        data.truncate(((s - off).min(bs)) as usize);
-                    }
-                    jobs.push((off, data));
-                }
-                if jobs.is_empty() {
+            let queued = { std::mem::take(&mut self.state.lock().wb_queue) };
+            for (tag, data) in queued {
+                self.tel.wb_drained.inc();
+                // A fresher dirty copy of the same block wins.
+                if have.contains(&tag) {
                     continue;
                 }
-                let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
-                let mut ok_blocks = 0u64;
-                let mut ok_bytes = 0u64;
-                let mut failed_blocks = 0u64;
-                let mut failed_bytes = 0u64;
-                if fw == 1 {
-                    for (off, data) in jobs {
-                        let len = data.len() as u64;
-                        if nfs.write(env, h, off, data, StableHow::Unstable).is_ok() {
-                            ok_blocks += 1;
-                            ok_bytes += len;
-                        } else {
-                            failed_blocks += 1;
-                            failed_bytes += len;
-                            self.tel.recovered_errors.inc();
-                        }
-                    }
-                } else {
-                    // Bounded in-flight UNSTABLE WRITEs per file; the
-                    // COMMIT below only runs once all of them returned,
-                    // so ordering toward the server stays deterministic.
-                    let w = nfs.clone();
-                    let slots = run_windowed(
-                        env,
-                        "flush-wb",
-                        fw,
-                        jobs,
-                        Some(&self.ttel),
-                        move |env, (off, data)| {
-                            let len = data.len() as u64;
-                            Some((len, w.write(env, h, off, data, StableHow::Unstable).is_ok()))
-                        },
-                    );
-                    for slot in slots {
-                        match slot {
-                            Some((len, true)) => {
-                                ok_blocks += 1;
-                                ok_bytes += len;
-                            }
-                            Some((len, false)) => {
-                                failed_blocks += 1;
-                                failed_bytes += len;
-                                self.tel.recovered_errors.inc();
-                            }
-                            None => {
-                                failed_blocks += 1;
-                                self.tel.recovered_errors.inc();
-                            }
-                        }
-                    }
-                }
-                // A failed COMMIT means none of this file's UNSTABLE
-                // writes are durable: count them all as failed.
-                if nfs.commit(env, h).is_ok() {
-                    report.blocks += ok_blocks;
-                    report.block_bytes += ok_bytes;
-                } else {
-                    self.tel.recovered_errors.inc();
-                    failed_blocks += ok_blocks;
-                    failed_bytes += ok_bytes;
-                }
-                report.failed_blocks += failed_blocks;
-                report.failed_block_bytes += failed_bytes;
+                pending
+                    .entry((tag.fileid, tag.generation))
+                    .or_default()
+                    .push((tag.block, data));
             }
-            self.tel.blocks_written_back.add(report.blocks);
+            for blocks in pending.values_mut() {
+                blocks.sort_unstable_by_key(|(b, _)| *b);
+            }
         }
+        let mut remaining = self.write_back_pass(env, cred, pending, &mut report);
 
         if let Some(upload) = serial_uploads {
             upload(env);
@@ -1409,12 +1555,83 @@ impl Proxy {
         if let Some(j) = file_helper {
             j.join(env);
         }
+
+        // Degraded-mode drain: bounded retry rounds with doubling
+        // backoff, resending both failed blocks and failed file uploads
+        // until they land or the rounds run out.
+        let mut failed_files: Vec<(FileKey, Vec<u8>)> = std::mem::take(&mut *failed_uploads.lock());
+        let base = self.cfg.transfer.flush_retry_backoff;
+        for round in 0..self.cfg.transfer.flush_retry_rounds {
+            if remaining.is_empty() && failed_files.is_empty() {
+                break;
+            }
+            self.tel.flush_retry_rounds.inc();
+            env.sleep(base * (1u64 << round.min(3)));
+            remaining = self.write_back_pass(env, cred, remaining, &mut report);
+            let mut still_failed = Vec::new();
+            for (key, contents) in failed_files {
+                let h = Handle {
+                    fileid: key.fileid,
+                    generation: key.generation,
+                };
+                let retried = self.chan.as_ref().map(|chan| {
+                    chan.upload_chunked(
+                        env,
+                        h,
+                        &contents,
+                        true,
+                        self.cfg.transfer.chunk_bytes,
+                        self.cfg.transfer.channel_window,
+                        Some(&self.ttel),
+                    )
+                });
+                match retried {
+                    Some(Ok(wire)) => {
+                        report.files += 1;
+                        report.file_wire_bytes += wire;
+                    }
+                    _ => {
+                        self.tel.recovered_errors.inc();
+                        still_failed.push((key, contents));
+                    }
+                }
+            }
+            failed_files = still_failed;
+        }
+
+        // Park the survivors for the next flush signal.
+        if !remaining.is_empty() {
+            let mut st = self.state.lock();
+            for ((fileid, generation), blocks) in remaining {
+                for (block, data) in blocks {
+                    report.failed_blocks += 1;
+                    report.failed_block_bytes += data.len() as u64;
+                    self.tel.wb_queued.inc();
+                    st.wb_queue.insert(
+                        Tag {
+                            fileid,
+                            generation,
+                            block,
+                        },
+                        data,
+                    );
+                }
+            }
+        }
+        for (key, _contents) in failed_files {
+            report.failed_files += 1;
+            // The contents are still resident in the file cache; re-mark
+            // the file dirty so the next flush retries the upload.
+            if let Some(fc) = &self.file_cache {
+                fc.mark_dirty(key);
+            }
+        }
         {
             let t = file_totals.lock();
-            report.files = t.0;
-            report.file_wire_bytes = t.1;
-            report.failed_files = t.2;
+            report.files += t.0;
+            report.file_wire_bytes += t.1;
         }
+        self.tel.blocks_written_back.add(report.blocks);
         // Wasted-prefetch reconciliation piggybacks on the flush signal.
         self.reclaim_wasted_prefetches();
         // Size overrides deliberately survive the flush: `known_size` is
@@ -1491,11 +1708,7 @@ impl Proxy {
     ) -> RpcMessage {
         let key = {
             let mut dec = Decoder::new(&args);
-            match (
-                Fh3::decode(&mut dec),
-                dec.get_u64(),
-                dec.get_u32(),
-            ) {
+            match (Fh3::decode(&mut dec), dec.get_u64(), dec.get_u32()) {
                 (Ok(fh), Ok(off), Ok(count)) => Some((key_of(fh.0), off, count)),
                 _ => None,
             }

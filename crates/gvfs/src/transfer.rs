@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use simnet::{Counter, Env, Gauge, Histogram, Telemetry};
+use simnet::{Counter, Env, Gauge, Histogram, SimDuration, Telemetry};
 
 /// Knobs for the three overlapped WAN paths, carried by
 /// [`crate::ProxyConfig`].
@@ -42,6 +42,14 @@ pub struct TransferTuning {
     /// Blocks to prefetch ahead of a sequential miss stream (per file).
     /// `0` disables read-ahead.
     pub read_ahead: usize,
+    /// Bounded retry rounds `Proxy::flush` runs to drain write-backs
+    /// that failed upstream (WAN outage, server restart mid-flush). `0`
+    /// disables retrying: failures park on the retry queue until the
+    /// next flush signal.
+    pub flush_retry_rounds: u32,
+    /// Backoff slept before the first retry round; doubles each round,
+    /// capped at 8x.
+    pub flush_retry_backoff: SimDuration,
 }
 
 impl Default for TransferTuning {
@@ -51,6 +59,8 @@ impl Default for TransferTuning {
             channel_window: 4,
             flush_window: 8,
             read_ahead: 8,
+            flush_retry_rounds: 4,
+            flush_retry_backoff: SimDuration::from_millis(500),
         }
     }
 }
@@ -64,6 +74,8 @@ impl TransferTuning {
             channel_window: 1,
             flush_window: 1,
             read_ahead: 0,
+            flush_retry_rounds: 0,
+            flush_retry_backoff: SimDuration::ZERO,
         }
     }
 }
@@ -228,19 +240,12 @@ mod tests {
     fn window_bounds_inflight_and_overlaps_time() {
         let sim = Simulation::new();
         sim.spawn("t", move |env| {
-            let tel = TransferTel::register(&env.telemetry(), "test");
+            let tel = TransferTel::register(env.telemetry(), "test");
             let t0 = env.now();
-            let out = run_windowed(
-                &env,
-                "w",
-                3,
-                vec![(); 9],
-                Some(&tel),
-                |env, ()| {
-                    env.sleep(SimDuration::from_secs(1));
-                    Some(())
-                },
-            );
+            let out = run_windowed(&env, "w", 3, vec![(); 9], Some(&tel), |env, ()| {
+                env.sleep(SimDuration::from_secs(1));
+                Some(())
+            });
             assert_eq!(out.len(), 9);
             // 9 one-second jobs, 3 at a time: 3 virtual seconds, not 9.
             assert_eq!((env.now() - t0).as_nanos(), 3_000_000_000);

@@ -1,0 +1,282 @@
+//! Failure-domain integration tests: the proxy chain must survive WAN
+//! packet loss, a multi-second WAN outage killed mid-flush, and a server
+//! restart that discards unstable writes — without losing a single
+//! acknowledged byte. Reads keep being served from the caches while the
+//! WAN is down (degraded mode), and misses fail cleanly instead of
+//! hanging forever.
+
+// Test-harness code: clippy's allow-unwrap-in-tests only covers
+// #[test]-marked fns, not integration-test helpers.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use gvfs::{
+    BlockCache, BlockCacheConfig, FlushReport, Proxy, ProxyConfig, TransferTuning, WritePolicy,
+};
+use nfs3::{MountServer, Nfs3Client, Nfs3Server, ServerConfig};
+use oncrpc::{AuthSys, Dispatcher, OpaqueAuth, RetryPolicy, RpcClient, WireSpec};
+use parking_lot::Mutex;
+use simnet::{Env, Link, LinkFaultPlan, SimDuration, SimTime, Simulation};
+use vfs::{Disk, DiskModel, Fs, Handle};
+
+const BS: u64 = 32 * 1024;
+const BLOCKS: u64 = 32;
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_nanos(s * 1_000_000_000)
+}
+
+struct Rig {
+    fs: Arc<Mutex<Fs>>,
+    server: Arc<Nfs3Server>,
+    proxy: Arc<Proxy>,
+    /// Client stub below the proxy (loopback, no faults).
+    nfs: Nfs3Client,
+    cred: OpaqueAuth,
+    wan_up: Link,
+    wan_down: Link,
+}
+
+/// A write-back client proxy talking to an NFSv3 server over a lossy
+/// WAN, with a WAN-sized retransmission policy on the upstream stub.
+fn build_rig(sim: &Simulation) -> Rig {
+    let h = sim.handle();
+    let server_disk = Disk::new(&h, DiskModel::server_array());
+    let (fs, server) = Nfs3Server::with_new_fs(&h, server_disk, ServerConfig::default());
+    let mount = MountServer::new(fs.clone(), vec!["/".to_string()]);
+    let handler = Dispatcher::new()
+        .register(server.clone())
+        .register(mount)
+        .into_handler();
+
+    let wan_up = Link::from_mbps(&h, "wan-up", 6.0, SimDuration::from_millis(17));
+    let wan_down = Link::from_mbps(&h, "wan-down", 14.0, SimDuration::from_millis(17));
+    let ep = oncrpc::endpoint(
+        &h,
+        wan_up.clone(),
+        wan_down.clone(),
+        WireSpec::ssh_tunnel(50e6),
+    );
+    ep.listener.serve("nfsd", handler, 8);
+
+    let cred = OpaqueAuth::sys(&AuthSys::new("fault", 1, 1));
+    let upstream = RpcClient::new(ep.channel, cred.clone()).with_policy(RetryPolicy::wan());
+    let cache_disk = Disk::new(&h, DiskModel::scsi_2004());
+    let proxy = Proxy::new(
+        ProxyConfig {
+            name: "fault-proxy".into(),
+            write_policy: WritePolicy::WriteBack,
+            meta_handling: false,
+            per_op_cpu: SimDuration::from_micros(40),
+            read_only_share: false,
+            transfer: TransferTuning {
+                read_ahead: 0,
+                ..TransferTuning::default()
+            },
+        },
+        upstream,
+    )
+    .with_block_cache(Arc::new(BlockCache::new(
+        &h,
+        cache_disk,
+        BlockCacheConfig::with_capacity(256 << 20, 64, 16, BS as u32),
+    )))
+    .into_handler();
+
+    let lo_up = Link::new(&h, "lo-up", 1e9, SimDuration::from_micros(20));
+    let lo_down = Link::new(&h, "lo-down", 1e9, SimDuration::from_micros(20));
+    let lo = oncrpc::endpoint(&h, lo_up, lo_down, WireSpec::plain());
+    lo.listener.serve("proxy", proxy.clone(), 8);
+    let nfs = Nfs3Client::new(RpcClient::new(lo.channel, cred.clone()));
+
+    Rig {
+        fs,
+        server,
+        proxy,
+        nfs,
+        cred,
+        wan_up,
+        wan_down,
+    }
+}
+
+/// Seed a server file of `BLOCKS` blocks and return its handle.
+fn seed_file(fs: &Arc<Mutex<Fs>>, name: &str) -> Handle {
+    let mut f = fs.lock();
+    let root = f.root();
+    let fh = f.create(root, name, 0o644, 0).unwrap();
+    f.setattr(fh, Some(BLOCKS * BS), None, 0).unwrap();
+    fh
+}
+
+/// The deterministic payload for block `b`.
+fn block_data(b: u64) -> Vec<u8> {
+    (0..BS as u32)
+        .map(|i| ((i as u64 + b * 17) % 251) as u8)
+        .collect()
+}
+
+/// Dirty all `BLOCKS` blocks through the proxy (absorbed locally).
+fn dirty_all(env: &Env, nfs: &Nfs3Client, fh: Handle) {
+    for b in 0..BLOCKS {
+        nfs.write(
+            env,
+            fh,
+            b * BS,
+            block_data(b),
+            nfs3::proto::StableHow::Unstable,
+        )
+        .unwrap();
+    }
+    nfs.commit(env, fh).unwrap();
+}
+
+fn assert_server_bytes_exact(fs: &Arc<Mutex<Fs>>, fh: Handle) {
+    let mut f = fs.lock();
+    for b in 0..BLOCKS {
+        let (data, _) = f.read(fh, b * BS, BS as usize, 0).unwrap();
+        assert_eq!(data, block_data(b), "block {b} corrupt on server");
+    }
+}
+
+/// A 10-second WAN outage plus 2% packet loss lands in the middle of
+/// the write-back flush. The retransmission policy rides both out: the
+/// flush drains losslessly, with zero failed blocks and byte-exact
+/// server state.
+#[test]
+fn flush_rides_out_wan_outage_losslessly() {
+    let sim = Simulation::new();
+    let rig = build_rig(&sim);
+    let fh = seed_file(&rig.fs, "redo.img");
+    // Outage [5s, 15s) with 2% background loss in both directions.
+    rig.wan_up.install_faults(
+        LinkFaultPlan::new(11)
+            .drop_prob(0.02)
+            .outage(secs(5), secs(15)),
+    );
+    rig.wan_down.install_faults(
+        LinkFaultPlan::new(12)
+            .drop_prob(0.02)
+            .outage(secs(5), secs(15)),
+    );
+
+    let tel = sim.handle().telemetry().clone();
+    let out: Arc<Mutex<Option<FlushReport>>> = Arc::new(Mutex::new(None));
+    let out2 = out.clone();
+    let (nfs, proxy, cred) = (rig.nfs, rig.proxy.clone(), rig.cred.clone());
+    sim.spawn("client", move |env: Env| {
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh2, _) = nfs.lookup(&env, root, "redo.img").unwrap();
+        assert_eq!(fh2, fh);
+        dirty_all(&env, &nfs, fh);
+        // Start the flush right as the outage begins.
+        let now = env.now();
+        env.sleep(secs(5).saturating_since(now));
+        let report = proxy.flush(&env, &cred);
+        *out2.lock() = Some(report);
+    });
+    sim.run();
+
+    let report = out.lock().unwrap();
+    assert_eq!(report.failed_blocks, 0, "no block may be lost: {report:?}");
+    assert_eq!(report.blocks, BLOCKS);
+    assert_eq!(report.block_bytes, BLOCKS * BS);
+    assert_eq!(rig.proxy.wb_queue_len(), 0);
+    assert_server_bytes_exact(&rig.fs, fh);
+    // The outage was actually felt: calls retransmitted and/or timed out.
+    let retrans = tel.counter("rpc", "client.nfs3.retransmits").get();
+    assert!(retrans > 0, "expected retransmissions, got {retrans}");
+}
+
+/// The server restarts in the middle of the flush, discarding its
+/// unstable writes and rotating its write verifier. The proxy detects
+/// the WRITE/COMMIT verifier mismatch and resends the discarded blocks
+/// in a retry round — the server ends byte-exact.
+#[test]
+fn server_restart_mid_flush_resends_discarded_blocks() {
+    let sim = Simulation::new();
+    let rig = build_rig(&sim);
+    let fh = seed_file(&rig.fs, "vm.img");
+
+    let server = rig.server.clone();
+    sim.spawn("chaos", move |env: Env| {
+        // 1 MB over a 6 Mb/s uplink takes >1s; restart mid-stream.
+        env.sleep(SimDuration::from_millis(5600));
+        server.restart(env.now().as_nanos());
+    });
+
+    let out: Arc<Mutex<Option<FlushReport>>> = Arc::new(Mutex::new(None));
+    let out2 = out.clone();
+    let (nfs, proxy, cred) = (rig.nfs, rig.proxy.clone(), rig.cred.clone());
+    sim.spawn("client", move |env: Env| {
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh2, _) = nfs.lookup(&env, root, "vm.img").unwrap();
+        assert_eq!(fh2, fh);
+        dirty_all(&env, &nfs, fh);
+        let now = env.now();
+        env.sleep(secs(5).saturating_since(now));
+        let report = proxy.flush(&env, &cred);
+        *out2.lock() = Some(report);
+    });
+    sim.run();
+
+    let report = out.lock().unwrap();
+    assert_eq!(report.failed_blocks, 0, "no block may be lost: {report:?}");
+    assert_eq!(report.blocks, BLOCKS);
+    let stats = rig.proxy.stats();
+    assert!(
+        stats.verf_mismatches >= 1,
+        "restart must surface as a verifier mismatch: {stats:?}"
+    );
+    assert!(stats.flush_retry_rounds >= 1);
+    assert_server_bytes_exact(&rig.fs, fh);
+}
+
+/// Degraded mode: while the WAN is down, reads that hit the proxy's
+/// block cache keep being served locally; a miss fails with a clean
+/// error instead of hanging forever.
+#[test]
+fn cache_hits_serve_during_outage_and_misses_fail_cleanly() {
+    let sim = Simulation::new();
+    let rig = build_rig(&sim);
+    let warm = seed_file(&rig.fs, "warm.img");
+    let cold = seed_file(&rig.fs, "cold.img");
+    {
+        let mut f = rig.fs.lock();
+        f.write(warm, 0, &block_data(0), 0).unwrap();
+        f.write(cold, 0, &block_data(1), 0).unwrap();
+    }
+    // WAN dies at t=5s and never recovers.
+    rig.wan_up
+        .install_faults(LinkFaultPlan::new(21).outage(secs(5), secs(1_000_000)));
+    rig.wan_down
+        .install_faults(LinkFaultPlan::new(22).outage(secs(5), secs(1_000_000)));
+
+    let proxy = rig.proxy.clone();
+    let (nfs, fs) = (rig.nfs, rig.fs.clone());
+    sim.spawn("client", move |env: Env| {
+        let _ = &fs;
+        let root = nfs.mount(&env, "/").unwrap();
+        let (wfh, _) = nfs.lookup(&env, root, "warm.img").unwrap();
+        let (cfh, _) = nfs.lookup(&env, root, "cold.img").unwrap();
+        // Warm the block cache before the outage.
+        let r = nfs.read(&env, wfh, 0, BS as u32).unwrap();
+        assert_eq!(r.data, block_data(0));
+        let now = env.now();
+        env.sleep(secs(6).saturating_since(now));
+        // WAN is down. The warm block is served from the cache...
+        let forwarded_before = proxy.stats().forwarded;
+        let r = nfs.read(&env, wfh, 0, BS as u32).unwrap();
+        assert_eq!(r.data, block_data(0));
+        assert_eq!(
+            proxy.stats().forwarded,
+            forwarded_before,
+            "cache hit must not touch the dead WAN"
+        );
+        // ...while the cold miss fails cleanly after the retry budget.
+        let err = nfs.read(&env, cfh, 0, BS as u32);
+        assert!(err.is_err(), "miss during outage must error, got {err:?}");
+    });
+    sim.run();
+}

@@ -19,19 +19,23 @@ use parking_lot::Mutex;
 use simnet::{Env, Link, SimDuration, Simulation};
 use vfs::{Disk, DiskModel};
 
-/// Every WRITE observed at the server: (fileid, generation, offset, data).
-type WriteLog = Arc<Mutex<BTreeSet<(u64, u64, u64, Vec<u8>)>>>;
+/// One WRITE observed at the server: (fileid, generation, offset, data).
+type WriteRec = (u64, u64, u64, Vec<u8>);
+type WriteLog = Arc<Mutex<BTreeSet<WriteRec>>>;
 
 /// Run one dirty-cache flush with the given window and return what the
 /// server saw: the WRITE set, the flush report, and the file contents.
-fn run_flush(flush_window: usize) -> (BTreeSet<(u64, u64, u64, Vec<u8>)>, FlushReport, Vec<u8>) {
+fn run_flush(flush_window: usize) -> (BTreeSet<WriteRec>, FlushReport, Vec<u8>) {
     let sim = Simulation::new();
     let h = sim.handle();
 
     let server_disk = Disk::new(&h, DiskModel::server_array());
     let (fs, server) = Nfs3Server::with_new_fs(&h, server_disk, ServerConfig::default());
     let mount = MountServer::new(fs.clone(), vec!["/".to_string()]);
-    let inner = Dispatcher::new().register(server).register(mount).into_handler();
+    let inner = Dispatcher::new()
+        .register(server)
+        .register(mount)
+        .into_handler();
     let log: WriteLog = Arc::new(Mutex::new(BTreeSet::new()));
     let log2 = log.clone();
     let recording: Arc<dyn RpcHandler> = Arc::new(move |env: &Env, req: &[u8]| {

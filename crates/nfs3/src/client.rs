@@ -67,7 +67,9 @@ impl Nfs3Client {
     }
 
     fn call(&self, env: &Env, proc: u32, args: Vec<u8>) -> NfsResult<Vec<u8>> {
-        Ok(self.rpc.call(env, NFS_PROGRAM, NFS_V3, proc, args)?)
+        // Deadline-aware entry point: retransmits under the stub's
+        // RetryPolicy (if any); identical to plain call() without one.
+        Ok(self.rpc.call_dl(env, NFS_PROGRAM, NFS_V3, proc, args)?)
     }
 
     fn status_of(dec: &mut Decoder<'_>) -> NfsResult<Status> {
@@ -79,7 +81,7 @@ impl Nfs3Client {
         let args = xdr::to_bytes(&export.to_string());
         let res = self
             .rpc
-            .call(env, MOUNT_PROGRAM, MOUNT_V3, mountproc::MNT, args)?;
+            .call_dl(env, MOUNT_PROGRAM, MOUNT_V3, mountproc::MNT, args)?;
         let mut dec = Decoder::new(&res);
         let status = dec.get_u32()?;
         if status != 0 {

@@ -141,6 +141,8 @@ pub enum Status {
     BadHandle,
     /// Operation not supported.
     NotSupp,
+    /// READDIR cookie is no longer valid (verifier mismatch).
+    BadCookie,
     /// Server fault.
     ServerFault,
 }
@@ -161,6 +163,7 @@ impl Status {
             Status::NotEmpty => 66,
             Status::Stale => 70,
             Status::BadHandle => 10_001,
+            Status::BadCookie => 10_003,
             Status::NotSupp => 10_004,
             Status::ServerFault => 10_006,
         }
@@ -181,6 +184,7 @@ impl Status {
             66 => Status::NotEmpty,
             70 => Status::Stale,
             10_001 => Status::BadHandle,
+            10_003 => Status::BadCookie,
             10_004 => Status::NotSupp,
             10_006 => Status::ServerFault,
             other => return Err(XdrError::InvalidDiscriminant(other)),
@@ -590,6 +594,7 @@ mod tests {
             Status::NotEmpty,
             Status::Stale,
             Status::BadHandle,
+            Status::BadCookie,
             Status::NotSupp,
             Status::ServerFault,
         ] {

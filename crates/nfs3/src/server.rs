@@ -9,13 +9,13 @@
 //! explicitly works with *unmodified* kernel NFS servers, extending the
 //! system purely with user-level proxies in front of this server.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use oncrpc::{OpaqueAuth, ProgramError, RpcProgram};
 use parking_lot::Mutex;
 use simnet::telemetry::{Counter, Telemetry};
-use simnet::{Env, SimDuration, SimHandle};
+use simnet::{splitmix64, Env, SimDuration, SimHandle};
 use vfs::{Disk, Fs, FsResult, Handle, LruMap};
 use xdr::{Decode, Encode, Encoder};
 
@@ -71,10 +71,67 @@ pub struct ServerStats {
     pub calls: u64,
 }
 
+/// One cached reply in the duplicate-request cache. A retransmitted call
+/// arrives bearing the xid of the original; if credential and procedure
+/// also match, the server replays the stored reply instead of
+/// re-executing a non-idempotent operation (the classic Juszczak DRC).
+struct DrcEntry {
+    cred_hash: u64,
+    proc: u32,
+    reply: Vec<u8>,
+}
+
+/// Bound on cached replies; old entries age out LRU-style, matching the
+/// fixed-size cache of a real kernel server.
+const DRC_CAPACITY: usize = 1024;
+
 struct SrvState {
     cache: LruMap<(u64, u64), ()>,
     next_seq_offset: HashMap<u64, u64>,
     unstable_bytes: HashMap<u64, u64>,
+    /// Uncommitted write extents per fileid: `(handle, offset, len)`.
+    /// A crash loses exactly these bytes (zero-filled on restart), which
+    /// is what forces clients to honour the write-verifier protocol.
+    /// BTreeMap so restart replays losses in deterministic order.
+    unstable_extents: BTreeMap<u64, Vec<(Handle, u64, u64)>>,
+    /// Duplicate-request cache, keyed by xid.
+    drc: LruMap<u32, DrcEntry>,
+    /// Write verifier for this boot of this instance. Changes on every
+    /// [`Nfs3Server::restart`], signalling to clients that unstable
+    /// writes from before the crash may have been lost.
+    write_verf: u64,
+    boot_seq: u64,
+}
+
+/// FNV-1a over a byte string; used to derive the per-instance write
+/// verifier and to fingerprint credentials for DRC matching.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn cred_hash(cred: &OpaqueAuth) -> u64 {
+    fnv1a(&cred.body) ^ splitmix64(cred.flavor.as_u32() as u64)
+}
+
+/// Procedures whose effect is not idempotent: re-executing a retransmit
+/// would create/remove/rename twice (or bump ctime twice). These are the
+/// calls the DRC must intercept.
+fn is_nonidempotent(proc: u32) -> bool {
+    matches!(
+        proc,
+        proc3::SETATTR
+            | proc3::CREATE
+            | proc3::MKDIR
+            | proc3::SYMLINK
+            | proc3::REMOVE
+            | proc3::RMDIR
+            | proc3::RENAME
+    )
 }
 
 /// Telemetry counters backing [`ServerStats`]; registered at construction.
@@ -121,6 +178,10 @@ impl Nfs3Server {
     /// Create a server exporting `fs`, storing data on `disk`.
     pub fn new(handle: &SimHandle, fs: Arc<Mutex<Fs>>, disk: Disk, cfg: ServerConfig) -> Arc<Self> {
         let cache_blocks = ((cfg.memory_cache_bytes / cfg.block_size as u64) as usize).max(1);
+        let tel = SrvTel::register(handle.telemetry());
+        // Boot 0's verifier: a pure function of the instance name, so
+        // runs replay identically; restart() rotates it.
+        let write_verf = splitmix64(fnv1a(tel.inst.as_bytes()));
         Arc::new(Nfs3Server {
             fs,
             disk,
@@ -128,10 +189,51 @@ impl Nfs3Server {
                 cache: LruMap::new(cache_blocks),
                 next_seq_offset: HashMap::new(),
                 unstable_bytes: HashMap::new(),
+                unstable_extents: BTreeMap::new(),
+                drc: LruMap::new(DRC_CAPACITY),
+                write_verf,
+                boot_seq: 0,
             }),
             cfg,
-            tel: SrvTel::register(handle.telemetry()),
+            tel,
         })
+    }
+
+    /// The write verifier of the current boot (clients compare the value
+    /// returned by WRITE against the one returned by COMMIT).
+    pub fn write_verf(&self) -> u64 {
+        self.state.lock().write_verf
+    }
+
+    /// Simulate a crash + reboot at virtual time `now_ns`: the buffer
+    /// cache, sequential-detection state, duplicate-request cache and all
+    /// *uncommitted* writes are lost (their extents zero-fill, as data
+    /// that never reached disk), and the write verifier rotates so
+    /// clients detect at COMMIT time that they must resend.
+    pub fn restart(&self, now_ns: u64) {
+        let lost = {
+            let mut st = self.state.lock();
+            st.boot_seq += 1;
+            st.write_verf = splitmix64(fnv1a(self.tel.inst.as_bytes()) ^ st.boot_seq);
+            st.cache.clear();
+            st.next_seq_offset.clear();
+            st.unstable_bytes.clear();
+            st.drc.clear();
+            std::mem::take(&mut st.unstable_extents)
+        };
+        {
+            let mut fs = self.fs.lock();
+            for ranges in lost.into_values() {
+                for (h, offset, len) in ranges {
+                    let zeros = vec![0u8; len as usize];
+                    let _ = fs.write(h, offset, &zeros, now_ns);
+                }
+            }
+        }
+        self.tel
+            .registry
+            .counter("nfs3", format!("{}.restarts", self.tel.inst))
+            .inc();
     }
 
     /// Convenience: build a fresh filesystem + server.
@@ -369,6 +471,12 @@ impl Nfs3Server {
                     StableHow::Unstable => {
                         let mut st = self.state.lock();
                         *st.unstable_bytes.entry(a.file.0.fileid).or_insert(0) += bytes;
+                        if bytes > 0 {
+                            st.unstable_extents
+                                .entry(a.file.0.fileid)
+                                .or_default()
+                                .push((a.file.0, a.offset, bytes));
+                        }
                         StableHow::Unstable
                     }
                     sync => {
@@ -376,12 +484,13 @@ impl Nfs3Server {
                         sync
                     }
                 };
+                let verf = self.state.lock().write_verf;
                 let attr = self.getattr_of(a.file.0).ok();
                 let mut enc = Self::ok_header(Status::Ok);
                 WccData(attr).encode(&mut enc);
                 enc.put_u32(a.data.len() as u32);
                 enc.put_u32(committed.as_u32());
-                enc.put_u64(WRITE_VERF);
+                enc.put_u64(verf);
                 Ok(enc.into_bytes())
             }
             Err(e) => Ok(self.err_with_wcc(e.into(), Some(a.file.0))),
@@ -497,6 +606,14 @@ impl Nfs3Server {
     fn proc_readdir(&self, args: &[u8]) -> Result<Vec<u8>, ProgramError> {
         let a: ReaddirArgs = xdr::from_bytes(args).map_err(|_| ProgramError::GarbageArgs)?;
         let fs = self.fs.lock();
+        // A continued listing must present the verifier we handed out
+        // with the first chunk; a stale one means the client's cookie
+        // space is no longer valid (RFC 1813 §3.3.16 NFS3ERR_BAD_COOKIE).
+        if a.cookie != 0 && a.cookieverf != READDIR_VERF {
+            let mut enc = Self::ok_header(Status::BadCookie);
+            PostOpAttr(fs.getattr(a.dir.0).ok()).encode(&mut enc);
+            return Ok(enc.into_bytes());
+        }
         match fs.readdir(a.dir.0) {
             Ok(entries) => {
                 let mut enc = Self::ok_header(Status::Ok);
@@ -547,9 +664,13 @@ impl Nfs3Server {
 
     fn proc_commit(&self, env: &Env, args: &[u8]) -> Result<Vec<u8>, ProgramError> {
         let a: CommitArgs = xdr::from_bytes(args).map_err(|_| ProgramError::GarbageArgs)?;
-        let pending = {
+        let (pending, verf) = {
             let mut st = self.state.lock();
-            st.unstable_bytes.remove(&a.file.0.fileid).unwrap_or(0)
+            // These extents are durable now; a future crash won't lose
+            // them.
+            st.unstable_extents.remove(&a.file.0.fileid);
+            let pending = st.unstable_bytes.remove(&a.file.0.fileid).unwrap_or(0);
+            (pending, st.write_verf)
         };
         if pending > 0 {
             self.disk.sequential_io(env, pending);
@@ -557,13 +678,11 @@ impl Nfs3Server {
         let attr = self.getattr_of(a.file.0).ok();
         let mut enc = Self::ok_header(Status::Ok);
         WccData(attr).encode(&mut enc);
-        enc.put_u64(WRITE_VERF);
+        enc.put_u64(verf);
         Ok(enc.into_bytes())
     }
 }
 
-/// Write verifier reported by this server instance.
-pub const WRITE_VERF: u64 = 0xC0FF_EE00_2004_0604;
 /// READDIR cookie verifier.
 pub const READDIR_VERF: u64 = 0x0DDC_00C1_E000_0001;
 
@@ -615,6 +734,50 @@ impl RpcProgram for Nfs3Server {
             // any workload in this reproduction.
             _ => Err(ProgramError::ProcUnavail),
         }
+    }
+
+    fn call_with_xid(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &OpaqueAuth,
+        proc: u32,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ProgramError> {
+        if !is_nonidempotent(proc) {
+            return self.call(env, cred, proc, args);
+        }
+        let ch = cred_hash(cred);
+        let cached = {
+            let mut st = self.state.lock();
+            match st.drc.get(&xid) {
+                Some(e) if e.cred_hash == ch && e.proc == proc => Some(e.reply.clone()),
+                _ => None,
+            }
+        };
+        if let Some(reply) = cached {
+            // A retransmit of a call we already executed: replay the
+            // stored reply. The operation's side effect happens once.
+            self.tel
+                .registry
+                .counter("nfs3", format!("{}.drc.hits", self.tel.inst))
+                .inc();
+            env.sleep(self.cfg.op_cpu);
+            return Ok(reply);
+        }
+        let res = self.call(env, cred, proc, args);
+        if let Ok(reply) = &res {
+            let mut st = self.state.lock();
+            st.drc.insert(
+                xid,
+                DrcEntry {
+                    cred_hash: ch,
+                    proc,
+                    reply: reply.clone(),
+                },
+            );
+        }
+        res
     }
 }
 
@@ -674,5 +837,183 @@ impl RpcProgram for MountServer {
             mountproc::UMNT => Ok(Vec::new()),
             _ => Err(ProgramError::ProcUnavail),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::Simulation;
+    use vfs::DiskModel;
+
+    fn setup(sim: &Simulation) -> (Arc<Mutex<Fs>>, Arc<Nfs3Server>) {
+        let h = sim.handle();
+        let disk = Disk::new(&h, DiskModel::server_array());
+        Nfs3Server::with_new_fs(&h, disk, ServerConfig::default())
+    }
+
+    fn sys_cred() -> OpaqueAuth {
+        OpaqueAuth::sys(&oncrpc::AuthSys::new("t", 1, 1))
+    }
+
+    fn mkdir_args(dir: Handle, name: &str) -> Vec<u8> {
+        xdr::to_bytes(&CreateArgs {
+            whereto: DirOpArgs3 {
+                dir: Fh3(dir),
+                name: name.to_string(),
+            },
+            attrs: Sattr3 {
+                mode: Some(0o755),
+                size: None,
+            },
+        })
+    }
+
+    #[test]
+    fn drc_replays_nonidempotent_calls_without_reexecution() {
+        let sim = Simulation::new();
+        let (fs, srv) = setup(&sim);
+        let fs2 = fs.clone();
+        sim.spawn("t", move |env| {
+            let root = fs2.lock().resolve("/").unwrap();
+            let args = mkdir_args(root, "d");
+            // Original call and a retransmit bearing the same xid.
+            let r1 = srv
+                .call_with_xid(&env, 77, &sys_cred(), proc3::MKDIR, &args)
+                .unwrap();
+            let r2 = srv
+                .call_with_xid(&env, 77, &sys_cred(), proc3::MKDIR, &args)
+                .unwrap();
+            assert_eq!(r1, r2, "retransmit must replay the cached reply");
+            let entries = fs2.lock().readdir(root).unwrap();
+            assert_eq!(entries.len(), 1, "MKDIR must have executed once");
+            // A NEW xid is a genuinely new call: it re-executes and now
+            // collides with the existing directory.
+            let r3 = srv
+                .call_with_xid(&env, 78, &sys_cred(), proc3::MKDIR, &args)
+                .unwrap();
+            let mut dec = xdr::Decoder::new(&r3);
+            assert_eq!(dec.get_u32().unwrap(), Status::Exist.as_u32());
+            // Same xid but a different credential must NOT replay.
+            let other = OpaqueAuth::sys(&oncrpc::AuthSys::new("mallory", 9, 9));
+            let r4 = srv
+                .call_with_xid(&env, 77, &other, proc3::MKDIR, &args)
+                .unwrap();
+            let mut dec = xdr::Decoder::new(&r4);
+            assert_eq!(dec.get_u32().unwrap(), Status::Exist.as_u32());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn restart_rotates_write_verifier_and_loses_uncommitted_writes() {
+        let sim = Simulation::new();
+        let (fs, srv) = setup(&sim);
+        let fs2 = fs.clone();
+        sim.spawn("t", move |env| {
+            let root = fs2.lock().resolve("/").unwrap();
+            let file = fs2.lock().create(root, "f", 0o644, 0).unwrap();
+            let v0 = srv.write_verf();
+            let write = |offset: u64, data: Vec<u8>, stable: StableHow| {
+                xdr::to_bytes(&WriteArgs {
+                    file: Fh3(file),
+                    offset,
+                    count: data.len() as u32,
+                    stable,
+                    data,
+                })
+            };
+            // A committed prefix and an uncommitted suffix.
+            srv.call(
+                &env,
+                &sys_cred(),
+                proc3::WRITE,
+                &write(0, vec![1u8; 100], StableHow::FileSync),
+            )
+            .unwrap();
+            srv.call(
+                &env,
+                &sys_cred(),
+                proc3::WRITE,
+                &write(100, vec![2u8; 100], StableHow::Unstable),
+            )
+            .unwrap();
+            srv.restart(env.now().as_nanos());
+            let v1 = srv.write_verf();
+            assert_ne!(v0, v1, "crash must rotate the write verifier");
+            let (data, _) = fs2.lock().read(file, 0, 200, 1).unwrap();
+            assert_eq!(&data[..100], &[1u8; 100][..], "synced data survives");
+            assert_eq!(&data[100..], &[0u8; 100][..], "unstable data is lost");
+            // Once committed, a crash no longer loses the bytes.
+            srv.call(
+                &env,
+                &sys_cred(),
+                proc3::WRITE,
+                &write(100, vec![3u8; 100], StableHow::Unstable),
+            )
+            .unwrap();
+            srv.call(
+                &env,
+                &sys_cred(),
+                proc3::COMMIT,
+                &xdr::to_bytes(&CommitArgs {
+                    file: Fh3(file),
+                    offset: 0,
+                    count: 0,
+                }),
+            )
+            .unwrap();
+            srv.restart(env.now().as_nanos());
+            assert_ne!(srv.write_verf(), v1);
+            let (data, _) = fs2.lock().read(file, 100, 100, 2).unwrap();
+            assert_eq!(data, vec![3u8; 100]);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn readdir_with_stale_cookieverf_reports_bad_cookie() {
+        let sim = Simulation::new();
+        let (fs, srv) = setup(&sim);
+        let fs2 = fs.clone();
+        sim.spawn("t", move |env| {
+            let root = fs2.lock().resolve("/").unwrap();
+            fs2.lock().create(root, "a", 0o644, 0).unwrap();
+            let args = |cookie: u64, cookieverf: u64| {
+                xdr::to_bytes(&ReaddirArgs {
+                    dir: Fh3(root),
+                    cookie,
+                    cookieverf,
+                    count: 8192,
+                })
+            };
+            // First chunk: cookie 0 ignores the verifier.
+            let r = srv
+                .call(&env, &sys_cred(), proc3::READDIR, &args(0, 0))
+                .unwrap();
+            let mut dec = xdr::Decoder::new(&r);
+            assert_eq!(dec.get_u32().unwrap(), Status::Ok.as_u32());
+            // Continuation with the canonical verifier is accepted.
+            let r = srv
+                .call(&env, &sys_cred(), proc3::READDIR, &args(1, READDIR_VERF))
+                .unwrap();
+            let mut dec = xdr::Decoder::new(&r);
+            assert_eq!(dec.get_u32().unwrap(), Status::Ok.as_u32());
+            // Continuation with a stale verifier must be refused.
+            let r = srv
+                .call(&env, &sys_cred(), proc3::READDIR, &args(1, 0xBAD))
+                .unwrap();
+            let mut dec = xdr::Decoder::new(&r);
+            assert_eq!(dec.get_u32().unwrap(), Status::BadCookie.as_u32());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn write_verifiers_differ_between_server_instances() {
+        let sim = Simulation::new();
+        let (_fs_a, a) = setup(&sim);
+        let (_fs_b, b) = setup(&sim);
+        assert_ne!(a.write_verf(), b.write_verf());
     }
 }

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use simnet::Env;
+use simnet::{splitmix64, Env, SimDuration};
 
 use crate::auth::OpaqueAuth;
 use crate::msg::{AcceptStat, CallHeader, RejectStat, ReplyBody, RpcMessage};
@@ -27,6 +27,8 @@ pub enum RpcError {
     Accept(AcceptStat),
     /// The server denied the call.
     Denied(RejectStat),
+    /// All retransmit attempts timed out without a matching reply.
+    TimedOut,
 }
 
 impl std::fmt::Display for RpcError {
@@ -39,11 +41,78 @@ impl std::fmt::Display for RpcError {
             }
             RpcError::Accept(s) => write!(f, "RPC accepted-call failure: {s:?}"),
             RpcError::Denied(s) => write!(f, "RPC call denied: {s:?}"),
+            RpcError::TimedOut => write!(f, "RPC call timed out after all retransmits"),
         }
     }
 }
 
 impl std::error::Error for RpcError {}
+
+/// Retransmission policy for deadline-aware calls ([`RpcClient::call_dl`]).
+///
+/// A call keeps its xid across retransmits (that is what lets the
+/// server's duplicate-request cache recognise it); each attempt waits for
+/// a per-attempt timeout that doubles up to `max_timeout`, with optional
+/// deterministic jitter derived from `(xid, attempt)` so concurrent
+/// callers don't retransmit in lockstep yet every run replays
+/// identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Timeout for the first attempt.
+    pub first_timeout: SimDuration,
+    /// Cap on the per-attempt timeout as it doubles.
+    pub max_timeout: SimDuration,
+    /// Total attempts (first transmission + retransmits).
+    pub max_attempts: u32,
+    /// Fraction of the timeout added as deterministic jitter (0 = none).
+    pub jitter_frac: f64,
+}
+
+impl RetryPolicy {
+    /// A policy sized for the paper's WAN (~34 ms RTT, multi-second
+    /// windowed transfers): 5 s first timeout doubling to 20 s, eight
+    /// attempts — enough to ride out a 10 s outage with margin.
+    pub fn wan() -> Self {
+        RetryPolicy {
+            first_timeout: SimDuration::from_secs(5),
+            max_timeout: SimDuration::from_secs(20),
+            max_attempts: 8,
+            jitter_frac: 0.1,
+        }
+    }
+
+    /// Per-attempt timeout for `attempt` (0-based), before jitter.
+    fn base_timeout(&self, attempt: u32) -> SimDuration {
+        let mut t = self.first_timeout;
+        for _ in 0..attempt {
+            t = t * 2;
+            if t >= self.max_timeout {
+                return self.max_timeout;
+            }
+        }
+        t
+    }
+
+    /// Deterministic jitter for `(xid, attempt)`: a pure function of its
+    /// inputs, so a rerun with the same seed retransmits at the same
+    /// virtual instants.
+    fn jitter(&self, xid: u32, attempt: u32, timeout: SimDuration) -> SimDuration {
+        if self.jitter_frac <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let word = splitmix64(((xid as u64) << 32) | attempt as u64);
+        let unit = (word >> 11) as f64 / (1u64 << 53) as f64;
+        SimDuration::from_secs_f64(timeout.as_secs_f64() * self.jitter_frac * unit)
+    }
+}
+
+/// Outcome of decoding one reply against the xid we are waiting for.
+enum ReplyMatch {
+    /// The reply matches our call: the final result.
+    Done(Result<Vec<u8>, RpcError>),
+    /// A stray reply for some other xid: discard and keep waiting.
+    Stale,
+}
 
 /// A client stub bound to one transport channel and one credential.
 /// Cloneable and shareable across simulated processes; xids are allocated
@@ -53,6 +122,7 @@ pub struct RpcClient {
     chan: RpcChannel,
     cred: OpaqueAuth,
     next_xid: Arc<AtomicU32>,
+    policy: Option<RetryPolicy>,
 }
 
 impl RpcClient {
@@ -62,6 +132,7 @@ impl RpcClient {
             chan,
             cred,
             next_xid: Arc::new(AtomicU32::new(1)),
+            policy: None,
         }
     }
 
@@ -72,7 +143,24 @@ impl RpcClient {
             chan: self.chan.clone(),
             cred,
             next_xid: self.next_xid.clone(),
+            policy: self.policy,
         }
+    }
+
+    /// Attach a retransmission policy; [`RpcClient::call_dl`] on the
+    /// returned stub retransmits per `policy` instead of waiting forever.
+    pub fn with_policy(&self, policy: RetryPolicy) -> Self {
+        RpcClient {
+            chan: self.chan.clone(),
+            cred: self.cred.clone(),
+            next_xid: self.next_xid.clone(),
+            policy: Some(policy),
+        }
+    }
+
+    /// The retransmission policy, if one is attached.
+    pub fn policy(&self) -> Option<RetryPolicy> {
+        self.policy
     }
 
     /// The credential attached to calls from this stub.
@@ -100,12 +188,48 @@ impl RpcClient {
         proc: u32,
         args: Vec<u8>,
     ) -> Result<Vec<u8>, RpcError> {
+        self.instrumented(env, prog, proc, |c| {
+            c.call_inner(env, prog, vers, proc, args)
+        })
+    }
+
+    /// Deadline-aware variant of [`RpcClient::call`]: when a
+    /// [`RetryPolicy`] is attached, each attempt is bounded by a timeout
+    /// and the request is retransmitted — under the *same* xid, so the
+    /// server's duplicate-request cache can suppress re-execution — until
+    /// a matching reply arrives or attempts are exhausted
+    /// ([`RpcError::TimedOut`]). Without a policy this is identical to
+    /// [`RpcClient::call`]. All fault-exposed callers (the GVFS proxy
+    /// chain, the NFS client) go through this entry point.
+    pub fn call_dl(
+        &self,
+        env: &Env,
+        prog: u32,
+        vers: u32,
+        proc: u32,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, RpcError> {
+        self.instrumented(env, prog, proc, |c| match c.policy {
+            Some(policy) => c.call_retry(env, prog, vers, proc, args, policy),
+            None => c.call_inner(env, prog, vers, proc, args),
+        })
+    }
+
+    /// Shared telemetry wrapper: per-procedure latency histogram,
+    /// call/error counters, outstanding gauge.
+    fn instrumented(
+        &self,
+        env: &Env,
+        prog: u32,
+        proc: u32,
+        body: impl FnOnce(&Self) -> Result<Vec<u8>, RpcError>,
+    ) -> Result<Vec<u8>, RpcError> {
         let t0 = env.now();
         let tel = env.telemetry();
         let label = prog_label(prog);
         let outstanding = tel.gauge("rpc", format!("client.{label}.outstanding"));
         outstanding.inc();
-        let result = self.call_inner(env, prog, vers, proc, args);
+        let result = body(self);
         outstanding.dec();
         tel.histogram("rpc", format!("client.{label}.proc{proc}"))
             .record(env.now() - t0);
@@ -116,15 +240,7 @@ impl RpcClient {
         result
     }
 
-    fn call_inner(
-        &self,
-        env: &Env,
-        prog: u32,
-        vers: u32,
-        proc: u32,
-        args: Vec<u8>,
-    ) -> Result<Vec<u8>, RpcError> {
-        let xid = self.next_xid.fetch_add(1, Ordering::Relaxed);
+    fn encode_call(&self, xid: u32, prog: u32, vers: u32, proc: u32, args: Vec<u8>) -> Vec<u8> {
         let msg = RpcMessage::Call {
             header: CallHeader {
                 xid,
@@ -136,21 +252,27 @@ impl RpcClient {
             },
             args,
         };
-        let request = xdr::to_bytes(&msg);
-        let reply_bytes = self
-            .chan
-            .call_raw(env, request)
-            .ok_or(RpcError::Transport)?;
-        let reply: RpcMessage = xdr::from_bytes(&reply_bytes).map_err(RpcError::Decode)?;
+        xdr::to_bytes(&msg)
+    }
+
+    /// Decode one reply against the xid we sent. A reply bearing some
+    /// other xid is a stray (stale retransmit answer, reordered delivery)
+    /// and must be discarded — not treated as fatal for this call.
+    fn match_reply(&self, env: &Env, prog: u32, xid: u32, reply_bytes: &[u8]) -> ReplyMatch {
+        let reply: RpcMessage = match xdr::from_bytes(reply_bytes) {
+            Ok(r) => r,
+            Err(e) => return ReplyMatch::Done(Err(RpcError::Decode(e))),
+        };
         match reply {
             RpcMessage::Reply { xid: rxid, body } => {
                 if rxid != xid {
-                    return Err(RpcError::XidMismatch {
-                        expected: xid,
-                        got: rxid,
-                    });
+                    let label = prog_label(prog);
+                    env.telemetry()
+                        .counter("rpc", format!("client.{label}.stale_replies"))
+                        .inc();
+                    return ReplyMatch::Stale;
                 }
-                match body {
+                ReplyMatch::Done(match body {
                     ReplyBody::Accepted {
                         stat: AcceptStat::Success,
                         results,
@@ -158,10 +280,70 @@ impl RpcClient {
                     } => Ok(results),
                     ReplyBody::Accepted { stat, .. } => Err(RpcError::Accept(stat)),
                     ReplyBody::Denied(stat) => Err(RpcError::Denied(stat)),
+                })
+            }
+            RpcMessage::Call { .. } => {
+                ReplyMatch::Done(Err(RpcError::Decode(xdr::Error::InvalidDiscriminant(0))))
+            }
+        }
+    }
+
+    fn call_inner(
+        &self,
+        env: &Env,
+        prog: u32,
+        vers: u32,
+        proc: u32,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, RpcError> {
+        let xid = self.next_xid.fetch_add(1, Ordering::Relaxed);
+        let request = self.encode_call(xid, prog, vers, proc, args);
+        let pending = self.chan.send_request(env, request);
+        loop {
+            let reply_bytes = pending.recv(env).ok_or(RpcError::Transport)?;
+            match self.match_reply(env, prog, xid, &reply_bytes) {
+                ReplyMatch::Done(result) => return result,
+                ReplyMatch::Stale => continue,
+            }
+        }
+    }
+
+    fn call_retry(
+        &self,
+        env: &Env,
+        prog: u32,
+        vers: u32,
+        proc: u32,
+        args: Vec<u8>,
+        policy: RetryPolicy,
+    ) -> Result<Vec<u8>, RpcError> {
+        let tel = env.telemetry();
+        let label = prog_label(prog);
+        // One xid for the whole logical call: retransmits must be
+        // recognisable as duplicates by the server's DRC.
+        let xid = self.next_xid.fetch_add(1, Ordering::Relaxed);
+        let request = self.encode_call(xid, prog, vers, proc, args);
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                tel.counter("rpc", format!("client.{label}.retransmits"))
+                    .inc();
+            }
+            let timeout = policy.base_timeout(attempt);
+            let deadline = env.now() + timeout + policy.jitter(xid, attempt, timeout);
+            let pending = self.chan.send_request(env, request.clone());
+            while let Some(reply_bytes) = pending.recv_deadline(env, deadline) {
+                match self.match_reply(env, prog, xid, &reply_bytes) {
+                    ReplyMatch::Done(result) => return result,
+                    ReplyMatch::Stale => continue,
                 }
             }
-            RpcMessage::Call { .. } => Err(RpcError::Decode(xdr::Error::InvalidDiscriminant(0))),
+            tel.counter("rpc", format!("client.{label}.timeouts")).inc();
+            // Abandoning `pending` here drops its private reply queue, so
+            // a late reply to this attempt is discarded on arrival rather
+            // than confusing a future call.
         }
+        Err(RpcError::TimedOut)
     }
 }
 
@@ -173,5 +355,187 @@ pub fn prog_label(prog: u32) -> String {
         100_005 => "mount".to_string(),
         400_100 => "channel".to_string(),
         other => format!("prog{other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthSys;
+    use crate::transport::{endpoint, WireSpec};
+    use simnet::{Link, LinkFaultPlan, SimHandle, SimTime, Simulation};
+    use std::sync::atomic::AtomicU32 as TestCounter;
+
+    const PROG: u32 = 200_000;
+
+    fn fast_link(h: &SimHandle, name: &str) -> Link {
+        Link::new(h, name, 1e9, SimDuration::from_millis(1))
+    }
+
+    fn request_xid(req: &[u8]) -> u32 {
+        match xdr::from_bytes::<RpcMessage>(req).unwrap() {
+            RpcMessage::Call { header, .. } => header.xid,
+            RpcMessage::Reply { .. } => panic!("server got a reply"),
+        }
+    }
+
+    fn test_policy(first_secs: u64, max_secs: u64, attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            first_timeout: SimDuration::from_secs(first_secs),
+            max_timeout: SimDuration::from_secs(max_secs),
+            max_attempts: attempts,
+            jitter_frac: 0.0,
+        }
+    }
+
+    fn client_over(
+        sim: &Simulation,
+        up: Link,
+        handler: Arc<dyn crate::transport::RpcHandler>,
+    ) -> RpcClient {
+        let h = sim.handle();
+        let ep = endpoint(&h, up, fast_link(&h, "down"), WireSpec::plain());
+        ep.listener.serve("srv", handler, 1);
+        RpcClient::new(
+            ep.channel,
+            OpaqueAuth::sys(&AuthSys::new("client", 1000, 1000)),
+        )
+    }
+
+    #[test]
+    fn stale_reply_is_discarded_and_call_retransmits() {
+        // Server answers the first request with the WRONG xid (a stray),
+        // then answers correctly. The client must discard the stray —
+        // previously fatal — count it, time out, and retransmit.
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let served = Arc::new(TestCounter::new(0));
+        let s2 = served.clone();
+        let handler = Arc::new(move |_env: &Env, req: &[u8]| {
+            let xid = request_xid(req);
+            let k = s2.fetch_add(1, Ordering::SeqCst);
+            let reply_xid = if k == 0 { xid.wrapping_add(7_000) } else { xid };
+            xdr::to_bytes(&RpcMessage::success(reply_xid, xdr::to_bytes(&5u32)))
+        });
+        let client =
+            client_over(&sim, fast_link(&h, "up"), handler).with_policy(test_policy(1, 4, 4));
+        sim.spawn("c", move |env| {
+            let res = client.call_dl(&env, PROG, 1, 1, Vec::new()).unwrap();
+            let v: u32 = xdr::from_bytes(&res).unwrap();
+            assert_eq!(v, 5);
+        });
+        sim.run();
+        let tel = h.telemetry().clone();
+        assert_eq!(
+            tel.counter("rpc", "client.prog200000.stale_replies").get(),
+            1
+        );
+        assert_eq!(tel.counter("rpc", "client.prog200000.timeouts").get(), 1);
+        assert_eq!(tel.counter("rpc", "client.prog200000.retransmits").get(), 1);
+        assert_eq!(served.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn retransmit_rides_out_an_outage() {
+        // Uplink is down for the first 7 s; the call starts at t=0. The
+        // first two attempts are lost; the third (t=3 s deadline → 1+2+…)
+        // lands after recovery. Same xid throughout.
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let up = fast_link(&h, "up");
+        up.install_faults(
+            LinkFaultPlan::new(11).outage(SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(7)),
+        );
+        let served = Arc::new(TestCounter::new(0));
+        let s2 = served.clone();
+        let handler = Arc::new(move |_env: &Env, req: &[u8]| {
+            let xid = request_xid(req);
+            s2.fetch_add(1, Ordering::SeqCst);
+            xdr::to_bytes(&RpcMessage::success(xid, xdr::to_bytes(&9u32)))
+        });
+        let client = client_over(&sim, up, handler).with_policy(test_policy(1, 8, 8));
+        sim.spawn("c", move |env| {
+            let res = client.call_dl(&env, PROG, 1, 1, Vec::new()).unwrap();
+            let v: u32 = xdr::from_bytes(&res).unwrap();
+            assert_eq!(v, 9);
+            // Deadlines 1,2,4,8 → attempts at t=0,1,3,7; the t=7 attempt
+            // is the first past the outage.
+            assert!(env.now() >= SimTime::ZERO + SimDuration::from_secs(7));
+        });
+        sim.run();
+        let tel = h.telemetry().clone();
+        assert_eq!(tel.counter("rpc", "client.prog200000.timeouts").get(), 3);
+        assert_eq!(tel.counter("rpc", "client.prog200000.retransmits").get(), 3);
+        // Only the post-recovery retransmit reached the server.
+        assert_eq!(served.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn exhausted_attempts_time_out_with_exact_schedule() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let up = fast_link(&h, "up");
+        up.install_faults(LinkFaultPlan::new(3).drop_prob(1.0));
+        let handler = Arc::new(|_env: &Env, req: &[u8]| {
+            let xid = request_xid(req);
+            xdr::to_bytes(&RpcMessage::success(xid, Vec::new()))
+        });
+        let client = client_over(&sim, up, handler).with_policy(test_policy(1, 4, 3));
+        sim.spawn("c", move |env| {
+            let err = client.call_dl(&env, PROG, 1, 1, Vec::new()).unwrap_err();
+            assert_eq!(err, RpcError::TimedOut);
+            // 1 s + 2 s + 4 s of per-attempt timeouts, no jitter.
+            assert_eq!(env.now(), SimTime::ZERO + SimDuration::from_secs(7));
+        });
+        sim.run();
+        let tel = h.telemetry().clone();
+        assert_eq!(tel.counter("rpc", "client.prog200000.timeouts").get(), 3);
+        assert_eq!(tel.counter("rpc", "client.prog200000.retransmits").get(), 2);
+        assert_eq!(tel.counter("rpc", "client.prog200000.errors").get(), 1);
+    }
+
+    #[test]
+    fn call_dl_without_policy_matches_legacy_call() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let handler = Arc::new(|_env: &Env, req: &[u8]| {
+            let xid = request_xid(req);
+            xdr::to_bytes(&RpcMessage::success(xid, xdr::to_bytes(&1u32)))
+        });
+        let client = client_over(&sim, fast_link(&h, "up"), handler);
+        assert!(client.policy().is_none());
+        sim.spawn("c", move |env| {
+            let res = client.call_dl(&env, PROG, 1, 1, Vec::new()).unwrap();
+            let v: u32 = xdr::from_bytes(&res).unwrap();
+            assert_eq!(v, 1);
+        });
+        let end = sim.run();
+        assert!(
+            end < SimTime::ZERO + SimDuration::from_millis(100),
+            "{end:?}"
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::wan();
+        let t = p.base_timeout(1);
+        let a = p.jitter(42, 1, t);
+        let b = p.jitter(42, 1, t);
+        let c = p.jitter(43, 1, t);
+        assert_eq!(a, b);
+        assert!(a.as_secs_f64() <= t.as_secs_f64() * p.jitter_frac);
+        // Different xids almost surely jitter differently.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn base_timeout_doubles_and_caps() {
+        let p = test_policy(1, 5, 8);
+        assert_eq!(p.base_timeout(0), SimDuration::from_secs(1));
+        assert_eq!(p.base_timeout(1), SimDuration::from_secs(2));
+        assert_eq!(p.base_timeout(2), SimDuration::from_secs(4));
+        assert_eq!(p.base_timeout(3), SimDuration::from_secs(5));
+        assert_eq!(p.base_timeout(7), SimDuration::from_secs(5));
     }
 }

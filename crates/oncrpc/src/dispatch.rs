@@ -38,6 +38,23 @@ pub trait RpcProgram: Send + Sync + 'static {
         proc: u32,
         args: &[u8],
     ) -> Result<Vec<u8>, ProgramError>;
+
+    /// Like [`RpcProgram::call`], but with the transaction id of the
+    /// request. Programs that maintain a duplicate-request cache (the
+    /// NFSv3 server) override this — a retransmitted call arrives with
+    /// the same xid, which is what lets the server recognise it and
+    /// replay the cached reply instead of re-executing a non-idempotent
+    /// operation. The default ignores the xid.
+    fn call_with_xid(
+        &self,
+        env: &Env,
+        _xid: u32,
+        cred: &OpaqueAuth,
+        proc: u32,
+        args: &[u8],
+    ) -> Result<Vec<u8>, ProgramError> {
+        self.call(env, cred, proc, args)
+    }
 }
 
 /// Routes raw RPC messages to registered programs and builds protocol-
@@ -105,7 +122,7 @@ impl RpcHandler for Dispatcher {
                     high: prog.version(),
                 },
             ),
-            Some(prog) => match prog.call(env, &header.cred, header.proc, &args) {
+            Some(prog) => match prog.call_with_xid(env, xid, &header.cred, header.proc, &args) {
                 Ok(results) => RpcMessage::success(xid, results),
                 Err(ProgramError::ProcUnavail) => {
                     RpcMessage::accept_error(xid, AcceptStat::ProcUnavail)

@@ -26,7 +26,7 @@ pub mod record;
 pub mod transport;
 
 pub use auth::{AuthFlavor, AuthGvfs, AuthSys, OpaqueAuth};
-pub use client::{prog_label, RpcClient, RpcError};
+pub use client::{prog_label, RetryPolicy, RpcClient, RpcError};
 pub use dispatch::{Dispatcher, ProgramError, RpcProgram};
 pub use msg::{AcceptStat, CallHeader, RejectStat, ReplyBody, RpcMessage, RPC_VERSION};
-pub use transport::{endpoint, Endpoint, Listener, RpcChannel, WireSpec};
+pub use transport::{endpoint, Endpoint, Listener, PendingCall, RpcChannel, WireSpec};

@@ -13,7 +13,9 @@
 
 use std::sync::Arc;
 
-use simnet::{channel, Env, Link, Receiver, Sender, SimDuration, SimHandle};
+use simnet::{
+    channel, Env, Link, Receiver, RecvTimeoutError, Sender, SimDuration, SimHandle, SimTime,
+};
 
 use crate::record;
 
@@ -81,20 +83,87 @@ pub struct RpcChannel {
     tx: Sender<Envelope>,
 }
 
+/// A request handed to the wire: the handle on which its reply — or
+/// silence — arrives. Every request gets a private reply queue, so a
+/// reply to an abandoned (retransmitted-over) attempt lands on a dropped
+/// receiver and is discarded by construction.
+pub struct PendingCall {
+    reply_rx: Receiver<Vec<u8>>,
+}
+
+impl PendingCall {
+    /// Wait indefinitely for the reply. `None` means the listener is gone
+    /// or the message was lost to a link fault (legacy semantics: loss
+    /// surfaces immediately as a transport failure).
+    pub fn recv(&self, env: &Env) -> Option<Vec<u8>> {
+        self.reply_rx.recv(env).ok()
+    }
+
+    /// Wait until `deadline` for the reply. Lost messages are surfaced
+    /// the way a real client sees them: by silence. If the request was
+    /// dropped by the uplink's fault plan, the reply by the downlink's,
+    /// or the listener is gone, the caller waits out its deadline and
+    /// gets `None` — it cannot tell which of the three happened, which
+    /// is exactly why retransmission and the server's duplicate-request
+    /// cache exist.
+    pub fn recv_deadline(&self, env: &Env, deadline: SimTime) -> Option<Vec<u8>> {
+        match self.reply_rx.recv_deadline(env, deadline) {
+            Ok(bytes) => Some(bytes),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                // The request or reply was lost (or the server is down).
+                // A real client learns nothing until its timer fires.
+                let now = env.now();
+                if now < deadline {
+                    env.sleep(deadline - now);
+                }
+                None
+            }
+        }
+    }
+}
+
 impl RpcChannel {
+    /// Pay the request's cipher and uplink costs and enqueue it at the
+    /// listener, returning the [`PendingCall`] its reply will arrive on.
+    /// If the uplink's fault plan drops or severs the message the server
+    /// never sees it and the pending call resolves only by silence.
+    pub fn send_request(&self, env: &Env, request: Vec<u8>) -> PendingCall {
+        env.sleep(self.wire.cipher_time(request.len()));
+        let delivered = self
+            .up
+            .transfer_checked(env, self.wire.wire_bytes(request.len()))
+            .delivered();
+        let (reply_tx, reply_rx) = channel::<Vec<u8>>(&self.handle);
+        if delivered {
+            self.tx.send(Envelope {
+                bytes: request,
+                reply_tx,
+            });
+        }
+        // Not delivered: reply_tx drops here, so the pending call sees a
+        // disconnect (legacy recv) or waits out its deadline.
+        PendingCall { reply_rx }
+    }
+
     /// Send `request` and wait for the reply bytes.
     ///
     /// Returns `None` if the listener was dropped (connection refused /
     /// reset), which callers surface as an RPC transport error.
     pub fn call_raw(&self, env: &Env, request: Vec<u8>) -> Option<Vec<u8>> {
-        env.sleep(self.wire.cipher_time(request.len()));
-        self.up.transfer(env, self.wire.wire_bytes(request.len()));
-        let (reply_tx, reply_rx) = channel::<Vec<u8>>(&self.handle);
-        self.tx.send(Envelope {
-            bytes: request,
-            reply_tx,
-        });
-        reply_rx.recv(env).ok()
+        self.send_request(env, request).recv(env)
+    }
+
+    /// [`RpcChannel::send_request`] followed by
+    /// [`PendingCall::recv_deadline`]: give up once virtual time reaches
+    /// `deadline`.
+    pub fn call_raw_deadline(
+        &self,
+        env: &Env,
+        request: Vec<u8>,
+        deadline: SimTime,
+    ) -> Option<Vec<u8>> {
+        self.send_request(env, request).recv_deadline(env, deadline)
     }
 
     /// The wire spec for this hop (used by servers replying).
@@ -160,8 +229,15 @@ impl Listener {
                     };
                     let reply = handler.handle(&env, &envelope.bytes);
                     env.sleep(wire.cipher_time(reply.len()));
-                    down.transfer(&env, wire.wire_bytes(reply.len()));
-                    envelope.reply_tx.send(reply);
+                    let delivered = down
+                        .transfer_checked(&env, wire.wire_bytes(reply.len()))
+                        .delivered();
+                    if delivered {
+                        envelope.reply_tx.send(reply);
+                    }
+                    // A lost reply: the side effect happened on the server
+                    // but the client never hears back — the case the
+                    // duplicate-request cache must make idempotent.
                 });
         }
     }
@@ -317,6 +393,81 @@ mod tests {
         let parallel = run(2);
         assert!(serial > 1.9, "serial took {serial}");
         assert!(parallel < 1.1, "parallel took {parallel}");
+    }
+
+    #[test]
+    fn deadline_call_round_trips_when_healthy() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let ep = endpoint(
+            &h,
+            fast_link(&h, "up"),
+            fast_link(&h, "down"),
+            WireSpec::plain(),
+        );
+        ep.listener
+            .serve("echo", Arc::new(|_env: &Env, req: &[u8]| req.to_vec()), 1);
+        let chan = ep.channel;
+        sim.spawn("client", move |env| {
+            let deadline = env.now() + SimDuration::from_secs(5);
+            let reply = chan.call_raw_deadline(&env, b"ping".to_vec(), deadline);
+            assert_eq!(reply.as_deref(), Some(b"ping".as_slice()));
+            // Healthy path: well under the deadline, and the unfired
+            // timer must not stretch the timeline (checked via sim end).
+        });
+        let end = sim.run();
+        assert!(end < SimTime::ZERO + SimDuration::from_secs(1), "{end:?}");
+    }
+
+    #[test]
+    fn lost_request_resolves_at_the_deadline() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let up = fast_link(&h, "up");
+        // Drop every request.
+        up.install_faults(simnet::LinkFaultPlan::new(3).drop_prob(1.0));
+        let ep = endpoint(&h, up, fast_link(&h, "down"), WireSpec::plain());
+        ep.listener
+            .serve("echo", Arc::new(|_env: &Env, req: &[u8]| req.to_vec()), 1);
+        let chan = ep.channel;
+        sim.spawn("client", move |env| {
+            let deadline = env.now() + SimDuration::from_secs(2);
+            assert!(chan
+                .call_raw_deadline(&env, b"hi".to_vec(), deadline)
+                .is_none());
+            assert_eq!(env.now(), SimTime::ZERO + SimDuration::from_secs(2));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn lost_reply_resolves_at_the_deadline() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let down = fast_link(&h, "down");
+        down.install_faults(simnet::LinkFaultPlan::new(4).drop_prob(1.0));
+        let ep = endpoint(&h, fast_link(&h, "up"), down, WireSpec::plain());
+        let served = Arc::new(AtomicU64::new(0));
+        let s2 = served.clone();
+        ep.listener.serve(
+            "echo",
+            Arc::new(move |_env: &Env, req: &[u8]| {
+                s2.fetch_add(1, AO::SeqCst);
+                req.to_vec()
+            }),
+            1,
+        );
+        let chan = ep.channel;
+        sim.spawn("client", move |env| {
+            let deadline = env.now() + SimDuration::from_secs(2);
+            assert!(chan
+                .call_raw_deadline(&env, b"hi".to_vec(), deadline)
+                .is_none());
+            assert_eq!(env.now(), SimTime::ZERO + SimDuration::from_secs(2));
+        });
+        sim.run();
+        // The server DID execute the request — only the reply vanished.
+        assert_eq!(served.load(AO::SeqCst), 1);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -52,6 +53,29 @@ enum EventKind {
     /// Run an arbitrary callback on the scheduler thread (used by the
     /// fluid-flow link model to complete transfers).
     Call(Box<dyn FnOnce() + Send>),
+    /// Like `Call`, but carries a cancellation flag. A cancelled event is
+    /// skipped by the scheduler *without* advancing `now` or counting as
+    /// processed, so an unfired timeout leaves the timeline untouched —
+    /// essential for deadline timers that almost never fire.
+    CancellableCall(Arc<AtomicBool>, Box<dyn FnOnce() + Send>),
+}
+
+/// Token returned by [`SimHandle::schedule_call_cancellable`]; cancelling
+/// it makes the scheduled callback a no-op that does not advance simulated
+/// time when its slot comes up.
+#[derive(Clone)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Prevent the associated callback from running (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, AtomicOrdering::Relaxed);
+    }
+
+    /// Whether the callback has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(AtomicOrdering::Relaxed)
+    }
 }
 
 struct Event {
@@ -175,6 +199,29 @@ impl SimHandle {
             seq,
             kind: EventKind::Call(Box::new(f)),
         });
+    }
+
+    /// Schedule a callback like [`SimHandle::schedule_call`], returning a
+    /// [`CancelToken`]. If the token is cancelled before the event's time
+    /// arrives, the scheduler skips the event entirely: `now` does not
+    /// advance to the event's time and the callback never runs. Timeout
+    /// timers use this so that a timer armed past the natural end of the
+    /// simulation does not stretch the final timestamp.
+    pub fn schedule_call_cancellable(
+        &self,
+        time: SimTime,
+        f: impl FnOnce() + Send + 'static,
+    ) -> CancelToken {
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut k = self.inner.lock();
+        let seq = k.seq;
+        k.seq += 1;
+        k.heap.push(Event {
+            time,
+            seq,
+            kind: EventKind::CancellableCall(flag.clone(), Box::new(f)),
+        });
+        CancelToken(flag)
     }
 
     fn spawn_inner(
@@ -422,6 +469,14 @@ impl Simulation {
                 let mut k = handle.inner.lock();
                 match k.heap.pop() {
                     Some(ev) => {
+                        if let EventKind::CancellableCall(flag, _) = &ev.kind {
+                            if flag.load(AtomicOrdering::Relaxed) {
+                                // Cancelled timer: discard without touching
+                                // `now` or the processed-event count, so it
+                                // leaves no trace on the timeline.
+                                continue;
+                            }
+                        }
                         k.now = ev.time;
                         k.events_processed += 1;
                         ev
@@ -432,6 +487,7 @@ impl Simulation {
             match ev.kind {
                 EventKind::Wake(pid) => handle.run_proc(pid),
                 EventKind::Call(f) => f(),
+                EventKind::CancellableCall(_, f) => f(),
             }
         }
 
@@ -550,6 +606,39 @@ mod tests {
         let sim = Simulation::new();
         sim.spawn("bad", |_env| panic!("boom"));
         sim.run();
+    }
+
+    #[test]
+    fn cancelled_callback_does_not_advance_time() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f2 = fired.clone();
+        // A timer far in the future, cancelled before the run: the
+        // simulation must end at the last *live* event, not at the timer.
+        let token = h.schedule_call_cancellable(SimTime::from_nanos(1_000_000), move || {
+            f2.store(1, AO::SeqCst);
+        });
+        sim.spawn("worker", |env| env.sleep(SimDuration::from_nanos(10)));
+        token.cancel();
+        let end = sim.run();
+        assert_eq!(fired.load(AO::SeqCst), 0);
+        assert_eq!(end.as_nanos(), 10);
+    }
+
+    #[test]
+    fn uncancelled_cancellable_callback_fires() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f2 = fired.clone();
+        let h2 = h.clone();
+        let token = h.schedule_call_cancellable(SimTime::from_nanos(77), move || {
+            f2.store(h2.now().as_nanos(), AO::SeqCst);
+        });
+        sim.run();
+        assert_eq!(fired.load(AO::SeqCst), 77);
+        assert!(!token.is_cancelled());
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Deterministic fault injection for the network model.
+//!
+//! The paper's GVFS proxies run over real WANs where packet loss, tunnel
+//! resets and server restarts are routine. This module provides the
+//! seed-driven primitives the reproduction uses to model them: a small
+//! deterministic RNG ([`DetRng`], splitmix64) and a per-link fault plan
+//! ([`LinkFaultPlan`]) describing probabilistic message drops and outage
+//! windows. A link with no plan installed behaves byte- and
+//! tick-identically to a fault-free link, which is what keeps every
+//! existing benchmark timing unchanged when injection is off.
+
+use crate::time::SimTime;
+
+/// One step of the splitmix64 generator: a high-quality 64-bit mix used
+/// for both the drop RNG and deterministic retransmit jitter. Pure
+/// function of its input, so every consumer is replayable from its seed.
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A tiny deterministic RNG (splitmix64 stream). Not cryptographic; just
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Create a generator from a seed. Equal seeds produce equal streams.
+    pub fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the raw value.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial: true with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+}
+
+/// A half-open interval of simulated time during which a link is down:
+/// messages entering the link are lost and in-flight flows are severed at
+/// `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// First instant of the outage.
+    pub start: SimTime,
+    /// First instant after the outage (the link works again at `end`).
+    pub end: SimTime,
+}
+
+impl OutageWindow {
+    /// Whether `t` falls inside this window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// Seed-driven fault plan for one [`crate::Link`]: an independent drop
+/// probability per message plus zero or more outage windows. Installed
+/// via [`crate::Link::install_faults`].
+#[derive(Debug, Clone)]
+pub struct LinkFaultPlan {
+    /// RNG seed for the per-message drop decisions.
+    pub seed: u64,
+    /// Probability that any given non-empty transfer is lost after
+    /// traversing the link (models tail loss of the message).
+    pub drop_prob: f64,
+    /// Scheduled outage windows, during which every entering message is
+    /// lost and in-flight flows are severed at the window start.
+    pub outages: Vec<OutageWindow>,
+}
+
+impl LinkFaultPlan {
+    /// A plan with the given seed, no drops, no outages.
+    pub fn new(seed: u64) -> Self {
+        LinkFaultPlan {
+            seed,
+            drop_prob: 0.0,
+            outages: Vec::new(),
+        }
+    }
+
+    /// Set the per-message drop probability.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0,1]"
+        );
+        self.drop_prob = p;
+        self
+    }
+
+    /// Add an outage window `[start, end)`.
+    pub fn outage(mut self, start: SimTime, end: SimTime) -> Self {
+        assert!(end > start, "outage window must be non-empty");
+        self.outages.push(OutageWindow { start, end });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn det_rng_is_reproducible_and_seed_sensitive() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        let mut c = DetRng::new(43);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn chance_tracks_probability_roughly() {
+        let mut rng = DetRng::new(7);
+        let hits = (0..10_000).filter(|_| rng.chance(0.1)).count();
+        assert!((800..1200).contains(&hits), "10% of 10k ≈ {hits}");
+        let mut rng = DetRng::new(7);
+        assert!(!(0..1000).any(|_| rng.chance(0.0)));
+        let mut rng = DetRng::new(7);
+        assert!((0..1000).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn outage_window_contains_is_half_open() {
+        let w = OutageWindow {
+            start: SimTime::from_nanos(100),
+            end: SimTime::from_nanos(200),
+        };
+        assert!(!w.contains(SimTime::from_nanos(99)));
+        assert!(w.contains(SimTime::from_nanos(100)));
+        assert!(w.contains(SimTime::from_nanos(199)));
+        assert!(!w.contains(SimTime::from_nanos(200)));
+    }
+
+    #[test]
+    fn plan_builder_collects_windows() {
+        let t = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+        let plan = LinkFaultPlan::new(1).drop_prob(0.05).outage(t(10), t(20));
+        assert_eq!(plan.drop_prob, 0.05);
+        assert_eq!(plan.outages.len(), 1);
+    }
+}

@@ -31,13 +31,17 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod fault;
 mod link;
 pub mod sync;
 pub mod telemetry;
 mod time;
 
-pub use engine::{Env, ProcessHandle, SimHandle, Simulation};
-pub use link::Link;
-pub use sync::{channel, Disconnected, Receiver, Resource, ResourceGuard, Sender, Signal};
+pub use engine::{CancelToken, Env, ProcessHandle, SimHandle, Simulation};
+pub use fault::{splitmix64, DetRng, LinkFaultPlan, OutageWindow};
+pub use link::{Link, TransferOutcome};
+pub use sync::{
+    channel, Disconnected, Receiver, RecvTimeoutError, Resource, ResourceGuard, Sender, Signal,
+};
 pub use telemetry::{Counter, Gauge, Histogram, JsonValue, Snapshot, Telemetry, TraceEvent};
 pub use time::{SimDuration, SimTime};

@@ -9,12 +9,13 @@
 //! and per-RPC latency parts do not parallelize while the bulk transfer
 //! parts share the pipe.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::engine::{Env, Pid, SimHandle};
+use crate::fault::{DetRng, LinkFaultPlan};
 use crate::telemetry::{Counter, Histogram, TraceEvent};
 use crate::time::{SimDuration, SimTime};
 
@@ -22,9 +23,38 @@ use crate::time::{SimDuration, SimTime};
 /// guards against floating-point residue.
 const COMPLETE_EPS: f64 = 1e-3;
 
+/// What happened to a message handed to [`Link::transfer_checked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// The message reached the far end.
+    Delivered,
+    /// The message was lost to the link's probabilistic drop process
+    /// (after paying latency and serialization — the bytes were carried,
+    /// then discarded).
+    Dropped,
+    /// The message was cut by an outage window: either it entered the
+    /// link while down, or the outage started while it was in flight.
+    Severed,
+}
+
+impl TransferOutcome {
+    /// Whether the message arrived.
+    pub fn delivered(self) -> bool {
+        self == TransferOutcome::Delivered
+    }
+}
+
 struct Flow {
     remaining: f64,
     pid: Pid,
+}
+
+struct FaultState {
+    rng: DetRng,
+    plan: LinkFaultPlan,
+    /// Flow ids severed by an outage start while in flight; the woken
+    /// transfer consumes its id from here to learn its fate.
+    severed_flows: BTreeSet<u64>,
 }
 
 struct LinkState {
@@ -36,6 +66,9 @@ struct LinkState {
     /// Generation counter: bumping it invalidates the outstanding
     /// completion callback.
     timer_gen: u64,
+    /// Fault injection, absent by default (zero overhead, identical
+    /// timeline to a build without the feature).
+    faults: Option<FaultState>,
 }
 
 /// A unidirectional network link with latency and shared bandwidth.
@@ -55,6 +88,8 @@ pub struct Link {
     /// reuse one name on purpose).
     bytes: Counter,
     messages: Counter,
+    dropped: Counter,
+    severed: Counter,
     transfer_times: Histogram,
 }
 
@@ -78,6 +113,8 @@ impl Link {
             handle: handle.clone(),
             bytes: tel.counter("link", format!("{name}.bytes")),
             messages: tel.counter("link", format!("{name}.messages")),
+            dropped: tel.counter("link", format!("{name}.dropped")),
+            severed: tel.counter("link", format!("{name}.severed")),
             transfer_times: tel.histogram("link", format!("{name}.transfer")),
             name,
             state: Arc::new(Mutex::new(LinkState {
@@ -87,6 +124,7 @@ impl Link {
                 next_flow_id: 0,
                 last_update: SimTime::ZERO,
                 timer_gen: 0,
+                faults: None,
             })),
         }
     }
@@ -128,22 +166,123 @@ impl Link {
         self.messages.get()
     }
 
+    /// Messages lost to the probabilistic drop process
+    /// (`link/<name>.dropped`).
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Messages cut by outage windows, entering or in flight
+    /// (`link/<name>.severed`).
+    pub fn total_severed(&self) -> u64 {
+        self.severed.get()
+    }
+
+    /// Install a deterministic fault plan on this link: per-message drops
+    /// and outage windows. Each outage start schedules a scheduler
+    /// callback that severs every in-flight flow at that instant (the
+    /// blocked senders resume immediately with
+    /// [`TransferOutcome::Severed`]). Installing a plan twice replaces the
+    /// drop process but re-registers the new plan's outages.
+    pub fn install_faults(&self, plan: LinkFaultPlan) {
+        let outages = plan.outages.clone();
+        {
+            let mut st = self.state.lock();
+            st.faults = Some(FaultState {
+                rng: DetRng::new(plan.seed),
+                plan,
+                severed_flows: BTreeSet::new(),
+            });
+        }
+        for w in outages {
+            let this = self.clone();
+            self.handle.schedule_call(w.start, move || {
+                this.sever_in_flight();
+            });
+        }
+    }
+
+    /// Cut every in-flight flow right now (outage start): flows are
+    /// removed, their ids recorded as severed, and their senders woken to
+    /// observe the failure.
+    fn sever_in_flight(&self) {
+        let mut st = self.state.lock();
+        let now = self.handle.now();
+        Self::progress(&mut st, now);
+        let ids: Vec<u64> = st.flows.keys().copied().collect();
+        let mut pids = Vec::with_capacity(ids.len());
+        for id in &ids {
+            if let Some(flow) = st.flows.remove(id) {
+                pids.push(flow.pid);
+            }
+        }
+        if let Some(f) = st.faults.as_mut() {
+            f.severed_flows.extend(ids.iter().copied());
+        }
+        self.severed.add(pids.len() as u64);
+        self.reschedule(&mut st, now);
+        drop(st);
+        for pid in pids {
+            self.handle.schedule_wake(now, pid);
+        }
+    }
+
+    /// Whether `t` falls inside one of the installed outage windows.
+    fn in_outage(st: &LinkState, t: SimTime) -> bool {
+        st.faults
+            .as_ref()
+            .is_some_and(|f| f.plan.outages.iter().any(|w| w.contains(t)))
+    }
+
     /// Transfer `bytes` across the link: one propagation latency plus the
     /// serialization time under fair bandwidth sharing with every other
     /// in-flight transfer. Blocks the calling process in virtual time.
+    /// Ignores the delivery outcome — use [`Link::transfer_checked`] on
+    /// paths that model loss.
     pub fn transfer(&self, env: &Env, bytes: u64) {
+        let _ = self.transfer_checked(env, bytes);
+    }
+
+    /// Like [`Link::transfer`], but reports whether the message survived
+    /// the link's fault plan. With no plan installed the result is always
+    /// [`TransferOutcome::Delivered`] and the timing is identical to
+    /// [`Link::transfer`].
+    pub fn transfer_checked(&self, env: &Env, bytes: u64) -> TransferOutcome {
         let t0 = env.now();
+        // Decide the probabilistic drop up front so the RNG stream is a
+        // pure function of the message order, not of link occupancy.
+        let pre_dropped = {
+            let mut st = self.state.lock();
+            match st.faults.as_mut() {
+                Some(f) => {
+                    let p = f.plan.drop_prob;
+                    f.rng.chance(p)
+                }
+                None => false,
+            }
+        };
         // Propagation first; bandwidth sharing applies to serialization.
         let latency = self.latency();
         env.sleep(latency);
+        let mut outcome = TransferOutcome::Delivered;
         if bytes > 0 {
-            self.bytes.add(bytes);
-            self.messages.inc();
+            let flow_id;
             {
                 let mut st = self.state.lock();
                 let now = self.handle.now();
+                if Self::in_outage(&st, now) {
+                    // The message reaches the cut and goes no further; it
+                    // never serializes, so it is not counted as carried.
+                    self.severed.inc();
+                    drop(st);
+                    self.finish_trace(env, t0, bytes);
+                    return TransferOutcome::Severed;
+                }
+                self.bytes.add(bytes);
+                self.messages.inc();
                 Self::progress(&mut st, now);
                 let id = st.next_flow_id;
+                flow_id = id;
                 st.next_flow_id += 1;
                 st.flows.insert(
                     id,
@@ -155,7 +294,35 @@ impl Link {
                 self.reschedule(&mut st, now);
             }
             env.suspend();
+            // Were we woken by completion or by an outage severing us?
+            let was_severed = {
+                let mut st = self.state.lock();
+                match st.faults.as_mut() {
+                    Some(f) => f.severed_flows.remove(&flow_id),
+                    None => false,
+                }
+            };
+            if was_severed {
+                outcome = TransferOutcome::Severed;
+            }
+        } else {
+            let st = self.state.lock();
+            if Self::in_outage(&st, env.now()) {
+                drop(st);
+                self.severed.inc();
+                self.finish_trace(env, t0, bytes);
+                return TransferOutcome::Severed;
+            }
         }
+        if outcome.delivered() && pre_dropped {
+            self.dropped.inc();
+            outcome = TransferOutcome::Dropped;
+        }
+        self.finish_trace(env, t0, bytes);
+        outcome
+    }
+
+    fn finish_trace(&self, env: &Env, t0: SimTime, bytes: u64) {
         let elapsed = env.now() - t0;
         self.transfer_times.record(elapsed);
         let tel = self.handle.telemetry();
@@ -341,6 +508,86 @@ mod tests {
         });
         sim.run();
         assert_eq!(link.total_messages(), 0);
+    }
+
+    #[test]
+    fn fault_free_checked_transfer_matches_legacy_timing() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let link = Link::new(&h, "wan", 1_000_000.0, SimDuration::from_millis(100));
+        let l2 = link.clone();
+        sim.spawn("xfer", move |env| {
+            assert_eq!(
+                l2.transfer_checked(&env, 2_000_000),
+                TransferOutcome::Delivered
+            );
+            assert!((env.now().as_secs_f64() - 2.1).abs() < 1e-6);
+        });
+        sim.run();
+        assert_eq!(link.total_dropped(), 0);
+        assert_eq!(link.total_severed(), 0);
+    }
+
+    #[test]
+    fn seeded_drops_are_deterministic_and_pay_full_cost() {
+        let run = |seed: u64| -> (Vec<TransferOutcome>, u64) {
+            let sim = Simulation::new();
+            let h = sim.handle();
+            let link = Link::new(&h, "l", 1_000_000.0, SimDuration::ZERO);
+            link.install_faults(LinkFaultPlan::new(seed).drop_prob(0.3));
+            let outcomes = Arc::new(Mutex::new(Vec::new()));
+            let l = link.clone();
+            let o = outcomes.clone();
+            sim.spawn("xfer", move |env| {
+                for _ in 0..50 {
+                    o.lock().push(l.transfer_checked(&env, 10_000));
+                }
+            });
+            let end = sim.run();
+            // Dropped messages still pay serialization: 50 × 10 ms.
+            assert_eq!(end.as_nanos(), 500_000_000);
+            let got = outcomes.lock().clone();
+            (got, link.total_dropped())
+        };
+        let (a, dropped_a) = run(11);
+        let (b, dropped_b) = run(11);
+        let (c, _) = run(12);
+        assert_eq!(a, b, "same seed, same fate per message");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(dropped_a > 0 && dropped_a < 50, "some but not all dropped");
+        assert_eq!(dropped_a, dropped_b);
+        assert_eq!(
+            a.iter().filter(|o| **o == TransferOutcome::Dropped).count() as u64,
+            dropped_a
+        );
+    }
+
+    #[test]
+    fn outage_severs_in_flight_flow_and_blocks_new_entries() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        // 1 MB/s, no latency; 4 MB transfer would end at t=4s, but an
+        // outage at t=1s severs it.
+        let link = Link::new(&h, "l", 1_000_000.0, SimDuration::ZERO);
+        let t = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+        link.install_faults(LinkFaultPlan::new(0).outage(t(1), t(3)));
+        let l = link.clone();
+        sim.spawn("xfer", move |env| {
+            let got = l.transfer_checked(&env, 4_000_000);
+            assert_eq!(got, TransferOutcome::Severed);
+            assert_eq!(env.now().as_nanos(), 1_000_000_000);
+            // Retry while the link is down: severed on entry, at once.
+            let got = l.transfer_checked(&env, 1_000_000);
+            assert_eq!(got, TransferOutcome::Severed);
+            assert_eq!(env.now().as_nanos(), 1_000_000_000);
+            // Wait out the outage; the link works again.
+            env.sleep(SimDuration::from_secs(2));
+            let got = l.transfer_checked(&env, 1_000_000);
+            assert_eq!(got, TransferOutcome::Delivered);
+            assert_eq!(env.now().as_nanos(), 4_000_000_000);
+        });
+        sim.run();
+        assert_eq!(link.total_severed(), 2);
     }
 
     #[test]

@@ -83,6 +83,11 @@ impl Signal {
 struct ChannelInner<T> {
     queue: VecDeque<T>,
     waiters: VecDeque<Pid>,
+    /// Pids whose deadline timer fired while they were registered in
+    /// `waiters`: the timer moves the pid here (under this lock) before
+    /// waking it, so exactly one waker ever resumes a timed receiver and
+    /// the receiver can tell a timeout wake from a message wake.
+    timed_out: Vec<Pid>,
     senders: usize,
     receiver_alive: bool,
 }
@@ -118,11 +123,21 @@ impl<T> Drop for Receiver<T> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Disconnected;
 
+/// Why a [`Receiver::recv_deadline`] returned without a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no message queued.
+    Timeout,
+    /// All senders dropped with the queue empty (same as [`Disconnected`]).
+    Disconnected,
+}
+
 /// Create an unbounded simulated channel.
 pub fn channel<T: Send + 'static>(handle: &SimHandle) -> (Sender<T>, Receiver<T>) {
     let inner = Arc::new(Mutex::new(ChannelInner {
         queue: VecDeque::new(),
         waiters: VecDeque::new(),
+        timed_out: Vec::new(),
         senders: 1,
         receiver_alive: true,
     }));
@@ -200,6 +215,68 @@ impl<T: Send + 'static> Receiver<T> {
                 c.waiters.push_back(env.pid());
             }
             env.suspend();
+        }
+    }
+
+    /// Like [`Receiver::recv`], but give up once simulated time reaches
+    /// `deadline`. A message queued at the exact deadline instant (but
+    /// earlier in event order) wins over the timeout. The internal timer is
+    /// cancellable, so an unfired deadline leaves no trace on the timeline
+    /// — the simulation still ends at its natural final event.
+    pub fn recv_deadline(
+        &self,
+        env: &Env,
+        deadline: crate::time::SimTime,
+    ) -> Result<T, RecvTimeoutError> {
+        let handle = env.handle().clone();
+        let pid = env.pid();
+        loop {
+            {
+                let mut c = self.inner.lock();
+                // Consume our timeout marker first so it can never go stale;
+                // a queued message still wins over a simultaneous timeout.
+                let fired = match c.timed_out.iter().position(|p| *p == pid) {
+                    Some(pos) => {
+                        c.timed_out.swap_remove(pos);
+                        true
+                    }
+                    None => false,
+                };
+                if let Some(v) = c.queue.pop_front() {
+                    return Ok(v);
+                }
+                if fired || handle.now() >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                if c.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                c.waiters.push_back(pid);
+            }
+            // Arm the deadline timer for this wait leg. The callback and
+            // `send` race only under the channel lock: whoever removes the
+            // pid from `waiters` is the single waker, so no stale second
+            // wake can ever hit a later wait.
+            let inner = self.inner.clone();
+            let wake_handle = handle.clone();
+            let token = handle.schedule_call_cancellable(deadline, move || {
+                let fired = {
+                    let mut c = inner.lock();
+                    match c.waiters.iter().position(|p| *p == pid) {
+                        Some(pos) => {
+                            c.waiters.remove(pos);
+                            c.timed_out.push(pid);
+                            true
+                        }
+                        None => false, // a send or disconnect got there first
+                    }
+                };
+                if fired {
+                    wake_handle.schedule_wake(wake_handle.now(), pid);
+                }
+            });
+            env.suspend();
+            token.cancel();
         }
     }
 
@@ -349,6 +426,73 @@ mod tests {
             env.sleep(SimDuration::from_millis(5));
             tx.send(7);
             // tx drops here
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn recv_deadline_times_out_and_then_receives() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let (tx, rx) = channel::<u32>(&h);
+        sim.spawn("recv", move |env| {
+            // Message arrives at t=3s; a 1s deadline must time out at 1s.
+            let deadline = env.now() + SimDuration::from_secs(1);
+            assert_eq!(
+                rx.recv_deadline(&env, deadline),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert_eq!(env.now(), SimTime::ZERO + SimDuration::from_secs(1));
+            // A later deadline that is never hit: message wins, and the
+            // unfired timer must not extend the simulation.
+            let deadline = env.now() + SimDuration::from_secs(100);
+            assert_eq!(rx.recv_deadline(&env, deadline), Ok(9));
+            assert_eq!(env.now(), SimTime::ZERO + SimDuration::from_secs(3));
+        });
+        sim.spawn("send", move |env| {
+            env.sleep(SimDuration::from_secs(3));
+            tx.send(9);
+        });
+        let end = sim.run();
+        // Not 101s: the cancelled deadline timer left no trace.
+        assert_eq!(end.as_nanos(), 3_000_000_000);
+    }
+
+    #[test]
+    fn recv_deadline_disconnect_beats_timeout() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let (tx, rx) = channel::<u32>(&h);
+        sim.spawn("recv", move |env| {
+            let deadline = env.now() + SimDuration::from_secs(10);
+            assert_eq!(
+                rx.recv_deadline(&env, deadline),
+                Err(RecvTimeoutError::Disconnected)
+            );
+            assert_eq!(env.now(), SimTime::ZERO + SimDuration::from_secs(2));
+        });
+        sim.spawn("send", move |env| {
+            env.sleep(SimDuration::from_secs(2));
+            drop(tx);
+        });
+        let end = sim.run();
+        assert_eq!(end.as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn recv_deadline_message_at_exact_deadline_wins() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let (tx, rx) = channel::<u32>(&h);
+        // Sender spawned first, so at the shared instant its send event
+        // precedes the receiver's timer in sequence order.
+        sim.spawn("send", move |env| {
+            env.sleep(SimDuration::from_secs(1));
+            tx.send(5);
+        });
+        sim.spawn("recv", move |env| {
+            let deadline = env.now() + SimDuration::from_secs(1);
+            assert_eq!(rx.recv_deadline(&env, deadline), Ok(5));
         });
         sim.run();
     }

@@ -210,7 +210,10 @@ mod tests {
     fn bounded_alloc_rejects_over_limit_and_caps_reservation() {
         assert!(matches!(
             bounded_alloc::<u8>(10, 9),
-            Err(Error::LengthOverLimit { declared: 10, limit: 9 })
+            Err(Error::LengthOverLimit {
+                declared: 10,
+                limit: 9
+            })
         ));
         let v: Vec<u8> = bounded_alloc(16, 1 << 20).unwrap();
         assert_eq!(v.capacity(), 16);

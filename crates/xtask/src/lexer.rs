@@ -90,7 +90,12 @@ fn is_ident_continue(b: u8) -> bool {
 /// Tokenize `src`. Never fails: malformed input degrades to punctuation
 /// tokens, which is fine for a linter (rustc rejects it long before us).
 pub fn lex(src: &str) -> Lexed {
-    let mut c = Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
     let mut toks = Vec::new();
     let mut comments = Vec::new();
     let mut line_has_code = false;
@@ -149,30 +154,55 @@ pub fn lex(src: &str) -> Lexed {
             b'r' | b'b' if raw_string_lookahead(&c) => {
                 line_has_code = true;
                 lex_raw_string(&mut c);
-                toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                    col,
+                });
             }
             b'b' if c.peek_at(1) == Some(b'"') => {
                 line_has_code = true;
                 c.bump();
                 lex_quoted(&mut c, b'"');
-                toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                    col,
+                });
             }
             b'b' if c.peek_at(1) == Some(b'\'') => {
                 line_has_code = true;
                 c.bump();
                 lex_quoted(&mut c, b'\'');
-                toks.push(Tok { kind: TokKind::Char, text: String::new(), line, col });
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                    col,
+                });
             }
             b'"' => {
                 line_has_code = true;
                 lex_quoted(&mut c, b'"');
-                toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                    col,
+                });
             }
             b'\'' => {
                 line_has_code = true;
                 let kind = lex_char_or_lifetime(&mut c, &mut toks, line, col);
                 if let Some(k) = kind {
-                    toks.push(Tok { kind: k, text: String::new(), line, col });
+                    toks.push(Tok {
+                        kind: k,
+                        text: String::new(),
+                        line,
+                        col,
+                    });
                 }
             }
             _ if is_ident_start(b) => {
@@ -194,7 +224,10 @@ pub fn lex(src: &str) -> Lexed {
                 // Consume digits plus type/exponent suffix characters.
                 // `.` is deliberately excluded so `0..n` and `1.5` split
                 // into separate tokens; rules never care about floats.
-                while c.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                while c
+                    .peek()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                {
                     c.bump();
                 }
                 toks.push(Tok {
@@ -346,9 +379,16 @@ mod tests {
     fn lifetimes_vs_char_literals() {
         let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; g(c, nl) }";
         let lexed = lex(src);
-        let lifetimes: Vec<_> =
-            lexed.toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
-        let chars: Vec<_> = lexed.toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
         assert_eq!(lifetimes.len(), 2);
         assert_eq!(chars.len(), 2);
     }

@@ -34,7 +34,9 @@ pub fn parse_waivers(path: &str, comments: &[Comment], out: &mut Vec<Violation>)
         // A waiver must be the entire comment: `// lint:allow(rule): reason`.
         // Mentions of the syntax in prose/doc comments are not waivers.
         let body = c.text.trim_start_matches(['/', '*', '!']).trim_start();
-        let Some(rest) = body.strip_prefix("lint:allow") else { continue };
+        let Some(rest) = body.strip_prefix("lint:allow") else {
+            continue;
+        };
         let bad = |msg: &str, out: &mut Vec<Violation>| {
             out.push(Violation {
                 rule: rules::RULE_WAIVER,
@@ -111,7 +113,11 @@ pub fn lint_source(path: &str, src: &str) -> FileResult {
     let used_count = used.iter().filter(|u| **u).count();
     violations.extend(waiver_violations);
     violations.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    FileResult { violations, waivers_declared: waivers.len(), waivers_used: used_count }
+    FileResult {
+        violations,
+        waivers_declared: waivers.len(),
+        waivers_used: used_count,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -179,7 +185,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     let root = root.unwrap_or_else(find_workspace_root);
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
-    Ok(Options { root, json_path, baseline_path, write_baseline })
+    Ok(Options {
+        root,
+        json_path,
+        baseline_path,
+        write_baseline,
+    })
 }
 
 /// Walk upward from CWD looking for the workspace root (a Cargo.toml
@@ -213,7 +224,9 @@ fn find_workspace_root() -> PathBuf {
 pub fn collect_files(root: &Path) -> Vec<String> {
     let mut out: Vec<PathBuf> = Vec::new();
     let crates_dir = root.join("crates");
-    let Ok(entries) = std::fs::read_dir(&crates_dir) else { return Vec::new() };
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return Vec::new();
+    };
     let mut crate_dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
     crate_dirs.sort();
     for dir in crate_dirs {
@@ -235,7 +248,9 @@ pub fn collect_files(root: &Path) -> Vec<String> {
 }
 
 fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
     let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
     paths.sort();
     for p in paths {
@@ -265,7 +280,9 @@ fn run_lint(root: &Path, baseline: &BTreeMap<String, u32>) -> RunReport {
     let mut waivers_used = 0usize;
 
     for rel in &files {
-        let Ok(src) = std::fs::read_to_string(root.join(rel)) else { continue };
+        let Ok(src) = std::fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
         let lines: Vec<&str> = src.lines().collect();
         let res = lint_source(rel, &src);
         waivers_declared += res.waivers_declared;
@@ -313,9 +330,15 @@ fn report_json(r: &RunReport, root: &Path, baseline_entries: usize) -> Json {
     counts.sort_by(|a, b| a.0.cmp(&b.0));
     Json::Object(vec![
         ("schema".into(), Json::Str("gvfs.lint.v1".into())),
-        ("root".into(), Json::Str(root.to_string_lossy().into_owned())),
+        (
+            "root".into(),
+            Json::Str(root.to_string_lossy().into_owned()),
+        ),
         ("files_scanned".into(), Json::Uint(r.files_scanned as u64)),
-        ("clean".into(), Json::Bool(r.fresh.is_empty() && r.stale_baseline.is_empty())),
+        (
+            "clean".into(),
+            Json::Bool(r.fresh.is_empty() && r.stale_baseline.is_empty()),
+        ),
         (
             "violations".into(),
             Json::Array(
@@ -349,7 +372,12 @@ fn report_json(r: &RunReport, root: &Path, baseline_entries: usize) -> Json {
                 ("matched".into(), Json::Uint(r.baselined as u64)),
                 (
                     "stale".into(),
-                    Json::Array(r.stale_baseline.iter().map(|s| Json::Str(s.clone())).collect()),
+                    Json::Array(
+                        r.stale_baseline
+                            .iter()
+                            .map(|s| Json::Str(s.clone()))
+                            .collect(),
+                    ),
                 ),
             ]),
         ),
@@ -370,12 +398,18 @@ pub fn run(args: &[String]) -> ExitCode {
     let report = run_lint(&opts.root, &baseline);
 
     if opts.write_baseline {
-        let mut keys: Vec<String> =
-            report.fresh.iter().map(|(v, text)| baseline_key(v, text)).collect();
+        let mut keys: Vec<String> = report
+            .fresh
+            .iter()
+            .map(|(v, text)| baseline_key(v, text))
+            .collect();
         keys.sort();
         let rendered = render_baseline(&keys);
         if let Err(e) = std::fs::write(&opts.baseline_path, rendered) {
-            eprintln!("xtask lint: cannot write {}: {e}", opts.baseline_path.display());
+            eprintln!(
+                "xtask lint: cannot write {}: {e}",
+                opts.baseline_path.display()
+            );
             return ExitCode::from(2);
         }
         println!(

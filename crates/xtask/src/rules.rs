@@ -16,6 +16,7 @@ pub const RULE_EXACT_ACCOUNTING: &str = "exact-accounting";
 pub const RULE_PANIC_FREE: &str = "panic-free-dispatch";
 pub const RULE_LOCK_DISCIPLINE: &str = "lock-discipline";
 pub const RULE_BOUNDED_FANOUT: &str = "bounded-fanout";
+pub const RULE_DEADLINE: &str = "deadline-required";
 /// Meta-rule: malformed or unused waiver comments.
 pub const RULE_WAIVER: &str = "waiver";
 
@@ -26,6 +27,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_PANIC_FREE,
     RULE_LOCK_DISCIPLINE,
     RULE_BOUNDED_FANOUT,
+    RULE_DEADLINE,
     RULE_WAIVER,
 ];
 
@@ -69,6 +71,15 @@ fn bounded_fanout_scope(path: &str) -> bool {
     path.starts_with("crates/gvfs/src/") && path != "crates/gvfs/src/transfer.rs"
 }
 
+/// Scope of the deadline-required rule: modules that issue RPCs over
+/// links that can drop or sever messages (fault injection). A bare
+/// `RpcClient::call` there blocks forever when the reply is lost;
+/// `call_dl` applies the stub's deadline/retransmission policy and is
+/// byte-identical when no policy is attached.
+fn deadline_scope(path: &str) -> bool {
+    path.starts_with("crates/gvfs/src/") || path.starts_with("crates/nfs3/src/")
+}
+
 /// Scope of the panic-free-dispatch rule: the four modules on the
 /// untrusted request path (proxy → RPC dispatch → NFS server/kernel).
 fn panic_free_scope(path: &str) -> bool {
@@ -101,6 +112,9 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
     }
     if bounded_fanout_scope(path) {
         rule_bounded_fanout(path, toks, &mask, &mut out);
+    }
+    if deadline_scope(path) {
+        rule_deadline(path, toks, &mask, &mut out);
     }
 
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
@@ -254,7 +268,8 @@ fn hashmap_names(toks: &[Tok]) -> BTreeSet<String> {
     // Pass 2: declarations.
     for i in 0..toks.len() {
         let t = &toks[i];
-        let is_map_ty = t.is_ident("HashMap") || (t.kind == TokKind::Ident && aliases.contains(&t.text));
+        let is_map_ty =
+            t.is_ident("HashMap") || (t.kind == TokKind::Ident && aliases.contains(&t.text));
         if !is_map_ty {
             continue;
         }
@@ -331,8 +346,16 @@ fn declared_name_before(toks: &[Tok], i: usize) -> Option<String> {
 // Rule 1: determinism
 // ---------------------------------------------------------------------------
 
-const ITER_METHODS: &[&str] =
-    &["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain", "retain"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
 
 fn rule_determinism(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
     let maps = hashmap_names(toks);
@@ -433,9 +456,21 @@ fn size_expr_is_constant(args: &[&Tok]) -> bool {
         TokKind::Ident => {
             matches!(
                 t.text.as_str(),
-                "as" | "usize" | "u8" | "u16" | "u32" | "u64" | "u128" | "i8" | "i16" | "i32"
-                    | "i64" | "i128"
-            ) || t.text.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+                "as" | "usize"
+                    | "u8"
+                    | "u16"
+                    | "u32"
+                    | "u64"
+                    | "u128"
+                    | "i8"
+                    | "i16"
+                    | "i32"
+                    | "i64"
+                    | "i128"
+            ) || t
+                .text
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
         }
         _ => false,
     })
@@ -469,11 +504,7 @@ fn arg_tokens(toks: &[Tok], mut i: usize, close: &str) -> (Vec<usize>, usize) {
 
 fn rule_bounded_decode(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
     let fns = enclosing_fns(toks);
-    let blessed = |i: usize| {
-        fns[i]
-            .as_deref()
-            .is_some_and(|f| f.starts_with("bounded_"))
-    };
+    let blessed = |i: usize| fns[i].as_deref().is_some_and(|f| f.starts_with("bounded_"));
     let mut push = |t: &Tok, what: &str| {
         out.push(Violation {
             rule: RULE_BOUNDED_DECODE,
@@ -590,7 +621,10 @@ fn rule_panic_free(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Violat
         }
         // panic!/unreachable!/todo!/unimplemented!
         if t.kind == TokKind::Ident
-            && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
             && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
         {
             out.push(Violation {
@@ -662,7 +696,11 @@ fn rule_lock_discipline(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<V
         }
         // New guard binding: `let [mut] name = <expr>.lock();`
         if t.is_ident("let") {
-            let name_idx = if toks.get(i + 1).is_some_and(|t| t.is_ident("mut")) { i + 2 } else { i + 1 };
+            let name_idx = if toks.get(i + 1).is_some_and(|t| t.is_ident("mut")) {
+                i + 2
+            } else {
+                i + 1
+            };
             if let Some(name_tok) = toks.get(name_idx) {
                 if name_tok.kind == TokKind::Ident {
                     if let Some(end) = statement_end(toks, name_idx + 1) {
@@ -699,21 +737,23 @@ fn rule_lock_discipline(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<V
         // Suspension hazard A: `env.suspend(` / `env.sleep(` receiver calls.
         let env_recv = t.is_ident("env")
             && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
-            && toks
-                .get(i + 2)
-                .is_some_and(|t| t.kind == TokKind::Ident && matches!(t.text.as_str(), "suspend" | "sleep"));
+            && toks.get(i + 2).is_some_and(|t| {
+                t.kind == TokKind::Ident && matches!(t.text.as_str(), "suspend" | "sleep")
+            });
         // Suspension hazard B: `.wait(..env..)` style — a suspend-set
         // method call that receives `env` as an argument.
         let env_arg = t.is_ident("env")
             && i > 0
-            && (toks[i - 1].is_punct("(") || toks[i - 1].is_punct(",") || toks[i - 1].is_punct("&"))
+            && (toks[i - 1].is_punct("(")
+                || toks[i - 1].is_punct(",")
+                || toks[i - 1].is_punct("&"))
             && toks
                 .get(i + 1)
                 .is_some_and(|t| t.is_punct(",") || t.is_punct(")"));
         let suspend_call = t.is_punct(".")
-            && toks
-                .get(i + 1)
-                .is_some_and(|t| t.kind == TokKind::Ident && SUSPEND_METHODS.contains(&t.text.as_str()))
+            && toks.get(i + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident && SUSPEND_METHODS.contains(&t.text.as_str())
+            })
             && toks.get(i + 2).is_some_and(|t| t.is_punct("("));
         if env_recv || env_arg || suspend_call {
             let g = &guards[guards.len() - 1];
@@ -786,6 +826,45 @@ fn rule_bounded_fanout(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Vi
                     .to_string(),
             });
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: deadline-required
+// ---------------------------------------------------------------------------
+
+fn rule_deadline(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if !(t.is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("call"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("(")))
+        {
+            continue;
+        }
+        // `self.call(..)` is the blessed wrapper pattern: a typed helper
+        // (`Nfs3Client::call`, the dispatch trait's `call`) whose own
+        // body routes through `call_dl`. Any other receiver —
+        // `rpc.call(`, `client.call(`, `.with_cred(..).call(` — is
+        // treated as a raw RPC stub call. Documented over-approximation;
+        // bridge intentional exceptions with a waiver.
+        if i > 0 && toks[i - 1].is_ident("self") {
+            continue;
+        }
+        let m = &toks[i + 1];
+        out.push(Violation {
+            rule: RULE_DEADLINE,
+            file: path.to_string(),
+            line: m.line,
+            col: m.col,
+            message: "raw `.call(` blocks forever when the reply is lost; use `.call_dl(` \
+                      so the stub's deadline/retransmission policy applies (identical \
+                      behaviour when no policy is attached)"
+                .to_string(),
+        });
     }
 }
 

@@ -1,0 +1,12 @@
+//! Bad: raw RPC calls without a deadline — each blocks its process
+//! forever if the WAN drops the reply.
+pub fn fetch(env: &Env, rpc: &RpcClient) -> Option<Vec<u8>> {
+    rpc.call(env, NFS_PROGRAM, NFS_V3, proc3::READ, Vec::new()).ok()
+}
+
+pub fn forward(env: &Env, upstream: &RpcClient, cred: &OpaqueAuth) -> Option<Vec<u8>> {
+    upstream
+        .with_cred(cred.clone())
+        .call(env, NFS_PROGRAM, NFS_V3, proc3::WRITE, Vec::new())
+        .ok()
+}

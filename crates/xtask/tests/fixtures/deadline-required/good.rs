@@ -1,0 +1,18 @@
+//! Good: RPCs go through `call_dl`, which applies the stub's
+//! deadline/retransmission policy (and is byte-identical to `call` when
+//! no policy is attached). A typed wrapper named `call` whose body uses
+//! `call_dl` is the blessed pattern: its `self.call(..)` callers are
+//! exempt.
+pub fn fetch(env: &Env, rpc: &RpcClient) -> Option<Vec<u8>> {
+    rpc.call_dl(env, NFS_PROGRAM, NFS_V3, proc3::READ, Vec::new()).ok()
+}
+
+impl Nfs3Client {
+    fn call(&self, env: &Env, proc: u32, args: Vec<u8>) -> NfsResult<Vec<u8>> {
+        self.rpc.call_dl(env, NFS_PROGRAM, NFS_V3, proc, args)
+    }
+
+    pub fn null(&self, env: &Env) -> NfsResult<()> {
+        self.call(env, proc3::NULL, Vec::new()).map(|_| ())
+    }
+}

@@ -46,6 +46,12 @@ fn cases() -> Vec<(&'static str, &'static str, &'static str, &'static str)> {
             include_str!("fixtures/bounded-fanout/good.rs"),
         ),
         (
+            "deadline-required",
+            "crates/gvfs/src/fixture.rs",
+            include_str!("fixtures/deadline-required/bad.rs"),
+            include_str!("fixtures/deadline-required/good.rs"),
+        ),
+        (
             "waiver",
             "crates/gvfs/src/file_cache.rs",
             include_str!("fixtures/waiver/bad.rs"),

@@ -63,6 +63,7 @@ fn zero_map_filters_the_large_majority_of_memory_state_reads() {
             write_policy: WritePolicy::WriteBack,
             cache_bytes: 2 << 30,
         }),
+        None,
     );
     let proxy = client.proxy.clone().unwrap();
     let srv = server.server.clone();
@@ -146,6 +147,7 @@ fn pipelined_readahead_never_duplicates_upstream_reads() {
             write_policy: WritePolicy::WriteBack,
             cache_bytes: 1 << 30,
         }),
+        None,
     );
     let proxy = client.proxy.clone().unwrap();
     let srv = server.server.clone();
@@ -203,6 +205,7 @@ fn end_to_end_byte_integrity_survives_cache_invalidation() {
             write_policy: WritePolicy::WriteBack,
             cache_bytes: 1 << 30,
         }),
+        None,
     );
     let proxy = client.proxy.clone().unwrap();
     let fs2 = server.fs.clone();
