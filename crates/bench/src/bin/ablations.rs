@@ -7,7 +7,7 @@
 //! 4. in-text claim at full scale: reads filtered when resuming a 512 MB
 //!    post-boot image at 8 KB granularity (paper: 60,452 / 65,750).
 
-use gvfs::{Middleware, WritePolicy};
+use gvfs::{DedupTuning, Middleware, WritePolicy};
 use gvfs_bench::report::{scenario_report, write_report, BenchCli};
 use gvfs_bench::{
     build_client, build_server, run_app_scenario, run_cloning, AppParams, AppScenario,
@@ -71,6 +71,7 @@ fn zero_filter_counts(
             file_channel: true,
             write_policy: WritePolicy::WriteBack,
             cache_bytes: 8 << 30,
+            dedup: DedupTuning::default(),
         }),
         None,
     );

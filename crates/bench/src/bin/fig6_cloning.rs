@@ -6,6 +6,7 @@
 //! Paper's shape: SCP ≈ 1127 s; pure NFS ≈ 2060 s; first enhanced-GVFS
 //! clone < 160 s; subsequent clones ≈ 25 s warm-local / ≈ 80 s warm-LAN.
 
+use gvfs::DedupTuning;
 use gvfs_bench::report::{render_table, scenario_report, write_report, BenchCli};
 use gvfs_bench::{pure_nfs_clone_secs, run_cloning, scp_baseline_secs, CloneParams, CloneScenario};
 
@@ -13,6 +14,11 @@ fn main() {
     let cli = BenchCli::parse("fig6_cloning");
     let params = CloneParams {
         trace: cli.trace,
+        dedup: if cli.no_dedup {
+            DedupTuning::off()
+        } else {
+            DedupTuning::default()
+        },
         ..CloneParams::default()
     };
     println!(

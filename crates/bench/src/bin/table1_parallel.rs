@@ -8,6 +8,7 @@
 //! image server's WAN connection (fluid bandwidth sharing), while warm
 //! clonings are limited by per-clone constant work.
 
+use gvfs::DedupTuning;
 use gvfs_bench::report::{render_table, scenario_report, write_report, BenchCli};
 use gvfs_bench::{run_parallel_cloning, run_sequential_for_table1, CloneParams};
 
@@ -15,6 +16,11 @@ fn main() {
     let cli = BenchCli::parse("table1_parallel");
     let params = CloneParams {
         trace: cli.trace,
+        dedup: if cli.no_dedup {
+            DedupTuning::off()
+        } else {
+            DedupTuning::default()
+        },
         ..CloneParams::default()
     };
     println!(

@@ -20,15 +20,15 @@
 use std::sync::Arc;
 
 use gvfs::{
-    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, FileChannelSpec,
-    Middleware, Proxy, ProxyConfig, TransferTuning, WritePolicy,
+    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, DedupTuning, FileCache,
+    FileChannelSpec, Middleware, Proxy, ProxyConfig, TransferTuning, WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, Nfs3Client};
 use oncrpc::{OpaqueAuth, RpcChannel, RpcClient, WireSpec};
 use parking_lot::Mutex;
 use simnet::{Env, Link, SimDuration, SimHandle, Simulation, Snapshot};
 use vfs::{Disk, DiskModel, LocalIo, LocalIoConfig, MountTable};
-use vmm::{clone_vm, install_image, CloneConfig, CloneTimes, VmConfig, VmImageSpec};
+use vmm::{clone_vm, diverge_image, install_image, CloneConfig, CloneTimes, VmConfig, VmImageSpec};
 use workloads::scp::ScpModel;
 
 use crate::scenarios::{build_client, build_server, ClientProxyOptions, NetParams};
@@ -81,6 +81,10 @@ pub struct CloneParams {
     pub proxy_cache_bytes: u64,
     /// Use a reduced image for quick runs (tests); `None` = paper size.
     pub image_scale: Option<u64>,
+    /// Content-addressed redundancy elimination on the client-side and
+    /// LAN proxies (the server proxy never dedups: it sits on the
+    /// server's own LAN, so a CAS there can avoid no WAN bytes).
+    pub dedup: DedupTuning,
     /// Collect trace events (carried into the scenario's [`Snapshot`]).
     pub trace: bool,
 }
@@ -93,6 +97,7 @@ impl Default for CloneParams {
             kernel_cache_bytes: 32 << 20,
             proxy_cache_bytes: 8 << 30,
             image_scale: None,
+            dedup: DedupTuning::default(),
             trace: false,
         }
     }
@@ -119,6 +124,33 @@ impl CloneParams {
     }
 }
 
+/// Fraction of each sibling image's memory that diverges from the
+/// shared golden base (clustered per [`vmm::DIVERGE_REGION`]).
+const SIBLING_DIVERGENCE: f64 = 0.04;
+
+/// Per-image divergence seed (distinct from any content seed).
+fn diverge_seed(i: usize) -> u64 {
+    0xD1CE_0000 + i as u64
+}
+
+/// Install image `i` of a clone fleet into `dir`: every image is built
+/// from the same golden base (identical content seed), then images
+/// beyond the first diverge in a clustered ~4% of their memory state —
+/// the picture a grid sees when distinct VMs descend from one install.
+fn install_fleet_image(
+    fs: &mut Fs,
+    dir: vfs::Handle,
+    params: &CloneParams,
+    i: usize,
+) -> VmImageSpec {
+    let spec = params.image_spec(&format!("vm{i}"));
+    let img = install_image(fs, dir, &spec).unwrap();
+    if i > 0 {
+        diverge_image(fs, &img, &spec, diverge_seed(i), SIBLING_DIVERGENCE).unwrap();
+    }
+    spec
+}
+
 /// Install `n` golden images (+ their middleware meta-data) under
 /// `/exports` of the image-server fs. Returns their specs.
 fn install_goldens(fs: &Arc<Mutex<Fs>>, params: &CloneParams, n: usize) -> Vec<VmImageSpec> {
@@ -128,11 +160,10 @@ fn install_goldens(fs: &Arc<Mutex<Fs>>, params: &CloneParams, n: usize) -> Vec<V
         let dir = fs.mkdir(root, "exports", 0o755, 0).unwrap();
         (0..n)
             .map(|i| {
-                let mut spec = params.image_spec(&format!("vm{i}"));
-                spec.seed = spec.seed.wrapping_add(i as u64 * 0x9E37);
-                install_image(fs, dir, &spec).unwrap();
+                let spec = install_fleet_image(fs, dir, params, i);
                 // Middleware pre-processing: zero map + compressed file
-                // channel on the memory state.
+                // channel on the memory state (after divergence, so the
+                // content map describes the bytes actually served).
                 Middleware::generate_meta(
                     fs,
                     "exports",
@@ -181,6 +212,7 @@ fn build_compute_host(
                 file_channel: true,
                 write_policy: WritePolicy::WriteBack,
                 cache_bytes: params.proxy_cache_bytes,
+                dedup: params.dedup,
             })
         } else {
             None
@@ -247,10 +279,7 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
                     let root = fs.root();
                     let dir = fs.mkdir(root, "exports", 0o755, 0).unwrap();
                     for i in 0..n {
-                        let mut spec = params.image_spec(&format!("vm{i}"));
-                        spec.seed = spec.seed.wrapping_add(i as u64 * 0x9E37);
-                        install_image(fs, dir, &spec).unwrap();
-                        got.push(spec);
+                        got.push(install_fleet_image(fs, dir, params, i));
                     }
                 });
                 got
@@ -348,6 +377,7 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
                     per_op_cpu: SimDuration::from_micros(40),
                     read_only_share: true,
                     transfer: TransferTuning::default(),
+                    dedup: params.dedup,
                 },
                 upstream_client.clone(),
             )

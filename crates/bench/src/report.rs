@@ -72,13 +72,16 @@ pub fn compare_line(what: &str, paper: &str, measured: &str) -> String {
 /// `--json <path>` overrides the report location (default
 /// `reports/<name>.json`), `--trace` turns on trace-event collection so
 /// the report carries the structured event log, `--no-json` suppresses
-/// the report file.
+/// the report file, `--no-dedup` runs with `DedupTuning::off()` (the
+/// pre-CAS data paths) in the binaries that honor it.
 #[derive(Debug, Clone)]
 pub struct BenchCli {
     /// Where to write the JSON report; `None` with `--no-json`.
     pub json_path: Option<PathBuf>,
     /// Collect and dump the virtual-time-stamped trace event log.
     pub trace: bool,
+    /// Disable content-addressed dedup (DESIGN.md §5.5).
+    pub no_dedup: bool,
 }
 
 impl BenchCli {
@@ -87,12 +90,14 @@ impl BenchCli {
         let mut cli = BenchCli {
             json_path: Some(PathBuf::from(format!("reports/{name}.json"))),
             trace: false,
+            no_dedup: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--trace" => cli.trace = true,
                 "--no-json" => cli.json_path = None,
+                "--no-dedup" => cli.no_dedup = true,
                 "--json" => {
                     let p = args.next().unwrap_or_else(|| {
                         eprintln!("--json requires a path argument");
@@ -101,7 +106,7 @@ impl BenchCli {
                     cli.json_path = Some(PathBuf::from(p));
                 }
                 "--help" | "-h" => {
-                    eprintln!("usage: {name} [--json PATH] [--no-json] [--trace]");
+                    eprintln!("usage: {name} [--json PATH] [--no-json] [--trace] [--no-dedup]");
                     std::process::exit(0);
                 }
                 other => {
@@ -152,6 +157,27 @@ pub fn scenario_report(label: &str, total_virtual_secs: f64, snap: &Snapshot) ->
         (
             "zero_filtered_reads",
             JsonValue::Uint(snap.counter_sum("gvfs", ".zero_filtered")),
+        ),
+        (
+            "dedup",
+            JsonValue::object([
+                (
+                    "bytes_avoided",
+                    JsonValue::Uint(snap.counter_sum("gvfs", ".dedup.bytes_avoided")),
+                ),
+                (
+                    "recipe_hits",
+                    JsonValue::Uint(snap.counter_sum("gvfs", ".dedup.recipe_hits")),
+                ),
+                (
+                    "blob_fetches",
+                    JsonValue::Uint(snap.counter_sum("gvfs", ".dedup.blob_fetches")),
+                ),
+                (
+                    "acked_skips",
+                    JsonValue::Uint(snap.counter_sum("gvfs", ".dedup.acked_skips")),
+                ),
+            ]),
         ),
         ("link_bytes", JsonValue::Object(links)),
         ("metrics", snap.to_json()),

@@ -19,8 +19,8 @@
 use std::sync::Arc;
 
 use gvfs::{
-    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, FileChannelServer,
-    IdentityMapper, Middleware, Proxy, ProxyConfig, TransferTuning, WritePolicy,
+    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, DedupTuning, FileCache,
+    FileChannelServer, IdentityMapper, Middleware, Proxy, ProxyConfig, TransferTuning, WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, MountServer, Nfs3Client, Nfs3Server, ServerConfig};
 use oncrpc::{Dispatcher, OpaqueAuth, RetryPolicy, RpcChannel, RpcClient, WireSpec};
@@ -143,6 +143,9 @@ pub struct AppParams {
     /// Fault-injection schedule for the network scenarios; `None` (the
     /// default) runs fault-free.
     pub fault: Option<FaultSpec>,
+    /// Content-addressed dedup on the client-side proxy.
+    /// [`DedupTuning::off()`] reproduces the pre-CAS WAN paths exactly.
+    pub dedup: DedupTuning,
 }
 
 impl Default for AppParams {
@@ -154,6 +157,7 @@ impl Default for AppParams {
             server_cache_bytes: 768 << 20,
             trace: false,
             fault: None,
+            dedup: DedupTuning::default(),
         }
     }
 }
@@ -225,6 +229,9 @@ pub fn build_server(
                 per_op_cpu: SimDuration::from_micros(40),
                 read_only_share: false,
                 transfer: TransferTuning::default(),
+                // The server-side proxy sits on the server's own LAN; a
+                // CAS there can never avoid WAN bytes.
+                dedup: DedupTuning::off(),
             },
             RpcClient::new(lo.channel, OpaqueAuth::none()),
         )
@@ -259,6 +266,8 @@ pub struct ClientProxyOptions {
     pub write_policy: WritePolicy,
     /// Block cache capacity.
     pub cache_bytes: u64,
+    /// Content-addressed dedup tuning for this proxy.
+    pub dedup: DedupTuning,
 }
 
 /// Client machine half: optional client-side proxy between the kernel
@@ -309,6 +318,7 @@ pub fn build_client(
             per_op_cpu: SimDuration::from_micros(40),
             read_only_share: false,
             transfer: TransferTuning::default(),
+            dedup: opts.dedup,
         },
         upstream_client.clone(),
     );
@@ -525,6 +535,7 @@ pub fn run_app_scenario(
                     file_channel: true,
                     write_policy: WritePolicy::WriteBack,
                     cache_bytes: params.proxy_cache_bytes,
+                    dedup: params.dedup,
                 })
             } else {
                 // LAN/WAN: proxies forward through tunnels but no disk

@@ -1,0 +1,273 @@
+//! Per-proxy content-addressed store (CAS).
+//!
+//! Generalizes the zero-block map into "serve locally anything whose
+//! bytes the near side already has": every block-cache frame and
+//! file-cache chunk a proxy holds is indexed by its [`crate::digest`]
+//! digest, and the file channel's recipe path
+//! ([`crate::channel::ChannelClient::fetch_dedup`]) consults the index
+//! before asking the WAN for a payload.
+//!
+//! ## Cost model
+//!
+//! The store is an *index over bytes already resident on the proxy's
+//! cache disk*, not a second copy of them, so its operations charge no
+//! simulation time themselves: a recipe hit means the assembled file
+//! *references* a chunk that is already local, and the disk/CPU costs of
+//! actually using those bytes are charged where they always were — at
+//! file-cache install time for freshly transferred bytes
+//! ([`crate::file_cache::FileCache::install_dedup`] charges only the
+//! bytes that did cross the wire) and at read time for every byte read.
+//! Host-side, entries are kept codec-compressed to bound real memory.
+//!
+//! Capacity is bounded (logical bytes indexed); eviction is
+//! least-recently-touched, deterministic via a monotonic touch stamp.
+
+use parking_lot::Mutex;
+use simnet::{Counter, Telemetry};
+use std::collections::BTreeMap;
+
+use crate::codec;
+use crate::digest::{digest, Digest};
+
+/// Knobs for content-addressed redundancy elimination, carried by
+/// [`crate::ProxyConfig`]. [`DedupTuning::off`] disables every dedup
+/// path, reproducing pre-CAS behaviour byte-for-byte and
+/// tick-for-tick (the equivalence tests and the `dedup_ablation` CI
+/// baseline hold this to account).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupTuning {
+    /// Master switch. When false the proxy never consults recipes,
+    /// never skips acked writes, and never indexes frames.
+    pub enabled: bool,
+    /// CAS capacity in logical (uncompressed) bytes indexed.
+    pub cas_bytes: u64,
+}
+
+impl Default for DedupTuning {
+    fn default() -> Self {
+        DedupTuning {
+            enabled: true,
+            // Comfortably holds the distinct chunks of a Fig 6 clone
+            // fleet (8 × 320 MB memory states sharing a base) while
+            // staying below the 8 GB proxy cache it indexes into.
+            cas_bytes: 4 << 30,
+        }
+    }
+}
+
+impl DedupTuning {
+    /// Dedup fully disabled: the pre-CAS data paths, byte-for-byte.
+    pub fn off() -> Self {
+        DedupTuning {
+            enabled: false,
+            cas_bytes: 0,
+        }
+    }
+}
+
+/// Telemetry for the dedup subsystem, registered per proxy under
+/// `gvfs/<inst>.dedup.*`.
+#[derive(Clone)]
+pub struct DedupTel {
+    /// Payload bytes that never crossed the upstream link because the
+    /// receiver already held them (recipe hits + acked-write skips).
+    pub bytes_avoided: Counter,
+    /// Recipe records satisfied from the local CAS.
+    pub recipe_hits: Counter,
+    /// Payloads actually fetched via `FETCH_BLOBS`.
+    pub blob_fetches: Counter,
+    /// Upstream writes skipped because the acknowledged content already
+    /// matches (flush block skips + unchanged file-upload skips).
+    pub acked_skips: Counter,
+}
+
+impl DedupTel {
+    /// Register under `gvfs/<inst>.dedup.*`.
+    pub fn register(registry: &Telemetry, inst: &str) -> Self {
+        DedupTel {
+            bytes_avoided: registry.counter("gvfs", format!("{inst}.dedup.bytes_avoided")),
+            recipe_hits: registry.counter("gvfs", format!("{inst}.dedup.recipe_hits")),
+            blob_fetches: registry.counter("gvfs", format!("{inst}.dedup.blob_fetches")),
+            acked_skips: registry.counter("gvfs", format!("{inst}.dedup.acked_skips")),
+        }
+    }
+
+    /// An unregistered instance (tests, or callers without a registry).
+    pub fn unregistered() -> Self {
+        DedupTel {
+            bytes_avoided: Counter::new(),
+            recipe_hits: Counter::new(),
+            blob_fetches: Counter::new(),
+            acked_skips: Counter::new(),
+        }
+    }
+}
+
+struct Entry {
+    /// Host-side codec-compressed payload (memory economy only; the
+    /// simulated bytes live on the cache disk).
+    packed: Vec<u8>,
+    /// Logical (uncompressed) length.
+    len: u32,
+    /// Last-touch stamp (monotonic).
+    stamp: u64,
+}
+
+struct Inner {
+    map: BTreeMap<Digest, Entry>,
+    /// stamp -> digest, for deterministic LRU eviction. Stamps are
+    /// unique, so this is a total order of recency.
+    lru: BTreeMap<u64, Digest>,
+    /// Sum of logical lengths of resident entries.
+    bytes: u64,
+    stamp: u64,
+}
+
+/// The content-addressed store. Keys are always computed from the stored
+/// bytes inside [`ContentStore::insert`], so the index can never claim a
+/// digest it does not hold the preimage of.
+pub struct ContentStore {
+    inner: Mutex<Inner>,
+    capacity: u64,
+}
+
+impl ContentStore {
+    /// A store bounded at `capacity` logical bytes.
+    pub fn new(capacity: u64) -> Self {
+        ContentStore {
+            inner: Mutex::new(Inner {
+                map: BTreeMap::new(),
+                lru: BTreeMap::new(),
+                bytes: 0,
+                stamp: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Index `bytes`, returning their digest. Re-inserting existing
+    /// content only refreshes its recency. Oversized payloads (larger
+    /// than the whole store) are digested but not retained.
+    pub fn insert(&self, bytes: &[u8]) -> Digest {
+        let d = digest(bytes);
+        if bytes.len() as u64 > self.capacity {
+            return d;
+        }
+        let mut inner = self.inner.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        if let Some(e) = inner.map.get_mut(&d) {
+            let old = e.stamp;
+            e.stamp = stamp;
+            inner.lru.remove(&old);
+            inner.lru.insert(stamp, d);
+            return d;
+        }
+        let packed = codec::compress(bytes);
+        inner.bytes += bytes.len() as u64;
+        inner.map.insert(
+            d,
+            Entry {
+                packed,
+                len: bytes.len() as u32,
+                stamp,
+            },
+        );
+        inner.lru.insert(stamp, d);
+        // Evict least-recently-touched entries until back under capacity.
+        while inner.bytes > self.capacity {
+            let Some((&old_stamp, &victim)) = inner.lru.iter().next() else {
+                break;
+            };
+            inner.lru.remove(&old_stamp);
+            if let Some(e) = inner.map.remove(&victim) {
+                debug_assert!(inner.bytes >= e.len as u64, "CAS byte accounting drifted");
+                inner.bytes -= e.len as u64;
+            }
+        }
+        d
+    }
+
+    /// Whether `d`'s preimage is resident (does not refresh recency).
+    pub fn contains(&self, d: &Digest) -> bool {
+        self.inner.lock().map.contains_key(d)
+    }
+
+    /// Fetch the preimage of `d`, refreshing its recency. Host-side
+    /// only; see the module docs for why no simulation time is charged.
+    pub fn get(&self, d: &Digest) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        let e = inner.map.get_mut(d)?;
+        let old = e.stamp;
+        e.stamp = stamp;
+        let bytes = codec::decompress(&e.packed).ok()?;
+        inner.lru.remove(&old);
+        inner.lru.insert(stamp, *d);
+        Some(bytes)
+    }
+
+    /// Logical bytes currently indexed.
+    pub fn logical_bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    /// Number of distinct digests indexed.
+    pub fn entries(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_round_trips_and_dedupes() {
+        let cas = ContentStore::new(1 << 20);
+        let a = vec![7u8; 4096];
+        let d = cas.insert(&a);
+        assert_eq!(d, digest(&a));
+        assert!(cas.contains(&d));
+        assert_eq!(cas.get(&d).unwrap(), a);
+        // Re-insert: no double accounting.
+        cas.insert(&a);
+        assert_eq!(cas.entries(), 1);
+        assert_eq!(cas.logical_bytes(), 4096);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_touched() {
+        let cas = ContentStore::new(10_000);
+        let a: Vec<u8> = (0..4096u32).map(|i| i as u8).collect();
+        let b: Vec<u8> = (0..4096u32).map(|i| (i + 1) as u8).collect();
+        let c: Vec<u8> = (0..4096u32).map(|i| (i + 2) as u8).collect();
+        let da = cas.insert(&a);
+        let db = cas.insert(&b);
+        // Touch `a` so `b` is the LRU victim.
+        assert!(cas.get(&da).is_some());
+        let dc = cas.insert(&c);
+        assert!(cas.contains(&da), "recently touched entry evicted");
+        assert!(!cas.contains(&db), "LRU entry not evicted");
+        assert!(cas.contains(&dc));
+        assert_eq!(cas.logical_bytes(), 8192);
+    }
+
+    #[test]
+    fn oversized_payloads_are_not_retained() {
+        let cas = ContentStore::new(100);
+        let big = vec![1u8; 1000];
+        let d = cas.insert(&big);
+        assert_eq!(d, digest(&big));
+        assert!(!cas.contains(&d));
+        assert_eq!(cas.logical_bytes(), 0);
+    }
+
+    #[test]
+    fn tuning_off_disables() {
+        let t = DedupTuning::off();
+        assert!(!t.enabled);
+        assert!(DedupTuning::default().enabled);
+    }
+}

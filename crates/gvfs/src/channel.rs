@@ -21,8 +21,17 @@ use simnet::{Env, Resource};
 use vfs::{Disk, Fs, Handle};
 use xdr::{Decode, Decoder, Encoder};
 
+use std::collections::BTreeMap;
+
+use crate::cas::{ContentStore, DedupTel};
 use crate::codec::{self, CodecModel};
+use crate::digest::{digest, Digest};
+use crate::meta::ContentMap;
 use crate::transfer::{run_windowed, TransferTel};
+
+/// Cap on recipe records a client will decode from a reply (matches the
+/// meta parser's bound: 16 M records ≈ 16 TB at 1 MB chunks).
+const MAX_RECIPE_RECORDS: u64 = 1 << 24;
 
 /// RPC program number for the GVFS file channel (private range).
 pub const CHANNEL_PROGRAM: u32 = 400_100;
@@ -43,6 +52,13 @@ pub mod chanproc {
     pub const FETCH_CHUNK: u32 = 3;
     /// Upload one chunk of a file at a given offset (write-back path).
     pub const UPLOAD_CHUNK: u32 = 4;
+    /// Fetch a file's per-chunk digest recipe (server-computed fallback
+    /// when middleware meta carries no content map).
+    pub const FETCH_RECIPE: u32 = 5;
+    /// Fetch one recipe chunk's payload by `(offset, len, digest)`. The
+    /// digest travels in the request so intermediate proxies can serve
+    /// and single-flight the call by *content*, not just by file.
+    pub const FETCH_BLOBS: u32 = 6;
 }
 
 /// Channel status codes.
@@ -315,6 +331,100 @@ impl RpcProgram for FileChannelServer {
                 enc.put_u32(status.as_u32());
                 Ok(enc.into_bytes())
             }
+            chanproc::FETCH_RECIPE => {
+                let mut dec = Decoder::new(args);
+                let fh = nfs3::Fh3::decode(&mut dec).map_err(|_| ProgramError::GarbageArgs)?;
+                let chunk_bytes = dec.get_u32().map_err(|_| ProgramError::GarbageArgs)?;
+                if chunk_bytes == 0 {
+                    return Err(ProgramError::GarbageArgs);
+                }
+                let (total, records) = {
+                    let mut fs = self.fs.lock();
+                    let size = match fs.size(fh.0) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            let mut enc = Encoder::new();
+                            enc.put_u32(ChanStatus::from_fs(e).as_u32());
+                            return Ok(enc.into_bytes());
+                        }
+                    };
+                    let now = env.now().as_nanos();
+                    let nchunks = size.div_ceil(chunk_bytes as u64);
+                    let mut records = Vec::with_capacity(nchunks as usize);
+                    let mut fail = None;
+                    for c in 0..nchunks {
+                        let off = c * chunk_bytes as u64;
+                        let len = ((size - off).min(chunk_bytes as u64)) as usize;
+                        match fs.read(fh.0, off, len, now) {
+                            Ok((data, _)) => records.push((digest(&data), len as u32)),
+                            Err(e) => {
+                                fail = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(e) = fail {
+                        let mut enc = Encoder::new();
+                        enc.put_u32(ChanStatus::from_fs(e).as_u32());
+                        return Ok(enc.into_bytes());
+                    }
+                    (size, records)
+                };
+                // Computing a recipe streams the whole file off the disk
+                // and digests it on the server CPUs.
+                self.disk.sequential_io(env, total);
+                {
+                    let _cpu = self.cpu.as_ref().map(|c| c.acquire(env));
+                    env.sleep(self.codec.digest_time(total));
+                }
+                let mut enc = Encoder::new();
+                enc.put_u32(ChanStatus::Ok.as_u32());
+                enc.put_u64(total);
+                enc.put_u32(chunk_bytes);
+                enc.put_u64(records.len() as u64);
+                for (d, l) in &records {
+                    enc.put_u64(d.0);
+                    enc.put_u64(d.1);
+                    enc.put_u32(*l);
+                }
+                Ok(enc.into_bytes())
+            }
+            chanproc::FETCH_BLOBS => {
+                let mut dec = Decoder::new(args);
+                let fh = nfs3::Fh3::decode(&mut dec).map_err(|_| ProgramError::GarbageArgs)?;
+                let offset = dec.get_u64().map_err(|_| ProgramError::GarbageArgs)?;
+                let len = dec.get_u32().map_err(|_| ProgramError::GarbageArgs)?;
+                // The requested digest is for proxies along the path; the
+                // origin serves by range and the client verifies.
+                let _d0 = dec.get_u64().map_err(|_| ProgramError::GarbageArgs)?;
+                let _d1 = dec.get_u64().map_err(|_| ProgramError::GarbageArgs)?;
+                let contents = {
+                    let mut fs = self.fs.lock();
+                    let now = env.now().as_nanos();
+                    match fs.read(fh.0, offset, len as usize, now) {
+                        Ok((data, _)) => data,
+                        Err(e) => {
+                            let mut enc = Encoder::new();
+                            enc.put_u32(ChanStatus::from_fs(e).as_u32());
+                            return Ok(enc.into_bytes());
+                        }
+                    }
+                };
+                self.disk.sequential_io(env, contents.len() as u64);
+                let payload = if self.compress {
+                    let _cpu = self.cpu.as_ref().map(|c| c.acquire(env));
+                    env.sleep(self.codec.compress_time(contents.len() as u64));
+                    codec::compress(&contents)
+                } else {
+                    contents.clone()
+                };
+                let mut enc = Encoder::new();
+                enc.put_u32(ChanStatus::Ok.as_u32());
+                enc.put_u64(contents.len() as u64);
+                enc.put_bool(self.compress);
+                enc.put_opaque_var(&payload);
+                Ok(enc.into_bytes())
+            }
             _ => Err(ProgramError::ProcUnavail),
         }
     }
@@ -327,6 +437,19 @@ impl ChanStatus {
             _ => ChanStatus::NoEnt,
         }
     }
+}
+
+/// Result of a recipe-driven fetch ([`ChannelClient::fetch_dedup`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DedupFetch {
+    /// The reassembled file contents (byte-identical to what
+    /// [`ChannelClient::fetch_chunked`] would have returned).
+    pub contents: Vec<u8>,
+    /// Compressed bytes that crossed the wire.
+    pub wire: u64,
+    /// Logical bytes of the chunks actually fetched (the rest came out
+    /// of the local CAS or rode a duplicate in-file digest).
+    pub fresh_bytes: u64,
 }
 
 /// Errors surfaced by the client half.
@@ -480,6 +603,217 @@ impl ChannelClient {
             return Err(ChannelError::Decode);
         }
         Ok((contents, wire))
+    }
+
+    /// Fetch the per-chunk digest recipe of a file from the server. Used
+    /// when the middleware meta carries no content map; the server scans
+    /// and digests the file (disk + CPU time charged there).
+    pub fn fetch_recipe(
+        &self,
+        env: &Env,
+        h: Handle,
+        chunk_bytes: u32,
+    ) -> Result<ContentMap, ChannelError> {
+        let mut enc = Encoder::new();
+        nfs3::Fh3(h).encode(&mut enc);
+        enc.put_u32(chunk_bytes);
+        let res = self
+            .rpc
+            .call_dl(
+                env,
+                CHANNEL_PROGRAM,
+                CHANNEL_V1,
+                chanproc::FETCH_RECIPE,
+                enc.into_bytes(),
+            )
+            .map_err(ChannelError::Rpc)?;
+        let mut dec = Decoder::new(&res);
+        let status = ChanStatus::from_u32(dec.get_u32().map_err(|_| ChannelError::Decode)?)
+            .ok_or(ChannelError::Decode)?;
+        if status != ChanStatus::Ok {
+            return Err(ChannelError::Status(status));
+        }
+        let total = dec.get_u64().map_err(|_| ChannelError::Decode)?;
+        let chunk_bytes = dec.get_u32().map_err(|_| ChannelError::Decode)?;
+        let count = dec.get_u64().map_err(|_| ChannelError::Decode)?;
+        if chunk_bytes == 0 || count > MAX_RECIPE_RECORDS {
+            return Err(ChannelError::Decode);
+        }
+        // Growth is bounded by the actual reply length: each record costs
+        // 20 reply bytes, so a truncated stream fails before the Vec grows.
+        let mut records = Vec::new();
+        for _ in 0..count {
+            let d0 = dec.get_u64().map_err(|_| ChannelError::Decode)?;
+            let d1 = dec.get_u64().map_err(|_| ChannelError::Decode)?;
+            let len = dec.get_u32().map_err(|_| ChannelError::Decode)?;
+            records.push((Digest(d0, d1), len));
+        }
+        Ok(ContentMap {
+            chunk_bytes,
+            total,
+            records,
+        })
+    }
+
+    /// Fetch one recipe chunk's payload; the expected digest travels in
+    /// the request (content-addressed proxy caching) and is verified
+    /// against the decompressed bytes here.
+    fn fetch_blob(
+        &self,
+        env: &Env,
+        h: Handle,
+        offset: u64,
+        len: u32,
+        want: Digest,
+    ) -> Result<(Vec<u8>, u64), ChannelError> {
+        let mut enc = Encoder::new();
+        nfs3::Fh3(h).encode(&mut enc);
+        enc.put_u64(offset);
+        enc.put_u32(len);
+        enc.put_u64(want.0);
+        enc.put_u64(want.1);
+        let res = self
+            .rpc
+            .call_dl(
+                env,
+                CHANNEL_PROGRAM,
+                CHANNEL_V1,
+                chanproc::FETCH_BLOBS,
+                enc.into_bytes(),
+            )
+            .map_err(ChannelError::Rpc)?;
+        let mut dec = Decoder::new(&res);
+        let status = ChanStatus::from_u32(dec.get_u32().map_err(|_| ChannelError::Decode)?)
+            .ok_or(ChannelError::Decode)?;
+        if status != ChanStatus::Ok {
+            return Err(ChannelError::Status(status));
+        }
+        let chunk_len = dec.get_u64().map_err(|_| ChannelError::Decode)?;
+        let compressed = dec.get_bool().map_err(|_| ChannelError::Decode)?;
+        let payload = dec.get_opaque_var().map_err(|_| ChannelError::Decode)?;
+        let wire = payload.len() as u64;
+        let contents = if compressed {
+            env.sleep(self.codec.decompress_time(chunk_len));
+            codec::decompress(&payload).map_err(|_| ChannelError::Status(ChanStatus::BadStream))?
+        } else {
+            payload
+        };
+        // Verify the content actually matches the recipe (a regenerated
+        // server file would silently corrupt the reassembly otherwise).
+        env.sleep(self.codec.digest_time(contents.len() as u64));
+        if contents.len() as u64 != chunk_len || digest(&contents) != want {
+            return Err(ChannelError::Status(ChanStatus::BadStream));
+        }
+        Ok((contents, wire))
+    }
+
+    /// Fetch a whole file by recipe: serve every chunk whose digest the
+    /// local CAS already holds, fetch only the missing payloads (one
+    /// `FETCH_BLOBS` per *distinct* missing digest, pipelined through
+    /// [`run_windowed`]), and reassemble. `contents`/`wire` match what
+    /// [`ChannelClient::fetch_chunked`] would return; `fresh_bytes` is the
+    /// logical size of the chunks that actually crossed the wire (what a
+    /// dedup-aware cache install must charge to disk).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch_dedup(
+        &self,
+        env: &Env,
+        h: Handle,
+        recipe_hint: Option<&ContentMap>,
+        chunk_bytes: u32,
+        window: usize,
+        cas: &ContentStore,
+        dtel: &DedupTel,
+        tel: Option<&TransferTel>,
+    ) -> Result<DedupFetch, ChannelError> {
+        let fetched_recipe;
+        let recipe = match recipe_hint {
+            Some(r) => r,
+            None => {
+                let cb = if chunk_bytes == 0 {
+                    1 << 20
+                } else {
+                    chunk_bytes
+                };
+                fetched_recipe = self.fetch_recipe(env, h, cb)?;
+                &fetched_recipe
+            }
+        };
+        let span: u64 = recipe.records.iter().map(|(_, l)| *l as u64).sum();
+        if span != recipe.total {
+            return Err(ChannelError::Decode);
+        }
+        // Plan each record: local CAS hit, or member of a fetch group
+        // (one group per distinct missing digest — duplicates within the
+        // file ride the first fetch).
+        enum Slot {
+            Local(Vec<u8>),
+            Group(usize),
+        }
+        let mut groups: Vec<(u64, u32, Digest)> = Vec::new();
+        let mut group_of: BTreeMap<Digest, usize> = BTreeMap::new();
+        let mut plan = Vec::with_capacity(recipe.records.len());
+        let mut off = 0u64;
+        for (d, l) in &recipe.records {
+            if let Some(bytes) = cas.get(d) {
+                if bytes.len() != *l as usize {
+                    return Err(ChannelError::Decode);
+                }
+                dtel.recipe_hits.inc();
+                dtel.bytes_avoided.add(*l as u64);
+                plan.push(Slot::Local(bytes));
+            } else if let Some(&gi) = group_of.get(d) {
+                // Duplicate of an in-flight fetch: no extra wire bytes.
+                dtel.recipe_hits.inc();
+                dtel.bytes_avoided.add(*l as u64);
+                plan.push(Slot::Group(gi));
+            } else {
+                group_of.insert(*d, groups.len());
+                plan.push(Slot::Group(groups.len()));
+                groups.push((off, *l, *d));
+            }
+            off += *l as u64;
+        }
+        let me = self.clone();
+        let slots = run_windowed(
+            env,
+            "chan-dedup",
+            window.max(1),
+            groups.clone(),
+            tel,
+            move |env, (off, len, d)| Some(me.fetch_blob(env, h, off, len, d)),
+        );
+        let mut fetched: Vec<Vec<u8>> = Vec::with_capacity(groups.len());
+        let mut wire = 0u64;
+        let mut fresh_bytes = 0u64;
+        for slot in slots {
+            match slot {
+                Some(Ok((data, w))) => {
+                    dtel.blob_fetches.inc();
+                    wire += w;
+                    fresh_bytes += data.len() as u64;
+                    cas.insert(&data);
+                    fetched.push(data);
+                }
+                Some(Err(e)) => return Err(e),
+                None => return Err(ChannelError::Decode),
+            }
+        }
+        let mut contents = Vec::with_capacity(recipe.total as usize);
+        for slot in plan {
+            match slot {
+                Slot::Local(bytes) => contents.extend_from_slice(&bytes),
+                Slot::Group(gi) => contents.extend_from_slice(&fetched[gi]),
+            }
+        }
+        if contents.len() as u64 != recipe.total {
+            return Err(ChannelError::Decode);
+        }
+        Ok(DedupFetch {
+            contents,
+            wire,
+            fresh_bytes,
+        })
     }
 
     /// Upload one chunk of a file whose final size is `total`.
@@ -716,6 +1050,103 @@ mod tests {
             pipelined < serial,
             "pipelined {pipelined}s should beat serial {serial}s"
         );
+    }
+
+    #[test]
+    fn dedup_fetch_reassembles_and_dedupes() {
+        let sim = Simulation::new();
+        let (fs, chan, down) = rig(&sim, 25.0);
+        // 5 MB file whose first and third MB are identical.
+        let mb = 1usize << 20;
+        let mut data: Vec<u8> = (0..5 * mb).map(|i| (i % 249) as u8).collect();
+        let (lo, hi) = data.split_at_mut(2 * mb);
+        hi[..mb].copy_from_slice(&lo[..mb]);
+        let fh = {
+            let mut f = fs.lock();
+            let root = f.root();
+            let h = f.create(root, "vm.vmss", 0o644, 0).unwrap();
+            f.write(h, 0, &data, 0).unwrap();
+            h
+        };
+        let expect = data.clone();
+        sim.spawn("client", move |env| {
+            let cas = ContentStore::new(1 << 30);
+            let dtel = DedupTel::unregistered();
+            // Cold CAS: the duplicate chunk still rides its twin's fetch.
+            let cold = chan
+                .fetch_dedup(&env, fh, None, 1 << 20, 4, &cas, &dtel, None)
+                .unwrap();
+            assert_eq!(cold.contents, expect);
+            assert_eq!(dtel.blob_fetches.get(), 4, "4 distinct MB chunks");
+            assert_eq!(dtel.recipe_hits.get(), 1, "duplicate chunk served locally");
+            assert_eq!(dtel.bytes_avoided.get(), 1 << 20);
+            assert!(cold.wire > 0);
+            assert_eq!(cold.fresh_bytes, 4 << 20, "4 distinct MB chunks fetched");
+            let wire_after_first = down.total_bytes();
+            // Warm CAS: everything local, nothing on the wire but the recipe.
+            let warm = chan
+                .fetch_dedup(&env, fh, None, 1 << 20, 4, &cas, &dtel, None)
+                .unwrap();
+            assert_eq!(warm.contents, expect);
+            assert_eq!(warm.wire, 0);
+            assert_eq!(warm.fresh_bytes, 0);
+            assert_eq!(dtel.blob_fetches.get(), 4);
+            assert_eq!(dtel.recipe_hits.get(), 6);
+            // Only the recipe reply crossed the link the second time.
+            assert!(down.total_bytes() - wire_after_first < 4096);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn dedup_fetch_with_meta_recipe_hint_matches_chunked() {
+        let sim = Simulation::new();
+        let (fs, chan, _down) = rig(&sim, 25.0);
+        let data: Vec<u8> = (0..(3 << 20) + 777u32).map(|i| (i % 251) as u8).collect();
+        let (fh, recipe) = {
+            let mut f = fs.lock();
+            let root = f.root();
+            let h = f.create(root, "vm.vmss", 0o644, 0).unwrap();
+            f.write(h, 0, &data, 0).unwrap();
+            let r = crate::meta::generate_content_map(&mut f, h, 1 << 20).unwrap();
+            (h, r)
+        };
+        sim.spawn("client", move |env| {
+            let (mono, _) = chan.fetch_chunked(&env, fh, 1 << 20, 4, None).unwrap();
+            let cas = ContentStore::new(1 << 30);
+            let dtel = DedupTel::unregistered();
+            let deduped = chan
+                .fetch_dedup(&env, fh, Some(&recipe), 1 << 20, 4, &cas, &dtel, None)
+                .unwrap();
+            assert_eq!(mono, deduped.contents);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn dedup_fetch_detects_stale_recipe() {
+        let sim = Simulation::new();
+        let (fs, chan, _down) = rig(&sim, 100.0);
+        let data: Vec<u8> = (0..1 << 20u32).map(|i| (i % 241) as u8).collect();
+        let (fh, mut recipe) = {
+            let mut f = fs.lock();
+            let root = f.root();
+            let h = f.create(root, "vm.vmss", 0o644, 0).unwrap();
+            f.write(h, 0, &data, 0).unwrap();
+            let r = crate::meta::generate_content_map(&mut f, h, 1 << 18).unwrap();
+            (h, r)
+        };
+        // Corrupt one recipe record: the fetched bytes no longer match.
+        recipe.records[2].0 = Digest(1, 2);
+        sim.spawn("client", move |env| {
+            let cas = ContentStore::new(1 << 30);
+            let dtel = DedupTel::unregistered();
+            match chan.fetch_dedup(&env, fh, Some(&recipe), 1 << 18, 4, &cas, &dtel, None) {
+                Err(ChannelError::Status(ChanStatus::BadStream)) => {}
+                other => panic!("expected BadStream on digest mismatch, got {other:?}"),
+            }
+        });
+        sim.run();
     }
 
     #[test]

@@ -166,14 +166,20 @@ pub struct CodecModel {
     pub compress_bytes_per_sec: f64,
     /// Decompression throughput, output bytes per second.
     pub decompress_bytes_per_sec: f64,
+    /// Content-digest throughput, input bytes per second
+    /// ([`crate::digest`] is a word-at-a-time mix, far cheaper than
+    /// GZIP-class compression).
+    pub digest_bytes_per_sec: f64,
 }
 
 impl Default for CodecModel {
     fn default() -> Self {
-        // GZIP-class throughput on ~1 GHz Pentium III-era CPUs.
+        // GZIP-class throughput on ~1 GHz Pentium III-era CPUs; digesting
+        // is a small fixed number of ALU ops per word.
         CodecModel {
             compress_bytes_per_sec: 15e6,
             decompress_bytes_per_sec: 60e6,
+            digest_bytes_per_sec: 400e6,
         }
     }
 }
@@ -187,6 +193,11 @@ impl CodecModel {
     /// Time to decompress to `bytes` of output.
     pub fn decompress_time(&self, bytes: u64) -> SimDuration {
         SimDuration::from_secs_f64(bytes as f64 / self.decompress_bytes_per_sec)
+    }
+
+    /// Time to digest `bytes` of input.
+    pub fn digest_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.digest_bytes_per_sec)
     }
 }
 
@@ -303,5 +314,7 @@ mod tests {
         assert!((t1.as_secs_f64() - 1.0).abs() < 1e-9);
         let t2 = m.decompress_time(120_000_000);
         assert!((t2.as_secs_f64() - 2.0).abs() < 1e-9);
+        let t3 = m.digest_time(400_000_000);
+        assert!((t3.as_secs_f64() - 1.0).abs() < 1e-9);
     }
 }

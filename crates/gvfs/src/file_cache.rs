@@ -13,6 +13,8 @@ use parking_lot::Mutex;
 use simnet::Env;
 use vfs::{Disk, SparseBytes};
 
+use crate::digest::{digest, Digest};
+
 /// Identity of a cached file (fileid + generation from the NFS handle).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileKey {
@@ -27,6 +29,12 @@ struct CachedFile {
     size: u64,
     dirty: bool,
     last_use: u64,
+    /// Digest of the contents upstream last acknowledged holding (set on
+    /// install — the file arrived *from* upstream — and after a
+    /// successful upload). A dirty file whose current digest still
+    /// matches was rewritten with identical bytes; its upload can be
+    /// skipped. Host-side bookkeeping only: no simulated time.
+    synced: Option<Digest>,
 }
 
 /// Counters.
@@ -89,6 +97,19 @@ impl FileCache {
     /// Install a file's full contents (paying the local-disk write).
     /// Evicts least-recently-used clean files if over capacity.
     pub fn install(&self, env: &Env, key: FileKey, contents: &[u8]) {
+        self.install_inner(env, key, contents, contents.len() as u64);
+    }
+
+    /// Install a file assembled by a dedup'd (recipe-driven) fetch:
+    /// identical to [`FileCache::install`] except the local-disk charge
+    /// covers only `fresh_bytes` — the chunks that actually crossed the
+    /// wire. CAS-resident chunks were already on this proxy's disk; the
+    /// install links them rather than rewriting them.
+    pub fn install_dedup(&self, env: &Env, key: FileKey, contents: &[u8], fresh_bytes: u64) {
+        self.install_inner(env, key, contents, fresh_bytes);
+    }
+
+    fn install_inner(&self, env: &Env, key: FileKey, contents: &[u8], charge_bytes: u64) {
         {
             let mut inner = self.inner.lock();
             inner.stamp += 1;
@@ -103,6 +124,7 @@ impl FileCache {
                     size,
                     dirty: false,
                     last_use: stamp,
+                    synced: Some(digest(contents)),
                 },
             ) {
                 debug_assert!(
@@ -135,7 +157,22 @@ impl FileCache {
                 }
             }
         }
-        self.disk.sequential_io(env, contents.len() as u64);
+        self.disk.sequential_io(env, charge_bytes);
+    }
+
+    /// Digest of the contents upstream last acknowledged for this file
+    /// (`None` when the file is absent or was never synced).
+    pub fn synced_digest(&self, key: FileKey) -> Option<Digest> {
+        self.inner.lock().files.get(&key).and_then(|f| f.synced)
+    }
+
+    /// Record that upstream now durably holds contents with this digest
+    /// (called after a successful channel upload). No-op when absent.
+    pub fn set_synced(&self, key: FileKey, d: Digest) {
+        let mut inner = self.inner.lock();
+        if let Some(f) = inner.files.get_mut(&key) {
+            f.synced = Some(d);
+        }
     }
 
     /// Read a range from a resident file, paying local-disk time.
@@ -328,6 +365,59 @@ mod tests {
             assert_eq!(cc.stats().evictions, 1);
         });
         sim.run();
+    }
+
+    #[test]
+    fn synced_digest_tracks_installs_and_uploads() {
+        let sim = Simulation::new();
+        let c = cache(&sim.handle(), 1 << 20);
+        let cc = c.clone();
+        sim.spawn("t", move |env| {
+            assert_eq!(cc.synced_digest(key(1)), None);
+            cc.install(&env, key(1), b"suspend state");
+            assert_eq!(cc.synced_digest(key(1)), Some(digest(b"suspend state")));
+            // An identical rewrite dirties the file but leaves the synced
+            // digest equal to the current contents' digest.
+            assert!(cc.write(&env, key(1), 0, b"suspend state"));
+            assert_eq!(cc.dirty_files(), vec![key(1)]);
+            let contents = cc.take_dirty_contents(&env, key(1)).unwrap();
+            assert_eq!(cc.synced_digest(key(1)), Some(digest(&contents)));
+            // A real change diverges; set_synced records the new upload.
+            assert!(cc.write(&env, key(1), 0, b"SUSPEND"));
+            let contents = cc.take_dirty_contents(&env, key(1)).unwrap();
+            assert_ne!(cc.synced_digest(key(1)), Some(digest(&contents)));
+            cc.set_synced(key(1), digest(&contents));
+            assert_eq!(cc.synced_digest(key(1)), Some(digest(&contents)));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn install_dedup_charges_only_fresh_bytes() {
+        // Two installs of the same logical size: the dedup'd one charging
+        // zero fresh bytes must finish faster than the full install.
+        let timed = |fresh: Option<u64>| -> f64 {
+            let sim = Simulation::new();
+            let c = cache(&sim.handle(), 1 << 20);
+            sim.spawn("t", move |env| {
+                let contents = vec![7u8; 256 * 1024];
+                match fresh {
+                    Some(fb) => c.install_dedup(&env, key(1), &contents, fb),
+                    None => c.install(&env, key(1), &contents),
+                }
+                let (data, _) = c.read(&env, key(1), 0, 4096).unwrap();
+                assert_eq!(data, vec![7u8; 4096]);
+            });
+            sim.run().as_secs_f64()
+        };
+        let full = timed(None);
+        let dedup = timed(Some(0));
+        assert!(
+            dedup < full,
+            "dedup install {dedup}s should beat full install {full}s"
+        );
+        // Charging the full length is tick-identical to a plain install.
+        assert_eq!(timed(Some(256 * 1024)).to_bits(), full.to_bits());
     }
 
     #[test]

@@ -24,12 +24,18 @@
 //! * [`transfer`] — bounded-window pipelined RPC fan-out shared by the
 //!   chunked file channel, parallel write-back flush and proxy
 //!   read-ahead.
+//! * [`digest`] + [`cas`] — content-addressed redundancy elimination:
+//!   the canonical 128-bit content hash, per-proxy content store, and
+//!   the recipe/blob channel path that ships only bytes the near side
+//!   does not already hold.
 
 #![warn(missing_docs)]
 
 pub mod block_cache;
+pub mod cas;
 pub mod channel;
 pub mod codec;
+pub mod digest;
 pub mod file_cache;
 pub mod identity;
 pub mod meta;
@@ -38,11 +44,16 @@ pub mod session;
 pub mod transfer;
 
 pub use block_cache::{BlockCache, BlockCacheConfig, BlockCacheStats, Tag, WritePolicy};
-pub use channel::{ChannelClient, FileChannelServer, CHANNEL_PROGRAM, CHANNEL_V1};
+pub use cas::{ContentStore, DedupTel, DedupTuning};
+pub use channel::{ChannelClient, DedupFetch, FileChannelServer, CHANNEL_PROGRAM, CHANNEL_V1};
 pub use codec::CodecModel;
+pub use digest::Digest;
 pub use file_cache::{FileCache, FileCacheStats, FileKey};
 pub use identity::{IdentityMapper, MappedAccount};
-pub use meta::{generate_zero_map, meta_name_for, FileChannelSpec, MetaFile, ZeroMap};
+pub use meta::{
+    generate_content_map, generate_zero_map, meta_name_for, ContentMap, FileChannelSpec, MetaFile,
+    ZeroMap,
+};
 pub use proxy::{FlushReport, Proxy, ProxyConfig, ProxyStats};
 pub use session::{GvfsSession, Middleware};
 pub use transfer::{run_windowed, TransferTel, TransferTuning};

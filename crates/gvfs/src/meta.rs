@@ -13,6 +13,15 @@
 //!
 //! The meta-data file lives in the same directory as its subject, under
 //! the special name [`meta_name_for`], exactly as the paper describes.
+//!
+//! The **content map** generalizes the zero map: instead of one bit
+//! ("this block is zero"), it records one [`crate::digest`] digest per
+//! fixed-size chunk, so the client proxy can serve *any* chunk whose
+//! bytes it already holds — not just the all-zero ones — from its
+//! content-addressed store, and fetch only the missing payloads through
+//! the channel's `FETCH_BLOBS` procedure.
+
+use crate::digest::{digest, Digest};
 
 /// Special file-name prefix for meta-data files.
 pub const META_PREFIX: &str = ".gvfs_meta.";
@@ -93,6 +102,22 @@ pub struct FileChannelSpec {
     pub writeback: bool,
 }
 
+/// The per-chunk digest recipe of a file: ordered `(digest, len)`
+/// records at `chunk_bytes` granularity (the last record may be short).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentMap {
+    /// Chunk granularity the digests were computed at.
+    pub chunk_bytes: u32,
+    /// Total bytes covered (the subject's size at generation time).
+    pub total: u64,
+    /// One record per chunk, in file order.
+    pub records: Vec<(Digest, u32)>,
+}
+
+/// Cap on content-map records a parser will materialize: 16 M records
+/// cover a 16 TB file at 1 MB chunks, far beyond any VM state file.
+const MAX_CONTENT_RECORDS: u64 = 1 << 24;
+
 /// Parsed meta-data for one file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetaFile {
@@ -102,6 +127,8 @@ pub struct MetaFile {
     pub zero_map: Option<ZeroMap>,
     /// File-channel actions, if specified.
     pub channel: Option<FileChannelSpec>,
+    /// Per-chunk digest recipe, if generated (dedup'd channel fetches).
+    pub content_map: Option<ContentMap>,
 }
 
 impl MetaFile {
@@ -125,6 +152,20 @@ impl MetaFile {
                 out.extend_from_slice(&zm.nblocks.to_be_bytes());
                 for w in &zm.bits {
                     out.extend_from_slice(&w.to_be_bytes());
+                }
+            }
+            None => out.push(0),
+        }
+        match &self.content_map {
+            Some(cm) => {
+                out.push(1);
+                out.extend_from_slice(&cm.chunk_bytes.to_be_bytes());
+                out.extend_from_slice(&cm.total.to_be_bytes());
+                out.extend_from_slice(&(cm.records.len() as u64).to_be_bytes());
+                for (d, len) in &cm.records {
+                    out.extend_from_slice(&d.0.to_be_bytes());
+                    out.extend_from_slice(&d.1.to_be_bytes());
+                    out.extend_from_slice(&len.to_be_bytes());
                 }
             }
             None => out.push(0),
@@ -179,6 +220,41 @@ impl MetaFile {
             }
             _ => return None,
         };
+        // Content-map section: absent entirely in pre-CAS meta files,
+        // which remain parseable.
+        let content_map = if p == data.len() {
+            None
+        } else {
+            match take(&mut p, 1)?[0] {
+                0 => None,
+                1 => {
+                    let chunk_bytes = u32::from_be_bytes(take(&mut p, 4)?.try_into().ok()?);
+                    let total = u64::from_be_bytes(take(&mut p, 8)?.try_into().ok()?);
+                    let nrecords = u64::from_be_bytes(take(&mut p, 8)?.try_into().ok()?);
+                    if chunk_bytes == 0 || nrecords > MAX_CONTENT_RECORDS {
+                        return None;
+                    }
+                    // Remaining input bounds the record count before any
+                    // allocation: 20 bytes per record.
+                    if data.len() - p < nrecords as usize * 20 {
+                        return None;
+                    }
+                    let mut records = Vec::with_capacity(nrecords as usize);
+                    for _ in 0..nrecords {
+                        let d0 = u64::from_be_bytes(take(&mut p, 8)?.try_into().ok()?);
+                        let d1 = u64::from_be_bytes(take(&mut p, 8)?.try_into().ok()?);
+                        let len = u32::from_be_bytes(take(&mut p, 4)?.try_into().ok()?);
+                        records.push((Digest(d0, d1), len));
+                    }
+                    Some(ContentMap {
+                        chunk_bytes,
+                        total,
+                        records,
+                    })
+                }
+                _ => return None,
+            }
+        };
         if p != data.len() {
             return None;
         }
@@ -186,6 +262,7 @@ impl MetaFile {
             file_size,
             zero_map,
             channel,
+            content_map,
         })
     }
 }
@@ -205,6 +282,32 @@ pub fn generate_zero_map(fs: &vfs::Fs, h: vfs::Handle, block_size: u32) -> vfs::
         }
     }
     Ok(zm)
+}
+
+/// Middleware-side generator: scan a file in `fs` and produce its
+/// per-chunk digest recipe at `chunk_bytes` granularity. Like the zero
+/// map this runs where the data lives (the image server), so clients get
+/// the recipe for free with the meta-data.
+pub fn generate_content_map(
+    fs: &mut vfs::Fs,
+    h: vfs::Handle,
+    chunk_bytes: u32,
+) -> vfs::FsResult<ContentMap> {
+    assert!(chunk_bytes > 0);
+    let total = fs.size(h)?;
+    let nchunks = total.div_ceil(chunk_bytes as u64);
+    let mut records = Vec::with_capacity(nchunks as usize);
+    for c in 0..nchunks {
+        let off = c * chunk_bytes as u64;
+        let len = ((total - off).min(chunk_bytes as u64)) as u32;
+        let (data, _) = fs.read(h, off, len as usize, 0)?;
+        records.push((digest(&data), len));
+    }
+    Ok(ContentMap {
+        chunk_bytes,
+        total,
+        records,
+    })
 }
 
 #[cfg(test)]
@@ -250,6 +353,13 @@ mod tests {
         let mut zm = ZeroMap::new(32768, 100);
         zm.set_zero(7);
         zm.set_zero(99);
+        let cm = ContentMap {
+            chunk_bytes: 1 << 20,
+            total: 335_544_320,
+            records: (0..320u64)
+                .map(|i| (Digest(i.wrapping_mul(0x9E37), !i), 1 << 20))
+                .collect(),
+        };
         for meta in [
             MetaFile {
                 file_size: 335_544_320,
@@ -258,11 +368,13 @@ mod tests {
                     compress: true,
                     writeback: false,
                 }),
+                content_map: Some(cm.clone()),
             },
             MetaFile {
                 file_size: 0,
                 zero_map: None,
                 channel: None,
+                content_map: None,
             },
             MetaFile {
                 file_size: 5,
@@ -271,16 +383,41 @@ mod tests {
                     compress: false,
                     writeback: true,
                 }),
+                content_map: Some(ContentMap {
+                    chunk_bytes: 4096,
+                    total: 5,
+                    records: vec![(Digest(1, 2), 5)],
+                }),
             },
             MetaFile {
                 file_size: 1 << 31,
                 zero_map: Some(zm.clone()),
                 channel: None,
+                content_map: None,
             },
         ] {
             let bytes = meta.to_bytes();
             assert_eq!(MetaFile::from_bytes(&bytes), Some(meta));
         }
+    }
+
+    #[test]
+    fn pre_content_map_meta_still_parses() {
+        // A serialization ending right after the zero-map section (the
+        // pre-CAS layout) must parse with `content_map: None`.
+        let meta = MetaFile {
+            file_size: 10,
+            zero_map: None,
+            channel: None,
+            content_map: None,
+        };
+        let bytes = meta.to_bytes();
+        // Dropping the trailing content-map tag byte yields the old layout.
+        assert_eq!(
+            MetaFile::from_bytes(&bytes[..bytes.len() - 1]),
+            Some(meta.clone())
+        );
+        assert_eq!(MetaFile::from_bytes(&bytes), Some(meta));
     }
 
     #[test]
@@ -291,12 +428,67 @@ mod tests {
             file_size: 10,
             zero_map: None,
             channel: None,
+            content_map: Some(ContentMap {
+                chunk_bytes: 4096,
+                total: 10,
+                records: vec![(Digest(3, 4), 10)],
+            }),
         }
         .to_bytes();
+        // Truncation inside the content-map section is rejected.
         assert_eq!(MetaFile::from_bytes(&good[..good.len() - 1]), None);
+        assert_eq!(MetaFile::from_bytes(&good[..good.len() - 21]), None);
         let mut trailing = good.clone();
         trailing.push(0);
         assert_eq!(MetaFile::from_bytes(&trailing), None);
+        // A bogus section tag is rejected.
+        let mut bad_tag = MetaFile {
+            file_size: 10,
+            zero_map: None,
+            channel: None,
+            content_map: None,
+        }
+        .to_bytes();
+        *bad_tag.last_mut().unwrap() = 7;
+        assert_eq!(MetaFile::from_bytes(&bad_tag), None);
+        // A record count far beyond the remaining input is rejected
+        // without allocating.
+        let mut huge = good.clone();
+        // count field lives right after tag(1)+chunk_bytes(4)+total(8).
+        let count_at = good.len() - 20 - 8;
+        huge[count_at..count_at + 8].copy_from_slice(&(1u64 << 20).to_be_bytes());
+        assert_eq!(MetaFile::from_bytes(&huge), None);
+    }
+
+    #[test]
+    fn generate_content_map_matches_file_contents() {
+        let mut fs = Fs::new(0);
+        let root = fs.root();
+        let f = fs.create(root, "mem.vmss", 0o644, 0).unwrap();
+        // 2.5 chunks at 4 KB granularity; chunk 1 repeats chunk 0.
+        let chunk: Vec<u8> = (0..4096u32).map(|i| (i % 253) as u8).collect();
+        fs.write(f, 0, &chunk, 0).unwrap();
+        fs.write(f, 4096, &chunk, 0).unwrap();
+        fs.write(f, 8192, &[5u8; 2048], 0).unwrap();
+        let cm = generate_content_map(&mut fs, f, 4096).unwrap();
+        assert_eq!(cm.total, 10_240);
+        assert_eq!(cm.chunk_bytes, 4096);
+        assert_eq!(
+            cm.records,
+            vec![
+                (digest(&chunk), 4096),
+                (digest(&chunk), 4096),
+                (digest(&[5u8; 2048]), 2048),
+            ]
+        );
+        // Round-trips through the meta file.
+        let meta = MetaFile {
+            file_size: 10_240,
+            zero_map: None,
+            channel: None,
+            content_map: Some(cm),
+        };
+        assert_eq!(MetaFile::from_bytes(&meta.to_bytes()), Some(meta));
     }
 
     #[test]

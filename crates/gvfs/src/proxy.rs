@@ -45,7 +45,9 @@ use nfs3::proto::{
 };
 
 use crate::block_cache::{BlockCache, Tag, WritePolicy};
+use crate::cas::{ContentStore, DedupTel, DedupTuning};
 use crate::channel::{chanproc, ChannelClient, CHANNEL_PROGRAM, CHANNEL_V1};
+use crate::digest::{self, Digest};
 use crate::file_cache::{FileCache, FileKey};
 use crate::identity::IdentityMapper;
 use crate::meta::{is_meta_name, meta_name_for, MetaFile};
@@ -69,6 +71,10 @@ pub struct ProxyConfig {
     /// Overlapped-WAN-transfer knobs: file-channel chunking, flush
     /// write-back window, sequential read-ahead depth.
     pub transfer: TransferTuning,
+    /// Content-addressed redundancy elimination knobs. With
+    /// [`DedupTuning::off()`] every WAN path behaves exactly as before
+    /// the CAS existed (byte-for-byte identical reports).
+    pub dedup: DedupTuning,
 }
 
 impl Default for ProxyConfig {
@@ -80,6 +86,7 @@ impl Default for ProxyConfig {
             per_op_cpu: SimDuration::from_micros(40),
             read_only_share: false,
             transfer: TransferTuning::default(),
+            dedup: DedupTuning::default(),
         }
     }
 }
@@ -121,6 +128,17 @@ pub struct ProxyStats {
     pub verf_mismatches: u64,
     /// Retry rounds flushes have run to drain failed write-backs.
     pub flush_retry_rounds: u64,
+    /// Bytes that never crossed the WAN because content-addressing
+    /// proved the receiver already held them.
+    pub dedup_bytes_avoided: u64,
+    /// Recipe records satisfied without a blob fetch (CAS hit or
+    /// duplicate in-flight digest).
+    pub dedup_recipe_hits: u64,
+    /// Distinct missing chunks actually fetched via `FETCH_BLOBS`.
+    pub dedup_blob_fetches: u64,
+    /// Uploads/write-backs skipped because upstream already acknowledged
+    /// identical content.
+    pub dedup_acked_skips: u64,
 }
 
 /// Report from a middleware-driven flush. Failed counts record what the
@@ -248,6 +266,25 @@ struct ProxyState {
     /// instead of being dropped. BTreeMap: drained in deterministic
     /// order (lint: determinism).
     wb_queue: BTreeMap<Tag, Vec<u8>>,
+    /// Per-block digest + write verifier upstream last *durably*
+    /// acknowledged (WRITE and COMMIT verifiers agreed, RFC 1813
+    /// §3.3.7). A later flush finding the same digest under the same
+    /// verifier skips the redundant UNSTABLE WRITE; a restarted server
+    /// rotates its verifier, which invalidates every entry at the
+    /// covering COMMIT. BTreeMap: determinism lint.
+    acked: BTreeMap<Tag, (Digest, u64)>,
+    /// Cached `FETCH_RECIPE` replies keyed by (file, chunk size) — the
+    /// recipe analogue of `chan_chunk_replies` for second-level proxies.
+    chan_recipe_replies: HashMap<(FileKey, u32), Vec<u8>>,
+    /// Cached `FETCH_BLOBS` replies keyed by *content digest*: eight
+    /// distinct images sharing chunks dedupe on a second-level LAN
+    /// proxy even though their file handles differ. BTreeMap:
+    /// determinism lint.
+    chan_blob_replies: BTreeMap<Digest, Vec<u8>>,
+    /// Single-flight guard for blob fetches, keyed by content digest
+    /// (not file handle): concurrent clonings of *different* images
+    /// coalesce on the chunks they share.
+    inflight_blob: BTreeMap<Digest, simnet::Signal>,
 }
 
 /// A GVFS proxy instance. Implements [`RpcHandler`], so it plugs directly
@@ -261,6 +298,10 @@ pub struct Proxy {
     identity: Option<Arc<IdentityMapper>>,
     tel: PxTel,
     ttel: TransferTel,
+    dtel: DedupTel,
+    /// Content-addressed store over this proxy's resident cache bytes
+    /// (present iff `cfg.dedup.enabled`).
+    cas: Option<Arc<ContentStore>>,
     /// Per-instance write verifier returned in absorbed WRITE/COMMIT
     /// replies (write-back mode answers both locally, so it speaks for
     /// the stability of its own cache disk).
@@ -275,18 +316,6 @@ fn key_of(h: Handle) -> FileKey {
         fileid: h.fileid,
         generation: h.generation,
     }
-}
-
-/// FNV-1a over the proxy instance name: the per-instance seed for this
-/// proxy's write verifier (RFC 1813 requires the verifier to change when
-/// the *server* instance changes; two proxies must never share one).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
 }
 
 /// Best known size of a file: local override (absorbed writes), then
@@ -364,6 +393,7 @@ struct PrefetchCtx {
     bc: Arc<BlockCache>,
     state: Arc<Mutex<ProxyState>>,
     file_cache: Option<Arc<FileCache>>,
+    cas: Option<Arc<ContentStore>>,
     written_back: Counter,
     recovered_errors: Counter,
     wb_queued: Counter,
@@ -377,7 +407,16 @@ impl Proxy {
         let registry = upstream.channel().handle().telemetry().clone();
         let tel = PxTel::register(registry, &cfg.name);
         let ttel = TransferTel::register(&tel.registry, &tel.inst);
-        let write_verf = simnet::splitmix64(fnv1a(tel.inst.as_bytes()));
+        let dtel = DedupTel::register(&tel.registry, &tel.inst);
+        // Per-instance seed for the write verifier (RFC 1813 requires the
+        // verifier to change when the *server* instance changes; two
+        // proxies must never share one).
+        let write_verf = simnet::splitmix64(digest::seed64(tel.inst.as_bytes()));
+        let cas = if cfg.dedup.enabled {
+            Some(Arc::new(ContentStore::new(cfg.dedup.cas_bytes)))
+        } else {
+            None
+        };
         Proxy {
             cfg,
             upstream,
@@ -387,6 +426,8 @@ impl Proxy {
             identity: None,
             tel,
             ttel,
+            dtel,
+            cas,
             write_verf,
             state: Arc::new(Mutex::new(ProxyState {
                 meta: HashMap::new(),
@@ -399,6 +440,10 @@ impl Proxy {
                 prefetched: BTreeSet::new(),
                 inflight_demand: BTreeSet::new(),
                 wb_queue: BTreeMap::new(),
+                acked: BTreeMap::new(),
+                chan_recipe_replies: HashMap::new(),
+                chan_blob_replies: BTreeMap::new(),
+                inflight_blob: BTreeMap::new(),
             })),
         }
     }
@@ -446,6 +491,10 @@ impl Proxy {
             wb_drained: self.tel.wb_drained.get(),
             verf_mismatches: self.tel.verf_mismatches.get(),
             flush_retry_rounds: self.tel.flush_retry_rounds.get(),
+            dedup_bytes_avoided: self.dtel.bytes_avoided.get(),
+            dedup_recipe_hits: self.dtel.recipe_hits.get(),
+            dedup_blob_fetches: self.dtel.blob_fetches.get(),
+            dedup_acked_skips: self.dtel.acked_skips.get(),
         }
     }
 
@@ -472,6 +521,15 @@ impl Proxy {
         self.tel.channel_wire_bytes.reset();
         self.tel.writes_absorbed.reset();
         self.tel.blocks_written_back.reset();
+        self.dtel.bytes_avoided.reset();
+        self.dtel.recipe_hits.reset();
+        self.dtel.blob_fetches.reset();
+        self.dtel.acked_skips.reset();
+    }
+
+    /// The content-addressed store, when dedup is enabled.
+    pub fn content_store(&self) -> Option<&Arc<ContentStore>> {
+        self.cas.as_ref()
     }
 
     /// The attached block cache, if any.
@@ -665,22 +723,64 @@ impl Proxy {
                         }
                         None => {
                             let t = &self.cfg.transfer;
-                            let fetched = chan.fetch_chunked(
-                                env,
-                                a.file.0,
-                                t.chunk_bytes,
-                                t.channel_window,
-                                Some(&self.ttel),
-                            );
+                            // Recipe-driven fetch when dedup is on: chunks
+                            // the CAS already holds never cross the WAN.
+                            // Any dedup failure falls back to the plain
+                            // chunked transfer (correctness never depends
+                            // on the CAS).
+                            let fetched = match &self.cas {
+                                Some(cas) => chan
+                                    .fetch_dedup(
+                                        env,
+                                        a.file.0,
+                                        m.content_map.as_ref(),
+                                        t.chunk_bytes,
+                                        t.channel_window,
+                                        cas,
+                                        &self.dtel,
+                                        Some(&self.ttel),
+                                    )
+                                    .map(|df| (df.contents, df.wire, df.fresh_bytes))
+                                    .or_else(|_| {
+                                        self.tel.recovered_errors.inc();
+                                        chan.fetch_chunked(
+                                            env,
+                                            a.file.0,
+                                            t.chunk_bytes,
+                                            t.channel_window,
+                                            Some(&self.ttel),
+                                        )
+                                        .map(|(c, w)| {
+                                            let fresh = c.len() as u64;
+                                            (c, w, fresh)
+                                        })
+                                    }),
+                                None => chan
+                                    .fetch_chunked(
+                                        env,
+                                        a.file.0,
+                                        t.chunk_bytes,
+                                        t.channel_window,
+                                        Some(&self.ttel),
+                                    )
+                                    .map(|(c, w)| {
+                                        let fresh = c.len() as u64;
+                                        (c, w, fresh)
+                                    }),
+                            };
                             let result = match fetched {
-                                Ok((contents, wire)) => {
+                                Ok((contents, wire, fresh_bytes)) => {
                                     #[cfg(feature = "debug-trace")]
                                     eprintln!(
                                         "[gvfs] channel fetch ok: {} bytes, {} wire",
                                         contents.len(),
                                         wire
                                     );
-                                    fc.install(env, key, &contents);
+                                    if self.cas.is_some() {
+                                        fc.install_dedup(env, key, &contents, fresh_bytes);
+                                    } else {
+                                        fc.install(env, key, &contents);
+                                    }
                                     self.tel.channel_fetches.inc();
                                     self.tel.channel_wire_bytes.add(wire);
                                     let tr = &self.tel.registry;
@@ -843,6 +943,13 @@ impl Proxy {
 
     fn install_clean(&self, env: &Env, tag: Tag, data: Vec<u8>, cred: &oncrpc::OpaqueAuth) {
         if let Some(bc) = &self.block_cache {
+            // Index the frame in the CAS: block frames (32 KB) and channel
+            // chunks (1 MB) live in disjoint length classes, so this only
+            // dedupes against other block frames — bookkeeping that keeps
+            // every resident frame content-addressable.
+            if let Some(cas) = &self.cas {
+                cas.insert(&data);
+            }
             if let Some((etag, edata)) = bc.insert(env, tag, data, false) {
                 // A dirty block fell out: write it upstream now.
                 self.writeback_block(env, cred, etag, edata);
@@ -990,6 +1097,7 @@ impl Proxy {
             bc,
             state: self.state.clone(),
             file_cache: self.file_cache.clone(),
+            cas: self.cas.clone(),
             written_back: self.tel.blocks_written_back.clone(),
             recovered_errors: self.tel.recovered_errors.clone(),
             wb_queued: self.tel.wb_queued.clone(),
@@ -1011,6 +1119,9 @@ impl Proxy {
                     };
                     let sig = match nfs.read(env, h, t.block * bs, bs as u32) {
                         Ok(r) if !r.data.is_empty() => {
+                            if let Some(cas) = &ctx.cas {
+                                cas.insert(&r.data);
+                            }
                             if let Some((etag, edata)) = ctx.bc.insert(env, t, r.data, false) {
                                 writeback_evicted_block(
                                     env,
@@ -1367,7 +1478,35 @@ impl Proxy {
                 }
                 jobs.push((block, data));
             }
-            if jobs.is_empty() {
+            // Dedup: a block whose digest upstream already durably
+            // acknowledged under a verifier is a skip *candidate* — the
+            // covering COMMIT below must still return that same verifier
+            // (same server instance, data still stable) before the skip
+            // counts. A restarted server rotates its verifier, failing
+            // the validation and requeueing the bytes: no acknowledged
+            // byte is ever dedup-skipped incorrectly.
+            let (jobs, skips) = if self.cas.is_some() {
+                let st = self.state.lock();
+                let mut send: Vec<(u64, Vec<u8>)> = Vec::new();
+                let mut sk: Vec<(u64, Vec<u8>, u64)> = Vec::new();
+                for (block, data) in jobs {
+                    let tag = Tag {
+                        fileid,
+                        generation,
+                        block,
+                    };
+                    match st.acked.get(&tag) {
+                        Some((d, verf)) if *d == digest::digest(&data) => {
+                            sk.push((block, data, *verf))
+                        }
+                        _ => send.push((block, data)),
+                    }
+                }
+                (send, sk)
+            } else {
+                (jobs, Vec::new())
+            };
+            if jobs.is_empty() && skips.is_empty() {
                 continue;
             }
             let nfs = nfs3::Nfs3Client::new(self.upstream.with_cred(cred.clone()));
@@ -1408,11 +1547,21 @@ impl Proxy {
                 self.tel.recovered_errors.inc();
             }
             let mut mismatch = false;
+            let dedup_on = self.cas.is_some();
+            let mut newly_acked: Vec<(Tag, (Digest, u64))> = Vec::new();
             for slot in slots {
                 match slot {
-                    Some((_, data, Some(verf))) if Some(verf) == commit_verf => {
+                    Some((block, data, Some(verf))) if Some(verf) == commit_verf => {
                         report.blocks += 1;
                         report.block_bytes += data.len() as u64;
+                        if dedup_on {
+                            let tag = Tag {
+                                fileid,
+                                generation,
+                                block,
+                            };
+                            newly_acked.push((tag, (digest::digest(&data), verf)));
+                        }
                     }
                     Some((block, data, wrote)) => {
                         if wrote.is_some() && commit_verf.is_some() {
@@ -1433,8 +1582,38 @@ impl Proxy {
                     }
                 }
             }
+            // Validate skips: a skipped block is only "done" when the
+            // COMMIT's verifier still matches the one its acknowledgement
+            // was recorded under. Otherwise the server restarted (or the
+            // COMMIT failed) — drop the stale entry and requeue the bytes.
+            let mut stale: Vec<Tag> = Vec::new();
+            for (block, data, acked_verf) in skips {
+                if commit_verf == Some(acked_verf) {
+                    self.dtel.acked_skips.inc();
+                    self.dtel.bytes_avoided.add(data.len() as u64);
+                } else {
+                    stale.push(Tag {
+                        fileid,
+                        generation,
+                        block,
+                    });
+                    requeue
+                        .entry((fileid, generation))
+                        .or_default()
+                        .push((block, data));
+                }
+            }
             if mismatch {
                 self.tel.verf_mismatches.inc();
+            }
+            if dedup_on && (!newly_acked.is_empty() || !stale.is_empty()) {
+                let mut st = self.state.lock();
+                for tag in stale {
+                    st.acked.remove(&tag);
+                }
+                for (tag, entry) in newly_acked {
+                    st.acked.insert(tag, entry);
+                }
             }
         }
         requeue
@@ -1472,12 +1651,31 @@ impl Proxy {
                 let chan = chan.clone();
                 let tuning = self.cfg.transfer;
                 let ttel = self.ttel.clone();
+                let dtel = self.dtel.clone();
+                let dedup_on = self.cas.is_some();
                 let recovered = self.tel.recovered_errors.clone();
                 let totals = file_totals.clone();
                 let failed = failed_uploads.clone();
                 let upload_files = move |env: &Env| {
                     for key in dirty_files {
                         if let Some(contents) = fc.take_dirty_contents(env, key) {
+                            // Dedup: a dirty file rewritten with the exact
+                            // bytes upstream already holds (a VM session
+                            // re-suspending identical memory state) skips
+                            // the whole upload. Channel uploads are
+                            // durable server writes, so the synced digest
+                            // survives server restarts.
+                            let d = if dedup_on {
+                                let d = digest::digest(&contents);
+                                if fc.synced_digest(key) == Some(d) {
+                                    dtel.acked_skips.inc();
+                                    dtel.bytes_avoided.add(contents.len() as u64);
+                                    continue;
+                                }
+                                Some(d)
+                            } else {
+                                None
+                            };
                             let h = Handle {
                                 fileid: key.fileid,
                                 generation: key.generation,
@@ -1495,6 +1693,9 @@ impl Proxy {
                                     let mut t = totals.lock();
                                     t.0 += 1;
                                     t.1 += wire;
+                                    if let Some(d) = d {
+                                        fc.set_synced(key, d);
+                                    }
                                 }
                                 Err(_) => {
                                     recovered.inc();
@@ -1589,6 +1790,11 @@ impl Proxy {
                     Some(Ok(wire)) => {
                         report.files += 1;
                         report.file_wire_bytes += wire;
+                        if self.cas.is_some() {
+                            if let Some(fc) = &self.file_cache {
+                                fc.set_synced(key, digest::digest(&contents));
+                            }
+                        }
                     }
                     _ => {
                         self.tel.recovered_errors.inc();
@@ -1654,6 +1860,12 @@ impl Proxy {
     ) -> RpcMessage {
         if proc == chanproc::FETCH_CHUNK {
             return self.handle_channel_chunk(env, xid, cred, args);
+        }
+        if proc == chanproc::FETCH_RECIPE {
+            return self.handle_channel_recipe(env, xid, cred, args);
+        }
+        if proc == chanproc::FETCH_BLOBS {
+            return self.handle_channel_blob(env, xid, cred, args);
         }
         if proc != chanproc::FETCH {
             return self.forward(env, xid, cred, CHANNEL_PROGRAM, CHANNEL_V1, proc, args);
@@ -1748,6 +1960,212 @@ impl Proxy {
                 .insert(k, results.clone());
         }
         reply
+    }
+
+    /// Second-level caching for `FETCH_RECIPE` replies, keyed by
+    /// (file, chunk size). Recipes are tiny but each one otherwise costs
+    /// a WAN round trip per cloning.
+    fn handle_channel_recipe(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &oncrpc::OpaqueAuth,
+        args: Vec<u8>,
+    ) -> RpcMessage {
+        if self.cas.is_none() {
+            return self.forward(
+                env,
+                xid,
+                cred,
+                CHANNEL_PROGRAM,
+                CHANNEL_V1,
+                chanproc::FETCH_RECIPE,
+                args,
+            );
+        }
+        let key = {
+            let mut dec = Decoder::new(&args);
+            match (Fh3::decode(&mut dec), dec.get_u32()) {
+                (Ok(fh), Ok(cb)) => Some((key_of(fh.0), cb)),
+                _ => None,
+            }
+        };
+        if let Some(k) = key {
+            let cached = { self.state.lock().chan_recipe_replies.get(&k).cloned() };
+            if let Some(results) = cached {
+                env.sleep(self.cfg.per_op_cpu);
+                return RpcMessage::success(xid, results);
+            }
+        }
+        let reply = self.forward(
+            env,
+            xid,
+            cred,
+            CHANNEL_PROGRAM,
+            CHANNEL_V1,
+            chanproc::FETCH_RECIPE,
+            args,
+        );
+        if let (
+            Some(k),
+            RpcMessage::Reply {
+                body:
+                    ReplyBody::Accepted {
+                        stat: AcceptStat::Success,
+                        results,
+                        ..
+                    },
+                ..
+            },
+        ) = (key, &reply)
+        {
+            self.state
+                .lock()
+                .chan_recipe_replies
+                .insert(k, results.clone());
+        }
+        reply
+    }
+
+    /// Second-level caching for `FETCH_BLOBS` replies, keyed by *content
+    /// digest* rather than file handle: eight distinct images cloned
+    /// through one LAN proxy share every common chunk, and concurrent
+    /// fetches of the same digest — even for different files —
+    /// single-flight on the content (the digest travels in the request
+    /// precisely so intermediaries can do this).
+    fn handle_channel_blob(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &oncrpc::OpaqueAuth,
+        args: Vec<u8>,
+    ) -> RpcMessage {
+        if self.cas.is_none() {
+            return self.forward(
+                env,
+                xid,
+                cred,
+                CHANNEL_PROGRAM,
+                CHANNEL_V1,
+                chanproc::FETCH_BLOBS,
+                args,
+            );
+        }
+        let want = {
+            let mut dec = Decoder::new(&args);
+            match (
+                Fh3::decode(&mut dec),
+                dec.get_u64(),
+                dec.get_u32(),
+                dec.get_u64(),
+                dec.get_u64(),
+            ) {
+                (Ok(_), Ok(_), Ok(_), Ok(d0), Ok(d1)) => Some(Digest(d0, d1)),
+                _ => None,
+            }
+        };
+        let Some(want) = want else {
+            return self.forward(
+                env,
+                xid,
+                cred,
+                CHANNEL_PROGRAM,
+                CHANNEL_V1,
+                chanproc::FETCH_BLOBS,
+                args,
+            );
+        };
+        // Bounded single-flight per digest (same discipline as the
+        // file-fetch guard in `handle_read`): one upstream fetch per
+        // distinct chunk no matter how many clonings want it at once.
+        const MAX_BLOB_ATTEMPTS: u32 = 3;
+        let mut attempts = 0u32;
+        loop {
+            let cached = { self.state.lock().chan_blob_replies.get(&want).cloned() };
+            if let Some(results) = cached {
+                env.sleep(self.cfg.per_op_cpu);
+                // Served from content-addressed local state: the chunk's
+                // logical bytes never re-crossed the upstream link.
+                let mut dec = Decoder::new(&results);
+                if let (Ok(_), Ok(chunk_len)) = (dec.get_u32(), dec.get_u64()) {
+                    self.dtel.recipe_hits.inc();
+                    self.dtel.bytes_avoided.add(chunk_len);
+                }
+                return RpcMessage::success(xid, results);
+            }
+            attempts += 1;
+            if attempts > MAX_BLOB_ATTEMPTS {
+                break;
+            }
+            let waiter = {
+                let mut st = self.state.lock();
+                match st.inflight_blob.get(&want) {
+                    Some(sig) => Some(sig.clone()),
+                    None => {
+                        st.inflight_blob
+                            .insert(want, simnet::Signal::new(env.handle()));
+                        None
+                    }
+                }
+            };
+            match waiter {
+                Some(sig) => {
+                    sig.wait(env);
+                    // Re-check the digest cache (the fetch may have
+                    // failed; then we claim the retry slot).
+                    continue;
+                }
+                None => {
+                    let reply = self.forward(
+                        env,
+                        xid,
+                        cred,
+                        CHANNEL_PROGRAM,
+                        CHANNEL_V1,
+                        chanproc::FETCH_BLOBS,
+                        args.clone(),
+                    );
+                    if let RpcMessage::Reply {
+                        body:
+                            ReplyBody::Accepted {
+                                stat: AcceptStat::Success,
+                                results,
+                                ..
+                            },
+                        ..
+                    } = &reply
+                    {
+                        // Only a channel-level Ok is content: caching a
+                        // NoEnt/Stale under a digest would replay the
+                        // error to every other file sharing the chunk.
+                        let ok = {
+                            let mut dec = Decoder::new(results);
+                            dec.get_u32() == Ok(0)
+                        };
+                        if ok {
+                            self.state
+                                .lock()
+                                .chan_blob_replies
+                                .insert(want, results.clone());
+                        }
+                    }
+                    let sig = { self.state.lock().inflight_blob.remove(&want) };
+                    if let Some(s) = sig {
+                        s.set();
+                    }
+                    return reply;
+                }
+            }
+        }
+        self.forward(
+            env,
+            xid,
+            cred,
+            CHANNEL_PROGRAM,
+            CHANNEL_V1,
+            chanproc::FETCH_BLOBS,
+            args,
+        )
     }
 }
 

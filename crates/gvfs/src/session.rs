@@ -16,8 +16,15 @@ use simnet::Env;
 use vfs::Fs;
 
 use crate::identity::{IdentityMapper, MappedAccount};
-use crate::meta::{generate_zero_map, meta_name_for, FileChannelSpec, MetaFile};
+use crate::meta::{
+    generate_content_map, generate_zero_map, meta_name_for, FileChannelSpec, MetaFile,
+};
 use crate::proxy::{FlushReport, Proxy};
+
+/// Chunk granularity for middleware-generated content maps (matches the
+/// channel's transfer chunk so recipe records line up with `FETCH_BLOBS`
+/// payloads).
+pub const CONTENT_MAP_CHUNK_BYTES: u32 = 1 << 20;
 
 /// Middleware-side helpers: things the Grid middleware does outside the
 /// data path (meta-data generation, account allocation).
@@ -56,10 +63,18 @@ impl Middleware {
         } else {
             None
         };
+        // Channel-transferred files also get a content map: the recipe
+        // lets the client proxy skip every chunk its CAS already holds.
+        let content_map = if channel.is_some() {
+            Some(generate_content_map(fs, subject, CONTENT_MAP_CHUNK_BYTES)?)
+        } else {
+            None
+        };
         let meta = MetaFile {
             file_size,
             zero_map,
             channel,
+            content_map,
         };
         let meta_name = meta_name_for(file_name);
         // Replace any stale meta file.

@@ -1,0 +1,410 @@
+//! Dedup correctness under failure: the content-addressed flush paths
+//! must never skip a byte the server does not durably hold, under
+//! arbitrary packet loss, WAN outages and server restarts — and the
+//! server must end byte-identical to a run with dedup fully off.
+//! Plus the digest-keyed second-level blob cache: distinct files
+//! sharing content coalesce onto one upstream fetch per chunk.
+
+// Test-harness code: clippy's allow-unwrap-in-tests only covers
+// #[test]-marked fns, not integration-test helpers.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use gvfs::digest::chunk_digests;
+use gvfs::{
+    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, ContentStore, DedupTel, DedupTuning,
+    FileChannelServer, Proxy, ProxyConfig, TransferTuning, WritePolicy,
+};
+use nfs3::{MountServer, Nfs3Client, Nfs3Server, ServerConfig};
+use oncrpc::{AuthSys, Dispatcher, OpaqueAuth, RetryPolicy, RpcClient, WireSpec};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use simnet::{Env, Link, LinkFaultPlan, SimDuration, SimTime, Simulation};
+use vfs::{Disk, DiskModel, Fs, Handle};
+
+const BS: u64 = 32 * 1024;
+const BLOCKS: u64 = 8;
+
+fn ms(v: u64) -> SimTime {
+    SimTime::from_nanos(v * 1_000_000)
+}
+
+struct Rig {
+    fs: Arc<Mutex<Fs>>,
+    server: Arc<Nfs3Server>,
+    proxy: Arc<Proxy>,
+    nfs: Nfs3Client,
+    cred: OpaqueAuth,
+    wan_up: Link,
+    wan_down: Link,
+}
+
+/// A write-back client proxy over a faultable WAN (the fault_recovery
+/// rig, parameterized on dedup).
+fn build_rig(sim: &Simulation, dedup: DedupTuning) -> Rig {
+    let h = sim.handle();
+    let server_disk = Disk::new(&h, DiskModel::server_array());
+    let (fs, server) = Nfs3Server::with_new_fs(&h, server_disk, ServerConfig::default());
+    let mount = MountServer::new(fs.clone(), vec!["/".to_string()]);
+    let handler = Dispatcher::new()
+        .register(server.clone())
+        .register(mount)
+        .into_handler();
+
+    let wan_up = Link::from_mbps(&h, "wan-up", 6.0, SimDuration::from_millis(17));
+    let wan_down = Link::from_mbps(&h, "wan-down", 14.0, SimDuration::from_millis(17));
+    let ep = oncrpc::endpoint(
+        &h,
+        wan_up.clone(),
+        wan_down.clone(),
+        WireSpec::ssh_tunnel(50e6),
+    );
+    ep.listener.serve("nfsd", handler, 8);
+
+    let cred = OpaqueAuth::sys(&AuthSys::new("dedup", 1, 1));
+    let upstream = RpcClient::new(ep.channel, cred.clone()).with_policy(RetryPolicy::wan());
+    let cache_disk = Disk::new(&h, DiskModel::scsi_2004());
+    let proxy = Proxy::new(
+        ProxyConfig {
+            name: "dedup-proxy".into(),
+            write_policy: WritePolicy::WriteBack,
+            meta_handling: false,
+            per_op_cpu: SimDuration::from_micros(40),
+            read_only_share: false,
+            transfer: TransferTuning {
+                read_ahead: 0,
+                ..TransferTuning::default()
+            },
+            dedup,
+        },
+        upstream,
+    )
+    .with_block_cache(Arc::new(BlockCache::new(
+        &h,
+        cache_disk,
+        BlockCacheConfig::with_capacity(256 << 20, 64, 16, BS as u32),
+    )))
+    .into_handler();
+
+    let lo_up = Link::new(&h, "lo-up", 1e9, SimDuration::from_micros(20));
+    let lo_down = Link::new(&h, "lo-down", 1e9, SimDuration::from_micros(20));
+    let lo = oncrpc::endpoint(&h, lo_up, lo_down, WireSpec::plain());
+    lo.listener.serve("proxy", proxy.clone(), 8);
+    let nfs = Nfs3Client::new(RpcClient::new(lo.channel, cred.clone()));
+
+    Rig {
+        fs,
+        server,
+        proxy,
+        nfs,
+        cred,
+        wan_up,
+        wan_down,
+    }
+}
+
+fn seed_file(fs: &Arc<Mutex<Fs>>, name: &str) -> Handle {
+    let mut f = fs.lock();
+    let root = f.root();
+    let fh = f.create(root, name, 0o644, 0).unwrap();
+    f.setattr(fh, Some(BLOCKS * BS), None, 0).unwrap();
+    fh
+}
+
+/// Deterministic payload for block `b`, content version `v`.
+fn payload(b: u64, v: u8) -> Vec<u8> {
+    (0..BS as u32)
+        .map(|i| (i as u64 * 31 + b * 17 + v as u64 * 101).wrapping_rem(249) as u8)
+        .collect()
+}
+
+/// One full run: play `rounds` of writes+flush through a rig under the
+/// given fault schedule, drain after the faults clear, return the final
+/// server bytes and the proxy's acked-skip count.
+#[allow(clippy::too_many_arguments)]
+fn run_schedule(
+    dedup: DedupTuning,
+    rounds: &[Vec<(u64, u8)>],
+    drop_prob: f64,
+    outage_start: u64,
+    outage_len: u64,
+    restarts: &[u64],
+    fault_seed: u64,
+) -> (Vec<u8>, u64) {
+    let sim = Simulation::new();
+    let rig = build_rig(&sim, dedup);
+    let fh = seed_file(&rig.fs, "vm.img");
+    rig.wan_up.install_faults(
+        LinkFaultPlan::new(fault_seed | 1)
+            .drop_prob(drop_prob)
+            .outage(ms(outage_start), ms(outage_start + outage_len)),
+    );
+    rig.wan_down.install_faults(
+        LinkFaultPlan::new(fault_seed.wrapping_add(2) | 1)
+            .drop_prob(drop_prob)
+            .outage(ms(outage_start), ms(outage_start + outage_len)),
+    );
+    let server = rig.server.clone();
+    let mut restart_times = restarts.to_vec();
+    restart_times.sort_unstable();
+    let restarts2 = restart_times.clone();
+    sim.spawn("chaos", move |env: Env| {
+        for t in restarts2 {
+            let now = env.now();
+            env.sleep(ms(t).saturating_since(now));
+            server.restart(env.now().as_nanos());
+        }
+    });
+    // Quiet point: after the outage is over and the last restart fired
+    // (loss alone is ridden out by the retransmission policy).
+    let quiet = (outage_start + outage_len).max(restart_times.last().copied().unwrap_or(0)) + 500;
+    let (nfs, proxy, cred) = (rig.nfs, rig.proxy.clone(), rig.cred.clone());
+    let rounds2 = rounds.to_vec();
+    sim.spawn("client", move |env: Env| {
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh2, _) = nfs.lookup(&env, root, "vm.img").unwrap();
+        assert_eq!(fh2, fh);
+        for round in &rounds2 {
+            for &(b, v) in round {
+                nfs.write(
+                    &env,
+                    fh2,
+                    b * BS,
+                    payload(b, v),
+                    nfs3::proto::StableHow::Unstable,
+                )
+                .unwrap();
+            }
+            nfs.commit(&env, fh2).unwrap();
+            // Mid-fault flushes may fail blocks; they stay queued.
+            let _ = proxy.flush(&env, &cred);
+        }
+        let now = env.now();
+        env.sleep(ms(quiet).saturating_since(now));
+        let mut drained = false;
+        for _ in 0..8 {
+            let report = proxy.flush(&env, &cred);
+            if report.failed_blocks == 0 && report.failed_files == 0 {
+                drained = true;
+                break;
+            }
+        }
+        assert!(drained, "flush must drain once the faults clear");
+    });
+    sim.run();
+    let skips = rig.proxy.stats().dedup_acked_skips;
+    let mut f = rig.fs.lock();
+    let (bytes, _) = f.read(fh, 0, (BLOCKS * BS) as usize, 0).unwrap();
+    (bytes, skips)
+}
+
+proptest! {
+    /// Under arbitrary loss / outage / restart schedules and arbitrary
+    /// re-dirty patterns (including rewrites of identical content — the
+    /// acked-skip bait), the dedup'd flush leaves the server
+    /// byte-identical to the dedup-off flush, and both match the last
+    /// version written per block. A restart between flushes rotates the
+    /// server's write verifier, so a skip validated against a stale
+    /// verifier would corrupt the off/on equivalence — this is the
+    /// executable form of "no acknowledged byte is ever dedup-skipped
+    /// incorrectly".
+    #[test]
+    fn dedup_flush_matches_plain_flush_under_faults(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec((0u64..BLOCKS, 0u8..2), 1..8),
+            1..4,
+        ),
+        drop_pct in 0u32..3,
+        outage_start in 500u64..4000,
+        outage_len in 1u64..4000,
+        restarts in proptest::collection::vec(500u64..10_000, 0..3),
+        fault_seed in any::<u64>(),
+    ) {
+        let drop_prob = drop_pct as f64 / 100.0;
+        let (plain, plain_skips) = run_schedule(
+            DedupTuning::off(), &rounds, drop_prob, outage_start, outage_len,
+            &restarts, fault_seed,
+        );
+        let (deduped, _) = run_schedule(
+            DedupTuning::default(), &rounds, drop_prob, outage_start, outage_len,
+            &restarts, fault_seed,
+        );
+        prop_assert_eq!(plain_skips, 0);
+        // Expected: the last version written per block; zero elsewhere.
+        let mut expect = vec![0u8; (BLOCKS * BS) as usize];
+        let mut last = [None::<u8>; BLOCKS as usize];
+        for round in &rounds {
+            for &(b, v) in round {
+                last[b as usize] = Some(v);
+            }
+        }
+        for (b, v) in last.iter().enumerate() {
+            if let Some(v) = v {
+                let lo = b * BS as usize;
+                expect[lo..lo + BS as usize].copy_from_slice(&payload(b as u64, *v));
+            }
+        }
+        prop_assert_eq!(&plain, &expect);
+        prop_assert_eq!(&deduped, &expect);
+    }
+}
+
+/// Deterministic acked-skip behaviour: re-dirtying a block with bytes
+/// the server already acknowledged is skipped (counted, no WRITE); a
+/// server restart invalidates the acked digests and the next flush
+/// resends for real.
+#[test]
+fn unchanged_redirty_skips_and_restart_invalidates() {
+    let sim = Simulation::new();
+    let rig = build_rig(&sim, DedupTuning::default());
+    let fh = seed_file(&rig.fs, "vm.img");
+    let server = rig.server.clone();
+    let proxy = rig.proxy.clone();
+    let (nfs, cred) = (rig.nfs, rig.cred.clone());
+    let fs = rig.fs.clone();
+    sim.spawn("client", move |env: Env| {
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh2, _) = nfs.lookup(&env, root, "vm.img").unwrap();
+        let dirty_all = |env: &Env| {
+            for b in 0..BLOCKS {
+                nfs.write(
+                    env,
+                    fh2,
+                    b * BS,
+                    payload(b, 1),
+                    nfs3::proto::StableHow::Unstable,
+                )
+                .unwrap();
+            }
+            nfs.commit(env, fh2).unwrap();
+        };
+        dirty_all(&env);
+        let r1 = proxy.flush(&env, &cred);
+        assert_eq!(r1.blocks, BLOCKS);
+        assert_eq!(proxy.stats().dedup_acked_skips, 0);
+
+        // Same bytes again: every block skips, nothing crosses the WAN.
+        dirty_all(&env);
+        let r2 = proxy.flush(&env, &cred);
+        assert_eq!(r2.blocks, 0, "unchanged blocks must not be re-sent");
+        assert_eq!(r2.failed_blocks, 0);
+        assert_eq!(proxy.stats().dedup_acked_skips, BLOCKS);
+        assert_eq!(proxy.stats().dedup_bytes_avoided, BLOCKS * BS);
+
+        // Restart rotates the write verifier: the acked digests are no
+        // longer trustworthy, so the same bait must be re-sent.
+        server.restart(env.now().as_nanos());
+        dirty_all(&env);
+        let r3 = proxy.flush(&env, &cred);
+        assert_eq!(
+            r3.blocks, BLOCKS,
+            "restart must invalidate acked digests: {r3:?}"
+        );
+        assert_eq!(r3.failed_blocks, 0);
+        assert_eq!(proxy.stats().dedup_acked_skips, BLOCKS, "no new skips");
+
+        // Server ends byte-exact either way.
+        let mut f = fs.lock();
+        for b in 0..BLOCKS {
+            let (data, _) = f.read(fh, b * BS, BS as usize, 0).unwrap();
+            assert_eq!(data, payload(b, 1), "block {b} corrupt");
+        }
+    });
+    sim.run();
+}
+
+/// The digest-keyed second-level blob cache: two downstream clients
+/// fetch two *different files* with identical content through a shared
+/// LAN proxy concurrently. Every chunk crosses the upstream link once —
+/// requests for a digest already in flight wait on the first fetch
+/// (single-flight on content, not on file handle).
+#[test]
+fn shared_proxy_coalesces_blob_fetches_on_digest() {
+    const CHUNK: u32 = 64 * 1024;
+    const LEN: usize = 5 * CHUNK as usize + 9000;
+
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let fs = Arc::new(Mutex::new(Fs::new(0)));
+    let disk = Disk::new(&h, DiskModel::server_array());
+    let chan_server = FileChannelServer::new(fs.clone(), disk, CodecModel::default(), true);
+    let wan_up = Link::from_mbps(&h, "wan-up", 6.0, SimDuration::from_millis(17));
+    let wan_down = Link::from_mbps(&h, "wan-down", 14.0, SimDuration::from_millis(17));
+    let wan = oncrpc::endpoint(&h, wan_up, wan_down, WireSpec::ssh_tunnel(50e6));
+    wan.listener.serve(
+        "chan-server",
+        Dispatcher::new().register(chan_server).into_handler(),
+        8,
+    );
+
+    let data: Vec<u8> = (0..LEN as u64)
+        .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 23) as u8)
+        .collect();
+    let (f1, f2) = {
+        let mut f = fs.lock();
+        let root = f.root();
+        let a = f.create(root, "img-a", 0o644, 0).unwrap();
+        f.write(a, 0, &data, 0).unwrap();
+        let b = f.create(root, "img-b", 0o644, 0).unwrap();
+        f.write(b, 0, &data, 0).unwrap();
+        (a, b)
+    };
+    let distinct = chunk_digests(&data, CHUNK)
+        .into_iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len() as u64;
+
+    let cred = OpaqueAuth::sys(&AuthSys::new("lan", 1, 1));
+    let upstream = RpcClient::new(wan.channel, cred.clone()).with_policy(RetryPolicy::wan());
+    let lan_proxy = Proxy::new(
+        ProxyConfig {
+            name: "lan-share".into(),
+            write_policy: WritePolicy::WriteThrough,
+            meta_handling: false,
+            per_op_cpu: SimDuration::from_micros(40),
+            read_only_share: true,
+            transfer: TransferTuning::default(),
+            dedup: DedupTuning::default(),
+        },
+        upstream,
+    )
+    .into_handler();
+    let lan_up = Link::new(&h, "lan-up", 1e9, SimDuration::from_micros(100));
+    let lan_down = Link::new(&h, "lan-down", 1e9, SimDuration::from_micros(100));
+    let lan = oncrpc::endpoint(&h, lan_up, lan_down, WireSpec::plain());
+    lan.listener.serve("lan-share", lan_proxy.clone(), 8);
+
+    let mut joins = Vec::new();
+    for (i, fh) in [(0, f1), (1, f2)] {
+        let chan = ChannelClient::new(
+            RpcClient::new(lan.channel.clone(), cred.clone()),
+            CodecModel::default(),
+        );
+        let want = data.clone();
+        joins.push(sim.spawn(format!("cloner-{i}"), move |env: Env| {
+            let cas = ContentStore::new(1 << 30);
+            let dtel = DedupTel::unregistered();
+            let df = chan
+                .fetch_dedup(&env, fh, None, CHUNK, 4, &cas, &dtel, None)
+                .unwrap();
+            assert_eq!(df.contents, want, "client {i} got wrong bytes");
+        }));
+    }
+    let _ = joins;
+    sim.run();
+
+    let st = lan_proxy.stats();
+    // Upstream forwards: one FETCH_RECIPE per file (distinct handles)
+    // plus exactly one FETCH_BLOBS per distinct chunk digest — the
+    // second file's chunks all ride the first file's fetches.
+    assert_eq!(
+        st.forwarded,
+        2 + distinct,
+        "expected digest-coalesced forwards (distinct={distinct}): {st:?}"
+    );
+    assert!(
+        st.dedup_recipe_hits >= distinct,
+        "second client must be served from the digest cache: {st:?}"
+    );
+}

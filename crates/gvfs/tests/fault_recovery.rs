@@ -12,7 +12,8 @@
 use std::sync::Arc;
 
 use gvfs::{
-    BlockCache, BlockCacheConfig, FlushReport, Proxy, ProxyConfig, TransferTuning, WritePolicy,
+    BlockCache, BlockCacheConfig, DedupTuning, FlushReport, Proxy, ProxyConfig, TransferTuning,
+    WritePolicy,
 };
 use nfs3::{MountServer, Nfs3Client, Nfs3Server, ServerConfig};
 use oncrpc::{AuthSys, Dispatcher, OpaqueAuth, RetryPolicy, RpcClient, WireSpec};
@@ -74,6 +75,9 @@ fn build_rig(sim: &Simulation) -> Rig {
                 read_ahead: 0,
                 ..TransferTuning::default()
             },
+            // These tests pin exact write/commit counts per fault
+            // schedule; the dedup'd flush path has its own suite.
+            dedup: DedupTuning::off(),
         },
         upstream,
     )

@@ -1,8 +1,9 @@
 //! Property-based invariants for the GVFS data structures.
 
 use gvfs::block_cache::{BlockCache, BlockCacheConfig, Tag};
-use gvfs::{codec, meta::MetaFile, meta::ZeroMap, FileChannelSpec};
-use gvfs::{ChannelClient, CodecModel, FileChannelServer};
+use gvfs::meta::{generate_content_map, ContentMap, MetaFile, ZeroMap};
+use gvfs::{codec, Digest, FileChannelSpec};
+use gvfs::{ChannelClient, CodecModel, ContentStore, DedupTel, FileChannelServer};
 use oncrpc::{AuthSys, Dispatcher, OpaqueAuth, RpcClient, WireSpec};
 use proptest::prelude::*;
 use simnet::{Link, SimDuration, Simulation};
@@ -121,6 +122,73 @@ proptest! {
         sim.run();
     }
 
+    /// The recipe/blob dedup fetch reassembles byte-identically to what
+    /// the monolithic chunked fetch would return, for arbitrary contents,
+    /// chunk boundaries (including ones that don't divide the length),
+    /// window sizes, CAS pre-population (cold / partially warm), and
+    /// with the recipe either hinted from meta-data or fetched via
+    /// `FETCH_RECIPE`. A repeat fetch moves zero fresh bytes.
+    #[test]
+    fn dedup_fetch_matches_chunked_fetch(
+        len in 0usize..200_000,
+        seed in any::<u64>(),
+        chunk_kib in 1u32..48,
+        window in 1usize..8,
+        warm_mask in any::<u64>(),
+        hint in any::<bool>(),
+    ) {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let fs = Arc::new(parking_lot::Mutex::new(Fs::new(0)));
+        let disk = Disk::new(&h, DiskModel::server_array());
+        let server = FileChannelServer::new(fs.clone(), disk, CodecModel::default(), true);
+        let up = Link::from_mbps(&h, "up", 1000.0, SimDuration::from_micros(100));
+        let down = Link::from_mbps(&h, "down", 1000.0, SimDuration::from_micros(100));
+        let ep = oncrpc::endpoint(&h, up, down, WireSpec::plain());
+        ep.listener
+            .serve("chan", Dispatcher::new().register(server).into_handler(), 4);
+        let rpc = RpcClient::new(ep.channel, OpaqueAuth::sys(&AuthSys::new("c", 1, 1)));
+        let chan = ChannelClient::new(rpc, CodecModel::default());
+
+        let mul = seed | 1;
+        let data: Vec<u8> = (0..len as u64).map(|i| (i.wrapping_mul(mul) >> 5) as u8).collect();
+        let chunk = chunk_kib << 10;
+        let (fh, cmap) = {
+            let mut f = fs.lock();
+            let root = f.root();
+            let hdl = f.create(root, "img", 0o644, 0).unwrap();
+            f.write(hdl, 0, &data, 0).unwrap();
+            let cmap = generate_content_map(&mut f, hdl, chunk).unwrap();
+            (hdl, cmap)
+        };
+        // Pre-populate the CAS with an arbitrary subset of the chunks.
+        let cas = ContentStore::new(1 << 30);
+        for (i, ch) in data.chunks(chunk as usize).enumerate() {
+            if warm_mask >> (i % 64) & 1 == 1 {
+                cas.insert(ch);
+            }
+        }
+        sim.spawn("client", move |env| {
+            let dtel = DedupTel::unregistered();
+            let hint_map = if hint { Some(&cmap) } else { None };
+            let df = chan
+                .fetch_dedup(&env, fh, hint_map, chunk, window, &cas, &dtel, None)
+                .unwrap();
+            assert_eq!(df.contents, data, "chunk={chunk} window={window}");
+            assert!(df.fresh_bytes <= len as u64);
+            // Every byte either crossed the wire or was avoided.
+            assert_eq!(df.fresh_bytes + dtel.bytes_avoided.get(), len as u64);
+            // Every chunk is now CAS-resident: a second fetch is pure hits.
+            let df2 = chan
+                .fetch_dedup(&env, fh, hint_map, chunk, window, &cas, &dtel, None)
+                .unwrap();
+            assert_eq!(df2.contents, data);
+            assert_eq!(df2.fresh_bytes, 0);
+            assert_eq!(df2.wire, 0);
+        });
+        sim.run();
+    }
+
     /// The codec is lossless on arbitrary byte strings.
     #[test]
     fn codec_round_trips_arbitrary_data(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
@@ -178,6 +246,11 @@ proptest! {
         writeback in any::<bool>(),
         with_channel in any::<bool>(),
         with_map in any::<bool>(),
+        with_cmap in any::<bool>(),
+        cmap_recs in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), 0u32..1 << 21),
+            0..60,
+        ),
     ) {
         let zero_map = if with_map {
             let mut zm = ZeroMap::new(32 * 1024, nblocks);
@@ -190,10 +263,22 @@ proptest! {
         } else {
             None
         };
+        let content_map = with_cmap.then(|| {
+            let records: Vec<(Digest, u32)> = cmap_recs
+                .iter()
+                .map(|&(a, b, l)| (Digest(a, b), l))
+                .collect();
+            ContentMap {
+                chunk_bytes: 1 << 20,
+                total: records.iter().map(|(_, l)| *l as u64).sum(),
+                records,
+            }
+        });
         let m = MetaFile {
             file_size,
             zero_map,
             channel: with_channel.then_some(FileChannelSpec { compress, writeback }),
+            content_map,
         };
         prop_assert_eq!(MetaFile::from_bytes(&m.to_bytes()), Some(m));
     }

@@ -15,9 +15,9 @@
 use std::sync::Arc;
 
 use gvfs::{
-    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, FileChannelServer,
-    FileChannelSpec, GvfsSession, IdentityMapper, Middleware, Proxy, ProxyConfig, TransferTuning,
-    WritePolicy,
+    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, DedupTuning, FileCache,
+    FileChannelServer, FileChannelSpec, GvfsSession, IdentityMapper, Middleware, Proxy,
+    ProxyConfig, TransferTuning, WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, MountServer, Nfs3Client, Nfs3Server, ServerConfig};
 use oncrpc::{Dispatcher, OpaqueAuth, RpcClient, WireSpec};
@@ -74,6 +74,7 @@ fn build_rig(sim: &Simulation, write_policy: WritePolicy, meta_handling: bool) -
             per_op_cpu: SimDuration::from_micros(40),
             read_only_share: false,
             transfer: TransferTuning::default(),
+            dedup: DedupTuning::off(),
         },
         RpcClient::new(srv_ep.channel, OpaqueAuth::none()),
     )
@@ -117,6 +118,9 @@ fn build_rig(sim: &Simulation, write_policy: WritePolicy, meta_handling: bool) -
                 read_ahead: 0,
                 ..TransferTuning::default()
             },
+            // These tests pin exact wire-byte counts for the plain
+            // chunked channel; dedup'd fetches are covered separately.
+            dedup: DedupTuning::off(),
         },
         upstream,
     )

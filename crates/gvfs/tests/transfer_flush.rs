@@ -11,7 +11,8 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use gvfs::{
-    BlockCache, BlockCacheConfig, FlushReport, Proxy, ProxyConfig, TransferTuning, WritePolicy,
+    BlockCache, BlockCacheConfig, DedupTuning, FlushReport, Proxy, ProxyConfig, TransferTuning,
+    WritePolicy,
 };
 use nfs3::{args::WriteArgs, MountServer, Nfs3Client, Nfs3Server, ServerConfig, NFS_PROGRAM};
 use oncrpc::{transport::RpcHandler, AuthSys, Dispatcher, OpaqueAuth, RpcClient, WireSpec};
@@ -69,6 +70,8 @@ fn run_flush(flush_window: usize) -> (BTreeSet<WriteRec>, FlushReport, Vec<u8>) 
                 read_ahead: 0,
                 ..TransferTuning::default()
             },
+            // Exact WRITE/COMMIT interleavings are pinned here.
+            dedup: DedupTuning::off(),
         },
         RpcClient::new(ep.channel, cred.clone()),
     )

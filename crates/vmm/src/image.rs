@@ -215,6 +215,40 @@ pub fn install_image(fs: &mut Fs, dir: Handle, spec: &VmImageSpec) -> FsResult<I
     Ok(InstalledImage { vmx, vmss, vmdk })
 }
 
+/// Granularity of divergence between sibling images: modified state
+/// (logs, service configuration, page-cache churn) clusters into a few
+/// megabyte-scale regions rather than scattering page by page.
+pub const DIVERGE_REGION: u64 = 2 << 20;
+
+/// Rewrite a clustered `fraction` of `img`'s memory state with fresh
+/// content so a derived image diverges from its base install.
+///
+/// This is the picture a grid sees when a fleet of VMs descends from
+/// one golden install: hostname, logs and service state differ, the
+/// bulk of RAM does not. Regions are chosen by a PRNG seeded per image,
+/// so siblings diverge in different places; some regions land on
+/// previously-zero memory (new dirty pages), others overwrite base
+/// content. Runs at scenario-setup time (no simulation cost).
+pub fn diverge_image(
+    fs: &mut Fs,
+    img: &InstalledImage,
+    spec: &VmImageSpec,
+    seed: u64,
+    fraction: f64,
+) -> FsResult<()> {
+    let mut rng = Prng::new(seed);
+    let region = DIVERGE_REGION.clamp(PAGE, spec.memory_bytes.max(PAGE));
+    let regions = ((spec.memory_bytes as f64 * fraction) / region as f64).ceil() as u64;
+    let slots = (spec.memory_bytes / region).max(1);
+    for _ in 0..regions {
+        let pos = rng.below(slots) * region;
+        let len = region.min(spec.memory_bytes - pos) as usize;
+        let payload = page_payload(&mut rng, len);
+        fs.write(img.vmss, pos, &payload, 0)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +312,45 @@ mod tests {
             (a, b)
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn diverged_sibling_shares_most_content_with_base() {
+        let spec = small_spec();
+        let build = |diverge: Option<u64>| {
+            let mut fs = Fs::new(0);
+            let root = fs.root();
+            let img = install_image(&mut fs, root, &spec).unwrap();
+            if let Some(seed) = diverge {
+                diverge_image(&mut fs, &img, &spec, seed, 0.04).unwrap();
+            }
+            let (bytes, _) = fs.read(img.vmss, 0, spec.memory_bytes as usize, 0).unwrap();
+            bytes
+        };
+        let base = build(None);
+        let sib_a = build(Some(7));
+        let sib_b = build(Some(8));
+        assert_ne!(base, sib_a);
+        assert_ne!(sib_a, sib_b, "per-image seeds must diverge differently");
+        // Compare at the region granularity: writes are region-aligned,
+        // so at most `ceil(4% / region)` regions change (fewer when the
+        // PRNG collides), and at least one must.
+        let region = DIVERGE_REGION as usize;
+        let total = base.len().div_ceil(region);
+        let expected = ((base.len() as f64 * 0.04) / region as f64).ceil() as usize;
+        let changed = (0..total)
+            .filter(|i| {
+                let lo = i * region;
+                let hi = (lo + region).min(base.len());
+                base[lo..hi] != sib_a[lo..hi]
+            })
+            .count();
+        assert!(changed >= 1, "divergence must change something");
+        assert!(
+            changed <= expected,
+            "{changed}/{total} regions changed; wrote at most {expected}"
+        );
+        assert!(changed < total, "most of the image must stay shared");
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub mod monitor;
 pub mod redo;
 
 pub use clone::{clone_vm, CloneConfig, CloneTimes};
-pub use image::{install_image, InstalledImage, Prng, VmImageSpec, PAGE};
+pub use image::{
+    diverge_image, install_image, InstalledImage, Prng, VmImageSpec, DIVERGE_REGION, PAGE,
+};
 pub use monitor::{GuestOp, VmConfig, VmMonitor, VmStats};
 pub use redo::RedoLog;

@@ -17,6 +17,7 @@ pub const RULE_PANIC_FREE: &str = "panic-free-dispatch";
 pub const RULE_LOCK_DISCIPLINE: &str = "lock-discipline";
 pub const RULE_BOUNDED_FANOUT: &str = "bounded-fanout";
 pub const RULE_DEADLINE: &str = "deadline-required";
+pub const RULE_CANONICAL_DIGEST: &str = "canonical-digest";
 /// Meta-rule: malformed or unused waiver comments.
 pub const RULE_WAIVER: &str = "waiver";
 
@@ -28,6 +29,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_LOCK_DISCIPLINE,
     RULE_BOUNDED_FANOUT,
     RULE_DEADLINE,
+    RULE_CANONICAL_DIGEST,
     RULE_WAIVER,
 ];
 
@@ -80,6 +82,15 @@ fn deadline_scope(path: &str) -> bool {
     path.starts_with("crates/gvfs/src/") || path.starts_with("crates/nfs3/src/")
 }
 
+/// Scope of the canonical-digest rule: all gvfs modules except the
+/// digest module itself. Content hashing anywhere else must route
+/// through `gvfs::digest` — CAS keys, channel recipes and flush
+/// acked-digest tracking only dedup correctly when every layer agrees
+/// on what "the same bytes" means.
+fn canonical_digest_scope(path: &str) -> bool {
+    path.starts_with("crates/gvfs/src/") && path != "crates/gvfs/src/digest.rs"
+}
+
 /// Scope of the panic-free-dispatch rule: the four modules on the
 /// untrusted request path (proxy → RPC dispatch → NFS server/kernel).
 fn panic_free_scope(path: &str) -> bool {
@@ -115,6 +126,9 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
     }
     if deadline_scope(path) {
         rule_deadline(path, toks, &mask, &mut out);
+    }
+    if canonical_digest_scope(path) {
+        rule_canonical_digest(path, toks, &mask, &mut out);
     }
 
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
@@ -865,6 +879,84 @@ fn rule_deadline(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Violatio
                       behaviour when no policy is attached)"
                 .to_string(),
         });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: canonical-digest
+// ---------------------------------------------------------------------------
+
+/// Identifiers that signal an ad-hoc content hash implementation.
+const ADHOC_HASH_IDENTS: &[&str] = &[
+    "fnv1a",
+    "DefaultHasher",
+    "SipHasher",
+    "Hasher",
+    "md5",
+    "sha1",
+    "sha256",
+    "crc32",
+];
+
+/// FNV-1a offset basis and prime — the classic seeds of a hand-rolled
+/// content hash — normalized (lowercase, underscores stripped).
+const FNV_LITERALS: &[&str] = &["0xcbf29ce484222325", "0x100000001b3"];
+
+/// Lowercase a number literal, strip `_` separators and any trailing
+/// integer type suffix, so `0xCBf2_9CE4_8422_2325u64` compares equal to
+/// its canonical spelling.
+fn normalized_number(text: &str) -> String {
+    let mut n: String = text
+        .chars()
+        .filter(|c| *c != '_')
+        .map(|c| c.to_ascii_lowercase())
+        .collect();
+    for suffix in [
+        "usize", "u128", "u64", "u32", "u16", "u8", "isize", "i128", "i64", "i32", "i16", "i8",
+    ] {
+        if let Some(stripped) = n.strip_suffix(suffix) {
+            n = stripped.to_string();
+            break;
+        }
+    }
+    n
+}
+
+fn rule_canonical_digest(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident if ADHOC_HASH_IDENTS.contains(&t.text.as_str()) => {
+                out.push(Violation {
+                    rule: RULE_CANONICAL_DIGEST,
+                    file: path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "ad-hoc hasher `{}` on a gvfs data path; all content hashing goes \
+                         through `gvfs::digest::digest` so CAS keys, channel recipes and \
+                         flush acks agree on one digest",
+                        t.text
+                    ),
+                });
+            }
+            TokKind::Number if FNV_LITERALS.contains(&normalized_number(&t.text).as_str()) => {
+                out.push(Violation {
+                    rule: RULE_CANONICAL_DIGEST,
+                    file: path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "FNV constant `{}` signals a hand-rolled content hash; use \
+                         `gvfs::digest::digest` instead",
+                        t.text
+                    ),
+                });
+            }
+            _ => {}
+        }
     }
 }
 

@@ -1,0 +1,19 @@
+//! Bad: a hand-rolled FNV-1a hash and a std `Hasher` minting content
+//! keys beside the canonical digest — CAS entries keyed here can never
+//! match the digests carried by channel recipes or flush acks.
+
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+pub fn content_key(data: &[u8]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    data.hash(&mut h);
+    h.finish()
+}

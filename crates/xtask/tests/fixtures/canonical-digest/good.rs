@@ -1,0 +1,12 @@
+//! Good: content keys come from the one canonical digest, so every
+//! layer (CAS, recipes, flush acks) agrees on what "same bytes" means.
+
+use crate::digest::{digest, Digest};
+
+pub fn content_key(bytes: &[u8]) -> Digest {
+    digest(bytes)
+}
+
+pub fn keys_match(a: &[u8], b: &[u8]) -> bool {
+    digest(a) == digest(b)
+}

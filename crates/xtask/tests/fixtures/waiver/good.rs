@@ -1,9 +1,9 @@
 //! Good: a well-formed waiver, with a reason, covering a real violation.
-pub struct Hasher {
+pub struct Mixer {
     state: u64,
 }
 
-impl Hasher {
+impl Mixer {
     pub fn mix(&mut self, n: u64) {
         // lint:allow(exact-accounting): deliberate wraparound in a hash, not byte accounting
         self.state = self.state.wrapping_mul(n | 1);

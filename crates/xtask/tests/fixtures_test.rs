@@ -52,6 +52,12 @@ fn cases() -> Vec<(&'static str, &'static str, &'static str, &'static str)> {
             include_str!("fixtures/deadline-required/good.rs"),
         ),
         (
+            "canonical-digest",
+            "crates/gvfs/src/fixture.rs",
+            include_str!("fixtures/canonical-digest/bad.rs"),
+            include_str!("fixtures/canonical-digest/good.rs"),
+        ),
+        (
             "waiver",
             "crates/gvfs/src/file_cache.rs",
             include_str!("fixtures/waiver/bad.rs"),

@@ -11,7 +11,9 @@
 use std::sync::Arc;
 
 use gvfs::Middleware;
-use gvfs::{BlockCache, BlockCacheConfig, Proxy, ProxyConfig, TransferTuning, WritePolicy};
+use gvfs::{
+    BlockCache, BlockCacheConfig, DedupTuning, Proxy, ProxyConfig, TransferTuning, WritePolicy,
+};
 use gvfs_bench::build_server;
 use nfs3::proto::StableHow;
 use nfs3::Nfs3Client;
@@ -43,6 +45,7 @@ fn run_with_policy(policy: WritePolicy) -> (f64, f64) {
             per_op_cpu: SimDuration::from_micros(40),
             read_only_share: false,
             transfer: TransferTuning::default(),
+            dedup: DedupTuning::default(),
         },
         RpcClient::new(server.channel.clone(), cred.clone()),
     )

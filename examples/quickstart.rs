@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use gvfs::{
-    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, FileCache, IdentityMapper, Middleware,
-    Proxy, ProxyConfig, TransferTuning, WritePolicy,
+    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, DedupTuning, FileCache,
+    IdentityMapper, Middleware, Proxy, ProxyConfig, TransferTuning, WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, Nfs3Client};
 use oncrpc::{RpcClient, WireSpec};
@@ -52,6 +52,7 @@ fn main() {
             per_op_cpu: SimDuration::from_micros(40),
             read_only_share: false,
             transfer: TransferTuning::default(),
+            dedup: DedupTuning::default(),
         },
         upstream.clone(),
     )

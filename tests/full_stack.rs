@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use gvfs::{Middleware, WritePolicy};
+use gvfs::{DedupTuning, Middleware, WritePolicy};
 use gvfs_bench::{
     build_client, build_server, run_cloning, ClientProxyOptions, CloneParams, CloneScenario,
     NetParams,
@@ -62,6 +62,7 @@ fn zero_map_filters_the_large_majority_of_memory_state_reads() {
             file_channel: true,
             write_policy: WritePolicy::WriteBack,
             cache_bytes: 2 << 30,
+            dedup: DedupTuning::default(),
         }),
         None,
     );
@@ -146,6 +147,7 @@ fn pipelined_readahead_never_duplicates_upstream_reads() {
             file_channel: false,
             write_policy: WritePolicy::WriteBack,
             cache_bytes: 1 << 30,
+            dedup: DedupTuning::default(),
         }),
         None,
     );
@@ -204,6 +206,7 @@ fn end_to_end_byte_integrity_survives_cache_invalidation() {
             file_channel: true,
             write_policy: WritePolicy::WriteBack,
             cache_bytes: 1 << 30,
+            dedup: DedupTuning::default(),
         }),
         None,
     );
