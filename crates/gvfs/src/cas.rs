@@ -9,15 +9,18 @@
 //!
 //! ## Cost model
 //!
-//! The store is an *index over bytes already resident on the proxy's
-//! cache disk*, not a second copy of them, so its operations charge no
-//! simulation time themselves: a recipe hit means the assembled file
-//! *references* a chunk that is already local, and the disk/CPU costs of
-//! actually using those bytes are charged where they always were — at
-//! file-cache install time for freshly transferred bytes
-//! ([`crate::file_cache::FileCache::install_dedup`] charges only the
-//! bytes that did cross the wire) and at read time for every byte read.
-//! Host-side, entries are kept codec-compressed to bound real memory.
+//! Dedup saves *WAN transfer and origin work*, never local work: a
+//! recipe hit means a chunk's payload does not cross the upstream link,
+//! but the assembled file is still written to the local cache disk in
+//! full ([`crate::file_cache::FileCache::install`] charges every byte —
+//! CAS entries live in host memory, so a hit is no guarantee the
+//! backing bytes are still on the cache disk) and every digest the
+//! dedup paths compute is charged at the codec model's digest
+//! throughput, on flush (dirty blocks and files) exactly as on fetch
+//! (blob verification). Only the index operations themselves —
+//! insert/lookup, O(1) map work dwarfed by the proxy's per-op CPU
+//! charge — are free. Host-side, entries are kept codec-compressed to
+//! bound real memory.
 //!
 //! Capacity is bounded (logical bytes indexed); eviction is
 //! least-recently-touched, deterministic via a monotonic touch stamp.

@@ -476,6 +476,14 @@ impl ChannelClient {
         ChannelClient { rpc, codec }
     }
 
+    /// The CPU-cost model this client charges for codec and digest work.
+    /// The proxy copies it so its own dedup bookkeeping (flush-side
+    /// digesting, blob verification) prices CPU consistently with the
+    /// fetch paths.
+    pub fn codec(&self) -> &CodecModel {
+        &self.codec
+    }
+
     /// Fetch and decompress a whole file. Returns (contents, wire_bytes):
     /// the caller can report the compression ratio achieved on the WAN.
     pub fn fetch(&self, env: &Env, h: Handle) -> Result<(Vec<u8>, u64), ChannelError> {

@@ -94,22 +94,13 @@ impl FileCache {
         self.inner.lock().bytes
     }
 
-    /// Install a file's full contents (paying the local-disk write).
-    /// Evicts least-recently-used clean files if over capacity.
+    /// Install a file's full contents (paying the local-disk write for
+    /// every byte — a dedup'd fetch saves WAN transfer and origin work,
+    /// not the local write of the assembled file; CAS entries live in
+    /// host memory, so a CAS hit is no guarantee the bytes are still on
+    /// this cache disk). Evicts least-recently-used clean files if over
+    /// capacity.
     pub fn install(&self, env: &Env, key: FileKey, contents: &[u8]) {
-        self.install_inner(env, key, contents, contents.len() as u64);
-    }
-
-    /// Install a file assembled by a dedup'd (recipe-driven) fetch:
-    /// identical to [`FileCache::install`] except the local-disk charge
-    /// covers only `fresh_bytes` — the chunks that actually crossed the
-    /// wire. CAS-resident chunks were already on this proxy's disk; the
-    /// install links them rather than rewriting them.
-    pub fn install_dedup(&self, env: &Env, key: FileKey, contents: &[u8], fresh_bytes: u64) {
-        self.install_inner(env, key, contents, fresh_bytes);
-    }
-
-    fn install_inner(&self, env: &Env, key: FileKey, contents: &[u8], charge_bytes: u64) {
         {
             let mut inner = self.inner.lock();
             inner.stamp += 1;
@@ -157,7 +148,7 @@ impl FileCache {
                 }
             }
         }
-        self.disk.sequential_io(env, charge_bytes);
+        self.disk.sequential_io(env, contents.len() as u64);
     }
 
     /// Digest of the contents upstream last acknowledged for this file
@@ -172,6 +163,20 @@ impl FileCache {
         let mut inner = self.inner.lock();
         if let Some(f) = inner.files.get_mut(&key) {
             f.synced = Some(d);
+        }
+    }
+
+    /// Forget what upstream holds for this file. Called *before* every
+    /// upload attempt: a failed `upload_chunked` may already have
+    /// durably applied leading chunks upstream (a torn file), so from
+    /// the moment an upload starts until it succeeds the upstream copy
+    /// must be treated as unknown — otherwise a VM rewriting the
+    /// pre-upload bytes would match the stale digest and skip the
+    /// repair upload forever. No-op when absent.
+    pub fn clear_synced(&self, key: FileKey) {
+        let mut inner = self.inner.lock();
+        if let Some(f) = inner.files.get_mut(&key) {
+            f.synced = None;
         }
     }
 
@@ -393,31 +398,23 @@ mod tests {
     }
 
     #[test]
-    fn install_dedup_charges_only_fresh_bytes() {
-        // Two installs of the same logical size: the dedup'd one charging
-        // zero fresh bytes must finish faster than the full install.
-        let timed = |fresh: Option<u64>| -> f64 {
-            let sim = Simulation::new();
-            let c = cache(&sim.handle(), 1 << 20);
-            sim.spawn("t", move |env| {
-                let contents = vec![7u8; 256 * 1024];
-                match fresh {
-                    Some(fb) => c.install_dedup(&env, key(1), &contents, fb),
-                    None => c.install(&env, key(1), &contents),
-                }
-                let (data, _) = c.read(&env, key(1), 0, 4096).unwrap();
-                assert_eq!(data, vec![7u8; 4096]);
-            });
-            sim.run().as_secs_f64()
-        };
-        let full = timed(None);
-        let dedup = timed(Some(0));
-        assert!(
-            dedup < full,
-            "dedup install {dedup}s should beat full install {full}s"
-        );
-        // Charging the full length is tick-identical to a plain install.
-        assert_eq!(timed(Some(256 * 1024)).to_bits(), full.to_bits());
+    fn clear_synced_forgets_the_upstream_digest() {
+        let sim = Simulation::new();
+        let c = cache(&sim.handle(), 1 << 20);
+        let cc = c.clone();
+        sim.spawn("t", move |env| {
+            cc.install(&env, key(1), b"suspend state");
+            assert!(cc.synced_digest(key(1)).is_some());
+            // An upload attempt starts: upstream state is now unknown
+            // until set_synced records a completed upload.
+            cc.clear_synced(key(1));
+            assert_eq!(cc.synced_digest(key(1)), None);
+            cc.set_synced(key(1), digest(b"suspend state"));
+            assert_eq!(cc.synced_digest(key(1)), Some(digest(b"suspend state")));
+            // Absent files are a no-op, not a panic.
+            cc.clear_synced(key(9));
+        });
+        sim.run();
     }
 
     #[test]

@@ -30,14 +30,17 @@ use xdr::{Decode, Decoder, Encode, Encoder};
 /// order must be deterministic (lint: determinism).
 type DirtyByFile = BTreeMap<(u64, u64), Vec<(u64, Vec<u8>)>>;
 
-/// One write-back slot: `(block, payload, write verifier if the WRITE
-/// succeeded)`. The payload stays in the slot so a failed or
-/// verifier-mismatched write can requeue its bytes.
-type WriteBackSlot = Option<(u64, Vec<u8>, Option<u64>)>;
+/// One write-back slot: `(block, payload, content digest when dedup is
+/// on, write verifier if the WRITE succeeded)`. The payload stays in
+/// the slot so a failed or verifier-mismatched write can requeue its
+/// bytes; the digest — computed (and charged) once before the send —
+/// is what a durable ack records.
+type WriteBackSlot = Option<(u64, Vec<u8>, Option<Digest>, Option<u64>)>;
 
-/// Channel uploads that failed upstream, kept with their contents for
-/// the bounded flush retry rounds.
-type FailedUploads = Arc<Mutex<Vec<(FileKey, Vec<u8>)>>>;
+/// Channel uploads that failed upstream, kept with their contents (and
+/// the content digest, when dedup computed one) for the bounded flush
+/// retry rounds.
+type FailedUploads = Arc<Mutex<Vec<(FileKey, Vec<u8>, Option<Digest>)>>>;
 
 use nfs3::args::{ReadArgs, WriteArgs};
 use nfs3::proto::{
@@ -47,6 +50,7 @@ use nfs3::proto::{
 use crate::block_cache::{BlockCache, Tag, WritePolicy};
 use crate::cas::{ContentStore, DedupTel, DedupTuning};
 use crate::channel::{chanproc, ChannelClient, CHANNEL_PROGRAM, CHANNEL_V1};
+use crate::codec::{self, CodecModel};
 use crate::digest::{self, Digest};
 use crate::file_cache::{FileCache, FileKey};
 use crate::identity::IdentityMapper;
@@ -229,6 +233,82 @@ impl PxTel {
     }
 }
 
+/// Digest-keyed `FETCH_BLOBS` reply cache with the same bounded
+/// discipline as [`ContentStore`]: a monotonic touch stamp drives
+/// deterministic least-recently-touched eviction, and the stored reply
+/// bytes never exceed the byte cap. Unbounded growth here would hold
+/// every distinct chunk of a cloning run in host memory twice (once in
+/// the CAS, once as a cached reply).
+struct BlobReplyCache {
+    // BTreeMap both ways: iteration feeds eviction, which must be
+    // deterministic (lint: determinism).
+    entries: BTreeMap<Digest, (u64, Vec<u8>)>,
+    /// Touch stamp → digest, oldest first.
+    lru: BTreeMap<u64, Digest>,
+    bytes: u64,
+    cap: u64,
+    stamp: u64,
+}
+
+impl BlobReplyCache {
+    fn new(cap: u64) -> Self {
+        BlobReplyCache {
+            entries: BTreeMap::new(),
+            lru: BTreeMap::new(),
+            bytes: 0,
+            cap,
+            stamp: 0,
+        }
+    }
+
+    fn get(&mut self, d: &Digest) -> Option<Vec<u8>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let e = self.entries.get_mut(d)?;
+        self.lru.remove(&e.0);
+        e.0 = stamp;
+        self.lru.insert(stamp, *d);
+        Some(e.1.clone())
+    }
+
+    fn insert(&mut self, d: Digest, reply: Vec<u8>) {
+        let len = reply.len() as u64;
+        if len > self.cap {
+            return;
+        }
+        if let Some((old_stamp, old)) = self.entries.remove(&d) {
+            self.lru.remove(&old_stamp);
+            self.bytes -= old.len() as u64;
+        }
+        while self.bytes + len > self.cap {
+            let Some((&oldest, &victim)) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&oldest);
+            if let Some((_, body)) = self.entries.remove(&victim) {
+                self.bytes -= body.len() as u64;
+            }
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.bytes += len;
+        self.entries.insert(d, (stamp, reply));
+        self.lru.insert(stamp, d);
+    }
+}
+
+/// Safety valve on the durable-ack map: one entry per 32 KB block, so
+/// this covers 2 GiB of distinct tracked blocks before the flush pass
+/// starts shedding the lexicographically first entries. Losing an
+/// entry only costs a redundant resend, never correctness.
+const ACKED_CAP: usize = 1 << 16;
+
+/// Safety valve on cached `FETCH_RECIPE` replies (one per
+/// (file, chunk size); recipes are small, so a generous count cap
+/// suffices). HashMap iteration is nondeterministic, so overflow
+/// clears the whole map rather than picking victims.
+const RECIPE_REPLY_CAP: usize = 4096;
+
 struct ProxyState {
     meta: HashMap<FileKey, Option<Arc<MetaFile>>>,
     sizes: HashMap<FileKey, u64>,
@@ -271,16 +351,22 @@ struct ProxyState {
     /// §3.3.7). A later flush finding the same digest under the same
     /// verifier skips the redundant UNSTABLE WRITE; a restarted server
     /// rotates its verifier, which invalidates every entry at the
-    /// covering COMMIT. BTreeMap: determinism lint.
+    /// covering COMMIT. An entry is removed the moment any upstream
+    /// WRITE for its block is issued outside a validated skip — even
+    /// one whose reply was lost may have mutated the server, so only a
+    /// fresh durable agreement may reinstate it (no A-B-A). Bounded by
+    /// [`ACKED_CAP`]. BTreeMap: determinism lint.
     acked: BTreeMap<Tag, (Digest, u64)>,
     /// Cached `FETCH_RECIPE` replies keyed by (file, chunk size) — the
-    /// recipe analogue of `chan_chunk_replies` for second-level proxies.
+    /// recipe analogue of `chan_chunk_replies` for second-level
+    /// proxies. Bounded by [`RECIPE_REPLY_CAP`].
     chan_recipe_replies: HashMap<(FileKey, u32), Vec<u8>>,
     /// Cached `FETCH_BLOBS` replies keyed by *content digest*: eight
     /// distinct images sharing chunks dedupe on a second-level LAN
-    /// proxy even though their file handles differ. BTreeMap:
-    /// determinism lint.
-    chan_blob_replies: BTreeMap<Digest, Vec<u8>>,
+    /// proxy even though their file handles differ. Entries are
+    /// verified against their digest before insertion and LRU-bounded
+    /// by the CAS byte cap.
+    chan_blob_replies: BlobReplyCache,
     /// Single-flight guard for blob fetches, keyed by content digest
     /// (not file handle): concurrent clonings of *different* images
     /// coalesce on the chunks they share.
@@ -302,6 +388,11 @@ pub struct Proxy {
     /// Content-addressed store over this proxy's resident cache bytes
     /// (present iff `cfg.dedup.enabled`).
     cas: Option<Arc<ContentStore>>,
+    /// CPU-cost model for the proxy's own digest/codec work (flush-side
+    /// digesting, blob verification). Mirrors the channel client's model
+    /// when a file channel is attached, so dedup CPU is priced the same
+    /// on every path.
+    codec: CodecModel,
     /// Per-instance write verifier returned in absorbed WRITE/COMMIT
     /// replies (write-back mode answers both locally, so it speaks for
     /// the stability of its own cache disk).
@@ -372,6 +463,11 @@ fn writeback_evicted_block(
         fileid: tag.fileid,
         generation: tag.generation,
     };
+    // The UNSTABLE WRITE below may reach the server even when its reply
+    // is lost, so any remembered durable ack for this block stops being
+    // trustworthy the moment the write is issued (A-B-A): only a fresh
+    // WRITE+COMMIT verifier agreement in the flush path reinstates it.
+    state.lock().acked.remove(&tag);
     if nfs
         .write(env, h, off, payload.clone(), StableHow::Unstable)
         .is_ok()
@@ -417,6 +513,7 @@ impl Proxy {
         } else {
             None
         };
+        let blob_reply_cap = cfg.dedup.cas_bytes;
         Proxy {
             cfg,
             upstream,
@@ -428,6 +525,7 @@ impl Proxy {
             ttel,
             dtel,
             cas,
+            codec: CodecModel::default(),
             write_verf,
             state: Arc::new(Mutex::new(ProxyState {
                 meta: HashMap::new(),
@@ -442,7 +540,7 @@ impl Proxy {
                 wb_queue: BTreeMap::new(),
                 acked: BTreeMap::new(),
                 chan_recipe_replies: HashMap::new(),
-                chan_blob_replies: BTreeMap::new(),
+                chan_blob_replies: BlobReplyCache::new(blob_reply_cap),
                 inflight_blob: BTreeMap::new(),
             })),
         }
@@ -457,6 +555,7 @@ impl Proxy {
     /// Attach a file cache and the channel client used to fill it.
     pub fn with_file_channel(mut self, cache: Arc<FileCache>, chan: ChannelClient) -> Self {
         self.file_cache = Some(cache);
+        self.codec = *chan.codec();
         self.chan = Some(chan);
         self
     }
@@ -633,6 +732,32 @@ impl Proxy {
         *e = (*e).max(end);
     }
 
+    /// Drop remembered durable acks for every block touching
+    /// `[offset, offset + len)` before a WRITE for that range goes
+    /// upstream outside the flush path: once any unconfirmed write may
+    /// have mutated the server copy, the old ack can no longer justify
+    /// a dedup skip (A-B-A).
+    fn invalidate_acked_range(&self, key: FileKey, offset: u64, len: u64) {
+        if self.cas.is_none() || len == 0 {
+            return;
+        }
+        let bs = self
+            .block_cache
+            .as_ref()
+            .map(|b| b.config().block_size as u64)
+            .unwrap_or(32 * 1024);
+        let first = offset / bs;
+        let last = (offset + len - 1) / bs;
+        let mut st = self.state.lock();
+        for block in first..=last {
+            st.acked.remove(&Tag {
+                fileid: key.fileid,
+                generation: key.generation,
+                block,
+            });
+        }
+    }
+
     // -- READ ---------------------------------------------------------------
 
     fn read_reply(xid: u32, data: Vec<u8>, eof: bool) -> RpcMessage {
@@ -740,7 +865,7 @@ impl Proxy {
                                         &self.dtel,
                                         Some(&self.ttel),
                                     )
-                                    .map(|df| (df.contents, df.wire, df.fresh_bytes))
+                                    .map(|df| (df.contents, df.wire))
                                     .or_else(|_| {
                                         self.tel.recovered_errors.inc();
                                         chan.fetch_chunked(
@@ -750,37 +875,29 @@ impl Proxy {
                                             t.channel_window,
                                             Some(&self.ttel),
                                         )
-                                        .map(|(c, w)| {
-                                            let fresh = c.len() as u64;
-                                            (c, w, fresh)
-                                        })
                                     }),
-                                None => chan
-                                    .fetch_chunked(
-                                        env,
-                                        a.file.0,
-                                        t.chunk_bytes,
-                                        t.channel_window,
-                                        Some(&self.ttel),
-                                    )
-                                    .map(|(c, w)| {
-                                        let fresh = c.len() as u64;
-                                        (c, w, fresh)
-                                    }),
+                                None => chan.fetch_chunked(
+                                    env,
+                                    a.file.0,
+                                    t.chunk_bytes,
+                                    t.channel_window,
+                                    Some(&self.ttel),
+                                ),
                             };
                             let result = match fetched {
-                                Ok((contents, wire, fresh_bytes)) => {
+                                Ok((contents, wire)) => {
                                     #[cfg(feature = "debug-trace")]
                                     eprintln!(
                                         "[gvfs] channel fetch ok: {} bytes, {} wire",
                                         contents.len(),
                                         wire
                                     );
-                                    if self.cas.is_some() {
-                                        fc.install_dedup(env, key, &contents, fresh_bytes);
-                                    } else {
-                                        fc.install(env, key, &contents);
-                                    }
+                                    // Dedup saves WAN transfer and origin
+                                    // work; the assembled file is written
+                                    // to the local cache disk in full
+                                    // either way (a CAS hit is host
+                                    // memory, not cache-disk residency).
+                                    fc.install(env, key, &contents);
                                     self.tel.channel_fetches.inc();
                                     self.tel.channel_wire_bytes.add(wire);
                                     let tr = &self.tel.registry;
@@ -1271,6 +1388,11 @@ impl Proxy {
                                 // don't fabricate a zero base — hand the
                                 // original WRITE upstream untouched.
                                 self.tel.recovered_errors.inc();
+                                self.invalidate_acked_range(
+                                    key,
+                                    a.offset,
+                                    a.data.len() as u64,
+                                );
                                 return self.forward(
                                     env,
                                     xid,
@@ -1315,6 +1437,7 @@ impl Proxy {
             }
             self.bump_size(key, a.offset + a.data.len() as u64);
         }
+        self.invalidate_acked_range(key, a.offset, a.data.len() as u64);
         self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::WRITE, args)
     }
 
@@ -1485,26 +1608,50 @@ impl Proxy {
             // counts. A restarted server rotates its verifier, failing
             // the validation and requeueing the bytes: no acknowledged
             // byte is ever dedup-skipped incorrectly.
+            //
+            // Every outgoing block is digested once here, *outside* the
+            // state lock (digesting suspends; no suspend may run under a
+            // lock) and charged at the codec's digest throughput — the
+            // same CPU price the fetch path pays per blob. The digest
+            // rides the slot so a durable ack records it without
+            // rehashing.
             let (jobs, skips) = if self.cas.is_some() {
-                let st = self.state.lock();
-                let mut send: Vec<(u64, Vec<u8>)> = Vec::new();
-                let mut sk: Vec<(u64, Vec<u8>, u64)> = Vec::new();
+                let mut digested: Vec<(u64, Vec<u8>, Digest)> = Vec::with_capacity(jobs.len());
                 for (block, data) in jobs {
+                    env.sleep(self.codec.digest_time(data.len() as u64));
+                    let d = digest::digest(&data);
+                    digested.push((block, data, d));
+                }
+                let mut st = self.state.lock();
+                let mut send: Vec<(u64, Vec<u8>, Option<Digest>)> = Vec::new();
+                let mut sk: Vec<(u64, Vec<u8>, u64)> = Vec::new();
+                for (block, data, d) in digested {
                     let tag = Tag {
                         fileid,
                         generation,
                         block,
                     };
                     match st.acked.get(&tag) {
-                        Some((d, verf)) if *d == digest::digest(&data) => {
-                            sk.push((block, data, *verf))
+                        Some((ad, verf)) if *ad == d => sk.push((block, data, *verf)),
+                        _ => {
+                            // About to issue an UNSTABLE WRITE for this
+                            // block: the server may apply it even when
+                            // the reply is lost, so the remembered ack
+                            // (if any) dies now — a block later reverted
+                            // to the old bytes must not skip over the
+                            // server's unconfirmed intermediate content
+                            // (A-B-A).
+                            st.acked.remove(&tag);
+                            send.push((block, data, Some(d)));
                         }
-                        _ => send.push((block, data)),
                     }
                 }
                 (send, sk)
             } else {
-                (jobs, Vec::new())
+                (
+                    jobs.into_iter().map(|(b, d)| (b, d, None)).collect(),
+                    Vec::new(),
+                )
             };
             if jobs.is_empty() && skips.is_empty() {
                 continue;
@@ -1514,12 +1661,12 @@ impl Proxy {
             // bytes instead of dropping them.
             let slots: Vec<WriteBackSlot> = if fw == 1 {
                 jobs.into_iter()
-                    .map(|(block, data)| {
+                    .map(|(block, data, dg)| {
                         let verf = nfs
                             .write(env, h, block * bs, data.clone(), StableHow::Unstable)
                             .ok()
                             .map(|r| r.verf);
-                        Some((block, data, verf))
+                        Some((block, data, dg, verf))
                     })
                     .collect()
             } else {
@@ -1533,12 +1680,12 @@ impl Proxy {
                     fw,
                     jobs,
                     Some(&self.ttel),
-                    move |env, (block, data)| {
+                    move |env, (block, data, dg)| {
                         let verf = w
                             .write(env, h, block * bs, data.clone(), StableHow::Unstable)
                             .ok()
                             .map(|r| r.verf);
-                        Some((block, data, verf))
+                        Some((block, data, dg, verf))
                     },
                 )
             };
@@ -1551,19 +1698,19 @@ impl Proxy {
             let mut newly_acked: Vec<(Tag, (Digest, u64))> = Vec::new();
             for slot in slots {
                 match slot {
-                    Some((block, data, Some(verf))) if Some(verf) == commit_verf => {
+                    Some((block, data, dg, Some(verf))) if Some(verf) == commit_verf => {
                         report.blocks += 1;
                         report.block_bytes += data.len() as u64;
-                        if dedup_on {
+                        if let Some(d) = dg {
                             let tag = Tag {
                                 fileid,
                                 generation,
                                 block,
                             };
-                            newly_acked.push((tag, (digest::digest(&data), verf)));
+                            newly_acked.push((tag, (d, verf)));
                         }
                     }
-                    Some((block, data, wrote)) => {
+                    Some((block, data, _dg, wrote)) => {
                         if wrote.is_some() && commit_verf.is_some() {
                             mismatch = true;
                         } else {
@@ -1614,6 +1761,15 @@ impl Proxy {
                 for (tag, entry) in newly_acked {
                     st.acked.insert(tag, entry);
                 }
+                // Safety valve: shed entries past the cap (an ack is an
+                // optimization — dropping one costs a resend, nothing
+                // more). First-key order keeps the shed deterministic.
+                while st.acked.len() > ACKED_CAP {
+                    let Some(&k) = st.acked.keys().next() else {
+                        break;
+                    };
+                    st.acked.remove(&k);
+                }
             }
         }
         requeue
@@ -1653,6 +1809,7 @@ impl Proxy {
                 let ttel = self.ttel.clone();
                 let dtel = self.dtel.clone();
                 let dedup_on = self.cas.is_some();
+                let codec = self.codec;
                 let recovered = self.tel.recovered_errors.clone();
                 let totals = file_totals.clone();
                 let failed = failed_uploads.clone();
@@ -1664,8 +1821,11 @@ impl Proxy {
                             // re-suspending identical memory state) skips
                             // the whole upload. Channel uploads are
                             // durable server writes, so the synced digest
-                            // survives server restarts.
+                            // survives server restarts. The digest is
+                            // charged at codec throughput — the same CPU
+                            // the fetch path pays per verified blob.
                             let d = if dedup_on {
+                                env.sleep(codec.digest_time(contents.len() as u64));
                                 let d = digest::digest(&contents);
                                 if fc.synced_digest(key) == Some(d) {
                                     dtel.acked_skips.inc();
@@ -1680,6 +1840,12 @@ impl Proxy {
                                 fileid: key.fileid,
                                 generation: key.generation,
                             };
+                            // Torn-upload guard: from here until the
+                            // upload reports success, upstream may hold
+                            // any prefix of the new chunks — forget the
+                            // synced digest so a rewrite back to the old
+                            // bytes can never skip the repair upload.
+                            fc.clear_synced(key);
                             match chan.upload_chunked(
                                 env,
                                 h,
@@ -1699,7 +1865,7 @@ impl Proxy {
                                 }
                                 Err(_) => {
                                     recovered.inc();
-                                    failed.lock().push((key, contents));
+                                    failed.lock().push((key, contents, d));
                                 }
                             }
                         }
@@ -1760,7 +1926,8 @@ impl Proxy {
         // Degraded-mode drain: bounded retry rounds with doubling
         // backoff, resending both failed blocks and failed file uploads
         // until they land or the rounds run out.
-        let mut failed_files: Vec<(FileKey, Vec<u8>)> = std::mem::take(&mut *failed_uploads.lock());
+        let mut failed_files: Vec<(FileKey, Vec<u8>, Option<Digest>)> =
+            std::mem::take(&mut *failed_uploads.lock());
         let base = self.cfg.transfer.flush_retry_backoff;
         for round in 0..self.cfg.transfer.flush_retry_rounds {
             if remaining.is_empty() && failed_files.is_empty() {
@@ -1770,11 +1937,14 @@ impl Proxy {
             env.sleep(base * (1u64 << round.min(3)));
             remaining = self.write_back_pass(env, cred, remaining, &mut report);
             let mut still_failed = Vec::new();
-            for (key, contents) in failed_files {
+            for (key, contents, d) in failed_files {
                 let h = Handle {
                     fileid: key.fileid,
                     generation: key.generation,
                 };
+                // The synced digest was already cleared before the first
+                // attempt and only a success below reinstates it, so a
+                // torn retry leaves upstream marked unknown.
                 let retried = self.chan.as_ref().map(|chan| {
                     chan.upload_chunked(
                         env,
@@ -1790,15 +1960,15 @@ impl Proxy {
                     Some(Ok(wire)) => {
                         report.files += 1;
                         report.file_wire_bytes += wire;
-                        if self.cas.is_some() {
+                        if let Some(d) = d {
                             if let Some(fc) = &self.file_cache {
-                                fc.set_synced(key, digest::digest(&contents));
+                                fc.set_synced(key, d);
                             }
                         }
                     }
                     _ => {
                         self.tel.recovered_errors.inc();
-                        still_failed.push((key, contents));
+                        still_failed.push((key, contents, d));
                     }
                 }
             }
@@ -1824,10 +1994,13 @@ impl Proxy {
                 }
             }
         }
-        for (key, _contents) in failed_files {
+        for (key, _contents, _d) in failed_files {
             report.failed_files += 1;
             // The contents are still resident in the file cache; re-mark
-            // the file dirty so the next flush retries the upload.
+            // the file dirty so the next flush retries the upload. The
+            // synced digest stays cleared: the failed attempts may have
+            // left a torn copy upstream, so nothing short of a completed
+            // upload may skip.
             if let Some(fc) = &self.file_cache {
                 fc.mark_dirty(key);
             }
@@ -2019,12 +2192,47 @@ impl Proxy {
             },
         ) = (key, &reply)
         {
-            self.state
-                .lock()
-                .chan_recipe_replies
-                .insert(k, results.clone());
+            let mut st = self.state.lock();
+            // Safety valve: recipes are an optimization — on overflow
+            // clear the map (HashMap victim picks would be
+            // nondeterministic) and let it refill.
+            if st.chan_recipe_replies.len() >= RECIPE_REPLY_CAP {
+                st.chan_recipe_replies.clear();
+            }
+            st.chan_recipe_replies.insert(k, results.clone());
         }
         reply
+    }
+
+    /// Check that a successful `FETCH_BLOBS` reply's payload really
+    /// hashes to `want` (reply wire format: u32 status, u64 chunk_len,
+    /// bool compressed, opaque payload). Charges decompression and
+    /// digest CPU — the price of guarding a digest-keyed shared cache
+    /// against a range-serving origin.
+    fn verify_blob_reply(&self, env: &Env, results: &[u8], want: Digest) -> bool {
+        let mut dec = Decoder::new(results);
+        if dec.get_u32() != Ok(0) {
+            return false;
+        }
+        let (Ok(chunk_len), Ok(compressed), Ok(payload)) =
+            (dec.get_u64(), dec.get_bool(), dec.get_opaque_var())
+        else {
+            return false;
+        };
+        let contents = if compressed {
+            env.sleep(self.codec.decompress_time(chunk_len));
+            match codec::decompress(&payload) {
+                Ok(c) => c,
+                Err(_) => return false,
+            }
+        } else {
+            payload
+        };
+        if contents.len() as u64 != chunk_len {
+            return false;
+        }
+        env.sleep(self.codec.digest_time(contents.len() as u64));
+        digest::digest(&contents) == want
     }
 
     /// Second-level caching for `FETCH_BLOBS` replies, keyed by *content
@@ -2081,7 +2289,7 @@ impl Proxy {
         const MAX_BLOB_ATTEMPTS: u32 = 3;
         let mut attempts = 0u32;
         loop {
-            let cached = { self.state.lock().chan_blob_replies.get(&want).cloned() };
+            let cached = { self.state.lock().chan_blob_replies.get(&want) };
             if let Some(results) = cached {
                 env.sleep(self.cfg.per_op_cpu);
                 // Served from content-addressed local state: the chunk's
@@ -2135,14 +2343,19 @@ impl Proxy {
                         ..
                     } = &reply
                     {
-                        // Only a channel-level Ok is content: caching a
+                        // Only a channel-level Ok is content — caching a
                         // NoEnt/Stale under a digest would replay the
-                        // error to every other file sharing the chunk.
-                        let ok = {
-                            let mut dec = Decoder::new(results);
-                            dec.get_u32() == Ok(0)
-                        };
-                        if ok {
+                        // error to every other file sharing the chunk —
+                        // and only a payload that actually hashes to the
+                        // requested digest may be keyed by it: the
+                        // origin serves by byte range and ignores the
+                        // digest, so a stale recipe would otherwise
+                        // poison this shared cache permanently for every
+                        // file sharing the chunk. Decompression and
+                        // digesting are charged at codec throughput,
+                        // like the client-side verification in
+                        // `fetch_blob`.
+                        if self.verify_blob_reply(env, results, want) {
                             self.state
                                 .lock()
                                 .chan_blob_replies

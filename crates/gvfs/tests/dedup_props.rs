@@ -11,17 +11,20 @@
 
 use std::sync::Arc;
 
-use gvfs::digest::chunk_digests;
+use gvfs::channel::chanproc;
+use gvfs::digest::{chunk_digests, digest};
 use gvfs::{
     BlockCache, BlockCacheConfig, ChannelClient, CodecModel, ContentStore, DedupTel, DedupTuning,
-    FileChannelServer, Proxy, ProxyConfig, TransferTuning, WritePolicy,
+    Digest, FileCache, FileChannelServer, FileKey, Proxy, ProxyConfig, TransferTuning, WritePolicy,
+    CHANNEL_PROGRAM, CHANNEL_V1,
 };
-use nfs3::{MountServer, Nfs3Client, Nfs3Server, ServerConfig};
+use nfs3::{Fh3, MountServer, Nfs3Client, Nfs3Server, ServerConfig};
 use oncrpc::{AuthSys, Dispatcher, OpaqueAuth, RetryPolicy, RpcClient, WireSpec};
 use parking_lot::Mutex;
 use proptest::prelude::*;
 use simnet::{Env, Link, LinkFaultPlan, SimDuration, SimTime, Simulation};
 use vfs::{Disk, DiskModel, Fs, Handle};
+use xdr::{Encode, Encoder};
 
 const BS: u64 = 32 * 1024;
 const BLOCKS: u64 = 8;
@@ -43,6 +46,23 @@ struct Rig {
 /// A write-back client proxy over a faultable WAN (the fault_recovery
 /// rig, parameterized on dedup).
 fn build_rig(sim: &Simulation, dedup: DedupTuning) -> Rig {
+    build_rig_with(
+        sim,
+        dedup,
+        TransferTuning {
+            read_ahead: 0,
+            ..TransferTuning::default()
+        },
+        RetryPolicy::wan(),
+    )
+}
+
+fn build_rig_with(
+    sim: &Simulation,
+    dedup: DedupTuning,
+    transfer: TransferTuning,
+    policy: RetryPolicy,
+) -> Rig {
     let h = sim.handle();
     let server_disk = Disk::new(&h, DiskModel::server_array());
     let (fs, server) = Nfs3Server::with_new_fs(&h, server_disk, ServerConfig::default());
@@ -63,7 +83,7 @@ fn build_rig(sim: &Simulation, dedup: DedupTuning) -> Rig {
     ep.listener.serve("nfsd", handler, 8);
 
     let cred = OpaqueAuth::sys(&AuthSys::new("dedup", 1, 1));
-    let upstream = RpcClient::new(ep.channel, cred.clone()).with_policy(RetryPolicy::wan());
+    let upstream = RpcClient::new(ep.channel, cred.clone()).with_policy(policy);
     let cache_disk = Disk::new(&h, DiskModel::scsi_2004());
     let proxy = Proxy::new(
         ProxyConfig {
@@ -72,10 +92,7 @@ fn build_rig(sim: &Simulation, dedup: DedupTuning) -> Rig {
             meta_handling: false,
             per_op_cpu: SimDuration::from_micros(40),
             read_only_share: false,
-            transfer: TransferTuning {
-                read_ahead: 0,
-                ..TransferTuning::default()
-            },
+            transfer,
             dedup,
         },
         upstream,
@@ -407,4 +424,344 @@ fn shared_proxy_coalesces_blob_fetches_on_digest() {
         st.dedup_recipe_hits >= distinct,
         "second client must be served from the digest cache: {st:?}"
     );
+}
+
+/// A tight retransmission policy so fault-window tests fail RPCs in
+/// seconds instead of `RetryPolicy::wan()`'s ~135 s.
+fn tight_policy() -> RetryPolicy {
+    RetryPolicy {
+        first_timeout: SimDuration::from_secs(1),
+        max_timeout: SimDuration::from_secs(2),
+        max_attempts: 2,
+        jitter_frac: 0.0,
+    }
+}
+
+/// A-B-A regression (block path): an UNSTABLE WRITE whose reply is lost
+/// still mutates the server, so the durable ack recorded for the block
+/// must die the moment the write is *issued*, not only when it visibly
+/// succeeds. Schedule: flush v0 durably (ack recorded); during a
+/// reply-direction outage flush v1 — the WRITE applies upstream but the
+/// proxy only sees timeouts; revert the block to v0; heal; flush. The
+/// final flush must RESEND v0: the pre-outage ack can no longer vouch
+/// for what the server holds, which is v1.
+#[test]
+fn lost_reply_write_invalidates_acked_digest() {
+    let sim = Simulation::new();
+    let rig = build_rig_with(
+        &sim,
+        DedupTuning::default(),
+        TransferTuning {
+            read_ahead: 0,
+            flush_retry_rounds: 0,
+            ..TransferTuning::default()
+        },
+        tight_policy(),
+    );
+    let fh = seed_file(&rig.fs, "vm.img");
+    // Replies (only) vanish from t=5 s to t=20 s: requests keep landing
+    // on the server, so its state moves while the proxy sees failures.
+    rig.wan_down
+        .install_faults(LinkFaultPlan::new(7).outage(ms(5_000), ms(20_000)));
+    let proxy = rig.proxy.clone();
+    let (nfs, cred) = (rig.nfs, rig.cred.clone());
+    let fs = rig.fs.clone();
+    sim.spawn("client", move |env: Env| {
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh2, _) = nfs.lookup(&env, root, "vm.img").unwrap();
+        let write0 = |env: &Env, v: u8| {
+            nfs.write(env, fh2, 0, payload(0, v), nfs3::proto::StableHow::Unstable)
+                .unwrap();
+            nfs.commit(env, fh2).unwrap();
+        };
+        // v0 durable: the (digest, verifier) ack is recorded.
+        write0(&env, 0);
+        let r1 = proxy.flush(&env, &cred);
+        assert_eq!(r1.blocks, 1, "healthy flush: {r1:?}");
+
+        // Mid-outage: v1's WRITE reaches the server, every reply is
+        // lost, the flush parks the block as failed.
+        let now = env.now();
+        env.sleep(ms(6_000).saturating_since(now));
+        write0(&env, 1);
+        let r2 = proxy.flush(&env, &cred);
+        assert_eq!(r2.blocks, 0, "outage flush must not complete: {r2:?}");
+        assert_eq!(r2.failed_blocks, 1, "outage flush must park v1: {r2:?}");
+
+        // Revert to v0 — the A-B-A bait: identical to the acked bytes,
+        // different from what the server now (silently) holds.
+        write0(&env, 0);
+
+        let now = env.now();
+        env.sleep(ms(21_000).saturating_since(now));
+        let r3 = proxy.flush(&env, &cred);
+        assert_eq!(r3.failed_blocks, 0, "healed flush must drain: {r3:?}");
+        assert_eq!(
+            r3.blocks, 1,
+            "v0 must be re-sent, not skipped — the server holds v1: {r3:?}"
+        );
+        assert_eq!(
+            proxy.stats().dedup_acked_skips,
+            0,
+            "no skip may validate against the dead ack"
+        );
+        let mut f = fs.lock();
+        let (data, _) = f.read(fh, 0, BS as usize, 0).unwrap();
+        assert_eq!(data, payload(0, 0), "server must end on v0");
+    });
+    sim.run();
+}
+
+/// Torn-upload regression (file path): a failed chunked upload may have
+/// durably applied its leading chunks upstream. The synced digest must
+/// be cleared before the attempt begins, so a VM rewriting the
+/// pre-upload bytes can never match a stale digest and skip the repair
+/// upload — leaving the torn file upstream forever.
+#[test]
+fn failed_upload_clears_synced_digest_and_repairs_torn_file() {
+    const CHUNK: u32 = 64 * 1024;
+    const LEN: usize = 6 * CHUNK as usize;
+
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let server_disk = Disk::new(&h, DiskModel::server_array());
+    let (fs, server) = Nfs3Server::with_new_fs(&h, server_disk, ServerConfig::default());
+    let mount = MountServer::new(fs.clone(), vec!["/".to_string()]);
+    let chan_disk = Disk::new(&h, DiskModel::server_array());
+    let chan_server = FileChannelServer::new(fs.clone(), chan_disk, CodecModel::default(), true);
+    let handler = Dispatcher::new()
+        .register(server)
+        .register(mount)
+        .register(chan_server)
+        .into_handler();
+
+    let wan_up = Link::from_mbps(&h, "wan-up", 6.0, SimDuration::from_millis(17));
+    let wan_down = Link::from_mbps(&h, "wan-down", 14.0, SimDuration::from_millis(17));
+    let ep = oncrpc::endpoint(
+        &h,
+        wan_up.clone(),
+        wan_down.clone(),
+        WireSpec::ssh_tunnel(50e6),
+    );
+    ep.listener.serve("origin", handler, 8);
+    // Both directions die after the first upload chunk (or two) lands,
+    // and stay dead through the tight policy's retransmits.
+    wan_up.install_faults(LinkFaultPlan::new(11).outage(ms(5_250), ms(30_000)));
+    wan_down.install_faults(LinkFaultPlan::new(13).outage(ms(5_250), ms(30_000)));
+
+    let cred = OpaqueAuth::sys(&AuthSys::new("dedup", 1, 1));
+    let upstream = RpcClient::new(ep.channel.clone(), cred.clone()).with_policy(tight_policy());
+    let chan = ChannelClient::new(
+        RpcClient::new(ep.channel, cred.clone()).with_policy(tight_policy()),
+        CodecModel::default(),
+    );
+    let cache_disk = Disk::new(&h, DiskModel::scsi_2004());
+    let fc = Arc::new(FileCache::new(cache_disk, 256 << 20));
+    let proxy = Proxy::new(
+        ProxyConfig {
+            name: "upload-proxy".into(),
+            write_policy: WritePolicy::WriteBack,
+            meta_handling: false,
+            per_op_cpu: SimDuration::from_micros(40),
+            read_only_share: false,
+            transfer: TransferTuning {
+                chunk_bytes: CHUNK,
+                channel_window: 2,
+                read_ahead: 0,
+                flush_retry_rounds: 0,
+                ..TransferTuning::default()
+            },
+            dedup: DedupTuning::default(),
+        },
+        upstream,
+    )
+    .with_file_channel(fc.clone(), chan)
+    .into_handler();
+
+    let lo_up = Link::new(&h, "lo-up", 1e9, SimDuration::from_micros(20));
+    let lo_down = Link::new(&h, "lo-down", 1e9, SimDuration::from_micros(20));
+    let lo = oncrpc::endpoint(&h, lo_up, lo_down, WireSpec::plain());
+    lo.listener.serve("proxy", proxy.clone(), 8);
+    let nfs = Nfs3Client::new(RpcClient::new(lo.channel, cred.clone()));
+
+    // Pseudo-random (incompressible) so every chunk really occupies the
+    // WAN; version B differs from A in every chunk.
+    let gen = |salt: u64| -> Vec<u8> {
+        (0..LEN as u64)
+            .map(|i| {
+                let x = i.wrapping_add(salt.wrapping_mul(0x5851_F42D_4C95_7F2D));
+                (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 23) as u8
+            })
+            .collect()
+    };
+    let a = gen(1);
+    let b = gen(2);
+    let fh = {
+        let mut f = fs.lock();
+        let root = f.root();
+        let fh = f.create(root, "vm.mem", 0o644, 0).unwrap();
+        f.write(fh, 0, &a, 0).unwrap();
+        fh
+    };
+    let key = FileKey {
+        fileid: fh.fileid,
+        generation: fh.generation,
+    };
+
+    let fs2 = fs.clone();
+    sim.spawn("client", move |env: Env| {
+        // The proxy holds A already (a prior fetch, modelled directly):
+        // resident and synced at digest(A).
+        fc.install(&env, key, &a);
+        assert_eq!(fc.synced_digest(key), Some(digest(&a)));
+
+        let root = nfs.mount(&env, "/").unwrap();
+        let (fh2, _) = nfs.lookup(&env, root, "vm.mem").unwrap();
+
+        // The VM rewrites the file to B; the flush upload dies part-way
+        // into the outage, leaving a torn (part-B) file upstream.
+        nfs.write(&env, fh2, 0, b, nfs3::proto::StableHow::Unstable)
+            .unwrap();
+        let now = env.now();
+        env.sleep(ms(5_000).saturating_since(now));
+        let r1 = proxy.flush(&env, &cred);
+        assert_eq!(r1.files, 0, "upload must not complete: {r1:?}");
+        assert_eq!(r1.failed_files, 1, "upload must fail mid-outage: {r1:?}");
+        assert_eq!(
+            fc.synced_digest(key),
+            None,
+            "a failed upload must leave the synced digest cleared"
+        );
+        {
+            let mut f = fs2.lock();
+            let (got, _) = f.read(fh, 0, LEN, 0).unwrap();
+            assert_ne!(got, a, "rig: at least one B chunk must land (torn)");
+        }
+
+        // The VM rewrites the original bytes A — the stale-digest bait.
+        nfs.write(&env, fh2, 0, a.clone(), nfs3::proto::StableHow::Unstable)
+            .unwrap();
+        let now = env.now();
+        env.sleep(ms(31_000).saturating_since(now));
+        let r2 = proxy.flush(&env, &cred);
+        assert_eq!(r2.failed_files, 0, "healed flush must drain: {r2:?}");
+        assert_eq!(r2.files, 1, "repair upload must run, not skip: {r2:?}");
+        assert_eq!(
+            proxy.stats().dedup_acked_skips,
+            0,
+            "nothing may skip against the cleared digest"
+        );
+        assert_eq!(
+            fc.synced_digest(key),
+            Some(digest(&a)),
+            "completed repair reinstates the synced digest"
+        );
+        let mut f = fs2.lock();
+        let (got, _) = f.read(fh, 0, LEN, 0).unwrap();
+        assert_eq!(got, a, "server must hold A after the repair upload");
+    });
+    sim.run();
+}
+
+/// A FETCH_BLOBS reply may only be cached under a digest if its payload
+/// actually hashes to that digest: the origin serves by byte range and
+/// ignores the digest field, so a request carrying a wrong digest (e.g.
+/// recipe drift while the file is rewritten) must not poison the shared
+/// digest-keyed cache for every downstream client.
+#[test]
+fn blob_cache_rejects_payload_digest_mismatch() {
+    const CHUNK: u32 = 64 * 1024;
+
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let fs = Arc::new(Mutex::new(Fs::new(0)));
+    let disk = Disk::new(&h, DiskModel::server_array());
+    let chan_server = FileChannelServer::new(fs.clone(), disk, CodecModel::default(), true);
+    let wan_up = Link::from_mbps(&h, "wan-up", 6.0, SimDuration::from_millis(17));
+    let wan_down = Link::from_mbps(&h, "wan-down", 14.0, SimDuration::from_millis(17));
+    let wan = oncrpc::endpoint(&h, wan_up, wan_down, WireSpec::ssh_tunnel(50e6));
+    wan.listener.serve(
+        "chan-server",
+        Dispatcher::new().register(chan_server).into_handler(),
+        8,
+    );
+
+    let data: Vec<u8> = (0..CHUNK as u64)
+        .map(|i| (i.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 17) as u8)
+        .collect();
+    let fh = {
+        let mut f = fs.lock();
+        let root = f.root();
+        let fh = f.create(root, "img", 0o644, 0).unwrap();
+        f.write(fh, 0, &data, 0).unwrap();
+        fh
+    };
+
+    let cred = OpaqueAuth::sys(&AuthSys::new("lan", 1, 1));
+    let upstream = RpcClient::new(wan.channel, cred.clone()).with_policy(RetryPolicy::wan());
+    let lan_proxy = Proxy::new(
+        ProxyConfig {
+            name: "lan-share".into(),
+            write_policy: WritePolicy::WriteThrough,
+            meta_handling: false,
+            per_op_cpu: SimDuration::from_micros(40),
+            read_only_share: true,
+            transfer: TransferTuning::default(),
+            dedup: DedupTuning::default(),
+        },
+        upstream,
+    )
+    .into_handler();
+    let lan_up = Link::new(&h, "lan-up", 1e9, SimDuration::from_micros(100));
+    let lan_down = Link::new(&h, "lan-down", 1e9, SimDuration::from_micros(100));
+    let lan = oncrpc::endpoint(&h, lan_up, lan_down, WireSpec::plain());
+    lan.listener.serve("lan-share", lan_proxy.clone(), 8);
+
+    let right = digest(&data);
+    let wrong = digest(b"a digest from a stale recipe");
+    assert_ne!(right, wrong);
+
+    let rpc = RpcClient::new(lan.channel, cred);
+    let proxy2 = lan_proxy.clone();
+    sim.spawn("client", move |env: Env| {
+        let fetch = |env: &Env, d: Digest| -> Vec<u8> {
+            let mut enc = Encoder::new();
+            Fh3(fh).encode(&mut enc);
+            enc.put_u64(0);
+            enc.put_u32(CHUNK);
+            enc.put_u64(d.0);
+            enc.put_u64(d.1);
+            rpc.call_dl(
+                env,
+                CHANNEL_PROGRAM,
+                CHANNEL_V1,
+                chanproc::FETCH_BLOBS,
+                enc.into_bytes(),
+            )
+            .unwrap()
+        };
+        // Wrong digest: the origin happily serves the range, but the
+        // proxy must not cache the reply under it — both requests
+        // forward upstream.
+        let r1 = fetch(&env, wrong);
+        assert_eq!(proxy2.stats().forwarded, 1);
+        let r2 = fetch(&env, wrong);
+        assert_eq!(
+            proxy2.stats().forwarded,
+            2,
+            "a reply that fails digest verification must not be cached"
+        );
+        assert_eq!(r1, r2, "pass-through replies must still reach the client");
+        // Right digest: first forwards (and now caches), second is
+        // served locally.
+        let _ = fetch(&env, right);
+        assert_eq!(proxy2.stats().forwarded, 3);
+        let _ = fetch(&env, right);
+        assert_eq!(
+            proxy2.stats().forwarded,
+            3,
+            "a verified reply must be served from the digest cache"
+        );
+    });
+    sim.run();
 }
