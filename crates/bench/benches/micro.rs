@@ -145,7 +145,7 @@ fn bench_rpc_roundtrip(c: &mut Criterion) {
                 for _ in 0..100 {
                     // Unknown program: server answers PROG_UNAVAIL — a
                     // full encode/transfer/dispatch/reply cycle.
-                    let _ = rpc.call(&env, 42, 1, 0, Vec::new());
+                    let _ = rpc.call(&env, 42, 1, 0, &[]);
                 }
             });
             sim.run()

@@ -243,6 +243,11 @@ pub struct CloneResult {
     pub total_virtual_secs: f64,
     /// Telemetry registry snapshot taken after the simulation drained.
     pub snapshot: Snapshot,
+    /// Scheduler events the simulation processed end-to-end (the
+    /// wall-clock harness divides this by host time for events/sec).
+    pub events_processed: u64,
+    /// Processes (OS threads) the simulation spawned end-to-end.
+    pub processes_spawned: u64,
 }
 
 impl CloneResult {
@@ -466,6 +471,8 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
         times,
         total_virtual_secs: end.as_secs_f64(),
         snapshot: h.telemetry().snapshot(),
+        events_processed: h.events_processed(),
+        processes_spawned: h.processes_spawned(),
     }
 }
 
@@ -480,6 +487,11 @@ pub struct ParallelResult {
     pub total_virtual_secs: f64,
     /// Telemetry registry snapshot taken after the simulation drained.
     pub snapshot: Snapshot,
+    /// Scheduler events the simulation processed end-to-end (the
+    /// wall-clock harness divides this by host time for events/sec).
+    pub events_processed: u64,
+    /// Processes (OS threads) the simulation spawned end-to-end.
+    pub processes_spawned: u64,
 }
 
 /// Table 1's WAN-P: `clones` compute servers clone in parallel from one
@@ -565,6 +577,8 @@ pub fn run_parallel_cloning(params: &CloneParams) -> ParallelResult {
         warm_secs,
         total_virtual_secs: end.as_secs_f64(),
         snapshot: h.telemetry().snapshot(),
+        events_processed: h.events_processed(),
+        processes_spawned: h.processes_spawned(),
     }
 }
 
@@ -631,6 +645,8 @@ pub fn run_sequential_for_table1(params: &CloneParams) -> ParallelResult {
         warm_secs,
         total_virtual_secs: end.as_secs_f64(),
         snapshot: h.telemetry().snapshot(),
+        events_processed: h.events_processed(),
+        processes_spawned: h.processes_spawned(),
     }
 }
 

@@ -374,6 +374,11 @@ pub struct AppResult {
     /// simulation drained (network scenarios only). Fault runs compare
     /// this against the fault-free run to prove zero lost bytes.
     pub server_fs_digest: Option<u64>,
+    /// Scheduler events the simulation processed end-to-end (the
+    /// wall-clock harness divides this by host time for events/sec).
+    pub events_processed: u64,
+    /// Processes (OS threads) the simulation spawned end-to-end.
+    pub processes_spawned: u64,
 }
 
 /// FNV-1a digest over a deterministic recursive walk of a filesystem:
@@ -455,6 +460,8 @@ pub fn run_app_scenario(
         total_virtual_secs: 0.0,
         snapshot: Snapshot::default(),
         server_fs_digest: None,
+        events_processed: 0,
+        processes_spawned: 0,
     }));
     let mut server_fs: Option<Arc<Mutex<Fs>>> = None;
 
@@ -575,6 +582,8 @@ pub fn run_app_scenario(
     res.total_virtual_secs = end.as_secs_f64();
     res.snapshot = h.telemetry().snapshot();
     res.server_fs_digest = server_fs.as_ref().map(fs_digest);
+    res.events_processed = h.events_processed();
+    res.processes_spawned = h.processes_spawned();
     res
 }
 

@@ -490,7 +490,7 @@ impl ChannelClient {
         let args = xdr::to_bytes(&nfs3::Fh3(h));
         let res = self
             .rpc
-            .call_dl(env, CHANNEL_PROGRAM, CHANNEL_V1, chanproc::FETCH, args)
+            .call_dl(env, CHANNEL_PROGRAM, CHANNEL_V1, chanproc::FETCH, &args)
             .map_err(ChannelError::Rpc)?;
         let mut dec = Decoder::new(&res);
         let status = ChanStatus::from_u32(dec.get_u32().map_err(|_| ChannelError::Decode)?)
@@ -535,7 +535,7 @@ impl ChannelClient {
                 CHANNEL_PROGRAM,
                 CHANNEL_V1,
                 chanproc::FETCH_CHUNK,
-                enc.into_bytes(),
+                &enc.into_bytes(),
             )
             .map_err(ChannelError::Rpc)?;
         let mut dec = Decoder::new(&res);
@@ -632,7 +632,7 @@ impl ChannelClient {
                 CHANNEL_PROGRAM,
                 CHANNEL_V1,
                 chanproc::FETCH_RECIPE,
-                enc.into_bytes(),
+                &enc.into_bytes(),
             )
             .map_err(ChannelError::Rpc)?;
         let mut dec = Decoder::new(&res);
@@ -687,7 +687,7 @@ impl ChannelClient {
                 CHANNEL_PROGRAM,
                 CHANNEL_V1,
                 chanproc::FETCH_BLOBS,
-                enc.into_bytes(),
+                &enc.into_bytes(),
             )
             .map_err(ChannelError::Rpc)?;
         let mut dec = Decoder::new(&res);
@@ -854,7 +854,7 @@ impl ChannelClient {
                 CHANNEL_PROGRAM,
                 CHANNEL_V1,
                 chanproc::UPLOAD_CHUNK,
-                enc.into_bytes(),
+                &enc.into_bytes(),
             )
             .map_err(ChannelError::Rpc)?;
         let mut dec = Decoder::new(&res);
@@ -937,7 +937,7 @@ impl ChannelClient {
                 CHANNEL_PROGRAM,
                 CHANNEL_V1,
                 chanproc::UPLOAD,
-                enc.into_bytes(),
+                &enc.into_bytes(),
             )
             .map_err(ChannelError::Rpc)?;
         let mut dec = Decoder::new(&res);

@@ -23,9 +23,21 @@ use simnet::SimDuration;
 const MAGIC: &[u8; 4] = b"GZRL";
 /// Minimum run length worth encoding as a run record.
 const MIN_RUN: usize = 16;
+/// Largest length a single record can carry (its length field is a u32).
+/// Longer runs and literals are split across consecutive records; the
+/// previous `as u32` casts silently truncated them instead, corrupting
+/// any input with a >4 GiB run.
+const MAX_RECORD: usize = u32::MAX as usize;
 
 /// Compress `data`.
 pub fn compress(data: &[u8]) -> Vec<u8> {
+    compress_with_record_cap(data, MAX_RECORD)
+}
+
+/// `compress` with the per-record length cap exposed, so tests can force
+/// record splitting on small inputs instead of allocating >4 GiB.
+fn compress_with_record_cap(data: &[u8], cap: usize) -> Vec<u8> {
+    debug_assert!((1..=MAX_RECORD).contains(&cap));
     // lint:allow(bounded-decode): capacity derives from local input size, not wire bytes
     let mut out = Vec::with_capacity(64 + data.len() / 8);
     out.extend_from_slice(MAGIC);
@@ -41,32 +53,40 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         }
         let run = j - i;
         if run >= MIN_RUN {
-            flush_literal(&mut out, &data[lit_start..i]);
-            if b == 0 {
-                out.push(0);
-                out.extend_from_slice(&(run as u32).to_be_bytes());
-            } else {
-                out.push(1);
-                out.extend_from_slice(&(run as u32).to_be_bytes());
-                out.push(b);
-            }
+            flush_literal(&mut out, &data[lit_start..i], cap);
+            push_run(&mut out, b, run, cap);
             i = j;
             lit_start = i;
         } else {
             i = j;
         }
     }
-    flush_literal(&mut out, &data[lit_start..]);
+    flush_literal(&mut out, &data[lit_start..], cap);
     out
 }
 
-fn flush_literal(out: &mut Vec<u8>, lit: &[u8]) {
-    if lit.is_empty() {
-        return;
+/// Emit a run of `run` copies of `b`, split into records of at most `cap`.
+fn push_run(out: &mut Vec<u8>, b: u8, mut run: usize, cap: usize) {
+    while run > 0 {
+        let n = run.min(cap);
+        if b == 0 {
+            out.push(0);
+            out.extend_from_slice(&(n as u32).to_be_bytes());
+        } else {
+            out.push(1);
+            out.extend_from_slice(&(n as u32).to_be_bytes());
+            out.push(b);
+        }
+        run -= n;
     }
-    out.push(2);
-    out.extend_from_slice(&(lit.len() as u32).to_be_bytes());
-    out.extend_from_slice(lit);
+}
+
+fn flush_literal(out: &mut Vec<u8>, lit: &[u8], cap: usize) {
+    for chunk in lit.chunks(cap) {
+        out.push(2);
+        out.extend_from_slice(&(chunk.len() as u32).to_be_bytes());
+        out.extend_from_slice(chunk);
+    }
 }
 
 /// Decompression errors.
@@ -305,6 +325,52 @@ mod tests {
         s.extend_from_slice(MAGIC);
         s.extend_from_slice(&(MAX_DECOMPRESS_LEN as u64 + 1).to_be_bytes());
         assert_eq!(decompress(&s), Err(CodecError::TooLarge));
+    }
+
+    #[test]
+    fn runs_past_the_record_cap_split_without_truncating() {
+        // A run longer than one record can hold must become several
+        // records whose lengths sum to the full run — the old `as u32`
+        // cast would have truncated it. No input buffer is needed:
+        // push_run takes the length directly, so the >4 GiB case is
+        // exercised without a >4 GiB allocation.
+        for &(run, b) in &[
+            (MAX_RECORD + 1, 0u8),
+            (2 * MAX_RECORD + 17, 0u8),
+            (MAX_RECORD + 5, 0xABu8),
+        ] {
+            let mut out = Vec::new();
+            push_run(&mut out, b, run, MAX_RECORD);
+            // Parse the records back and sum their declared lengths.
+            let mut total = 0u64;
+            let mut i = 0;
+            while i < out.len() {
+                let tag = out[i];
+                assert_eq!(tag, if b == 0 { 0 } else { 1 });
+                let len = be_u32(&out[i + 1..i + 5]).unwrap();
+                assert!(len > 0);
+                total += u64::from(len);
+                i += if b == 0 { 5 } else { 6 };
+            }
+            assert_eq!(i, out.len());
+            assert_eq!(total, run as u64, "run of {run} must survive splitting");
+        }
+    }
+
+    #[test]
+    fn split_records_round_trip() {
+        // Force splitting with a tiny record cap: every run and literal
+        // in this input exceeds the cap, so the stream is made entirely
+        // of split records — and the (unchanged) decoder must reassemble
+        // them byte-for-byte.
+        let mut data = vec![0u8; 100]; // zero run, split into ceil(100/7) records
+        data.extend(std::iter::repeat_n(0x5A, 40)); // byte run
+        data.extend((0..60u8).map(|i| i.wrapping_mul(37))); // literal, no runs
+        data.extend(vec![0u8; MIN_RUN]); // trailing run exactly at threshold
+        let c = compress_with_record_cap(&data, 7);
+        assert_eq!(decompress(&c).unwrap(), data);
+        // And the default cap produces the same bytes back too.
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
     }
 
     #[test]

@@ -175,6 +175,10 @@ pub struct FlushReport {
 struct PxTel {
     registry: Telemetry,
     inst: String,
+    /// Per-NFS-procedure call counters, registered on first use and then
+    /// recorded through shared cells: the dispatch path must not take the
+    /// registry lock (or build a `String` key) per request.
+    nfs_procs: parking_lot::Mutex<Vec<(u32, Counter)>>,
     calls: Counter,
     reads: Counter,
     writes: Counter,
@@ -227,8 +231,25 @@ impl PxTel {
             wb_drained: c("wb_drained"),
             verf_mismatches: c("verf_mismatches"),
             flush_retry_rounds: c("flush_retry_rounds"),
+            nfs_procs: parking_lot::Mutex::new(Vec::new()),
             inst,
             registry,
+        }
+    }
+
+    /// `gvfs/<inst>.proc.<name>` counter for an NFS procedure, cached.
+    fn nfs_proc_counter(&self, proc: u32) -> Counter {
+        let mut procs = self.nfs_procs.lock();
+        match procs.binary_search_by_key(&proc, |(p, _)| *p) {
+            Ok(i) => procs[i].1.clone(),
+            Err(i) => {
+                let c = self.registry.counter(
+                    "gvfs",
+                    format!("{}.proc.{}", self.inst, nfs3::proto::proc3_name(proc)),
+                );
+                procs.insert(i, (proc, c.clone()));
+                c
+            }
         }
     }
 }
@@ -242,7 +263,7 @@ impl PxTel {
 struct BlobReplyCache {
     // BTreeMap both ways: iteration feeds eviction, which must be
     // deterministic (lint: determinism).
-    entries: BTreeMap<Digest, (u64, Vec<u8>)>,
+    entries: BTreeMap<Digest, (u64, xdr::Bytes)>,
     /// Touch stamp → digest, oldest first.
     lru: BTreeMap<u64, Digest>,
     bytes: u64,
@@ -261,7 +282,7 @@ impl BlobReplyCache {
         }
     }
 
-    fn get(&mut self, d: &Digest) -> Option<Vec<u8>> {
+    fn get(&mut self, d: &Digest) -> Option<xdr::Bytes> {
         self.stamp += 1;
         let stamp = self.stamp;
         let e = self.entries.get_mut(d)?;
@@ -271,7 +292,7 @@ impl BlobReplyCache {
         Some(e.1.clone())
     }
 
-    fn insert(&mut self, d: Digest, reply: Vec<u8>) {
+    fn insert(&mut self, d: Digest, reply: xdr::Bytes) {
         let len = reply.len() as u64;
         if len > self.cap {
             return;
@@ -319,10 +340,10 @@ struct ProxyState {
     inflight_fetch: HashMap<FileKey, simnet::Signal>,
     /// Cached file-channel FETCH replies (results bytes), for second-level
     /// proxies serving repeated clonings on a LAN.
-    chan_replies: HashMap<FileKey, Vec<u8>>,
+    chan_replies: HashMap<FileKey, xdr::Bytes>,
     /// Cached FETCH_CHUNK replies keyed by (file, offset, count) — the
     /// chunked analogue of `chan_replies`.
-    chan_chunk_replies: HashMap<(FileKey, u64, u32), Vec<u8>>,
+    chan_chunk_replies: HashMap<(FileKey, u64, u32), xdr::Bytes>,
     /// Per-file sequential-miss detector: (last missed block, run length).
     streaks: HashMap<FileKey, (u64, u32)>,
     /// Blocks a prefetch worker is currently fetching, with a signal set
@@ -360,7 +381,7 @@ struct ProxyState {
     /// Cached `FETCH_RECIPE` replies keyed by (file, chunk size) — the
     /// recipe analogue of `chan_chunk_replies` for second-level
     /// proxies. Bounded by [`RECIPE_REPLY_CAP`].
-    chan_recipe_replies: HashMap<(FileKey, u32), Vec<u8>>,
+    chan_recipe_replies: HashMap<(FileKey, u32), xdr::Bytes>,
     /// Cached `FETCH_BLOBS` replies keyed by *content digest*: eight
     /// distinct images sharing chunks dedupe on a second-level LAN
     /// proxy even though their file handles differ. Entries are
@@ -653,11 +674,11 @@ impl Proxy {
         prog: u32,
         vers: u32,
         proc: u32,
-        args: Vec<u8>,
+        args: xdr::Bytes,
     ) -> RpcMessage {
         self.tel.forwarded.inc();
         let client = self.upstream.with_cred(cred.clone());
-        match client.call_dl(env, prog, vers, proc, args) {
+        match client.call_dl(env, prog, vers, proc, &args) {
             Ok(results) => RpcMessage::success(xid, results),
             Err(e) => Self::error_reply(xid, e),
         }
@@ -784,7 +805,7 @@ impl Proxy {
         env: &Env,
         xid: u32,
         cred: &oncrpc::OpaqueAuth,
-        args: Vec<u8>,
+        args: xdr::Bytes,
     ) -> RpcMessage {
         let parsed: Result<ReadArgs, _> = xdr::from_bytes(&args);
         let a = match parsed {
@@ -1317,7 +1338,7 @@ impl Proxy {
         env: &Env,
         xid: u32,
         cred: &oncrpc::OpaqueAuth,
-        args: Vec<u8>,
+        args: xdr::Bytes,
     ) -> RpcMessage {
         let parsed: Result<WriteArgs, _> = xdr::from_bytes(&args);
         let a = match parsed {
@@ -1388,11 +1409,7 @@ impl Proxy {
                                 // don't fabricate a zero base — hand the
                                 // original WRITE upstream untouched.
                                 self.tel.recovered_errors.inc();
-                                self.invalidate_acked_range(
-                                    key,
-                                    a.offset,
-                                    a.data.len() as u64,
-                                );
+                                self.invalidate_acked_range(key, a.offset, a.data.len() as u64);
                                 return self.forward(
                                     env,
                                     xid,
@@ -1450,7 +1467,7 @@ impl Proxy {
         env: &Env,
         xid: u32,
         cred: &oncrpc::OpaqueAuth,
-        args: Vec<u8>,
+        args: xdr::Bytes,
     ) -> RpcMessage {
         let fh: Result<Fh3, _> = xdr::from_bytes(&args);
         let reply = self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::GETATTR, args);
@@ -1498,7 +1515,7 @@ impl Proxy {
                 Fattr3(attr).encode(&mut enc);
                 Some(enc.into_bytes())
             })();
-            let results = patched.unwrap_or(results);
+            let results = patched.map(xdr::Bytes::from).unwrap_or(results);
             RpcMessage::Reply {
                 xid,
                 body: ReplyBody::Accepted {
@@ -1517,7 +1534,7 @@ impl Proxy {
         env: &Env,
         xid: u32,
         cred: &oncrpc::OpaqueAuth,
-        args: Vec<u8>,
+        args: xdr::Bytes,
     ) -> RpcMessage {
         if self.cfg.write_policy == WritePolicy::WriteBack && self.block_cache.is_some() {
             // Data is stable on the proxy's local cache disk; the real
@@ -1536,7 +1553,7 @@ impl Proxy {
         env: &Env,
         xid: u32,
         cred: &oncrpc::OpaqueAuth,
-        args: Vec<u8>,
+        args: xdr::Bytes,
     ) -> RpcMessage {
         let parsed: Result<DirOpArgs3, _> = xdr::from_bytes(&args);
         let reply = self.forward(env, xid, cred, NFS_PROGRAM, NFS_V3, proc3::LOOKUP, args);
@@ -2029,7 +2046,7 @@ impl Proxy {
         xid: u32,
         cred: &oncrpc::OpaqueAuth,
         proc: u32,
-        args: Vec<u8>,
+        args: xdr::Bytes,
     ) -> RpcMessage {
         if proc == chanproc::FETCH_CHUNK {
             return self.handle_channel_chunk(env, xid, cred, args);
@@ -2089,7 +2106,7 @@ impl Proxy {
         env: &Env,
         xid: u32,
         cred: &oncrpc::OpaqueAuth,
-        args: Vec<u8>,
+        args: xdr::Bytes,
     ) -> RpcMessage {
         let key = {
             let mut dec = Decoder::new(&args);
@@ -2143,7 +2160,7 @@ impl Proxy {
         env: &Env,
         xid: u32,
         cred: &oncrpc::OpaqueAuth,
-        args: Vec<u8>,
+        args: xdr::Bytes,
     ) -> RpcMessage {
         if self.cas.is_none() {
             return self.forward(
@@ -2246,7 +2263,7 @@ impl Proxy {
         env: &Env,
         xid: u32,
         cred: &oncrpc::OpaqueAuth,
-        args: Vec<u8>,
+        args: xdr::Bytes,
     ) -> RpcMessage {
         if self.cas.is_none() {
             return self.forward(
@@ -2396,15 +2413,18 @@ fn parse_read_results(results: &[u8]) -> Option<(Vec<u8>, bool)> {
 }
 
 impl RpcHandler for Proxy {
-    fn handle(&self, env: &Env, request: &[u8]) -> Vec<u8> {
-        let msg: RpcMessage = match xdr::from_bytes(request) {
+    fn handle(&self, env: &Env, request: &xdr::Bytes) -> xdr::Bytes {
+        let msg = match RpcMessage::decode_shared(request) {
             Ok(m) => m,
-            Err(_) => return xdr::to_bytes(&RpcMessage::accept_error(0, AcceptStat::GarbageArgs)),
+            Err(_) => {
+                return xdr::to_bytes(&RpcMessage::accept_error(0, AcceptStat::GarbageArgs)).into()
+            }
         };
         let (header, args) = match msg {
             RpcMessage::Call { header, args } => (header, args),
             RpcMessage::Reply { xid, .. } => {
                 return xdr::to_bytes(&RpcMessage::accept_error(xid, AcceptStat::GarbageArgs))
+                    .into()
             }
         };
         let CallHeader {
@@ -2417,13 +2437,7 @@ impl RpcHandler for Proxy {
         } = header;
         self.tel.calls.inc();
         if prog == NFS_PROGRAM {
-            self.tel
-                .registry
-                .counter(
-                    "gvfs",
-                    format!("{}.proc.{}", self.tel.inst, nfs3::proto::proc3_name(proc)),
-                )
-                .inc();
+            self.tel.nfs_proc_counter(proc).inc();
         }
         env.sleep(self.cfg.per_op_cpu);
 
@@ -2434,9 +2448,11 @@ impl RpcHandler for Proxy {
                 Ok(mapped) => mapped,
                 Err(ProgramError::AuthError(code)) => {
                     return xdr::to_bytes(&RpcMessage::denied(xid, RejectStat::AuthError(code)))
+                        .into()
                 }
                 Err(_) => {
                     return xdr::to_bytes(&RpcMessage::accept_error(xid, AcceptStat::SystemErr))
+                        .into()
                 }
             },
             None => cred,
@@ -2457,6 +2473,6 @@ impl RpcHandler for Proxy {
                 _ => self.forward(env, xid, &cred, prog, vers, proc, args),
             }
         };
-        xdr::to_bytes(&reply)
+        xdr::to_bytes(&reply).into()
     }
 }

@@ -736,9 +736,10 @@ fn blob_cache_rejects_payload_digest_mismatch() {
                 CHANNEL_PROGRAM,
                 CHANNEL_V1,
                 chanproc::FETCH_BLOBS,
-                enc.into_bytes(),
+                &enc.into_bytes(),
             )
             .unwrap()
+            .to_vec()
         };
         // Wrong digest: the origin happily serves the range, but the
         // proxy must not cache the reply under it — both requests

@@ -1,0 +1,129 @@
+//! Golden-vector suite pinning the GZRL codec stream format.
+//!
+//! The fixture under `tests/golden/codec.hex` was generated from
+//! `gvfs::codec::compress` as it stood before the zero-copy refactor and
+//! the u32-boundary fix; every input here is far below the 4 GiB record
+//! boundary, so the fixed encoder must keep producing identical streams.
+//! Regenerate (only on an intentional format change) with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p gvfs --test golden_codec
+//! ```
+
+// Test-harness code: clippy's allow-unwrap-in-tests only covers
+// #[test]-marked fns, not integration-test helpers.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gvfs::codec::{compress, decompress};
+
+const FIXTURE: &str = include_str!("golden/codec.hex");
+
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn prng_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut s = seed;
+    while out.len() < len {
+        s = splitmix64(s);
+        out.extend_from_slice(&s.to_be_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Inputs the fixture pins: every record shape the format has (zero runs,
+/// byte runs, literals), run lengths straddling the MIN_RUN threshold, and
+/// a memory-image-like mix. Append-only.
+fn golden_inputs() -> Vec<Vec<u8>> {
+    let mut inputs: Vec<Vec<u8>> = vec![
+        Vec::new(),
+        b"hello world".to_vec(),
+        (0..=255u8).collect(),
+        vec![0u8; 15], // zero run just below MIN_RUN: stays literal
+        vec![0u8; 16], // exactly MIN_RUN: becomes a zero-run record
+        vec![0u8; 4096],
+        vec![0xABu8; 15],
+        vec![0xABu8; 16],
+        vec![0xABu8; 4096],
+    ];
+    // Memory-image-like: zero pages interleaved with sparse content.
+    let mut img = vec![0u8; 16_384];
+    for i in 0..16 {
+        let off = i * 1024;
+        for j in 0..(64 + i * 7) {
+            img[off + j] = ((i * 31 + j * 7) % 251) as u8;
+        }
+    }
+    inputs.push(img);
+    // Runs embedded mid-literal, tail literal after a run.
+    let mut mixed = b"prefix-".to_vec();
+    mixed.extend_from_slice(&[0x5A; 100]);
+    mixed.extend_from_slice(b"-mid-");
+    mixed.extend_from_slice(&[0x00; 33]);
+    mixed.extend_from_slice(b"-tail");
+    inputs.push(mixed);
+    // Incompressible PRNG data (no 16-byte runs in practice).
+    inputs.push(prng_bytes(0x5EED, 2048));
+    inputs
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn from_hex(line: &str) -> Vec<u8> {
+    (0..line.len())
+        .step_by(2)
+        .map(|k| u8::from_str_radix(&line[k..k + 2], 16).unwrap())
+        .collect()
+}
+
+fn render_fixture() -> String {
+    let mut out = String::new();
+    for input in golden_inputs() {
+        out.push_str(&to_hex(&compress(&input)));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn golden_streams_are_byte_identical() {
+    let rendered = render_fixture();
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/codec.hex");
+        std::fs::write(path, &rendered).unwrap();
+        return;
+    }
+    let expected: Vec<&str> = FIXTURE.lines().collect();
+    let actual: Vec<String> = rendered.lines().map(str::to_owned).collect();
+    assert_eq!(expected.len(), actual.len(), "golden stream count drifted");
+    for (i, (exp, act)) in expected.iter().zip(actual.iter()).enumerate() {
+        assert_eq!(
+            *exp, act,
+            "compressed stream of golden input #{i} drifted from the pinned format"
+        );
+    }
+}
+
+#[test]
+fn golden_streams_decompress_to_original_inputs() {
+    let inputs = golden_inputs();
+    for (i, line) in FIXTURE.lines().enumerate() {
+        let decoded = decompress(&from_hex(line))
+            .unwrap_or_else(|e| panic!("golden stream #{i} failed to decompress: {e:?}"));
+        assert_eq!(
+            decoded, inputs[i],
+            "golden stream #{i} decompressed to different bytes"
+        );
+    }
+}

@@ -48,7 +48,7 @@ fn run_flush(flush_window: usize) -> (BTreeSet<WriteRec>, FlushReport, Vec<u8>) 
                 }
             }
         }
-        inner.handle(env, req)
+        inner.handle(env, &req.into()).to_vec()
     });
 
     let up = Link::from_mbps(&h, "wan-up", 6.0, SimDuration::from_millis(17));

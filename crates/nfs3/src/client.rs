@@ -66,7 +66,7 @@ impl Nfs3Client {
         &self.rpc
     }
 
-    fn call(&self, env: &Env, proc: u32, args: Vec<u8>) -> NfsResult<Vec<u8>> {
+    fn call(&self, env: &Env, proc: u32, args: &[u8]) -> NfsResult<xdr::Bytes> {
         // Deadline-aware entry point: retransmits under the stub's
         // RetryPolicy (if any); identical to plain call() without one.
         Ok(self.rpc.call_dl(env, NFS_PROGRAM, NFS_V3, proc, args)?)
@@ -81,7 +81,7 @@ impl Nfs3Client {
         let args = xdr::to_bytes(&export.to_string());
         let res = self
             .rpc
-            .call_dl(env, MOUNT_PROGRAM, MOUNT_V3, mountproc::MNT, args)?;
+            .call_dl(env, MOUNT_PROGRAM, MOUNT_V3, mountproc::MNT, &args)?;
         let mut dec = Decoder::new(&res);
         let status = dec.get_u32()?;
         if status != 0 {
@@ -95,13 +95,13 @@ impl Nfs3Client {
 
     /// NULL ping (useful for RTT measurement).
     pub fn null(&self, env: &Env) -> NfsResult<()> {
-        self.call(env, proc3::NULL, Vec::new())?;
+        self.call(env, proc3::NULL, &[])?;
         Ok(())
     }
 
     /// GETATTR.
     pub fn getattr(&self, env: &Env, h: Handle) -> NfsResult<Attr> {
-        let res = self.call(env, proc3::GETATTR, xdr::to_bytes(&Fh3(h)))?;
+        let res = self.call(env, proc3::GETATTR, &xdr::to_bytes(&Fh3(h)))?;
         let mut dec = Decoder::new(&res);
         match Self::status_of(&mut dec)? {
             Status::Ok => Ok(Fattr3::decode(&mut dec)?.0),
@@ -121,7 +121,7 @@ impl Nfs3Client {
             file: Fh3(h),
             attrs: Sattr3 { mode, size },
         };
-        let res = self.call(env, proc3::SETATTR, xdr::to_bytes(&args))?;
+        let res = self.call(env, proc3::SETATTR, &xdr::to_bytes(&args))?;
         let mut dec = Decoder::new(&res);
         match Self::status_of(&mut dec)? {
             Status::Ok => Ok(()),
@@ -135,7 +135,7 @@ impl Nfs3Client {
             dir: Fh3(dir),
             name: name.to_string(),
         };
-        let res = self.call(env, proc3::LOOKUP, xdr::to_bytes(&args))?;
+        let res = self.call(env, proc3::LOOKUP, &xdr::to_bytes(&args))?;
         let mut dec = Decoder::new(&res);
         match Self::status_of(&mut dec)? {
             Status::Ok => {
@@ -149,7 +149,7 @@ impl Nfs3Client {
 
     /// READLINK.
     pub fn readlink(&self, env: &Env, h: Handle) -> NfsResult<String> {
-        let res = self.call(env, proc3::READLINK, xdr::to_bytes(&Fh3(h)))?;
+        let res = self.call(env, proc3::READLINK, &xdr::to_bytes(&Fh3(h)))?;
         let mut dec = Decoder::new(&res);
         match Self::status_of(&mut dec)? {
             Status::Ok => {
@@ -167,7 +167,7 @@ impl Nfs3Client {
             offset,
             count,
         };
-        let res = self.call(env, proc3::READ, xdr::to_bytes(&args))?;
+        let res = self.call(env, proc3::READ, &xdr::to_bytes(&args))?;
         let mut dec = Decoder::new(&res);
         match Self::status_of(&mut dec)? {
             Status::Ok => {
@@ -198,7 +198,7 @@ impl Nfs3Client {
             stable,
             data,
         };
-        let res = self.call(env, proc3::WRITE, xdr::to_bytes(&args))?;
+        let res = self.call(env, proc3::WRITE, &xdr::to_bytes(&args))?;
         let mut dec = Decoder::new(&res);
         match Self::status_of(&mut dec)? {
             Status::Ok => {
@@ -217,7 +217,7 @@ impl Nfs3Client {
         }
     }
 
-    fn create_like(&self, env: &Env, proc: u32, args: Vec<u8>) -> NfsResult<Handle> {
+    fn create_like(&self, env: &Env, proc: u32, args: &[u8]) -> NfsResult<Handle> {
         let res = self.call(env, proc, args)?;
         let mut dec = Decoder::new(&res);
         match Self::status_of(&mut dec)? {
@@ -245,7 +245,7 @@ impl Nfs3Client {
                 size: None,
             },
         };
-        self.create_like(env, proc3::CREATE, xdr::to_bytes(&args))
+        self.create_like(env, proc3::CREATE, &xdr::to_bytes(&args))
     }
 
     /// MKDIR.
@@ -260,7 +260,7 @@ impl Nfs3Client {
                 size: None,
             },
         };
-        self.create_like(env, proc3::MKDIR, xdr::to_bytes(&args))
+        self.create_like(env, proc3::MKDIR, &xdr::to_bytes(&args))
     }
 
     /// SYMLINK.
@@ -273,7 +273,7 @@ impl Nfs3Client {
             attrs: Sattr3::default(),
             target: target.to_string(),
         };
-        self.create_like(env, proc3::SYMLINK, xdr::to_bytes(&args))
+        self.create_like(env, proc3::SYMLINK, &xdr::to_bytes(&args))
     }
 
     fn remove_like(&self, env: &Env, proc: u32, dir: Handle, name: &str) -> NfsResult<()> {
@@ -281,7 +281,7 @@ impl Nfs3Client {
             dir: Fh3(dir),
             name: name.to_string(),
         };
-        let res = self.call(env, proc, xdr::to_bytes(&args))?;
+        let res = self.call(env, proc, &xdr::to_bytes(&args))?;
         let mut dec = Decoder::new(&res);
         match Self::status_of(&mut dec)? {
             Status::Ok => Ok(()),
@@ -318,7 +318,7 @@ impl Nfs3Client {
                 name: to_name.to_string(),
             },
         };
-        let res = self.call(env, proc3::RENAME, xdr::to_bytes(&args))?;
+        let res = self.call(env, proc3::RENAME, &xdr::to_bytes(&args))?;
         let mut dec = Decoder::new(&res);
         match Self::status_of(&mut dec)? {
             Status::Ok => Ok(()),
@@ -341,7 +341,7 @@ impl Nfs3Client {
                 },
                 count: 8192,
             };
-            let res = self.call(env, proc3::READDIR, xdr::to_bytes(&args))?;
+            let res = self.call(env, proc3::READDIR, &xdr::to_bytes(&args))?;
             let mut dec = Decoder::new(&res);
             match Self::status_of(&mut dec)? {
                 Status::Ok => {
@@ -365,7 +365,7 @@ impl Nfs3Client {
 
     /// FSINFO.
     pub fn fsinfo(&self, env: &Env, root: Handle) -> NfsResult<FsInfo> {
-        let res = self.call(env, proc3::FSINFO, xdr::to_bytes(&Fh3(root)))?;
+        let res = self.call(env, proc3::FSINFO, &xdr::to_bytes(&Fh3(root)))?;
         let mut dec = Decoder::new(&res);
         match Self::status_of(&mut dec)? {
             Status::Ok => {
@@ -396,7 +396,7 @@ impl Nfs3Client {
             offset: 0,
             count: 0,
         };
-        let res = self.call(env, proc3::COMMIT, xdr::to_bytes(&args))?;
+        let res = self.call(env, proc3::COMMIT, &xdr::to_bytes(&args))?;
         let mut dec = Decoder::new(&res);
         match Self::status_of(&mut dec)? {
             Status::Ok => {

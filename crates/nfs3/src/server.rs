@@ -138,6 +138,14 @@ fn is_nonidempotent(proc: u32) -> bool {
 struct SrvTel {
     registry: Telemetry,
     inst: String,
+    /// Per-procedure call counters, cached after first registration so the
+    /// dispatch path never takes the registry lock (or formats a `String`
+    /// key) per request.
+    procs: Mutex<Vec<(u32, Counter)>>,
+    /// Registered on first DRC hit (not at construction): snapshots list
+    /// every registered metric, so an eager `drc.hits: 0` would add a
+    /// line to reports that the lazy resolution never produced.
+    drc_hits: std::sync::OnceLock<Counter>,
     reads: Counter,
     writes: Counter,
     read_bytes: Counter,
@@ -159,8 +167,25 @@ impl SrvTel {
             cache_hits: c("buffer_cache.hits"),
             cache_misses: c("buffer_cache.misses"),
             calls: c("calls"),
+            drc_hits: std::sync::OnceLock::new(),
+            procs: Mutex::new(Vec::new()),
             registry: registry.clone(),
             inst,
+        }
+    }
+
+    /// `nfs3/<inst>.proc.<name>` counter for a procedure, cached.
+    fn proc_counter(&self, proc: u32) -> Counter {
+        let mut procs = self.procs.lock();
+        match procs.binary_search_by_key(&proc, |(p, _)| *p) {
+            Ok(i) => procs[i].1.clone(),
+            Err(i) => {
+                let c = self
+                    .registry
+                    .counter("nfs3", format!("{}.proc.{}", self.inst, proc3_name(proc)));
+                procs.insert(i, (proc, c.clone()));
+                c
+            }
         }
     }
 }
@@ -704,13 +729,7 @@ impl RpcProgram for Nfs3Server {
     ) -> Result<Vec<u8>, ProgramError> {
         self.check_auth(cred, proc)?;
         self.tel.calls.inc();
-        self.tel
-            .registry
-            .counter(
-                "nfs3",
-                format!("{}.proc.{}", self.tel.inst, proc3_name(proc)),
-            )
-            .inc();
+        self.tel.proc_counter(proc).inc();
         env.sleep(self.cfg.op_cpu);
         match proc {
             proc3::NULL => Ok(Vec::new()),
@@ -759,8 +778,12 @@ impl RpcProgram for Nfs3Server {
             // A retransmit of a call we already executed: replay the
             // stored reply. The operation's side effect happens once.
             self.tel
-                .registry
-                .counter("nfs3", format!("{}.drc.hits", self.tel.inst))
+                .drc_hits
+                .get_or_init(|| {
+                    self.tel
+                        .registry
+                        .counter("nfs3", format!("{}.drc.hits", self.tel.inst))
+                })
                 .inc();
             env.sleep(self.cfg.op_cpu);
             return Ok(reply);

@@ -2,8 +2,11 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::sync::OnceLock;
 
-use simnet::{splitmix64, Env, SimDuration};
+use parking_lot::Mutex;
+use simnet::{splitmix64, Counter, Env, Gauge, Histogram, SimDuration, Telemetry};
+use xdr::Bytes;
 
 use crate::auth::OpaqueAuth;
 use crate::msg::{AcceptStat, CallHeader, RejectStat, ReplyBody, RpcMessage};
@@ -109,9 +112,90 @@ impl RetryPolicy {
 /// Outcome of decoding one reply against the xid we are waiting for.
 enum ReplyMatch {
     /// The reply matches our call: the final result.
-    Done(Result<Vec<u8>, RpcError>),
+    Done(Result<Bytes, RpcError>),
     /// A stray reply for some other xid: discard and keep waiting.
     Stale,
+}
+
+/// Telemetry handles for one program, resolved against the registry once
+/// and then recorded through lock-free shared cells. Metric names are
+/// exactly the ones the per-call resolution used to produce, so snapshots
+/// and reports are unchanged.
+struct ProgTel {
+    prog: u32,
+    outstanding: Gauge,
+    calls: Counter,
+    // Failure counters register on first *increment* (OnceLock), not at
+    // construction: snapshots list every registered metric, and a
+    // `client.X.errors: 0` line that the lazy per-event resolution never
+    // produced would change committed reports.
+    errors: OnceLock<Counter>,
+    stale_replies: OnceLock<Counter>,
+    timeouts: OnceLock<Counter>,
+    retransmits: OnceLock<Counter>,
+    /// Per-procedure latency histograms; procedure numbers are tiny and
+    /// few, so a sorted vec beats a map.
+    procs: Mutex<Vec<(u32, Histogram)>>,
+}
+
+impl ProgTel {
+    fn register(tel: &Telemetry, prog: u32) -> ProgTel {
+        let label = prog_label(prog);
+        ProgTel {
+            prog,
+            outstanding: tel.gauge("rpc", format!("client.{label}.outstanding")),
+            calls: tel.counter("rpc", format!("client.{label}.calls")),
+            errors: OnceLock::new(),
+            stale_replies: OnceLock::new(),
+            timeouts: OnceLock::new(),
+            retransmits: OnceLock::new(),
+            procs: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn rare(&self, cell: &OnceLock<Counter>, tel: &Telemetry, name: &str) -> Counter {
+        cell.get_or_init(|| {
+            tel.counter("rpc", format!("client.{}.{}", prog_label(self.prog), name))
+        })
+        .clone()
+    }
+
+    /// The latency histogram for `proc`, registering it on first use.
+    fn proc_hist(&self, tel: &Telemetry, proc: u32) -> Histogram {
+        let mut procs = self.procs.lock();
+        match procs.binary_search_by_key(&proc, |(p, _)| *p) {
+            Ok(i) => procs[i].1.clone(),
+            Err(i) => {
+                let label = prog_label(self.prog);
+                let h = tel.histogram("rpc", format!("client.{label}.proc{proc}"));
+                procs.insert(i, (proc, h.clone()));
+                h
+            }
+        }
+    }
+}
+
+/// Per-client cache of [`ProgTel`] handles, shared across the stubs that
+/// [`RpcClient::with_cred`]/[`with_policy`](RpcClient::with_policy)
+/// derive, so a proxy's per-user stubs all record through one set of
+/// cells. One client talks to at most a handful of programs.
+#[derive(Default)]
+struct TelCache {
+    progs: Mutex<Vec<Arc<ProgTel>>>,
+}
+
+impl TelCache {
+    fn prog(&self, tel: &Telemetry, prog: u32) -> Arc<ProgTel> {
+        let mut progs = self.progs.lock();
+        match progs.binary_search_by_key(&prog, |pt| pt.prog) {
+            Ok(i) => progs[i].clone(),
+            Err(i) => {
+                let pt = Arc::new(ProgTel::register(tel, prog));
+                progs.insert(i, pt.clone());
+                pt
+            }
+        }
+    }
 }
 
 /// A client stub bound to one transport channel and one credential.
@@ -123,6 +207,7 @@ pub struct RpcClient {
     cred: OpaqueAuth,
     next_xid: Arc<AtomicU32>,
     policy: Option<RetryPolicy>,
+    tel: Arc<TelCache>,
 }
 
 impl RpcClient {
@@ -133,6 +218,7 @@ impl RpcClient {
             cred,
             next_xid: Arc::new(AtomicU32::new(1)),
             policy: None,
+            tel: Arc::new(TelCache::default()),
         }
     }
 
@@ -144,6 +230,7 @@ impl RpcClient {
             cred,
             next_xid: self.next_xid.clone(),
             policy: self.policy,
+            tel: self.tel.clone(),
         }
     }
 
@@ -155,6 +242,7 @@ impl RpcClient {
             cred: self.cred.clone(),
             next_xid: self.next_xid.clone(),
             policy: Some(policy),
+            tel: self.tel.clone(),
         }
     }
 
@@ -186,11 +274,10 @@ impl RpcClient {
         prog: u32,
         vers: u32,
         proc: u32,
-        args: Vec<u8>,
-    ) -> Result<Vec<u8>, RpcError> {
-        self.instrumented(env, prog, proc, |c| {
-            c.call_inner(env, prog, vers, proc, args)
-        })
+        args: &[u8],
+    ) -> Result<Bytes, RpcError> {
+        let target = CallTarget { prog, vers, proc };
+        self.instrumented(env, prog, proc, |c, pt| c.call_inner(env, pt, target, args))
     }
 
     /// Deadline-aware variant of [`RpcClient::call`]: when a
@@ -207,50 +294,50 @@ impl RpcClient {
         prog: u32,
         vers: u32,
         proc: u32,
-        args: Vec<u8>,
-    ) -> Result<Vec<u8>, RpcError> {
-        self.instrumented(env, prog, proc, |c| match c.policy {
-            Some(policy) => c.call_retry(env, prog, vers, proc, args, policy),
-            None => c.call_inner(env, prog, vers, proc, args),
+        args: &[u8],
+    ) -> Result<Bytes, RpcError> {
+        let target = CallTarget { prog, vers, proc };
+        self.instrumented(env, prog, proc, |c, pt| match c.policy {
+            Some(policy) => c.call_retry(env, pt, target, args, policy),
+            None => c.call_inner(env, pt, target, args),
         })
     }
 
     /// Shared telemetry wrapper: per-procedure latency histogram,
-    /// call/error counters, outstanding gauge.
+    /// call/error counters, outstanding gauge — all recorded through
+    /// handles cached in [`TelCache`]; after a program's first call the
+    /// global registry is never locked again on this path.
     fn instrumented(
         &self,
         env: &Env,
         prog: u32,
         proc: u32,
-        body: impl FnOnce(&Self) -> Result<Vec<u8>, RpcError>,
-    ) -> Result<Vec<u8>, RpcError> {
+        body: impl FnOnce(&Self, &ProgTel) -> Result<Bytes, RpcError>,
+    ) -> Result<Bytes, RpcError> {
         let t0 = env.now();
-        let tel = env.telemetry();
-        let label = prog_label(prog);
-        let outstanding = tel.gauge("rpc", format!("client.{label}.outstanding"));
-        outstanding.inc();
-        let result = body(self);
-        outstanding.dec();
-        tel.histogram("rpc", format!("client.{label}.proc{proc}"))
-            .record(env.now() - t0);
-        tel.counter("rpc", format!("client.{label}.calls")).inc();
+        let pt = self.tel.prog(env.telemetry(), prog);
+        pt.outstanding.inc();
+        let result = body(self, &pt);
+        pt.outstanding.dec();
+        pt.proc_hist(env.telemetry(), proc).record(env.now() - t0);
+        pt.calls.inc();
         if result.is_err() {
-            tel.counter("rpc", format!("client.{label}.errors")).inc();
+            pt.rare(&pt.errors, env.telemetry(), "errors").inc();
         }
         result
     }
 
-    fn encode_call(&self, xid: u32, prog: u32, vers: u32, proc: u32, args: Vec<u8>) -> Vec<u8> {
+    fn encode_call(&self, xid: u32, target: CallTarget, args: &[u8]) -> Vec<u8> {
         let msg = RpcMessage::Call {
             header: CallHeader {
                 xid,
-                prog,
-                vers,
-                proc,
+                prog: target.prog,
+                vers: target.vers,
+                proc: target.proc,
                 cred: self.cred.clone(),
                 verf: OpaqueAuth::none(),
             },
-            args,
+            args: args.into(),
         };
         xdr::to_bytes(&msg)
     }
@@ -258,17 +345,15 @@ impl RpcClient {
     /// Decode one reply against the xid we sent. A reply bearing some
     /// other xid is a stray (stale retransmit answer, reordered delivery)
     /// and must be discarded — not treated as fatal for this call.
-    fn match_reply(&self, env: &Env, prog: u32, xid: u32, reply_bytes: &[u8]) -> ReplyMatch {
-        let reply: RpcMessage = match xdr::from_bytes(reply_bytes) {
+    fn match_reply(&self, env: &Env, pt: &ProgTel, xid: u32, reply_bytes: &Bytes) -> ReplyMatch {
+        let reply = match RpcMessage::decode_shared(reply_bytes) {
             Ok(r) => r,
             Err(e) => return ReplyMatch::Done(Err(RpcError::Decode(e))),
         };
         match reply {
             RpcMessage::Reply { xid: rxid, body } => {
                 if rxid != xid {
-                    let label = prog_label(prog);
-                    env.telemetry()
-                        .counter("rpc", format!("client.{label}.stale_replies"))
+                    pt.rare(&pt.stale_replies, env.telemetry(), "stale_replies")
                         .inc();
                     return ReplyMatch::Stale;
                 }
@@ -291,17 +376,16 @@ impl RpcClient {
     fn call_inner(
         &self,
         env: &Env,
-        prog: u32,
-        vers: u32,
-        proc: u32,
-        args: Vec<u8>,
-    ) -> Result<Vec<u8>, RpcError> {
+        pt: &ProgTel,
+        target: CallTarget,
+        args: &[u8],
+    ) -> Result<Bytes, RpcError> {
         let xid = self.next_xid.fetch_add(1, Ordering::Relaxed);
-        let request = self.encode_call(xid, prog, vers, proc, args);
+        let request = self.encode_call(xid, target, args);
         let pending = self.chan.send_request(env, request);
         loop {
             let reply_bytes = pending.recv(env).ok_or(RpcError::Transport)?;
-            match self.match_reply(env, prog, xid, &reply_bytes) {
+            match self.match_reply(env, pt, xid, &reply_bytes) {
                 ReplyMatch::Done(result) => return result,
                 ReplyMatch::Stale => continue,
             }
@@ -311,40 +395,49 @@ impl RpcClient {
     fn call_retry(
         &self,
         env: &Env,
-        prog: u32,
-        vers: u32,
-        proc: u32,
-        args: Vec<u8>,
+        pt: &ProgTel,
+        target: CallTarget,
+        args: &[u8],
         policy: RetryPolicy,
-    ) -> Result<Vec<u8>, RpcError> {
-        let tel = env.telemetry();
-        let label = prog_label(prog);
+    ) -> Result<Bytes, RpcError> {
         // One xid for the whole logical call: retransmits must be
         // recognisable as duplicates by the server's DRC.
         let xid = self.next_xid.fetch_add(1, Ordering::Relaxed);
-        let request = self.encode_call(xid, prog, vers, proc, args);
+        // The encoded request is shared, not re-encoded, across attempts:
+        // every retransmission sends a view of the same buffer, so it is
+        // byte-identical by construction.
+        let request: Bytes = self.encode_call(xid, target, args).into();
         let attempts = policy.max_attempts.max(1);
         for attempt in 0..attempts {
             if attempt > 0 {
-                tel.counter("rpc", format!("client.{label}.retransmits"))
+                pt.rare(&pt.retransmits, env.telemetry(), "retransmits")
                     .inc();
             }
             let timeout = policy.base_timeout(attempt);
             let deadline = env.now() + timeout + policy.jitter(xid, attempt, timeout);
             let pending = self.chan.send_request(env, request.clone());
             while let Some(reply_bytes) = pending.recv_deadline(env, deadline) {
-                match self.match_reply(env, prog, xid, &reply_bytes) {
+                match self.match_reply(env, pt, xid, &reply_bytes) {
                     ReplyMatch::Done(result) => return result,
                     ReplyMatch::Stale => continue,
                 }
             }
-            tel.counter("rpc", format!("client.{label}.timeouts")).inc();
+            pt.rare(&pt.timeouts, env.telemetry(), "timeouts").inc();
             // Abandoning `pending` here drops its private reply queue, so
             // a late reply to this attempt is discarded on arrival rather
             // than confusing a future call.
         }
         Err(RpcError::TimedOut)
     }
+}
+
+/// The `(prog, vers, proc)` triple a call is addressed to, bundled so
+/// the internal call paths pass one value instead of three.
+#[derive(Clone, Copy)]
+struct CallTarget {
+    prog: u32,
+    vers: u32,
+    proc: u32,
 }
 
 /// Human-readable label for well-known program numbers (used in metric
@@ -420,7 +513,7 @@ mod tests {
         let client =
             client_over(&sim, fast_link(&h, "up"), handler).with_policy(test_policy(1, 4, 4));
         sim.spawn("c", move |env| {
-            let res = client.call_dl(&env, PROG, 1, 1, Vec::new()).unwrap();
+            let res = client.call_dl(&env, PROG, 1, 1, &[]).unwrap();
             let v: u32 = xdr::from_bytes(&res).unwrap();
             assert_eq!(v, 5);
         });
@@ -455,7 +548,7 @@ mod tests {
         });
         let client = client_over(&sim, up, handler).with_policy(test_policy(1, 8, 8));
         sim.spawn("c", move |env| {
-            let res = client.call_dl(&env, PROG, 1, 1, Vec::new()).unwrap();
+            let res = client.call_dl(&env, PROG, 1, 1, &[]).unwrap();
             let v: u32 = xdr::from_bytes(&res).unwrap();
             assert_eq!(v, 9);
             // Deadlines 1,2,4,8 → attempts at t=0,1,3,7; the t=7 attempt
@@ -482,7 +575,7 @@ mod tests {
         });
         let client = client_over(&sim, up, handler).with_policy(test_policy(1, 4, 3));
         sim.spawn("c", move |env| {
-            let err = client.call_dl(&env, PROG, 1, 1, Vec::new()).unwrap_err();
+            let err = client.call_dl(&env, PROG, 1, 1, &[]).unwrap_err();
             assert_eq!(err, RpcError::TimedOut);
             // 1 s + 2 s + 4 s of per-attempt timeouts, no jitter.
             assert_eq!(env.now(), SimTime::ZERO + SimDuration::from_secs(7));
@@ -505,7 +598,7 @@ mod tests {
         let client = client_over(&sim, fast_link(&h, "up"), handler);
         assert!(client.policy().is_none());
         sim.spawn("c", move |env| {
-            let res = client.call_dl(&env, PROG, 1, 1, Vec::new()).unwrap();
+            let res = client.call_dl(&env, PROG, 1, 1, &[]).unwrap();
             let v: u32 = xdr::from_bytes(&res).unwrap();
             assert_eq!(v, 1);
         });

@@ -1,9 +1,10 @@
 //! Server-side call dispatch.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use simnet::Env;
+use simnet::{Counter, Env};
+use xdr::Bytes;
 
 use crate::auth::OpaqueAuth;
 use crate::msg::{AcceptStat, RejectStat, RpcMessage};
@@ -62,6 +63,10 @@ pub trait RpcProgram: Send + Sync + 'static {
 /// mismatch, bad procedure, garbage args, auth errors).
 pub struct Dispatcher {
     programs: HashMap<u32, Arc<dyn RpcProgram>>,
+    /// `served.calls` / `served.garbage_requests`, resolved against the
+    /// registry on the first request and shared cells thereafter.
+    served: OnceLock<Counter>,
+    garbage: OnceLock<Counter>,
 }
 
 impl Dispatcher {
@@ -69,6 +74,8 @@ impl Dispatcher {
     pub fn new() -> Self {
         Dispatcher {
             programs: HashMap::new(),
+            served: OnceLock::new(),
+            garbage: OnceLock::new(),
         }
     }
 
@@ -92,24 +99,30 @@ impl Default for Dispatcher {
 }
 
 impl RpcHandler for Dispatcher {
-    fn handle(&self, env: &Env, request: &[u8]) -> Vec<u8> {
-        let msg: RpcMessage = match xdr::from_bytes(request) {
+    fn handle(&self, env: &Env, request: &Bytes) -> Bytes {
+        let msg = match RpcMessage::decode_shared(request) {
             Ok(m) => m,
             // Unparsable request: RFC behaviour is to drop it, but the
             // simulated transport expects a reply; answer GARBAGE_ARGS
             // with xid 0 so the caller fails fast instead of hanging.
             Err(_) => {
-                env.telemetry()
-                    .counter("rpc", "served.garbage_requests")
+                // Registered on first garbage request (not at first call):
+                // snapshots list every registered metric, so registering
+                // earlier would add a zero-valued line to reports.
+                self.garbage
+                    .get_or_init(|| env.telemetry().counter("rpc", "served.garbage_requests"))
                     .inc();
-                return xdr::to_bytes(&RpcMessage::accept_error(0, AcceptStat::GarbageArgs));
+                return xdr::to_bytes(&RpcMessage::accept_error(0, AcceptStat::GarbageArgs)).into();
             }
         };
-        env.telemetry().counter("rpc", "served.calls").inc();
+        self.served
+            .get_or_init(|| env.telemetry().counter("rpc", "served.calls"))
+            .inc();
         let (header, args) = match msg {
             RpcMessage::Call { header, args } => (header, args),
             RpcMessage::Reply { xid, .. } => {
                 return xdr::to_bytes(&RpcMessage::accept_error(xid, AcceptStat::GarbageArgs))
+                    .into()
             }
         };
         let xid = header.xid;
@@ -138,7 +151,7 @@ impl RpcHandler for Dispatcher {
                 }
             },
         };
-        xdr::to_bytes(&reply)
+        xdr::to_bytes(&reply).into()
     }
 }
 
@@ -202,7 +215,7 @@ mod tests {
         let client = setup(&sim);
         sim.spawn("c", move |env| {
             let res = client
-                .call(&env, 200_000, 1, 1, xdr::to_bytes(&21u32))
+                .call(&env, 200_000, 1, 1, &xdr::to_bytes(&21u32))
                 .unwrap();
             let v: u32 = xdr::from_bytes(&res).unwrap();
             assert_eq!(v, 42);
@@ -215,7 +228,7 @@ mod tests {
         let sim = Simulation::new();
         let client = setup(&sim);
         sim.spawn("c", move |env| {
-            let err = client.call(&env, 999, 1, 0, Vec::new()).unwrap_err();
+            let err = client.call(&env, 999, 1, 0, &[]).unwrap_err();
             assert_eq!(err, RpcError::Accept(AcceptStat::ProgUnavail));
         });
         sim.run();
@@ -226,7 +239,7 @@ mod tests {
         let sim = Simulation::new();
         let client = setup(&sim);
         sim.spawn("c", move |env| {
-            let err = client.call(&env, 200_000, 9, 0, Vec::new()).unwrap_err();
+            let err = client.call(&env, 200_000, 9, 0, &[]).unwrap_err();
             assert_eq!(
                 err,
                 RpcError::Accept(AcceptStat::ProgMismatch { low: 1, high: 1 })
@@ -240,7 +253,7 @@ mod tests {
         let sim = Simulation::new();
         let client = setup(&sim);
         sim.spawn("c", move |env| {
-            let err = client.call(&env, 200_000, 1, 77, Vec::new()).unwrap_err();
+            let err = client.call(&env, 200_000, 1, 77, &[]).unwrap_err();
             assert_eq!(err, RpcError::Accept(AcceptStat::ProcUnavail));
         });
         sim.run();
@@ -253,7 +266,7 @@ mod tests {
         sim.spawn("c", move |env| {
             // proc 1 expects a u32; send two bytes.
             let err = client
-                .call(&env, 200_000, 1, 1, vec![0, 0, 0, 0, 0, 0, 0, 0])
+                .call(&env, 200_000, 1, 1, &[0, 0, 0, 0, 0, 0, 0, 0])
                 .unwrap_err();
             // Eight bytes decode as u32 + trailing => GarbageArgs.
             assert_eq!(err, RpcError::Accept(AcceptStat::GarbageArgs));
@@ -306,7 +319,7 @@ mod tests {
             let c = client.clone();
             sim.spawn(format!("c{i}"), move |env| {
                 let res = c
-                    .call(&env, 200_000, 1, 1, xdr::to_bytes(&(i * 10)))
+                    .call(&env, 200_000, 1, 1, &xdr::to_bytes(&(i * 10)))
                     .unwrap();
                 let v: u32 = xdr::from_bytes(&res).unwrap();
                 assert_eq!(v, i * 20);

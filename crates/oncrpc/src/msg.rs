@@ -1,7 +1,7 @@
 //! RPC message wire format (RFC 5531 §9).
 
 use crate::auth::OpaqueAuth;
-use xdr::{Decode, Decoder, Encode, Encoder, Error, Result};
+use xdr::{Bytes, Decode, Decoder, Encode, Encoder, Error, Result};
 
 /// The RPC protocol version this implementation speaks.
 pub const RPC_VERSION: u32 = 2;
@@ -86,7 +86,7 @@ pub enum ReplyBody {
         /// Acceptance status.
         stat: AcceptStat,
         /// Procedure results (only meaningful for [`AcceptStat::Success`]).
-        results: Vec<u8>,
+        results: Bytes,
     },
     /// The call was rejected before execution.
     Denied(RejectStat),
@@ -101,7 +101,7 @@ pub enum RpcMessage {
         /// Call header.
         header: CallHeader,
         /// Procedure arguments, XDR-encoded.
-        args: Vec<u8>,
+        args: Bytes,
     },
     /// Reply message.
     Reply {
@@ -114,13 +114,13 @@ pub enum RpcMessage {
 
 impl RpcMessage {
     /// Build a successful reply carrying `results`.
-    pub fn success(xid: u32, results: Vec<u8>) -> Self {
+    pub fn success(xid: u32, results: impl Into<Bytes>) -> Self {
         RpcMessage::Reply {
             xid,
             body: ReplyBody::Accepted {
                 verf: OpaqueAuth::none(),
                 stat: AcceptStat::Success,
-                results,
+                results: results.into(),
             },
         }
     }
@@ -133,7 +133,7 @@ impl RpcMessage {
             body: ReplyBody::Accepted {
                 verf: OpaqueAuth::none(),
                 stat,
-                results: Vec::new(),
+                results: Bytes::new(),
             },
         }
     }
@@ -232,8 +232,30 @@ impl PutRaw for Encoder {
     }
 }
 
+impl RpcMessage {
+    /// Decode from a shared buffer without copying the body: the returned
+    /// message's `args`/`results` are O(1) views into `bytes`' backing
+    /// allocation. This is the transport hot path; the by-slice
+    /// [`Decode`] impl below copies instead.
+    pub fn decode_shared(bytes: &Bytes) -> Result<Self> {
+        let mut dec = Decoder::new(bytes);
+        let msg = decode_inner(&mut dec, &|s| bytes.slice_ref(s))?;
+        dec.finish()?;
+        Ok(msg)
+    }
+}
+
 impl Decode for RpcMessage {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        decode_inner(dec, &|s| Bytes::from(s))
+    }
+}
+
+/// Shared decode body: `promote` turns a borrowed payload slice into a
+/// [`Bytes`] (zero-copy from [`RpcMessage::decode_shared`], copying from
+/// the generic [`Decode`] impl).
+fn decode_inner(dec: &mut Decoder<'_>, promote: &dyn Fn(&[u8]) -> Bytes) -> Result<RpcMessage> {
+    {
         let xid = dec.get_u32()?;
         match dec.get_u32()? {
             MSG_CALL => {
@@ -246,7 +268,7 @@ impl Decode for RpcMessage {
                 let proc = dec.get_u32()?;
                 let cred = OpaqueAuth::decode(dec)?;
                 let verf = OpaqueAuth::decode(dec)?;
-                let args = dec.get_opaque_fixed(dec.remaining())?.to_vec();
+                let args = promote(dec.get_opaque_fixed(dec.remaining())?);
                 Ok(RpcMessage::Call {
                     header: CallHeader {
                         xid,
@@ -276,9 +298,9 @@ impl Decode for RpcMessage {
                             other => return Err(Error::InvalidDiscriminant(other)),
                         };
                         let results = if stat == AcceptStat::Success {
-                            dec.get_opaque_fixed(dec.remaining())?.to_vec()
+                            promote(dec.get_opaque_fixed(dec.remaining())?)
                         } else {
-                            Vec::new()
+                            Bytes::new()
                         };
                         ReplyBody::Accepted {
                             verf,
@@ -321,7 +343,7 @@ mod tests {
                 cred: OpaqueAuth::sys(&AuthSys::new("client", 500, 500)),
                 verf: OpaqueAuth::none(),
             },
-            args: xdr::to_bytes(&42u32),
+            args: xdr::to_bytes(&42u32).into(),
         }
     }
 

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use simnet::{
     channel, Env, Link, Receiver, RecvTimeoutError, Sender, SimDuration, SimHandle, SimTime,
 };
+use xdr::Bytes;
 
 use crate::record;
 
@@ -67,8 +68,8 @@ impl WireSpec {
 }
 
 struct Envelope {
-    bytes: Vec<u8>,
-    reply_tx: Sender<Vec<u8>>,
+    bytes: Bytes,
+    reply_tx: Sender<Bytes>,
 }
 
 /// Client-side handle: sends a request message and blocks (in virtual
@@ -88,14 +89,14 @@ pub struct RpcChannel {
 /// reply to an abandoned (retransmitted-over) attempt lands on a dropped
 /// receiver and is discarded by construction.
 pub struct PendingCall {
-    reply_rx: Receiver<Vec<u8>>,
+    reply_rx: Receiver<Bytes>,
 }
 
 impl PendingCall {
     /// Wait indefinitely for the reply. `None` means the listener is gone
     /// or the message was lost to a link fault (legacy semantics: loss
     /// surfaces immediately as a transport failure).
-    pub fn recv(&self, env: &Env) -> Option<Vec<u8>> {
+    pub fn recv(&self, env: &Env) -> Option<Bytes> {
         self.reply_rx.recv(env).ok()
     }
 
@@ -106,7 +107,7 @@ impl PendingCall {
     /// gets `None` — it cannot tell which of the three happened, which
     /// is exactly why retransmission and the server's duplicate-request
     /// cache exist.
-    pub fn recv_deadline(&self, env: &Env, deadline: SimTime) -> Option<Vec<u8>> {
+    pub fn recv_deadline(&self, env: &Env, deadline: SimTime) -> Option<Bytes> {
         match self.reply_rx.recv_deadline(env, deadline) {
             Ok(bytes) => Some(bytes),
             Err(RecvTimeoutError::Timeout) => None,
@@ -128,13 +129,14 @@ impl RpcChannel {
     /// listener, returning the [`PendingCall`] its reply will arrive on.
     /// If the uplink's fault plan drops or severs the message the server
     /// never sees it and the pending call resolves only by silence.
-    pub fn send_request(&self, env: &Env, request: Vec<u8>) -> PendingCall {
+    pub fn send_request(&self, env: &Env, request: impl Into<Bytes>) -> PendingCall {
+        let request = request.into();
         env.sleep(self.wire.cipher_time(request.len()));
         let delivered = self
             .up
             .transfer_checked(env, self.wire.wire_bytes(request.len()))
             .delivered();
-        let (reply_tx, reply_rx) = channel::<Vec<u8>>(&self.handle);
+        let (reply_tx, reply_rx) = channel::<Bytes>(&self.handle);
         if delivered {
             self.tx.send(Envelope {
                 bytes: request,
@@ -150,7 +152,7 @@ impl RpcChannel {
     ///
     /// Returns `None` if the listener was dropped (connection refused /
     /// reset), which callers surface as an RPC transport error.
-    pub fn call_raw(&self, env: &Env, request: Vec<u8>) -> Option<Vec<u8>> {
+    pub fn call_raw(&self, env: &Env, request: impl Into<Bytes>) -> Option<Bytes> {
         self.send_request(env, request).recv(env)
     }
 
@@ -160,9 +162,9 @@ impl RpcChannel {
     pub fn call_raw_deadline(
         &self,
         env: &Env,
-        request: Vec<u8>,
+        request: impl Into<Bytes>,
         deadline: SimTime,
-    ) -> Option<Vec<u8>> {
+    ) -> Option<Bytes> {
         self.send_request(env, request).recv_deadline(env, deadline)
     }
 
@@ -196,16 +198,18 @@ pub struct Listener {
 /// simulated worker process and may block in virtual time (disk access,
 /// upstream RPC calls, cache operations).
 pub trait RpcHandler: Send + Sync + 'static {
-    /// Service one request, returning the reply message bytes.
-    fn handle(&self, env: &Env, request: &[u8]) -> Vec<u8>;
+    /// Service one request, returning the reply message bytes. The
+    /// request is a shared view of the envelope the client sent; replies
+    /// served from a cache can hand back a clone without copying.
+    fn handle(&self, env: &Env, request: &Bytes) -> Bytes;
 }
 
 impl<F> RpcHandler for F
 where
     F: Fn(&Env, &[u8]) -> Vec<u8> + Send + Sync + 'static,
 {
-    fn handle(&self, env: &Env, request: &[u8]) -> Vec<u8> {
-        self(env, request)
+    fn handle(&self, env: &Env, request: &Bytes) -> Bytes {
+        self(env, request).into()
     }
 }
 

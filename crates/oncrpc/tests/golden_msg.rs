@@ -1,0 +1,217 @@
+//! Golden-vector suite pinning the RPC message wire format.
+//!
+//! The fixture under `tests/golden/rpc_msg.hex` was generated from the
+//! encoder as it stood before the zero-copy refactor; these tests assert
+//! the refactored encoder/decoder still produce byte-identical wire
+//! images. Regenerate (only when the wire format intentionally changes)
+//! with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p oncrpc --test golden_msg
+//! ```
+
+use oncrpc::auth::{AuthGvfs, AuthSys, OpaqueAuth};
+use oncrpc::msg::{auth_stat, AcceptStat, CallHeader, RejectStat, RpcMessage};
+use proptest::prelude::*;
+
+const FIXTURE: &str = include_str!("golden/rpc_msg.hex");
+
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic word-aligned payload of `words` XDR words.
+fn payload(seed: u64, words: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words * 4);
+    let mut s = seed;
+    for _ in 0..words {
+        s = splitmix64(s);
+        out.extend_from_slice(&(s as u32).to_be_bytes());
+    }
+    out
+}
+
+fn creds() -> Vec<OpaqueAuth> {
+    vec![
+        OpaqueAuth::none(),
+        OpaqueAuth::sys(&AuthSys::new("compute1.acis.ufl.edu", 501, 100)),
+        OpaqueAuth::sys(&AuthSys {
+            stamp: 0xDEAD_BEEF,
+            machinename: "vm-client".into(),
+            uid: 0,
+            gid: 0,
+            gids: vec![0, 10, 100, 65_534],
+        }),
+        OpaqueAuth::gvfs(&AuthGvfs {
+            session_id: 0x0102_0304_0506_0708,
+            grid_user: "griduser@vo.example".into(),
+            expires_at: 3_600,
+        }),
+    ]
+}
+
+/// The fixed message set the fixture pins. Kept append-only: new shapes go
+/// at the end so existing vector indices stay stable.
+fn golden_messages() -> Vec<RpcMessage> {
+    let mut msgs = Vec::new();
+    // Calls: every cred shape x several programs/procs/arg sizes.
+    for (i, cred) in creds().into_iter().enumerate() {
+        for (j, &(prog, vers, proc)) in [
+            (100_003u32, 3u32, 0u32), // NFS NULL
+            (100_003, 3, 6),          // NFS READ
+            (100_003, 3, 7),          // NFS WRITE
+            (100_005, 3, 1),          // MOUNT MNT
+            (400_100, 1, 2),          // GVFS channel fetch
+        ]
+        .iter()
+        .enumerate()
+        {
+            let seed = (i as u64) << 32 | j as u64;
+            msgs.push(RpcMessage::Call {
+                header: CallHeader {
+                    xid: splitmix64(seed) as u32,
+                    prog,
+                    vers,
+                    proc,
+                    cred: cred.clone(),
+                    verf: OpaqueAuth::none(),
+                },
+                args: payload(seed, (j * 17 + i * 3) % 64).into(),
+            });
+        }
+    }
+    // Replies: success with varied result sizes, all failure shapes.
+    for (k, words) in [0usize, 1, 2, 16, 255, 1024].into_iter().enumerate() {
+        msgs.push(RpcMessage::success(
+            0xA000 + k as u32,
+            payload(k as u64 ^ 0x5EED, words),
+        ));
+    }
+    for stat in [
+        AcceptStat::ProgUnavail,
+        AcceptStat::ProgMismatch { low: 1, high: 3 },
+        AcceptStat::ProcUnavail,
+        AcceptStat::GarbageArgs,
+        AcceptStat::SystemErr,
+    ] {
+        msgs.push(RpcMessage::accept_error(0xB001, stat));
+    }
+    for stat in [
+        RejectStat::RpcMismatch { low: 2, high: 2 },
+        RejectStat::AuthError(auth_stat::BADCRED),
+        RejectStat::AuthError(auth_stat::REJECTEDCRED),
+        RejectStat::AuthError(auth_stat::TOOWEAK),
+    ] {
+        msgs.push(RpcMessage::denied(0xC002, stat));
+    }
+    msgs
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn render_fixture() -> String {
+    let mut out = String::new();
+    for m in golden_messages() {
+        out.push_str(&to_hex(&xdr::to_bytes(&m)));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn golden_vectors_are_byte_identical() {
+    let rendered = render_fixture();
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/rpc_msg.hex");
+        std::fs::write(path, &rendered).unwrap();
+        return;
+    }
+    let expected: Vec<&str> = FIXTURE.lines().collect();
+    let actual: Vec<&str> = rendered.lines().map(|l| l.trim_end()).collect();
+    let rendered_lines: Vec<String> = rendered.lines().map(str::to_owned).collect();
+    assert_eq!(
+        expected.len(),
+        rendered_lines.len(),
+        "golden vector count drifted"
+    );
+    for (i, (exp, act)) in expected.iter().zip(actual.iter()).enumerate() {
+        assert_eq!(
+            exp, act,
+            "wire image of golden message #{i} drifted from the pinned encoding"
+        );
+    }
+}
+
+#[test]
+fn golden_vectors_decode_and_reencode_identically() {
+    for (i, line) in FIXTURE.lines().enumerate() {
+        let bytes: Vec<u8> = (0..line.len())
+            .step_by(2)
+            .map(|k| u8::from_str_radix(&line[k..k + 2], 16).unwrap())
+            .collect();
+        let msg: RpcMessage = xdr::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("golden vector #{i} failed to decode: {e:?}"));
+        assert_eq!(
+            xdr::to_bytes(&msg),
+            bytes,
+            "decode→re-encode of golden vector #{i} is not byte-identical"
+        );
+    }
+}
+
+proptest! {
+    /// Arbitrary calls survive encode→decode→re-encode byte-identically
+    /// (args constrained to XDR word alignment, as the wire requires).
+    #[test]
+    fn arbitrary_calls_reencode_identically(
+        xid in any::<u32>(),
+        prog in any::<u32>(),
+        vers in any::<u32>(),
+        proc in any::<u32>(),
+        uid in any::<u32>(),
+        words in proptest::collection::vec(any::<u32>(), 0..256),
+    ) {
+        let mut args = Vec::with_capacity(words.len() * 4);
+        for w in &words {
+            args.extend_from_slice(&w.to_be_bytes());
+        }
+        let m = RpcMessage::Call {
+            header: CallHeader {
+                xid, prog, vers, proc,
+                cred: OpaqueAuth::sys(&AuthSys::new("m", uid, uid)),
+                verf: OpaqueAuth::none(),
+            },
+            args: args.into(),
+        };
+        let bytes = xdr::to_bytes(&m);
+        let back: RpcMessage = xdr::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &m);
+        prop_assert_eq!(xdr::to_bytes(&back), bytes);
+    }
+
+    /// Arbitrary success replies survive the same round trip.
+    #[test]
+    fn arbitrary_replies_reencode_identically(
+        xid in any::<u32>(),
+        words in proptest::collection::vec(any::<u32>(), 0..256),
+    ) {
+        let mut results = Vec::with_capacity(words.len() * 4);
+        for w in &words {
+            results.extend_from_slice(&w.to_be_bytes());
+        }
+        let m = RpcMessage::success(xid, results);
+        let bytes = xdr::to_bytes(&m);
+        let back: RpcMessage = xdr::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &m);
+        prop_assert_eq!(xdr::to_bytes(&back), bytes);
+    }
+}

@@ -140,6 +140,108 @@ struct KernelInner {
     events_processed: u64,
 }
 
+/// A process body, boxed for hand-off to a pool worker.
+type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolQueue {
+    /// Jobs claimed by a parked worker but not yet picked up. A job is
+    /// only queued when `idle` was positive (and decremented) — otherwise
+    /// a fresh thread is spawned with the job directly — so nothing here
+    /// ever waits on a busy worker.
+    jobs: std::collections::VecDeque<Job>,
+    /// Workers parked on the condvar and not yet claimed by a job.
+    idle: usize,
+    /// Set when the last [`SimHandle`] drops; parked workers exit.
+    closed: bool,
+}
+
+struct PoolShared {
+    q: Mutex<PoolQueue>,
+    cv: Condvar,
+}
+
+/// Reusable OS threads for process bodies.
+///
+/// A fresh thread per simulated process costs a `clone(2)`, a stack
+/// `mmap`/`munmap` pair and a page-fault storm — at tens of thousands of
+/// short-lived processes (parallel RPC fan-out) that kernel time, mostly
+/// TLB shootdowns, dominates the wall clock. Workers instead park between
+/// processes and are re-dispatched, so a run needs only as many OS threads
+/// as its peak count of *live* processes, with warm stacks.
+///
+/// Scheduling is unaffected: which OS thread executes a process body is
+/// invisible to the simulation, so timelines stay bit-identical.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+}
+
+impl WorkerPool {
+    fn new() -> Self {
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                q: Mutex::new(PoolQueue {
+                    jobs: std::collections::VecDeque::new(),
+                    idle: 0,
+                    closed: false,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Run `job` on a parked worker, or a fresh thread if none is free.
+    /// A job occupies its worker for the process's whole lifetime
+    /// (including parks), so it must never wait behind a busy worker.
+    fn execute(&self, job: Job) {
+        {
+            let mut q = self.shared.q.lock();
+            if q.idle > 0 {
+                q.idle -= 1; // claim the worker for this job
+                q.jobs.push_back(job);
+                self.shared.cv.notify_one();
+                return;
+            }
+        }
+        let shared = self.shared.clone();
+        // Process code is shallow (no deep recursion), so 512 KB is ample.
+        std::thread::Builder::new()
+            .name("sim-worker".into())
+            .stack_size(512 * 1024)
+            .spawn(move || worker_loop(shared, job))
+            .expect("failed to spawn simulation worker thread");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let mut q = self.shared.q.lock();
+        q.closed = true;
+        self.shared.cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, first_job: Job) {
+    let mut job = first_job;
+    loop {
+        job();
+        let mut q = shared.q.lock();
+        job = loop {
+            if let Some(j) = q.jobs.pop_front() {
+                // Consumes one claim: either ours (we registered below and
+                // an `execute` decremented `idle` for it) or, if we just
+                // finished a job and grabbed a queued one, the claim of a
+                // parked sibling — which re-registers when it wakes empty.
+                break j;
+            }
+            if q.closed {
+                return;
+            }
+            q.idle += 1;
+            shared.cv.wait(&mut q);
+        };
+    }
+}
+
 /// Shared, cloneable handle to the simulation kernel. Synchronization
 /// primitives ([`crate::sync`], [`crate::link`]) hold one of these to
 /// schedule wake-ups and callbacks.
@@ -147,6 +249,11 @@ struct KernelInner {
 pub struct SimHandle {
     inner: Arc<Mutex<KernelInner>>,
     telemetry: Telemetry,
+    pool: Arc<WorkerPool>,
+    /// Set (and notified) by the baton holder that drains the event heap;
+    /// [`Simulation::run`] parks on it between the first wake and
+    /// quiescence.
+    quiesced: Arc<(Mutex<bool>, Condvar)>,
 }
 
 impl SimHandle {
@@ -163,6 +270,12 @@ impl SimHandle {
     /// Number of events the scheduler has processed so far.
     pub fn events_processed(&self) -> u64 {
         self.inner.lock().events_processed
+    }
+
+    /// Number of processes spawned so far (each one is an OS thread for
+    /// its lifetime; the wall-clock harness reports this).
+    pub fn processes_spawned(&self) -> u64 {
+        self.inner.lock().procs.len() as u64
     }
 
     /// Spawn a process; it becomes runnable at the current instant. This is
@@ -247,45 +360,59 @@ impl SimHandle {
         };
         let thread_ctl = ctl.clone();
         let handle = self.clone();
-        // Detached, small-stack threads: a long simulation spawns many
-        // short-lived worker processes (parallel RPC fan-out), and keeping
-        // JoinHandles would retain every exited thread's stack until the
-        // end of the run. Process code is shallow (no deep recursion), so
-        // 512 KB is ample.
-        std::thread::Builder::new()
-            .name(format!("sim-{}", ctl.name))
-            .stack_size(512 * 1024)
-            .spawn(move || {
-                // Wait for the first wake before running the body.
-                {
-                    let mut st = thread_ctl.state.lock();
-                    while *st != ProcState::Running {
-                        thread_ctl.cv.wait(&mut st);
+        // Hand the body to a pool worker rather than a fresh OS thread:
+        // see [`WorkerPool`].
+        self.pool.execute(Box::new(move || {
+            // Wait for the first wake before running the body.
+            {
+                let mut st = thread_ctl.state.lock();
+                while *st != ProcState::Running {
+                    thread_ctl.cv.wait(&mut st);
+                }
+            }
+            let aborted_at_start = *thread_ctl.abort.lock();
+            if !aborted_at_start {
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(env)));
+                if let Err(payload) = result {
+                    if payload.downcast_ref::<SimAbort>().is_none() {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".to_string());
+                        handle
+                            .inner
+                            .lock()
+                            .failures
+                            .push(format!("process '{}' panicked: {msg}", thread_ctl.name));
                     }
                 }
-                let aborted_at_start = *thread_ctl.abort.lock();
-                if !aborted_at_start {
-                    let result = panic::catch_unwind(AssertUnwindSafe(|| f(env)));
-                    if let Err(payload) = result {
-                        if payload.downcast_ref::<SimAbort>().is_none() {
-                            let msg = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "<non-string panic>".to_string());
-                            handle
-                                .inner
-                                .lock()
-                                .failures
-                                .push(format!("process '{}' panicked: {msg}", thread_ctl.name));
-                        }
-                    }
-                }
+            }
+            {
                 let mut st = thread_ctl.state.lock();
                 *st = ProcState::Done;
                 thread_ctl.cv.notify_all();
-            })
-            .expect("failed to spawn simulation process thread");
+            }
+            // A panicking `Call` closure must not take the worker down
+            // with it (the baton would be lost and the run would hang):
+            // record it like a process failure and declare quiescence so
+            // `run()` can surface it.
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| handle.pass_baton())) {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                handle
+                    .inner
+                    .lock()
+                    .failures
+                    .push(format!("scheduled callback panicked: {msg}"));
+                let (flag, cv) = &*handle.quiesced;
+                *flag.lock() = true;
+                cv.notify_all();
+            }
+        }));
         // Make the new process runnable "now".
         let now = self.now();
         self.schedule_wake(now, pid);
@@ -293,17 +420,91 @@ impl SimHandle {
     }
 
     /// Hand control to `pid` and block until it suspends or finishes.
+    /// Only used by the shutdown phase of [`Simulation::run`]; during the
+    /// run itself control passes process-to-process (see
+    /// [`SimHandle::dispatch_until_wake`]).
     fn run_proc(&self, pid: Pid) {
         let ctl = self.inner.lock().procs[pid].clone();
-        let mut st = ctl.state.lock();
-        if *st == ProcState::Done {
-            return;
+        {
+            let mut st = ctl.state.lock();
+            if *st == ProcState::Done {
+                return;
+            }
+            debug_assert_eq!(*st, ProcState::Waiting, "woke a process that is running");
+            *st = ProcState::Running;
+            ctl.cv.notify_all();
         }
+        let mut st = ctl.state.lock();
+        while *st == ProcState::Running {
+            ctl.cv.wait(&mut st);
+        }
+    }
+
+    /// Pop and dispatch events until one hands control to a process (its
+    /// pid is returned) or the heap drains (`None`). `Call` events run
+    /// inline on the calling thread — the baton holder *is* the scheduler.
+    /// Wakes for finished processes are skipped (their timers may
+    /// outlive them), exactly as the central loop used to.
+    fn dispatch_until_wake(&self) -> Option<Pid> {
+        loop {
+            let ev = {
+                let mut k = self.inner.lock();
+                match k.heap.pop() {
+                    Some(ev) => {
+                        if let EventKind::CancellableCall(flag, _) = &ev.kind {
+                            if flag.load(AtomicOrdering::Relaxed) {
+                                // Cancelled timer: discard without touching
+                                // `now` or the processed-event count, so it
+                                // leaves no trace on the timeline.
+                                continue;
+                            }
+                        }
+                        k.now = ev.time;
+                        k.events_processed += 1;
+                        ev
+                    }
+                    None => return None,
+                }
+            };
+            match ev.kind {
+                EventKind::Wake(pid) => {
+                    let ctl = self.inner.lock().procs[pid].clone();
+                    if *ctl.state.lock() == ProcState::Done {
+                        continue;
+                    }
+                    return Some(pid);
+                }
+                EventKind::Call(f) => f(),
+                EventKind::CancellableCall(_, f) => f(),
+            }
+        }
+    }
+
+    /// Mark `pid` runnable and wake its (parked) thread.
+    fn wake_proc(&self, pid: Pid) {
+        let ctl = self.inner.lock().procs[pid].clone();
+        let mut st = ctl.state.lock();
         debug_assert_eq!(*st, ProcState::Waiting, "woke a process that is running");
         *st = ProcState::Running;
         ctl.cv.notify_all();
-        while *st == ProcState::Running {
-            ctl.cv.wait(&mut st);
+    }
+
+    /// Pass the baton onward after the current process yields it: hand
+    /// control to the next runnable process, or signal quiescence so
+    /// [`Simulation::run`] can finish. No-op once shutdown has begun —
+    /// the main thread drives aborts itself and events scheduled by
+    /// unwinding processes must stay unprocessed.
+    fn pass_baton(&self) {
+        if self.inner.lock().shutting_down {
+            return;
+        }
+        match self.dispatch_until_wake() {
+            Some(pid) => self.wake_proc(pid),
+            None => {
+                let (flag, cv) = &*self.quiesced;
+                *flag.lock() = true;
+                cv.notify_all();
+            }
         }
     }
 }
@@ -369,10 +570,36 @@ impl Env {
     /// then suspends. Because only one process runs at a time, no wake can
     /// be lost in between.
     pub(crate) fn suspend(&self) {
+        {
+            let mut st = self.ctl.state.lock();
+            debug_assert_eq!(*st, ProcState::Running);
+            *st = ProcState::Waiting;
+        }
+        // Pass the baton directly to the next runnable process instead of
+        // round-tripping through a central scheduler thread: one context
+        // switch per handoff instead of two. If the next event is our own
+        // wake (a sleep chain with no interleaved process), control never
+        // leaves this thread at all.
+        let next = if self.handle.inner.lock().shutting_down {
+            None
+        } else {
+            self.handle.dispatch_until_wake()
+        };
+        match next {
+            Some(pid) if pid == self.pid => {
+                let mut st = self.ctl.state.lock();
+                debug_assert_eq!(*st, ProcState::Waiting);
+                *st = ProcState::Running;
+                return;
+            }
+            Some(pid) => self.handle.wake_proc(pid),
+            None => {
+                let (flag, cv) = &*self.handle.quiesced;
+                *flag.lock() = true;
+                cv.notify_all();
+            }
+        }
         let mut st = self.ctl.state.lock();
-        debug_assert_eq!(*st, ProcState::Running);
-        *st = ProcState::Waiting;
-        self.ctl.cv.notify_all();
         while *st != ProcState::Running {
             self.ctl.cv.wait(&mut st);
         }
@@ -436,6 +663,8 @@ impl Simulation {
                     events_processed: 0,
                 })),
                 telemetry: Telemetry::new(),
+                pool: Arc::new(WorkerPool::new()),
+                quiesced: Arc::new((Mutex::new(false), Condvar::new())),
             },
         }
     }
@@ -464,30 +693,16 @@ impl Simulation {
     /// here so test failures point at the real error.
     pub fn run(self) -> SimTime {
         let handle = self.handle;
-        loop {
-            let ev = {
-                let mut k = handle.inner.lock();
-                match k.heap.pop() {
-                    Some(ev) => {
-                        if let EventKind::CancellableCall(flag, _) = &ev.kind {
-                            if flag.load(AtomicOrdering::Relaxed) {
-                                // Cancelled timer: discard without touching
-                                // `now` or the processed-event count, so it
-                                // leaves no trace on the timeline.
-                                continue;
-                            }
-                        }
-                        k.now = ev.time;
-                        k.events_processed += 1;
-                        ev
-                    }
-                    None => break,
-                }
-            };
-            match ev.kind {
-                EventKind::Wake(pid) => handle.run_proc(pid),
-                EventKind::Call(f) => f(),
-                EventKind::CancellableCall(_, f) => f(),
+        // Drive the first handoff from this thread, then park: control
+        // passes process-to-process (each suspending process dispatches
+        // its successor directly) until some baton holder drains the
+        // event heap and signals quiescence.
+        if let Some(pid) = handle.dispatch_until_wake() {
+            handle.wake_proc(pid);
+            let (flag, cv) = &*handle.quiesced;
+            let mut q = flag.lock();
+            while !*q {
+                cv.wait(&mut q);
             }
         }
 

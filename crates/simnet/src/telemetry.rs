@@ -370,6 +370,11 @@ struct TelemetryInner {
     instances: Mutex<BTreeMap<String, u64>>,
     ring: Mutex<Ring>,
     trace_enabled: AtomicBool,
+    /// Debug builds count every get-or-register resolution so tests can
+    /// assert that hot record paths cache their handles instead of taking
+    /// this registry's locks per event (see `debug_resolutions`).
+    #[cfg(debug_assertions)]
+    resolutions: std::sync::atomic::AtomicU64,
 }
 
 /// The per-simulation metric registry and trace sink. Cheap to clone;
@@ -400,6 +405,8 @@ impl Telemetry {
                     dropped: 0,
                 }),
                 trace_enabled: AtomicBool::new(false),
+                #[cfg(debug_assertions)]
+                resolutions: std::sync::atomic::AtomicU64::new(0),
             }),
         }
     }
@@ -407,6 +414,7 @@ impl Telemetry {
     /// Get or register the counter `layer`/`name`. Registering the same
     /// pair twice returns clones of one shared cell.
     pub fn counter(&self, layer: &'static str, name: impl Into<String>) -> Counter {
+        self.note_resolution();
         self.inner
             .counters
             .lock()
@@ -417,6 +425,7 @@ impl Telemetry {
 
     /// Get or register the gauge `layer`/`name`.
     pub fn gauge(&self, layer: &'static str, name: impl Into<String>) -> Gauge {
+        self.note_resolution();
         self.inner
             .gauges
             .lock()
@@ -427,12 +436,40 @@ impl Telemetry {
 
     /// Get or register the histogram `layer`/`name`.
     pub fn histogram(&self, layer: &'static str, name: impl Into<String>) -> Histogram {
+        self.note_resolution();
         self.inner
             .histograms
             .lock()
             .entry((layer, name.into()))
             .or_default()
             .clone()
+    }
+
+    #[inline]
+    fn note_resolution(&self) {
+        #[cfg(debug_assertions)]
+        self.inner
+            .resolutions
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Total get-or-register resolutions performed on this registry
+    /// (debug builds only; always 0 in release). Every resolution takes a
+    /// global lock and allocates a key, so per-event paths must resolve
+    /// their handles once at construction and hold the returned cells;
+    /// tests pin that by asserting this count stays flat across a burst
+    /// of recorded events.
+    pub fn debug_resolutions(&self) -> u64 {
+        #[cfg(debug_assertions)]
+        {
+            self.inner
+                .resolutions
+                .load(std::sync::atomic::Ordering::Relaxed)
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            0
+        }
     }
 
     /// Reserve a unique instance name derived from `base`: the first

@@ -26,10 +26,12 @@
 
 #![warn(missing_docs)]
 
+mod bytes;
 mod decode;
 mod encode;
 mod error;
 
+pub use bytes::Bytes;
 pub use decode::Decoder;
 pub use encode::Encoder;
 pub use error::{Error, Result};
