@@ -73,7 +73,10 @@ pub fn compare_line(what: &str, paper: &str, measured: &str) -> String {
 /// `reports/<name>.json`), `--trace` turns on trace-event collection so
 /// the report carries the structured event log, `--no-json` suppresses
 /// the report file, `--no-dedup` runs with `DedupTuning::off()` (the
-/// pre-CAS data paths) in the binaries that honor it.
+/// pre-CAS data paths) in the binaries that honor it, and
+/// `--sched-chaos <seed>` runs every simulation under
+/// `SchedPolicy::chaos(seed)` — reports must stay byte-identical to a
+/// run without the flag (DESIGN.md §5.7).
 #[derive(Debug, Clone)]
 pub struct BenchCli {
     /// Where to write the JSON report; `None` with `--no-json`.
@@ -82,6 +85,11 @@ pub struct BenchCli {
     pub trace: bool,
     /// Disable content-addressed dedup (DESIGN.md §5.5).
     pub no_dedup: bool,
+    /// Chaos-scheduler seed, when `--sched-chaos` was given. The policy
+    /// is already installed process-wide by `parse`; this records the
+    /// seed for logging. Deliberately NOT part of any JSON report —
+    /// report bytes must not depend on the schedule.
+    pub sched_chaos: Option<u64>,
 }
 
 impl BenchCli {
@@ -91,6 +99,7 @@ impl BenchCli {
             json_path: Some(PathBuf::from(format!("reports/{name}.json"))),
             trace: false,
             no_dedup: false,
+            sched_chaos: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -105,8 +114,22 @@ impl BenchCli {
                     });
                     cli.json_path = Some(PathBuf::from(p));
                 }
+                "--sched-chaos" => {
+                    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--sched-chaos requires a u64 seed argument");
+                        std::process::exit(2);
+                    });
+                    cli.sched_chaos = Some(seed);
+                    // Install process-wide so every Simulation::new() in
+                    // library code runs under the adversarial schedule.
+                    simnet::set_default_sched_policy(simnet::SchedPolicy::chaos(seed));
+                    eprintln!("{name}: schedule-chaos policy active (seed {seed})");
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: {name} [--json PATH] [--no-json] [--trace] [--no-dedup]");
+                    eprintln!(
+                        "usage: {name} [--json PATH] [--no-json] [--trace] [--no-dedup] \
+                         [--sched-chaos SEED]"
+                    );
                     std::process::exit(0);
                 }
                 other => {

@@ -929,6 +929,45 @@ mod tests {
     }
 
     #[test]
+    fn drc_hits_counter_registers_on_first_hit_not_at_construction() {
+        // The `drc.hits` cell is an OnceLock resolved on the first
+        // replay (DESIGN.md §5.6): report snapshots list every
+        // registered metric, so an eager zero-valued registration would
+        // change committed reports. Pin both halves of that contract —
+        // absent before any hit, present (and correct) after.
+        let sim = Simulation::new();
+        let (fs, srv) = setup(&sim);
+        let tel = sim.handle().telemetry().clone();
+        let has_drc = |t: &simnet::Telemetry| {
+            t.snapshot()
+                .counters
+                .iter()
+                .any(|c| c.layer == "nfs3" && c.name.ends_with(".drc.hits"))
+        };
+        assert!(!has_drc(&tel), "drc.hits registered at construction");
+        let fs2 = fs.clone();
+        let tel2 = tel.clone();
+        sim.spawn("t", move |env| {
+            let root = fs2.lock().resolve("/").unwrap();
+            let args = mkdir_args(root, "d");
+            srv.call_with_xid(&env, 5, &sys_cred(), proc3::MKDIR, &args)
+                .unwrap();
+            // A fresh call (miss) must still not register the counter.
+            assert!(!has_drc(&tel2), "a DRC miss registered drc.hits");
+            srv.call_with_xid(&env, 5, &sys_cred(), proc3::MKDIR, &args)
+                .unwrap();
+        });
+        sim.run();
+        let snap = tel.snapshot();
+        let hit = snap
+            .counters
+            .iter()
+            .find(|c| c.layer == "nfs3" && c.name.ends_with(".drc.hits"))
+            .expect("replay registered drc.hits");
+        assert_eq!(hit.value, 1);
+    }
+
+    #[test]
     fn restart_rotates_write_verifier_and_loses_uncommitted_writes() {
         let sim = Simulation::new();
         let (fs, srv) = setup(&sim);

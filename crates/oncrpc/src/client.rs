@@ -631,4 +631,84 @@ mod tests {
         assert_eq!(p.base_timeout(3), SimDuration::from_secs(5));
         assert_eq!(p.base_timeout(7), SimDuration::from_secs(5));
     }
+
+    #[test]
+    fn rare_counters_register_on_first_increment_and_resolve_once() {
+        // DESIGN.md §5.6: failure counters live in OnceLock cells so the
+        // metric only exists in snapshots once the failure actually
+        // happened, and the registry resolution runs exactly once no
+        // matter how many times the path fires afterwards.
+        let tel = Telemetry::new();
+        let pt = ProgTel::register(&tel, PROG);
+        let names = |t: &Telemetry| -> Vec<String> {
+            t.snapshot()
+                .counters
+                .iter()
+                .map(|c| c.name.clone())
+                .collect()
+        };
+        assert!(
+            !names(&tel).iter().any(|n| n.ends_with(".timeouts")),
+            "timeouts registered before any timeout"
+        );
+        let before = tel.debug_resolutions();
+        pt.rare(&pt.timeouts, &tel, "timeouts").inc();
+        let after_first = tel.debug_resolutions();
+        pt.rare(&pt.timeouts, &tel, "timeouts").inc();
+        pt.rare(&pt.timeouts, &tel, "timeouts").inc();
+        let after_more = tel.debug_resolutions();
+        assert!(names(&tel).iter().any(|n| n.ends_with(".timeouts")));
+        assert_eq!(
+            after_more - after_first,
+            0,
+            "later increments must reuse the cached cell"
+        );
+        if cfg!(debug_assertions) {
+            assert_eq!(after_first - before, 1, "exactly one registry resolution");
+        }
+        // The cell is shared: all three increments landed on one counter.
+        let snap = tel.snapshot();
+        let c = snap
+            .counters
+            .iter()
+            .find(|c| c.name.ends_with(".timeouts"))
+            .unwrap();
+        assert_eq!(c.value, 3);
+        // And the untouched cells stayed unregistered.
+        assert!(!names(&tel).iter().any(|n| n.ends_with(".errors")));
+    }
+
+    #[test]
+    fn proc_histogram_cache_is_order_independent() {
+        // The per-procedure sorted-vec cache must yield the same metric
+        // set whatever order procedures first arrive in, and must hit
+        // the registry once per procedure, not once per record.
+        let arrival_orders: [&[u32]; 2] = [&[7, 1, 4], &[1, 4, 7]];
+        let mut name_sets = Vec::new();
+        for order in arrival_orders {
+            let tel = Telemetry::new();
+            let pt = ProgTel::register(&tel, PROG);
+            for &proc in order {
+                pt.proc_hist(&tel, proc).record(SimDuration::from_millis(1));
+            }
+            let before = tel.debug_resolutions();
+            for &proc in order {
+                pt.proc_hist(&tel, proc).record(SimDuration::from_millis(2));
+            }
+            assert_eq!(
+                tel.debug_resolutions() - before,
+                0,
+                "second pass must be served from the sorted-vec cache"
+            );
+            let mut names: Vec<String> = tel
+                .snapshot()
+                .histograms
+                .iter()
+                .map(|h| h.name.clone())
+                .collect();
+            names.sort();
+            name_sets.push(names);
+        }
+        assert_eq!(name_sets[0], name_sets[1]);
+    }
 }

@@ -312,6 +312,37 @@ mod tests {
     }
 
     #[test]
+    fn served_counters_stay_out_of_snapshots_until_first_request() {
+        // Both dispatcher counters resolve lazily (OnceLock): a server
+        // that never saw traffic must not add `served.*` lines to the
+        // report snapshot, and a server that saw only well-formed calls
+        // must not register the garbage counter.
+        let sim = Simulation::new();
+        let client = setup(&sim);
+        let tel = sim.handle().telemetry().clone();
+        let has = |t: &simnet::Telemetry, name: &str| {
+            let name = name.to_string();
+            t.snapshot()
+                .counters
+                .iter()
+                .any(|c| c.layer == "rpc" && c.name == name)
+        };
+        assert!(!has(&tel, "served.calls"), "registered before any call");
+        sim.spawn("c", move |env| {
+            client
+                .call(&env, 200_000, 1, 1, &xdr::to_bytes(&21u32))
+                .unwrap();
+        });
+        sim.run();
+        assert!(has(&tel, "served.calls"));
+        assert!(
+            !has(&tel, "served.garbage_requests"),
+            "well-formed traffic registered the garbage counter"
+        );
+        assert_eq!(tel.counter("rpc", "served.calls").get(), 1);
+    }
+
+    #[test]
     fn concurrent_clients_get_matching_replies() {
         let sim = Simulation::new();
         let client = setup(&sim);

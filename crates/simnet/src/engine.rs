@@ -22,8 +22,118 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::fault::splitmix64;
 use crate::telemetry::Telemetry;
 use crate::time::{SimDuration, SimTime};
+
+/// How the kernel schedules at the OS level.
+///
+/// Every policy observes the same virtual-time contract: events fire in
+/// `(time, seq)` order, exactly one process runs at any instant. What a
+/// policy may vary is the *incidental* OS-level choreography — which
+/// thread performs a handoff, whether a self-wake takes the fast path,
+/// gratuitous `yield_now` calls. Those choices are invisible to a
+/// correctly synchronized simulation, which is precisely what makes
+/// [`SchedPolicy::chaos`] an oracle: run the same workload under several
+/// seeds and any divergence in the event timeline or reports is a real
+/// ordering bug, not noise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Production behavior: FIFO tie-break, direct baton handoff,
+    /// self-wake fast path. The default.
+    Fifo,
+    /// Deterministic-but-adversarial schedule perturbation. At every
+    /// suspend the kernel draws from a seeded PRNG (draws are serialized
+    /// by the one-process-at-a-time invariant, so each seed replays
+    /// exactly) and may insert OS yields, route the handoff through a
+    /// pool worker, or force the slow self-wake path.
+    Chaos {
+        /// PRNG seed; each seed is one reproducible adversarial schedule.
+        seed: u64,
+    },
+    /// Test-only broken policy: violates the FIFO tie-break by swapping
+    /// equal-time wake events with seeded coin flips. Exists so tests can
+    /// prove the divergence oracle actually fires; never use it for
+    /// measurements.
+    #[doc(hidden)]
+    BrokenTieBreak {
+        /// Seed for the coin flips.
+        seed: u64,
+    },
+}
+
+impl SchedPolicy {
+    /// Shorthand for [`SchedPolicy::Chaos`] with the given seed.
+    pub fn chaos(seed: u64) -> Self {
+        SchedPolicy::Chaos { seed }
+    }
+}
+
+/// Process-wide default [`SchedPolicy`] picked up by [`Simulation::new`].
+/// Lets a binary-level flag (`--sched-chaos <seed>`) reach every
+/// simulation constructed inside library code without threading a
+/// parameter through every call site.
+static DEFAULT_POLICY: Mutex<SchedPolicy> = Mutex::new(SchedPolicy::Fifo);
+
+/// Set the process-wide default scheduling policy for simulations
+/// created afterwards via [`Simulation::new`].
+pub fn set_default_sched_policy(p: SchedPolicy) {
+    *DEFAULT_POLICY.lock() = p;
+}
+
+/// The current process-wide default scheduling policy.
+pub fn default_sched_policy() -> SchedPolicy {
+    *DEFAULT_POLICY.lock()
+}
+
+/// One dispatched event, as recorded by the event trace (see
+/// [`SimHandle::enable_event_trace`]). Two runs of the same workload must
+/// produce identical traces under any [`SchedPolicy`] that honors the
+/// virtual-time contract; [`first_divergence`] finds the first index
+/// where they do not.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Virtual time of the event, in nanoseconds.
+    pub time_ns: u64,
+    /// The event's FIFO sequence number.
+    pub seq: u64,
+    /// Event kind: `"wake"`, `"call"`, or `"cancellable-call"`.
+    pub kind: &'static str,
+    /// Woken pid for `"wake"` events.
+    pub pid: Option<usize>,
+}
+
+impl std::fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.pid {
+            Some(pid) => write!(
+                f,
+                "t={}ns seq={} {} pid={}",
+                self.time_ns, self.seq, self.kind, pid
+            ),
+            None => write!(f, "t={}ns seq={} {}", self.time_ns, self.seq, self.kind),
+        }
+    }
+}
+
+/// Compare two event traces; `Some((index, a, b))` is the first position
+/// where they differ (`None` entries mean one trace ended early). This is
+/// the schedule-chaos oracle's report: the first diverging event pins
+/// where two schedules stopped agreeing.
+pub fn first_divergence(
+    a: &[EventRecord],
+    b: &[EventRecord],
+) -> Option<(usize, Option<EventRecord>, Option<EventRecord>)> {
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        let ea = a.get(i);
+        let eb = b.get(i);
+        if ea != eb {
+            return Some((i, ea.cloned(), eb.cloned()));
+        }
+    }
+    None
+}
 
 /// Identifier of a simulated process.
 pub(crate) type Pid = usize;
@@ -138,6 +248,15 @@ struct KernelInner {
     failures: Vec<String>,
     shutting_down: bool,
     events_processed: u64,
+    policy: SchedPolicy,
+    /// PRNG state for chaos/broken policies. Draws happen under this
+    /// mutex and only from the single running process (or the single
+    /// baton holder inside dispatch), so the draw sequence — and thus the
+    /// whole perturbation schedule — is a pure function of the seed.
+    rng: u64,
+    /// When `Some`, every dispatched event is appended (cancelled events
+    /// are skipped: they never advance time).
+    trace: Option<Vec<EventRecord>>,
 }
 
 /// A process body, boxed for hand-off to a pool worker.
@@ -272,6 +391,41 @@ impl SimHandle {
         self.inner.lock().events_processed
     }
 
+    /// Start recording every dispatched event (virtual time, sequence
+    /// number, kind, woken pid). Call before the run; pair with
+    /// [`SimHandle::take_event_trace`]. Tracing is the raw material of
+    /// the schedule-chaos oracle: traces from different [`SchedPolicy`]
+    /// seeds must be identical.
+    pub fn enable_event_trace(&self) {
+        let mut k = self.inner.lock();
+        if k.trace.is_none() {
+            k.trace = Some(Vec::new());
+        }
+    }
+
+    /// Take the recorded event trace (empty if tracing was never
+    /// enabled), leaving tracing enabled with a fresh buffer if it was.
+    pub fn take_event_trace(&self) -> Vec<EventRecord> {
+        let mut k = self.inner.lock();
+        match k.trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Draw one chaos word, or `None` under non-chaos policies. The draw
+    /// mutates the kernel PRNG under the kernel lock; because exactly one
+    /// process runs at a time, the sequence of draws is deterministic for
+    /// a given seed.
+    fn chaos_word(&self) -> Option<u64> {
+        let mut k = self.inner.lock();
+        if !matches!(k.policy, SchedPolicy::Chaos { .. }) {
+            return None;
+        }
+        k.rng = splitmix64(k.rng);
+        Some(k.rng)
+    }
+
     /// Number of processes spawned so far (each one is an OS thread for
     /// its lifetime; the wall-clock harness reports this).
     pub fn processes_spawned(&self) -> u64 {
@@ -397,21 +551,7 @@ impl SimHandle {
             // with it (the baton would be lost and the run would hang):
             // record it like a process failure and declare quiescence so
             // `run()` can surface it.
-            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| handle.pass_baton())) {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "<non-string panic>".to_string());
-                handle
-                    .inner
-                    .lock()
-                    .failures
-                    .push(format!("scheduled callback panicked: {msg}"));
-                let (flag, cv) = &*handle.quiesced;
-                *flag.lock() = true;
-                cv.notify_all();
-            }
+            handle.pass_baton_guarded();
         }));
         // Make the new process runnable "now".
         let now = self.now();
@@ -450,7 +590,7 @@ impl SimHandle {
             let ev = {
                 let mut k = self.inner.lock();
                 match k.heap.pop() {
-                    Some(ev) => {
+                    Some(mut ev) => {
                         if let EventKind::CancellableCall(flag, _) = &ev.kind {
                             if flag.load(AtomicOrdering::Relaxed) {
                                 // Cancelled timer: discard without touching
@@ -459,8 +599,40 @@ impl SimHandle {
                                 continue;
                             }
                         }
+                        if let SchedPolicy::BrokenTieBreak { .. } = k.policy {
+                            // Test-only: seeded coin flips swap equal-time
+                            // wake pairs, breaking the FIFO tie-break the
+                            // determinism contract rests on. The chaos
+                            // oracle must catch the resulting divergence.
+                            k.rng = splitmix64(k.rng);
+                            let flip = k.rng & 1 == 1;
+                            let swappable = matches!(ev.kind, EventKind::Wake(_))
+                                && k.heap.peek().is_some_and(|p| {
+                                    p.time == ev.time && matches!(p.kind, EventKind::Wake(_))
+                                });
+                            if flip && swappable {
+                                let other = k.heap.pop().expect("peeked event");
+                                k.heap.push(ev);
+                                ev = other;
+                            }
+                        }
                         k.now = ev.time;
                         k.events_processed += 1;
+                        if let Some(trace) = k.trace.as_mut() {
+                            trace.push(EventRecord {
+                                time_ns: ev.time.as_nanos(),
+                                seq: ev.seq,
+                                kind: match &ev.kind {
+                                    EventKind::Wake(_) => "wake",
+                                    EventKind::Call(_) => "call",
+                                    EventKind::CancellableCall(..) => "cancellable-call",
+                                },
+                                pid: match &ev.kind {
+                                    EventKind::Wake(pid) => Some(*pid),
+                                    _ => None,
+                                },
+                            });
+                        }
                         ev
                     }
                     None => return None,
@@ -505,6 +677,27 @@ impl SimHandle {
                 *flag.lock() = true;
                 cv.notify_all();
             }
+        }
+    }
+
+    /// [`SimHandle::pass_baton`] with the panic containment the process
+    /// exit path needs: a panicking `Call` closure is recorded as a
+    /// failure and quiescence is declared so `run()` can surface it,
+    /// instead of losing the baton and hanging the run.
+    fn pass_baton_guarded(&self) {
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| self.pass_baton())) {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            self.inner
+                .lock()
+                .failures
+                .push(format!("scheduled callback panicked: {msg}"));
+            let (flag, cv) = &*self.quiesced;
+            *flag.lock() = true;
+            cv.notify_all();
         }
     }
 }
@@ -575,28 +768,54 @@ impl Env {
             debug_assert_eq!(*st, ProcState::Running);
             *st = ProcState::Waiting;
         }
-        // Pass the baton directly to the next runnable process instead of
-        // round-tripping through a central scheduler thread: one context
-        // switch per handoff instead of two. If the next event is our own
-        // wake (a sleep chain with no interleaved process), control never
-        // leaves this thread at all.
-        let next = if self.handle.inner.lock().shutting_down {
-            None
-        } else {
-            self.handle.dispatch_until_wake()
-        };
-        match next {
-            Some(pid) if pid == self.pid => {
-                let mut st = self.ctl.state.lock();
-                debug_assert_eq!(*st, ProcState::Waiting);
-                *st = ProcState::Running;
-                return;
+        // Under SchedPolicy::Chaos, perturb the OS-level choreography of
+        // this handoff. All three perturbations are semantically inert for
+        // correctly synchronized code — they stress thread interleavings
+        // without touching virtual-time event order.
+        let chaos = self.handle.chaos_word();
+        if let Some(w) = chaos {
+            for _ in 0..(w & 3) {
+                std::thread::yield_now();
             }
-            Some(pid) => self.handle.wake_proc(pid),
-            None => {
-                let (flag, cv) = &*self.handle.quiesced;
-                *flag.lock() = true;
-                cv.notify_all();
+        }
+        let via_pool = chaos.is_some_and(|w| (w >> 3) & 7 == 0);
+        let slow_self = chaos.is_some_and(|w| (w >> 6) & 1 == 1);
+        if via_pool && !self.handle.inner.lock().shutting_down {
+            // Forced preemption: route the handoff through a pool worker
+            // (the classic central-scheduler shape — two context switches
+            // instead of one) rather than dispatching inline.
+            let h = self.handle.clone();
+            self.handle
+                .pool
+                .execute(Box::new(move || h.pass_baton_guarded()));
+        } else {
+            // Pass the baton directly to the next runnable process instead
+            // of round-tripping through a central scheduler thread: one
+            // context switch per handoff instead of two. If the next event
+            // is our own wake (a sleep chain with no interleaved process),
+            // control never leaves this thread at all.
+            let next = if self.handle.inner.lock().shutting_down {
+                None
+            } else {
+                self.handle.dispatch_until_wake()
+            };
+            match next {
+                Some(pid) if pid == self.pid && !slow_self => {
+                    let mut st = self.ctl.state.lock();
+                    debug_assert_eq!(*st, ProcState::Waiting);
+                    *st = ProcState::Running;
+                    return;
+                }
+                // With `slow_self`, a self-wake skips the fast path above
+                // and goes through wake_proc + the condvar below like any
+                // other handoff (the wait loop falls straight through
+                // because the state is already Running).
+                Some(pid) => self.handle.wake_proc(pid),
+                None => {
+                    let (flag, cv) = &*self.handle.quiesced;
+                    *flag.lock() = true;
+                    cv.notify_all();
+                }
             }
         }
         let mut st = self.ctl.state.lock();
@@ -649,8 +868,19 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Create an empty simulation at time zero.
+    /// Create an empty simulation at time zero, under the process-wide
+    /// default scheduling policy (see [`set_default_sched_policy`]).
     pub fn new() -> Self {
+        Self::with_policy(default_sched_policy())
+    }
+
+    /// Create an empty simulation at time zero under an explicit
+    /// scheduling policy.
+    pub fn with_policy(policy: SchedPolicy) -> Self {
+        let seed = match policy {
+            SchedPolicy::Fifo => 0,
+            SchedPolicy::Chaos { seed } | SchedPolicy::BrokenTieBreak { seed } => seed,
+        };
         Simulation {
             handle: SimHandle {
                 inner: Arc::new(Mutex::new(KernelInner {
@@ -661,6 +891,9 @@ impl Simulation {
                     failures: Vec::new(),
                     shutting_down: false,
                     events_processed: 0,
+                    policy,
+                    rng: splitmix64(seed ^ 0x5EED_CAFE_F00D_D00D),
+                    trace: None,
                 })),
                 telemetry: Telemetry::new(),
                 pool: Arc::new(WorkerPool::new()),
@@ -745,6 +978,34 @@ mod tests {
     fn empty_simulation_finishes_at_zero() {
         let sim = Simulation::new();
         assert_eq!(sim.run(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn instantly_finishing_processes_quiesce_under_every_policy() {
+        // Parking-order assumption, pinned: a process that never
+        // suspends can finish — and signal quiescence — while the main
+        // thread is still on its way from the first dispatch to the
+        // `quiesced` wait loop. The (flag, condvar) pair makes the wait
+        // fall through on the already-set flag instead of sleeping
+        // forever. Chaos policies additionally route the final baton
+        // handoffs through the worker pool, stressing the same window
+        // from a different thread.
+        for policy in [
+            SchedPolicy::Fifo,
+            SchedPolicy::chaos(1),
+            SchedPolicy::chaos(7),
+        ] {
+            let sim = Simulation::with_policy(policy);
+            let ran = Arc::new(AtomicU64::new(0));
+            for i in 0..16 {
+                let ran = ran.clone();
+                sim.spawn(format!("f{i}"), move |_env| {
+                    ran.fetch_add(1, AO::SeqCst);
+                });
+            }
+            assert_eq!(sim.run(), SimTime::ZERO, "no process advanced time");
+            assert_eq!(ran.load(AO::SeqCst), 16, "every process ran");
+        }
     }
 
     #[test]
@@ -854,6 +1115,144 @@ mod tests {
         sim.run();
         assert_eq!(fired.load(AO::SeqCst), 77);
         assert!(!token.is_cancelled());
+    }
+
+    /// A workload with rich contention: equal-time wakes, channels,
+    /// resources, nested spawns. Returns (final time, event trace,
+    /// observed completion order).
+    fn contended_run(policy: SchedPolicy) -> (SimTime, Vec<EventRecord>, Vec<u64>) {
+        let sim = Simulation::with_policy(policy);
+        let h = sim.handle();
+        h.enable_event_trace();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let res = crate::sync::Resource::new(&h, 2);
+        let (tx, rx) = crate::sync::channel::<u64>(&h);
+        for i in 0..6u64 {
+            let order = order.clone();
+            let res = res.clone();
+            let tx = tx.clone();
+            sim.spawn(format!("p{i}"), move |env| {
+                env.sleep(SimDuration::from_millis(10)); // all collide at t=10ms
+                let _g = res.acquire(&env);
+                env.sleep(SimDuration::from_millis(5 * (i % 3)));
+                order.lock().push(i);
+                tx.send(i);
+            });
+        }
+        drop(tx);
+        let sink = order.clone();
+        sim.spawn("sink", move |env| {
+            while let Ok(v) = rx.recv(&env) {
+                sink.lock().push(100 + v);
+            }
+        });
+        let end = sim.run();
+        let trace = h.take_event_trace();
+        let got = order.lock().clone();
+        (end, trace, got)
+    }
+
+    #[test]
+    fn chaos_seeds_leave_timeline_identical() {
+        let (t0, trace0, order0) = contended_run(SchedPolicy::Fifo);
+        assert!(!trace0.is_empty());
+        for seed in 0..8u64 {
+            let (t, trace, order) = contended_run(SchedPolicy::chaos(seed));
+            assert_eq!(t, t0, "seed {seed}: final time diverged");
+            assert_eq!(order, order0, "seed {seed}: completion order diverged");
+            if let Some((i, a, b)) = first_divergence(&trace0, &trace) {
+                panic!(
+                    "seed {seed}: event trace diverged at index {i}: fifo={:?} chaos={:?}",
+                    a.map(|e| e.to_string()),
+                    b.map(|e| e.to_string())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broken_tie_break_is_caught_by_the_oracle() {
+        // The intentionally seeded ordering bug: BrokenTieBreak swaps
+        // equal-time wakes, so some seed must produce a diverging trace —
+        // proof the oracle detects real races rather than vacuously
+        // passing. (A correct policy passes the same check above.)
+        let (_, trace0, _) = contended_run(SchedPolicy::Fifo);
+        let mut caught = None;
+        for seed in 0..8u64 {
+            let (_, trace, _) = contended_run(SchedPolicy::BrokenTieBreak { seed });
+            if let Some((i, a, b)) = first_divergence(&trace0, &trace) {
+                caught = Some((seed, i, a, b));
+                break;
+            }
+        }
+        let (seed, i, a, b) = caught.expect("no BrokenTieBreak seed diverged — oracle is blind");
+        // The first-divergence report names both events.
+        let a = a.expect("fifo trace ended early");
+        let b = b.expect("broken trace ended early");
+        assert_eq!(
+            a.time_ns, b.time_ns,
+            "seed {seed}: tie-break bug must diverge within one instant (index {i})"
+        );
+        assert_ne!(a.seq, b.seq);
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let (t1, trace1, order1) = contended_run(SchedPolicy::chaos(3));
+        let (t2, trace2, order2) = contended_run(SchedPolicy::chaos(3));
+        assert_eq!(t1, t2);
+        assert_eq!(order1, order2);
+        assert_eq!(first_divergence(&trace1, &trace2), None);
+    }
+
+    #[test]
+    fn default_policy_is_picked_up_by_new() {
+        // Serialize against other tests touching the global default.
+        assert_eq!(default_sched_policy(), SchedPolicy::Fifo);
+        set_default_sched_policy(SchedPolicy::chaos(9));
+        let sim = Simulation::new();
+        let policy = sim.handle().inner.lock().policy;
+        set_default_sched_policy(SchedPolicy::Fifo);
+        assert_eq!(policy, SchedPolicy::Chaos { seed: 9 });
+    }
+
+    #[test]
+    fn event_trace_records_wakes_and_calls() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        h.enable_event_trace();
+        h.schedule_call(SimTime::from_nanos(5), || {});
+        sim.spawn("p", |env| env.sleep(SimDuration::from_nanos(10)));
+        sim.run();
+        let trace = h.take_event_trace();
+        assert!(trace.iter().any(|e| e.kind == "call" && e.time_ns == 5));
+        assert!(trace.iter().any(|e| e.kind == "wake" && e.time_ns == 10));
+        // Trace is in dispatch order: time is non-decreasing.
+        for w in trace.windows(2) {
+            assert!(w[0].time_ns <= w[1].time_ns);
+        }
+    }
+
+    #[test]
+    fn first_divergence_reports_index_and_records() {
+        let a = vec![EventRecord {
+            time_ns: 1,
+            seq: 0,
+            kind: "wake",
+            pid: Some(0),
+        }];
+        let mut b = a.clone();
+        assert_eq!(first_divergence(&a, &b), None);
+        b.push(EventRecord {
+            time_ns: 2,
+            seq: 1,
+            kind: "call",
+            pid: None,
+        });
+        let (i, ea, eb) = first_divergence(&a, &b).expect("length mismatch diverges");
+        assert_eq!(i, 1);
+        assert_eq!(ea, None);
+        assert_eq!(eb.unwrap().to_string(), "t=2ns seq=1 call");
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub mod sync;
 pub mod telemetry;
 mod time;
 
-pub use engine::{CancelToken, Env, ProcessHandle, SimHandle, Simulation};
+pub use engine::{
+    default_sched_policy, first_divergence, set_default_sched_policy, CancelToken, Env,
+    EventRecord, ProcessHandle, SchedPolicy, SimHandle, Simulation,
+};
 pub use fault::{splitmix64, DetRng, LinkFaultPlan, OutageWindow};
 pub use link::{Link, TransferOutcome};
 pub use sync::{

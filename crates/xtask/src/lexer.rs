@@ -161,6 +161,24 @@ pub fn lex(src: &str) -> Lexed {
                     col,
                 });
             }
+            b'r' if c.peek_at(1) == Some(b'#') && c.peek_at(2).is_some_and(is_ident_start) => {
+                // Raw identifier `r#type`: one Ident token whose text is the
+                // part after `r#`, so `r#match.lock()` walks like any other
+                // receiver chain.
+                line_has_code = true;
+                c.bump();
+                c.bump();
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
             b'b' if c.peek_at(1) == Some(b'"') => {
                 line_has_code = true;
                 c.bump();
@@ -253,8 +271,11 @@ pub fn lex(src: &str) -> Lexed {
     Lexed { toks, comments }
 }
 
-/// True when the cursor sits on `r"`, `r#`, `br"`, or `br#` — i.e. a raw
-/// (byte) string, as opposed to an identifier starting with r/b.
+/// True when the cursor sits on a raw (byte) string opener: `r"`, `br"`,
+/// or `r`/`br` followed by hashes and then `"`. Scanning past the hashes
+/// matters: `r#type` is a raw *identifier*, not a raw string, and the old
+/// two-character lookahead misfired on it (pushing a bogus empty `Str`
+/// token after `lex_raw_string` gave up).
 fn raw_string_lookahead(c: &Cursor<'_>) -> bool {
     let mut off = 0usize;
     if c.peek() == Some(b'b') {
@@ -267,7 +288,10 @@ fn raw_string_lookahead(c: &Cursor<'_>) -> bool {
         return false;
     }
     off += 1;
-    matches!(c.peek_at(off), Some(b'"') | Some(b'#'))
+    while c.peek_at(off) == Some(b'#') {
+        off += 1;
+    }
+    c.peek_at(off) == Some(b'"')
 }
 
 fn lex_raw_string(c: &mut Cursor<'_>) {
@@ -399,6 +423,63 @@ mod tests {
         let lexed = lex(src);
         assert_eq!((lexed.toks[0].line, lexed.toks[0].col), (1, 1));
         assert_eq!((lexed.toks[1].line, lexed.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        // `r#type` must come through as a single Ident "type", not as a
+        // bogus empty Str token (the old lookahead stopped at `r#`).
+        let src = "let r#type = map.lock(); drop(r#type);";
+        let lexed = lex(src);
+        assert!(
+            !lexed.toks.iter().any(|t| t.kind == TokKind::Str),
+            "raw ident mislexed as string: {:?}",
+            lexed.toks
+        );
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|i| *i == "type").count(), 2);
+        assert!(ids.contains(&"lock".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_inside_macros() {
+        // Raw strings with hashes inside a macro invocation must swallow
+        // their contents (including fake `.lock()` calls and braces that
+        // would otherwise corrupt scope tracking).
+        let src = r####"
+            write!(f, r##"a { brace and x.lock() inside "# quotes "##).ok();
+            let after = 1;
+        "####;
+        let lexed = lex(src);
+        let ids = idents(src);
+        assert!(!ids.contains(&"lock".to_string()));
+        assert!(!ids.contains(&"brace".to_string()));
+        assert!(ids.contains(&"after".to_string()));
+        // Braces inside the raw string must not appear as punct tokens.
+        let braces = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct && (t.text == "{" || t.text == "}"))
+            .count();
+        assert_eq!(braces, 0, "raw-string braces leaked into token stream");
+    }
+
+    #[test]
+    fn raw_ident_lookahead_does_not_eat_following_tokens() {
+        // `r#match` followed by more code on the same line: the tokens
+        // after the raw ident must survive with correct columns.
+        let src = "r#match.read()";
+        let lexed = lex(src);
+        let texts: Vec<&str> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["match", ".", "read", "(", ")"]);
+    }
+
+    #[test]
+    fn byte_raw_strings_still_lex() {
+        let src = r###"let b = br#"bytes "quoted" here"#; let tail = 2;"###;
+        let ids = idents(src);
+        assert!(ids.contains(&"tail".to_string()));
+        assert!(!ids.contains(&"bytes".to_string()));
     }
 
     #[test]

@@ -26,9 +26,30 @@ pub struct FileResult {
     pub waivers_used: usize,
 }
 
-/// Parse waiver comments out of a lexed file. Malformed waivers are
-/// reported as `waiver` violations immediately.
+/// Parse waiver comments out of a lexed file for the `lint` pass.
+/// Malformed waivers are reported as `waiver` violations immediately.
 pub fn parse_waivers(path: &str, comments: &[Comment], out: &mut Vec<Violation>) -> Vec<Waiver> {
+    parse_waivers_for(
+        path,
+        comments,
+        rules::ALL_RULES,
+        crate::lockgraph::LOCKGRAPH_RULES,
+        out,
+    )
+}
+
+/// Parse waiver comments, keeping only those naming a rule in
+/// `active_rules`. Waivers for `foreign_rules` are silently skipped —
+/// they belong to the other pass (lint vs lockgraph share the one
+/// `lint:allow(...)` syntax), so neither pass reports them as unknown or
+/// unused. A rule known to neither set is a malformed waiver.
+pub fn parse_waivers_for(
+    path: &str,
+    comments: &[Comment],
+    active_rules: &[&str],
+    foreign_rules: &[&str],
+    out: &mut Vec<Violation>,
+) -> Vec<Waiver> {
     let mut waivers = Vec::new();
     for c in comments {
         // A waiver must be the entire comment: `// lint:allow(rule): reason`.
@@ -55,7 +76,10 @@ pub fn parse_waivers(path: &str, comments: &[Comment], out: &mut Vec<Violation>)
             continue;
         };
         let rule = rest[..close].trim().to_string();
-        if !rules::ALL_RULES.contains(&rule.as_str()) || rule == rules::RULE_WAIVER {
+        if foreign_rules.contains(&rule.as_str()) && !active_rules.contains(&rule.as_str()) {
+            continue; // other pass owns this waiver
+        }
+        if !active_rules.contains(&rule.as_str()) || rule == rules::RULE_WAIVER {
             bad(&format!("waiver names unknown rule `{rule}`"), out);
             continue;
         }
@@ -126,7 +150,7 @@ pub fn lint_source(path: &str, src: &str) -> FileResult {
 
 /// Baseline key: rule + path + trimmed source line text. Line text (not
 /// the line number) keeps entries stable across unrelated edits above.
-fn baseline_key(v: &Violation, line_text: &str) -> String {
+pub fn baseline_key(v: &Violation, line_text: &str) -> String {
     format!("{}\t{}\t{}", v.rule, v.file, line_text.trim())
 }
 
@@ -143,10 +167,16 @@ pub fn parse_baseline(text: &str) -> BTreeMap<String, u32> {
 }
 
 pub fn render_baseline(keys: &[String]) -> String {
-    let mut out = String::from(
-        "# xtask lint baseline — grandfathered violations.\n\
+    render_baseline_for("lint", keys)
+}
+
+/// Shared baseline renderer; `tool` names the subcommand that owns the
+/// file (`lint` or `lockgraph`).
+pub fn render_baseline_for(tool: &str, keys: &[String]) -> String {
+    let mut out = format!(
+        "# xtask {tool} baseline — grandfathered violations.\n\
          # Format: <rule>\\t<path>\\t<trimmed source line>\n\
-         # Regenerate with: cargo run -p xtask -- lint --write-baseline\n",
+         # Regenerate with: cargo run -p xtask -- {tool} --write-baseline\n",
     );
     for k in keys {
         out.push_str(k);
@@ -195,7 +225,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 /// Walk upward from CWD looking for the workspace root (a Cargo.toml
 /// containing `[workspace]`); fall back to this crate's parent dirs.
-fn find_workspace_root() -> PathBuf {
+pub fn find_workspace_root() -> PathBuf {
     let mut candidates = Vec::new();
     if let Ok(cwd) = std::env::current_dir() {
         candidates.push(cwd);

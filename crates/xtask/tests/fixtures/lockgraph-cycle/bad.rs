@@ -1,0 +1,21 @@
+//! Bad: two code paths acquire the same pair of locks in opposite
+//! orders — a classic AB/BA deadlock the lock-order graph must flag.
+
+pub struct Tier {
+    routing: Mutex<Routing>,
+    sessions: Mutex<Sessions>,
+}
+
+impl Tier {
+    pub fn rebalance(&self) {
+        let r = self.routing.lock();
+        let s = self.sessions.lock();
+        s.move_all(&r);
+    }
+
+    pub fn evict(&self) {
+        let s = self.sessions.lock();
+        let r = self.routing.lock();
+        r.forget(&s);
+    }
+}

@@ -1,0 +1,21 @@
+//! Good: both paths acquire routing before sessions — one documented
+//! order, so the graph has an edge but no cycle.
+
+pub struct Tier {
+    routing: Mutex<Routing>,
+    sessions: Mutex<Sessions>,
+}
+
+impl Tier {
+    pub fn rebalance(&self) {
+        let r = self.routing.lock();
+        let s = self.sessions.lock();
+        s.move_all(&r);
+    }
+
+    pub fn evict(&self) {
+        let r = self.routing.lock();
+        let s = self.sessions.lock();
+        r.forget(&s);
+    }
+}

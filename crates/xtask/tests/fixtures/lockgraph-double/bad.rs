@@ -1,0 +1,13 @@
+//! Bad: the same lock class acquired while its guard is still live —
+//! with a non-reentrant mutex this self-deadlocks at runtime.
+
+impl Cache {
+    pub fn promote(&self, key: Key) {
+        let inner = self.inner.lock();
+        if inner.contains(key) {
+            // Deadlock: `inner` is still held here.
+            let again = self.inner.lock();
+            again.touch(key);
+        }
+    }
+}

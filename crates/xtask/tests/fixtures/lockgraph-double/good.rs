@@ -1,0 +1,21 @@
+//! Good: the first guard is dropped (or scoped out) before the lock is
+//! taken again.
+
+impl Cache {
+    pub fn promote(&self, key: Key) {
+        let hit = { self.inner.lock().contains(key) };
+        if hit {
+            let again = self.inner.lock();
+            again.touch(key);
+        }
+    }
+
+    pub fn demote(&self, key: Key) {
+        let inner = self.inner.lock();
+        let present = inner.contains(key);
+        drop(inner);
+        if present {
+            self.inner.lock().evict(key);
+        }
+    }
+}

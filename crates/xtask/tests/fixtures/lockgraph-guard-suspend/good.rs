@@ -1,0 +1,17 @@
+//! Good: every guard is released before the process suspends — the
+//! fetch result is computed first, the guard scoped to a block.
+
+impl Proxy {
+    pub fn refill(&self, env: &Env, key: Key) {
+        let block = fetch_block(env, key);
+        self.state.lock().insert(key, block);
+    }
+
+    pub fn resolve(&self, env: &Env, path: &str) {
+        let found = { self.state.lock().find(path) };
+        match found {
+            Some(_) => env.sleep(MS),
+            None => {}
+        }
+    }
+}

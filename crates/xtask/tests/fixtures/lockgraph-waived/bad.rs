@@ -1,0 +1,10 @@
+//! Bad: a waiver whose line triggers no lockgraph violation — stale
+//! suppressions are themselves violations, same as in the lint pass.
+
+impl Cache {
+    pub fn get(&self, key: Key) {
+        // lint:allow(lock-double-acquire): nothing here double-acquires
+        let inner = self.inner.lock();
+        inner.get(key);
+    }
+}
