@@ -72,6 +72,7 @@ fn zero_filter_counts(
             write_policy: WritePolicy::WriteBack,
             cache_bytes: 8 << 30,
             dedup: DedupTuning::default(),
+            fleet: gvfs::FleetTuning::off(),
         }),
         None,
     );

@@ -1,0 +1,385 @@
+//! fleet — fleet-scale cloning under seeded arrival load (DESIGN.md §5.8).
+//!
+//! Drives hundreds of clone requests through a sharded proxy tree
+//! (origin → per-site shard proxies → per-host client proxies) with
+//! Poisson and bursty on/off arrivals, and reports p50/p95/p99 clone
+//! latency, origin WAN utilization, per-shard queue depth, and the
+//! achieved `FETCH_BLOBS_BATCH` coalescing — with the batching ablation
+//! (`FleetTuning::off()`) and the dedup ablation run side by side.
+//!
+//! ```text
+//! cargo run -p gvfs-bench --release --bin fleet              # 512 clones, 4 sites
+//! cargo run -p gvfs-bench --release --bin fleet -- --smoke   # 64 clones, 2 sites
+//! cargo run -p gvfs-bench --release --bin fleet -- --bench   # wall-clock harness
+//! ```
+//!
+//! The default run writes `reports/fleet.json`; the report is a pure
+//! function of the seeds, so CI replays it and compares bytes (including
+//! under `--sched-chaos`). `--bench` instead measures host throughput
+//! (a 1000-process engine churn plus a smoke fleet run) and appends to
+//! the committed `BENCH_fleet.json` trajectory (schema
+//! `gvfs.fleet-perf.v1`, checked by `perf --validate`).
+
+use gvfs::{DedupTuning, FleetTuning};
+use gvfs_bench::fleet::{run_fleet, ArrivalMode, FleetParams, FleetResult};
+use gvfs_bench::perfjson::{
+    append_trajectory, get, measure, rpc_roundtrips, sim_bytes, Measure, FLEET_SCHEMA,
+};
+use gvfs_bench::report::{render_table, scenario_report, write_report};
+use simnet::{Env, JsonValue, SimDuration, Simulation};
+
+struct Cli {
+    smoke: bool,
+    json_path: Option<String>,
+    trace: bool,
+    seed: Option<u64>,
+    rate: Option<f64>,
+    clones: Option<usize>,
+    bench: bool,
+    bench_json: String,
+    runs: usize,
+    label: String,
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("fleet: {err}");
+    }
+    eprintln!(
+        "usage: fleet [--smoke] [--json PATH] [--no-json] [--trace] [--seed N] [--rate R]\n             [--clones N] [--sched-chaos SEED]\n       fleet --bench [--runs N] [--label NAME] [--bench-json PATH]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        smoke: false,
+        json_path: Some("reports/fleet.json".to_string()),
+        trace: false,
+        seed: None,
+        rate: None,
+        clones: None,
+        bench: false,
+        bench_json: "BENCH_fleet.json".to_string(),
+        runs: 2,
+        label: "dev".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => cli.smoke = true,
+            "--trace" => cli.trace = true,
+            "--no-json" => cli.json_path = None,
+            "--bench" => cli.bench = true,
+            "--json" => {
+                cli.json_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--json requires a path")),
+                )
+            }
+            "--bench-json" => {
+                cli.bench_json = args
+                    .next()
+                    .unwrap_or_else(|| usage("--bench-json requires a path"))
+            }
+            "--seed" => {
+                cli.seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed requires a u64")),
+                )
+            }
+            "--rate" => {
+                cli.rate = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--rate requires a float")),
+                )
+            }
+            "--clones" => {
+                cli.clones = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--clones requires a positive integer")),
+                )
+            }
+            "--runs" => {
+                cli.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--runs requires a positive integer"))
+            }
+            "--label" => {
+                cli.label = args
+                    .next()
+                    .unwrap_or_else(|| usage("--label requires a value"))
+            }
+            "--sched-chaos" => {
+                let seed: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--sched-chaos requires a u64 seed"));
+                // Install process-wide so every Simulation::new() in
+                // library code runs under the adversarial schedule. The
+                // report must stay byte-identical (DESIGN.md §5.7).
+                simnet::set_default_sched_policy(simnet::SchedPolicy::chaos(seed));
+                eprintln!("fleet: schedule-chaos policy active (seed {seed})");
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    cli
+}
+
+/// The scenario's report slice: the standard snapshot-derived body plus
+/// a `fleet` object with the latency percentiles and fleet telemetry.
+fn fleet_json(label: &str, r: &FleetResult) -> JsonValue {
+    let base = scenario_report(label, r.total_virtual_secs, &r.snapshot);
+    let JsonValue::Object(mut fields) = base else {
+        unreachable!("scenario_report returns an object");
+    };
+    fields.push((
+        "fleet".to_string(),
+        JsonValue::object([
+            ("clones", JsonValue::Uint(r.latency.count)),
+            ("p50_secs", JsonValue::Float(r.latency.p50_secs)),
+            ("p95_secs", JsonValue::Float(r.latency.p95_secs)),
+            ("p99_secs", JsonValue::Float(r.latency.p99_secs)),
+            ("mean_secs", JsonValue::Float(r.latency.mean_secs)),
+            ("max_secs", JsonValue::Float(r.latency.max_secs)),
+            (
+                "shard_queue_high_water",
+                JsonValue::Array(
+                    r.shard_queue_high_water
+                        .iter()
+                        .map(|w| JsonValue::Uint(*w))
+                        .collect(),
+                ),
+            ),
+            (
+                "wan_down_utilization",
+                JsonValue::Float(r.wan_down_utilization),
+            ),
+            ("wan_up_utilization", JsonValue::Float(r.wan_up_utilization)),
+            ("batches", JsonValue::Uint(r.batches)),
+            ("batched_items", JsonValue::Uint(r.batched_items)),
+        ]),
+    ));
+    JsonValue::Object(fields)
+}
+
+/// 1000 concurrent processes of pure engine churn: the fleet-scale
+/// scheduler-throughput floor (the PR 6 fig6 events/sec number is the
+/// regression bar).
+fn churn_1000() -> Measure {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    for p in 0..1000u64 {
+        sim.spawn(format!("churn{p}"), move |env: Env| {
+            let mut s = p + 1;
+            for _ in 0..1_000 {
+                s = simnet::splitmix64(s);
+                env.sleep(SimDuration::from_micros(1 + s % 128));
+                env.yield_now();
+            }
+        });
+    }
+    let end = sim.run();
+    Measure {
+        events: h.events_processed(),
+        rpc_roundtrips: 0,
+        sim_bytes: 0,
+        virtual_secs: end.as_secs_f64(),
+        procs: h.processes_spawned(),
+    }
+}
+
+fn fleet_smoke() -> Measure {
+    let r = run_fleet(&FleetParams::smoke());
+    Measure {
+        events: r.events_processed,
+        rpc_roundtrips: rpc_roundtrips(&r.snapshot),
+        sim_bytes: sim_bytes(&r.snapshot),
+        virtual_secs: r.total_virtual_secs,
+        procs: r.processes_spawned,
+    }
+}
+
+fn run_bench(cli: &Cli) {
+    if cli.runs == 0 {
+        usage("--runs must be >= 1");
+    }
+    let scenarios = vec![
+        measure("churn_1000", cli.runs, churn_1000),
+        measure("fleet_smoke", cli.runs, fleet_smoke),
+    ];
+    for s in &scenarios {
+        let name = match get(s, "name") {
+            Some(JsonValue::Str(n)) => n.clone(),
+            _ => unreachable!("scenario entries always carry a name"),
+        };
+        let num = |k: &str| {
+            get(s, k)
+                .and_then(gvfs_bench::perfjson::as_number)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{:<12} {:>10.3}s wall {:>14.0} events/sec {:>16.0} sim bytes/sec",
+            name,
+            num("wall_secs_median"),
+            num("events_per_sec"),
+            num("sim_bytes_per_sec")
+        );
+    }
+    let entry = JsonValue::object([
+        ("label", JsonValue::Str(cli.label.clone())),
+        ("mode", JsonValue::Str("bench".to_string())),
+        ("runs", JsonValue::Uint(cli.runs as u64)),
+        ("scenarios", JsonValue::Array(scenarios)),
+    ]);
+    append_trajectory(&cli.bench_json, FLEET_SCHEMA, entry);
+}
+
+fn main() {
+    let cli = parse_cli();
+    if cli.bench {
+        run_bench(&cli);
+        return;
+    }
+
+    let mut base = if cli.smoke {
+        FleetParams::smoke()
+    } else {
+        FleetParams::default()
+    };
+    if let Some(seed) = cli.seed {
+        base.seed = seed;
+    }
+    if let Some(rate) = cli.rate {
+        base.rate_per_sec = rate;
+    }
+    if let Some(clones) = cli.clones {
+        base.clones = clones;
+    }
+    base.trace = cli.trace;
+
+    // Arrival modes × batching, plus the dedup ablation (with dedup off
+    // the client proxies never speak the channel's digest protocol, so
+    // there is nothing for the shard tier to batch — FleetTuning::off()
+    // is the only meaningful pairing).
+    let matrix: Vec<(&str, ArrivalMode, FleetTuning, DedupTuning)> = vec![
+        (
+            "fleet-poisson-batch",
+            ArrivalMode::Poisson,
+            FleetTuning::shard(),
+            base.dedup,
+        ),
+        (
+            "fleet-poisson-nobatch",
+            ArrivalMode::Poisson,
+            FleetTuning::off(),
+            base.dedup,
+        ),
+        (
+            "fleet-bursty-batch",
+            ArrivalMode::Bursty,
+            FleetTuning::shard(),
+            base.dedup,
+        ),
+        (
+            "fleet-bursty-nobatch",
+            ArrivalMode::Bursty,
+            FleetTuning::off(),
+            base.dedup,
+        ),
+        (
+            "fleet-poisson-nodedup",
+            ArrivalMode::Poisson,
+            FleetTuning::off(),
+            DedupTuning::off(),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut report = Vec::new();
+    let mut results: Vec<(&str, FleetResult)> = Vec::new();
+    for (label, arrival, fleet, dedup) in matrix {
+        eprintln!(
+            "fleet: {label} ({} clones, {} sites, seed {:#x})...",
+            base.clones, base.sites, base.seed
+        );
+        let params = FleetParams {
+            arrival,
+            fleet,
+            dedup,
+            ..base
+        };
+        let r = run_fleet(&params);
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", r.latency.count),
+            format!("{:.2}", r.latency.p50_secs),
+            format!("{:.2}", r.latency.p95_secs),
+            format!("{:.2}", r.latency.p99_secs),
+            format!("{:.2}", r.latency.max_secs),
+            format!("{:.1}%", r.wan_down_utilization * 100.0),
+            format!("{}", r.shard_queue_high_water.iter().max().unwrap_or(&0)),
+            format!("{}", r.batches),
+        ]);
+        report.push(fleet_json(label, &r));
+        results.push((label, r));
+    }
+
+    println!(
+        "\nFleet cloning latency ({} clones, {} sites, {} hosts/site, rate {}/s):\n",
+        base.clones, base.sites, base.hosts_per_site, base.rate_per_sec
+    );
+    print!(
+        "{}",
+        render_table(
+            &[
+                "scenario", "clones", "p50 s", "p95 s", "p99 s", "max s", "wan dn", "shard q",
+                "batches"
+            ],
+            &rows
+        )
+    );
+
+    let p99 = |label: &str| {
+        results
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, r)| r.latency.p99_secs)
+    };
+    let mut ablation_failed = false;
+    for (on, off, mode) in [
+        ("fleet-poisson-batch", "fleet-poisson-nobatch", "poisson"),
+        ("fleet-bursty-batch", "fleet-bursty-nobatch", "bursty"),
+    ] {
+        if let (Some(b), Some(n)) = (p99(on), p99(off)) {
+            if n > 0.0 {
+                let lower = (1.0 - b / n) * 100.0;
+                println!(
+                    "\n{mode}: p99 with batching {b:.2}s vs {n:.2}s without ({lower:.0}% lower)"
+                );
+                // The scenario's contract: envelope coalescing must buy
+                // at least 30% of the p99 tail on the same arrival
+                // schedule, or the batching path has regressed.
+                if lower < 30.0 {
+                    eprintln!(
+                        "fleet: FAIL — {mode} batching ablation below the 30% p99 bar ({lower:.0}%)"
+                    );
+                    ablation_failed = true;
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &cli.json_path {
+        write_report(std::path::Path::new(path), "fleet", report);
+    }
+    if ablation_failed {
+        std::process::exit(1);
+    }
+}

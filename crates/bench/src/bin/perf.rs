@@ -18,44 +18,27 @@
 //! produce the same event count, byte count, and final virtual clock
 //! every run, and the harness fails hard when it does not.
 //!
+//! `--validate` checks either trajectory schema — `gvfs.perf.v1`
+//! (this binary's `BENCH_perf.json`) or `gvfs.fleet-perf.v1`
+//! (`BENCH_fleet.json`, written by `fleet --bench`).
+//!
 //! ```text
 //! cargo run -p gvfs-bench --release --bin perf            # full, 5 runs
 //! cargo run -p gvfs-bench --release --bin perf -- --smoke # CI-sized
 //! cargo run -p gvfs-bench --release --bin perf -- --validate BENCH_perf.json
+//! cargo run -p gvfs-bench --release --bin perf -- --validate BENCH_fleet.json
 //! ```
 
+use gvfs_bench::perfjson::{
+    append_trajectory, as_number, events_per_sec_of, get, measure, rpc_roundtrips, sim_bytes,
+    validate, JsonReader, Measure, PERF_SCENARIOS, PERF_SCHEMA,
+};
 use gvfs_bench::{
     run_app_scenario, run_parallel_cloning, run_sequential_for_table1, AppParams, AppScenario,
     CloneParams,
 };
-use simnet::{Env, JsonValue, SimDuration, Simulation, Snapshot};
+use simnet::{Env, JsonValue, SimDuration, Simulation};
 use workloads::latex::{generate, LatexParams};
-
-/// Virtual-time outcome of one scenario execution. Must be identical
-/// across repeated runs — the simulation is deterministic, only the wall
-/// clock may vary.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Measure {
-    events: u64,
-    rpc_roundtrips: u64,
-    sim_bytes: u64,
-    virtual_secs: f64,
-    procs: u64,
-}
-
-fn rpc_roundtrips(snap: &Snapshot) -> u64 {
-    // Completed client-side calls: one per RPC round trip. Server-side
-    // `served.calls` would double-count multi-hop proxy chains.
-    snap.counters
-        .iter()
-        .filter(|c| c.layer == "rpc" && c.name.starts_with("client.") && c.name.ends_with(".calls"))
-        .map(|c| c.value)
-        .sum()
-}
-
-fn sim_bytes(snap: &Snapshot) -> u64 {
-    snap.counter_sum("link", ".bytes")
-}
 
 // ---------------------------------------------------------------------------
 // Scenarios
@@ -156,410 +139,6 @@ fn simnet_churn(smoke: bool) -> Measure {
 }
 
 // ---------------------------------------------------------------------------
-// Measurement
-
-/// Run `f` once, returning its result and the wall seconds it took.
-fn wall_time<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    // lint:allow(determinism): wall-clock measurement is this harness's entire purpose
-    let t0 = std::time::Instant::now();
-    let out = f();
-    (out, t0.elapsed().as_secs_f64())
-}
-
-/// Context switches this process has accumulated, summed over all live
-/// threads from `/proc/self/task/*/status` (voluntary, nonvoluntary).
-/// `/proc/self/status` alone only covers the main thread, which mostly
-/// parks while simulation worker threads hand the baton around — the
-/// per-task sum is what tracks scheduler pressure. Diagnostics only;
-/// zero where unsupported, and an undercount if threads exited between
-/// scenarios (the simulations here keep their worker pools alive until
-/// the run ends, so deltas taken around a run are accurate).
-fn ctx_switches() -> (u64, u64) {
-    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
-        return (0, 0);
-    };
-    let (mut vol, mut nonvol) = (0u64, 0u64);
-    for task in tasks.flatten() {
-        let Ok(status) = std::fs::read_to_string(task.path().join("status")) else {
-            continue; // thread exited mid-scan
-        };
-        let field = |key: &str| {
-            status
-                .lines()
-                .find(|l| l.starts_with(key))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(0u64)
-        };
-        vol += field("voluntary_ctxt_switches:");
-        nonvol += field("nonvoluntary_ctxt_switches:");
-    }
-    (vol, nonvol)
-}
-
-fn median(xs: &mut [f64]) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let n = xs.len();
-    if n % 2 == 1 {
-        xs[n / 2]
-    } else {
-        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
-    }
-}
-
-/// Measure one scenario `runs` times; enforce virtual-time determinism
-/// across repeats; return its JSON entry.
-fn measure(name: &str, runs: usize, f: impl Fn() -> Measure) -> JsonValue {
-    eprintln!("perf: running {name} ({runs} repeats)...");
-    let mut walls = Vec::with_capacity(runs);
-    let mut first: Option<Measure> = None;
-    for i in 0..runs {
-        let (vol0, nonvol0) = ctx_switches();
-        let (m, wall) = wall_time(&f);
-        let (vol1, nonvol1) = ctx_switches();
-        eprintln!(
-            "perf:   run {}/{}: {:.3}s wall, {} events, {} rpc, {} sim bytes, {} procs, ctxsw +{}v/+{}nv",
-            i + 1,
-            runs,
-            wall,
-            m.events,
-            m.rpc_roundtrips,
-            m.sim_bytes,
-            m.procs,
-            vol1.saturating_sub(vol0),
-            nonvol1.saturating_sub(nonvol0)
-        );
-        match &first {
-            None => first = Some(m),
-            Some(prev) if *prev != m => {
-                eprintln!(
-                    "perf: DETERMINISM ERROR in {name}: run {} produced {m:?}, run 1 produced {prev:?}",
-                    i + 1
-                );
-                std::process::exit(3);
-            }
-            Some(_) => {}
-        }
-        walls.push(wall);
-    }
-    let m = first.expect("runs >= 1");
-    let med = median(&mut walls);
-    JsonValue::object([
-        ("name", JsonValue::Str(name.to_string())),
-        ("wall_secs_median", JsonValue::Float(med)),
-        (
-            "wall_secs_all",
-            JsonValue::Array(walls.iter().map(|w| JsonValue::Float(*w)).collect()),
-        ),
-        ("virtual_secs", JsonValue::Float(m.virtual_secs)),
-        ("events_processed", JsonValue::Uint(m.events)),
-        ("rpc_roundtrips", JsonValue::Uint(m.rpc_roundtrips)),
-        ("sim_bytes", JsonValue::Uint(m.sim_bytes)),
-        ("events_per_sec", JsonValue::Float(m.events as f64 / med)),
-        (
-            "rpc_roundtrips_per_sec",
-            JsonValue::Float(m.rpc_roundtrips as f64 / med),
-        ),
-        (
-            "sim_bytes_per_sec",
-            JsonValue::Float(m.sim_bytes as f64 / med),
-        ),
-    ])
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON reader (the repo's JsonValue only prints). Only needs to
-// read files this harness wrote: objects, arrays, strings, numbers.
-
-struct JsonReader<'a> {
-    s: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonReader<'a> {
-    fn parse(text: &'a str) -> Result<JsonValue, String> {
-        let mut r = JsonReader {
-            s: text.as_bytes(),
-            pos: 0,
-        };
-        let v = r.value()?;
-        r.skip_ws();
-        if r.pos != r.s.len() {
-            return Err(format!("trailing bytes at offset {}", r.pos));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.s
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), String> {
-        if self.peek()? == b {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at offset {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<JsonValue, String> {
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(JsonValue::Str(self.string()?)),
-            b't' => self.literal("true", JsonValue::Bool(true)),
-            b'f' => self.literal("false", JsonValue::Bool(false)),
-            b'n' => self.literal("null", JsonValue::Null),
-            _ => self.number(),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
-        self.skip_ws();
-        if self.s[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at offset {}", self.pos))
-        }
-    }
-
-    fn object(&mut self) -> Result<JsonValue, String> {
-        self.eat(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(JsonValue::Object(fields));
-        }
-        loop {
-            let key = self.string()?;
-            self.eat(b':')?;
-            fields.push((key, self.value()?));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Object(fields));
-                }
-                c => return Err(format!("expected ',' or '}}', got '{}'", c as char)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<JsonValue, String> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(JsonValue::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Array(items));
-                }
-                c => return Err(format!("expected ',' or ']', got '{}'", c as char)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            let Some(&b) = self.s.get(self.pos) else {
-                return Err("unterminated string".to_string());
-            };
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let Some(&esc) = self.s.get(self.pos) else {
-                        return Err("unterminated escape".to_string());
-                    };
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .s
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            self.pos += 4;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
-                        other => return Err(format!("bad escape '\\{}'", other as char)),
-                    }
-                }
-                _ => {
-                    // Re-assemble multi-byte UTF-8 sequences verbatim.
-                    let start = self.pos - 1;
-                    while self.pos < self.s.len() && self.s[self.pos] & 0xC0 == 0x80 {
-                        self.pos += 1;
-                    }
-                    out.push_str(
-                        std::str::from_utf8(&self.s[start..self.pos])
-                            .map_err(|_| "invalid utf-8 in string")?,
-                    );
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<JsonValue, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self.pos < self.s.len()
-            && matches!(
-                self.s[self.pos],
-                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
-            )
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.s[start..self.pos]).map_err(|_| "bad number")?;
-        if text.is_empty() {
-            return Err(format!("expected a value at offset {start}"));
-        }
-        if !text.contains(['.', 'e', 'E', '-']) {
-            if let Ok(u) = text.parse::<u64>() {
-                return Ok(JsonValue::Uint(u));
-            }
-        }
-        text.parse::<f64>()
-            .map(JsonValue::Float)
-            .map_err(|e| format!("bad number '{text}': {e}"))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Schema validation
-
-const SCHEMA: &str = "gvfs.perf.v1";
-const SCENARIO_NAMES: [&str; 4] = ["fig4_flush", "fig6_clone", "table1_seq", "simnet_churn"];
-const SCENARIO_NUMBER_FIELDS: [&str; 7] = [
-    "wall_secs_median",
-    "virtual_secs",
-    "events_processed",
-    "rpc_roundtrips",
-    "sim_bytes",
-    "events_per_sec",
-    "rpc_roundtrips_per_sec",
-];
-
-fn get<'v>(obj: &'v JsonValue, key: &str) -> Option<&'v JsonValue> {
-    match obj {
-        JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-        _ => None,
-    }
-}
-
-fn as_number(v: &JsonValue) -> Option<f64> {
-    match v {
-        JsonValue::Uint(u) => Some(*u as f64),
-        JsonValue::Float(f) => Some(*f),
-        _ => None,
-    }
-}
-
-/// Validate a `gvfs.perf.v1` document; returns every problem found.
-fn validate(doc: &JsonValue) -> Vec<String> {
-    let mut errs = Vec::new();
-    match get(doc, "schema") {
-        Some(JsonValue::Str(s)) if s == SCHEMA => {}
-        other => errs.push(format!("schema field must be \"{SCHEMA}\", got {other:?}")),
-    }
-    let Some(JsonValue::Array(entries)) = get(doc, "trajectory") else {
-        errs.push("trajectory must be an array".to_string());
-        return errs;
-    };
-    if entries.is_empty() {
-        errs.push("trajectory must not be empty".to_string());
-    }
-    for (i, entry) in entries.iter().enumerate() {
-        if !matches!(get(entry, "label"), Some(JsonValue::Str(_))) {
-            errs.push(format!("entry #{i}: missing string label"));
-        }
-        if !matches!(get(entry, "mode"), Some(JsonValue::Str(_))) {
-            errs.push(format!("entry #{i}: missing string mode"));
-        }
-        if !matches!(get(entry, "runs"), Some(JsonValue::Uint(_))) {
-            errs.push(format!("entry #{i}: missing uint runs"));
-        }
-        let Some(JsonValue::Array(scenarios)) = get(entry, "scenarios") else {
-            errs.push(format!("entry #{i}: scenarios must be an array"));
-            continue;
-        };
-        let mut seen = Vec::new();
-        for s in scenarios {
-            let name = match get(s, "name") {
-                Some(JsonValue::Str(n)) => n.clone(),
-                _ => {
-                    errs.push(format!("entry #{i}: scenario missing name"));
-                    continue;
-                }
-            };
-            for field in SCENARIO_NUMBER_FIELDS {
-                if get(s, field).and_then(as_number).is_none() {
-                    errs.push(format!(
-                        "entry #{i} scenario {name}: missing number {field}"
-                    ));
-                }
-            }
-            if get(s, "sim_bytes_per_sec").and_then(as_number).is_none() {
-                errs.push(format!(
-                    "entry #{i} scenario {name}: missing number sim_bytes_per_sec"
-                ));
-            }
-            seen.push(name);
-        }
-        for want in SCENARIO_NAMES {
-            if !seen.iter().any(|n| n == want) {
-                errs.push(format!("entry #{i}: scenario {want} missing"));
-            }
-        }
-    }
-    errs
-}
-
-fn events_per_sec_of(entry: &JsonValue, scenario: &str) -> Option<f64> {
-    let JsonValue::Array(scenarios) = get(entry, "scenarios")? else {
-        return None;
-    };
-    scenarios
-        .iter()
-        .find(|s| matches!(get(s, "name"), Some(JsonValue::Str(n)) if n == scenario))
-        .and_then(|s| get(s, "events_per_sec"))
-        .and_then(as_number)
-}
-
-// ---------------------------------------------------------------------------
 // Main
 
 struct Cli {
@@ -639,7 +218,11 @@ fn main() {
         });
         let errs = validate(&doc);
         if errs.is_empty() {
-            println!("perf: {path} conforms to {SCHEMA}");
+            let schema = match get(&doc, "schema") {
+                Some(JsonValue::Str(s)) => s.clone(),
+                _ => unreachable!("validate() demands a string schema"),
+            };
+            println!("perf: {path} conforms to {schema}");
             return;
         }
         for e in &errs {
@@ -695,64 +278,31 @@ fn main() {
         return;
     }
 
-    // Append to (or create) the trajectory file, then re-validate it.
-    let mut trajectory = match std::fs::read_to_string(&cli.json_path) {
-        Ok(text) => match JsonReader::parse(&text) {
-            Ok(doc) => match get(&doc, "trajectory") {
-                Some(JsonValue::Array(entries)) => entries.clone(),
-                _ => {
-                    eprintln!(
-                        "perf: {} has no trajectory array; refusing to overwrite",
-                        cli.json_path
-                    );
-                    std::process::exit(1);
-                }
-            },
-            Err(e) => {
-                eprintln!(
-                    "perf: {} is not valid JSON ({e}); refusing to overwrite",
-                    cli.json_path
-                );
-                std::process::exit(1);
-            }
-        },
-        Err(_) => Vec::new(),
-    };
     // Comparing against the first entry of the same mode shows the
     // trajectory's cumulative effect (e.g. pre- vs post-optimization).
-    if let Some(first) = trajectory
-        .iter()
-        .find(|e| matches!(get(e, "mode"), Some(JsonValue::Str(m)) if m == mode))
-    {
-        for name in SCENARIO_NAMES {
-            if let (Some(base), Some(now)) = (
-                events_per_sec_of(first, name),
-                events_per_sec_of(&entry, name),
-            ) {
-                if base > 0.0 {
-                    println!(
-                        "{name}: {:.2}x events/sec vs first {mode} entry",
-                        now / base
-                    );
+    if let Ok(text) = std::fs::read_to_string(&cli.json_path) {
+        if let Ok(doc) = JsonReader::parse(&text) {
+            if let Some(JsonValue::Array(entries)) = get(&doc, "trajectory") {
+                if let Some(first) = entries
+                    .iter()
+                    .find(|e| matches!(get(e, "mode"), Some(JsonValue::Str(m)) if m == mode))
+                {
+                    for name in PERF_SCENARIOS {
+                        if let (Some(base), Some(now)) = (
+                            events_per_sec_of(first, name),
+                            events_per_sec_of(&entry, name),
+                        ) {
+                            if base > 0.0 {
+                                println!(
+                                    "{name}: {:.2}x events/sec vs first {mode} entry",
+                                    now / base
+                                );
+                            }
+                        }
+                    }
                 }
             }
         }
     }
-    trajectory.push(entry);
-    let doc = JsonValue::object([
-        ("schema", JsonValue::Str(SCHEMA.to_string())),
-        ("trajectory", JsonValue::Array(trajectory)),
-    ]);
-    let errs = validate(&doc);
-    if !errs.is_empty() {
-        for e in &errs {
-            eprintln!("perf: generated document failed validation: {e}");
-        }
-        std::process::exit(1);
-    }
-    std::fs::write(&cli.json_path, format!("{doc}\n")).unwrap_or_else(|e| {
-        eprintln!("perf: cannot write {}: {e}", cli.json_path);
-        std::process::exit(1);
-    });
-    eprintln!("perf: appended entry '{}' to {}", cli.label, cli.json_path);
+    append_trajectory(&cli.json_path, PERF_SCHEMA, entry);
 }

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use gvfs::{
     BlockCache, BlockCacheConfig, ChannelClient, CodecModel, DedupTuning, FileCache,
-    FileChannelSpec, Middleware, Proxy, ProxyConfig, TransferTuning, WritePolicy,
+    FileChannelSpec, FleetTuning, Middleware, Proxy, ProxyConfig, TransferTuning, WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, Nfs3Client};
 use oncrpc::{OpaqueAuth, RpcChannel, RpcClient, WireSpec};
@@ -75,16 +75,33 @@ pub struct CloneParams {
     pub net: NetParams,
     /// Number of clonings per scenario (paper: 8).
     pub clones: usize,
+    /// Number of distinct golden images to install; `None` keeps the
+    /// historical one-image-per-clone behaviour. Setup cost is
+    /// O(images), not O(clones): clone `i` uses image `i % images`, so
+    /// a fleet of hundreds of clones no longer installs hundreds of
+    /// golden images just to exercise arrival pressure.
+    pub images: Option<usize>,
     /// Kernel client buffer (kept small: the copy streams through it).
     pub kernel_cache_bytes: u64,
     /// Proxy cache capacity.
     pub proxy_cache_bytes: u64,
     /// Use a reduced image for quick runs (tests); `None` = paper size.
     pub image_scale: Option<u64>,
+    /// Content-map / CAS record size the middleware uses when it
+    /// pre-processes the golden `.vmss` files. The figure scenarios keep
+    /// the historical 1 MB records; fleet runs use small records so a
+    /// cold transfer is many round-trips — the regime the shard tier's
+    /// batching targets.
+    pub cas_chunk_bytes: u32,
     /// Content-addressed redundancy elimination on the client-side and
     /// LAN proxies (the server proxy never dedups: it sits on the
     /// server's own LAN, so a CAS there can avoid no WAN bytes).
     pub dedup: DedupTuning,
+    /// Fleet RPC batching on the proxy tiers (client proxies fetch
+    /// multi-digest envelopes; LAN/shard proxies coalesce concurrent
+    /// misses upstream). `off()` — the default — keeps every
+    /// pre-fleet scenario byte-identical.
+    pub fleet: FleetTuning,
     /// Collect trace events (carried into the scenario's [`Snapshot`]).
     pub trace: bool,
 }
@@ -94,10 +111,13 @@ impl Default for CloneParams {
         CloneParams {
             net: NetParams::default(),
             clones: 8,
+            images: None,
             kernel_cache_bytes: 32 << 20,
             proxy_cache_bytes: 8 << 30,
             image_scale: None,
+            cas_chunk_bytes: 1 << 20,
             dedup: DedupTuning::default(),
+            fleet: FleetTuning::off(),
             trace: false,
         }
     }
@@ -113,7 +133,7 @@ impl CloneParams {
         spec
     }
 
-    fn vm_config(&self) -> VmConfig {
+    pub(crate) fn vm_config(&self) -> VmConfig {
         VmConfig {
             guest_cache_fraction: 0.12,
             // Restoring a 320 MB VM's devices on a 2004 hosted VMM is
@@ -153,7 +173,11 @@ fn install_fleet_image(
 
 /// Install `n` golden images (+ their middleware meta-data) under
 /// `/exports` of the image-server fs. Returns their specs.
-fn install_goldens(fs: &Arc<Mutex<Fs>>, params: &CloneParams, n: usize) -> Vec<VmImageSpec> {
+pub(crate) fn install_goldens(
+    fs: &Arc<Mutex<Fs>>,
+    params: &CloneParams,
+    n: usize,
+) -> Vec<VmImageSpec> {
     use vfs::Fs;
     fn inner(fs: &mut Fs, params: &CloneParams, n: usize) -> Vec<VmImageSpec> {
         let root = fs.root();
@@ -164,11 +188,12 @@ fn install_goldens(fs: &Arc<Mutex<Fs>>, params: &CloneParams, n: usize) -> Vec<V
                 // Middleware pre-processing: zero map + compressed file
                 // channel on the memory state (after divergence, so the
                 // content map describes the bytes actually served).
-                Middleware::generate_meta(
+                Middleware::generate_meta_chunked(
                     fs,
                     "exports",
                     &spec.vmss_name(),
                     32 * 1024,
+                    params.cas_chunk_bytes,
                     true,
                     Some(FileChannelSpec {
                         compress: true,
@@ -187,13 +212,13 @@ fn install_goldens(fs: &Arc<Mutex<Fs>>, params: &CloneParams, n: usize) -> Vec<V
 use vfs::Fs;
 
 /// One compute host: local disk, client-side caching proxy, kernel mount.
-struct ComputeHost {
-    local: Arc<LocalIo>,
-    table: MountTable,
-    proxy: Option<Arc<Proxy>>,
+pub(crate) struct ComputeHost {
+    pub(crate) local: Arc<LocalIo>,
+    pub(crate) table: MountTable,
+    pub(crate) proxy: Option<Arc<Proxy>>,
 }
 
-fn build_compute_host(
+pub(crate) fn build_compute_host(
     h: &SimHandle,
     upstream: RpcChannel,
     cred: OpaqueAuth,
@@ -213,6 +238,7 @@ fn build_compute_host(
                 write_policy: WritePolicy::WriteBack,
                 cache_bytes: params.proxy_cache_bytes,
                 dedup: params.dedup,
+                fleet: params.fleet,
             })
         } else {
             None
@@ -317,7 +343,7 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
             let distinct = if scenario == CloneScenario::WanS1 {
                 1
             } else {
-                n
+                params.images.unwrap_or(n).max(1)
             };
             let specs = install_goldens(&server.fs, params, distinct);
             let mw = Middleware::new();
@@ -366,7 +392,8 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
                 params.net.wan_oneway,
             );
             let server = build_server(&h, up, down, 768 << 20, true);
-            let specs = install_goldens(&server.fs, params, n);
+            let distinct = params.images.unwrap_or(n).max(1);
+            let specs = install_goldens(&server.fs, params, distinct);
             let mw = Middleware::new();
             let (_sid, cred) = mw.establish_session(&server.mapper, "clone-user", 0, u64::MAX / 2);
 
@@ -383,6 +410,7 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
                     read_only_share: true,
                     transfer: TransferTuning::default(),
                     dedup: params.dedup,
+                    fleet: params.fleet,
                 },
                 upstream_client.clone(),
             )
@@ -434,6 +462,8 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
                     .unwrap();
                     vm.shutdown(&env).unwrap();
                 }
+                // Timed clones cycle through the distinct images (one
+                // pass each when `images` is unset).
                 // Timed: a fresh compute server (cold local caches) whose
                 // misses hit the warm LAN proxy.
                 let host = build_compute_host(
@@ -445,7 +475,8 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
                     kcfg,
                     &env,
                 );
-                for (i, spec) in specs.iter().enumerate() {
+                for i in 0..n {
+                    let spec = &specs[i % specs.len()];
                     let (times, vm) = clone_vm(
                         &env,
                         &host.table,
@@ -511,7 +542,10 @@ pub fn run_parallel_cloning(params: &CloneParams) -> ParallelResult {
         params.net.wan_oneway,
     );
     let server = build_server(&h, up, down, 768 << 20, true);
-    let specs = install_goldens(&server.fs, params, n);
+    // Setup is O(images), not O(clones): host `i` clones image
+    // `i % images` (one image per host when `images` is unset).
+    let distinct = params.images.unwrap_or(n).max(1);
+    let specs = install_goldens(&server.fs, params, distinct);
     let mw = Middleware::new();
     let kcfg = KernelConfig {
         cache_bytes: params.kernel_cache_bytes,
@@ -531,15 +565,13 @@ pub fn run_parallel_cloning(params: &CloneParams) -> ParallelResult {
             ..CloneConfig::default()
         };
         // Build the 8 compute hosts (each its own session + caches).
-        let hosts: Vec<(ComputeHost, VmImageSpec)> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| {
+        let hosts: Vec<(ComputeHost, VmImageSpec)> = (0..n)
+            .map(|i| {
                 let (_sid, cred) =
                     mw.establish_session(&mapper, &format!("user{i}"), 0, u64::MAX / 2);
                 (
                     build_compute_host(&h2, channel.clone(), cred, &params2, true, kcfg, &env),
-                    spec.clone(),
+                    specs[i % specs.len()].clone(),
                 )
             })
             .collect();
@@ -600,7 +632,8 @@ pub fn run_sequential_for_table1(params: &CloneParams) -> ParallelResult {
         params.net.wan_oneway,
     );
     let server = build_server(&h, up, down, 768 << 20, true);
-    let specs = install_goldens(&server.fs, params, n);
+    let distinct = params.images.unwrap_or(n).max(1);
+    let specs = install_goldens(&server.fs, params, distinct);
     let mw = Middleware::new();
     let (_sid, cred) = mw.establish_session(&server.mapper, "seq-user", 0, u64::MAX / 2);
     let kcfg = KernelConfig {
@@ -622,7 +655,8 @@ pub fn run_sequential_for_table1(params: &CloneParams) -> ParallelResult {
         };
         for (pass, sink) in [(0usize, cold2.clone()), (1usize, warm2.clone())] {
             let t0 = env.now();
-            for (i, spec) in specs.iter().enumerate() {
+            for i in 0..n {
+                let spec = &specs[i % specs.len()];
                 let (_, vm) = clone_vm(
                     &env,
                     &host.table,

@@ -12,13 +12,16 @@
 //! | `table1_parallel` | Table 1 — sequential vs parallel cloning, cold/warm |
 //! | `ablations` | extra: write policy / zero map / channel / associativity |
 //! | `fault_recovery` | extra: LaTeX under WAN loss/outage/server restart |
+//! | `fleet` | extra: fleet-scale cloning — sharded proxy tree, batching, p50/p95/p99 |
 //!
 //! The library half holds the scenario builders ([`scenarios`],
-//! [`cloning`]) and report formatting ([`report`]).
+//! [`cloning`], [`fleet`]) and report formatting ([`report`]).
 
 #![warn(missing_docs)]
 
 pub mod cloning;
+pub mod fleet;
+pub mod perfjson;
 pub mod report;
 pub mod scenarios;
 
@@ -26,6 +29,7 @@ pub use cloning::{
     pure_nfs_clone_secs, run_cloning, run_parallel_cloning, run_sequential_for_table1,
     scp_baseline_secs, CloneParams, CloneResult, CloneScenario, ParallelResult,
 };
+pub use fleet::{run_fleet, ArrivalMode, FleetParams, FleetResult, LatencySummary};
 pub use scenarios::{
     build_client, build_server, fs_digest, run_app_scenario, AppParams, AppResult, AppRun,
     AppScenario, ClientProxyOptions, FaultSpec, NetParams, ServerSide,

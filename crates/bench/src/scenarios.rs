@@ -20,7 +20,8 @@ use std::sync::Arc;
 
 use gvfs::{
     BlockCache, BlockCacheConfig, ChannelClient, CodecModel, DedupTuning, FileCache,
-    FileChannelServer, IdentityMapper, Middleware, Proxy, ProxyConfig, TransferTuning, WritePolicy,
+    FileChannelServer, FleetTuning, IdentityMapper, Middleware, Proxy, ProxyConfig, TransferTuning,
+    WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, MountServer, Nfs3Client, Nfs3Server, ServerConfig};
 use oncrpc::{Dispatcher, OpaqueAuth, RetryPolicy, RpcChannel, RpcClient, WireSpec};
@@ -232,6 +233,7 @@ pub fn build_server(
                 // The server-side proxy sits on the server's own LAN; a
                 // CAS there can never avoid WAN bytes.
                 dedup: DedupTuning::off(),
+                fleet: FleetTuning::off(),
             },
             RpcClient::new(lo.channel, OpaqueAuth::none()),
         )
@@ -268,6 +270,8 @@ pub struct ClientProxyOptions {
     pub cache_bytes: u64,
     /// Content-addressed dedup tuning for this proxy.
     pub dedup: DedupTuning,
+    /// Fleet batching/back-pressure tuning for this proxy.
+    pub fleet: FleetTuning,
 }
 
 /// Client machine half: optional client-side proxy between the kernel
@@ -319,6 +323,7 @@ pub fn build_client(
             read_only_share: false,
             transfer: TransferTuning::default(),
             dedup: opts.dedup,
+            fleet: opts.fleet,
         },
         upstream_client.clone(),
     );
@@ -543,6 +548,7 @@ pub fn run_app_scenario(
                     write_policy: WritePolicy::WriteBack,
                     cache_bytes: params.proxy_cache_bytes,
                     dedup: params.dedup,
+                    fleet: FleetTuning::off(),
                 })
             } else {
                 // LAN/WAN: proxies forward through tunnels but no disk

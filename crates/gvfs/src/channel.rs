@@ -59,6 +59,13 @@ pub mod chanproc {
     /// digest travels in the request so intermediate proxies can serve
     /// and single-flight the call by *content*, not just by file.
     pub const FETCH_BLOBS: u32 = 6;
+    /// Batched read-side fetches: the args are an [`oncrpc::batch`]
+    /// envelope of `(proc, args)` sub-calls (fetch procedures only) and
+    /// the result is the matching per-item reply envelope. One WAN
+    /// round-trip — and one tunnel per-message cost — covers the whole
+    /// envelope; shard proxies in a fleet cloning run coalesce adjacent
+    /// `FETCH_BLOBS` misses into this.
+    pub const FETCH_BLOBS_BATCH: u32 = 7;
 }
 
 /// Channel status codes.
@@ -109,7 +116,72 @@ pub struct FileChannelServer {
     cpu: Option<Resource>,
 }
 
+/// How a blob serve charges the origin disk: a positioned access (seek +
+/// stream) or a streaming continuation of the previous record in the
+/// same envelope (no positioning — the platter is already there).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BlobDiskCharge {
+    Positioned,
+    Continuation,
+}
+
+/// Decode the `(fh, offset, len)` range of `FETCH_BLOBS` args (the
+/// trailing digest is for proxies along the path; the origin serves by
+/// range and the client verifies).
+fn decode_blob_args_range(args: &[u8]) -> Option<(nfs3::Fh3, u64, u32)> {
+    let mut dec = Decoder::new(args);
+    let fh = nfs3::Fh3::decode(&mut dec).ok()?;
+    let offset = dec.get_u64().ok()?;
+    let len = dec.get_u32().ok()?;
+    let _d0 = dec.get_u64().ok()?;
+    let _d1 = dec.get_u64().ok()?;
+    Some((fh, offset, len))
+}
+
 impl FileChannelServer {
+    /// Serve one blob range: filesystem read, disk charge, optional
+    /// compression, reply encoding. The single-call and batched paths
+    /// both end here, so their reply bytes are identical by
+    /// construction; only the disk-positioning charge differs.
+    fn serve_blob(
+        &self,
+        env: &Env,
+        fh: nfs3::Fh3,
+        offset: u64,
+        len: u32,
+        charge: BlobDiskCharge,
+    ) -> Vec<u8> {
+        let contents = {
+            let mut fs = self.fs.lock();
+            let now = env.now().as_nanos();
+            match fs.read(fh.0, offset, len as usize, now) {
+                Ok((data, _)) => data,
+                Err(e) => {
+                    let mut enc = Encoder::new();
+                    enc.put_u32(ChanStatus::from_fs(e).as_u32());
+                    return enc.into_bytes();
+                }
+            }
+        };
+        match charge {
+            BlobDiskCharge::Positioned => self.disk.sequential_io(env, contents.len() as u64),
+            BlobDiskCharge::Continuation => self.disk.stream_io(env, contents.len() as u64),
+        }
+        let payload = if self.compress {
+            let _cpu = self.cpu.as_ref().map(|c| c.acquire(env));
+            env.sleep(self.codec.compress_time(contents.len() as u64));
+            codec::compress(&contents)
+        } else {
+            contents.clone()
+        };
+        let mut enc = Encoder::new();
+        enc.put_u32(ChanStatus::Ok.as_u32());
+        enc.put_u64(contents.len() as u64);
+        enc.put_bool(self.compress);
+        enc.put_opaque_var(&payload);
+        enc.into_bytes()
+    }
+
     /// Create a channel server over the image server's filesystem/disk.
     pub fn new(fs: Arc<Mutex<Fs>>, disk: Disk, codec: CodecModel, compress: bool) -> Arc<Self> {
         Arc::new(FileChannelServer {
@@ -390,40 +462,62 @@ impl RpcProgram for FileChannelServer {
                 Ok(enc.into_bytes())
             }
             chanproc::FETCH_BLOBS => {
-                let mut dec = Decoder::new(args);
-                let fh = nfs3::Fh3::decode(&mut dec).map_err(|_| ProgramError::GarbageArgs)?;
-                let offset = dec.get_u64().map_err(|_| ProgramError::GarbageArgs)?;
-                let len = dec.get_u32().map_err(|_| ProgramError::GarbageArgs)?;
-                // The requested digest is for proxies along the path; the
-                // origin serves by range and the client verifies.
-                let _d0 = dec.get_u64().map_err(|_| ProgramError::GarbageArgs)?;
-                let _d1 = dec.get_u64().map_err(|_| ProgramError::GarbageArgs)?;
-                let contents = {
-                    let mut fs = self.fs.lock();
-                    let now = env.now().as_nanos();
-                    match fs.read(fh.0, offset, len as usize, now) {
-                        Ok((data, _)) => data,
-                        Err(e) => {
-                            let mut enc = Encoder::new();
-                            enc.put_u32(ChanStatus::from_fs(e).as_u32());
-                            return Ok(enc.into_bytes());
+                let (fh, offset, len) =
+                    decode_blob_args_range(args).ok_or(ProgramError::GarbageArgs)?;
+                Ok(self.serve_blob(env, fh, offset, len, BlobDiskCharge::Positioned))
+            }
+            chanproc::FETCH_BLOBS_BATCH => {
+                let items =
+                    oncrpc::batch::decode_batch(args).map_err(|_| ProgramError::GarbageArgs)?;
+                let mut replies = Vec::with_capacity(items.len());
+                // A recipe-ordered envelope asks for *adjacent* file
+                // ranges: the platter crosses them in one pass, so only
+                // the first record of each contiguous span pays the
+                // positioning cost — followers are charged as streaming
+                // continuations. Interleaved single FETCH_BLOBS calls
+                // cannot get this: the arm has moved for whoever came
+                // in between.
+                let mut prev: Option<(nfs3::Fh3, u64)> = None;
+                for item in items {
+                    // Only read-side procedures ride a batch: a batched
+                    // mutation retried as a whole envelope would blur
+                    // the duplicate-request-cache's at-most-once story,
+                    // and nothing on the fleet path needs it. Each item
+                    // produces the same reply bytes as the equivalent
+                    // single call, so a batched fetch is byte-equivalent
+                    // to N sequential ones by construction.
+                    let reply = match item.proc {
+                        chanproc::FETCH_BLOBS => match decode_blob_args_range(&item.args) {
+                            Some((fh, offset, len)) => {
+                                let charge = match prev {
+                                    Some((pfh, pend)) if pfh.0 == fh.0 && pend == offset => {
+                                        BlobDiskCharge::Continuation
+                                    }
+                                    _ => BlobDiskCharge::Positioned,
+                                };
+                                prev = Some((fh, offset + len as u64));
+                                Some(self.serve_blob(env, fh, offset, len, charge))
+                            }
+                            None => None,
+                        },
+                        chanproc::FETCH | chanproc::FETCH_CHUNK | chanproc::FETCH_RECIPE => {
+                            prev = None;
+                            self.call(env, _cred, item.proc, &item.args).ok()
                         }
-                    }
-                };
-                self.disk.sequential_io(env, contents.len() as u64);
-                let payload = if self.compress {
-                    let _cpu = self.cpu.as_ref().map(|c| c.acquire(env));
-                    env.sleep(self.codec.compress_time(contents.len() as u64));
-                    codec::compress(&contents)
-                } else {
-                    contents.clone()
-                };
-                let mut enc = Encoder::new();
-                enc.put_u32(ChanStatus::Ok.as_u32());
-                enc.put_u64(contents.len() as u64);
-                enc.put_bool(self.compress);
-                enc.put_opaque_var(&payload);
-                Ok(enc.into_bytes())
+                        _ => None,
+                    };
+                    replies.push(match reply {
+                        Some(result) => oncrpc::BatchReplyItem {
+                            stat: oncrpc::BATCH_OK,
+                            result,
+                        },
+                        None => oncrpc::BatchReplyItem {
+                            stat: oncrpc::BATCH_ITEM_FAILED,
+                            result: Vec::new(),
+                        },
+                    });
+                }
+                Ok(oncrpc::batch::encode_batch_reply(&replies))
             }
             _ => Err(ProgramError::ProcUnavail),
         }
@@ -461,6 +555,23 @@ pub enum ChannelError {
     Status(ChanStatus),
     /// Reply malformed.
     Decode,
+}
+
+/// One blob's outcome inside a batched fetch: the verified chunk
+/// contents plus the wire bytes it cost, or that slot's failure.
+pub type BlobFetchResult = Result<(Vec<u8>, u64), ChannelError>;
+
+/// Encode `FETCH_BLOBS` argument bytes: file handle, byte range, and the
+/// expected content digest (the digest rides along so proxies can serve
+/// and coalesce by content).
+fn encode_blob_args(h: Handle, offset: u64, len: u32, want: Digest) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    nfs3::Fh3(h).encode(&mut enc);
+    enc.put_u64(offset);
+    enc.put_u32(len);
+    enc.put_u64(want.0);
+    enc.put_u64(want.1);
+    enc.into_bytes()
 }
 
 /// Client half of the file channel, used by the client-side proxy.
@@ -674,12 +785,7 @@ impl ChannelClient {
         len: u32,
         want: Digest,
     ) -> Result<(Vec<u8>, u64), ChannelError> {
-        let mut enc = Encoder::new();
-        nfs3::Fh3(h).encode(&mut enc);
-        enc.put_u64(offset);
-        enc.put_u32(len);
-        enc.put_u64(want.0);
-        enc.put_u64(want.1);
+        let args = encode_blob_args(h, offset, len, want);
         let res = self
             .rpc
             .call_dl(
@@ -687,10 +793,21 @@ impl ChannelClient {
                 CHANNEL_PROGRAM,
                 CHANNEL_V1,
                 chanproc::FETCH_BLOBS,
-                &enc.into_bytes(),
+                &args,
             )
             .map_err(ChannelError::Rpc)?;
-        let mut dec = Decoder::new(&res);
+        self.decode_blob_reply(env, &res, want)
+    }
+
+    /// Decode, decompress and digest-verify one `FETCH_BLOBS` reply
+    /// (shared between the single-call path and the batched envelope).
+    fn decode_blob_reply(
+        &self,
+        env: &Env,
+        res: &[u8],
+        want: Digest,
+    ) -> Result<(Vec<u8>, u64), ChannelError> {
+        let mut dec = Decoder::new(res);
         let status = ChanStatus::from_u32(dec.get_u32().map_err(|_| ChannelError::Decode)?)
             .ok_or(ChannelError::Decode)?;
         if status != ChanStatus::Ok {
@@ -715,6 +832,50 @@ impl ChannelClient {
         Ok((contents, wire))
     }
 
+    /// Fetch several recipe chunks in one `FETCH_BLOBS_BATCH` envelope —
+    /// one upstream round-trip for the whole slice. Each returned slot
+    /// is the same `(contents, wire_bytes)` the equivalent
+    /// [`ChannelClient::fetch_blob`] call would produce, verified against
+    /// its digest; a per-item server failure surfaces as that slot's
+    /// error without poisoning its neighbours.
+    pub fn fetch_blobs_batch(
+        &self,
+        env: &Env,
+        h: Handle,
+        wants: &[(u64, u32, Digest)],
+    ) -> Result<Vec<BlobFetchResult>, ChannelError> {
+        let items: Vec<oncrpc::BatchItem> = wants
+            .iter()
+            .map(|&(offset, len, want)| oncrpc::BatchItem {
+                proc: chanproc::FETCH_BLOBS,
+                args: encode_blob_args(h, offset, len, want),
+            })
+            .collect();
+        let replies = self
+            .rpc
+            .call_batch(
+                env,
+                CHANNEL_PROGRAM,
+                CHANNEL_V1,
+                chanproc::FETCH_BLOBS_BATCH,
+                &items,
+            )
+            .map_err(ChannelError::Rpc)?;
+        if replies.len() != wants.len() {
+            return Err(ChannelError::Decode);
+        }
+        Ok(replies
+            .iter()
+            .zip(wants)
+            .map(|(r, &(_, _, want))| {
+                if !r.ok() {
+                    return Err(ChannelError::Status(ChanStatus::BadStream));
+                }
+                self.decode_blob_reply(env, &r.result, want)
+            })
+            .collect())
+    }
+
     /// Fetch a whole file by recipe: serve every chunk whose digest the
     /// local CAS already holds, fetch only the missing payloads (one
     /// `FETCH_BLOBS` per *distinct* missing digest, pipelined through
@@ -730,6 +891,29 @@ impl ChannelClient {
         recipe_hint: Option<&ContentMap>,
         chunk_bytes: u32,
         window: usize,
+        cas: &ContentStore,
+        dtel: &DedupTel,
+        tel: Option<&TransferTel>,
+    ) -> Result<DedupFetch, ChannelError> {
+        self.fetch_dedup_batched(env, h, recipe_hint, chunk_bytes, window, 1, cas, dtel, tel)
+    }
+
+    /// [`ChannelClient::fetch_dedup`] with multi-digest envelopes: the
+    /// missing records are fetched `batch` at a time through
+    /// [`ChannelClient::fetch_blobs_batch`] (still `window` envelopes in
+    /// flight), so a cold transfer crosses the upstream link in
+    /// `misses / batch` round-trips instead of one per distinct chunk.
+    /// `batch <= 1` degenerates to the per-chunk path and is
+    /// byte-for-byte the plain [`ChannelClient::fetch_dedup`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch_dedup_batched(
+        &self,
+        env: &Env,
+        h: Handle,
+        recipe_hint: Option<&ContentMap>,
+        chunk_bytes: u32,
+        window: usize,
+        batch: usize,
         cas: &ContentStore,
         dtel: &DedupTel,
         tel: Option<&TransferTel>,
@@ -783,14 +967,44 @@ impl ChannelClient {
             off += *l as u64;
         }
         let me = self.clone();
-        let slots = run_windowed(
-            env,
-            "chan-dedup",
-            window.max(1),
-            groups.clone(),
-            tel,
-            move |env, (off, len, d)| Some(me.fetch_blob(env, h, off, len, d)),
-        );
+        let slots: Vec<Option<BlobFetchResult>> = if batch > 1 {
+            // Envelope mode: fetch the misses `batch` digests per
+            // round-trip, with `window` envelopes pipelined. Item-level
+            // failures surface in their slot; an envelope-level failure
+            // fails the whole fetch (the caller falls back to the plain
+            // chunked transfer, same as any other dedup error).
+            let envelopes: Vec<Vec<(u64, u32, Digest)>> =
+                groups.chunks(batch).map(|c| c.to_vec()).collect();
+            let rounds = run_windowed(
+                env,
+                "chan-dedup",
+                window.max(1),
+                envelopes,
+                tel,
+                move |env, wants| Some(me.fetch_blobs_batch(env, h, &wants)),
+            );
+            let mut flat = Vec::with_capacity(groups.len());
+            for round in rounds {
+                match round {
+                    Some(Ok(items)) => flat.extend(items.into_iter().map(Some)),
+                    Some(Err(e)) => return Err(e),
+                    None => return Err(ChannelError::Decode),
+                }
+            }
+            if flat.len() != groups.len() {
+                return Err(ChannelError::Decode);
+            }
+            flat
+        } else {
+            run_windowed(
+                env,
+                "chan-dedup",
+                window.max(1),
+                groups.clone(),
+                tel,
+                move |env, (off, len, d)| Some(me.fetch_blob(env, h, off, len, d)),
+            )
+        };
         let mut fetched: Vec<Vec<u8>> = Vec::with_capacity(groups.len());
         let mut wire = 0u64;
         let mut fresh_bytes = 0u64;

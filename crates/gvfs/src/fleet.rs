@@ -1,0 +1,113 @@
+//! Fleet-scale tuning knobs: RPC batching/coalescing at proxy tiers and
+//! the write-back queue safety cap.
+//!
+//! A fleet cloning run pushes hundreds of near-simultaneous clone
+//! requests through a sharded proxy tree (origin → per-site shard
+//! proxies → per-host client proxies). Two pressure points appear that
+//! the single-user scenarios never exercise:
+//!
+//! * **Upstream round-trips.** Under bursty arrivals a shard proxy sees
+//!   many concurrent `FETCH_BLOBS` misses for *different* digests of the
+//!   same golden image within a few milliseconds. The per-digest
+//!   single-flight already collapses duplicate digests; batching
+//!   additionally coalesces *adjacent distinct* digests into one
+//!   `FETCH_BLOBS_BATCH` envelope, paying one WAN round-trip (and one
+//!   SSH-tunnel per-message cost) for up to [`FleetTuning::max_batch`]
+//!   chunks.
+//! * **Write-back queue growth.** Divergent clone writes that fail
+//!   upstream park on the proxy's retry queue; with hundreds of writers
+//!   and a saturated WAN the queue is unbounded. The cap bounds it with
+//!   a deterministic shed-oldest policy surfaced via telemetry.
+//!
+//! Ablation discipline (same contract as
+//! [`DedupTuning::off`](crate::cas::DedupTuning::off)): with
+//! [`FleetTuning::off`] every data path behaves exactly as before this
+//! module existed — byte-for-byte identical reports.
+
+use simnet::SimDuration;
+
+/// Fleet-scale batching and back-pressure knobs, set per proxy by
+/// middleware (shard proxies batch toward the origin; client proxies
+/// usually leave this off because their upstream hop is a LAN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetTuning {
+    /// Coalesce concurrent `FETCH_BLOBS` misses into batched
+    /// `FETCH_BLOBS_BATCH` upstream calls. Requires dedup (the digest
+    /// keyed reply cache is how batch members receive their payloads).
+    pub batch_fetch: bool,
+    /// Maximum sub-calls per upstream batch envelope. Bounded by
+    /// [`oncrpc::MAX_BATCH_ITEMS`]; values ≤ 1 make each "batch" a
+    /// single-item envelope (useful only for wire-format testing).
+    pub max_batch: usize,
+    /// How long a batch leader lingers after its own miss to let
+    /// concurrent misses join the envelope. Virtual time; zero means the
+    /// leader only picks up misses that arrived while it waited for the
+    /// state lock.
+    pub batch_window: SimDuration,
+    /// Cap on parked write-back retry-queue entries; `0` = unbounded
+    /// (the pre-fleet behaviour). When full, the oldest parked block is
+    /// shed (counted in `wb_shed`, high-water mark in `wb_high_water`):
+    /// under a sustained upstream outage bounded memory wins over
+    /// durability of the oldest parked divergence bytes.
+    pub wb_queue_cap: usize,
+}
+
+impl FleetTuning {
+    /// Fleet features fully disabled: the pre-fleet data paths,
+    /// byte-for-byte. This is the default.
+    pub fn off() -> Self {
+        FleetTuning {
+            batch_fetch: false,
+            max_batch: 1,
+            batch_window: SimDuration::ZERO,
+            wb_queue_cap: 0,
+        }
+    }
+
+    /// Batching preset for a shard proxy in a fleet run: up to 32 chunks
+    /// per envelope, 2 ms collection window (a fraction of the WAN
+    /// round-trip it saves), write-back queue capped at 4096 blocks.
+    pub fn shard() -> Self {
+        FleetTuning {
+            batch_fetch: true,
+            max_batch: 32,
+            batch_window: SimDuration::from_millis(2),
+            wb_queue_cap: 4096,
+        }
+    }
+
+    /// Whether any knob differs from [`FleetTuning::off`] (used to skip
+    /// the extra telemetry registration on legacy configurations, so
+    /// pre-fleet snapshots stay identical).
+    pub fn is_off(&self) -> bool {
+        *self == FleetTuning::off()
+    }
+}
+
+impl Default for FleetTuning {
+    fn default() -> Self {
+        FleetTuning::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off() {
+        assert!(FleetTuning::default().is_off());
+        assert_eq!(FleetTuning::default(), FleetTuning::off());
+    }
+
+    #[test]
+    fn shard_preset_is_bounded_and_on() {
+        let t = FleetTuning::shard();
+        assert!(t.batch_fetch);
+        assert!(!t.is_off());
+        assert!(t.max_batch >= 2);
+        assert!(t.max_batch <= oncrpc::MAX_BATCH_ITEMS);
+        assert!(t.batch_window > SimDuration::ZERO);
+        assert!(t.wb_queue_cap > 0);
+    }
+}

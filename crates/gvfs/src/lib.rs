@@ -37,6 +37,7 @@ pub mod channel;
 pub mod codec;
 pub mod digest;
 pub mod file_cache;
+pub mod fleet;
 pub mod identity;
 pub mod meta;
 pub mod proxy;
@@ -49,6 +50,7 @@ pub use channel::{ChannelClient, DedupFetch, FileChannelServer, CHANNEL_PROGRAM,
 pub use codec::CodecModel;
 pub use digest::Digest;
 pub use file_cache::{FileCache, FileCacheStats, FileKey};
+pub use fleet::FleetTuning;
 pub use identity::{IdentityMapper, MappedAccount};
 pub use meta::{
     generate_content_map, generate_zero_map, meta_name_for, ContentMap, FileChannelSpec, MetaFile,

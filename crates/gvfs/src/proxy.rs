@@ -53,6 +53,7 @@ use crate::channel::{chanproc, ChannelClient, CHANNEL_PROGRAM, CHANNEL_V1};
 use crate::codec::{self, CodecModel};
 use crate::digest::{self, Digest};
 use crate::file_cache::{FileCache, FileKey};
+use crate::fleet::FleetTuning;
 use crate::identity::IdentityMapper;
 use crate::meta::{is_meta_name, meta_name_for, MetaFile};
 use crate::transfer::{run_windowed, TransferTel, TransferTuning};
@@ -79,6 +80,11 @@ pub struct ProxyConfig {
     /// [`DedupTuning::off()`] every WAN path behaves exactly as before
     /// the CAS existed (byte-for-byte identical reports).
     pub dedup: DedupTuning,
+    /// Fleet-scale batching/back-pressure knobs. With
+    /// [`FleetTuning::off()`] (the default) every path behaves exactly
+    /// as before the fleet work existed (byte-for-byte identical
+    /// reports, identical telemetry registrations).
+    pub fleet: FleetTuning,
 }
 
 impl Default for ProxyConfig {
@@ -91,6 +97,7 @@ impl Default for ProxyConfig {
             read_only_share: false,
             transfer: TransferTuning::default(),
             dedup: DedupTuning::default(),
+            fleet: FleetTuning::off(),
         }
     }
 }
@@ -392,6 +399,58 @@ struct ProxyState {
     /// (not file handle): concurrent clonings of *different* images
     /// coalesce on the chunks they share.
     inflight_blob: BTreeMap<Digest, simnet::Signal>,
+    /// Blob misses waiting to join the next upstream batch envelope
+    /// (fleet batching only): `(digest, original request args)` in
+    /// arrival order. Each entry also holds a signal in `inflight_blob`.
+    batch_pending: Vec<(Digest, xdr::Bytes)>,
+    /// Whether a batch leader is currently collecting `batch_pending`
+    /// (fleet batching only). New misses arriving while true just park;
+    /// the leader drains them in bounded rounds.
+    batch_open: bool,
+    /// Digests freshly cached by a batch round whose *original*
+    /// requester has not been served yet. The first cache serve of such
+    /// a digest skips the dedup-hit accounting (those bytes did cross
+    /// the upstream link once, for that very requester); later sharers
+    /// count normally.
+    batch_uncounted: BTreeSet<Digest>,
+}
+
+/// Write-back queue back-pressure policy (satellite of the fleet work):
+/// `cap == 0` is the historical unbounded queue; the telemetry cells are
+/// registered only when a cap is configured, so legacy snapshots carry
+/// no new counters.
+#[derive(Clone)]
+struct WbPolicy {
+    cap: usize,
+    /// Parked blocks shed by the cap (oldest-tag first).
+    shed: Option<Counter>,
+    /// High-water mark of the parked-queue depth.
+    high_water: Option<Counter>,
+}
+
+/// Park a failed write-back on the retry queue, enforcing the fleet cap.
+/// Must run under the state lock (takes `&mut ProxyState`); shedding is
+/// deterministic (oldest tag in `BTreeMap` order goes first).
+fn park_wb_entry(st: &mut ProxyState, wb_queued: &Counter, wb: &WbPolicy, tag: Tag, data: Vec<u8>) {
+    wb_queued.inc();
+    st.wb_queue.insert(tag, data);
+    if wb.cap > 0 && st.wb_queue.len() > wb.cap {
+        // Bounded memory beats durability of the oldest parked block
+        // under a sustained upstream outage; the shed is surfaced via
+        // telemetry rather than silently dropped.
+        if st.wb_queue.pop_first().is_some() {
+            if let Some(shed) = &wb.shed {
+                shed.inc();
+            }
+        }
+    }
+    if let Some(hw) = &wb.high_water {
+        let depth = st.wb_queue.len() as u64;
+        let seen = hw.get();
+        if depth > seen {
+            hw.add(depth - seen);
+        }
+    }
 }
 
 /// A GVFS proxy instance. Implements [`RpcHandler`], so it plugs directly
@@ -418,6 +477,15 @@ pub struct Proxy {
     /// replies (write-back mode answers both locally, so it speaks for
     /// the stability of its own cache disk).
     write_verf: u64,
+    /// Write-back queue cap/shed policy (counters registered only when
+    /// `cfg.fleet` configures a cap).
+    wb: WbPolicy,
+    /// Upstream batch envelopes issued by fleet blob coalescing
+    /// (registered only when `cfg.fleet` enables batching).
+    fleet_batches: Option<Counter>,
+    /// Sub-calls those envelopes carried (`items / batches` = achieved
+    /// coalescing factor).
+    fleet_batched_items: Option<Counter>,
     // Arc: detached prefetch workers share the state (and the Mutex
     // inside keeps critical sections short — no suspends under it).
     state: Arc<Mutex<ProxyState>>,
@@ -464,6 +532,7 @@ fn writeback_evicted_block(
     written_back: &Counter,
     recovered_errors: &Counter,
     wb_queued: &Counter,
+    wb: &WbPolicy,
     tag: Tag,
     data: Vec<u8>,
 ) {
@@ -496,8 +565,7 @@ fn writeback_evicted_block(
         written_back.inc();
     } else {
         recovered_errors.inc();
-        wb_queued.inc();
-        state.lock().wb_queue.insert(tag, payload);
+        park_wb_entry(&mut state.lock(), wb_queued, wb, tag, payload);
     }
 }
 
@@ -514,6 +582,7 @@ struct PrefetchCtx {
     written_back: Counter,
     recovered_errors: Counter,
     wb_queued: Counter,
+    wb: WbPolicy,
 }
 
 impl Proxy {
@@ -535,6 +604,28 @@ impl Proxy {
             None
         };
         let blob_reply_cap = cfg.dedup.cas_bytes;
+        // Fleet telemetry registers only when the knobs are on, so a
+        // legacy configuration's snapshot carries exactly the historical
+        // counter set.
+        let wb = WbPolicy {
+            cap: cfg.fleet.wb_queue_cap,
+            shed: (cfg.fleet.wb_queue_cap > 0).then(|| {
+                tel.registry
+                    .counter("gvfs", format!("{}.wb_shed", tel.inst))
+            }),
+            high_water: (cfg.fleet.wb_queue_cap > 0).then(|| {
+                tel.registry
+                    .counter("gvfs", format!("{}.wb_high_water", tel.inst))
+            }),
+        };
+        let fleet_batches = cfg.fleet.batch_fetch.then(|| {
+            tel.registry
+                .counter("gvfs", format!("{}.fleet.batches", tel.inst))
+        });
+        let fleet_batched_items = cfg.fleet.batch_fetch.then(|| {
+            tel.registry
+                .counter("gvfs", format!("{}.fleet.batched_items", tel.inst))
+        });
         Proxy {
             cfg,
             upstream,
@@ -548,6 +639,9 @@ impl Proxy {
             cas,
             codec: CodecModel::default(),
             write_verf,
+            wb,
+            fleet_batches,
+            fleet_batched_items,
             state: Arc::new(Mutex::new(ProxyState {
                 meta: HashMap::new(),
                 sizes: HashMap::new(),
@@ -563,6 +657,9 @@ impl Proxy {
                 chan_recipe_replies: HashMap::new(),
                 chan_blob_replies: BlobReplyCache::new(blob_reply_cap),
                 inflight_blob: BTreeMap::new(),
+                batch_pending: Vec::new(),
+                batch_open: false,
+                batch_uncounted: BTreeSet::new(),
             })),
         }
     }
@@ -627,6 +724,31 @@ impl Proxy {
     /// Dirty blocks currently parked on the write-back retry queue.
     pub fn wb_queue_len(&self) -> usize {
         self.state.lock().wb_queue.len()
+    }
+
+    /// Parked write-back blocks shed by the fleet queue cap (0 when no
+    /// cap is configured).
+    pub fn wb_shed(&self) -> u64 {
+        self.wb.shed.as_ref().map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// High-water mark of the write-back retry queue depth (0 when no
+    /// cap is configured — the mark is only tracked under a cap).
+    pub fn wb_high_water(&self) -> u64 {
+        self.wb.high_water.as_ref().map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// `(envelopes, sub-calls)` issued by fleet blob coalescing; the
+    /// ratio is the achieved batching factor. Zeros when batching is
+    /// off.
+    pub fn fleet_batch_stats(&self) -> (u64, u64) {
+        (
+            self.fleet_batches.as_ref().map(|c| c.get()).unwrap_or(0),
+            self.fleet_batched_items
+                .as_ref()
+                .map(|c| c.get())
+                .unwrap_or(0),
+        )
     }
 
     /// Reset counters.
@@ -874,14 +996,24 @@ impl Proxy {
                             // Any dedup failure falls back to the plain
                             // chunked transfer (correctness never depends
                             // on the CAS).
+                            // With fleet batching on, the misses travel
+                            // in multi-digest envelopes: `max_batch`
+                            // records per upstream round-trip instead of
+                            // one, windows of envelopes in flight.
+                            let dedup_batch = if self.cfg.fleet.batch_fetch {
+                                self.cfg.fleet.max_batch.max(1)
+                            } else {
+                                1
+                            };
                             let fetched = match &self.cas {
                                 Some(cas) => chan
-                                    .fetch_dedup(
+                                    .fetch_dedup_batched(
                                         env,
                                         a.file.0,
                                         m.content_map.as_ref(),
                                         t.chunk_bytes,
                                         t.channel_window,
+                                        dedup_batch,
                                         cas,
                                         &self.dtel,
                                         Some(&self.ttel),
@@ -1110,6 +1242,7 @@ impl Proxy {
             &self.tel.blocks_written_back,
             &self.tel.recovered_errors,
             &self.tel.wb_queued,
+            &self.wb,
             tag,
             data,
         );
@@ -1239,6 +1372,7 @@ impl Proxy {
             written_back: self.tel.blocks_written_back.clone(),
             recovered_errors: self.tel.recovered_errors.clone(),
             wb_queued: self.tel.wb_queued.clone(),
+            wb: self.wb.clone(),
         };
         let ttel = self.ttel.clone();
         let window = depth.max(1);
@@ -1270,6 +1404,7 @@ impl Proxy {
                                     &ctx.written_back,
                                     &ctx.recovered_errors,
                                     &ctx.wb_queued,
+                                    &ctx.wb,
                                     etag,
                                     edata,
                                 );
@@ -1999,8 +2134,10 @@ impl Proxy {
                 for (block, data) in blocks {
                     report.failed_blocks += 1;
                     report.failed_block_bytes += data.len() as u64;
-                    self.tel.wb_queued.inc();
-                    st.wb_queue.insert(
+                    park_wb_entry(
+                        &mut st,
+                        &self.tel.wb_queued,
+                        &self.wb,
                         Tag {
                             fileid,
                             generation,
@@ -2056,6 +2193,9 @@ impl Proxy {
         }
         if proc == chanproc::FETCH_BLOBS {
             return self.handle_channel_blob(env, xid, cred, args);
+        }
+        if proc == chanproc::FETCH_BLOBS_BATCH && self.cfg.fleet.batch_fetch && self.cas.is_some() {
+            return self.handle_channel_blob_envelope(env, xid, cred, args);
         }
         if proc != chanproc::FETCH {
             return self.forward(env, xid, cred, CHANNEL_PROGRAM, CHANNEL_V1, proc, args);
@@ -2300,6 +2440,9 @@ impl Proxy {
                 args,
             );
         };
+        if self.cfg.fleet.batch_fetch {
+            return self.handle_channel_blob_batched(env, xid, cred, want, args);
+        }
         // Bounded single-flight per digest (same discipline as the
         // file-fetch guard in `handle_read`): one upstream fetch per
         // distinct chunk no matter how many clonings want it at once.
@@ -2396,6 +2539,326 @@ impl Proxy {
             chanproc::FETCH_BLOBS,
             args,
         )
+    }
+
+    /// Fleet-batched variant of the blob miss path: concurrent misses
+    /// for *distinct* digests coalesce into one `FETCH_BLOBS_BATCH`
+    /// upstream envelope. The per-digest single-flight is preserved
+    /// (one signal per digest in `inflight_blob`); on top of it a single
+    /// *batch leader* lingers [`FleetTuning::batch_window`] of virtual
+    /// time so the burst can gather, then drains the pending misses in
+    /// rounds of at most [`FleetTuning::max_batch`] sub-calls — one WAN
+    /// round-trip (and one tunnel per-message cost) per round instead of
+    /// one per chunk.
+    fn handle_channel_blob_batched(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &oncrpc::OpaqueAuth,
+        want: Digest,
+        args: xdr::Bytes,
+    ) -> RpcMessage {
+        enum Role {
+            Wait(simnet::Signal),
+            Leader,
+        }
+        const MAX_BLOB_ATTEMPTS: u32 = 3;
+        let mut attempts = 0u32;
+        loop {
+            let (cached, count_hit) = {
+                let mut st = self.state.lock();
+                match st.chan_blob_replies.get(&want) {
+                    Some(r) => (Some(r), !st.batch_uncounted.remove(&want)),
+                    None => (None, false),
+                }
+            };
+            if let Some(results) = cached {
+                env.sleep(self.cfg.per_op_cpu);
+                if count_hit {
+                    // Served from content-addressed local state: these
+                    // logical bytes never re-crossed the upstream link.
+                    // (The first serve after a batch round is the
+                    // original requester — its bytes DID cross once, so
+                    // it is excluded above.)
+                    let mut dec = Decoder::new(&results);
+                    if let (Ok(_), Ok(chunk_len)) = (dec.get_u32(), dec.get_u64()) {
+                        self.dtel.recipe_hits.inc();
+                        self.dtel.bytes_avoided.add(chunk_len);
+                    }
+                }
+                return RpcMessage::success(xid, results);
+            }
+            attempts += 1;
+            if attempts > MAX_BLOB_ATTEMPTS {
+                break;
+            }
+            let role = {
+                let mut st = self.state.lock();
+                match st.inflight_blob.get(&want) {
+                    Some(sig) => Role::Wait(sig.clone()),
+                    None => {
+                        let sig = simnet::Signal::new(env.handle());
+                        st.inflight_blob.insert(want, sig.clone());
+                        st.batch_pending.push((want, args.clone()));
+                        if st.batch_open {
+                            // A leader is already collecting: park on
+                            // our own signal and ride its envelope.
+                            Role::Wait(sig)
+                        } else {
+                            st.batch_open = true;
+                            Role::Leader
+                        }
+                    }
+                }
+            };
+            match role {
+                Role::Wait(sig) => {
+                    sig.wait(env);
+                    // Re-check the digest cache (the batched fetch may
+                    // have failed for this item; then we claim the
+                    // retry slot).
+                    continue;
+                }
+                Role::Leader => {
+                    if self.cfg.fleet.batch_window > SimDuration::ZERO {
+                        env.sleep(self.cfg.fleet.batch_window);
+                    }
+                    self.drain_blob_batches(env, cred);
+                    continue;
+                }
+            }
+        }
+        self.forward(
+            env,
+            xid,
+            cred,
+            CHANNEL_PROGRAM,
+            CHANNEL_V1,
+            chanproc::FETCH_BLOBS,
+            args,
+        )
+    }
+
+    /// One leader's drain: take up to `max_batch` parked blob misses,
+    /// fetch them in one upstream `FETCH_BLOBS_BATCH` envelope,
+    /// digest-verify and cache each successful item, then wake that
+    /// digest's waiters. Leadership (`batch_open`) is released the
+    /// moment the pending queue is emptied — *before* the envelope goes
+    /// on the wire — so the next miss elects a new leader and starts its
+    /// own collection window while this envelope is still in flight.
+    /// Coalescing must not cost the shard its upstream parallelism: a
+    /// leader that kept collecting until its RPC returned would funnel
+    /// every miss through one serial round-trip pipeline, and under
+    /// bursty load that *adds* tail latency instead of removing it.
+    /// Only when a round leaves items behind (pending > `max_batch`,
+    /// i.e. genuine backlog) does the same leader loop for another
+    /// round, so no parked waiter is ever left without a leader.
+    fn drain_blob_batches(&self, env: &Env, cred: &oncrpc::OpaqueAuth) {
+        let max_batch = self.cfg.fleet.max_batch.clamp(1, oncrpc::MAX_BATCH_ITEMS);
+        loop {
+            let (round, released): (Vec<(Digest, xdr::Bytes)>, bool) = {
+                let mut st = self.state.lock();
+                if st.batch_pending.is_empty() {
+                    st.batch_open = false;
+                    return;
+                }
+                let take = st.batch_pending.len().min(max_batch);
+                let round: Vec<(Digest, xdr::Bytes)> = st.batch_pending.drain(..take).collect();
+                let released = st.batch_pending.is_empty();
+                if released {
+                    st.batch_open = false;
+                }
+                (round, released)
+            };
+            self.send_blob_round(env, cred, &round);
+            if released {
+                return;
+            }
+        }
+    }
+
+    /// One upstream `FETCH_BLOBS_BATCH` round: envelope the parked
+    /// misses, digest-verify and cache each successful item, then wake
+    /// that digest's waiters. On an envelope-level failure every waiter
+    /// re-claims and retries (falling back to single calls after the
+    /// bounded attempts, like the unbatched path).
+    fn send_blob_round(
+        &self,
+        env: &Env,
+        cred: &oncrpc::OpaqueAuth,
+        round: &[(Digest, xdr::Bytes)],
+    ) {
+        let items: Vec<oncrpc::BatchItem> = round
+            .iter()
+            .map(|(_, args)| oncrpc::BatchItem {
+                proc: chanproc::FETCH_BLOBS,
+                args: args.to_vec(),
+            })
+            .collect();
+        self.tel.forwarded.inc();
+        if let Some(c) = &self.fleet_batches {
+            c.inc();
+        }
+        if let Some(c) = &self.fleet_batched_items {
+            c.add(items.len() as u64);
+        }
+        let client = self.upstream.with_cred(cred.clone());
+        let replies = client.call_batch(
+            env,
+            CHANNEL_PROGRAM,
+            CHANNEL_V1,
+            chanproc::FETCH_BLOBS_BATCH,
+            &items,
+        );
+        let per_item: Vec<Option<Vec<u8>>> = match replies {
+            Ok(rs) if rs.len() == round.len() => rs
+                .into_iter()
+                .map(|r| if r.ok() { Some(r.result) } else { None })
+                .collect(),
+            _ => vec![None; round.len()],
+        };
+        for ((want, _), result) in round.iter().zip(per_item) {
+            if let Some(result) = result {
+                // Same guard as the single-call path: only a
+                // channel-level Ok whose payload actually hashes to
+                // the requested digest may be keyed by it.
+                let results: xdr::Bytes = result.into();
+                if self.verify_blob_reply(env, &results, *want) {
+                    let mut st = self.state.lock();
+                    st.chan_blob_replies.insert(*want, results);
+                    st.batch_uncounted.insert(*want);
+                }
+            }
+            let sig = { self.state.lock().inflight_blob.remove(want) };
+            if let Some(s) = sig {
+                s.set();
+            }
+        }
+    }
+
+    /// A downstream `FETCH_BLOBS_BATCH` envelope — a fleet client proxy
+    /// fetching a cold file in multi-digest rounds. Every not-cached,
+    /// not-already-in-flight digest in the envelope is parked in the
+    /// batch queue under one lock acquisition, so the whole envelope
+    /// coalesces into at most one upstream round (merged with whatever
+    /// the other hosts parked meanwhile); then each item resolves
+    /// through the same per-digest path a single `FETCH_BLOBS` takes —
+    /// digest-cache hit, waiter on the in-flight signal, or bounded
+    /// retry. A per-item failure surfaces in its slot without poisoning
+    /// its neighbours, the same contract the origin's envelope handler
+    /// keeps.
+    fn handle_channel_blob_envelope(
+        &self,
+        env: &Env,
+        xid: u32,
+        cred: &oncrpc::OpaqueAuth,
+        args: xdr::Bytes,
+    ) -> RpcMessage {
+        let Ok(items) = oncrpc::batch::decode_batch(&args) else {
+            return RpcMessage::accept_error(xid, AcceptStat::GarbageArgs);
+        };
+        let digest_of = |args: &[u8]| -> Option<Digest> {
+            let mut dec = Decoder::new(args);
+            match (
+                Fh3::decode(&mut dec),
+                dec.get_u64(),
+                dec.get_u32(),
+                dec.get_u64(),
+                dec.get_u64(),
+            ) {
+                (Ok(_), Ok(_), Ok(_), Ok(d0), Ok(d1)) => Some(Digest(d0, d1)),
+                _ => None,
+            }
+        };
+        // Phase 1: park every fresh miss under one lock acquisition,
+        // then drain our own rounds right away. Unlike the single-blob
+        // path there is no leader election and no collect window: the
+        // downstream envelope *is* an already-collected batch, and every
+        // concurrent envelope handler draining its own round keeps
+        // several upstream envelopes in flight at once — a single
+        // looping leader would serialize the whole site's cold misses
+        // through one round-trip pipeline.
+        let mut parked = 0usize;
+        {
+            let mut st = self.state.lock();
+            for item in &items {
+                if item.proc != chanproc::FETCH_BLOBS {
+                    continue;
+                }
+                let Some(want) = digest_of(&item.args) else {
+                    continue;
+                };
+                if st.chan_blob_replies.get(&want).is_some() || st.inflight_blob.contains_key(&want)
+                {
+                    continue;
+                }
+                st.inflight_blob
+                    .insert(want, simnet::Signal::new(env.handle()));
+                st.batch_pending.push((want, item.args.clone().into()));
+                parked += 1;
+            }
+        }
+        // Drain until we have covered at least as many items as we
+        // parked (another handler may have taken ours — then its round
+        // covers them and our signals still fire). A round can also pick
+        // up loose single-blob misses parked by a collecting leader;
+        // that leader finding the queue already empty is fine.
+        let max_batch = self.cfg.fleet.max_batch.clamp(1, oncrpc::MAX_BATCH_ITEMS);
+        let mut taken = 0usize;
+        while taken < parked {
+            let round: Vec<(Digest, xdr::Bytes)> = {
+                let mut st = self.state.lock();
+                let take = st.batch_pending.len().min(max_batch);
+                st.batch_pending.drain(..take).collect()
+            };
+            if round.is_empty() {
+                break;
+            }
+            taken += round.len();
+            self.send_blob_round(env, cred, &round);
+        }
+        // Phase 2: resolve each item through its ordinary per-item
+        // handler (our own misses are now cached or in flight).
+        let replies: Vec<oncrpc::BatchReplyItem> = items
+            .iter()
+            .map(|item| {
+                let iargs: xdr::Bytes = item.args.clone().into();
+                let msg = match item.proc {
+                    chanproc::FETCH_BLOBS => self.handle_channel_blob(env, xid, cred, iargs),
+                    chanproc::FETCH_CHUNK => self.handle_channel_chunk(env, xid, cred, iargs),
+                    chanproc::FETCH_RECIPE => self.handle_channel_recipe(env, xid, cred, iargs),
+                    _ => self.forward(
+                        env,
+                        xid,
+                        cred,
+                        CHANNEL_PROGRAM,
+                        CHANNEL_V1,
+                        item.proc,
+                        iargs,
+                    ),
+                };
+                match msg {
+                    RpcMessage::Reply {
+                        body:
+                            ReplyBody::Accepted {
+                                stat: AcceptStat::Success,
+                                results,
+                                ..
+                            },
+                        ..
+                    } => oncrpc::BatchReplyItem {
+                        stat: oncrpc::BATCH_OK,
+                        result: results.to_vec(),
+                    },
+                    _ => oncrpc::BatchReplyItem {
+                        stat: oncrpc::BATCH_ITEM_FAILED,
+                        result: Vec::new(),
+                    },
+                }
+            })
+            .collect();
+        let body: xdr::Bytes = oncrpc::batch::encode_batch_reply(&replies).into();
+        RpcMessage::success(xid, body)
     }
 }
 

@@ -55,6 +55,33 @@ impl Middleware {
         with_zero_map: bool,
         channel: Option<FileChannelSpec>,
     ) -> vfs::FsResult<MetaFile> {
+        Self::generate_meta_chunked(
+            fs,
+            dir_path,
+            file_name,
+            block_size,
+            CONTENT_MAP_CHUNK_BYTES,
+            with_zero_map,
+            channel,
+        )
+    }
+
+    /// [`Middleware::generate_meta`] with an explicit content-map record
+    /// size. The zero map and the content map serve different masters:
+    /// the zero map granularity (`block_size`) follows the NFS block
+    /// size, while the content-map record size sets the dedup/transfer
+    /// unit — fleet runs use small records so a cold transfer is many
+    /// round-trips and proxy-tier batching has something to coalesce.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate_meta_chunked(
+        fs: &mut Fs,
+        dir_path: &str,
+        file_name: &str,
+        block_size: u32,
+        content_chunk_bytes: u32,
+        with_zero_map: bool,
+        channel: Option<FileChannelSpec>,
+    ) -> vfs::FsResult<MetaFile> {
         let dir = fs.resolve(dir_path)?;
         let subject = fs.lookup(dir, file_name)?;
         let file_size = fs.size(subject)?;
@@ -66,7 +93,7 @@ impl Middleware {
         // Channel-transferred files also get a content map: the recipe
         // lets the client proxy skip every chunk its CAS already holds.
         let content_map = if channel.is_some() {
-            Some(generate_content_map(fs, subject, CONTENT_MAP_CHUNK_BYTES)?)
+            Some(generate_content_map(fs, subject, content_chunk_bytes)?)
         } else {
             None
         };

@@ -94,6 +94,7 @@ fn build_rig_with(
             read_only_share: false,
             transfer,
             dedup,
+            fleet: gvfs::FleetTuning::off(),
         },
         upstream,
     )
@@ -383,6 +384,7 @@ fn shared_proxy_coalesces_blob_fetches_on_digest() {
             read_only_share: true,
             transfer: TransferTuning::default(),
             dedup: DedupTuning::default(),
+            fleet: gvfs::FleetTuning::off(),
         },
         upstream,
     )
@@ -572,6 +574,7 @@ fn failed_upload_clears_synced_digest_and_repairs_torn_file() {
                 ..TransferTuning::default()
             },
             dedup: DedupTuning::default(),
+            fleet: gvfs::FleetTuning::off(),
         },
         upstream,
     )
@@ -708,6 +711,7 @@ fn blob_cache_rejects_payload_digest_mismatch() {
             read_only_share: true,
             transfer: TransferTuning::default(),
             dedup: DedupTuning::default(),
+            fleet: gvfs::FleetTuning::off(),
         },
         upstream,
     )

@@ -78,6 +78,7 @@ fn build_rig(sim: &Simulation) -> Rig {
             // These tests pin exact write/commit counts per fault
             // schedule; the dedup'd flush path has its own suite.
             dedup: DedupTuning::off(),
+            fleet: gvfs::FleetTuning::off(),
         },
         upstream,
     )

@@ -75,6 +75,7 @@ fn build_rig(sim: &Simulation, write_policy: WritePolicy, meta_handling: bool) -
             read_only_share: false,
             transfer: TransferTuning::default(),
             dedup: DedupTuning::off(),
+            fleet: gvfs::FleetTuning::off(),
         },
         RpcClient::new(srv_ep.channel, OpaqueAuth::none()),
     )
@@ -121,6 +122,7 @@ fn build_rig(sim: &Simulation, write_policy: WritePolicy, meta_handling: bool) -
             // These tests pin exact wire-byte counts for the plain
             // chunked channel; dedup'd fetches are covered separately.
             dedup: DedupTuning::off(),
+            fleet: gvfs::FleetTuning::off(),
         },
         upstream,
     )

@@ -55,6 +55,7 @@ fn record_paths_stay_registry_free_after_warmup() {
                 ..TransferTuning::default()
             },
             dedup: DedupTuning::off(),
+            fleet: gvfs::FleetTuning::off(),
         },
         RpcClient::new(ep.channel, cred.clone()),
     )

@@ -72,6 +72,7 @@ fn run_flush(flush_window: usize) -> (BTreeSet<WriteRec>, FlushReport, Vec<u8>) 
             },
             // Exact WRITE/COMMIT interleavings are pinned here.
             dedup: DedupTuning::off(),
+            fleet: gvfs::FleetTuning::off(),
         },
         RpcClient::new(ep.channel, cred.clone()),
     )

@@ -303,6 +303,26 @@ impl RpcClient {
         })
     }
 
+    /// Issue many logical sub-calls as ONE wire round-trip: encodes
+    /// `items` into a [`crate::batch`] envelope and sends it as a single
+    /// call to `batch_proc` via [`RpcClient::call_dl`]. Because the
+    /// envelope is ordinary argument bytes, the retransmit path is
+    /// untouched — one xid, one shared encoded request across attempts —
+    /// so batching inherits the duplicate-request-cache byte-identity
+    /// contract for free. Returns the per-item replies in request order.
+    pub fn call_batch(
+        &self,
+        env: &Env,
+        prog: u32,
+        vers: u32,
+        batch_proc: u32,
+        items: &[crate::batch::BatchItem],
+    ) -> Result<Vec<crate::batch::BatchReplyItem>, RpcError> {
+        let args = crate::batch::encode_batch(items);
+        let reply = self.call_dl(env, prog, vers, batch_proc, &args)?;
+        crate::batch::decode_batch_reply(&reply).map_err(RpcError::Decode)
+    }
+
     /// Shared telemetry wrapper: per-procedure latency histogram,
     /// call/error counters, outstanding gauge — all recorded through
     /// handles cached in [`TelCache`]; after a program's first call the

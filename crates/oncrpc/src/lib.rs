@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod auth;
+pub mod batch;
 pub mod client;
 pub mod dispatch;
 pub mod msg;
@@ -26,6 +27,7 @@ pub mod record;
 pub mod transport;
 
 pub use auth::{AuthFlavor, AuthGvfs, AuthSys, OpaqueAuth};
+pub use batch::{BatchItem, BatchReplyItem, BATCH_ITEM_FAILED, BATCH_OK, MAX_BATCH_ITEMS};
 pub use client::{prog_label, RetryPolicy, RpcClient, RpcError};
 pub use dispatch::{Dispatcher, ProgramError, RpcProgram};
 pub use msg::{AcceptStat, CallHeader, RejectStat, ReplyBody, RpcMessage, RPC_VERSION};

@@ -1,0 +1,225 @@
+//! Seeded arrival-process generators for fleet-scale load.
+//!
+//! The fleet cloning scenario drives clone requests from a simulated user
+//! population rather than a fixed `for` loop. Two arrival models cover
+//! the interesting regimes:
+//!
+//! * [`ArrivalProcess::poisson`] — memoryless arrivals at a constant mean
+//!   rate, the classic open-loop model for a large independent population.
+//! * [`ArrivalProcess::on_off`] — a bursty on/off modulated Poisson
+//!   process: the population alternates between exponentially-distributed
+//!   ON periods (arrivals at `on_rate`) and OFF periods (silence). This
+//!   models flash crowds — a class starting a lab, a release going out —
+//!   which is where tail latency actually lives.
+//!
+//! Both are pure functions of their seed (splitmix64 stream), so a fleet
+//! run is replayable bit-for-bit from `(seed, mode, rate)`. Inter-arrival
+//! gaps are rounded **up** to whole nanoseconds: rounding up keeps every
+//! gap strictly positive, so arrival events can never tie-and-reorder
+//! against each other regardless of rate.
+
+use crate::fault::DetRng;
+use crate::time::SimDuration;
+
+/// Maximum inter-arrival gap the generators will emit. A pathological
+/// draw from the exponential tail (u ≈ 0) would otherwise produce a gap
+/// of years and stall the virtual clock; one hour is far beyond any
+/// scenario horizon while keeping the math exact below it.
+pub const MAX_GAP: SimDuration = SimDuration::from_secs(3600);
+
+#[derive(Debug, Clone)]
+enum Mode {
+    Poisson {
+        rate_per_sec: f64,
+    },
+    OnOff {
+        on_rate_per_sec: f64,
+        mean_on: f64,
+        mean_off: f64,
+        /// Virtual seconds of ON time left before the next OFF period.
+        on_left: f64,
+    },
+}
+
+/// A deterministic arrival-process generator: a stream of inter-arrival
+/// gaps, replayable from its seed.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    rng: DetRng,
+    mode: Mode,
+}
+
+/// Sample an exponential with the given rate via inversion. `1 - u` keeps
+/// the argument of `ln` strictly positive (u ∈ [0, 1)).
+fn exp_sample(rng: &mut DetRng, rate_per_sec: f64) -> f64 {
+    let u = rng.next_f64();
+    -(1.0 - u).ln() / rate_per_sec
+}
+
+/// Convert a gap in seconds to a [`SimDuration`], rounding up to a whole
+/// strictly-positive nanosecond and clamping at [`MAX_GAP`].
+fn gap_to_duration(secs: f64) -> SimDuration {
+    let ns = (secs * 1e9).ceil().max(1.0);
+    if ns >= MAX_GAP.as_nanos() as f64 {
+        MAX_GAP
+    } else {
+        SimDuration::from_nanos(ns as u64)
+    }
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `rate_per_sec` (must be positive and finite).
+    pub fn poisson(seed: u64, rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive and finite"
+        );
+        ArrivalProcess {
+            rng: DetRng::new(seed),
+            mode: Mode::Poisson { rate_per_sec },
+        }
+    }
+
+    /// Bursty on/off arrivals: exponentially-distributed ON periods with
+    /// mean `mean_on_secs` during which arrivals come at `on_rate_per_sec`,
+    /// separated by exponentially-distributed OFF periods with mean
+    /// `mean_off_secs` with no arrivals. The long-run mean rate is
+    /// `on_rate · mean_on / (mean_on + mean_off)`.
+    pub fn on_off(seed: u64, on_rate_per_sec: f64, mean_on_secs: f64, mean_off_secs: f64) -> Self {
+        assert!(
+            on_rate_per_sec > 0.0 && on_rate_per_sec.is_finite(),
+            "on-rate must be positive and finite"
+        );
+        assert!(
+            mean_on_secs > 0.0 && mean_off_secs > 0.0,
+            "on/off period means must be positive"
+        );
+        let mut rng = DetRng::new(seed);
+        let on_left = exp_sample(&mut rng, 1.0 / mean_on_secs);
+        ArrivalProcess {
+            rng,
+            mode: Mode::OnOff {
+                on_rate_per_sec,
+                mean_on: mean_on_secs,
+                mean_off: mean_off_secs,
+                on_left,
+            },
+        }
+    }
+
+    /// The gap between the previous arrival and the next one. Always
+    /// strictly positive; callers sleep this long, then fire one arrival.
+    pub fn next_gap(&mut self) -> SimDuration {
+        match &mut self.mode {
+            Mode::Poisson { rate_per_sec } => {
+                let gap = exp_sample(&mut self.rng, *rate_per_sec);
+                gap_to_duration(gap)
+            }
+            Mode::OnOff {
+                on_rate_per_sec,
+                mean_on,
+                mean_off,
+                on_left,
+            } => {
+                // Consume ON time until an arrival lands inside the
+                // current ON period; every exhausted ON period inserts a
+                // full OFF gap and starts a fresh ON period.
+                let mut gap = 0.0f64;
+                loop {
+                    let next = exp_sample(&mut self.rng, *on_rate_per_sec);
+                    if next <= *on_left {
+                        *on_left -= next;
+                        gap += next;
+                        break;
+                    }
+                    gap += *on_left + exp_sample(&mut self.rng, 1.0 / *mean_off);
+                    *on_left = exp_sample(&mut self.rng, 1.0 / *mean_on);
+                }
+                gap_to_duration(gap)
+            }
+        }
+    }
+
+    /// Materialize the first `n` arrival offsets from time zero
+    /// (cumulative gaps), convenient for schedule precomputation.
+    pub fn take_offsets(&mut self, n: usize) -> Vec<SimDuration> {
+        let mut at = SimDuration::ZERO;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            at += self.next_gap();
+            out.push(at);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_reproducible_and_seed_sensitive() {
+        let a: Vec<_> = ArrivalProcess::poisson(7, 100.0).take_offsets(64);
+        let b: Vec<_> = ArrivalProcess::poisson(7, 100.0).take_offsets(64);
+        let c: Vec<_> = ArrivalProcess::poisson(8, 100.0).take_offsets(64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_roughly_right() {
+        let mut p = ArrivalProcess::poisson(42, 50.0);
+        let n = 5000;
+        let last = *p.take_offsets(n).last().unwrap();
+        let measured = n as f64 / last.as_secs_f64();
+        assert!(
+            (40.0..60.0).contains(&measured),
+            "50/s requested, measured {measured}/s"
+        );
+    }
+
+    #[test]
+    fn gaps_are_strictly_positive_and_bounded() {
+        let mut p = ArrivalProcess::poisson(3, 1e9);
+        let mut oo = ArrivalProcess::on_off(3, 1e6, 0.01, 0.01);
+        for _ in 0..10_000 {
+            let g = p.next_gap();
+            assert!(g > SimDuration::ZERO && g <= MAX_GAP);
+            let g = oo.next_gap();
+            assert!(g > SimDuration::ZERO && g <= MAX_GAP);
+        }
+    }
+
+    #[test]
+    fn on_off_is_burstier_than_poisson_at_equal_mean_rate() {
+        // Equal long-run rate: on/off with 50% duty at 200/s ≈ 100/s mean.
+        let n = 4000;
+        let poisson = ArrivalProcess::poisson(9, 100.0).take_offsets(n);
+        let bursty = ArrivalProcess::on_off(9, 200.0, 1.0, 1.0).take_offsets(n);
+        let cv2 = |offsets: &[SimDuration]| {
+            let gaps: Vec<f64> = offsets
+                .windows(2)
+                .map(|w| (w[1] - w[0]).as_secs_f64())
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        // Poisson gaps have CV² ≈ 1; on/off modulation adds variance.
+        let (p, b) = (cv2(&poisson), cv2(&bursty));
+        assert!((0.7..1.4).contains(&p), "poisson cv²={p}");
+        assert!(b > 1.5 * p, "bursty cv²={b} not > poisson cv²={p}");
+    }
+
+    #[test]
+    fn on_off_inserts_silent_periods() {
+        let offsets = ArrivalProcess::on_off(5, 1000.0, 0.05, 0.5).take_offsets(2000);
+        let max_gap = offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        // Mean OFF period is 500ms; with 2000 arrivals we must cross
+        // several OFF windows, so the largest gap is OFF-period sized.
+        assert!(
+            max_gap >= SimDuration::from_millis(100),
+            "max gap {max_gap:?} shows no off periods"
+        );
+    }
+}

@@ -499,6 +499,14 @@ impl SimHandle {
         let ctl = Arc::new(ProcCtl::new(name));
         let pid;
         {
+            // One kernel-lock acquisition covers registration AND the
+            // initial wake. Spawning used to take this lock three times
+            // (procs push, `now()`, `schedule_wake`); because the
+            // spawning process holds the baton until it suspends, nobody
+            // can interleave an event between those acquisitions, so
+            // folding them together allocates the identical sequence
+            // number and leaves the event timeline bit-for-bit unchanged
+            // while cutting spawn cost at fleet scale (1000+ tasks).
             let mut k = self.inner.lock();
             assert!(
                 !k.shutting_down,
@@ -506,6 +514,14 @@ impl SimHandle {
             );
             pid = k.procs.len();
             k.procs.push(ctl.clone());
+            let time = k.now;
+            let seq = k.seq;
+            k.seq += 1;
+            k.heap.push(Event {
+                time,
+                seq,
+                kind: EventKind::Wake(pid),
+            });
         }
         let env = Env {
             handle: self.clone(),
@@ -553,9 +569,6 @@ impl SimHandle {
             // `run()` can surface it.
             handle.pass_baton_guarded();
         }));
-        // Make the new process runnable "now".
-        let now = self.now();
-        self.schedule_wake(now, pid);
         (pid, ctl)
     }
 

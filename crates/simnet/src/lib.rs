@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 mod engine;
 pub mod fault;
 mod link;
@@ -37,6 +38,7 @@ pub mod sync;
 pub mod telemetry;
 mod time;
 
+pub use arrival::ArrivalProcess;
 pub use engine::{
     default_sched_policy, first_divergence, set_default_sched_policy, CancelToken, Env,
     EventRecord, ProcessHandle, SchedPolicy, SimHandle, Simulation,
@@ -46,5 +48,7 @@ pub use link::{Link, TransferOutcome};
 pub use sync::{
     channel, Disconnected, Receiver, RecvTimeoutError, Resource, ResourceGuard, Sender, Signal,
 };
-pub use telemetry::{Counter, Gauge, Histogram, JsonValue, Snapshot, Telemetry, TraceEvent};
+pub use telemetry::{
+    Counter, Gauge, Histogram, JsonValue, PercentileSketch, Snapshot, Telemetry, TraceEvent,
+};
 pub use time::{SimDuration, SimTime};

@@ -69,6 +69,9 @@ struct LinkState {
     /// Fault injection, absent by default (zero overhead, identical
     /// timeline to a build without the feature).
     faults: Option<FaultState>,
+    /// Reused completion buffer for [`Link::on_timer`]: cleared, never
+    /// shrunk, so the steady-state timer path performs no allocation.
+    completed_buf: Vec<(u64, Pid)>,
 }
 
 /// A unidirectional network link with latency and shared bandwidth.
@@ -125,6 +128,7 @@ impl Link {
                 last_update: SimTime::ZERO,
                 timer_gen: 0,
                 faults: None,
+                completed_buf: Vec::new(),
             })),
         }
     }
@@ -388,21 +392,52 @@ impl Link {
             return; // superseded by a newer flow arrival/departure
         }
         let now = self.handle.now();
-        Self::progress(&mut st, now);
-        let done: Vec<u64> = st
-            .flows
-            .iter()
-            .filter(|(_, f)| f.remaining <= COMPLETE_EPS)
-            .map(|(id, _)| *id)
-            .collect();
-        let mut done = done;
-        done.sort_unstable(); // deterministic wake order
-        for id in done {
-            if let Some(flow) = st.flows.remove(&id) {
-                self.handle.schedule_wake(now, flow.pid);
+        // Fused per-timer pass. The naive form — `progress` (O(n)
+        // update), a completion scan (O(n), fresh Vec), and
+        // `reschedule`'s min-scan (O(n)) — walks the flow map three
+        // times and allocates on every timer event. This single walk
+        // performs the identical arithmetic on identical operands (same
+        // fair-share decrement, same clamp, same ascending-id wake
+        // order out of the BTreeMap, same rounding in the re-arm), so
+        // the event timeline is bit-for-bit unchanged; it just touches
+        // each flow once and reuses one buffer.
+        let elapsed = now.saturating_since(st.last_update).as_secs_f64();
+        st.last_update = now;
+        let n = st.flows.len();
+        let dec = if n > 0 && elapsed > 0.0 {
+            st.bytes_per_sec / n as f64 * elapsed
+        } else {
+            0.0
+        };
+        let mut min_left = f64::INFINITY;
+        let mut completed = std::mem::take(&mut st.completed_buf);
+        completed.clear();
+        for (id, flow) in st.flows.iter_mut() {
+            let left = (flow.remaining - dec).max(0.0);
+            flow.remaining = left;
+            if left <= COMPLETE_EPS {
+                completed.push((*id, flow.pid));
+            } else {
+                min_left = min_left.min(left);
             }
         }
-        self.reschedule(&mut st, now);
+        for (id, pid) in &completed {
+            st.flows.remove(id);
+            self.handle.schedule_wake(now, *pid);
+        }
+        completed.clear();
+        st.completed_buf = completed;
+        st.timer_gen += 1;
+        let gen = st.timer_gen;
+        if st.flows.is_empty() {
+            return;
+        }
+        let rate = st.bytes_per_sec / st.flows.len() as f64;
+        let dt = SimDuration::from_nanos(((min_left / rate).max(0.0) * 1e9).ceil() as u64);
+        let this = self.clone();
+        self.handle.schedule_call(now + dt, move || {
+            this.on_timer(gen);
+        });
     }
 }
 

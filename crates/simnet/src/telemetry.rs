@@ -303,6 +303,169 @@ impl std::fmt::Debug for Histogram {
 }
 
 // ---------------------------------------------------------------------------
+// PercentileSketch
+
+/// Linear sub-buckets per power-of-two octave in a [`PercentileSketch`]
+/// (`2^SKETCH_SUB_BITS`). Eight sub-buckets bound the relative quantile
+/// error at 1/8 = 12.5%, four times tighter than [`Histogram`]'s 2×.
+pub const SKETCH_SUB_BITS: u32 = 3;
+
+/// Number of linear sub-buckets per octave.
+pub const SKETCH_SUB: usize = 1 << SKETCH_SUB_BITS;
+
+/// Total cells in a [`PercentileSketch`]. The highest reachable index is
+/// `(63 - 3 + 1) * 8 + 7 = 495`; 512 rounds up to a power of two.
+pub const SKETCH_BUCKETS: usize = 512;
+
+/// Fixed log-linear bucket index for a nanosecond value: values below
+/// `2^SKETCH_SUB_BITS` map exactly; above that, the exponent selects the
+/// octave and the next [`SKETCH_SUB_BITS`] mantissa bits the sub-bucket.
+fn sketch_index(ns: u64) -> usize {
+    if ns == 0 {
+        return 0;
+    }
+    let e = 63 - ns.leading_zeros() as usize;
+    let sb = SKETCH_SUB_BITS as usize;
+    if e < sb {
+        ns as usize
+    } else {
+        let sub = ((ns >> (e - sb)) & (SKETCH_SUB as u64 - 1)) as usize;
+        (e - sb + 1) * SKETCH_SUB + sub
+    }
+}
+
+/// Inclusive upper bound (ns) of the values sketch bucket `idx` holds.
+fn sketch_upper_bound(idx: usize) -> u64 {
+    let sb = SKETCH_SUB_BITS as usize;
+    if idx < SKETCH_SUB {
+        idx as u64
+    } else {
+        let e = idx / SKETCH_SUB + sb - 1;
+        let sub = (idx % SKETCH_SUB) as u64;
+        let width = 1u64 << (e - sb);
+        // `-1` before the add: the top bucket's bound is exactly u64::MAX
+        // and the other order would overflow computing it.
+        (1u64 << e) - 1 + (sub + 1) * width
+    }
+}
+
+struct SketchInner {
+    buckets: [AtomicU64; SKETCH_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// A lock-cheap percentile sketch: fixed log-linear buckets (8 linear
+/// sub-buckets per power-of-two octave) holding nanosecond samples, with
+/// relative quantile error ≤ 12.5%. The record path is index arithmetic
+/// plus four relaxed `fetch_add`/`fetch_max` operations — no locks and no
+/// allocation, ever (the `allocation-free-record` lint rule pins this).
+/// Cloning shares the underlying cells (same contract as [`Counter`]).
+#[derive(Clone)]
+pub struct PercentileSketch {
+    inner: Arc<SketchInner>,
+}
+
+impl Default for PercentileSketch {
+    fn default() -> Self {
+        PercentileSketch {
+            inner: Arc::new(SketchInner {
+                buckets: [const { AtomicU64::new(0) }; SKETCH_BUCKETS],
+                count: AtomicU64::new(0),
+                sum_ns: AtomicU64::new(0),
+                max_ns: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl PercentileSketch {
+    /// A fresh, unregistered sketch (mostly for tests).
+    pub fn new() -> Self {
+        PercentileSketch::default()
+    }
+
+    /// Record one duration sample. Allocation-free.
+    #[inline]
+    pub fn record(&self, d: SimDuration) {
+        self.record_ns(d.as_nanos());
+    }
+
+    /// Record one raw nanosecond (or unit-less, e.g. queue-depth) sample.
+    /// Allocation-free.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let s = &*self.inner;
+        s.buckets[sketch_index(ns)].fetch_add(1, Ordering::Relaxed);
+        s.count.fetch_add(1, Ordering::Relaxed);
+        s.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        s.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.inner.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.inner.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0.0–1.0),
+    /// clamped to the observed maximum. Within 12.5% of the true value.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return sketch_upper_bound(i).min(self.max_ns());
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Reset all cells to zero.
+    pub fn reset(&self) {
+        let s = &*self.inner;
+        for b in &s.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        s.count.store(0, Ordering::Relaxed);
+        s.sum_ns.store(0, Ordering::Relaxed);
+        s.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for PercentileSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PercentileSketch(count={}, p50={}ns, p99={}ns)",
+            self.count(),
+            self.quantile_ns(0.50),
+            self.quantile_ns(0.99)
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Trace events
 
 /// One structured, virtual-time-stamped trace event.
@@ -367,6 +530,7 @@ struct TelemetryInner {
     counters: Mutex<BTreeMap<(&'static str, String), Counter>>,
     gauges: Mutex<BTreeMap<(&'static str, String), Gauge>>,
     histograms: Mutex<BTreeMap<(&'static str, String), Histogram>>,
+    sketches: Mutex<BTreeMap<(&'static str, String), PercentileSketch>>,
     instances: Mutex<BTreeMap<String, u64>>,
     ring: Mutex<Ring>,
     trace_enabled: AtomicBool,
@@ -398,6 +562,7 @@ impl Telemetry {
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
+                sketches: Mutex::new(BTreeMap::new()),
                 instances: Mutex::new(BTreeMap::new()),
                 ring: Mutex::new(Ring {
                     events: VecDeque::new(),
@@ -439,6 +604,17 @@ impl Telemetry {
         self.note_resolution();
         self.inner
             .histograms
+            .lock()
+            .entry((layer, name.into()))
+            .or_default()
+            .clone()
+    }
+
+    /// Get or register the percentile sketch `layer`/`name`.
+    pub fn sketch(&self, layer: &'static str, name: impl Into<String>) -> PercentileSketch {
+        self.note_resolution();
+        self.inner
+            .sketches
             .lock()
             .entry((layer, name.into()))
             .or_default()
@@ -562,11 +738,28 @@ impl Telemetry {
                 p99_ns: h.quantile_ns(0.99),
             })
             .collect();
+        let sketches = self
+            .inner
+            .sketches
+            .lock()
+            .iter()
+            .map(|((layer, name), s)| SketchSample {
+                layer,
+                name: name.clone(),
+                count: s.count(),
+                sum_ns: s.sum_ns(),
+                max_ns: s.max_ns(),
+                p50_ns: s.quantile_ns(0.50),
+                p95_ns: s.quantile_ns(0.95),
+                p99_ns: s.quantile_ns(0.99),
+            })
+            .collect();
         let ring = self.inner.ring.lock();
         Snapshot {
             counters,
             gauges,
             histograms,
+            sketches,
             events: ring.events.iter().cloned().collect(),
             events_dropped: ring.dropped,
         }
@@ -619,6 +812,27 @@ pub struct HistogramSample {
     pub p99_ns: u64,
 }
 
+/// One percentile sketch's summary at snapshot time.
+#[derive(Debug, Clone)]
+pub struct SketchSample {
+    /// Layer the sketch was registered under.
+    pub layer: &'static str,
+    /// Dotted metric name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (ns).
+    pub sum_ns: u64,
+    /// Largest sample (ns).
+    pub max_ns: u64,
+    /// Median estimate (bucket upper bound, ns).
+    pub p50_ns: u64,
+    /// 95th-percentile estimate (bucket upper bound, ns).
+    pub p95_ns: u64,
+    /// 99th-percentile estimate (bucket upper bound, ns).
+    pub p99_ns: u64,
+}
+
 /// A point-in-time copy of every registered metric plus the trace ring.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
@@ -628,6 +842,10 @@ pub struct Snapshot {
     pub gauges: Vec<GaugeSample>,
     /// All histograms, sorted by (layer, name).
     pub histograms: Vec<HistogramSample>,
+    /// All percentile sketches, sorted by (layer, name). Empty in every
+    /// scenario that registers none, which keeps pre-fleet report JSON
+    /// byte-identical (the field is omitted from output when empty).
+    pub sketches: Vec<SketchSample>,
     /// Trace events, oldest first (empty unless tracing was enabled).
     pub events: Vec<TraceEvent>,
     /// Events evicted from the ring due to capacity.
@@ -651,6 +869,13 @@ impl Snapshot {
             .filter(|c| c.layer == layer && (c.name == suffix || c.name.ends_with(suffix)))
             .map(|c| c.value)
             .sum()
+    }
+
+    /// Sample summary of sketch `layer`/`name`, if registered.
+    pub fn sketch(&self, layer: &str, name: &str) -> Option<&SketchSample> {
+        self.sketches
+            .iter()
+            .find(|s| s.layer == layer && s.name == name)
     }
 
     /// High-water mark of gauge `layer`/`name`, or 0 if absent (test
@@ -696,6 +921,23 @@ impl Snapshot {
             ("gauges".to_string(), JsonValue::Object(gauges)),
             ("histograms".to_string(), JsonValue::Object(histograms)),
         ];
+        if !self.sketches.is_empty() {
+            let mut sketches = Vec::new();
+            for s in &self.sketches {
+                sketches.push((
+                    format!("{}.{}", s.layer, s.name),
+                    JsonValue::object([
+                        ("count", JsonValue::Uint(s.count)),
+                        ("sum_ns", JsonValue::Uint(s.sum_ns)),
+                        ("max_ns", JsonValue::Uint(s.max_ns)),
+                        ("p50_ns", JsonValue::Uint(s.p50_ns)),
+                        ("p95_ns", JsonValue::Uint(s.p95_ns)),
+                        ("p99_ns", JsonValue::Uint(s.p99_ns)),
+                    ]),
+                ));
+            }
+            fields.push(("sketches".to_string(), JsonValue::Object(sketches)));
+        }
         if !self.events.is_empty() || self.events_dropped > 0 {
             fields.push((
                 "events_dropped".to_string(),
@@ -978,6 +1220,86 @@ mod tests {
         assert_eq!(bucket_index(0), 0);
         assert_eq!(bucket_index(1), 1);
         assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn sketch_index_is_monotonic_and_inverse_bounds_hold() {
+        let mut last = 0usize;
+        for ns in [
+            0u64,
+            1,
+            2,
+            7,
+            8,
+            9,
+            15,
+            16,
+            17,
+            1023,
+            1024,
+            1025,
+            1 << 40,
+            u64::MAX,
+        ] {
+            let b = sketch_index(ns);
+            assert!(b >= last, "index must not decrease at ns={ns}");
+            assert!(b < SKETCH_BUCKETS);
+            assert!(
+                sketch_upper_bound(b) >= ns,
+                "upper bound {} below sample {ns}",
+                sketch_upper_bound(b)
+            );
+            last = b;
+        }
+        // Exact region: small values get their own bucket.
+        for ns in 0..SKETCH_SUB as u64 {
+            assert_eq!(sketch_upper_bound(sketch_index(ns)), ns);
+        }
+    }
+
+    #[test]
+    fn sketch_quantiles_are_within_the_advertised_error() {
+        let s = PercentileSketch::new();
+        assert_eq!(s.quantile_ns(0.99), 0);
+        // 1000 samples: 1µs, 2µs, …, 1000µs. True p50 = 500µs,
+        // p95 = 950µs, p99 = 990µs; each estimate must be within 12.5%.
+        for us in 1..=1000u64 {
+            s.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max_ns(), 1_000_000);
+        for (q, truth) in [(0.50, 500_000.0), (0.95, 950_000.0), (0.99, 990_000.0)] {
+            let est = s.quantile_ns(q) as f64;
+            let rel = (est - truth).abs() / truth;
+            assert!(rel <= 0.125, "q={q}: est={est} truth={truth} rel={rel}");
+        }
+        s.reset();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn sketches_are_shared_by_name_and_snapshot_conditionally() {
+        let t = Telemetry::new();
+        // No sketches registered → no "sketches" key in the JSON, so all
+        // pre-fleet report files stay byte-identical.
+        assert!(!t.snapshot().to_json().to_string().contains("sketches"));
+
+        let a = t.sketch("fleet", "clone.latency");
+        let b = t.sketch("fleet", "clone.latency");
+        a.record(SimDuration::from_millis(5));
+        b.record(SimDuration::from_millis(7));
+        let resolutions_before = t.debug_resolutions();
+        for _ in 0..1000 {
+            a.record(SimDuration::from_millis(1));
+        }
+        // Cached-handle discipline: a burst of records takes no registry
+        // locks.
+        assert_eq!(t.debug_resolutions(), resolutions_before);
+        let snap = t.snapshot();
+        let s = snap.sketch("fleet", "clone.latency").expect("registered");
+        assert_eq!(s.count, 1002);
+        assert!(snap.to_json().to_string().contains("\"sketches\""));
     }
 
     #[test]

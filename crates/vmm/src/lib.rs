@@ -24,6 +24,7 @@
 pub mod clone;
 pub mod image;
 pub mod monitor;
+pub mod population;
 pub mod redo;
 
 pub use clone::{clone_vm, CloneConfig, CloneTimes};
@@ -31,4 +32,5 @@ pub use image::{
     diverge_image, install_image, InstalledImage, Prng, VmImageSpec, DIVERGE_REGION, PAGE,
 };
 pub use monitor::{GuestOp, VmConfig, VmMonitor, VmStats};
+pub use population::ClonePopulation;
 pub use redo::RedoLog;

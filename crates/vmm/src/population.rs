@@ -1,0 +1,119 @@
+//! Population-driven clone assignment for fleet-scale scenarios.
+//!
+//! A fleet run clones hundreds of VMs from a small set of golden images
+//! on behalf of a simulated user population. Which image a request asks
+//! for, which LAN site it lands on, and how much the clone diverges
+//! right after resume are all properties of the *population*, not of the
+//! benchmark loop — so they live here as pure functions of a seed and
+//! the clone index. Two populations with the same seed make identical
+//! choices; changing the seed reshuffles every assignment while keeping
+//! the marginal distributions fixed.
+
+use simnet::splitmix64;
+
+/// Deterministic per-clone assignment: image choice, site placement and
+/// post-resume divergence, all derived from `(seed, clone index)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ClonePopulation {
+    seed: u64,
+    images: usize,
+    sites: usize,
+}
+
+/// Domain-separation tags so the image, site and divergence streams stay
+/// independent: reseeding one never shifts the others.
+const TAG_IMAGE: u64 = 0x1A6E_0001;
+const TAG_DIVERGE: u64 = 0x1A6E_0002;
+
+impl ClonePopulation {
+    /// A population drawing from `images` golden images spread over
+    /// `sites` LAN sites. Both must be nonzero.
+    pub fn new(seed: u64, images: usize, sites: usize) -> Self {
+        assert!(images > 0 && sites > 0, "population needs images and sites");
+        ClonePopulation {
+            seed,
+            images,
+            sites,
+        }
+    }
+
+    /// Number of distinct golden images in the population.
+    pub fn images(&self) -> usize {
+        self.images
+    }
+
+    /// Number of LAN sites clones land on.
+    pub fn sites(&self) -> usize {
+        self.sites
+    }
+
+    /// Golden image requested by clone `i`. Hashed, not round-robin:
+    /// a real population's image popularity is not phase-locked to the
+    /// arrival order, and hashing keeps bursts heterogeneous.
+    pub fn image_of(&self, i: usize) -> usize {
+        (splitmix64(self.seed ^ TAG_IMAGE ^ (i as u64).wrapping_mul(0x9E37)) % self.images as u64)
+            as usize
+    }
+
+    /// LAN site clone `i` lands on. Round-robin: grid schedulers
+    /// balance placement, and it guarantees every site sees load.
+    pub fn site_of(&self, i: usize) -> usize {
+        i % self.sites
+    }
+
+    /// Per-clone divergence seed (distinct stream from image content
+    /// seeds and from the golden-image divergence used at install time).
+    pub fn diverge_seed_of(&self, i: usize) -> u64 {
+        splitmix64(self.seed ^ TAG_DIVERGE ^ (i as u64).wrapping_mul(0x79B9))
+    }
+
+    /// Bytes clone `i` dirties right after resume, between 1% and 5% of
+    /// `memory_bytes` — the paper's picture of sibling VMs descending
+    /// from one install and immediately drifting apart.
+    pub fn diverge_bytes_of(&self, i: usize, memory_bytes: u64) -> u64 {
+        let pct = 1 + self.diverge_seed_of(i) % 5; // 1..=5
+        (memory_bytes / 100).max(1) * pct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignments_are_reproducible_and_seed_sensitive() {
+        let a = ClonePopulation::new(7, 8, 4);
+        let b = ClonePopulation::new(7, 8, 4);
+        let c = ClonePopulation::new(8, 8, 4);
+        let pick = |p: &ClonePopulation| -> Vec<(usize, usize, u64)> {
+            (0..64)
+                .map(|i| (p.image_of(i), p.site_of(i), p.diverge_seed_of(i)))
+                .collect()
+        };
+        assert_eq!(pick(&a), pick(&b));
+        assert_ne!(pick(&a), pick(&c));
+    }
+
+    #[test]
+    fn every_image_and_site_gets_load() {
+        let p = ClonePopulation::new(42, 8, 4);
+        let mut images = vec![0usize; 8];
+        let mut sites = vec![0usize; 4];
+        for i in 0..512 {
+            images[p.image_of(i)] += 1;
+            sites[p.site_of(i)] += 1;
+        }
+        assert!(images.iter().all(|&n| n > 0), "cold image: {images:?}");
+        assert!(sites.iter().all(|&n| n > 0), "cold site: {sites:?}");
+    }
+
+    #[test]
+    fn divergence_is_bounded() {
+        let p = ClonePopulation::new(3, 4, 2);
+        let mem = 320u64 << 20;
+        for i in 0..128 {
+            let d = p.diverge_bytes_of(i, mem);
+            assert!(d >= mem / 100 && d <= mem / 20, "clone {i}: {d} bytes");
+        }
+    }
+}

@@ -18,6 +18,7 @@ pub const RULE_LOCK_DISCIPLINE: &str = "lock-discipline";
 pub const RULE_BOUNDED_FANOUT: &str = "bounded-fanout";
 pub const RULE_DEADLINE: &str = "deadline-required";
 pub const RULE_CANONICAL_DIGEST: &str = "canonical-digest";
+pub const RULE_ALLOC_FREE_RECORD: &str = "allocation-free-record";
 /// Meta-rule: malformed or unused waiver comments.
 pub const RULE_WAIVER: &str = "waiver";
 
@@ -30,6 +31,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_BOUNDED_FANOUT,
     RULE_DEADLINE,
     RULE_CANONICAL_DIGEST,
+    RULE_ALLOC_FREE_RECORD,
     RULE_WAIVER,
 ];
 
@@ -91,6 +93,14 @@ fn canonical_digest_scope(path: &str) -> bool {
     path.starts_with("crates/gvfs/src/") && path != "crates/gvfs/src/digest.rs"
 }
 
+/// Scope of the allocation-free-record rule: the telemetry module, whose
+/// `record*` methods sit on every simulated I/O completion. A fleet run
+/// records millions of samples; one allocation per sample turns the
+/// percentile sketch into the scenario's real bottleneck.
+fn alloc_free_record_scope(path: &str) -> bool {
+    path == "crates/simnet/src/telemetry.rs"
+}
+
 /// Scope of the panic-free-dispatch rule: the four modules on the
 /// untrusted request path (proxy → RPC dispatch → NFS server/kernel).
 fn panic_free_scope(path: &str) -> bool {
@@ -129,6 +139,9 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
     }
     if canonical_digest_scope(path) {
         rule_canonical_digest(path, toks, &mask, &mut out);
+    }
+    if alloc_free_record_scope(path) {
+        rule_alloc_free_record(path, toks, &mask, &mut out);
     }
 
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
@@ -957,6 +970,122 @@ fn rule_canonical_digest(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<
             }
             _ => {}
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 9: allocation-free-record
+// ---------------------------------------------------------------------------
+
+/// Method names whose call (`.name(`) allocates or may reallocate.
+const ALLOC_METHODS: &[&str] = &[
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "collect",
+    "with_capacity",
+    "push",
+    "push_str",
+    "insert",
+    "extend",
+];
+
+/// Type paths whose associated functions (`Name::…`) hand out heap
+/// storage.
+const ALLOC_TYPES: &[&str] = &["String", "Vec", "VecDeque", "Box", "BTreeMap", "HashMap"];
+
+/// If the token at `k` is an allocation inside a record body, name it.
+fn alloc_token(toks: &[Tok], k: usize) -> Option<String> {
+    let t = &toks[k];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let next_is = |s: &str| toks.get(k + 1).is_some_and(|n| n.is_punct(s));
+    let prev_is = |s: &str| k > 0 && toks[k - 1].is_punct(s);
+    if matches!(t.text.as_str(), "format" | "vec") && next_is("!") {
+        return Some(format!("{}!", t.text));
+    }
+    if ALLOC_TYPES.contains(&t.text.as_str()) && next_is("::") {
+        return Some(format!("{}::", t.text));
+    }
+    if ALLOC_METHODS.contains(&t.text.as_str()) && prev_is(".") && next_is("(") {
+        return Some(format!(".{}()", t.text));
+    }
+    None
+}
+
+/// The telemetry `record*` methods are the per-sample hot path: every
+/// simulated I/O completion, RPC round-trip and clone latency sample
+/// lands in one. They must touch atomics only — no heap traffic. The
+/// rule scans each `fn record*` body for allocating macros, allocating
+/// associated functions and (re)allocating method calls.
+fn rule_alloc_free_record(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
+    let mut i = 0;
+    while i < toks.len() {
+        let name_ok = toks.get(i + 1).is_some_and(|n| {
+            n.kind == TokKind::Ident && (n.text == "record" || n.text.starts_with("record_"))
+        });
+        if mask[i] || !toks[i].is_ident("fn") || !name_ok {
+            i += 1;
+            continue;
+        }
+        let fn_name = toks[i + 1].text.clone();
+        // Find the body's opening `{` (a `;` first means a bodiless
+        // trait-method declaration).
+        let mut j = i + 2;
+        let mut paren = 0i32;
+        while j < toks.len() {
+            let p = &toks[j];
+            if p.kind == TokKind::Punct {
+                match p.text.as_str() {
+                    "(" | "[" => paren += 1,
+                    ")" | "]" => paren -= 1,
+                    ";" if paren == 0 => break,
+                    "{" if paren == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct("{") {
+            i = j;
+            continue;
+        }
+        // Walk the body to its matching `}`, flagging allocations.
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < toks.len() {
+            let p = &toks[k];
+            if p.kind == TokKind::Punct {
+                match p.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !mask[k] {
+                if let Some(what) = alloc_token(toks, k) {
+                    out.push(Violation {
+                        rule: RULE_ALLOC_FREE_RECORD,
+                        file: path.to_string(),
+                        line: p.line,
+                        col: p.col,
+                        message: format!(
+                            "`{what}` allocates inside `{fn_name}`; telemetry record paths \
+                             run once per simulated sample and must stay allocation-free \
+                             (atomics into preallocated buckets only)"
+                        ),
+                    });
+                }
+            }
+            k += 1;
+        }
+        i = k + 1;
     }
 }
 

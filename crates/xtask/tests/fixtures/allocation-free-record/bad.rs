@@ -1,0 +1,14 @@
+//! Bad: the per-sample record path heap-allocates — a label string and a
+//! growable sample vector — so every simulated I/O completion pays
+//! malloc, and a fleet run's percentile sketch becomes the bottleneck.
+pub struct Sketch {
+    samples: Vec<u64>,
+    label: Option<String>,
+}
+
+impl Sketch {
+    pub fn record_ns(&mut self, ns: u64) {
+        self.samples.push(ns);
+        self.label = Some(format!("sample@{ns}"));
+    }
+}

@@ -58,6 +58,12 @@ fn cases() -> Vec<(&'static str, &'static str, &'static str, &'static str)> {
             include_str!("fixtures/canonical-digest/good.rs"),
         ),
         (
+            "allocation-free-record",
+            "crates/simnet/src/telemetry.rs",
+            include_str!("fixtures/allocation-free-record/bad.rs"),
+            include_str!("fixtures/allocation-free-record/good.rs"),
+        ),
+        (
             "waiver",
             "crates/gvfs/src/file_cache.rs",
             include_str!("fixtures/waiver/bad.rs"),

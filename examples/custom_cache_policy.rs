@@ -46,6 +46,7 @@ fn run_with_policy(policy: WritePolicy) -> (f64, f64) {
             read_only_share: false,
             transfer: TransferTuning::default(),
             dedup: DedupTuning::default(),
+            fleet: gvfs::FleetTuning::off(),
         },
         RpcClient::new(server.channel.clone(), cred.clone()),
     )

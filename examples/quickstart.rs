@@ -53,6 +53,7 @@ fn main() {
             read_only_share: false,
             transfer: TransferTuning::default(),
             dedup: DedupTuning::default(),
+            fleet: gvfs::FleetTuning::off(),
         },
         upstream.clone(),
     )

@@ -63,6 +63,7 @@ fn zero_map_filters_the_large_majority_of_memory_state_reads() {
             write_policy: WritePolicy::WriteBack,
             cache_bytes: 2 << 30,
             dedup: DedupTuning::default(),
+            fleet: gvfs::FleetTuning::off(),
         }),
         None,
     );
@@ -148,6 +149,7 @@ fn pipelined_readahead_never_duplicates_upstream_reads() {
             write_policy: WritePolicy::WriteBack,
             cache_bytes: 1 << 30,
             dedup: DedupTuning::default(),
+            fleet: gvfs::FleetTuning::off(),
         }),
         None,
     );
@@ -207,6 +209,7 @@ fn end_to_end_byte_integrity_survives_cache_invalidation() {
             write_policy: WritePolicy::WriteBack,
             cache_bytes: 1 << 30,
             dedup: DedupTuning::default(),
+            fleet: gvfs::FleetTuning::off(),
         }),
         None,
     );
