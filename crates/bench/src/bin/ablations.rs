@@ -73,6 +73,7 @@ fn zero_filter_counts(
             cache_bytes: 8 << 30,
             dedup: DedupTuning::default(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         }),
         None,
     );
@@ -154,6 +155,9 @@ fn main() {
         clones: 1,
         image_scale: Some(4),
         trace: cli.trace,
+        // This ablation isolates the compressed file channel; CoW
+        // reference cloning has its own binary (cow_ablation).
+        cow: gvfs::CowTuning::off(),
         ..CloneParams::default()
     };
     let channel_res = run_cloning(CloneScenario::WanS1, &quick);

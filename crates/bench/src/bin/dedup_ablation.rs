@@ -92,6 +92,9 @@ fn main() {
                 } else {
                     DedupTuning::off()
                 },
+                // This ablation isolates dedup; CoW cloning has its own
+                // (cow_ablation), which holds dedup fixed instead.
+                cow: gvfs::CowTuning::off(),
                 ..CloneParams::default()
             };
             let res = run_cloning(p.scenario, &params);

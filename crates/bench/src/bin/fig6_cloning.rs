@@ -6,7 +6,7 @@
 //! Paper's shape: SCP ≈ 1127 s; pure NFS ≈ 2060 s; first enhanced-GVFS
 //! clone < 160 s; subsequent clones ≈ 25 s warm-local / ≈ 80 s warm-LAN.
 
-use gvfs::DedupTuning;
+use gvfs::{CowTuning, DedupTuning};
 use gvfs_bench::report::{render_table, scenario_report, write_report, BenchCli};
 use gvfs_bench::{pure_nfs_clone_secs, run_cloning, scp_baseline_secs, CloneParams, CloneScenario};
 
@@ -18,6 +18,11 @@ fn main() {
             DedupTuning::off()
         } else {
             DedupTuning::default()
+        },
+        cow: if cli.no_cow {
+            CowTuning::off()
+        } else {
+            CowTuning::on()
         },
         ..CloneParams::default()
     };

@@ -20,7 +20,7 @@
 //! the committed `BENCH_fleet.json` trajectory (schema
 //! `gvfs.fleet-perf.v1`, checked by `perf --validate`).
 
-use gvfs::{DedupTuning, FleetTuning};
+use gvfs::{CowTuning, DedupTuning, FleetTuning};
 use gvfs_bench::fleet::{run_fleet, ArrivalMode, FleetParams, FleetResult};
 use gvfs_bench::perfjson::{
     append_trajectory, get, measure, rpc_roundtrips, sim_bytes, Measure, FLEET_SCHEMA,
@@ -267,44 +267,68 @@ fn main() {
     // Arrival modes × batching, plus the dedup ablation (with dedup off
     // the client proxies never speak the channel's digest protocol, so
     // there is nothing for the shard tier to batch — FleetTuning::off()
-    // is the only meaningful pairing).
-    let matrix: Vec<(&str, ArrivalMode, FleetTuning, DedupTuning)> = vec![
+    // is the only meaningful pairing). The batching lanes run with CoW
+    // off: they measure the *cold* fleet, and the ≥30% p99 bar below is
+    // only meaningful on cold WAN traffic. The `-cow` lanes are the
+    // warm-site scenario — golden content prestaged per site, clones
+    // installing as reference files — compared against their cow-off
+    // twins on the same arrival schedule.
+    let matrix: Vec<(&str, ArrivalMode, FleetTuning, DedupTuning, CowTuning)> = vec![
         (
             "fleet-poisson-batch",
             ArrivalMode::Poisson,
             FleetTuning::shard(),
             base.dedup,
+            CowTuning::off(),
         ),
         (
             "fleet-poisson-nobatch",
             ArrivalMode::Poisson,
             FleetTuning::off(),
             base.dedup,
+            CowTuning::off(),
         ),
         (
             "fleet-bursty-batch",
             ArrivalMode::Bursty,
             FleetTuning::shard(),
             base.dedup,
+            CowTuning::off(),
         ),
         (
             "fleet-bursty-nobatch",
             ArrivalMode::Bursty,
             FleetTuning::off(),
             base.dedup,
+            CowTuning::off(),
         ),
         (
             "fleet-poisson-nodedup",
             ArrivalMode::Poisson,
             FleetTuning::off(),
             DedupTuning::off(),
+            CowTuning::off(),
+        ),
+        (
+            "fleet-poisson-cow",
+            ArrivalMode::Poisson,
+            FleetTuning::shard(),
+            base.dedup,
+            CowTuning::on(),
+        ),
+        (
+            "fleet-bursty-cow",
+            ArrivalMode::Bursty,
+            FleetTuning::shard(),
+            base.dedup,
+            CowTuning::on(),
         ),
     ];
 
     let mut rows = Vec::new();
     let mut report = Vec::new();
     let mut results: Vec<(&str, FleetResult)> = Vec::new();
-    for (label, arrival, fleet, dedup) in matrix {
+    for (label, arrival, fleet, dedup, cow) in matrix {
         eprintln!(
             "fleet: {label} ({} clones, {} sites, seed {:#x})...",
             base.clones, base.sites, base.seed
@@ -313,6 +337,7 @@ fn main() {
             arrival,
             fleet,
             dedup,
+            cow,
             ..base
         };
         let r = run_fleet(&params);
@@ -369,6 +394,28 @@ fn main() {
                 if lower < 30.0 {
                     eprintln!(
                         "fleet: FAIL — {mode} batching ablation below the 30% p99 bar ({lower:.0}%)"
+                    );
+                    ablation_failed = true;
+                }
+            }
+        }
+    }
+
+    // CoW contract: a warm site cloning through reference files must
+    // beat the same arrival schedule's cold batched run at the tail.
+    for (cow, cold, mode) in [
+        ("fleet-poisson-cow", "fleet-poisson-batch", "poisson"),
+        ("fleet-bursty-cow", "fleet-bursty-batch", "bursty"),
+    ] {
+        if let (Some(c), Some(b)) = (p99(cow), p99(cold)) {
+            if b > 0.0 {
+                let lower = (1.0 - c / b) * 100.0;
+                println!(
+                    "{mode}: p99 warm-site CoW {c:.2}s vs cold batched {b:.2}s ({lower:.0}% lower)"
+                );
+                if c >= b {
+                    eprintln!(
+                        "fleet: FAIL — {mode} warm-site CoW p99 does not beat the cold batched run"
                     );
                     ablation_failed = true;
                 }

@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use gvfs::{
-    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, DedupTuning, FileCache,
+    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, CowTuning, DedupTuning, FileCache,
     FileChannelSpec, FleetTuning, Middleware, Proxy, ProxyConfig, TransferTuning, WritePolicy,
 };
 use nfs3::{KernelClient, KernelConfig, Nfs3Client};
@@ -102,6 +102,21 @@ pub struct CloneParams {
     /// misses upstream). `off()` — the default — keeps every
     /// pre-fleet scenario byte-identical.
     pub fleet: FleetTuning,
+    /// Fixed VMM device-restore CPU per resume. Defaults to the paper's
+    /// 6 s figure for a full-size 320 MB VM; reduced-scale probes may
+    /// scale it down with the image (as the fleet scenario does) so a
+    /// constant CPU term does not bury the data path being measured.
+    pub device_cpu: SimDuration,
+    /// Fixed VMM configure CPU per clone (full-size figure: 3 s),
+    /// scaled like `device_cpu` where appropriate.
+    pub configure_cpu: SimDuration,
+    /// Copy-on-write reference-file cloning on the caching proxies: a
+    /// clone whose golden content is CAS-resident installs as a recipe
+    /// (zero disk-install cost) and flushes only diverged chunks.
+    /// `on` by default for the cloning scenarios; requires `dedup` (the
+    /// knob is inert without a CAS), so dedup-off ablations are
+    /// unaffected. `off()` reproduces the pre-CoW paths exactly.
+    pub cow: CowTuning,
     /// Collect trace events (carried into the scenario's [`Snapshot`]).
     pub trace: bool,
 }
@@ -118,6 +133,9 @@ impl Default for CloneParams {
             cas_chunk_bytes: 1 << 20,
             dedup: DedupTuning::default(),
             fleet: FleetTuning::off(),
+            device_cpu: SimDuration::from_secs(6),
+            configure_cpu: SimDuration::from_secs(3),
+            cow: CowTuning::on(),
             trace: false,
         }
     }
@@ -133,12 +151,19 @@ impl CloneParams {
         spec
     }
 
+    /// Whether CoW cloning is actually in effect: the knob is inert
+    /// without a CAS to resolve recipes against, so dedup-off runs are
+    /// bit-identical whatever `cow` says.
+    pub(crate) fn cow_active(&self) -> bool {
+        self.cow.enabled && self.dedup.enabled
+    }
+
     pub(crate) fn vm_config(&self) -> VmConfig {
         VmConfig {
             guest_cache_fraction: 0.12,
             // Restoring a 320 MB VM's devices on a 2004 hosted VMM is
             // slow (several seconds of VMware work beyond the file I/O).
-            device_cpu: simnet::SimDuration::from_secs(6),
+            device_cpu: self.device_cpu,
             ..VmConfig::default()
         }
     }
@@ -239,6 +264,7 @@ pub(crate) fn build_compute_host(
                 cache_bytes: params.proxy_cache_bytes,
                 dedup: params.dedup,
                 fleet: params.fleet,
+                cow: params.cow,
             })
         } else {
             None
@@ -319,6 +345,7 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
             let out2 = out.clone();
             let cfg = CloneConfig {
                 vm: params.vm_config(),
+                configure_cpu: params.configure_cpu,
                 ..CloneConfig::default()
             };
             sim.spawn("cloner", move |env: Env| {
@@ -363,6 +390,8 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
                 );
                 let cfg = CloneConfig {
                     vm: params2.vm_config(),
+                    configure_cpu: params2.configure_cpu,
+                    cow_memory: params2.cow_active(),
                     ..CloneConfig::default()
                 };
                 for i in 0..n {
@@ -411,6 +440,7 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
                     transfer: TransferTuning::default(),
                     dedup: params.dedup,
                     fleet: params.fleet,
+                    cow: params.cow,
                 },
                 upstream_client.clone(),
             )
@@ -437,6 +467,8 @@ pub fn run_cloning(scenario: CloneScenario, params: &CloneParams) -> CloneResult
             sim.spawn("cloner", move |env: Env| {
                 let cfg = CloneConfig {
                     vm: params2.vm_config(),
+                    configure_cpu: params2.configure_cpu,
+                    cow_memory: params2.cow_active(),
                     ..CloneConfig::default()
                 };
                 // Warm-up: another compute server on the same LAN clones
@@ -562,6 +594,8 @@ pub fn run_parallel_cloning(params: &CloneParams) -> ParallelResult {
     sim.spawn("coordinator", move |env: Env| {
         let cfg = CloneConfig {
             vm: params2.vm_config(),
+            configure_cpu: params2.configure_cpu,
+            cow_memory: params2.cow_active(),
             ..CloneConfig::default()
         };
         // Build the 8 compute hosts (each its own session + caches).
@@ -651,6 +685,8 @@ pub fn run_sequential_for_table1(params: &CloneParams) -> ParallelResult {
         let host = build_compute_host(&h2, channel, cred, &params2, true, kcfg, &env);
         let cfg = CloneConfig {
             vm: params2.vm_config(),
+            configure_cpu: params2.configure_cpu,
+            cow_memory: params2.cow_active(),
             ..CloneConfig::default()
         };
         for (pass, sink) in [(0usize, cold2.clone()), (1usize, warm2.clone())] {
@@ -750,6 +786,7 @@ pub fn pure_nfs_clone_secs(params: &CloneParams) -> f64 {
         let table = MountTable::new().mount("/", local).mount("/mnt/nfs", kc);
         let cfg = CloneConfig {
             vm: params2.vm_config(),
+            configure_cpu: params2.configure_cpu,
             // Pure NFS moves the memory copy in protocol-sized chunks.
             copy_chunk: 8 * 1024,
             ..CloneConfig::default()

@@ -73,7 +73,9 @@ pub fn compare_line(what: &str, paper: &str, measured: &str) -> String {
 /// `reports/<name>.json`), `--trace` turns on trace-event collection so
 /// the report carries the structured event log, `--no-json` suppresses
 /// the report file, `--no-dedup` runs with `DedupTuning::off()` (the
-/// pre-CAS data paths) in the binaries that honor it, and
+/// pre-CAS data paths) in the binaries that honor it, `--no-cow` runs
+/// with `CowTuning::off()` (materialized clone installs; DESIGN.md
+/// §5.9) in the binaries that honor it, and
 /// `--sched-chaos <seed>` runs every simulation under
 /// `SchedPolicy::chaos(seed)` — reports must stay byte-identical to a
 /// run without the flag (DESIGN.md §5.7).
@@ -85,6 +87,8 @@ pub struct BenchCli {
     pub trace: bool,
     /// Disable content-addressed dedup (DESIGN.md §5.5).
     pub no_dedup: bool,
+    /// Disable copy-on-write reference cloning (DESIGN.md §5.9).
+    pub no_cow: bool,
     /// Chaos-scheduler seed, when `--sched-chaos` was given. The policy
     /// is already installed process-wide by `parse`; this records the
     /// seed for logging. Deliberately NOT part of any JSON report —
@@ -99,6 +103,7 @@ impl BenchCli {
             json_path: Some(PathBuf::from(format!("reports/{name}.json"))),
             trace: false,
             no_dedup: false,
+            no_cow: false,
             sched_chaos: None,
         };
         let mut args = std::env::args().skip(1);
@@ -107,6 +112,7 @@ impl BenchCli {
                 "--trace" => cli.trace = true,
                 "--no-json" => cli.json_path = None,
                 "--no-dedup" => cli.no_dedup = true,
+                "--no-cow" => cli.no_cow = true,
                 "--json" => {
                     let p = args.next().unwrap_or_else(|| {
                         eprintln!("--json requires a path argument");
@@ -128,7 +134,7 @@ impl BenchCli {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: {name} [--json PATH] [--no-json] [--trace] [--no-dedup] \
-                         [--sched-chaos SEED]"
+                         [--no-cow] [--sched-chaos SEED]"
                     );
                     std::process::exit(0);
                 }

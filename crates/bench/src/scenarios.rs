@@ -19,7 +19,7 @@
 use std::sync::Arc;
 
 use gvfs::{
-    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, DedupTuning, FileCache,
+    BlockCache, BlockCacheConfig, ChannelClient, CodecModel, CowTuning, DedupTuning, FileCache,
     FileChannelServer, FleetTuning, IdentityMapper, Middleware, Proxy, ProxyConfig, TransferTuning,
     WritePolicy,
 };
@@ -234,6 +234,7 @@ pub fn build_server(
                 // CAS there can never avoid WAN bytes.
                 dedup: DedupTuning::off(),
                 fleet: FleetTuning::off(),
+                cow: CowTuning::off(),
             },
             RpcClient::new(lo.channel, OpaqueAuth::none()),
         )
@@ -272,6 +273,9 @@ pub struct ClientProxyOptions {
     pub dedup: DedupTuning,
     /// Fleet batching/back-pressure tuning for this proxy.
     pub fleet: FleetTuning,
+    /// Copy-on-write reference-file tuning for this proxy (inert
+    /// without `dedup`).
+    pub cow: CowTuning,
 }
 
 /// Client machine half: optional client-side proxy between the kernel
@@ -324,6 +328,7 @@ pub fn build_client(
             transfer: TransferTuning::default(),
             dedup: opts.dedup,
             fleet: opts.fleet,
+            cow: opts.cow,
         },
         upstream_client.clone(),
     );
@@ -549,6 +554,7 @@ pub fn run_app_scenario(
                     cache_bytes: params.proxy_cache_bytes,
                     dedup: params.dedup,
                     fleet: FleetTuning::off(),
+                    cow: CowTuning::off(),
                 })
             } else {
                 // LAN/WAN: proxies forward through tunnels but no disk

@@ -13,8 +13,12 @@
 //! recipe hit means a chunk's payload does not cross the upstream link,
 //! but the assembled file is still written to the local cache disk in
 //! full ([`crate::file_cache::FileCache::install`] charges every byte —
-//! CAS entries live in host memory, so a hit is no guarantee the
-//! backing bytes are still on the cache disk) and every digest the
+//! an *unpinned* CAS entry lives in host memory only, so a hit is no
+//! guarantee the backing bytes are still on the cache disk; a *pinned*
+//! entry, by contrast, is a residency guarantee taken by a
+//! reference-backed file-cache entry, which is what lets the
+//! copy-on-write install path charge zero disk for shared chunks —
+//! DESIGN.md §5.9) and every digest the
 //! dedup paths compute is charged at the codec model's digest
 //! throughput, on flush (dirty blocks and files) exactly as on fetch
 //! (blob verification). Only the index operations themselves —
@@ -114,6 +118,11 @@ struct Entry {
     len: u32,
     /// Last-touch stamp (monotonic).
     stamp: u64,
+    /// Live references from reference-backed file-cache entries
+    /// (copy-on-write clones, DESIGN.md §5.9). A pinned entry is the
+    /// proxy's residency guarantee for recipe-served bytes, so LRU
+    /// eviction must never drop it.
+    pins: u32,
 }
 
 struct Inner {
@@ -132,6 +141,10 @@ struct Inner {
 pub struct ContentStore {
     inner: Mutex<Inner>,
     capacity: u64,
+    /// Incremented when an insert ends over capacity because every
+    /// remaining eviction candidate is pinned (`cas.pin_blocked_evictions`
+    /// when registered; unregistered otherwise).
+    pin_blocked: Counter,
 }
 
 impl ContentStore {
@@ -145,13 +158,34 @@ impl ContentStore {
                 stamp: 0,
             }),
             capacity,
+            pin_blocked: Counter::new(),
         }
+    }
+
+    /// Attach a registered counter surfacing pin-blocked evictions
+    /// (builder-style, before the store is shared).
+    pub fn with_pin_blocked_counter(mut self, counter: Counter) -> Self {
+        self.pin_blocked = counter;
+        self
     }
 
     /// Index `bytes`, returning their digest. Re-inserting existing
     /// content only refreshes its recency. Oversized payloads (larger
     /// than the whole store) are digested but not retained.
     pub fn insert(&self, bytes: &[u8]) -> Digest {
+        self.insert_inner(bytes, false)
+    }
+
+    /// Index `bytes` and take a pin on them in one step, so capacity
+    /// pressure from the insert itself cannot evict the entry before the
+    /// caller's reference lands. Oversized payloads are digested but not
+    /// retained (and therefore not pinned — callers must re-check with
+    /// [`ContentStore::pin`]-style `contains` if they need the guarantee).
+    pub fn insert_pinned(&self, bytes: &[u8]) -> Digest {
+        self.insert_inner(bytes, true)
+    }
+
+    fn insert_inner(&self, bytes: &[u8], pin: bool) -> Digest {
         let d = digest(bytes);
         if bytes.len() as u64 > self.capacity {
             return d;
@@ -162,6 +196,9 @@ impl ContentStore {
         if let Some(e) = inner.map.get_mut(&d) {
             let old = e.stamp;
             e.stamp = stamp;
+            if pin {
+                e.pins += 1;
+            }
             inner.lru.remove(&old);
             inner.lru.insert(stamp, d);
             return d;
@@ -174,14 +211,28 @@ impl ContentStore {
                 packed,
                 len: bytes.len() as u32,
                 stamp,
+                pins: u32::from(pin),
             },
         );
         inner.lru.insert(stamp, d);
-        // Evict least-recently-touched entries until back under capacity.
+        // Evict least-recently-touched *unpinned* entries until back
+        // under capacity. Pinned entries are skipped — a live reference
+        // file is still serving reads out of them — so under enough pin
+        // pressure the store is allowed to overrun its capacity rather
+        // than silently drop bytes a recipe still resolves through; that
+        // condition is surfaced on the pin-blocked counter.
+        let mut cursor = 0u64;
         while inner.bytes > self.capacity {
-            let Some((&old_stamp, &victim)) = inner.lru.iter().next() else {
+            let victim = inner
+                .lru
+                .range(cursor..)
+                .find(|(_, d2)| inner.map.get(d2).is_none_or(|e| e.pins == 0))
+                .map(|(&s, &d2)| (s, d2));
+            let Some((old_stamp, victim)) = victim else {
+                self.pin_blocked.inc();
                 break;
             };
+            cursor = old_stamp + 1;
             inner.lru.remove(&old_stamp);
             if let Some(e) = inner.map.remove(&victim) {
                 debug_assert!(inner.bytes >= e.len as u64, "CAS byte accounting drifted");
@@ -191,9 +242,53 @@ impl ContentStore {
         d
     }
 
+    /// Take a pin on `d`, preventing its eviction until a matching
+    /// [`ContentStore::unpin`]. Succeeds only while the preimage is
+    /// resident — a `true` return is the caller's residency guarantee.
+    /// Pins nest: each successful `pin` needs its own `unpin`.
+    pub fn pin(&self, d: &Digest) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.map.get_mut(d) {
+            Some(e) => {
+                e.pins += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Release one pin on `d`. Unpinning makes the entry an ordinary LRU
+    /// citizen again once its pin count reaches zero; it is not evicted
+    /// eagerly.
+    pub fn unpin(&self, d: &Digest) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.map.get_mut(d) {
+            debug_assert!(e.pins > 0, "unpin without a matching pin");
+            if e.pins > 0 {
+                e.pins -= 1;
+            }
+        }
+    }
+
+    /// Logical bytes currently held under at least one pin.
+    pub fn pinned_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner
+            .map
+            .values()
+            .filter(|e| e.pins > 0)
+            .map(|e| e.len as u64)
+            .sum()
+    }
+
     /// Whether `d`'s preimage is resident (does not refresh recency).
     pub fn contains(&self, d: &Digest) -> bool {
         self.inner.lock().map.contains_key(d)
+    }
+
+    /// Logical length of `d`'s preimage if resident (no recency refresh).
+    pub fn len_of(&self, d: &Digest) -> Option<u32> {
+        self.inner.lock().map.get(d).map(|e| e.len)
     }
 
     /// Fetch the preimage of `d`, refreshing its recency. Host-side
@@ -272,5 +367,68 @@ mod tests {
         let t = DedupTuning::off();
         assert!(!t.enabled);
         assert!(DedupTuning::default().enabled);
+    }
+
+    #[test]
+    fn pin_refuses_missing_and_nests() {
+        let cas = ContentStore::new(1 << 20);
+        let a = vec![3u8; 1024];
+        let d = cas.insert(&a);
+        assert!(!cas.pin(&digest(b"absent")), "pin on a missing digest");
+        assert!(cas.pin(&d));
+        assert!(cas.pin(&d));
+        assert_eq!(cas.pinned_bytes(), 1024);
+        cas.unpin(&d);
+        assert_eq!(cas.pinned_bytes(), 1024, "nested pin released too early");
+        cas.unpin(&d);
+        assert_eq!(cas.pinned_bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_skips_pinned_entries() {
+        // The evict-while-referenced race: `a` is the LRU victim by
+        // stamp order, but a live reference pins it; capacity pressure
+        // must take the next unpinned entry instead.
+        let cas = ContentStore::new(6000);
+        let a = vec![1u8; 4096];
+        let b = vec![2u8; 4096];
+        let da = cas.insert(&a);
+        assert!(cas.pin(&da));
+        let db = cas.insert(&b);
+        assert!(cas.contains(&da), "pinned LRU entry was evicted");
+        assert!(!cas.contains(&db), "unpinned newer entry should have paid");
+        assert_eq!(cas.logical_bytes(), 4096);
+        assert_eq!(cas.pin_blocked.get(), 0);
+        // Once unpinned, ordinary LRU pressure applies again.
+        cas.unpin(&da);
+        let dc = cas.insert(&vec![3u8; 4096]);
+        assert!(!cas.contains(&da));
+        assert!(cas.contains(&dc));
+    }
+
+    #[test]
+    fn all_pinned_overruns_capacity_and_counts_blocked_evictions() {
+        let cas = ContentStore::new(6000);
+        let da = cas.insert_pinned(&vec![4u8; 4096]);
+        let db = cas.insert_pinned(&vec![5u8; 4096]);
+        // Nothing evictable: both entries stay, capacity is overrun, and
+        // the condition is surfaced instead of silently dropping bytes.
+        assert!(cas.contains(&da));
+        assert!(cas.contains(&db));
+        assert_eq!(cas.logical_bytes(), 8192);
+        assert_eq!(cas.pin_blocked.get(), 1);
+        assert_eq!(cas.pinned_bytes(), 8192);
+    }
+
+    #[test]
+    fn insert_pinned_on_existing_content_adds_a_pin() {
+        let cas = ContentStore::new(1 << 20);
+        let a = vec![6u8; 2048];
+        cas.insert(&a);
+        let d = cas.insert_pinned(&a);
+        assert_eq!(cas.entries(), 1);
+        assert_eq!(cas.pinned_bytes(), 2048);
+        cas.unpin(&d);
+        assert_eq!(cas.pinned_bytes(), 0);
     }
 }

@@ -546,6 +546,21 @@ pub struct DedupFetch {
     pub fresh_bytes: u64,
 }
 
+/// Result of [`ChannelClient::fetch_recipe_pinned`]: every record of
+/// `recipe` is CAS-resident and holds one pin per record occurrence.
+/// Ownership of those pins passes to the caller (normally straight into
+/// [`crate::FileCache::install_reference`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinnedRecipe {
+    /// The recipe, fully resolved against the local CAS.
+    pub recipe: ContentMap,
+    /// Compressed bytes that crossed the wire.
+    pub wire: u64,
+    /// Logical bytes of the chunks actually fetched (the rest were
+    /// already resident or rode a duplicate in-file digest).
+    pub fresh_bytes: u64,
+}
+
 /// Errors surfaced by the client half.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ChannelError {
@@ -1036,6 +1051,199 @@ impl ChannelClient {
             wire,
             fresh_bytes,
         })
+    }
+
+    /// Resolve a whole file's recipe into the local CAS *without*
+    /// assembling the contents, taking one pin per record occurrence:
+    /// resident chunks are pinned in place, missing ones are fetched
+    /// (batched and windowed exactly like
+    /// [`ChannelClient::fetch_dedup_batched`]) and inserted pre-pinned.
+    /// On success the returned [`PinnedRecipe`] carries ownership of
+    /// every pin; on any error all pins taken so far are released, so
+    /// the caller can simply fall back to a materializing fetch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch_recipe_pinned(
+        &self,
+        env: &Env,
+        h: Handle,
+        recipe_hint: Option<&ContentMap>,
+        chunk_bytes: u32,
+        window: usize,
+        batch: usize,
+        cas: &ContentStore,
+        dtel: &DedupTel,
+        tel: Option<&TransferTel>,
+    ) -> Result<PinnedRecipe, ChannelError> {
+        let recipe = match recipe_hint {
+            Some(r) => r.clone(),
+            None => {
+                let cb = if chunk_bytes == 0 {
+                    1 << 20
+                } else {
+                    chunk_bytes
+                };
+                self.fetch_recipe(env, h, cb)?
+            }
+        };
+        let span: u64 = recipe.records.iter().map(|(_, l)| *l as u64).sum();
+        if span != recipe.total {
+            return Err(ChannelError::Decode);
+        }
+        // Pins taken so far, released in bulk if anything goes wrong.
+        let mut pins: Vec<Digest> = Vec::with_capacity(recipe.records.len());
+        let unwind = |pins: &[Digest]| {
+            for d in pins {
+                cas.unpin(d);
+            }
+        };
+        // First pass: pin what is resident, plan one fetch group per
+        // distinct missing digest; duplicate occurrences (resident or
+        // not) are deferred to the second pass.
+        let mut groups: Vec<(u64, u32, Digest)> = Vec::new();
+        let mut group_of: BTreeMap<Digest, usize> = BTreeMap::new();
+        let mut deferred: Vec<(Digest, u32)> = Vec::new();
+        let mut off = 0u64;
+        for (d, l) in &recipe.records {
+            if group_of.contains_key(d) {
+                deferred.push((*d, *l));
+            } else if cas.pin(d) {
+                if cas.len_of(d) != Some(*l) {
+                    cas.unpin(d);
+                    unwind(&pins);
+                    return Err(ChannelError::Decode);
+                }
+                pins.push(*d);
+                dtel.recipe_hits.inc();
+                dtel.bytes_avoided.add(*l as u64);
+            } else {
+                group_of.insert(*d, groups.len());
+                groups.push((off, *l, *d));
+            }
+            off += *l as u64;
+        }
+        // Fetch the misses, mirroring `fetch_dedup_batched`'s transport.
+        let me = self.clone();
+        let slots: Vec<Option<BlobFetchResult>> = if batch > 1 {
+            let envelopes: Vec<Vec<(u64, u32, Digest)>> =
+                groups.chunks(batch).map(|c| c.to_vec()).collect();
+            let rounds = run_windowed(
+                env,
+                "chan-dedup",
+                window.max(1),
+                envelopes,
+                tel,
+                move |env, wants| Some(me.fetch_blobs_batch(env, h, &wants)),
+            );
+            let mut flat = Vec::with_capacity(groups.len());
+            for round in rounds {
+                match round {
+                    Some(Ok(items)) => flat.extend(items.into_iter().map(Some)),
+                    Some(Err(_)) | None => {
+                        unwind(&pins);
+                        return Err(ChannelError::Decode);
+                    }
+                }
+            }
+            flat
+        } else {
+            run_windowed(
+                env,
+                "chan-dedup",
+                window.max(1),
+                groups.clone(),
+                tel,
+                move |env, (off, len, d)| Some(me.fetch_blob(env, h, off, len, d)),
+            )
+        };
+        if slots.len() != groups.len() {
+            unwind(&pins);
+            return Err(ChannelError::Decode);
+        }
+        let mut wire = 0u64;
+        let mut fresh_bytes = 0u64;
+        for (slot, (_, _, d)) in slots.into_iter().zip(&groups) {
+            match slot {
+                Some(Ok((data, w))) => {
+                    dtel.blob_fetches.inc();
+                    wire += w;
+                    fresh_bytes += data.len() as u64;
+                    let got = cas.insert_pinned(&data);
+                    debug_assert_eq!(got, *d, "blob digest verified by decode");
+                    // An oversized payload is not retained by the CAS and
+                    // therefore cannot anchor a reference file.
+                    if !cas.contains(d) {
+                        unwind(&pins);
+                        return Err(ChannelError::Decode);
+                    }
+                    pins.push(*d);
+                }
+                _ => {
+                    unwind(&pins);
+                    return Err(ChannelError::Decode);
+                }
+            }
+        }
+        // Second pass: duplicate occurrences each take their own pin —
+        // their digest is resident by now (pinned above), so this cannot
+        // race an eviction.
+        for (d, l) in deferred {
+            if !cas.pin(&d) || cas.len_of(&d) != Some(l) {
+                unwind(&pins);
+                return Err(ChannelError::Decode);
+            }
+            pins.push(d);
+            dtel.recipe_hits.inc();
+            dtel.bytes_avoided.add(l as u64);
+        }
+        Ok(PinnedRecipe {
+            recipe,
+            wire,
+            fresh_bytes,
+        })
+    }
+
+    /// Upload only the diverged ranges of a file whose final size is
+    /// `total`, pipelined like [`ChannelClient::upload_chunked`]. The
+    /// server applies each range with a size-preserving set-length +
+    /// write, so untouched ranges keep whatever content the server
+    /// already holds — exactly what a copy-on-write flush needs when
+    /// upstream still has the golden base the recipe came from.
+    #[allow(clippy::too_many_arguments)]
+    pub fn upload_ranges(
+        &self,
+        env: &Env,
+        h: Handle,
+        total: u64,
+        ranges: &[(u64, Vec<u8>)],
+        compress: bool,
+        window: usize,
+        tel: Option<&TransferTel>,
+    ) -> Result<u64, ChannelError> {
+        if ranges.len() <= 1 || window <= 1 {
+            let mut wire = 0u64;
+            for (off, data) in ranges {
+                wire += self.upload_chunk(env, h, *off, total, data, compress)?;
+            }
+            return Ok(wire);
+        }
+        let me = self.clone();
+        let slots = run_windowed(
+            env,
+            "chan-upload",
+            window,
+            ranges.to_vec(),
+            tel,
+            move |env, (off, data)| Some(me.upload_chunk(env, h, off, total, &data, compress)),
+        );
+        let mut wire = 0u64;
+        for slot in slots {
+            match slot {
+                Some(Ok(w)) => wire += w,
+                Some(Err(e)) => return Err(e),
+                None => return Err(ChannelError::Decode),
+            }
+        }
+        Ok(wire)
     }
 
     /// Upload one chunk of a file whose final size is `total`.

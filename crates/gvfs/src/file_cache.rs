@@ -6,14 +6,233 @@
 //! Together with the block cache this forms the paper's *heterogeneous
 //! disk caching* scheme. The file cache also supports write-back: dirty
 //! files are re-compressed and uploaded on flush.
+//!
+//! ## Reference-backed entries (copy-on-write clones, DESIGN.md §5.9)
+//!
+//! With [`CowTuning`] enabled a file can also be installed as a
+//! *reference*: a recipe of `(digest, len)` records resolved against the
+//! per-proxy [`ContentStore`] instead of a materialized byte copy. Every
+//! shared chunk is pinned in the CAS for the life of the entry (the
+//! residency guarantee), so a warm install charges zero disk for
+//! resident content; only freshly fetched bytes pay the install write.
+//! The first write to a chunk *breaks sharing for that chunk only*: its
+//! bytes are materialized into a private overlay (now disk-resident and
+//! charged), the pin is released, and the chunk joins the dirty set so
+//! flush can upload exactly the diverged ranges. The `bytes` ledger
+//! counts disk-resident bytes only — full files by size, reference files
+//! by their private overlay — and [`FileCache::validate_accounting`]
+//! recomputes it from scratch.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use simnet::Env;
 use vfs::{Disk, SparseBytes};
 
+use crate::cas::ContentStore;
 use crate::digest::{digest, Digest};
+
+/// Knobs for copy-on-write reference installs, carried by
+/// [`crate::ProxyConfig`]. [`CowTuning::off`] (the `Default`) keeps the
+/// pre-CoW data paths byte-for-byte: every install materializes, exactly
+/// as before this subsystem existed. CoW additionally requires dedup —
+/// without a [`ContentStore`] there is nothing to reference — so an
+/// enabled `cow` with `DedupTuning::off()` is inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CowTuning {
+    /// Install channel fetches as reference files when a content map is
+    /// available, and flush only their diverged chunks.
+    pub enabled: bool,
+}
+
+impl CowTuning {
+    /// Copy-on-write reference installs enabled.
+    pub fn on() -> Self {
+        CowTuning { enabled: true }
+    }
+
+    /// Disabled: the pre-CoW data paths, byte-for-byte.
+    pub fn off() -> Self {
+        CowTuning { enabled: false }
+    }
+}
+
+/// A reference-backed file: recipe + CAS + private overlay.
+struct RefFile {
+    /// The store the recipe resolves through; shared chunks hold pins in
+    /// it until broken or the entry is dropped.
+    cas: Arc<ContentStore>,
+    /// Recipe grid (last chunk may be short).
+    chunk_bytes: u32,
+    /// `(digest, len)` per chunk, covering `[0, size)`.
+    recipe: Vec<(Digest, u32)>,
+    /// Chunk index → privately materialized bytes (sharing broken).
+    overlay: BTreeMap<u32, Vec<u8>>,
+    /// Chunks diverged since the last flush (always ⊆ overlay keys).
+    dirty_chunks: BTreeSet<u32>,
+}
+
+impl RefFile {
+    /// Disk-resident (private overlay) bytes of this entry.
+    fn overlay_bytes(&self) -> u64 {
+        self.overlay.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Logical length described by the recipe.
+    fn total(&self) -> u64 {
+        self.recipe.iter().map(|(_, l)| *l as u64).sum()
+    }
+
+    /// Bytes of chunk `i`, from the overlay or the pinned CAS entry.
+    /// Pins guarantee residency; a miss would be a pin-discipline bug,
+    /// so release builds serve zeros rather than panic.
+    fn chunk_bytes_of(&self, i: usize) -> Vec<u8> {
+        if let Some(b) = self.overlay.get(&(i as u32)) {
+            return b.clone();
+        }
+        let (d, len) = self.recipe[i];
+        match self.cas.get(&d) {
+            Some(b) => b,
+            None => {
+                debug_assert!(false, "pinned recipe chunk missing from CAS");
+                vec![0u8; len as usize]
+            }
+        }
+    }
+
+    /// Assemble the full current contents (host-side; no time charged,
+    /// mirroring the uncharged digest in [`FileCache::install`]).
+    fn assemble(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total() as usize);
+        for i in 0..self.recipe.len() {
+            out.extend_from_slice(&self.chunk_bytes_of(i));
+        }
+        out
+    }
+
+    /// Byte offset where chunk `i` starts.
+    fn chunk_offset(&self, i: usize) -> u64 {
+        i as u64 * self.chunk_bytes as u64
+    }
+
+    /// Read `[offset, offset+len)` clipped to the recipe, returning the
+    /// bytes and how many of them came off the disk (private overlay —
+    /// shared chunks serve from the pinned host-memory CAS for free).
+    fn read_range(&self, offset: u64, len: usize) -> (Vec<u8>, u64) {
+        let total = self.total();
+        if offset >= total || len == 0 {
+            return (Vec::new(), 0);
+        }
+        let end = total.min(offset + len as u64);
+        let cb = self.chunk_bytes as u64;
+        let first = (offset / cb) as usize;
+        let last = ((end - 1) / cb) as usize;
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let mut disk = 0u64;
+        for i in first..=last {
+            let cstart = self.chunk_offset(i);
+            let clen = self.recipe[i].1 as u64;
+            let s = offset.max(cstart);
+            let e = end.min(cstart + clen);
+            if s >= e {
+                continue;
+            }
+            if self.overlay.contains_key(&(i as u32)) {
+                disk += e - s;
+            }
+            let chunk = self.chunk_bytes_of(i);
+            out.extend_from_slice(&chunk[(s - cstart) as usize..(e - cstart) as usize]);
+        }
+        (out, disk)
+    }
+
+    /// Copy-on-write break: materialize every chunk `[offset,
+    /// offset+len)` touches into the overlay (releasing its pin), apply
+    /// the write, and mark those chunks dirty. The caller guarantees the
+    /// write does not extend past the recipe. Returns the disk bytes the
+    /// break wrote (full length of newly materialized chunks + written
+    /// spans of already-private ones), the ledger growth (overlay bytes
+    /// added — newly private chunks now occupy cache disk), and how many
+    /// chunks broke.
+    fn cow_write(&mut self, offset: u64, bytes: &[u8]) -> (u64, u64, u64) {
+        if bytes.is_empty() {
+            return (0, 0, 0);
+        }
+        let end = offset + bytes.len() as u64;
+        let cb = self.chunk_bytes as u64;
+        let first = (offset / cb) as usize;
+        let last = ((end - 1) / cb) as usize;
+        let mut io = 0u64;
+        let mut grew = 0u64;
+        let mut breaks = 0u64;
+        for i in first..=last {
+            let (d, clen) = self.recipe[i];
+            let cstart = self.chunk_offset(i);
+            let s = offset.max(cstart);
+            let e = end.min(cstart + clen as u64);
+            if s >= e {
+                continue;
+            }
+            let chunk = match self.overlay.entry(i as u32) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    let buf = match self.cas.get(&d) {
+                        Some(b) => b,
+                        None => {
+                            debug_assert!(false, "pinned recipe chunk missing from CAS");
+                            vec![0u8; clen as usize]
+                        }
+                    };
+                    self.cas.unpin(&d);
+                    breaks += 1;
+                    io += clen as u64;
+                    grew += clen as u64;
+                    slot.insert(buf)
+                }
+                std::collections::btree_map::Entry::Occupied(o) => {
+                    io += e - s;
+                    o.into_mut()
+                }
+            };
+            chunk[(s - cstart) as usize..(e - cstart) as usize]
+                .copy_from_slice(&bytes[(s - offset) as usize..(e - offset) as usize]);
+            self.dirty_chunks.insert(i as u32);
+        }
+        (io, grew, breaks)
+    }
+}
+
+impl Drop for RefFile {
+    fn drop(&mut self) {
+        // Release the residency pins of every still-shared chunk
+        // (duplicate digests in the recipe hold one pin per occurrence).
+        for (i, (d, _)) in self.recipe.iter().enumerate() {
+            if !self.overlay.contains_key(&(i as u32)) {
+                self.cas.unpin(d);
+            }
+        }
+    }
+}
+
+enum Backing {
+    /// Materialized bytes on the cache disk (the historical form).
+    Full(SparseBytes),
+    /// Recipe + overlay resolved against the proxy's CAS.
+    Reference(RefFile),
+}
+
+/// Diverged state of a reference-backed file, handed to the flush path
+/// by [`FileCache::take_dirty_chunks`]: only the broken chunks travel.
+pub struct DirtyChunks {
+    /// Current logical file size (reference files never grow past their
+    /// recipe; growth converts them to full entries first).
+    pub total: u64,
+    /// `(offset, bytes)` per diverged chunk, ascending, non-overlapping.
+    pub ranges: Vec<(u64, Vec<u8>)>,
+    /// Digest of the *full* current contents — what upstream holds after
+    /// the ranges are applied over the golden base (for `set_synced`).
+    pub full_digest: Digest,
+}
 
 /// Identity of a cached file (fileid + generation from the NFS handle).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -25,7 +244,7 @@ pub struct FileKey {
 }
 
 struct CachedFile {
-    data: SparseBytes,
+    backing: Backing,
     size: u64,
     dirty: bool,
     last_use: u64,
@@ -37,6 +256,17 @@ struct CachedFile {
     synced: Option<Digest>,
 }
 
+impl CachedFile {
+    /// Bytes this entry occupies on the cache disk: full files in full,
+    /// reference files only their private overlay.
+    fn disk_bytes(&self) -> u64 {
+        match &self.backing {
+            Backing::Full(_) => self.size,
+            Backing::Reference(r) => r.overlay_bytes(),
+        }
+    }
+}
+
 /// Counters.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct FileCacheStats {
@@ -46,6 +276,11 @@ pub struct FileCacheStats {
     pub installs: u64,
     /// Files evicted for capacity.
     pub evictions: u64,
+    /// Installs that created a reference-backed entry (subset of
+    /// `installs`).
+    pub ref_installs: u64,
+    /// Chunks whose sharing was broken by a first write.
+    pub cow_breaks: u64,
 }
 
 struct Inner {
@@ -111,44 +346,113 @@ impl FileCache {
             if let Some(old) = inner.files.insert(
                 key,
                 CachedFile {
-                    data,
+                    backing: Backing::Full(data),
                     size,
                     dirty: false,
                     last_use: stamp,
                     synced: Some(digest(contents)),
                 },
             ) {
+                let old_bytes = old.disk_bytes();
                 debug_assert!(
-                    inner.bytes >= old.size,
+                    inner.bytes >= old_bytes,
                     "file-cache byte accounting underflow"
                 );
-                inner.bytes -= old.size;
+                inner.bytes -= old_bytes;
             }
             inner.bytes += size;
             inner.stats.installs += 1;
-            // Capacity: evict LRU clean files (dirty files must be
-            // uploaded first; they are pinned until flushed).
-            while inner.bytes > self.capacity_bytes {
-                let victim = inner
-                    .files
-                    .iter()
-                    .filter(|(k, f)| !f.dirty && **k != key)
-                    .min_by_key(|(_, f)| f.last_use)
-                    .map(|(k, _)| *k);
-                match victim.and_then(|k| inner.files.remove(&k)) {
-                    Some(f) => {
-                        debug_assert!(
-                            inner.bytes >= f.size,
-                            "file-cache byte accounting underflow"
-                        );
-                        inner.bytes -= f.size;
-                        inner.stats.evictions += 1;
-                    }
-                    None => break, // everything is dirty or it's just us
-                }
-            }
+            Self::evict_for_capacity(&mut inner, self.capacity_bytes, key);
         }
         self.disk.sequential_io(env, contents.len() as u64);
+    }
+
+    /// Install a file as a *reference*: `recipe` records resolved
+    /// against `cas`, every one of which the caller has already pinned
+    /// (one pin per record occurrence — ownership of those pins passes
+    /// to the entry and is released on break/eviction/replace). Shared
+    /// content charges no disk at all; only `fresh_bytes` — the payloads
+    /// that actually crossed the upstream link to satisfy this install —
+    /// pay the sequential install write.
+    pub fn install_reference(
+        &self,
+        env: &Env,
+        key: FileKey,
+        cas: Arc<ContentStore>,
+        chunk_bytes: u32,
+        recipe: Vec<(Digest, u32)>,
+        fresh_bytes: u64,
+    ) {
+        let rf = RefFile {
+            cas,
+            chunk_bytes,
+            recipe,
+            overlay: BTreeMap::new(),
+            dirty_chunks: BTreeSet::new(),
+        };
+        let size = rf.total();
+        // Host-side digest of the assembled contents, mirroring the
+        // uncharged `digest(contents)` of a materialized install: the
+        // recipe came *from* upstream, so upstream holds exactly this.
+        let synced = digest(&rf.assemble());
+        {
+            let mut inner = self.inner.lock();
+            inner.stamp += 1;
+            let stamp = inner.stamp;
+            if let Some(old) = inner.files.insert(
+                key,
+                CachedFile {
+                    backing: Backing::Reference(rf),
+                    size,
+                    dirty: false,
+                    last_use: stamp,
+                    synced: Some(synced),
+                },
+            ) {
+                let old_bytes = old.disk_bytes();
+                debug_assert!(
+                    inner.bytes >= old_bytes,
+                    "file-cache byte accounting underflow"
+                );
+                inner.bytes -= old_bytes;
+            }
+            // A fresh reference has no overlay: zero disk-resident bytes.
+            inner.stats.installs += 1;
+            inner.stats.ref_installs += 1;
+            Self::evict_for_capacity(&mut inner, self.capacity_bytes, key);
+        }
+        if fresh_bytes > 0 {
+            self.disk.sequential_io(env, fresh_bytes);
+        }
+    }
+
+    /// Capacity enforcement: evict LRU clean files (dirty files must be
+    /// uploaded first; they are pinned until flushed). Reference entries
+    /// release their CAS pins on removal via `RefFile::drop`.
+    fn evict_for_capacity(inner: &mut Inner, capacity_bytes: u64, just_installed: FileKey) {
+        while inner.bytes > capacity_bytes {
+            let victim = inner
+                .files
+                .iter()
+                .filter(|(k, f)| !f.dirty && **k != just_installed)
+                // A reference with no overlay occupies no disk: evicting
+                // it frees nothing and would only drop useful pins.
+                .filter(|(_, f)| match &f.backing {
+                    Backing::Full(_) => true,
+                    Backing::Reference(r) => r.overlay_bytes() > 0,
+                })
+                .min_by_key(|(_, f)| f.last_use)
+                .map(|(k, _)| *k);
+            match victim.and_then(|k| inner.files.remove(&k)) {
+                Some(f) => {
+                    let freed = f.disk_bytes();
+                    debug_assert!(inner.bytes >= freed, "file-cache byte accounting underflow");
+                    inner.bytes -= freed;
+                    inner.stats.evictions += 1;
+                }
+                None => break, // everything is dirty or it's just us
+            }
+        }
     }
 
     /// Digest of the contents upstream last acknowledged for this file
@@ -180,8 +484,11 @@ impl FileCache {
         }
     }
 
-    /// Read a range from a resident file, paying local-disk time.
-    /// Returns `None` if the file is not resident.
+    /// Read a range from a resident file, paying local-disk time for the
+    /// disk-resident bytes touched. A reference file's shared chunks are
+    /// served out of the pinned host-memory CAS (that residency is what
+    /// the pin buys — DESIGN.md §5.9), so only its private overlay bytes
+    /// charge the disk. Returns `None` if the file is not resident.
     pub fn read(&self, env: &Env, key: FileKey, offset: u64, len: u32) -> Option<(Vec<u8>, bool)> {
         let out = {
             let mut inner = self.inner.lock();
@@ -189,69 +496,212 @@ impl FileCache {
             let stamp = inner.stamp;
             let f = inner.files.get_mut(&key)?;
             f.last_use = stamp;
-            let data = f.data.read_range(offset, len as usize);
+            let (data, disk_bytes) = match &f.backing {
+                Backing::Full(sparse) => {
+                    let data = sparse.read_range(offset, len as usize);
+                    // Streaming from the local file: positioning
+                    // amortized across the whole-file access pattern
+                    // these reads come from.
+                    let n = data.len().max(1) as u64;
+                    (data, n)
+                }
+                Backing::Reference(r) => r.read_range(offset, len as usize),
+            };
             let eof = offset + data.len() as u64 >= f.size;
             inner.stats.read_hits += 1;
-            Some((data, eof))
+            Some((data, eof, disk_bytes))
         };
-        if let Some((data, _)) = &out {
-            // Streaming from the local file: positioning amortized across
-            // the whole-file access pattern these reads come from.
-            self.disk.stream_io(env, data.len().max(1) as u64);
+        let (data, eof, disk_bytes) = out?;
+        if disk_bytes > 0 {
+            self.disk.stream_io(env, disk_bytes);
         }
-        out
+        Some((data, eof))
     }
 
-    /// Write a range into a resident file, marking it dirty. Returns
-    /// false if the file is not resident.
+    /// Write a range into a resident file, marking it dirty. On a
+    /// reference file this is the copy-on-write break: each touched
+    /// chunk is materialized into the private overlay (charged as disk
+    /// traffic, pin released), and only those chunks join the dirty set.
+    /// A write extending past the recipe converts the entry to a full
+    /// file first. Returns false if the file is not resident.
     pub fn write(&self, env: &Env, key: FileKey, offset: u64, bytes: &[u8]) -> bool {
-        let ok = {
+        let io_bytes = {
             let mut inner = self.inner.lock();
             inner.stamp += 1;
             let stamp = inner.stamp;
             match inner.files.get_mut(&key) {
                 Some(f) => {
-                    f.data.write_at(offset, bytes);
-                    let new_len = f.data.len();
-                    // clippy suggests saturating_sub here, but that is exactly
-                    // what the exact-accounting invariant bans in this file.
-                    #[allow(clippy::implicit_saturating_sub)]
-                    let grew = if new_len > f.size {
-                        new_len - f.size
-                    } else {
-                        0
+                    // Growth is incompatible with a recipe-bounded
+                    // backing: materialize to a full entry first (the
+                    // assembled shared bytes become disk-resident and
+                    // the ledger charges them; `RefFile::drop` releases
+                    // the pins).
+                    let mut materialize_delta = 0u64;
+                    if let Backing::Reference(r) = &f.backing {
+                        if offset + bytes.len() as u64 > f.size {
+                            let full = r.assemble();
+                            materialize_delta = f.size - r.overlay_bytes();
+                            let mut sparse = SparseBytes::new();
+                            sparse.write_at(0, &full);
+                            f.backing = Backing::Full(sparse);
+                        }
+                    }
+                    let (grew, io, breaks) = match &mut f.backing {
+                        Backing::Full(sparse) => {
+                            sparse.write_at(offset, bytes);
+                            let new_len = sparse.len();
+                            // clippy suggests saturating_sub here, but that is exactly
+                            // what the exact-accounting invariant bans in this file.
+                            #[allow(clippy::implicit_saturating_sub)]
+                            let grew = if new_len > f.size {
+                                new_len - f.size
+                            } else {
+                                0
+                            };
+                            f.size = new_len;
+                            (grew, bytes.len().max(1) as u64, 0u64)
+                        }
+                        Backing::Reference(r) => {
+                            let (io, grew, breaks) = r.cow_write(offset, bytes);
+                            (grew, io.max(1), breaks)
+                        }
                     };
-                    f.size = new_len;
                     f.dirty = true;
                     f.last_use = stamp;
-                    if grew > 0 {
-                        inner.bytes += grew;
-                    }
-                    true
+                    inner.bytes += grew + materialize_delta;
+                    inner.stats.cow_breaks += breaks;
+                    Some(io + materialize_delta)
                 }
-                None => false,
+                None => None,
             }
         };
-        if ok {
-            self.disk.stream_io(env, bytes.len().max(1) as u64);
+        match io_bytes {
+            Some(io) => {
+                self.disk.stream_io(env, io);
+                true
+            }
+            None => false,
         }
-        ok
     }
 
     /// Full contents of a resident file (for upload), paying the disk
-    /// read; clears the dirty bit.
+    /// read; clears the dirty bit. On a reference file only the private
+    /// overlay is read off the disk (shared chunks assemble from the
+    /// pinned CAS) and the whole dirty-chunk set is consumed — the
+    /// backing stays a reference, so the ledger is untouched.
     pub fn take_dirty_contents(&self, env: &Env, key: FileKey) -> Option<Vec<u8>> {
-        let data = {
+        let (data, disk_read) = {
             let mut inner = self.inner.lock();
             let f = inner.files.get_mut(&key)?;
             if !f.dirty {
                 return None;
             }
             f.dirty = false;
-            f.data.read_range(0, f.size as usize)
+            match &mut f.backing {
+                Backing::Full(sparse) => {
+                    let data = sparse.read_range(0, f.size as usize);
+                    let n = data.len() as u64;
+                    (data, n)
+                }
+                Backing::Reference(r) => {
+                    r.dirty_chunks.clear();
+                    (r.assemble(), r.overlay_bytes())
+                }
+            }
         };
-        self.disk.sequential_io(env, data.len() as u64);
+        self.disk.sequential_io(env, disk_read);
         Some(data)
+    }
+
+    /// Diverged chunks of a dirty *reference* file, for a flush that
+    /// uploads only the broken ranges (upstream still holds the golden
+    /// base the recipe came from). Clears the dirty state; the chunks
+    /// stay privately resident. Returns `None` for absent, clean, or
+    /// full-backed files — and for a reference re-marked dirty with no
+    /// recorded chunk set (e.g. after a failed upload), which must take
+    /// the whole-file path instead.
+    pub fn take_dirty_chunks(&self, env: &Env, key: FileKey) -> Option<DirtyChunks> {
+        let (out, disk_read) = {
+            let mut inner = self.inner.lock();
+            let f = inner.files.get_mut(&key)?;
+            if !f.dirty {
+                return None;
+            }
+            let size = f.size;
+            let Backing::Reference(r) = &mut f.backing else {
+                return None;
+            };
+            if r.dirty_chunks.is_empty() {
+                return None;
+            }
+            let mut ranges = Vec::with_capacity(r.dirty_chunks.len());
+            let mut disk = 0u64;
+            for &i in r.dirty_chunks.iter() {
+                let b = match r.overlay.get(&i) {
+                    Some(b) => b.clone(),
+                    None => {
+                        debug_assert!(false, "dirty chunk without overlay bytes");
+                        continue;
+                    }
+                };
+                disk += b.len() as u64;
+                ranges.push((r.chunk_offset(i as usize), b));
+            }
+            let full_digest = digest(&r.assemble());
+            r.dirty_chunks.clear();
+            f.dirty = false;
+            (
+                DirtyChunks {
+                    total: size,
+                    ranges,
+                    full_digest,
+                },
+                disk,
+            )
+        };
+        self.disk.sequential_io(env, disk_read);
+        Some(out)
+    }
+
+    /// Whether a resident file is reference-backed.
+    pub fn is_reference(&self, key: FileKey) -> bool {
+        matches!(
+            self.inner.lock().files.get(&key).map(|f| &f.backing),
+            Some(Backing::Reference(_))
+        )
+    }
+
+    /// Recompute the byte ledger from scratch and assert every
+    /// accounting invariant (test and audit hook; the exact-accounting
+    /// discipline of PR 1 extended across the shared/private split).
+    pub fn validate_accounting(&self) {
+        let inner = self.inner.lock();
+        let mut total = 0u64;
+        for (k, f) in inner.files.iter() {
+            match &f.backing {
+                Backing::Full(_) => total += f.size,
+                Backing::Reference(r) => {
+                    assert_eq!(
+                        f.size,
+                        r.total(),
+                        "reference size diverged from its recipe for {k:?}"
+                    );
+                    assert!(
+                        r.dirty_chunks.iter().all(|i| r.overlay.contains_key(i)),
+                        "dirty chunk without overlay bytes for {k:?}"
+                    );
+                    assert!(
+                        f.dirty || r.dirty_chunks.is_empty(),
+                        "clean file with a non-empty dirty-chunk set for {k:?}"
+                    );
+                    total += r.overlay_bytes();
+                }
+            }
+        }
+        assert_eq!(
+            inner.bytes, total,
+            "file-cache byte ledger drifted from per-file disk bytes"
+        );
     }
 
     /// Re-mark a resident file dirty. A failed write-back upload calls
@@ -430,6 +880,212 @@ mod tests {
             // Key 2 (clean LRU) went, key 1 stayed despite being older.
             assert!(cc.contains(key(1)));
             assert!(!cc.contains(key(2)));
+        });
+        sim.run();
+    }
+
+    /// Chunk `content` onto `cas` with one pin per record occurrence —
+    /// exactly what the proxy's reference-install path does before
+    /// handing the recipe (and pin ownership) to `install_reference`.
+    fn pinned_recipe(cas: &Arc<ContentStore>, content: &[u8], chunk: u32) -> Vec<(Digest, u32)> {
+        content
+            .chunks(chunk as usize)
+            .map(|c| {
+                let d = cas.insert(c);
+                assert!(cas.pin(&d));
+                (d, c.len() as u32)
+            })
+            .collect()
+    }
+
+    fn golden(len: usize) -> Vec<u8> {
+        // Aperiodic so equal-size chunks get distinct digests.
+        (0..len as u64)
+            .map(|i| ((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn reference_install_serves_reads_with_zero_disk_bytes() {
+        let sim = Simulation::new();
+        let c = cache(&sim.handle(), 1 << 20);
+        let cc = c.clone();
+        sim.spawn("t", move |env| {
+            let cas = Arc::new(ContentStore::new(1 << 20));
+            let content = golden(2500);
+            let recipe = pinned_recipe(&cas, &content, 1024);
+            cc.install_reference(&env, key(1), cas.clone(), 1024, recipe, 0);
+            assert!(cc.is_reference(key(1)));
+            assert_eq!(cc.bytes_stored(), 0, "shared content charged disk");
+            assert_eq!(cc.size_of(key(1)), Some(2500));
+            assert_eq!(cc.synced_digest(key(1)), Some(digest(&content)));
+            // Reads assemble byte-identically, across chunk boundaries.
+            let (data, eof) = cc.read(&env, key(1), 0, 4096).unwrap();
+            assert_eq!(data, content);
+            assert!(eof);
+            let (mid, eof2) = cc.read(&env, key(1), 1000, 100).unwrap();
+            assert_eq!(mid, &content[1000..1100]);
+            assert!(!eof2);
+            assert_eq!(cas.pinned_bytes(), 2500);
+            cc.validate_accounting();
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn cow_break_charges_only_the_broken_chunk() {
+        let sim = Simulation::new();
+        let c = cache(&sim.handle(), 1 << 20);
+        let cc = c.clone();
+        sim.spawn("t", move |env| {
+            let cas = Arc::new(ContentStore::new(1 << 20));
+            let content = golden(4096);
+            let recipe = pinned_recipe(&cas, &content, 1024);
+            cc.install_reference(&env, key(1), cas.clone(), 1024, recipe, 0);
+            // First write to chunk 1 breaks sharing for that chunk only.
+            assert!(cc.write(&env, key(1), 1500, b"DIVERGED"));
+            assert_eq!(cc.bytes_stored(), 1024, "exactly one chunk private");
+            assert_eq!(cc.stats().cow_breaks, 1);
+            assert_eq!(cas.pinned_bytes(), 3072, "broken chunk still pinned");
+            cc.validate_accounting();
+            // A second write to the same chunk breaks nothing further.
+            assert!(cc.write(&env, key(1), 1024, b"x"));
+            assert_eq!(cc.stats().cow_breaks, 1);
+            assert_eq!(cc.bytes_stored(), 1024);
+            // Guest-visible contents match a materialized equivalent.
+            let mut want = content.clone();
+            want[1500..1508].copy_from_slice(b"DIVERGED");
+            want[1024] = b'x';
+            let (data, _) = cc.read(&env, key(1), 0, 4096).unwrap();
+            assert_eq!(data, want);
+            // Flush hands over exactly the diverged chunk.
+            assert_eq!(cc.dirty_files(), vec![key(1)]);
+            let dc = cc.take_dirty_chunks(&env, key(1)).unwrap();
+            assert_eq!(dc.total, 4096);
+            assert_eq!(dc.ranges.len(), 1);
+            assert_eq!(dc.ranges[0].0, 1024);
+            assert_eq!(dc.ranges[0].1, &want[1024..2048]);
+            assert_eq!(dc.full_digest, digest(&want));
+            assert!(cc.dirty_files().is_empty());
+            assert!(cc.take_dirty_chunks(&env, key(1)).is_none());
+            cc.validate_accounting();
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn take_dirty_contents_on_partial_divergence_keeps_the_ledger_exact() {
+        // The satellite-1 audit: a whole-file take on a partially
+        // diverged reference must neither convert the entry (double
+        // charge) nor drop overlay bytes (under charge).
+        let sim = Simulation::new();
+        let c = cache(&sim.handle(), 1 << 20);
+        let cc = c.clone();
+        sim.spawn("t", move |env| {
+            let cas = Arc::new(ContentStore::new(1 << 20));
+            let content = golden(3000);
+            let recipe = pinned_recipe(&cas, &content, 1024);
+            cc.install_reference(&env, key(1), cas.clone(), 1024, recipe, 0);
+            assert!(cc.write(&env, key(1), 0, b"new-head"));
+            let before = cc.bytes_stored();
+            assert_eq!(before, 1024);
+            cc.clear_synced(key(1));
+            let took = cc.take_dirty_contents(&env, key(1)).unwrap();
+            let mut want = content.clone();
+            want[..8].copy_from_slice(b"new-head");
+            assert_eq!(took, want);
+            assert_eq!(cc.bytes_stored(), before, "ledger moved on take");
+            assert!(cc.is_reference(key(1)), "take must not convert");
+            assert!(cc.take_dirty_chunks(&env, key(1)).is_none());
+            cc.validate_accounting();
+            // Re-dirtying after a failed upload keeps the full-file path.
+            cc.mark_dirty(key(1));
+            assert!(cc.take_dirty_chunks(&env, key(1)).is_none());
+            assert_eq!(cc.take_dirty_contents(&env, key(1)).unwrap(), want);
+            cc.validate_accounting();
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn replacing_and_clearing_reference_entries_releases_pins() {
+        let sim = Simulation::new();
+        let c = cache(&sim.handle(), 1 << 20);
+        let cc = c.clone();
+        sim.spawn("t", move |env| {
+            let cas = Arc::new(ContentStore::new(1 << 20));
+            let content = golden(2048);
+            let recipe = pinned_recipe(&cas, &content, 1024);
+            cc.install_reference(&env, key(1), cas.clone(), 1024, recipe, 0);
+            assert_eq!(cas.pinned_bytes(), 2048);
+            // Reinstalling the file as a full copy drops the reference
+            // and its pins.
+            cc.install(&env, key(1), &content);
+            assert_eq!(cas.pinned_bytes(), 0);
+            assert_eq!(cc.bytes_stored(), 2048);
+            // And a cleared cache holds no pins either.
+            let recipe = pinned_recipe(&cas, &content, 1024);
+            cc.install_reference(&env, key(2), cas.clone(), 1024, recipe, 0);
+            assert_eq!(cas.pinned_bytes(), 2048);
+            cc.clear();
+            assert_eq!(cas.pinned_bytes(), 0);
+            assert_eq!(cc.bytes_stored(), 0);
+            cc.validate_accounting();
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn extending_write_converts_reference_to_full() {
+        let sim = Simulation::new();
+        let c = cache(&sim.handle(), 1 << 20);
+        let cc = c.clone();
+        sim.spawn("t", move |env| {
+            let cas = Arc::new(ContentStore::new(1 << 20));
+            let content = golden(2000);
+            let recipe = pinned_recipe(&cas, &content, 1024);
+            cc.install_reference(&env, key(1), cas.clone(), 1024, recipe, 0);
+            assert!(cc.write(&env, key(1), 1990, b"past-the-end-tail"));
+            assert!(!cc.is_reference(key(1)));
+            assert_eq!(cc.size_of(key(1)), Some(2007));
+            assert_eq!(cc.bytes_stored(), 2007);
+            assert_eq!(cas.pinned_bytes(), 0, "conversion must release pins");
+            let mut want = content.clone();
+            want.resize(2007, 0);
+            want[1990..].copy_from_slice(b"past-the-end-tail");
+            let (data, _) = cc.read(&env, key(1), 0, 4096).unwrap();
+            assert_eq!(data, want);
+            cc.validate_accounting();
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn capacity_pressure_spares_zero_cost_references() {
+        let sim = Simulation::new();
+        let c = cache(&sim.handle(), 2500);
+        let cc = c.clone();
+        sim.spawn("t", move |env| {
+            let cas = Arc::new(ContentStore::new(1 << 20));
+            let content = golden(2048);
+            let recipe = pinned_recipe(&cas, &content, 1024);
+            cc.install_reference(&env, key(1), cas.clone(), 1024, recipe, 0);
+            // Two full installs blow the 2500-byte budget repeatedly; the
+            // zero-overlay reference occupies no disk, so it survives
+            // while full files pay.
+            cc.install(&env, key(2), &[2u8; 2000]);
+            cc.install(&env, key(3), &[3u8; 2000]);
+            assert!(cc.contains(key(1)), "free reference evicted");
+            assert!(!cc.contains(key(2)));
+            assert!(cc.contains(key(3)));
+            // Once it carries private bytes it competes like any file.
+            assert!(cc.write(&env, key(1), 0, b"p"));
+            let dc = cc.take_dirty_chunks(&env, key(1)).unwrap();
+            assert_eq!(dc.ranges.len(), 1);
+            cc.install(&env, key(4), &[4u8; 2000]);
+            assert!(!cc.contains(key(1)), "diverged reference now evictable");
+            assert_eq!(cas.pinned_bytes(), 0, "eviction must release pins");
+            cc.validate_accounting();
         });
         sim.run();
     }

@@ -46,10 +46,12 @@ pub mod transfer;
 
 pub use block_cache::{BlockCache, BlockCacheConfig, BlockCacheStats, Tag, WritePolicy};
 pub use cas::{ContentStore, DedupTel, DedupTuning};
-pub use channel::{ChannelClient, DedupFetch, FileChannelServer, CHANNEL_PROGRAM, CHANNEL_V1};
+pub use channel::{
+    ChannelClient, DedupFetch, FileChannelServer, PinnedRecipe, CHANNEL_PROGRAM, CHANNEL_V1,
+};
 pub use codec::CodecModel;
 pub use digest::Digest;
-pub use file_cache::{FileCache, FileCacheStats, FileKey};
+pub use file_cache::{CowTuning, DirtyChunks, FileCache, FileCacheStats, FileKey};
 pub use fleet::FleetTuning;
 pub use identity::{IdentityMapper, MappedAccount};
 pub use meta::{

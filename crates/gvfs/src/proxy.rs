@@ -52,7 +52,7 @@ use crate::cas::{ContentStore, DedupTel, DedupTuning};
 use crate::channel::{chanproc, ChannelClient, CHANNEL_PROGRAM, CHANNEL_V1};
 use crate::codec::{self, CodecModel};
 use crate::digest::{self, Digest};
-use crate::file_cache::{FileCache, FileKey};
+use crate::file_cache::{CowTuning, FileCache, FileKey};
 use crate::fleet::FleetTuning;
 use crate::identity::IdentityMapper;
 use crate::meta::{is_meta_name, meta_name_for, MetaFile};
@@ -85,6 +85,13 @@ pub struct ProxyConfig {
     /// as before the fleet work existed (byte-for-byte identical
     /// reports, identical telemetry registrations).
     pub fleet: FleetTuning,
+    /// Copy-on-write reference files: install channel fetches as
+    /// CAS-resolved recipes instead of materialized copies. Requires
+    /// `dedup` (inert without a CAS); with [`CowTuning::off()`] (the
+    /// default) every path behaves exactly as before reference files
+    /// existed (byte-for-byte identical reports, identical telemetry
+    /// registrations).
+    pub cow: CowTuning,
 }
 
 impl Default for ProxyConfig {
@@ -98,6 +105,7 @@ impl Default for ProxyConfig {
             transfer: TransferTuning::default(),
             dedup: DedupTuning::default(),
             fleet: FleetTuning::off(),
+            cow: CowTuning::off(),
         }
     }
 }
@@ -150,6 +158,14 @@ pub struct ProxyStats {
     /// Uploads/write-backs skipped because upstream already acknowledged
     /// identical content.
     pub dedup_acked_skips: u64,
+    /// Channel fetches installed as copy-on-write reference files
+    /// (recipe + pins) instead of materialized copies (0 when the cow
+    /// knob is off).
+    pub cow_ref_installs: u64,
+    /// CAS evictions refused because every candidate was pinned by a
+    /// live reference file — the store over-ran capacity instead of
+    /// dropping bytes a recipe still resolves through (0 when cow off).
+    pub cas_pin_blocked: u64,
 }
 
 /// Report from a middleware-driven flush. Failed counts record what the
@@ -486,6 +502,12 @@ pub struct Proxy {
     /// Sub-calls those envelopes carried (`items / batches` = achieved
     /// coalescing factor).
     fleet_batched_items: Option<Counter>,
+    /// Channel fetches installed as reference files (registered only
+    /// when the cow knob is active, i.e. cow *and* dedup enabled).
+    cow_installs: Option<Counter>,
+    /// CAS evictions refused under pin pressure (same registration
+    /// gate; the counter is shared with the content store).
+    cow_pin_blocked: Option<Counter>,
     // Arc: detached prefetch workers share the state (and the Mutex
     // inside keeps critical sections short — no suspends under it).
     state: Arc<Mutex<ProxyState>>,
@@ -598,11 +620,28 @@ impl Proxy {
         // verifier to change when the *server* instance changes; two
         // proxies must never share one).
         let write_verf = simnet::splitmix64(digest::seed64(tel.inst.as_bytes()));
+        // Copy-on-write is meaningful only with a CAS to resolve recipes
+        // against; with dedup off the knob is inert (and registers no
+        // telemetry, keeping legacy snapshots byte-identical).
+        let cow_on = cfg.cow.enabled && cfg.dedup.enabled;
+        let cow_pin_blocked = cow_on.then(|| {
+            tel.registry
+                .counter("gvfs", format!("{}.cas.pin_blocked_evictions", tel.inst))
+        });
         let cas = if cfg.dedup.enabled {
-            Some(Arc::new(ContentStore::new(cfg.dedup.cas_bytes)))
+            let store = ContentStore::new(cfg.dedup.cas_bytes);
+            let store = match &cow_pin_blocked {
+                Some(c) => store.with_pin_blocked_counter(c.clone()),
+                None => store,
+            };
+            Some(Arc::new(store))
         } else {
             None
         };
+        let cow_installs = cow_on.then(|| {
+            tel.registry
+                .counter("gvfs", format!("{}.cow.ref_installs", tel.inst))
+        });
         let blob_reply_cap = cfg.dedup.cas_bytes;
         // Fleet telemetry registers only when the knobs are on, so a
         // legacy configuration's snapshot carries exactly the historical
@@ -642,6 +681,8 @@ impl Proxy {
             wb,
             fleet_batches,
             fleet_batched_items,
+            cow_installs,
+            cow_pin_blocked,
             state: Arc::new(Mutex::new(ProxyState {
                 meta: HashMap::new(),
                 sizes: HashMap::new(),
@@ -712,6 +753,8 @@ impl Proxy {
             dedup_recipe_hits: self.dtel.recipe_hits.get(),
             dedup_blob_fetches: self.dtel.blob_fetches.get(),
             dedup_acked_skips: self.dtel.acked_skips.get(),
+            cow_ref_installs: self.cow_installs.as_ref().map(|c| c.get()).unwrap_or(0),
+            cas_pin_blocked: self.cow_pin_blocked.as_ref().map(|c| c.get()).unwrap_or(0),
         }
     }
 
@@ -767,6 +810,12 @@ impl Proxy {
         self.dtel.recipe_hits.reset();
         self.dtel.blob_fetches.reset();
         self.dtel.acked_skips.reset();
+        if let Some(c) = &self.cow_installs {
+            c.reset();
+        }
+        if let Some(c) = &self.cow_pin_blocked {
+            c.reset();
+        }
     }
 
     /// The content-addressed store, when dedup is enabled.
@@ -1005,9 +1054,17 @@ impl Proxy {
                             } else {
                                 1
                             };
-                            let fetched = match &self.cas {
-                                Some(cas) => chan
-                                    .fetch_dedup_batched(
+                            // Copy-on-write: resolve the recipe straight
+                            // into the CAS (pinning every record) and
+                            // install the file as a reference — zero
+                            // cache-disk install for resident content, a
+                            // warm clone's dominant saving. Any failure
+                            // falls back to the materializing fetch; the
+                            // helper released its pins.
+                            let mut installed_ref = false;
+                            if self.cfg.cow.enabled {
+                                if let Some(cas) = &self.cas {
+                                    if let Ok(pr) = chan.fetch_recipe_pinned(
                                         env,
                                         a.file.0,
                                         m.content_map.as_ref(),
@@ -1017,56 +1074,100 @@ impl Proxy {
                                         cas,
                                         &self.dtel,
                                         Some(&self.ttel),
-                                    )
-                                    .map(|df| (df.contents, df.wire))
-                                    .or_else(|_| {
-                                        self.tel.recovered_errors.inc();
-                                        chan.fetch_chunked(
+                                    ) {
+                                        let chunk = pr.recipe.chunk_bytes;
+                                        fc.install_reference(
+                                            env,
+                                            key,
+                                            cas.clone(),
+                                            chunk,
+                                            pr.recipe.records,
+                                            pr.fresh_bytes,
+                                        );
+                                        if let Some(c) = &self.cow_installs {
+                                            c.inc();
+                                        }
+                                        self.tel.channel_fetches.inc();
+                                        self.tel.channel_wire_bytes.add(pr.wire);
+                                        let tr = &self.tel.registry;
+                                        if tr.trace_enabled() {
+                                            tr.trace(
+                                                TraceEvent::new(env.now(), "gvfs", "channel_fetch")
+                                                    .bytes(pr.wire)
+                                                    .label("proxy", self.tel.inst.clone()),
+                                            );
+                                        }
+                                        installed_ref = true;
+                                    }
+                                }
+                            }
+                            let result = if installed_ref {
+                                true
+                            } else {
+                                let fetched = match &self.cas {
+                                    Some(cas) => chan
+                                        .fetch_dedup_batched(
                                             env,
                                             a.file.0,
+                                            m.content_map.as_ref(),
                                             t.chunk_bytes,
                                             t.channel_window,
+                                            dedup_batch,
+                                            cas,
+                                            &self.dtel,
                                             Some(&self.ttel),
                                         )
-                                    }),
-                                None => chan.fetch_chunked(
-                                    env,
-                                    a.file.0,
-                                    t.chunk_bytes,
-                                    t.channel_window,
-                                    Some(&self.ttel),
-                                ),
-                            };
-                            let result = match fetched {
-                                Ok((contents, wire)) => {
-                                    #[cfg(feature = "debug-trace")]
-                                    eprintln!(
-                                        "[gvfs] channel fetch ok: {} bytes, {} wire",
-                                        contents.len(),
-                                        wire
-                                    );
-                                    // Dedup saves WAN transfer and origin
-                                    // work; the assembled file is written
-                                    // to the local cache disk in full
-                                    // either way (a CAS hit is host
-                                    // memory, not cache-disk residency).
-                                    fc.install(env, key, &contents);
-                                    self.tel.channel_fetches.inc();
-                                    self.tel.channel_wire_bytes.add(wire);
-                                    let tr = &self.tel.registry;
-                                    if tr.trace_enabled() {
-                                        tr.trace(
-                                            TraceEvent::new(env.now(), "gvfs", "channel_fetch")
-                                                .bytes(wire)
-                                                .label("proxy", self.tel.inst.clone()),
+                                        .map(|df| (df.contents, df.wire))
+                                        .or_else(|_| {
+                                            self.tel.recovered_errors.inc();
+                                            chan.fetch_chunked(
+                                                env,
+                                                a.file.0,
+                                                t.chunk_bytes,
+                                                t.channel_window,
+                                                Some(&self.ttel),
+                                            )
+                                        }),
+                                    None => chan.fetch_chunked(
+                                        env,
+                                        a.file.0,
+                                        t.chunk_bytes,
+                                        t.channel_window,
+                                        Some(&self.ttel),
+                                    ),
+                                };
+                                match fetched {
+                                    Ok((contents, wire)) => {
+                                        #[cfg(feature = "debug-trace")]
+                                        eprintln!(
+                                            "[gvfs] channel fetch ok: {} bytes, {} wire",
+                                            contents.len(),
+                                            wire
                                         );
+                                        // Dedup saves WAN transfer and
+                                        // origin work; the assembled file
+                                        // is written to the local cache
+                                        // disk in full either way (a CAS
+                                        // hit is host memory, not
+                                        // cache-disk residency).
+                                        fc.install(env, key, &contents);
+                                        self.tel.channel_fetches.inc();
+                                        self.tel.channel_wire_bytes.add(wire);
+                                        let tr = &self.tel.registry;
+                                        if tr.trace_enabled() {
+                                            tr.trace(
+                                                TraceEvent::new(env.now(), "gvfs", "channel_fetch")
+                                                    .bytes(wire)
+                                                    .label("proxy", self.tel.inst.clone()),
+                                            );
+                                        }
+                                        true
                                     }
-                                    true
-                                }
-                                Err(_e) => {
-                                    #[cfg(feature = "debug-trace")]
-                                    eprintln!("[gvfs] channel fetch failed: {_e:?}");
-                                    false
+                                    Err(_e) => {
+                                        #[cfg(feature = "debug-trace")]
+                                        eprintln!("[gvfs] channel fetch failed: {_e:?}");
+                                        false
+                                    }
                                 }
                             };
                             let sig = { self.state.lock().inflight_fetch.remove(&key) };
@@ -1961,12 +2062,70 @@ impl Proxy {
                 let ttel = self.ttel.clone();
                 let dtel = self.dtel.clone();
                 let dedup_on = self.cas.is_some();
+                let cow_on = self.cfg.cow.enabled && dedup_on;
                 let codec = self.codec;
                 let recovered = self.tel.recovered_errors.clone();
                 let totals = file_totals.clone();
                 let failed = failed_uploads.clone();
                 let upload_files = move |env: &Env| {
                     for key in dirty_files {
+                        // Diverged-only flush: a dirty *reference* file
+                        // uploads just its broken chunks (upstream still
+                        // holds the golden base its recipe resolves
+                        // against; the size-preserving chunk write keeps
+                        // every untouched range). The whole-file path
+                        // below stays the fallback — including for a
+                        // reference re-marked dirty after a failed
+                        // upload, whose chunk set is gone.
+                        if cow_on {
+                            if let Some(dc) = fc.take_dirty_chunks(env, key) {
+                                env.sleep(codec.digest_time(dc.total));
+                                if fc.synced_digest(key) == Some(dc.full_digest) {
+                                    dtel.acked_skips.inc();
+                                    let n: u64 =
+                                        dc.ranges.iter().map(|(_, b)| b.len() as u64).sum();
+                                    dtel.bytes_avoided.add(n);
+                                    continue;
+                                }
+                                let h = Handle {
+                                    fileid: key.fileid,
+                                    generation: key.generation,
+                                };
+                                // Torn-upload guard, exactly as below.
+                                fc.clear_synced(key);
+                                match chan.upload_ranges(
+                                    env,
+                                    h,
+                                    dc.total,
+                                    &dc.ranges,
+                                    true,
+                                    tuning.channel_window,
+                                    Some(&ttel),
+                                ) {
+                                    Ok(wire) => {
+                                        let mut t = totals.lock();
+                                        t.0 += 1;
+                                        t.1 += wire;
+                                        fc.set_synced(key, dc.full_digest);
+                                    }
+                                    Err(_) => {
+                                        recovered.inc();
+                                        // Hand the retry machinery the
+                                        // full contents (the bounded
+                                        // rounds resend whole files).
+                                        fc.mark_dirty(key);
+                                        if let Some(contents) = fc.take_dirty_contents(env, key) {
+                                            failed.lock().push((
+                                                key,
+                                                contents,
+                                                Some(dc.full_digest),
+                                            ));
+                                        }
+                                    }
+                                }
+                                continue;
+                            }
+                        }
                         if let Some(contents) = fc.take_dirty_contents(env, key) {
                             // Dedup: a dirty file rewritten with the exact
                             // bytes upstream already holds (a VM session

@@ -136,6 +136,7 @@ fn run_fetch(
                     transfer: TransferTuning::default(),
                     dedup: DedupTuning::default(),
                     fleet,
+                    cow: gvfs::CowTuning::off(),
                 },
                 upstream,
             )

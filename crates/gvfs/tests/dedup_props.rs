@@ -95,6 +95,7 @@ fn build_rig_with(
             transfer,
             dedup,
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         },
         upstream,
     )
@@ -385,6 +386,7 @@ fn shared_proxy_coalesces_blob_fetches_on_digest() {
             transfer: TransferTuning::default(),
             dedup: DedupTuning::default(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         },
         upstream,
     )
@@ -575,6 +577,7 @@ fn failed_upload_clears_synced_digest_and_repairs_torn_file() {
             },
             dedup: DedupTuning::default(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         },
         upstream,
     )
@@ -712,6 +715,7 @@ fn blob_cache_rejects_payload_digest_mismatch() {
             transfer: TransferTuning::default(),
             dedup: DedupTuning::default(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         },
         upstream,
     )

@@ -79,6 +79,7 @@ fn build_rig(sim: &Simulation) -> Rig {
             // schedule; the dedup'd flush path has its own suite.
             dedup: DedupTuning::off(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         },
         upstream,
     )

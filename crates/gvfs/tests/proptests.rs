@@ -4,6 +4,7 @@ use gvfs::block_cache::{BlockCache, BlockCacheConfig, Tag};
 use gvfs::meta::{generate_content_map, ContentMap, MetaFile, ZeroMap};
 use gvfs::{codec, Digest, FileChannelSpec};
 use gvfs::{ChannelClient, CodecModel, ContentStore, DedupTel, FileChannelServer};
+use gvfs::{FileCache, FileKey};
 use oncrpc::{AuthSys, Dispatcher, OpaqueAuth, RpcClient, WireSpec};
 use proptest::prelude::*;
 use simnet::{Link, SimDuration, Simulation};
@@ -69,6 +70,96 @@ proptest! {
         });
         sim.run();
         cache.validate_accounting();
+    }
+
+    /// `FileCache::bytes_stored` tracks the exact sum of disk-resident
+    /// payloads — full files plus the *private overlay* of
+    /// reference-backed files — through arbitrary interleavings of full
+    /// installs, reference installs, CoW-breaking and extending writes,
+    /// whole-file and chunk-wise dirty takes, sync-state flips, and
+    /// clears, with a capacity small enough to force evictions. This is
+    /// the PR 9 shared/private-split audit: in particular a
+    /// `take_dirty_contents` + `clear_synced` cycle on a partially
+    /// diverged reference must neither double-charge nor under-charge.
+    #[test]
+    fn file_cache_byte_accounting_never_drifts(
+        ops in proptest::collection::vec(
+            (0u8..9, 1u64..5, 0u64..4096, 1usize..1200, any::<bool>()),
+            1..200,
+        )
+    ) {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let disk = Disk::new(&h, DiskModel::scsi_2004());
+        // Small enough that a handful of installs forces evictions.
+        let cache = Arc::new(FileCache::new(disk, 4096));
+        let cas = Arc::new(ContentStore::new(1 << 20));
+        let cas2 = cas.clone();
+        let c = cache.clone();
+        sim.spawn("ops", move |env| {
+            let cas = cas2;
+            for (op, file, off, len, flag) in ops {
+                let key = FileKey { fileid: file, generation: 1 };
+                match op {
+                    // install: weighted double so eviction stays busy
+                    0 | 1 => {
+                        let data: Vec<u8> =
+                            (0..len as u64).map(|i| (i * file) as u8).collect();
+                        c.install(&env, key, &data);
+                    }
+                    2 => {
+                        // Reference install: chunk aperiodic content onto
+                        // the CAS with one pin per record occurrence,
+                        // exactly as the proxy recipe path does.
+                        let data: Vec<u8> = (0..(len as u64) * 3)
+                            .map(|i| {
+                                ((i + file).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32)
+                                    as u8
+                            })
+                            .collect();
+                        let recipe: Vec<(Digest, u32)> = data
+                            .chunks(512)
+                            .map(|chunk| {
+                                (cas.insert_pinned(chunk), chunk.len() as u32)
+                            })
+                            .collect();
+                        c.install_reference(&env, key, cas.clone(), 512, recipe, 0);
+                    }
+                    3 => {
+                        // May land inside the file (CoW break on a
+                        // reference) or past its end (extension →
+                        // materialization).
+                        let _ = c.write(&env, key, off, &vec![0xC0; len.min(700)]);
+                    }
+                    4 => {
+                        let _ = c.read(&env, key, off, len as u32);
+                    }
+                    5 => {
+                        let _ = c.take_dirty_contents(&env, key);
+                    }
+                    6 => {
+                        let _ = c.take_dirty_chunks(&env, key);
+                    }
+                    7 => {
+                        if flag {
+                            c.mark_dirty(key);
+                        } else {
+                            c.clear_synced(key);
+                        }
+                    }
+                    8 => c.clear(),
+                    _ => unreachable!(),
+                }
+                c.validate_accounting();
+            }
+        });
+        sim.run();
+        cache.validate_accounting();
+        // Every pin the cache still holds is accounted by a live
+        // reference entry; a cleared cache would leave zero.
+        cache.clear();
+        cache.validate_accounting();
+        prop_assert_eq!(cas.pinned_bytes(), 0);
     }
 
     /// Chunked FETCH reassembles byte-identically to the monolithic

@@ -76,6 +76,7 @@ fn build_rig(sim: &Simulation, write_policy: WritePolicy, meta_handling: bool) -
             transfer: TransferTuning::default(),
             dedup: DedupTuning::off(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         },
         RpcClient::new(srv_ep.channel, OpaqueAuth::none()),
     )
@@ -123,6 +124,7 @@ fn build_rig(sim: &Simulation, write_policy: WritePolicy, meta_handling: bool) -
             // chunked channel; dedup'd fetches are covered separately.
             dedup: DedupTuning::off(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         },
         upstream,
     )

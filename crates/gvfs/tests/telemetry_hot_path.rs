@@ -56,6 +56,7 @@ fn record_paths_stay_registry_free_after_warmup() {
             },
             dedup: DedupTuning::off(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         },
         RpcClient::new(ep.channel, cred.clone()),
     )

@@ -73,6 +73,7 @@ fn run_flush(flush_window: usize) -> (BTreeSet<WriteRec>, FlushReport, Vec<u8>) 
             // Exact WRITE/COMMIT interleavings are pinned here.
             dedup: DedupTuning::off(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         },
         RpcClient::new(ep.channel, cred.clone()),
     )

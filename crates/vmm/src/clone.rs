@@ -26,6 +26,13 @@ pub struct CloneConfig {
     pub configure_cpu: SimDuration,
     /// Monitor configuration for the resumed clone.
     pub vm: VmConfig,
+    /// Copy-on-write memory state: symlink the `.vmss` into the mount
+    /// (like the `.vmdk`) instead of materializing a local byte copy, so
+    /// resume reads stream through GVFS where the proxy's golden-snapshot
+    /// reference cache serves them. Only sound for non-persistent clones:
+    /// resume merely *reads* the memory state, and a clone that never
+    /// suspends never writes it back through the link.
+    pub cow_memory: bool,
 }
 
 impl Default for CloneConfig {
@@ -34,6 +41,7 @@ impl Default for CloneConfig {
             copy_chunk: 1 << 20,
             configure_cpu: SimDuration::from_millis(3000),
             vm: VmConfig::default(),
+            cow_memory: false,
         }
     }
 }
@@ -108,16 +116,27 @@ pub fn clone_vm(
     )?;
     times.copy_config = env.now() - t;
 
-    // 2. Copy the memory state file (through GVFS: zero maps / file
-    //    channel / proxy caches all apply on the mount side).
+    // 2. Memory state. Default: copy through GVFS (zero maps / file
+    //    channel / proxy caches all apply on the mount side) into a
+    //    local file. CoW: symlink into the mount instead — the resume
+    //    step reads through the link, served by the proxy's reference
+    //    cache, and no local materialization cost is paid up front.
     let t = env.now();
-    copy_file(
-        env,
-        mounts,
-        &format!("{golden_dir}/{}", spec.vmss_name()),
-        &format!("{clone_dir}/{}", spec.vmss_name()),
-        cfg.copy_chunk,
-    )?;
+    if cfg.cow_memory {
+        local_io.symlink_path(
+            env,
+            &format!("{clone_rel}/{}", spec.vmss_name()),
+            &format!("{golden_dir}/{}", spec.vmss_name()),
+        )?;
+    } else {
+        copy_file(
+            env,
+            mounts,
+            &format!("{golden_dir}/{}", spec.vmss_name()),
+            &format!("{clone_dir}/{}", spec.vmss_name()),
+            cfg.copy_chunk,
+        )?;
+    }
     times.copy_memory = env.now() - t;
 
     // 3. Symbolic link to the virtual disk on the image server mount.
@@ -294,6 +313,90 @@ mod tests {
                 fs.read(h, 0, 1 << 20, 0).unwrap().0
             });
             assert_eq!(before, after, "golden vmdk must stay pristine");
+        });
+        sim.run();
+    }
+
+    /// CoW memory mode: the `.vmss` is a symlink into the mount, resume
+    /// still works (reads stream through GVFS), and the golden memory
+    /// state stays pristine.
+    #[test]
+    fn cow_clone_symlinks_memory_state_and_resumes() {
+        let sim = Simulation::new();
+        let (local, images, table) = hosts(&sim);
+        let before: Vec<u8> = images.with_fs(|fs| {
+            let h = fs.resolve("images/golden.vmss").unwrap();
+            fs.read(h, 0, 1 << 20, 0).unwrap().0
+        });
+        let images2 = images.clone();
+        sim.spawn("cloner", move |env| {
+            let (times, vm) = clone_vm(
+                &env,
+                &table,
+                "/mnt/gvfs/images",
+                &spec(),
+                "/cow1",
+                CloneConfig {
+                    cow_memory: true,
+                    ..CloneConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(vm.is_resumed());
+            let lh = local.lookup_path(&env, "cow1/golden.vmss").unwrap();
+            assert_eq!(
+                local.readlink(&env, lh).unwrap(),
+                "/mnt/gvfs/images/golden.vmss"
+            );
+            // No local materialization: the link step is (near) free and
+            // the read cost moves into resume.
+            assert!(times.copy_memory < times.resume);
+            let after: Vec<u8> = images2.with_fs(|fs| {
+                let h = fs.resolve("images/golden.vmss").unwrap();
+                fs.read(h, 0, 1 << 20, 0).unwrap().0
+            });
+            assert_eq!(before, after, "golden vmss must stay pristine");
+        });
+        sim.run();
+    }
+
+    /// CoW and copy clones expose bit-identical memory state: the local
+    /// byte copy and the symlink both resolve to the same guest-visible
+    /// `.vmss` contents, and both resumes read the full image.
+    #[test]
+    fn cow_clone_restores_same_memory_as_copy_clone() {
+        let sim = Simulation::new();
+        let (_local, _images, table) = hosts(&sim);
+        sim.spawn("cloner", move |env| {
+            let run = |dir: &str, cow_memory: bool| {
+                let (_, vm) = clone_vm(
+                    &env,
+                    &table,
+                    "/mnt/gvfs/images",
+                    &spec(),
+                    dir,
+                    CloneConfig {
+                        cow_memory,
+                        ..CloneConfig::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(vm.stats().host_bytes_read, spec().memory_bytes);
+                let f = table
+                    .open(&env, &format!("{dir}/{}", spec().vmss_name()))
+                    .unwrap();
+                let size = f.io.getattr(&env, f.handle).unwrap().size;
+                let mut bytes = Vec::with_capacity(size as usize);
+                let mut off = 0u64;
+                while off < size {
+                    let want = (1u64 << 20).min(size - off) as u32;
+                    let data = f.io.read(&env, f.handle, off, want).unwrap();
+                    off += data.len() as u64;
+                    bytes.extend_from_slice(&data);
+                }
+                bytes
+            };
+            assert_eq!(run("/a", false), run("/b", true));
         });
         sim.run();
     }

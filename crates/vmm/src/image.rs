@@ -236,12 +236,21 @@ pub fn diverge_image(
     seed: u64,
     fraction: f64,
 ) -> FsResult<()> {
+    if spec.memory_bytes == 0 {
+        return Ok(());
+    }
     let mut rng = Prng::new(seed);
     let region = DIVERGE_REGION.clamp(PAGE, spec.memory_bytes.max(PAGE));
     let regions = ((spec.memory_bytes as f64 * fraction) / region as f64).ceil() as u64;
-    let slots = (spec.memory_bytes / region).max(1);
+    // Slot count must cover the partial tail region of images whose
+    // length is not a region multiple: flooring here would both exempt
+    // the tail from ever diverging and, for images smaller than one
+    // region, round the slot count (and with it all divergence) to zero.
+    let slots = spec.memory_bytes.div_ceil(region);
     for _ in 0..regions {
         let pos = rng.below(slots) * region;
+        // The tail slot is short; clamp so divergence never writes past
+        // (and so never extends) the image.
         let len = region.min(spec.memory_bytes - pos) as usize;
         let payload = page_payload(&mut rng, len);
         fs.write(img.vmss, pos, &payload, 0)?;
@@ -351,6 +360,85 @@ mod tests {
             "{changed}/{total} regions changed; wrote at most {expected}"
         );
         assert!(changed < total, "most of the image must stay shared");
+    }
+
+    /// Divergence on an image whose length is not a region multiple must
+    /// be able to land on the short tail slot — and clamp there rather
+    /// than writing past (or extending) the image.
+    #[test]
+    fn divergence_reaches_the_tail_of_unaligned_images() {
+        let spec = VmImageSpec {
+            memory_bytes: 5 << 20, // 2.5 regions: tail slot is 1 MB short
+            ..small_spec()
+        };
+        let tail_lo = (2 * DIVERGE_REGION) as usize;
+        let mut tail_hit = false;
+        for seed in 0..64 {
+            let mut fs = Fs::new(0);
+            let root = fs.root();
+            let img = install_image(&mut fs, root, &spec).unwrap();
+            let (before, _) = fs.read(img.vmss, 0, spec.memory_bytes as usize, 0).unwrap();
+            diverge_image(&mut fs, &img, &spec, seed, 1.0).unwrap();
+            assert_eq!(
+                fs.size(img.vmss).unwrap(),
+                spec.memory_bytes,
+                "seed {seed}: divergence must never extend the image"
+            );
+            let (after, _) = fs.read(img.vmss, 0, spec.memory_bytes as usize, 0).unwrap();
+            if before[tail_lo..] != after[tail_lo..] {
+                tail_hit = true;
+            }
+        }
+        assert!(tail_hit, "tail region must be eligible for divergence");
+    }
+
+    /// An image smaller than one divergence region still diverges: the
+    /// slot count must not round down to zero.
+    #[test]
+    fn sub_region_image_still_diverges() {
+        let spec = VmImageSpec {
+            memory_bytes: 1 << 20,
+            ..small_spec()
+        };
+        let mut fs = Fs::new(0);
+        let root = fs.root();
+        let img = install_image(&mut fs, root, &spec).unwrap();
+        let (before, _) = fs.read(img.vmss, 0, spec.memory_bytes as usize, 0).unwrap();
+        diverge_image(&mut fs, &img, &spec, 9, 0.02).unwrap();
+        assert_eq!(fs.size(img.vmss).unwrap(), spec.memory_bytes);
+        let (after, _) = fs.read(img.vmss, 0, spec.memory_bytes as usize, 0).unwrap();
+        assert_ne!(before, after, "small image must still diverge");
+    }
+
+    /// Sweep awkward sizes (page-odd tails, exact multiples, sub-region)
+    /// at full divergence: the file length is invariant for every seed.
+    #[test]
+    fn divergence_preserves_image_length_across_boundary_sizes() {
+        // Sizes start above the 64 KB device header install_image lays
+        // down; sub-header images are outside the installer's contract.
+        for memory_bytes in [
+            (1 << 20) + PAGE,
+            DIVERGE_REGION,
+            DIVERGE_REGION + PAGE,
+            (5 << 20) + 3 * PAGE,
+            8 << 20,
+        ] {
+            let spec = VmImageSpec {
+                memory_bytes,
+                ..small_spec()
+            };
+            let mut fs = Fs::new(0);
+            let root = fs.root();
+            let img = install_image(&mut fs, root, &spec).unwrap();
+            for seed in 0..8 {
+                diverge_image(&mut fs, &img, &spec, seed, 1.0).unwrap();
+            }
+            assert_eq!(
+                fs.size(img.vmss).unwrap(),
+                memory_bytes,
+                "{memory_bytes}-byte image changed length under divergence"
+            );
+        }
     }
 
     #[test]

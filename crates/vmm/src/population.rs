@@ -67,6 +67,20 @@ impl ClonePopulation {
         splitmix64(self.seed ^ TAG_DIVERGE ^ (i as u64).wrapping_mul(0x79B9))
     }
 
+    /// Distinct golden images that the first `clones` requests landing
+    /// on `site` will ask for, in ascending image order. Lets a warm-site
+    /// scenario prestage exactly the content its arrivals will need —
+    /// no more — before the arrival clock starts.
+    pub fn images_for_site(&self, site: usize, clones: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..clones)
+            .filter(|&i| self.site_of(i) == site)
+            .map(|i| self.image_of(i))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
     /// Bytes clone `i` dirties right after resume, between 1% and 5% of
     /// `memory_bytes` — the paper's picture of sibling VMs descending
     /// from one install and immediately drifting apart.
@@ -105,6 +119,31 @@ mod tests {
         }
         assert!(images.iter().all(|&n| n > 0), "cold image: {images:?}");
         assert!(sites.iter().all(|&n| n > 0), "cold site: {sites:?}");
+    }
+
+    #[test]
+    fn images_for_site_matches_the_assignment_exactly() {
+        let p = ClonePopulation::new(42, 8, 4);
+        for site in 0..4 {
+            let staged = p.images_for_site(site, 512);
+            // Sorted, deduplicated, and exactly the images requested.
+            assert!(staged.windows(2).all(|w| w[0] < w[1]));
+            for i in 0..512 {
+                if p.site_of(i) == site {
+                    assert!(
+                        staged.contains(&p.image_of(i)),
+                        "site {site} missing image for clone {i}"
+                    );
+                }
+            }
+            for &img in &staged {
+                assert!(
+                    (0..512).any(|i| p.site_of(i) == site && p.image_of(i) == img),
+                    "site {site} staged unused image {img}"
+                );
+            }
+        }
+        assert!(p.images_for_site(0, 0).is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub const RULE_BOUNDED_FANOUT: &str = "bounded-fanout";
 pub const RULE_DEADLINE: &str = "deadline-required";
 pub const RULE_CANONICAL_DIGEST: &str = "canonical-digest";
 pub const RULE_ALLOC_FREE_RECORD: &str = "allocation-free-record";
+pub const RULE_CAS_EVICTION: &str = "cas-eviction";
 /// Meta-rule: malformed or unused waiver comments.
 pub const RULE_WAIVER: &str = "waiver";
 
@@ -32,6 +33,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_DEADLINE,
     RULE_CANONICAL_DIGEST,
     RULE_ALLOC_FREE_RECORD,
+    RULE_CAS_EVICTION,
     RULE_WAIVER,
 ];
 
@@ -101,6 +103,16 @@ fn alloc_free_record_scope(path: &str) -> bool {
     path == "crates/simnet/src/telemetry.rs"
 }
 
+/// Scope of the cas-eviction rule: all gvfs modules except the CAS
+/// itself. Eviction decisions — and the pin check that guards them —
+/// live only in cas.rs: a layer dropping content-store entries directly
+/// can orphan a digest a live reference file still resolves through,
+/// and the `cas.pin_blocked_evictions` counter stays truthful only
+/// while insertion is the sole eviction point.
+fn cas_eviction_scope(path: &str) -> bool {
+    path.starts_with("crates/gvfs/src/") && path != "crates/gvfs/src/cas.rs"
+}
+
 /// Scope of the panic-free-dispatch rule: the four modules on the
 /// untrusted request path (proxy → RPC dispatch → NFS server/kernel).
 fn panic_free_scope(path: &str) -> bool {
@@ -142,6 +154,9 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
     }
     if alloc_free_record_scope(path) {
         rule_alloc_free_record(path, toks, &mask, &mut out);
+    }
+    if cas_eviction_scope(path) {
+        rule_cas_eviction(path, toks, &mask, &mut out);
     }
 
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
@@ -1086,6 +1101,79 @@ fn rule_alloc_free_record(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec
             k += 1;
         }
         i = k + 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 10: cas-eviction
+// ---------------------------------------------------------------------------
+
+/// Entry-dropping methods that, invoked on a content store outside
+/// cas.rs, constitute direct eviction (any `evict*` name is flagged
+/// too).
+const CAS_EVICTION_METHODS: &[&str] = &["remove", "clear", "drain", "retain", "truncate", "pop"];
+
+/// Collect names bound to a `ContentStore` in this file — fields or
+/// locals annotated `name: [&][Arc<]ContentStore`, plus
+/// `let [mut] name = ContentStore::new(..)` bindings — and the
+/// conventional receiver name `cas` itself. Lexical over-approximation
+/// in the style of `hashmap_names`; bridge intentional exceptions with
+/// a waiver.
+fn cas_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    names.insert("cas".to_string());
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("ContentStore") {
+            continue;
+        }
+        // Step back over wrapper generics: `Arc<`, `Option<Arc<`, …
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct("<") && toks[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        if let Some(name) = declared_name_before(toks, j) {
+            names.insert(name);
+        }
+    }
+    names
+}
+
+/// The CAS evicts itself: `ContentStore::insert` is the one eviction
+/// point, behind the pin check. Any other gvfs layer calling an
+/// entry-dropping method on a content store bypasses the pin ledger —
+/// a recipe held by a live reference file could silently lose the bytes
+/// its digests resolve through.
+fn rule_cas_eviction(path: &str, toks: &[Tok], mask: &[bool], out: &mut Vec<Violation>) {
+    let stores = cas_names(toks);
+    for i in 0..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !stores.contains(&t.text) {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct(".")) {
+            continue;
+        }
+        let Some(m) = toks.get(i + 2) else { continue };
+        let evicting = m.kind == TokKind::Ident
+            && (m.text.starts_with("evict") || CAS_EVICTION_METHODS.contains(&m.text.as_str()));
+        if evicting && toks.get(i + 3).is_some_and(|t| t.is_punct("(")) {
+            out.push(Violation {
+                rule: RULE_CAS_EVICTION,
+                file: path.to_string(),
+                line: m.line,
+                col: m.col,
+                message: format!(
+                    "`.{}()` on content store `{}` evicts outside cas.rs; eviction lives \
+                     behind the pin ledger in `ContentStore::insert` — dropping CAS entries \
+                     directly can orphan digests a live reference file still resolves \
+                     through, and blinds `cas.pin_blocked_evictions`",
+                    m.text, t.text
+                ),
+            });
+        }
     }
 }
 

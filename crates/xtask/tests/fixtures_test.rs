@@ -64,6 +64,12 @@ fn cases() -> Vec<(&'static str, &'static str, &'static str, &'static str)> {
             include_str!("fixtures/allocation-free-record/good.rs"),
         ),
         (
+            "cas-eviction",
+            "crates/gvfs/src/fixture.rs",
+            include_str!("fixtures/cas-eviction/bad.rs"),
+            include_str!("fixtures/cas-eviction/good.rs"),
+        ),
+        (
             "waiver",
             "crates/gvfs/src/file_cache.rs",
             include_str!("fixtures/waiver/bad.rs"),

@@ -47,6 +47,7 @@ fn run_with_policy(policy: WritePolicy) -> (f64, f64) {
             transfer: TransferTuning::default(),
             dedup: DedupTuning::default(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         },
         RpcClient::new(server.channel.clone(), cred.clone()),
     )

@@ -54,6 +54,7 @@ fn main() {
             transfer: TransferTuning::default(),
             dedup: DedupTuning::default(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         },
         upstream.clone(),
     )

@@ -64,6 +64,7 @@ fn zero_map_filters_the_large_majority_of_memory_state_reads() {
             cache_bytes: 2 << 30,
             dedup: DedupTuning::default(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         }),
         None,
     );
@@ -150,6 +151,7 @@ fn pipelined_readahead_never_duplicates_upstream_reads() {
             cache_bytes: 1 << 30,
             dedup: DedupTuning::default(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         }),
         None,
     );
@@ -210,6 +212,7 @@ fn end_to_end_byte_integrity_survives_cache_invalidation() {
             cache_bytes: 1 << 30,
             dedup: DedupTuning::default(),
             fleet: gvfs::FleetTuning::off(),
+            cow: gvfs::CowTuning::off(),
         }),
         None,
     );
