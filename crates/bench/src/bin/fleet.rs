@@ -16,14 +16,21 @@
 //! The default run writes `reports/fleet.json`; the report is a pure
 //! function of the seeds, so CI replays it and compares bytes (including
 //! under `--sched-chaos`). `--bench` instead measures host throughput
-//! (a 1000-process engine churn plus a smoke fleet run) and appends to
-//! the committed `BENCH_fleet.json` trajectory (schema
-//! `gvfs.fleet-perf.v1`, checked by `perf --validate`).
+//! (a 1000-process engine churn, a smoke fleet run, and the 10,240-clone
+//! `fleet_10k` scenario) and appends to the committed `BENCH_fleet.json`
+//! trajectory (schema `gvfs.fleet-perf.v1`, checked by `perf
+//! --validate`); it requires an explicit per-PR `--label`.
+//!
+//! `--ten-k` runs the diurnal 10,240-clone / 16-site / 4-region fleet
+//! twice — digest gossip on and off — writes `reports/fleet10k.json`,
+//! and enforces the scenario's two contracts via the exit code: gossip
+//! must cut cold-region WAN-down bytes by at least 40%, and each lane
+//! must finish inside the printed wall-clock budget.
 
 use gvfs::{CowTuning, DedupTuning, FleetTuning};
 use gvfs_bench::fleet::{run_fleet, ArrivalMode, FleetParams, FleetResult};
 use gvfs_bench::perfjson::{
-    append_trajectory, get, measure, rpc_roundtrips, sim_bytes, Measure, FLEET_SCHEMA,
+    append_trajectory, get, measure, rpc_roundtrips, sim_bytes, wall_time, Measure, FLEET_SCHEMA,
 };
 use gvfs_bench::report::{render_table, scenario_report, write_report};
 use simnet::{Env, JsonValue, SimDuration, Simulation};
@@ -38,7 +45,8 @@ struct Cli {
     bench: bool,
     bench_json: String,
     runs: usize,
-    label: String,
+    label: Option<String>,
+    ten_k: bool,
 }
 
 fn usage(err: &str) -> ! {
@@ -46,7 +54,7 @@ fn usage(err: &str) -> ! {
         eprintln!("fleet: {err}");
     }
     eprintln!(
-        "usage: fleet [--smoke] [--json PATH] [--no-json] [--trace] [--seed N] [--rate R]\n             [--clones N] [--sched-chaos SEED]\n       fleet --bench [--runs N] [--label NAME] [--bench-json PATH]"
+        "usage: fleet [--smoke] [--json PATH] [--no-json] [--trace] [--seed N] [--rate R]\n             [--clones N] [--sched-chaos SEED]\n       fleet --ten-k [--clones N] [--seed N] [--json PATH] [--no-json]\n       fleet --bench --label NAME [--runs N] [--bench-json PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -62,7 +70,8 @@ fn parse_cli() -> Cli {
         bench: false,
         bench_json: "BENCH_fleet.json".to_string(),
         runs: 2,
-        label: "dev".to_string(),
+        label: None,
+        ten_k: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -71,6 +80,7 @@ fn parse_cli() -> Cli {
             "--trace" => cli.trace = true,
             "--no-json" => cli.json_path = None,
             "--bench" => cli.bench = true,
+            "--ten-k" => cli.ten_k = true,
             "--json" => {
                 cli.json_path = Some(
                     args.next()
@@ -110,9 +120,10 @@ fn parse_cli() -> Cli {
                     .unwrap_or_else(|| usage("--runs requires a positive integer"))
             }
             "--label" => {
-                cli.label = args
-                    .next()
-                    .unwrap_or_else(|| usage("--label requires a value"))
+                cli.label = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--label requires a value")),
+                )
             }
             "--sched-chaos" => {
                 let seed: u64 = args
@@ -206,13 +217,38 @@ fn fleet_smoke() -> Measure {
     }
 }
 
+/// The full 10,240-clone diurnal fleet with gossip on — the scenario the
+/// `--ten-k` report mode gates on, measured here for the trajectory.
+/// Single run: one lane takes minutes of wall time, and the report is a
+/// pure function of the seed anyway.
+fn fleet_10k() -> Measure {
+    let r = run_fleet(&FleetParams::ten_k());
+    Measure {
+        events: r.events_processed,
+        rpc_roundtrips: rpc_roundtrips(&r.snapshot),
+        sim_bytes: sim_bytes(&r.snapshot),
+        virtual_secs: r.total_virtual_secs,
+        procs: r.processes_spawned,
+    }
+}
+
 fn run_bench(cli: &Cli) {
     if cli.runs == 0 {
         usage("--runs must be >= 1");
     }
+    // Trajectory hygiene: entries carry a per-PR label ("pr8-batched",
+    // "pr10-wheel", ...) so the history reads as a sequence of changes;
+    // `perf --validate` rejects "dev" and duplicates, so demand one up
+    // front rather than writing an entry that fails validation.
+    let label = cli.label.clone().unwrap_or_else(|| {
+        usage("--bench requires --label NAME (a per-PR label like \"pr10-wheel\")")
+    });
     let scenarios = vec![
         measure("churn_1000", cli.runs, churn_1000),
         measure("fleet_smoke", cli.runs, fleet_smoke),
+        // fleet_10k is an *extra* scenario (not in FLEET_SCENARIOS), so
+        // entries from before this scenario existed still validate.
+        measure("fleet_10k", 1, fleet_10k),
     ];
     for s in &scenarios {
         let name = match get(s, "name") {
@@ -233,7 +269,7 @@ fn run_bench(cli: &Cli) {
         );
     }
     let entry = JsonValue::object([
-        ("label", JsonValue::Str(cli.label.clone())),
+        ("label", JsonValue::Str(label)),
         ("mode", JsonValue::Str("bench".to_string())),
         ("runs", JsonValue::Uint(cli.runs as u64)),
         ("scenarios", JsonValue::Array(scenarios)),
@@ -241,10 +277,169 @@ fn run_bench(cli: &Cli) {
     append_trajectory(&cli.bench_json, FLEET_SCHEMA, entry);
 }
 
+/// Wall-clock budget for one 10,240-clone lane on the CI host. The
+/// budget is part of the scenario's contract — a run that no longer
+/// fits means the engine or the fleet wiring regressed — and is printed
+/// alongside the measured wall time so the report shows the headroom.
+const TEN_K_WALL_BUDGET_SECS: f64 = 300.0;
+
+/// Minimum WAN-down-bytes reduction digest gossip must buy over the
+/// gossip-off ablation on the identical arrival schedule. Cold golden
+/// chunks should cross the WAN roughly once per 4-site *region* instead
+/// of once per site, so well over half the cold bytes are avoidable;
+/// 40% leaves slack for chunks that arrive before gossip propagates.
+const TEN_K_WAN_REDUCTION_PCT: f64 = 40.0;
+
+/// The ten-k report slice: the standard fleet body plus a `wan` object
+/// with the absolute byte counts the gossip gate is computed from.
+/// (Kept out of `fleet_json` so `reports/fleet.json` stays byte-stable.)
+fn ten_k_json(label: &str, r: &FleetResult, sites: usize) -> JsonValue {
+    let base = fleet_json(label, r);
+    let JsonValue::Object(mut fields) = base else {
+        unreachable!("fleet_json returns an object");
+    };
+    fields.push((
+        "wan".to_string(),
+        JsonValue::object([
+            ("down_bytes", JsonValue::Uint(r.wan_down_bytes)),
+            (
+                "down_bytes_per_site",
+                JsonValue::Uint(r.wan_down_bytes / sites.max(1) as u64),
+            ),
+            ("gossip_peer_hits", JsonValue::Uint(r.gossip_peer_hits)),
+            ("gossip_peer_bytes", JsonValue::Uint(r.gossip_peer_bytes)),
+        ]),
+    ));
+    JsonValue::Object(fields)
+}
+
+/// The 10,240-clone scenario: gossip-off ablation and gossip-on lane on
+/// the identical diurnal arrival schedule, gated on WAN reduction and
+/// wall-clock budget.
+fn run_ten_k(cli: &Cli) {
+    let mut base = FleetParams::ten_k();
+    if let Some(seed) = cli.seed {
+        base.seed = seed;
+    }
+    if let Some(rate) = cli.rate {
+        base.rate_per_sec = rate;
+    }
+    if let Some(clones) = cli.clones {
+        base.clones = clones;
+    }
+    base.trace = cli.trace;
+
+    // Ablation first: same params, gossip disabled (PR 8/9 shard tuning).
+    let lanes: Vec<(&str, FleetParams)> = vec![
+        (
+            "fleet10k-nogossip",
+            FleetParams {
+                fleet: FleetTuning::shard(),
+                ..base
+            },
+        ),
+        ("fleet10k-gossip", base),
+    ];
+
+    let mut rows = Vec::new();
+    let mut report = Vec::new();
+    let mut results: Vec<(&str, FleetResult, f64)> = Vec::new();
+    for (label, params) in lanes {
+        eprintln!(
+            "fleet: {label} ({} clones, {} sites / {} regions, seed {:#x})...",
+            params.clones, params.sites, params.regions, params.seed
+        );
+        let (r, wall) = wall_time(|| run_fleet(&params));
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", r.latency.count),
+            format!("{:.2}", r.latency.p50_secs),
+            format!("{:.2}", r.latency.p95_secs),
+            format!("{:.2}", r.latency.p99_secs),
+            format!("{:.1}", r.wan_down_bytes as f64 / (1u64 << 20) as f64),
+            format!(
+                "{:.1}",
+                r.wan_down_bytes as f64 / params.sites.max(1) as f64 / (1u64 << 20) as f64
+            ),
+            format!("{}", r.gossip_peer_hits),
+            format!("{:.1}s", wall),
+        ]);
+        report.push(ten_k_json(label, &r, params.sites));
+        results.push((label, r, wall));
+    }
+
+    println!(
+        "\n10k fleet ({} clones, {} sites, {} regions, {} users, diurnal peak {}/s):\n",
+        base.clones, base.sites, base.regions, base.users, base.rate_per_sec
+    );
+    print!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "clones",
+                "p50 s",
+                "p95 s",
+                "p99 s",
+                "wan MiB",
+                "MiB/site",
+                "peer hits",
+                "wall"
+            ],
+            &rows
+        )
+    );
+
+    let mut failed = false;
+    let (off, on) = (&results[0], &results[1]);
+    if off.1.wan_down_bytes > 0 {
+        let lower = (1.0 - on.1.wan_down_bytes as f64 / off.1.wan_down_bytes as f64) * 100.0;
+        println!(
+            "\nwan-down bytes: {} with gossip vs {} without ({lower:.0}% lower; gate >= {TEN_K_WAN_REDUCTION_PCT:.0}%)",
+            on.1.wan_down_bytes, off.1.wan_down_bytes
+        );
+        println!(
+            "gossip served {} peer fetches ({} bytes) inside regions",
+            on.1.gossip_peer_hits, on.1.gossip_peer_bytes
+        );
+        if lower < TEN_K_WAN_REDUCTION_PCT {
+            eprintln!(
+                "fleet: FAIL — gossip WAN reduction {lower:.0}% below the {TEN_K_WAN_REDUCTION_PCT:.0}% gate"
+            );
+            failed = true;
+        }
+    }
+    for (label, _, wall) in &results {
+        println!("{label}: {wall:.1}s wall (budget {TEN_K_WALL_BUDGET_SECS:.0}s)");
+        if *wall > TEN_K_WALL_BUDGET_SECS {
+            eprintln!(
+                "fleet: FAIL — {label} exceeded the {TEN_K_WALL_BUDGET_SECS:.0}s wall budget"
+            );
+            failed = true;
+        }
+    }
+
+    if let Some(path) = &cli.json_path {
+        write_report(std::path::Path::new(path), "fleet10k", report);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let cli = parse_cli();
+    let mut cli = parse_cli();
     if cli.bench {
         run_bench(&cli);
+        return;
+    }
+    if cli.ten_k {
+        // The ten-k report gets its own file unless --json overrode the
+        // default, so the 512-clone report CI byte-compares is untouched.
+        if cli.json_path.as_deref() == Some("reports/fleet.json") {
+            cli.json_path = Some("reports/fleet10k.json".to_string());
+        }
+        run_ten_k(&cli);
         return;
     }
 

@@ -225,9 +225,23 @@ pub fn validate(doc: &JsonValue) -> Vec<String> {
     if entries.is_empty() {
         errs.push("trajectory must not be empty".to_string());
     }
+    let mut labels: Vec<&str> = Vec::new();
     for (i, entry) in entries.iter().enumerate() {
-        if !matches!(get(entry, "label"), Some(JsonValue::Str(_))) {
-            errs.push(format!("entry #{i}: missing string label"));
+        match get(entry, "label") {
+            Some(JsonValue::Str(l)) => {
+                // Trajectory hygiene: entries are per-PR snapshots, so a
+                // placeholder label ("dev", empty) or a reused one makes
+                // the trajectory unreadable as history.
+                if l.is_empty() || l == "dev" {
+                    errs.push(format!(
+                        "entry #{i}: unlabeled (\"{l}\") — use a per-PR label like \"pr8-batched\""
+                    ));
+                } else if labels.contains(&l.as_str()) {
+                    errs.push(format!("entry #{i}: duplicate label \"{l}\""));
+                }
+                labels.push(l);
+            }
+            _ => errs.push(format!("entry #{i}: missing string label")),
         }
         if !matches!(get(entry, "mode"), Some(JsonValue::Str(_))) {
             errs.push(format!("entry #{i}: missing string mode"));

@@ -33,6 +33,10 @@ use crate::transfer::{run_windowed, TransferTel};
 /// meta parser's bound: 16 M records ≈ 16 TB at 1 MB chunks).
 const MAX_RECIPE_RECORDS: u64 = 1 << 24;
 
+/// Cap on the bytes a client will materialize from one recipe's `total`
+/// (the same 16 TB ceiling the records bound implies at 1 MB chunks).
+const MAX_RECIPE_BYTES: u64 = 1 << 44;
+
 /// RPC program number for the GVFS file channel (private range).
 pub const CHANNEL_PROGRAM: u32 = 400_100;
 /// Program version.
@@ -66,6 +70,57 @@ pub mod chanproc {
     /// envelope; shard proxies in a fleet cloning run coalesce adjacent
     /// `FETCH_BLOBS` misses into this.
     pub const FETCH_BLOBS_BATCH: u32 = 7;
+    /// Intra-region anti-entropy between sibling shard proxies: the
+    /// caller pushes a bounded delta of blob digests it newly holds and
+    /// the reply carries the receiver's own delta (tracked by a
+    /// per-sender cursor). Proxy-to-proxy only — the origin has no
+    /// digest-keyed reply cache and answers `ProcUnavail`.
+    pub const GOSSIP_DIGESTS: u32 = 8;
+    /// Peer-to-peer blob fetch between sibling shard proxies. Args are
+    /// the `FETCH_BLOBS` wire format; the receiver serves *only* from
+    /// its local digest-keyed reply cache (never forwards upstream, so
+    /// two shards can never ping-pong a miss) and fails the call on a
+    /// local miss. The reply is a `FETCH_BLOBS` reply, so the caller's
+    /// digest verification applies unchanged.
+    pub const FETCH_BLOBS_PEER: u32 = 9;
+}
+
+/// Cap on digests per [`chanproc::GOSSIP_DIGESTS`] message in either
+/// direction, enforced by the bounded decoder below (lint:
+/// bounded-decode). [`FleetTuning::gossip_batch`](crate::FleetTuning)
+/// must stay at or below this.
+pub const MAX_GOSSIP_DIGESTS: usize = 1024;
+
+/// Encode a gossip message: sender shard id + digest delta. Used for
+/// both the call args and the reply body (the reply's "sender" is the
+/// replying shard).
+pub fn encode_gossip(sender: u32, digests: &[Digest]) -> Vec<u8> {
+    debug_assert!(digests.len() <= MAX_GOSSIP_DIGESTS);
+    let mut enc = Encoder::new();
+    enc.put_u32(sender);
+    enc.put_u32(digests.len() as u32);
+    for d in digests {
+        enc.put_u64(d.0);
+        enc.put_u64(d.1);
+    }
+    enc.into_bytes()
+}
+
+/// Decode a gossip message, rejecting counts beyond
+/// [`MAX_GOSSIP_DIGESTS`] *before* allocating (a hostile length prefix
+/// must not size an allocation — the bounded-decode rule all channel
+/// procs follow).
+pub fn decode_gossip(bytes: &[u8]) -> Option<(u32, Vec<Digest>)> {
+    let mut dec = Decoder::new(bytes);
+    let sender = dec.get_u32().ok()?;
+    let n = dec.get_u32().ok()? as usize;
+    let mut digests: Vec<Digest> = xdr::bounded_alloc(n, MAX_GOSSIP_DIGESTS).ok()?;
+    for _ in 0..n {
+        let d0 = dec.get_u64().ok()?;
+        let d1 = dec.get_u64().ok()?;
+        digests.push(Digest(d0, d1));
+    }
+    Some((sender, digests))
 }
 
 /// Channel status codes.
@@ -422,7 +477,13 @@ impl RpcProgram for FileChannelServer {
                     };
                     let now = env.now().as_nanos();
                     let nchunks = size.div_ceil(chunk_bytes as u64);
-                    let mut records = Vec::with_capacity(nchunks as usize);
+                    // `nchunks` is server-derived, but the client caps
+                    // the records it will decode at the same bound, so
+                    // refuse here instead of encoding a reply the peer
+                    // must reject.
+                    let mut records =
+                        xdr::bounded_alloc(nchunks as usize, MAX_RECIPE_RECORDS as usize)
+                            .map_err(|_| ProgramError::GarbageArgs)?;
                     let mut fail = None;
                     for c in 0..nchunks {
                         let off = c * chunk_bytes as u64;
@@ -469,7 +530,8 @@ impl RpcProgram for FileChannelServer {
             chanproc::FETCH_BLOBS_BATCH => {
                 let items =
                     oncrpc::batch::decode_batch(args).map_err(|_| ProgramError::GarbageArgs)?;
-                let mut replies = Vec::with_capacity(items.len());
+                let mut replies = xdr::bounded_alloc(items.len(), oncrpc::batch::MAX_BATCH_ITEMS)
+                    .map_err(|_| ProgramError::GarbageArgs)?;
                 // A recipe-ordered envelope asks for *adjacent* file
                 // ranges: the platter crosses them in one pass, so only
                 // the first record of each contiguous span pays the
@@ -959,7 +1021,8 @@ impl ChannelClient {
         }
         let mut groups: Vec<(u64, u32, Digest)> = Vec::new();
         let mut group_of: BTreeMap<Digest, usize> = BTreeMap::new();
-        let mut plan = Vec::with_capacity(recipe.records.len());
+        let mut plan = xdr::bounded_alloc(recipe.records.len(), MAX_RECIPE_RECORDS as usize)
+            .map_err(|_| ChannelError::Decode)?;
         let mut off = 0u64;
         for (d, l) in &recipe.records {
             if let Some(bytes) = cas.get(d) {
@@ -998,7 +1061,8 @@ impl ChannelClient {
                 tel,
                 move |env, wants| Some(me.fetch_blobs_batch(env, h, &wants)),
             );
-            let mut flat = Vec::with_capacity(groups.len());
+            let mut flat = xdr::bounded_alloc(groups.len(), MAX_RECIPE_RECORDS as usize)
+                .map_err(|_| ChannelError::Decode)?;
             for round in rounds {
                 match round {
                     Some(Ok(items)) => flat.extend(items.into_iter().map(Some)),
@@ -1020,7 +1084,9 @@ impl ChannelClient {
                 move |env, (off, len, d)| Some(me.fetch_blob(env, h, off, len, d)),
             )
         };
-        let mut fetched: Vec<Vec<u8>> = Vec::with_capacity(groups.len());
+        let mut fetched: Vec<Vec<u8>> =
+            xdr::bounded_alloc(groups.len(), MAX_RECIPE_RECORDS as usize)
+                .map_err(|_| ChannelError::Decode)?;
         let mut wire = 0u64;
         let mut fresh_bytes = 0u64;
         for slot in slots {
@@ -1036,7 +1102,8 @@ impl ChannelClient {
                 None => return Err(ChannelError::Decode),
             }
         }
-        let mut contents = Vec::with_capacity(recipe.total as usize);
+        let mut contents = xdr::bounded_alloc(recipe.total as usize, MAX_RECIPE_BYTES as usize)
+            .map_err(|_| ChannelError::Decode)?;
         for slot in plan {
             match slot {
                 Slot::Local(bytes) => contents.extend_from_slice(&bytes),
@@ -1090,7 +1157,9 @@ impl ChannelClient {
             return Err(ChannelError::Decode);
         }
         // Pins taken so far, released in bulk if anything goes wrong.
-        let mut pins: Vec<Digest> = Vec::with_capacity(recipe.records.len());
+        let mut pins: Vec<Digest> =
+            xdr::bounded_alloc(recipe.records.len(), MAX_RECIPE_RECORDS as usize)
+                .map_err(|_| ChannelError::Decode)?;
         let unwind = |pins: &[Digest]| {
             for d in pins {
                 cas.unpin(d);
@@ -1134,7 +1203,8 @@ impl ChannelClient {
                 tel,
                 move |env, wants| Some(me.fetch_blobs_batch(env, h, &wants)),
             );
-            let mut flat = Vec::with_capacity(groups.len());
+            let mut flat = xdr::bounded_alloc(groups.len(), MAX_RECIPE_RECORDS as usize)
+                .map_err(|_| ChannelError::Decode)?;
             for round in rounds {
                 match round {
                     Some(Ok(items)) => flat.extend(items.into_iter().map(Some)),

@@ -50,6 +50,22 @@ pub struct FleetTuning {
     /// under a sustained upstream outage bounded memory wins over
     /// durability of the oldest parked divergence bytes.
     pub wb_queue_cap: usize,
+    /// Intra-region digest gossip: sibling shard proxies periodically
+    /// exchange inventories of the blob digests they hold (seeded
+    /// anti-entropy rounds over the LAN) and serve each other's blob
+    /// misses peer-to-peer before falling back to the WAN. A cold golden
+    /// image then crosses the WAN once per *region* instead of once per
+    /// site. Requires dedup (the digest-keyed reply cache is both the
+    /// inventory being gossiped and the store peer fetches serve from).
+    pub gossip: bool,
+    /// Virtual-time period between one shard's anti-entropy rounds
+    /// (each round pushes the local inventory delta to one peer,
+    /// round-robin, and pulls that peer's delta back).
+    pub gossip_interval: SimDuration,
+    /// Maximum digests carried per gossip message in either direction.
+    /// Bounds the decode cost (lint: bounded-decode) and the LAN burst;
+    /// a backlog simply drains over successive rounds.
+    pub gossip_batch: usize,
 }
 
 impl FleetTuning {
@@ -61,18 +77,40 @@ impl FleetTuning {
             max_batch: 1,
             batch_window: SimDuration::ZERO,
             wb_queue_cap: 0,
+            gossip: false,
+            gossip_interval: SimDuration::ZERO,
+            gossip_batch: 0,
         }
     }
 
     /// Batching preset for a shard proxy in a fleet run: up to 32 chunks
     /// per envelope, 2 ms collection window (a fraction of the WAN
     /// round-trip it saves), write-back queue capped at 4096 blocks.
+    /// Gossip stays off — this is the PR 8/9 configuration, kept
+    /// byte-for-byte so the committed fleet reports do not move.
     pub fn shard() -> Self {
         FleetTuning {
             batch_fetch: true,
             max_batch: 32,
             batch_window: SimDuration::from_millis(2),
             wb_queue_cap: 4096,
+            gossip: false,
+            gossip_interval: SimDuration::ZERO,
+            gossip_batch: 0,
+        }
+    }
+
+    /// [`FleetTuning::shard`] plus intra-region digest gossip: 100 ms
+    /// anti-entropy period (tens of rounds inside one cold cloning
+    /// wave), 512 digests per message (64 KiB chunks × 512 ≈ one golden
+    /// image's working set crosses the inventory channel in a handful of
+    /// rounds).
+    pub fn region() -> Self {
+        FleetTuning {
+            gossip: true,
+            gossip_interval: SimDuration::from_millis(100),
+            gossip_batch: 512,
+            ..FleetTuning::shard()
         }
     }
 
@@ -109,5 +147,23 @@ mod tests {
         assert!(t.max_batch <= oncrpc::MAX_BATCH_ITEMS);
         assert!(t.batch_window > SimDuration::ZERO);
         assert!(t.wb_queue_cap > 0);
+        // The committed PR 8/9 fleet reports were produced under this
+        // preset; gossip must stay out of it.
+        assert!(!t.gossip);
+    }
+
+    #[test]
+    fn region_preset_is_shard_plus_gossip() {
+        let r = FleetTuning::region();
+        let s = FleetTuning::shard();
+        assert!(r.gossip);
+        assert!(r.gossip_interval > SimDuration::ZERO);
+        assert!(r.gossip_batch > 0);
+        // Everything that is not gossip matches the shard preset, so a
+        // gossip-ablation diff isolates exactly the gossip effect.
+        assert_eq!(
+            (r.batch_fetch, r.max_batch, r.batch_window, r.wb_queue_cap),
+            (s.batch_fetch, s.max_batch, s.batch_window, s.wb_queue_cap)
+        );
     }
 }

@@ -47,7 +47,8 @@ pub mod transfer;
 pub use block_cache::{BlockCache, BlockCacheConfig, BlockCacheStats, Tag, WritePolicy};
 pub use cas::{ContentStore, DedupTel, DedupTuning};
 pub use channel::{
-    ChannelClient, DedupFetch, FileChannelServer, PinnedRecipe, CHANNEL_PROGRAM, CHANNEL_V1,
+    decode_gossip, encode_gossip, ChannelClient, DedupFetch, FileChannelServer, PinnedRecipe,
+    CHANNEL_PROGRAM, CHANNEL_V1, MAX_GOSSIP_DIGESTS,
 };
 pub use codec::CodecModel;
 pub use digest::Digest;

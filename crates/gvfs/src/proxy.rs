@@ -49,7 +49,10 @@ use nfs3::proto::{
 
 use crate::block_cache::{BlockCache, Tag, WritePolicy};
 use crate::cas::{ContentStore, DedupTel, DedupTuning};
-use crate::channel::{chanproc, ChannelClient, CHANNEL_PROGRAM, CHANNEL_V1};
+use crate::channel::{
+    chanproc, decode_gossip, encode_gossip, ChannelClient, CHANNEL_PROGRAM, CHANNEL_V1,
+    MAX_GOSSIP_DIGESTS,
+};
 use crate::codec::{self, CodecModel};
 use crate::digest::{self, Digest};
 use crate::file_cache::{CowTuning, FileCache, FileKey};
@@ -429,6 +432,21 @@ struct ProxyState {
     /// the upstream link once, for that very requester); later sharers
     /// count normally.
     batch_uncounted: BTreeSet<Digest>,
+    /// Append-only log of blob digests this proxy has cached, in cache
+    /// order (gossip only). Anti-entropy rounds push bounded deltas of
+    /// this log to each peer, tracked by per-peer cursors — entries are
+    /// 16 bytes, so even a 10k-clone run's log stays tiny relative to
+    /// the payload cache it indexes.
+    gossip_log: Vec<Digest>,
+    /// Per-peer cursor into `gossip_log` for the *reply* direction of
+    /// anti-entropy: how much of our log the named peer has already been
+    /// told in our `GOSSIP_DIGESTS` replies. BTreeMap: determinism lint.
+    gossip_reply_cursor: BTreeMap<u32, usize>,
+    /// What we believe each sibling shard holds, learned from gossip
+    /// (push messages and pull replies). Advisory only: a peer may have
+    /// evicted an advertised digest, in which case the peer fetch fails
+    /// and the miss falls back upstream. BTreeMap: determinism lint.
+    peer_digests: BTreeMap<u32, BTreeSet<Digest>>,
 }
 
 /// Write-back queue back-pressure policy (satellite of the fleet work):
@@ -469,6 +487,43 @@ fn park_wb_entry(st: &mut ProxyState, wb_queued: &Counter, wb: &WbPolicy, tag: T
     }
 }
 
+/// Peer wiring for intra-region digest gossip, set once by middleware
+/// via [`Proxy::set_gossip_peers`] after the sibling shards' channels
+/// exist.
+struct GossipPeers {
+    /// This shard's id as it appears in gossip messages.
+    my_id: u32,
+    /// Sibling shards in the same region: `(shard id, LAN client)`.
+    peers: Vec<(u32, RpcClient)>,
+    /// Round-robin index of the next anti-entropy target.
+    next: usize,
+    /// Per-peer cursor into our `gossip_log` for the *push* direction:
+    /// how much of our log we have successfully pushed to each peer.
+    /// Advances only on a successful round, so a lost message is simply
+    /// retransmitted next period. BTreeMap: determinism lint.
+    sent_cursor: BTreeMap<u32, usize>,
+}
+
+/// Gossip runtime state + telemetry (present iff `cfg.fleet.gossip` and
+/// dedup are both on; registration is gated exactly like the other
+/// fleet counters so gossip-off snapshots stay byte-identical).
+struct GossipCtl {
+    peers: Mutex<GossipPeers>,
+    /// Anti-entropy rounds this shard initiated.
+    rounds: Counter,
+    /// Digests learned about peers (both directions).
+    digests_learned: Counter,
+    /// Blob misses served by a sibling shard instead of the WAN.
+    peer_hits: Counter,
+    /// Logical chunk bytes those peer serves carried (WAN bytes saved).
+    peer_bytes: Counter,
+    /// Peer fetches that failed (stale advertisement / lost message);
+    /// the miss falls back to the normal upstream path.
+    peer_misses: Counter,
+    /// Blob requests this shard served *to* siblings.
+    peer_served: Counter,
+}
+
 /// A GVFS proxy instance. Implements [`RpcHandler`], so it plugs directly
 /// into an [`oncrpc::Listener`].
 pub struct Proxy {
@@ -502,6 +557,9 @@ pub struct Proxy {
     /// Sub-calls those envelopes carried (`items / batches` = achieved
     /// coalescing factor).
     fleet_batched_items: Option<Counter>,
+    /// Intra-region digest gossip runtime (present iff `cfg.fleet.gossip`
+    /// and dedup are both enabled).
+    gossip: Option<GossipCtl>,
     /// Channel fetches installed as reference files (registered only
     /// when the cow knob is active, i.e. cow *and* dedup enabled).
     cow_installs: Option<Counter>,
@@ -665,6 +723,36 @@ impl Proxy {
             tel.registry
                 .counter("gvfs", format!("{}.fleet.batched_items", tel.inst))
         });
+        // Gossip needs the digest-keyed reply cache both as the
+        // inventory being advertised and as the store peer fetches are
+        // served from, so it is inert without dedup (same dependency as
+        // batching); the counters register only when it is live.
+        let gossip = (cfg.fleet.gossip && cfg.dedup.enabled).then(|| GossipCtl {
+            peers: Mutex::new(GossipPeers {
+                my_id: 0,
+                peers: Vec::new(),
+                next: 0,
+                sent_cursor: BTreeMap::new(),
+            }),
+            rounds: tel
+                .registry
+                .counter("gvfs", format!("{}.gossip.rounds", tel.inst)),
+            digests_learned: tel
+                .registry
+                .counter("gvfs", format!("{}.gossip.digests_learned", tel.inst)),
+            peer_hits: tel
+                .registry
+                .counter("gvfs", format!("{}.gossip.peer_hits", tel.inst)),
+            peer_bytes: tel
+                .registry
+                .counter("gvfs", format!("{}.gossip.peer_bytes", tel.inst)),
+            peer_misses: tel
+                .registry
+                .counter("gvfs", format!("{}.gossip.peer_misses", tel.inst)),
+            peer_served: tel
+                .registry
+                .counter("gvfs", format!("{}.gossip.peer_served", tel.inst)),
+        });
         Proxy {
             cfg,
             upstream,
@@ -681,6 +769,7 @@ impl Proxy {
             wb,
             fleet_batches,
             fleet_batched_items,
+            gossip,
             cow_installs,
             cow_pin_blocked,
             state: Arc::new(Mutex::new(ProxyState {
@@ -701,6 +790,9 @@ impl Proxy {
                 batch_pending: Vec::new(),
                 batch_open: false,
                 batch_uncounted: BTreeSet::new(),
+                gossip_log: Vec::new(),
+                gossip_reply_cursor: BTreeMap::new(),
+                peer_digests: BTreeMap::new(),
             })),
         }
     }
@@ -2334,6 +2426,204 @@ impl Proxy {
         report
     }
 
+    // -- intra-region digest gossip -------------------------------------------
+
+    /// Wire this shard to its region siblings: `my_id` is the id it
+    /// signs gossip messages with, `peers` the sibling shards' LAN
+    /// clients. No-op unless the proxy was built with
+    /// `FleetTuning::gossip` (and dedup) on. Called once by middleware
+    /// after all the region's channels exist.
+    pub fn set_gossip_peers(&self, my_id: u32, peers: Vec<(u32, RpcClient)>) {
+        if let Some(g) = &self.gossip {
+            let mut p = g.peers.lock();
+            p.my_id = my_id;
+            p.peers = peers;
+            p.next = 0;
+            p.sent_cursor.clear();
+        }
+    }
+
+    /// One anti-entropy round: push a bounded delta of our digest log to
+    /// the next peer (round-robin) and merge the delta its reply
+    /// carries. The push cursor advances only on success, so a round
+    /// lost to the LAN is simply retransmitted next period — the log is
+    /// append-only and deltas are idempotent set-unions, which is the
+    /// whole convergence argument. Driven by a per-shard middleware
+    /// process on [`FleetTuning::gossip_interval`].
+    pub fn gossip_round(&self, env: &Env) {
+        let Some(g) = &self.gossip else { return };
+        let batch = self.cfg.fleet.gossip_batch.clamp(1, MAX_GOSSIP_DIGESTS);
+        // Lock order: never hold the peer table and the proxy state at
+        // once (the state lock is taken inside RPC handlers that a
+        // concurrent sibling round may be driving into us right now).
+        let (my_id, peer_id, client, sent) = {
+            let mut p = g.peers.lock();
+            if p.peers.is_empty() {
+                return;
+            }
+            let idx = p.next % p.peers.len();
+            p.next = idx + 1;
+            let (pid, client) = p.peers[idx].clone();
+            let sent = *p.sent_cursor.get(&pid).unwrap_or(&0);
+            (p.my_id, pid, client, sent)
+        };
+        let (delta, end) = {
+            let st = self.state.lock();
+            let start = sent.min(st.gossip_log.len());
+            let end = (start + batch).min(st.gossip_log.len());
+            (st.gossip_log[start..end].to_vec(), end)
+        };
+        g.rounds.inc();
+        let args = encode_gossip(my_id, &delta);
+        let Ok(results) = client.call_dl(
+            env,
+            CHANNEL_PROGRAM,
+            CHANNEL_V1,
+            chanproc::GOSSIP_DIGESTS,
+            &args,
+        ) else {
+            return;
+        };
+        let Some((sender, digests)) = decode_gossip(&results) else {
+            return;
+        };
+        {
+            let mut st = self.state.lock();
+            let inv = st.peer_digests.entry(sender).or_default();
+            let mut learned = 0u64;
+            for d in digests {
+                if inv.insert(d) {
+                    learned += 1;
+                }
+            }
+            g.digests_learned.add(learned);
+        }
+        g.peers.lock().sent_cursor.insert(peer_id, end);
+    }
+
+    /// Serve a sibling's push: merge the digests it advertises, reply
+    /// with our own bounded delta (per-sender cursor, so successive
+    /// pushes from the same peer page through our whole log).
+    fn handle_gossip_digests(&self, xid: u32, args: &[u8]) -> RpcMessage {
+        let Some(g) = &self.gossip else {
+            return RpcMessage::accept_error(xid, AcceptStat::ProcUnavail);
+        };
+        let Some((sender, digests)) = decode_gossip(args) else {
+            return RpcMessage::accept_error(xid, AcceptStat::GarbageArgs);
+        };
+        let batch = self.cfg.fleet.gossip_batch.clamp(1, MAX_GOSSIP_DIGESTS);
+        let my_id = g.peers.lock().my_id;
+        let delta = {
+            let mut st = self.state.lock();
+            let inv = st.peer_digests.entry(sender).or_default();
+            let mut learned = 0u64;
+            for d in digests {
+                if inv.insert(d) {
+                    learned += 1;
+                }
+            }
+            g.digests_learned.add(learned);
+            let start =
+                (*st.gossip_reply_cursor.get(&sender).unwrap_or(&0)).min(st.gossip_log.len());
+            let end = (start + batch).min(st.gossip_log.len());
+            st.gossip_reply_cursor.insert(sender, end);
+            st.gossip_log[start..end].to_vec()
+        };
+        RpcMessage::success(xid, encode_gossip(my_id, &delta))
+    }
+
+    /// Serve a sibling shard's blob fetch from the local digest-keyed
+    /// reply cache — and *only* from it. A local miss fails the call
+    /// rather than forwarding upstream: the requester owns the fallback,
+    /// so two shards can never ping-pong or double-fetch a miss.
+    fn handle_channel_blob_peer(&self, env: &Env, xid: u32, args: &[u8]) -> RpcMessage {
+        let Some(g) = &self.gossip else {
+            return RpcMessage::accept_error(xid, AcceptStat::ProcUnavail);
+        };
+        let want = {
+            let mut dec = Decoder::new(args);
+            match (
+                Fh3::decode(&mut dec),
+                dec.get_u64(),
+                dec.get_u32(),
+                dec.get_u64(),
+                dec.get_u64(),
+            ) {
+                (Ok(_), Ok(_), Ok(_), Ok(d0), Ok(d1)) => Digest(d0, d1),
+                _ => return RpcMessage::accept_error(xid, AcceptStat::GarbageArgs),
+            }
+        };
+        let cached = { self.state.lock().chan_blob_replies.get(&want) };
+        match cached {
+            Some(results) => {
+                env.sleep(self.cfg.per_op_cpu);
+                g.peer_served.inc();
+                RpcMessage::success(xid, results)
+            }
+            // Stale advertisement (we evicted it) or a speculative probe:
+            // an error reply, never an upstream forward.
+            None => RpcMessage::accept_error(xid, AcceptStat::SystemErr),
+        }
+    }
+
+    /// Try to satisfy a blob miss from a sibling shard that gossip says
+    /// holds it. Returns the verified reply bytes on success; on any
+    /// failure the advertisement is dropped (it was stale) and the
+    /// caller falls back to the normal upstream path.
+    fn try_peer_fetch(&self, env: &Env, want: Digest, args: &xdr::Bytes) -> Option<xdr::Bytes> {
+        let g = self.gossip.as_ref()?;
+        let holder = {
+            let st = self.state.lock();
+            st.peer_digests
+                .iter()
+                .find(|(_, inv)| inv.contains(&want))
+                .map(|(id, _)| *id)
+        }?;
+        let client = {
+            let p = g.peers.lock();
+            p.peers
+                .iter()
+                .find(|(id, _)| *id == holder)
+                .map(|(_, c)| c.clone())
+        }?;
+        let reply = client.call_dl(
+            env,
+            CHANNEL_PROGRAM,
+            CHANNEL_V1,
+            chanproc::FETCH_BLOBS_PEER,
+            args,
+        );
+        match reply {
+            // Same guard as every other ingestion point: peer replies
+            // are digest-verified before they may be cached or served.
+            Ok(results) if self.verify_blob_reply(env, &results, want) => {
+                g.peer_hits.inc();
+                let mut dec = Decoder::new(&results);
+                if let (Ok(_), Ok(chunk_len)) = (dec.get_u32(), dec.get_u64()) {
+                    g.peer_bytes.add(chunk_len);
+                }
+                Some(results)
+            }
+            _ => {
+                g.peer_misses.inc();
+                let mut st = self.state.lock();
+                if let Some(inv) = st.peer_digests.get_mut(&holder) {
+                    inv.remove(&want);
+                }
+                None
+            }
+        }
+    }
+
+    /// Record a fresh digest-cache insertion in the gossip log (no-op
+    /// with gossip off). Must run under the state lock, right where the
+    /// insert happened.
+    fn note_blob_cached(&self, st: &mut ProxyState, d: Digest) {
+        if self.gossip.is_some() {
+            st.gossip_log.push(d);
+        }
+    }
+
     // -- file channel passthrough with caching --------------------------------
 
     fn handle_channel(
@@ -2355,6 +2645,12 @@ impl Proxy {
         }
         if proc == chanproc::FETCH_BLOBS_BATCH && self.cfg.fleet.batch_fetch && self.cas.is_some() {
             return self.handle_channel_blob_envelope(env, xid, cred, args);
+        }
+        if proc == chanproc::GOSSIP_DIGESTS {
+            return self.handle_gossip_digests(xid, &args);
+        }
+        if proc == chanproc::FETCH_BLOBS_PEER {
+            return self.handle_channel_blob_peer(env, xid, &args);
         }
         if proc != chanproc::FETCH {
             return self.forward(env, xid, cred, CHANNEL_PROGRAM, CHANNEL_V1, proc, args);
@@ -2643,6 +2939,21 @@ impl Proxy {
                     continue;
                 }
                 None => {
+                    // Gossip: a sibling shard that already holds this
+                    // chunk serves it over the LAN; only a peer miss
+                    // rides the WAN.
+                    if let Some(results) = self.try_peer_fetch(env, want, &args) {
+                        {
+                            let mut st = self.state.lock();
+                            st.chan_blob_replies.insert(want, results.clone());
+                            self.note_blob_cached(&mut st, want);
+                        }
+                        let sig = { self.state.lock().inflight_blob.remove(&want) };
+                        if let Some(s) = sig {
+                            s.set();
+                        }
+                        return RpcMessage::success(xid, results);
+                    }
                     let reply = self.forward(
                         env,
                         xid,
@@ -2675,10 +2986,9 @@ impl Proxy {
                         // like the client-side verification in
                         // `fetch_blob`.
                         if self.verify_blob_reply(env, results, want) {
-                            self.state
-                                .lock()
-                                .chan_blob_replies
-                                .insert(want, results.clone());
+                            let mut st = self.state.lock();
+                            st.chan_blob_replies.insert(want, results.clone());
+                            self.note_blob_cached(&mut st, want);
                         }
                     }
                     let sig = { self.state.lock().inflight_blob.remove(&want) };
@@ -2847,6 +3157,43 @@ impl Proxy {
         cred: &oncrpc::OpaqueAuth,
         round: &[(Digest, xdr::Bytes)],
     ) {
+        if self.gossip.is_none() {
+            return self.send_blob_round_upstream(env, cred, round);
+        }
+        // Gossip pass: serve what a sibling shard already holds over the
+        // LAN, and send only the genuinely region-cold remainder in the
+        // upstream envelope. Waiters on a peer-served digest wake here,
+        // exactly as they would after the envelope round.
+        let mut remaining: Vec<(Digest, xdr::Bytes)> = Vec::with_capacity(round.len());
+        for (want, args) in round {
+            match self.try_peer_fetch(env, *want, args) {
+                Some(results) => {
+                    {
+                        let mut st = self.state.lock();
+                        st.chan_blob_replies.insert(*want, results);
+                        self.note_blob_cached(&mut st, *want);
+                    }
+                    let sig = { self.state.lock().inflight_blob.remove(want) };
+                    if let Some(s) = sig {
+                        s.set();
+                    }
+                }
+                None => remaining.push((*want, args.clone())),
+            }
+        }
+        if !remaining.is_empty() {
+            self.send_blob_round_upstream(env, cred, &remaining);
+        }
+    }
+
+    /// The WAN half of a blob round: one `FETCH_BLOBS_BATCH` envelope
+    /// upstream for every item still unresolved after the peer pass.
+    fn send_blob_round_upstream(
+        &self,
+        env: &Env,
+        cred: &oncrpc::OpaqueAuth,
+        round: &[(Digest, xdr::Bytes)],
+    ) {
         let items: Vec<oncrpc::BatchItem> = round
             .iter()
             .map(|(_, args)| oncrpc::BatchItem {
@@ -2886,6 +3233,7 @@ impl Proxy {
                     let mut st = self.state.lock();
                     st.chan_blob_replies.insert(*want, results);
                     st.batch_uncounted.insert(*want);
+                    self.note_blob_cached(&mut st, *want);
                 }
             }
             let sig = { self.state.lock().inflight_blob.remove(want) };

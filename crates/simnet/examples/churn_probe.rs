@@ -1,0 +1,226 @@
+//! Engine scheduling-cost probe backing the perf-floor note in
+//! DESIGN.md §5.10: runs churn-shaped workloads through the simulator
+//! next to raw thread-handoff rings with the *same* kernel switch
+//! pattern, so the delta between a `sim_*` line and its `raw_*` twin is
+//! pure engine overhead while the `raw_*` line itself is the
+//! context-switch floor of the host.
+//!
+//! ```text
+//! cargo run --release -p simnet --example churn_probe
+//! ```
+//!
+//! Wall-clock and context-switch counts are host-dependent; compare
+//! lines within one run, not across machines.
+
+use simnet::{Env, SimDuration, Simulation};
+use std::time::Instant;
+
+fn run(name: &str, procs: u64, iters: u64, gap: impl Fn(u64, u64) -> u64 + Copy + Send + 'static) {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    for p in 0..procs {
+        sim.spawn(format!("churn{p}"), move |env: Env| {
+            let mut s = p + 1;
+            for i in 0..iters {
+                s = simnet::splitmix64(s);
+                env.sleep(SimDuration::from_micros(gap(s, i)));
+                env.yield_now();
+            }
+        });
+    }
+    let (v0, n0) = total_ctx_switches();
+    let t0 = Instant::now();
+    sim.run();
+    let wall = t0.elapsed().as_secs_f64();
+    let (v1, n1) = total_ctx_switches();
+    let events = h.events_processed();
+    println!(
+        "{name:<28} {events:>9} events  {wall:>7.3}s  {:>9.0} events/sec  {:.2}v+{:.2}nv sw/ev",
+        events as f64 / wall,
+        (v1 - v0) as f64 / events as f64,
+        (n1 - n0) as f64 / events as f64,
+    );
+}
+
+/// Raw park/unpark token ring in pid order: N real threads, one runnable
+/// at a time, exactly the switch pattern of an N-proc simulated tie
+/// storm — but with no simulator in the loop.
+fn raw_park_ring(threads: usize, rounds: u64) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    // Token counter: thread i runs turns where turn % threads == i.
+    let turn = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+    let total = rounds * threads as u64;
+    let mut joins = Vec::new();
+    for i in 0..threads {
+        let turn = turn.clone();
+        let barrier = barrier.clone();
+        joins.push(std::thread::spawn(move || {
+            barrier.wait();
+            loop {
+                let t = turn.load(Ordering::Acquire);
+                if t >= total {
+                    break;
+                }
+                if t % threads as u64 == i as u64 {
+                    let next = turn.fetch_add(1, Ordering::AcqRel) + 1;
+                    unsafe {
+                        let tab = &*TABLE.load(Ordering::Acquire);
+                        let nxt = (i + 1) % threads;
+                        tab[nxt].unpark();
+                        if next >= total {
+                            // wake everyone so they can exit
+                            for t in tab.iter() {
+                                t.unpark();
+                            }
+                            break;
+                        }
+                    }
+                } else {
+                    std::thread::park();
+                }
+            }
+        }));
+    }
+    let handles: Vec<std::thread::Thread> = joins.iter().map(|j| j.thread().clone()).collect();
+    let boxed: &'static Vec<std::thread::Thread> = Box::leak(Box::new(handles));
+    TABLE.store(
+        boxed as *const _ as *mut _,
+        std::sync::atomic::Ordering::Release,
+    );
+    let (v0, n0) = total_ctx_switches();
+    let t0 = std::time::Instant::now();
+    barrier.wait();
+    while turn.load(std::sync::atomic::Ordering::Acquire) < total {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let (v1, n1) = total_ctx_switches();
+    for j in joins {
+        j.join().unwrap();
+    }
+    println!(
+        "raw_park_ring_{threads:<8}     {total:>9} handoffs {wall:>7.3}s  {:>9.0} handoffs/sec  {:.2}v+{:.2}nv sw/ev",
+        total as f64 / wall,
+        (v1 - v0) as f64 / total as f64,
+        (n1 - n0) as f64 / total as f64,
+    );
+}
+
+/// The honest floor for churn: the wake order varies every round (a
+/// precomputed random schedule with distinct consecutive entries), so
+/// neither the caches nor the kernel can settle into a stable cyclic
+/// order the way [`raw_park_ring`] lets them.
+fn raw_park_ring_varying(threads: usize, total: u64) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let mut sched: Vec<u32> = Vec::with_capacity(total as usize + 1);
+    let mut s = 0xABCDu64;
+    let mut prev = u32::MAX;
+    for _ in 0..=total {
+        s = simnet::splitmix64(s);
+        let mut t = (s % threads as u64) as u32;
+        if t == prev {
+            t = (t + 1) % threads as u32;
+        }
+        sched.push(t);
+        prev = t;
+    }
+    let sched = Arc::new(sched);
+    let turn = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+    let mut joins = Vec::new();
+    for i in 0..threads {
+        let sched = sched.clone();
+        let turn = turn.clone();
+        let barrier = barrier.clone();
+        joins.push(std::thread::spawn(move || {
+            barrier.wait();
+            loop {
+                let c = turn.load(Ordering::Acquire);
+                if c >= total {
+                    break;
+                }
+                if sched[c as usize] == i as u32 {
+                    let nc = c + 1;
+                    turn.store(nc, Ordering::Release);
+                    unsafe {
+                        let tab = &*TABLE.load(Ordering::Acquire);
+                        if nc >= total {
+                            for t in tab.iter() {
+                                t.unpark();
+                            }
+                            break;
+                        }
+                        tab[sched[nc as usize] as usize].unpark();
+                    }
+                } else {
+                    std::thread::park();
+                }
+            }
+        }));
+    }
+    let handles: Vec<std::thread::Thread> = joins.iter().map(|j| j.thread().clone()).collect();
+    let boxed: &'static Vec<std::thread::Thread> = Box::leak(Box::new(handles));
+    TABLE.store(
+        boxed as *const _ as *mut _,
+        std::sync::atomic::Ordering::Release,
+    );
+    let (v0, n0) = total_ctx_switches();
+    let t0 = std::time::Instant::now();
+    barrier.wait();
+    while turn.load(std::sync::atomic::Ordering::Acquire) < total {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let (v1, n1) = total_ctx_switches();
+    for j in joins {
+        j.join().unwrap();
+    }
+    println!(
+        "raw_park_ring_vary_{threads:<5}    {total:>9} handoffs {wall:>7.3}s  {:>9.0} handoffs/sec  {:.2}v+{:.2}nv sw/ev",
+        total as f64 / wall,
+        (v1 - v0) as f64 / total as f64,
+        (n1 - n0) as f64 / total as f64,
+    );
+}
+
+/// Sum voluntary + nonvoluntary context switches across all threads of
+/// this process (reads /proc/self/task/*/status).
+fn total_ctx_switches() -> (u64, u64) {
+    let mut vol = 0u64;
+    let mut nonvol = 0u64;
+    if let Ok(rd) = std::fs::read_dir("/proc/self/task") {
+        for ent in rd.flatten() {
+            let p = ent.path().join("status");
+            if let Ok(s) = std::fs::read_to_string(p) {
+                for line in s.lines() {
+                    if let Some(v) = line.strip_prefix("voluntary_ctxt_switches:") {
+                        vol += v.trim().parse::<u64>().unwrap_or(0);
+                    } else if let Some(v) = line.strip_prefix("nonvoluntary_ctxt_switches:") {
+                        nonvol += v.trim().parse::<u64>().unwrap_or(0);
+                    }
+                }
+            }
+        }
+    }
+    (vol, nonvol)
+}
+
+/// Published once before the rings start; each worker reads its
+/// successor's `Thread` handle through it to unpark.
+static TABLE: std::sync::atomic::AtomicPtr<Vec<std::thread::Thread>> =
+    std::sync::atomic::AtomicPtr::new(std::ptr::null_mut());
+
+fn main() {
+    // 1000 procs all sleeping the same fixed gap: a 1000-proc tie storm
+    // every millisecond, in pid order — the exact switch pattern of
+    // raw_park_ring_1000, so the delta to it is pure engine overhead.
+    run("sim_ring_1000", 1000, 1_000, |_, _| 1000);
+    raw_park_ring(1000, 1_000);
+    raw_park_ring_varying(1000, 1_000_000);
+    // The committed churn_1000 shape: 1000 procs, whole-µs ties common.
+    run("churn_1000 (committed)", 1000, 1_000, |s, _| 1 + s % 128);
+    run("churn_fixed64", 1000, 1_000, |_, _| 64);
+}

@@ -11,6 +11,11 @@
 //!   ON periods (arrivals at `on_rate`) and OFF periods (silence). This
 //!   models flash crowds — a class starting a lab, a release going out —
 //!   which is where tail latency actually lives.
+//! * [`ArrivalProcess::diurnal`] — an inhomogeneous Poisson process whose
+//!   rate follows a day-shaped curve (quiet trough → busy peak →
+//!   trough), sampled by seeded thinning. This is the 10k-fleet model: a
+//!   real user population logs in over a working day, so cold-content
+//!   pressure ramps rather than arriving uniformly.
 //!
 //! Both are pure functions of their seed (splitmix64 stream), so a fleet
 //! run is replayable bit-for-bit from `(seed, mode, rate)`. Inter-arrival
@@ -39,6 +44,21 @@ enum Mode {
         /// Virtual seconds of ON time left before the next OFF period.
         on_left: f64,
     },
+    Diurnal {
+        peak_rate_per_sec: f64,
+        period_secs: f64,
+        /// Virtual seconds since the stream began — thinning evaluates
+        /// the rate curve on the absolute clock, not on gaps.
+        t_secs: f64,
+    },
+}
+
+/// Instantaneous rate fraction of the diurnal curve at time `t`:
+/// `0.1 + 0.9·sin²(πt/period)`, i.e. a trough at 10% of peak (t = 0,
+/// period, …) rising to the full peak at mid-period. The long-run mean
+/// rate is `0.55 × peak`.
+fn diurnal_fraction(t_secs: f64, period_secs: f64) -> f64 {
+    0.1 + 0.9 * (std::f64::consts::PI * t_secs / period_secs).sin().powi(2)
 }
 
 /// A deterministic arrival-process generator: a stream of inter-arrival
@@ -107,6 +127,30 @@ impl ArrivalProcess {
         }
     }
 
+    /// Diurnal (inhomogeneous Poisson) arrivals: candidate events are
+    /// drawn at `peak_rate_per_sec` and thinned by the day curve, so the
+    /// instantaneous rate swings deterministically (given `seed`)
+    /// between 10% and 100% of peak over each `period_secs`-long
+    /// virtual "day". The stream starts in the trough.
+    pub fn diurnal(seed: u64, peak_rate_per_sec: f64, period_secs: f64) -> Self {
+        assert!(
+            peak_rate_per_sec > 0.0 && peak_rate_per_sec.is_finite(),
+            "peak rate must be positive and finite"
+        );
+        assert!(
+            period_secs > 0.0 && period_secs.is_finite(),
+            "diurnal period must be positive and finite"
+        );
+        ArrivalProcess {
+            rng: DetRng::new(seed),
+            mode: Mode::Diurnal {
+                peak_rate_per_sec,
+                period_secs,
+                t_secs: 0.0,
+            },
+        }
+    }
+
     /// The gap between the previous arrival and the next one. Always
     /// strictly positive; callers sleep this long, then fire one arrival.
     pub fn next_gap(&mut self) -> SimDuration {
@@ -134,6 +178,26 @@ impl ArrivalProcess {
                     }
                     gap += *on_left + exp_sample(&mut self.rng, 1.0 / *mean_off);
                     *on_left = exp_sample(&mut self.rng, 1.0 / *mean_on);
+                }
+                gap_to_duration(gap)
+            }
+            Mode::Diurnal {
+                peak_rate_per_sec,
+                period_secs,
+                t_secs,
+            } => {
+                // Lewis–Shedler thinning: homogeneous candidates at the
+                // peak rate, each kept with probability rate(t)/peak.
+                // Both draws come from the one seeded stream, so the
+                // schedule replays bit-for-bit.
+                let mut gap = 0.0f64;
+                loop {
+                    let cand = exp_sample(&mut self.rng, *peak_rate_per_sec);
+                    gap += cand;
+                    *t_secs += cand;
+                    if self.rng.next_f64() < diurnal_fraction(*t_secs, *period_secs) {
+                        break;
+                    }
                 }
                 gap_to_duration(gap)
             }
@@ -209,6 +273,40 @@ mod tests {
         let (p, b) = (cv2(&poisson), cv2(&bursty));
         assert!((0.7..1.4).contains(&p), "poisson cv²={p}");
         assert!(b > 1.5 * p, "bursty cv²={b} not > poisson cv²={p}");
+    }
+
+    #[test]
+    fn diurnal_is_reproducible_and_bounded() {
+        let a = ArrivalProcess::diurnal(11, 100.0, 60.0).take_offsets(2000);
+        let b = ArrivalProcess::diurnal(11, 100.0, 60.0).take_offsets(2000);
+        let c = ArrivalProcess::diurnal(12, 100.0, 60.0).take_offsets(2000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for w in a.windows(2) {
+            let g = w[1] - w[0];
+            assert!(g > SimDuration::ZERO && g <= MAX_GAP);
+        }
+    }
+
+    #[test]
+    fn diurnal_rate_follows_the_day_curve() {
+        // One 100-second day at peak 200/s: the mid-day half of the
+        // period must see several times the arrivals of the two trough
+        // quarters combined (rate 10% of peak there).
+        let offsets = ArrivalProcess::diurnal(7, 200.0, 100.0).take_offsets(8000);
+        let (mut trough, mut peak) = (0usize, 0usize);
+        for at in offsets.iter().filter(|at| at.as_secs_f64() < 100.0) {
+            let t = at.as_secs_f64();
+            if (25.0..75.0).contains(&t) {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak > 3 * trough,
+            "mid-day {peak} arrivals vs trough {trough}: no diurnal shape"
+        );
     }
 
     #[test]

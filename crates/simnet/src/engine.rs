@@ -11,13 +11,17 @@
 //! This is the classic "SimPy with threads" construction: it buys natural,
 //! blocking, sequential code for workloads (a VM monitor model is literally
 //! a loop of `read`/`write`/`compute` calls) at the cost of one parked OS
-//! thread per live process — trivially cheap at the scale of these
-//! experiments (tens of processes).
+//! thread per live process.
+//!
+//! Two things keep the construction fast at fleet scale (10k+ processes):
+//! the event queue is a hierarchical timing wheel ([`crate::wheel`]) rather
+//! than a global binary heap, and the per-handoff blocking is a lock-free
+//! state machine over `park`/`unpark` rather than a mutex + condvar pair —
+//! a cross-thread baton handoff costs one futex wake plus one futex wait
+//! and nothing else.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -25,6 +29,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::fault::splitmix64;
 use crate::telemetry::Telemetry;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimingWheel;
 
 /// How the kernel schedules at the OS level.
 ///
@@ -95,9 +100,11 @@ pub fn default_sched_policy() -> SchedPolicy {
 pub struct EventRecord {
     /// Virtual time of the event, in nanoseconds.
     pub time_ns: u64,
-    /// The event's FIFO sequence number.
+    /// The event's FIFO sequence number. For the `"truncated"` sentinel
+    /// this carries the number of records dropped after the cap.
     pub seq: u64,
-    /// Event kind: `"wake"`, `"call"`, or `"cancellable-call"`.
+    /// Event kind: `"wake"`, `"call"`, `"cancellable-call"`, or the
+    /// `"truncated"` sentinel appended when the capped trace overflowed.
     pub kind: &'static str,
     /// Woken pid for `"wake"` events.
     pub pid: Option<usize>,
@@ -135,6 +142,11 @@ pub fn first_divergence(
     None
 }
 
+/// Default record cap for [`SimHandle::enable_event_trace`]: enough for
+/// every committed scenario while bounding a 10k-clone run (tens of
+/// millions of events) to a few hundred MB instead of unbounded growth.
+pub const DEFAULT_EVENT_TRACE_CAP: usize = 4 << 20;
+
 /// Identifier of a simulated process.
 pub(crate) type Pid = usize;
 
@@ -158,8 +170,11 @@ fn install_quiet_abort_hook() {
 }
 
 enum EventKind {
-    /// Resume the given process.
-    Wake(Pid),
+    /// Resume the given process. Carries the process's control block so
+    /// the dispatch hot path never indexes the (cache-cold, randomly
+    /// accessed) `procs` table: the reference is cloned at schedule time,
+    /// when the control block's cache line is typically already warm.
+    Wake(Pid, Arc<ProcCtl>),
     /// Run an arbitrary callback on the scheduler thread (used by the
     /// fluid-flow link model to complete transfers).
     Call(Box<dyn FnOnce() + Send>),
@@ -188,65 +203,125 @@ impl CancelToken {
     }
 }
 
-struct Event {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
+/// Process states, stored in [`ProcCtl::state`] as a `u8`.
+const PROC_WAITING: u8 = 0;
+const PROC_RUNNING: u8 = 1;
+const PROC_DONE: u8 = 2;
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum ProcState {
-    /// Not yet started or blocked on a primitive.
-    Waiting,
-    /// Currently executing (the scheduler is parked).
-    Running,
-    /// Finished (normally or by panic).
-    Done,
-}
-
+/// Per-process control block. The `state` transitions are a lock-free
+/// handoff protocol:
+///
+/// - Only the process's own thread stores `WAITING` (in `suspend`) and
+///   `DONE` (at body exit).
+/// - Only the current baton holder stores `RUNNING` (`set_running`),
+///   which is valid because exactly one wake per suspended process is
+///   ever in flight.
+/// - Blocking is `std::thread::park` with the state re-checked in a
+///   loop, so a banked unpark token (wake raced ahead of the park) and
+///   spurious wakeups are both benign.
+///
+/// Field order matters: `state`, `abort` and the thread slot are the
+/// per-handoff hot fields and sit together at the front so one cache
+/// line fetch covers a wake (the line is cold on every handoff — at
+/// 1000+ processes the wake order is effectively random).
 pub(crate) struct ProcCtl {
+    state: AtomicU8,
+    abort: AtomicBool,
+    /// OS thread hosting this process's body (a pool worker), registered
+    /// before the body's first state check. `set_running` unparks it;
+    /// when still `None` the worker has not started and will observe the
+    /// `RUNNING` state on its first check (the slot mutex orders the two).
+    thread: Mutex<Option<std::thread::Thread>>,
+    /// Shutdown-only: `run_proc` waits here until the body finishes (or
+    /// suspends again mid-unwind, which `suspend` signals too).
+    exit_mu: Mutex<bool>,
+    exit_cv: Condvar,
     name: String,
-    state: Mutex<ProcState>,
-    cv: Condvar,
-    abort: Mutex<bool>,
 }
 
 impl ProcCtl {
     fn new(name: String) -> Self {
         ProcCtl {
+            state: AtomicU8::new(PROC_WAITING),
+            abort: AtomicBool::new(false),
+            thread: Mutex::new(None),
+            exit_mu: Mutex::new(false),
+            exit_cv: Condvar::new(),
             name,
-            state: Mutex::new(ProcState::Waiting),
-            cv: Condvar::new(),
-            abort: Mutex::new(false),
         }
+    }
+
+    #[inline]
+    fn state(&self) -> u8 {
+        self.state.load(AtomicOrdering::Acquire)
+    }
+
+    /// Mark the process runnable and wake its (possibly parked) host
+    /// thread. The release-ordered swap publishes everything the waker
+    /// did before the handoff to the woken process.
+    fn set_running(&self) {
+        let prev = self.state.swap(PROC_RUNNING, AtomicOrdering::AcqRel);
+        debug_assert_eq!(prev, PROC_WAITING, "woke a process that is running");
+        if let Some(t) = self.thread.lock().as_ref() {
+            t.unpark();
+        }
+    }
+
+    /// Park until marked `RUNNING`. Re-checks in a loop, so stale unpark
+    /// tokens from a previous process hosted on the same pool worker are
+    /// harmless.
+    fn wait_running(&self) {
+        while self.state.load(AtomicOrdering::Acquire) != PROC_RUNNING {
+            std::thread::park();
+        }
+    }
+
+    /// Record body completion and wake any shutdown-phase waiter.
+    fn finish(&self) {
+        self.state.store(PROC_DONE, AtomicOrdering::Release);
+        let mut ex = self.exit_mu.lock();
+        *ex = true;
+        self.exit_cv.notify_all();
+    }
+}
+
+/// Capped event-trace buffer. Records past the cap are counted, not
+/// stored, and surface as a single `"truncated"` sentinel record so the
+/// chaos oracle can still compare (equally truncated) big-run traces.
+struct TraceBuf {
+    recs: Vec<EventRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl TraceBuf {
+    fn record(&mut self, time: SimTime, seq: u64, kind: &EventKind) {
+        if self.recs.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.recs.push(EventRecord {
+            time_ns: time.as_nanos(),
+            seq,
+            kind: match kind {
+                EventKind::Wake(..) => "wake",
+                EventKind::Call(_) => "call",
+                EventKind::CancellableCall(..) => "cancellable-call",
+            },
+            pid: match kind {
+                EventKind::Wake(pid, _) => Some(*pid),
+                _ => None,
+            },
+        });
     }
 }
 
 struct KernelInner {
-    heap: BinaryHeap<Event>,
+    wheel: TimingWheel<EventKind>,
     now: SimTime,
     seq: u64,
     procs: Vec<Arc<ProcCtl>>,
     failures: Vec<String>,
-    shutting_down: bool,
     events_processed: u64,
     policy: SchedPolicy,
     /// PRNG state for chaos/broken policies. Draws happen under this
@@ -256,7 +331,7 @@ struct KernelInner {
     rng: u64,
     /// When `Some`, every dispatched event is appended (cancelled events
     /// are skipped: they never advance time).
-    trace: Option<Vec<EventRecord>>,
+    trace: Option<TraceBuf>,
 }
 
 /// A process body, boxed for hand-off to a pool worker.
@@ -361,6 +436,14 @@ fn worker_loop(shared: Arc<PoolShared>, first_job: Job) {
     }
 }
 
+/// What `dispatch_until_wake`'s locked section decided: hand the baton to
+/// a process, run a callback inline, or report a drained queue.
+enum Dispatched {
+    Run(Pid, Arc<ProcCtl>),
+    Exec(Box<dyn FnOnce() + Send>),
+    Drained,
+}
+
 /// Shared, cloneable handle to the simulation kernel. Synchronization
 /// primitives ([`crate::sync`], [`crate::link`]) hold one of these to
 /// schedule wake-ups and callbacks.
@@ -369,8 +452,14 @@ pub struct SimHandle {
     inner: Arc<Mutex<KernelInner>>,
     telemetry: Telemetry,
     pool: Arc<WorkerPool>,
-    /// Set (and notified) by the baton holder that drains the event heap;
-    /// [`Simulation::run`] parks on it between the first wake and
+    /// Copy of the kernel policy, so the Fifo hot path never takes the
+    /// kernel lock just to learn that no chaos word is needed.
+    policy: SchedPolicy,
+    /// Set once `run()` observes quiescence; dispatching stops and events
+    /// scheduled by unwinding processes stay unprocessed.
+    shutting_down: Arc<AtomicBool>,
+    /// Set (and notified) by the baton holder that drains the event
+    /// queue; [`Simulation::run`] parks on it between the first wake and
     /// quiescence.
     quiesced: Arc<(Mutex<bool>, Condvar)>,
 }
@@ -392,38 +481,55 @@ impl SimHandle {
     }
 
     /// Start recording every dispatched event (virtual time, sequence
-    /// number, kind, woken pid). Call before the run; pair with
+    /// number, kind, woken pid), up to [`DEFAULT_EVENT_TRACE_CAP`]
+    /// records. Call before the run; pair with
     /// [`SimHandle::take_event_trace`]. Tracing is the raw material of
     /// the schedule-chaos oracle: traces from different [`SchedPolicy`]
     /// seeds must be identical.
     pub fn enable_event_trace(&self) {
+        self.enable_event_trace_with_cap(DEFAULT_EVENT_TRACE_CAP);
+    }
+
+    /// Like [`SimHandle::enable_event_trace`] with an explicit record
+    /// cap. Records past the cap are counted rather than stored; the
+    /// taken trace then ends with a `"truncated"` sentinel record whose
+    /// `seq` is the dropped count, so a capped trace is still an exact,
+    /// comparable prefix.
+    pub fn enable_event_trace_with_cap(&self, cap: usize) {
         let mut k = self.inner.lock();
         if k.trace.is_none() {
-            k.trace = Some(Vec::new());
+            k.trace = Some(TraceBuf {
+                recs: Vec::new(),
+                cap,
+                dropped: 0,
+            });
         }
     }
 
     /// Take the recorded event trace (empty if tracing was never
     /// enabled), leaving tracing enabled with a fresh buffer if it was.
+    /// If the cap truncated the recording, the last record is the
+    /// `"truncated"` sentinel (kind `"truncated"`, `seq` = dropped
+    /// count, `time_ns` = current virtual time).
     pub fn take_event_trace(&self) -> Vec<EventRecord> {
         let mut k = self.inner.lock();
+        let now = k.now;
         match k.trace.as_mut() {
-            Some(t) => std::mem::take(t),
+            Some(t) => {
+                let mut recs = std::mem::take(&mut t.recs);
+                if t.dropped > 0 {
+                    recs.push(EventRecord {
+                        time_ns: now.as_nanos(),
+                        seq: t.dropped,
+                        kind: "truncated",
+                        pid: None,
+                    });
+                    t.dropped = 0;
+                }
+                recs
+            }
             None => Vec::new(),
         }
-    }
-
-    /// Draw one chaos word, or `None` under non-chaos policies. The draw
-    /// mutates the kernel PRNG under the kernel lock; because exactly one
-    /// process runs at a time, the sequence of draws is deterministic for
-    /// a given seed.
-    fn chaos_word(&self) -> Option<u64> {
-        let mut k = self.inner.lock();
-        if !matches!(k.policy, SchedPolicy::Chaos { .. }) {
-            return None;
-        }
-        k.rng = splitmix64(k.rng);
-        Some(k.rng)
     }
 
     /// Number of processes spawned so far (each one is an OS thread for
@@ -445,13 +551,10 @@ impl SimHandle {
 
     pub(crate) fn schedule_wake(&self, time: SimTime, pid: Pid) {
         let mut k = self.inner.lock();
+        let ctl = k.procs[pid].clone();
         let seq = k.seq;
         k.seq += 1;
-        k.heap.push(Event {
-            time,
-            seq,
-            kind: EventKind::Wake(pid),
-        });
+        k.wheel.push(time, seq, EventKind::Wake(pid, ctl));
     }
 
     /// Schedule an arbitrary callback to run on the scheduler thread at
@@ -461,11 +564,7 @@ impl SimHandle {
         let mut k = self.inner.lock();
         let seq = k.seq;
         k.seq += 1;
-        k.heap.push(Event {
-            time,
-            seq,
-            kind: EventKind::Call(Box::new(f)),
-        });
+        k.wheel.push(time, seq, EventKind::Call(Box::new(f)));
     }
 
     /// Schedule a callback like [`SimHandle::schedule_call`], returning a
@@ -483,11 +582,11 @@ impl SimHandle {
         let mut k = self.inner.lock();
         let seq = k.seq;
         k.seq += 1;
-        k.heap.push(Event {
+        k.wheel.push(
             time,
             seq,
-            kind: EventKind::CancellableCall(flag.clone(), Box::new(f)),
-        });
+            EventKind::CancellableCall(flag.clone(), Box::new(f)),
+        );
         CancelToken(flag)
     }
 
@@ -507,21 +606,17 @@ impl SimHandle {
             // folding them together allocates the identical sequence
             // number and leaves the event timeline bit-for-bit unchanged
             // while cutting spawn cost at fleet scale (1000+ tasks).
-            let mut k = self.inner.lock();
             assert!(
-                !k.shutting_down,
+                !self.shutting_down.load(AtomicOrdering::Acquire),
                 "cannot spawn a process while the simulation is shutting down"
             );
+            let mut k = self.inner.lock();
             pid = k.procs.len();
             k.procs.push(ctl.clone());
             let time = k.now;
             let seq = k.seq;
             k.seq += 1;
-            k.heap.push(Event {
-                time,
-                seq,
-                kind: EventKind::Wake(pid),
-            });
+            k.wheel.push(time, seq, EventKind::Wake(pid, ctl.clone()));
         }
         let env = Env {
             handle: self.clone(),
@@ -533,14 +628,13 @@ impl SimHandle {
         // Hand the body to a pool worker rather than a fresh OS thread:
         // see [`WorkerPool`].
         self.pool.execute(Box::new(move || {
-            // Wait for the first wake before running the body.
-            {
-                let mut st = thread_ctl.state.lock();
-                while *st != ProcState::Running {
-                    thread_ctl.cv.wait(&mut st);
-                }
-            }
-            let aborted_at_start = *thread_ctl.abort.lock();
+            // Register this OS thread as the process's host, then wait
+            // for the first wake. Registration goes first: a wake that
+            // found the slot empty relies on this worker observing the
+            // RUNNING state after taking the slot lock.
+            *thread_ctl.thread.lock() = Some(std::thread::current());
+            thread_ctl.wait_running();
+            let aborted_at_start = thread_ctl.abort.load(AtomicOrdering::Acquire);
             if !aborted_at_start {
                 let result = panic::catch_unwind(AssertUnwindSafe(|| f(env)));
                 if let Err(payload) = result {
@@ -558,11 +652,7 @@ impl SimHandle {
                     }
                 }
             }
-            {
-                let mut st = thread_ctl.state.lock();
-                *st = ProcState::Done;
-                thread_ctl.cv.notify_all();
-            }
+            thread_ctl.finish();
             // A panicking `Call` closure must not take the worker down
             // with it (the baton would be lost and the run would hang):
             // record it like a process failure and declare quiescence so
@@ -578,100 +668,103 @@ impl SimHandle {
     /// [`SimHandle::dispatch_until_wake`]).
     fn run_proc(&self, pid: Pid) {
         let ctl = self.inner.lock().procs[pid].clone();
-        {
-            let mut st = ctl.state.lock();
-            if *st == ProcState::Done {
-                return;
-            }
-            debug_assert_eq!(*st, ProcState::Waiting, "woke a process that is running");
-            *st = ProcState::Running;
-            ctl.cv.notify_all();
+        if ctl.state() == PROC_DONE {
+            return;
         }
-        let mut st = ctl.state.lock();
-        while *st == ProcState::Running {
-            ctl.cv.wait(&mut st);
+        debug_assert_eq!(ctl.state(), PROC_WAITING, "woke a process that is running");
+        ctl.set_running();
+        let mut ex = ctl.exit_mu.lock();
+        while !*ex && ctl.state() == PROC_RUNNING {
+            ctl.exit_cv.wait(&mut ex);
         }
     }
 
     /// Pop and dispatch events until one hands control to a process (its
-    /// pid is returned) or the heap drains (`None`). `Call` events run
-    /// inline on the calling thread — the baton holder *is* the scheduler.
-    /// Wakes for finished processes are skipped (their timers may
-    /// outlive them), exactly as the central loop used to.
-    fn dispatch_until_wake(&self) -> Option<Pid> {
-        loop {
-            let ev = {
-                let mut k = self.inner.lock();
-                match k.heap.pop() {
-                    Some(mut ev) => {
-                        if let EventKind::CancellableCall(flag, _) = &ev.kind {
-                            if flag.load(AtomicOrdering::Relaxed) {
-                                // Cancelled timer: discard without touching
-                                // `now` or the processed-event count, so it
-                                // leaves no trace on the timeline.
-                                continue;
-                            }
-                        }
-                        if let SchedPolicy::BrokenTieBreak { .. } = k.policy {
-                            // Test-only: seeded coin flips swap equal-time
-                            // wake pairs, breaking the FIFO tie-break the
-                            // determinism contract rests on. The chaos
-                            // oracle must catch the resulting divergence.
-                            k.rng = splitmix64(k.rng);
-                            let flip = k.rng & 1 == 1;
-                            let swappable = matches!(ev.kind, EventKind::Wake(_))
-                                && k.heap.peek().is_some_and(|p| {
-                                    p.time == ev.time && matches!(p.kind, EventKind::Wake(_))
-                                });
-                            if flip && swappable {
-                                let other = k.heap.pop().expect("peeked event");
-                                k.heap.push(ev);
-                                ev = other;
-                            }
-                        }
-                        k.now = ev.time;
-                        k.events_processed += 1;
-                        if let Some(trace) = k.trace.as_mut() {
-                            trace.push(EventRecord {
-                                time_ns: ev.time.as_nanos(),
-                                seq: ev.seq,
-                                kind: match &ev.kind {
-                                    EventKind::Wake(_) => "wake",
-                                    EventKind::Call(_) => "call",
-                                    EventKind::CancellableCall(..) => "cancellable-call",
-                                },
-                                pid: match &ev.kind {
-                                    EventKind::Wake(pid) => Some(*pid),
-                                    _ => None,
-                                },
-                            });
-                        }
-                        ev
-                    }
-                    None => return None,
-                }
-            };
-            match ev.kind {
-                EventKind::Wake(pid) => {
-                    let ctl = self.inner.lock().procs[pid].clone();
-                    if *ctl.state.lock() == ProcState::Done {
-                        continue;
-                    }
-                    return Some(pid);
-                }
-                EventKind::Call(f) => f(),
-                EventKind::CancellableCall(_, f) => f(),
-            }
-        }
+    /// pid and control block are returned) or the queue drains (`None`).
+    /// `Call` events run inline on the calling thread — the baton holder
+    /// *is* the scheduler. Wakes for finished processes are skipped
+    /// (their timers may outlive them), exactly as the central loop used
+    /// to; the skip still advances `now` and counts as processed.
+    fn dispatch_until_wake(&self) -> Option<(Pid, Arc<ProcCtl>)> {
+        self.dispatch_after(|_| {})
     }
 
-    /// Mark `pid` runnable and wake its (parked) thread.
-    fn wake_proc(&self, pid: Pid) {
-        let ctl = self.inner.lock().procs[pid].clone();
-        let mut st = ctl.state.lock();
-        debug_assert_eq!(*st, ProcState::Waiting, "woke a process that is running");
-        *st = ProcState::Running;
-        ctl.cv.notify_all();
+    /// [`SimHandle::dispatch_until_wake`] with a prologue that runs under
+    /// the *same* kernel-lock acquisition as the first dispatch pop.
+    /// `Env::sleep` passes its wake push here, collapsing what used to be
+    /// three lock round-trips per sleep (`now()`, `schedule_wake`,
+    /// dispatch) into one — on a contended lock line each extra
+    /// acquisition is a cross-core cache miss, which dominates the
+    /// handoff-heavy fleet workloads. Fusing is sound because the caller
+    /// holds the baton: no other thread can interleave an event between
+    /// the prologue and the pop.
+    fn dispatch_after<F: FnOnce(&mut KernelInner)>(&self, pre: F) -> Option<(Pid, Arc<ProcCtl>)> {
+        let mut pre = Some(pre);
+        loop {
+            let step = {
+                let mut k = self.inner.lock();
+                if let Some(p) = pre.take() {
+                    p(&mut k);
+                }
+                loop {
+                    let (mut time, mut seq, mut kind) = match k.wheel.pop() {
+                        Some(e) => e,
+                        None => break Dispatched::Drained,
+                    };
+                    if let EventKind::CancellableCall(flag, _) = &kind {
+                        if flag.load(AtomicOrdering::Relaxed) {
+                            // Cancelled timer: discard without touching
+                            // `now` or the processed-event count, so it
+                            // leaves no trace on the timeline.
+                            continue;
+                        }
+                    }
+                    if let SchedPolicy::BrokenTieBreak { .. } = k.policy {
+                        // Test-only: seeded coin flips swap equal-time
+                        // wake pairs, breaking the FIFO tie-break the
+                        // determinism contract rests on. The chaos
+                        // oracle must catch the resulting divergence.
+                        k.rng = splitmix64(k.rng);
+                        let flip = k.rng & 1 == 1;
+                        let swappable = matches!(kind, EventKind::Wake(..))
+                            && k.wheel.peek().is_some_and(|(pt, _, pk)| {
+                                pt == time && matches!(pk, EventKind::Wake(..))
+                            });
+                        if flip && swappable {
+                            let (ot, os, ok) = k.wheel.pop().expect("peeked event");
+                            k.wheel.push(time, seq, kind);
+                            time = ot;
+                            seq = os;
+                            kind = ok;
+                        }
+                    }
+                    k.now = time;
+                    k.events_processed += 1;
+                    if let Some(trace) = k.trace.as_mut() {
+                        trace.record(time, seq, &kind);
+                    }
+                    match kind {
+                        // The control block rides in the event (cloned at
+                        // schedule time), so the hot path neither indexes
+                        // `procs` nor touches a cold refcount here.
+                        EventKind::Wake(pid, ctl) => {
+                            if ctl.state() == PROC_DONE {
+                                continue;
+                            }
+                            break Dispatched::Run(pid, ctl);
+                        }
+                        EventKind::Call(f) | EventKind::CancellableCall(_, f) => {
+                            break Dispatched::Exec(f)
+                        }
+                    }
+                }
+            };
+            match step {
+                Dispatched::Run(pid, ctl) => return Some((pid, ctl)),
+                Dispatched::Exec(f) => f(),
+                Dispatched::Drained => return None,
+            }
+        }
     }
 
     /// Pass the baton onward after the current process yields it: hand
@@ -680,11 +773,11 @@ impl SimHandle {
     /// the main thread drives aborts itself and events scheduled by
     /// unwinding processes must stay unprocessed.
     fn pass_baton(&self) {
-        if self.inner.lock().shutting_down {
+        if self.shutting_down.load(AtomicOrdering::Acquire) {
             return;
         }
         match self.dispatch_until_wake() {
-            Some(pid) => self.wake_proc(pid),
+            Some((_pid, ctl)) => ctl.set_running(),
             None => {
                 let (flag, cv) = &*self.quiesced;
                 *flag.lock() = true;
@@ -747,9 +840,19 @@ impl Env {
 
     /// Advance simulated time by `d` for this process.
     pub fn sleep(&self, d: SimDuration) {
-        let t = self.now() + d;
-        self.handle.schedule_wake(t, self.pid);
-        self.suspend();
+        // The wake push is fused into the suspend's first kernel-lock
+        // acquisition (see `dispatch_after`): reading `now`, allocating
+        // the sequence number and pushing the wake all happen under the
+        // lock that also pops the next event. The event timeline is
+        // identical to the unfused `now()` + `schedule_wake` + `suspend`
+        // sequence because this process holds the baton throughout.
+        self.suspend_after(|k| {
+            let t = k.now + d;
+            let seq = k.seq;
+            k.seq += 1;
+            k.wheel
+                .push(t, seq, EventKind::Wake(self.pid, self.ctl.clone()));
+        });
     }
 
     /// Let every other event scheduled at the current instant run first.
@@ -776,24 +879,85 @@ impl Env {
     /// then suspends. Because only one process runs at a time, no wake can
     /// be lost in between.
     pub(crate) fn suspend(&self) {
-        {
-            let mut st = self.ctl.state.lock();
-            debug_assert_eq!(*st, ProcState::Running);
-            *st = ProcState::Waiting;
+        self.suspend_after(|_| {});
+    }
+
+    /// [`Env::suspend`] with a prologue run under the same kernel-lock
+    /// acquisition as the chaos draw (chaos policies) or the first
+    /// dispatch pop (everything else). `sleep` passes its wake push here.
+    /// The push lands before any dispatching in both branches, so the
+    /// sequence-number allocation — and therefore the event timeline —
+    /// is identical across policies and to the unfused code.
+    fn suspend_after<F: FnOnce(&mut KernelInner)>(&self, pre: F) {
+        debug_assert_eq!(self.ctl.state(), PROC_RUNNING);
+        // Only the owner thread makes the Running -> Waiting transition,
+        // so a plain store is enough; the release ordering publishes this
+        // process's work to whichever thread wakes it next.
+        self.ctl.state.store(PROC_WAITING, AtomicOrdering::Release);
+        if !matches!(self.handle.policy, SchedPolicy::Chaos { .. }) {
+            // Fifo / BrokenTieBreak hot path: no chaos perturbations.
+            let shutting_down = self.handle.shutting_down.load(AtomicOrdering::Acquire);
+            if shutting_down {
+                // Mid-unwind suspend during shutdown: the event is still
+                // scheduled (nothing will dispatch it), and `run_proc`
+                // must observe that this process yielded.
+                {
+                    let mut k = self.handle.inner.lock();
+                    pre(&mut k);
+                }
+                let _ex = self.ctl.exit_mu.lock();
+                self.ctl.exit_cv.notify_all();
+            } else {
+                // Pass the baton directly to the next runnable process
+                // instead of round-tripping through a central scheduler
+                // thread: one context switch per handoff instead of two.
+                // If the next event is our own wake (a sleep chain with no
+                // interleaved process), control never leaves this thread.
+                match self.handle.dispatch_after(pre) {
+                    Some((pid, _ctl)) if pid == self.pid => {
+                        debug_assert_eq!(self.ctl.state(), PROC_WAITING);
+                        self.ctl.state.store(PROC_RUNNING, AtomicOrdering::Release);
+                        return;
+                    }
+                    Some((_pid, ctl)) => ctl.set_running(),
+                    None => {
+                        let (flag, cv) = &*self.handle.quiesced;
+                        *flag.lock() = true;
+                        cv.notify_all();
+                    }
+                }
+            }
+            self.ctl.wait_running();
+            if self.ctl.abort.load(AtomicOrdering::Acquire) {
+                install_quiet_abort_hook();
+                panic::panic_any(SimAbort);
+            }
+            return;
         }
         // Under SchedPolicy::Chaos, perturb the OS-level choreography of
         // this handoff. All three perturbations are semantically inert for
         // correctly synchronized code — they stress thread interleavings
-        // without touching virtual-time event order.
-        let chaos = self.handle.chaos_word();
-        if let Some(w) = chaos {
-            for _ in 0..(w & 3) {
-                std::thread::yield_now();
-            }
+        // without touching virtual-time event order. The prologue and the
+        // chaos draw share one lock acquisition; the draw still happens
+        // after the push, exactly where `chaos_word` used to draw it.
+        let w = {
+            let mut k = self.handle.inner.lock();
+            pre(&mut k);
+            k.rng = splitmix64(k.rng);
+            k.rng
+        };
+        for _ in 0..(w & 3) {
+            std::thread::yield_now();
         }
-        let via_pool = chaos.is_some_and(|w| (w >> 3) & 7 == 0);
-        let slow_self = chaos.is_some_and(|w| (w >> 6) & 1 == 1);
-        if via_pool && !self.handle.inner.lock().shutting_down {
+        let via_pool = (w >> 3) & 7 == 0;
+        let slow_self = (w >> 6) & 1 == 1;
+        let shutting_down = self.handle.shutting_down.load(AtomicOrdering::Acquire);
+        if shutting_down {
+            // Mid-unwind suspend during shutdown: nothing dispatches, but
+            // `run_proc` must observe that this process yielded.
+            let _ex = self.ctl.exit_mu.lock();
+            self.ctl.exit_cv.notify_all();
+        } else if via_pool {
             // Forced preemption: route the handoff through a pool worker
             // (the classic central-scheduler shape — two context switches
             // instead of one) rather than dispatching inline.
@@ -802,28 +966,17 @@ impl Env {
                 .pool
                 .execute(Box::new(move || h.pass_baton_guarded()));
         } else {
-            // Pass the baton directly to the next runnable process instead
-            // of round-tripping through a central scheduler thread: one
-            // context switch per handoff instead of two. If the next event
-            // is our own wake (a sleep chain with no interleaved process),
-            // control never leaves this thread at all.
-            let next = if self.handle.inner.lock().shutting_down {
-                None
-            } else {
-                self.handle.dispatch_until_wake()
-            };
-            match next {
-                Some(pid) if pid == self.pid && !slow_self => {
-                    let mut st = self.ctl.state.lock();
-                    debug_assert_eq!(*st, ProcState::Waiting);
-                    *st = ProcState::Running;
+            match self.handle.dispatch_until_wake() {
+                Some((pid, _ctl)) if pid == self.pid && !slow_self => {
+                    debug_assert_eq!(self.ctl.state(), PROC_WAITING);
+                    self.ctl.state.store(PROC_RUNNING, AtomicOrdering::Release);
                     return;
                 }
                 // With `slow_self`, a self-wake skips the fast path above
-                // and goes through wake_proc + the condvar below like any
-                // other handoff (the wait loop falls straight through
+                // and goes through set_running + the park loop below like
+                // any other handoff (the wait loop falls straight through
                 // because the state is already Running).
-                Some(pid) => self.handle.wake_proc(pid),
+                Some((_pid, ctl)) => ctl.set_running(),
                 None => {
                     let (flag, cv) = &*self.handle.quiesced;
                     *flag.lock() = true;
@@ -831,13 +984,8 @@ impl Env {
                 }
             }
         }
-        let mut st = self.ctl.state.lock();
-        while *st != ProcState::Running {
-            self.ctl.cv.wait(&mut st);
-        }
-        let aborted = *self.ctl.abort.lock();
-        drop(st);
-        if aborted {
+        self.ctl.wait_running();
+        if self.ctl.abort.load(AtomicOrdering::Acquire) {
             install_quiet_abort_hook();
             panic::panic_any(SimAbort);
         }
@@ -897,12 +1045,11 @@ impl Simulation {
         Simulation {
             handle: SimHandle {
                 inner: Arc::new(Mutex::new(KernelInner {
-                    heap: BinaryHeap::new(),
+                    wheel: TimingWheel::new(),
                     now: SimTime::ZERO,
                     seq: 0,
                     procs: Vec::new(),
                     failures: Vec::new(),
-                    shutting_down: false,
                     events_processed: 0,
                     policy,
                     rng: splitmix64(seed ^ 0x5EED_CAFE_F00D_D00D),
@@ -910,6 +1057,8 @@ impl Simulation {
                 })),
                 telemetry: Telemetry::new(),
                 pool: Arc::new(WorkerPool::new()),
+                policy,
+                shutting_down: Arc::new(AtomicBool::new(false)),
                 quiesced: Arc::new((Mutex::new(false), Condvar::new())),
             },
         }
@@ -942,9 +1091,9 @@ impl Simulation {
         // Drive the first handoff from this thread, then park: control
         // passes process-to-process (each suspending process dispatches
         // its successor directly) until some baton holder drains the
-        // event heap and signals quiescence.
-        if let Some(pid) = handle.dispatch_until_wake() {
-            handle.wake_proc(pid);
+        // event queue and signals quiescence.
+        if let Some((_pid, ctl)) = handle.dispatch_until_wake() {
+            ctl.set_running();
             let (flag, cv) = &*handle.quiesced;
             let mut q = flag.lock();
             while !*q {
@@ -953,15 +1102,14 @@ impl Simulation {
         }
 
         // Quiescent: abort any process still blocked so its thread exits.
+        handle.shutting_down.store(true, AtomicOrdering::Release);
         let (final_time, procs) = {
-            let mut k = handle.inner.lock();
-            k.shutting_down = true;
+            let k = handle.inner.lock();
             (k.now, k.procs.clone())
         };
         for (pid, ctl) in procs.iter().enumerate() {
-            let is_done = { *ctl.state.lock() == ProcState::Done };
-            if !is_done {
-                *ctl.abort.lock() = true;
+            if ctl.state() != PROC_DONE {
+                ctl.abort.store(true, AtomicOrdering::Release);
                 handle.run_proc(pid);
             }
         }
@@ -1247,6 +1395,53 @@ mod tests {
     }
 
     #[test]
+    fn capped_event_trace_truncates_with_sentinel() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        h.enable_event_trace_with_cap(8);
+        sim.spawn("p", |env| {
+            for _ in 0..32 {
+                env.sleep(SimDuration::from_nanos(10));
+            }
+        });
+        sim.run();
+        let events = h.events_processed();
+        let trace = h.take_event_trace();
+        assert_eq!(trace.len(), 9, "8 records + 1 sentinel");
+        let sentinel = trace.last().expect("sentinel");
+        assert_eq!(sentinel.kind, "truncated");
+        assert_eq!(sentinel.pid, None);
+        assert_eq!(
+            sentinel.seq,
+            events - 8,
+            "sentinel seq counts the dropped records"
+        );
+        // The kept prefix is still an exact, ordered prefix.
+        for w in trace[..8].windows(2) {
+            assert!((w[0].time_ns, w[0].seq) < (w[1].time_ns, w[1].seq));
+        }
+        // Taking drains the dropped count too: a second take is clean.
+        assert!(h.take_event_trace().is_empty());
+    }
+
+    #[test]
+    fn uncapped_scenarios_fit_default_cap() {
+        // The committed chaos-oracle scenarios run well under the default
+        // cap, so enabling the default trace changes nothing for them.
+        let sim = Simulation::new();
+        let h = sim.handle();
+        h.enable_event_trace();
+        sim.spawn("p", |env| {
+            for _ in 0..100 {
+                env.sleep(SimDuration::from_nanos(1));
+            }
+        });
+        sim.run();
+        let trace = h.take_event_trace();
+        assert!(trace.iter().all(|e| e.kind != "truncated"));
+    }
+
+    #[test]
     fn first_divergence_reports_index_and_records() {
         let a = vec![EventRecord {
             time_ns: 1,
@@ -1280,5 +1475,31 @@ mod tests {
         });
         sim.run();
         assert_eq!(fired.load(AO::SeqCst), 42);
+    }
+
+    #[test]
+    fn deep_timer_spread_dispatches_in_order() {
+        // Timers spanning the wheel's level-0 window, level-1 window and
+        // the overflow heap, scheduled by a single process: the kernel
+        // must fire them in exact (time, seq) order.
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        let mut times: Vec<u64> = (0..200)
+            .map(|i| splitmix64(i as u64 ^ 0xABCD) % 60_000_000_000)
+            .collect();
+        times.push(0);
+        times.push(90_000_000_000_000); // deep overflow
+        for &t in &times {
+            let fired = fired.clone();
+            h.schedule_call(SimTime::from_nanos(t), move || {
+                fired.lock().push(t);
+            });
+        }
+        sim.run();
+        let got = fired.lock().clone();
+        let mut want = times.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
     }
 }

@@ -37,11 +37,12 @@ mod link;
 pub mod sync;
 pub mod telemetry;
 mod time;
+mod wheel;
 
 pub use arrival::ArrivalProcess;
 pub use engine::{
     default_sched_policy, first_divergence, set_default_sched_policy, CancelToken, Env,
-    EventRecord, ProcessHandle, SchedPolicy, SimHandle, Simulation,
+    EventRecord, ProcessHandle, SchedPolicy, SimHandle, Simulation, DEFAULT_EVENT_TRACE_CAP,
 };
 pub use fault::{splitmix64, DetRng, LinkFaultPlan, OutageWindow};
 pub use link::{Link, TransferOutcome};

@@ -18,12 +18,23 @@ pub struct ClonePopulation {
     seed: u64,
     images: usize,
     sites: usize,
+    /// Simulated users behind the requests; `0` disables the user model
+    /// entirely (the pre-10k population, bit-exact).
+    users: usize,
 }
 
 /// Domain-separation tags so the image, site and divergence streams stay
 /// independent: reseeding one never shifts the others.
 const TAG_IMAGE: u64 = 0x1A6E_0001;
 const TAG_DIVERGE: u64 = 0x1A6E_0002;
+const TAG_USER: u64 = 0x1A6E_0003;
+const TAG_PREF: u64 = 0x1A6E_0004;
+const TAG_LOYAL: u64 = 0x1A6E_0005;
+
+/// Of 100 requests a user makes, how many ask for their preferred image
+/// (the rest roam uniformly). 80/20 gives a strongly skewed — but never
+/// degenerate — image popularity: every image still sees load.
+const AFFINITY_PCT: u64 = 80;
 
 impl ClonePopulation {
     /// A population drawing from `images` golden images spread over
@@ -34,6 +45,22 @@ impl ClonePopulation {
             seed,
             images,
             sites,
+            users: 0,
+        }
+    }
+
+    /// A population of `users` simulated users, each with a sticky
+    /// preferred image ([`AFFINITY_PCT`]% of their requests). Warm/cold
+    /// skew emerges instead of uniform image popularity: the images many
+    /// users prefer stay hot at their sites while tail images arrive
+    /// cold — the regime the 10k fleet run exists to exercise. With the
+    /// same `(seed, images, sites)`, site placement and divergence are
+    /// identical to [`ClonePopulation::new`]; only image choice changes.
+    pub fn with_users(seed: u64, images: usize, sites: usize, users: usize) -> Self {
+        assert!(users > 0, "user model needs at least one user");
+        ClonePopulation {
+            users,
+            ..ClonePopulation::new(seed, images, sites)
         }
     }
 
@@ -47,11 +74,41 @@ impl ClonePopulation {
         self.sites
     }
 
-    /// Golden image requested by clone `i`. Hashed, not round-robin:
-    /// a real population's image popularity is not phase-locked to the
-    /// arrival order, and hashing keeps bursts heterogeneous.
+    /// Golden image requested by clone `i`. Without a user model:
+    /// hashed, not round-robin — a real population's image popularity is
+    /// not phase-locked to the arrival order, and hashing keeps bursts
+    /// heterogeneous. With one: [`AFFINITY_PCT`]% of a user's requests
+    /// go to their sticky preferred image, the rest roam uniformly.
     pub fn image_of(&self, i: usize) -> usize {
-        (splitmix64(self.seed ^ TAG_IMAGE ^ (i as u64).wrapping_mul(0x9E37)) % self.images as u64)
+        let roam = (splitmix64(self.seed ^ TAG_IMAGE ^ (i as u64).wrapping_mul(0x9E37))
+            % self.images as u64) as usize;
+        if self.users == 0 {
+            return roam;
+        }
+        let u = self.user_of(i) as u64;
+        let loyal = splitmix64(self.seed ^ TAG_LOYAL ^ (i as u64).wrapping_mul(0x6B43)) % 100;
+        if loyal < AFFINITY_PCT {
+            // Quadratic preference draw: users pile up on the low image
+            // indices (P(image 0 of 8) ≈ 35%), so the *aggregate*
+            // popularity is skewed, not just sticky per user — a uniform
+            // preference would average back to uniform popularity and
+            // leave no warm/cold contrast to measure.
+            let r = splitmix64(self.seed ^ TAG_PREF ^ u.wrapping_mul(0x9E37));
+            let f = (r >> 11) as f64 / (1u64 << 53) as f64;
+            (((f * f) * self.images as f64) as usize).min(self.images - 1)
+        } else {
+            roam
+        }
+    }
+
+    /// User behind clone `i` (0 when no user model is configured).
+    /// Hashed: a user's sessions are spread through the day, not
+    /// contiguous in arrival order.
+    pub fn user_of(&self, i: usize) -> usize {
+        if self.users == 0 {
+            return 0;
+        }
+        (splitmix64(self.seed ^ TAG_USER ^ (i as u64).wrapping_mul(0x79B9)) % self.users as u64)
             as usize
     }
 
@@ -144,6 +201,42 @@ mod tests {
             }
         }
         assert!(p.images_for_site(0, 0).is_empty());
+    }
+
+    #[test]
+    fn user_model_skews_image_popularity_without_cold_images() {
+        let uniform = ClonePopulation::new(42, 8, 4);
+        let skewed = ClonePopulation::with_users(42, 8, 4, 64);
+        let counts = |p: &ClonePopulation| {
+            let mut c = vec![0usize; 8];
+            for i in 0..4096 {
+                c[p.image_of(i)] += 1;
+            }
+            c
+        };
+        let (u, s) = (counts(&uniform), counts(&skewed));
+        // Affinity concentrates load: the hottest image under the user
+        // model clearly exceeds the hottest under uniform hashing...
+        assert!(s.iter().max() > u.iter().max().map(|m| m * 3 / 2).as_ref());
+        // ...while the 20% roaming share keeps every image warm enough
+        // to exist in the run.
+        assert!(s.iter().all(|&n| n > 0), "cold image: {s:?}");
+        // Site placement and divergence are untouched by the user model.
+        for i in 0..256 {
+            assert_eq!(uniform.site_of(i), skewed.site_of(i));
+            assert_eq!(uniform.diverge_seed_of(i), skewed.diverge_seed_of(i));
+        }
+    }
+
+    #[test]
+    fn user_assignment_is_reproducible() {
+        let a = ClonePopulation::with_users(7, 8, 4, 32);
+        let b = ClonePopulation::with_users(7, 8, 4, 32);
+        for i in 0..128 {
+            assert_eq!(a.user_of(i), b.user_of(i));
+            assert_eq!(a.image_of(i), b.image_of(i));
+            assert!(a.user_of(i) < 32);
+        }
     }
 
     #[test]

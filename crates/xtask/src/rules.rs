@@ -58,6 +58,9 @@ fn bounded_decode_scope(path: &str) -> bool {
         || path == "crates/oncrpc/src/msg.rs"
         || path == "crates/nfs3/src/proto.rs"
         || path == "crates/gvfs/src/codec.rs"
+        // The channel's gossip codec decodes digest inventories pushed
+        // by *sibling shards* — still untrusted wire bytes.
+        || path == "crates/gvfs/src/channel.rs"
 }
 
 /// Scope of the exact-accounting rule: byte-accounting and counter

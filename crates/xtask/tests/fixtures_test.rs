@@ -22,6 +22,15 @@ fn cases() -> Vec<(&'static str, &'static str, &'static str, &'static str)> {
             include_str!("fixtures/bounded-decode/good.rs"),
         ),
         (
+            // Second bounded-decode pair: the gossip digest-inventory codec
+            // (PR 10) pulled `crates/gvfs/src/channel.rs` into the rule's
+            // scope, so pin the shape of a compliant gossip decode here.
+            "bounded-decode",
+            "crates/gvfs/src/channel.rs",
+            include_str!("fixtures/bounded-decode-gossip/bad.rs"),
+            include_str!("fixtures/bounded-decode-gossip/good.rs"),
+        ),
+        (
             "exact-accounting",
             "crates/gvfs/src/file_cache.rs",
             include_str!("fixtures/exact-accounting/bad.rs"),
